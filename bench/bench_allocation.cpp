@@ -1,0 +1,88 @@
+// E14 — Low-power resource allocation (Section III-E, Raghunathan-Jha [65],
+// Chang-Pedram [64]).
+//
+// Paper: weighting the compatibility graph with W = Wc * (1 - Ws), where Ws
+// is the observed switching between candidate share-partners, yields
+// register/module bindings 5-33% lower in switching than activity-blind
+// allocation at a comparable resource count.
+
+#include <cstdio>
+
+#include "cdfg/generators.hpp"
+#include "core/allocation.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace hlp;
+
+cdfg::DataTrace correlated_trace(const cdfg::Cdfg& g, std::uint64_t seed,
+                                 std::size_t iters) {
+  stats::Rng rng(seed);
+  std::vector<std::vector<std::int64_t>> inputs;
+  int n_inputs = 0;
+  for (cdfg::OpId i = 0; i < g.size(); ++i)
+    if (g.op(i).kind == cdfg::OpKind::Input) ++n_inputs;
+  for (int i = 0; i < n_inputs; ++i) {
+    std::vector<std::int64_t> vs;
+    std::int64_t v = rng.uniform_int(0, 255);
+    for (std::size_t t = 0; t < iters; ++t) {
+      v = (v + rng.uniform_int(-2, 2)) & 0xFF;
+      vs.push_back(v);
+    }
+    inputs.push_back(vs);
+  }
+  return cdfg::simulate_cdfg(g, inputs);
+}
+
+}  // namespace
+
+int main() {
+  using namespace hlp::core;
+  using hlp::cdfg::OpKind;
+
+  std::printf("E14 — power-aware vs activity-blind binding (correlated "
+              "data streams)\n\n");
+  std::printf("%-12s %5s | %8s %10s | %8s %10s | %8s\n", "design", "kind",
+              "regs", "reg-sw", "regs'", "reg-sw'", "saving");
+
+  double total_blind = 0.0, total_aware = 0.0;
+  for (int taps : {6, 8, 12, 16}) {
+    auto g = hlp::cdfg::fir_cdfg(taps);
+    std::map<OpKind, int> limits{{OpKind::Mul, 2}, {OpKind::Add, 2}};
+    auto s = hlp::cdfg::list_schedule(g, limits);
+    auto tr = correlated_trace(g, 77 + static_cast<std::uint64_t>(taps), 400);
+    auto blind = bind_registers(g, s, tr, false);
+    auto aware = bind_registers(g, s, tr, true);
+    total_blind += blind.switching;
+    total_aware += aware.switching;
+    std::printf("fir-%-8d %5s | %8d %10.2f | %8d %10.2f | %6.1f%%\n", taps,
+                "reg", blind.resources, blind.switching, aware.resources,
+                aware.switching,
+                100.0 * (1.0 - aware.switching / blind.switching));
+  }
+  std::printf("aggregate register-switching saving: %.1f%% "
+              "(paper: 5-33%%)\n\n",
+              100.0 * (1.0 - total_aware / total_blind));
+
+  std::printf("Functional-unit binding (operand switching at shared "
+              "units):\n");
+  std::printf("%-12s | %6s %10s | %6s %10s | %8s\n", "design", "FUs",
+              "fu-sw", "FUs'", "fu-sw'", "saving");
+  for (int taps : {6, 8, 12}) {
+    auto g = hlp::cdfg::fir_cdfg(taps);
+    std::map<OpKind, int> limits{{OpKind::Mul, 2}, {OpKind::Add, 2}};
+    auto s = hlp::cdfg::list_schedule(g, limits);
+    auto tr = correlated_trace(g, 11 + static_cast<std::uint64_t>(taps), 400);
+    auto blind = bind_functional_units(g, s, tr, false);
+    auto aware = bind_functional_units(g, s, tr, true);
+    std::printf("fir-%-8d | %6d %10.2f | %6d %10.2f | %6.1f%%\n", taps,
+                blind.resources, blind.switching, aware.resources,
+                aware.switching,
+                100.0 * (1.0 - aware.switching / blind.switching));
+  }
+  std::printf("\n(paper claim shape: exploiting data correlation in the "
+              "binding cuts input switching at a near-minimal resource "
+              "count)\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// E5 — Figs. 4 and 5: algebraic transformation of polynomial evaluation.
+//
+// Paper: order-2 transformation cuts operations at equal critical path;
+// order-3 transformation cuts operations but lengthens the critical path
+// (4 -> 5), reducing the headroom for supply-voltage scaling.
+
+#include <cstdio>
+
+#include "cdfg/generators.hpp"
+#include "core/behavioral_transform.hpp"
+#include "core/scheduling_power.hpp"
+
+int main() {
+  using namespace hlp;
+  using namespace hlp::core;
+
+  OpEnergyModel energy;
+  auto row = [&](const char* name, const cdfg::Cdfg& g, const char* claim) {
+    auto m = cdfg_metrics(g);
+    std::printf("%-26s %5d %5d %5d %8d   %-22s  E=%.0f\n", name, m.muls,
+                m.adds, m.total_compute_ops, m.critical_path, claim,
+                cdfg_energy(g, energy));
+  };
+
+  std::printf("E5 — polynomial evaluation structures (width 8)\n\n");
+  std::printf("%-26s %5s %5s %5s %8s   %-22s\n", "structure", "mul", "add",
+              "ops", "critpath", "paper claim");
+  row("order-2 direct", cdfg::polynomial_direct(2), "2 add, 2 mul, CP 3");
+  row("order-2 completed-square", polynomial_completed_square(),
+      "2 add, 1 mul, CP 3");
+  row("order-3 direct", cdfg::polynomial_direct(3), "3 add, 4 mul, CP 4");
+  row("order-3 horner", cdfg::polynomial_horner(3), "(intermediate form)");
+  row("order-3 preconditioned", polynomial_preconditioned_cubic(),
+      "3 add, 2 mul, CP 5");
+
+  std::printf("\nHigher orders (direct vs. Horner): operation count vs. "
+              "critical path tradeoff\n");
+  std::printf("%8s %10s %10s %10s %10s %10s %10s\n", "order", "dir-ops",
+              "dir-cp", "dir-E", "hor-ops", "hor-cp", "hor-E");
+  for (int order : {2, 3, 4, 6, 8, 12}) {
+    auto d = cdfg_metrics(cdfg::polynomial_direct(order));
+    auto h = cdfg_metrics(cdfg::polynomial_horner(order));
+    std::printf("%8d %10d %10d %10.0f %10d %10d %10.0f\n", order,
+                d.total_compute_ops, d.critical_path,
+                cdfg_energy(cdfg::polynomial_direct(order), energy),
+                h.total_compute_ops, h.critical_path,
+                cdfg_energy(cdfg::polynomial_horner(order), energy));
+  }
+  std::printf("\n(the paper's point: fewer operations do not always mean "
+              "a better design — the CP increase of the order-3 transform\n"
+              " reduces the voltage-scaling headroom)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E8 — Fig. 8: guarded evaluation (Tiwari et al. [105]).
+//
+// Paper: transparent latches controlled by *existing* signals block logic
+// cones whose observability don't-care condition the guard implies; no new
+// control logic is synthesized. Savings grow when one mux side dominates.
+
+#include <cstdio>
+
+#include "core/guarded_eval.hpp"
+#include "netlist/words.hpp"
+#include "sim/streams.hpp"
+
+namespace {
+
+hlp::netlist::Module alu_select_module(int n) {
+  hlp::netlist::Module m;
+  m.name = "alusel" + std::to_string(n);
+  auto& nl = m.netlist;
+  auto a = hlp::netlist::make_input_word(nl, n, "a");
+  auto b = hlp::netlist::make_input_word(nl, n, "b");
+  auto sel = nl.add_input("sel");
+  auto sum = hlp::netlist::ripple_adder(nl, a, b);
+  auto mult = hlp::netlist::array_multiplier(nl, a, b);
+  mult.resize(sum.size());
+  auto out = hlp::netlist::mux_word(nl, sel, sum, mult);
+  hlp::netlist::mark_output_word(nl, out, "y");
+  m.input_words = {a, b, {sel}};
+  m.output_words = {out};
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hlp;
+  using namespace hlp::core;
+
+  std::printf("E8 — guarded evaluation on a shared add/mul datapath "
+              "(out = sel ? mult : add)\n\n");
+  std::printf("%4s %10s %8s %11s %11s %9s %7s\n", "n", "P(sel=1)", "latches",
+              "P(base)", "P(guard)", "saving", "func");
+  for (int n : {4, 6, 8}) {
+    auto mod = alu_select_module(n);
+    auto guards = find_guards(mod);
+    auto gc = apply_guards(mod, guards);
+    for (double psel : {0.5, 0.2, 0.05}) {
+      stats::Rng rng(5);
+      auto data = sim::random_stream(2 * n, 6000, 0.5, rng);
+      auto selbit = sim::random_stream(1, 6000, psel, rng);
+      auto in = sim::zip_streams(data, selbit);
+      auto res = evaluate_guarded(mod, gc, in);
+      std::printf("%4d %10.2f %8zu %11.4g %11.4g %8.1f%% %7s\n", n, psel,
+                  gc.latches, res.base_power, res.guarded_power,
+                  100.0 * res.saving(),
+                  res.functionally_correct ? "ok" : "FAIL");
+    }
+  }
+  std::printf("\nGuard candidates found on the 8-bit design:\n");
+  {
+    auto mod = alu_select_module(8);
+    for (auto& g : find_guards(mod))
+      std::printf("  cone %4zu gates, guard=%s, odc=%s, pure-timing=%s\n",
+                  g.cone.size(),
+                  g.block_when_guard_high ? "sel(high)" : "sel(low)",
+                  g.odc_verified ? "yes" : "no", g.pure ? "yes" : "no");
+  }
+  std::printf("\n(paper claim shape: savings track how often the guarded "
+              "cone is unobserved; skewed selects favor the multiplier "
+              "guard)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E9 — Fig. 9: retiming for low power (Monteiro et al. [111]).
+//
+// Paper: placing registers at the outputs of glitchy, heavily loaded gates
+// filters spurious transitions from the downstream logic; the paper's
+// heuristic selects candidate gates by glitch production x propagation.
+
+#include <cstdio>
+
+#include "core/retiming_power.hpp"
+#include "sim/streams.hpp"
+
+int main() {
+  using namespace hlp;
+  using namespace hlp::core;
+
+  std::printf("E9 — pipeline register placement vs. glitch power\n"
+              "(multiply-reduce: the multiplier produces glitches, the XOR "
+              "reduction amplifies them;\n a register cut at the product "
+              "bits is Fig. 9's candidate placement)\n\n");
+  for (int n : {4, 5, 6}) {
+    auto mod = netlist::multiply_reduce_module(n, 4);
+    stats::Rng rng(7);
+    auto in = sim::random_stream(2 * n, 1500, 0.5, rng);
+    int depth = mod.netlist.depth();
+    int pick = select_cut_monteiro(mod, in);
+
+    std::printf("mulred-%dx%d (depth %d, heuristic picks cut %d):\n", n, n,
+                depth, pick);
+    std::printf("  %6s %10s %12s %12s %11s %6s\n", "cut", "regs",
+                "P(total)", "P(functional)", "glitch-P", "func");
+    double base = 0.0;
+    for (int cut = 0; cut < depth; cut += std::max(1, depth / 8)) {
+      auto rc = place_registers_at_cut(mod, cut);
+      auto ev = evaluate_retimed(rc, mod, in);
+      if (cut == 0) base = ev.power_total;
+      std::printf("  %5d%s %9zu %12.4g %12.4g %11.4g %6s\n", cut,
+                  cut == pick ? "*" : " ", ev.registers, ev.power_total,
+                  ev.power_functional, ev.power_total - ev.power_functional,
+                  ev.functionally_correct ? "ok" : "FAIL");
+    }
+    auto ev_pick = evaluate_retimed(place_registers_at_cut(mod, pick), mod,
+                                    in);
+    std::printf("  heuristic cut saves %.1f%% vs registers-at-inputs\n\n",
+                100.0 * (1.0 - ev_pick.power_total / base));
+  }
+  std::printf("(paper claim shape: an interior register cut beats "
+              "registers at the primary inputs because it stops glitch\n"
+              " propagation; the heuristic lands near the sweep optimum)\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E2 / E3 — Software-level power (Section II-A, III-A):
+//  * Fig. 2 memory-access transformation,
+//  * Tiwari instruction-level model decomposition,
+//  * profile-driven program synthesis (Hsieh et al. [8]): trace shortening
+//    vs. estimation error,
+//  * cold scheduling (Su et al. [6]).
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/software_power.hpp"
+
+int main() {
+  using namespace hlp;
+  using namespace hlp::core;
+  auto model = InstructionEnergyModel::typical();
+
+  std::printf("E2 — Fig. 2: eliminating the memory-resident temporary\n\n");
+  std::printf("%8s %12s %12s %12s %12s\n", "n", "accesses", "accesses'",
+              "energy", "energy'");
+  for (int n : {50, 200, 1000}) {
+    isa::Machine m1, m2;
+    auto st1 = m1.run(isa::fig2_with_memory_temp(n), 10'000'000);
+    auto st2 = m2.run(isa::fig2_register_temp(n), 10'000'000);
+    std::printf("%8d %12llu %12llu %12.0f %12.0f\n", n,
+                static_cast<unsigned long long>(st1.mem_reads +
+                                                st1.mem_writes),
+                static_cast<unsigned long long>(st2.mem_reads +
+                                                st2.mem_writes),
+                model.energy(st1), model.energy(st2));
+  }
+  std::printf("(paper: the transformation removes exactly 2n accesses)\n\n");
+
+  std::printf("E3 — Tiwari model and profile-driven synthesis\n\n");
+  struct Wl {
+    const char* name;
+    isa::Program prog;
+  };
+  isa::MachineConfig cfg;
+  std::vector<Wl> wls;
+  wls.push_back({"dsp-kernel", isa::dsp_kernel(8, 4000)});
+  wls.push_back({"array-sum", isa::array_sum(64, 64)});
+  wls.push_back({"rand-arith", isa::random_arith(80, 3000, 0.35, 5)});
+  wls.push_back({"rand-loads", isa::random_loads(8192, 20000, 9)});
+
+  std::printf("%-12s %10s %8s %10s %8s %10s %7s\n", "workload", "instrs",
+              "EPI", "syn-instr", "EPI'", "shorten", "err");
+  for (auto& wl : wls) {
+    isa::Machine m(cfg);
+    auto st = m.run(wl.prog, 20'000'000);
+    auto prof = CharacteristicProfile::from(st);
+    // Keep the synthetic trace long enough to amortize cache warmup (the
+    // profile describes steady state, not cold-start behaviour).
+    std::uint64_t target =
+        std::max<std::uint64_t>(4000, st.instructions / 100);
+    auto prog = synthesize_program(prof, target, cfg, 7);
+    isa::Machine m2(cfg);
+    auto st2 = m2.run(prog, 2 * target);
+    double err = std::abs(model.epi(st2) - model.epi(st)) / model.epi(st);
+    std::printf("%-12s %10llu %8.3f %10llu %8.3f %9.0fx %6.1f%%\n", wl.name,
+                static_cast<unsigned long long>(st.instructions),
+                model.epi(st),
+                static_cast<unsigned long long>(st2.instructions),
+                model.epi(st2),
+                static_cast<double>(st.instructions) /
+                    static_cast<double>(st2.instructions),
+                100.0 * err);
+  }
+  std::printf("(paper: 3-5 orders of magnitude shorter traces at "
+              "negligible error; the shortening here is bounded by the\n"
+              " synthetic loop length we chose — scale "
+              "target_instructions down for larger ratios)\n\n");
+
+  std::printf("Cold scheduling (Su et al. [6]) — static circuit-state "
+              "cost\n\n");
+  std::printf("%-12s %12s %12s %9s\n", "program", "cost", "cold-cost",
+              "saving");
+  for (auto& [name, prog] :
+       std::vector<std::pair<const char*, isa::Program>>{
+           {"rand-arith", isa::random_arith(120, 1, 0.4, 3)},
+           {"dsp-kernel", isa::dsp_kernel(8, 1)}}) {
+    auto cold = cold_schedule(prog, model);
+    double c0 = static_state_cost(prog, model);
+    double c1 = static_state_cost(cold, model);
+    std::printf("%-12s %12.2f %12.2f %8.1f%%\n", name, c0, c1,
+                100.0 * (1.0 - c1 / c0));
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E1 — Table I: capacitance statistics for a Tap FIR filter before/after
+// converting constant multiplications into shift/add networks.
+//
+// Paper (Chandrakasan et al. [18], reproduced as Table I):
+//   component          before(pF)  %      after(pF)  %
+//   Execution units     739.65    64.8      93.07   21.6
+//   Registers/clock     179.57    15.7     161.40   37.5
+//   Control logic        65.45     5.7      83.79   19.5
+//   Interconnect        156.69    13.7      92.10   21.4
+//   Total              1141.36   100.0     430.36  100.0
+//
+// Our datapath is parallel (the paper's was time-multiplexed), so the
+// absolute factors are smaller; the per-row directions must match.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/behavioral_transform.hpp"
+#include "sim/streams.hpp"
+
+namespace {
+
+void print_table(const char* title, std::map<std::string, double> before,
+                 std::map<std::string, double> after) {
+  double tb = 0.0, ta = 0.0;
+  for (auto& [k, v] : before) tb += v;
+  for (auto& [k, v] : after) ta += v;
+  std::printf("%s\n", title);
+  std::printf("%-18s %12s %7s %12s %7s\n", "Component", "before(cap)",
+              "%%tot", "after(cap)", "%%tot");
+  for (const char* comp : {"Execution units", "Registers/clock",
+                           "Control logic", "Interconnect"}) {
+    std::printf("%-18s %12.2f %6.1f%% %12.2f %6.1f%%\n", comp, before[comp],
+                100.0 * before[comp] / tb, after[comp],
+                100.0 * after[comp] / ta);
+  }
+  std::printf("%-18s %12.2f %7s %12.2f\n", "Total", tb, "", ta);
+  std::printf("total reduction %.2fx, execution units %.2fx\n\n", tb / ta,
+              before["Execution units"] / after["Execution units"]);
+}
+
+}  // namespace
+
+int main() {
+  using namespace hlp;
+  std::vector<int> coeffs{93, 57, 201, 39, 141, 78, 224, 47, 166, 90, 121};
+  const int width = 8;
+
+  auto fir_mac = core::build_fir_mac_datapath(coeffs, width);
+  auto fir_mul = core::build_fir_datapath(coeffs, width, false);
+  auto fir_sa = core::build_fir_datapath(coeffs, width, true);
+
+  stats::Rng rng(11);
+  auto samples = sim::gaussian_walk_stream(width, 1200, 0.9, 0.3, rng);
+  std::printf("E1 / Table I — %zu-tap FIR, constant multiplication -> "
+              "shift/add (glitch-aware switched capacitance per sample)\n\n",
+              coeffs.size());
+  std::printf("Paper (Chandrakasan et al. [18]): total 1141 -> 430 pF "
+              "(2.65x), exec 7.9x, regs -10%%, control +28%%, "
+              "interconnect -41%%\n\n");
+
+  // Primary comparison, matching the paper's architecture change: a
+  // time-multiplexed general-multiplier MAC datapath (before) vs. a
+  // dedicated shift/add datapath (after).
+  bool ok = core::fir_mac_matches_parallel(fir_mac, fir_sa, samples);
+  auto before = core::fir_mac_capacitance_breakdown(fir_mac, samples);
+  auto after = core::fir_capacitance_breakdown(fir_sa, samples);
+  print_table("[A] time-multiplexed MAC  ->  dedicated shift/add:", before,
+              after);
+  std::printf("functional equivalence (MAC vs shift/add vs golden): %s\n\n",
+              ok ? "verified" : "FAILED");
+
+  // Secondary comparison: the same parallel architecture with general
+  // multipliers vs hardwired shift/add (isolates the operator change).
+  auto b2 = core::fir_capacitance_breakdown(fir_mul, samples);
+  print_table("[B] parallel general-multiplier -> parallel shift/add "
+              "(operator change only):", b2, after);
+
+  std::printf("Gate counts: MAC %zu, parallel-mult %zu, shift/add %zu\n",
+              fir_mac.netlist.logic_gate_count(),
+              fir_mul.netlist.logic_gate_count(),
+              fir_sa.netlist.logic_gate_count());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Bus-encoding explorer: given an address-stream profile (sequentiality,
+// interleaving), ranks the Section III-G encoding schemes and recommends
+// one. Run with no arguments for a demo sweep, or pass
+//   bus_explorer <width> <seq-fraction> <arrays>
+// to describe your stream.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/bus_encoding.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hlp;
+  using namespace hlp::core;
+
+  int width = argc > 1 ? std::atoi(argv[1]) : 16;
+  double seq = argc > 2 ? std::atof(argv[2]) : 0.8;
+  int arrays = argc > 3 ? std::atoi(argv[3]) : 1;
+
+  stats::Rng rng(2026);
+  std::vector<std::uint64_t> stream =
+      arrays > 1 ? interleaved_array_stream(20000, arrays, width, rng)
+                 : address_stream(20000, seq, width, rng);
+  std::vector<std::uint64_t> training(stream.begin(),
+                                      stream.begin() + 4000);
+
+  std::printf("stream: width=%d seq=%.2f arrays=%d (%zu words)\n\n", width,
+              seq, arrays, stream.size());
+
+  struct Entry {
+    std::string name;
+    double per_word;
+    int phys;
+  };
+  std::vector<Entry> results;
+  std::vector<std::unique_ptr<BusEncoder>> encs;
+  encs.push_back(binary_encoder(width));
+  encs.push_back(gray_encoder(width));
+  encs.push_back(bus_invert_encoder(width));
+  encs.push_back(t0_encoder(width));
+  encs.push_back(t0_bi_encoder(width));
+  encs.push_back(working_zone_encoder(width, std::max(2, arrays), 5));
+  encs.push_back(beach_encoder(width, training, 8));
+  for (auto& e : encs) {
+    auto r = run_encoder(*e, stream, width);
+    results.push_back({e->name(), r.per_word, r.phys_width});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.per_word < b.per_word;
+            });
+  std::printf("%-14s %14s %12s %14s\n", "scheme", "trans/word", "buslines",
+              "vs binary");
+  double binary = 0.0;
+  for (auto& r : results)
+    if (r.name == "binary") binary = r.per_word;
+  for (auto& r : results)
+    std::printf("%-14s %14.3f %12d %13.1f%%\n", r.name.c_str(), r.per_word,
+                r.phys, 100.0 * (1.0 - r.per_word / binary));
+  std::printf("\nrecommended: %s\n", results.front().name.c_str());
+  return 0;
+}

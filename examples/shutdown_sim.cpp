@@ -1,0 +1,46 @@
+// System-level power-management playground (Section III-B): generates an
+// event-driven workload and races every shutdown policy on it.
+//   shutdown_sim [events] [mean-gap]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/shutdown.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hlp;
+  using namespace hlp::core;
+
+  std::size_t events = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10000;
+  double gap = argc > 2 ? std::atof(argv[2]) : 2000.0;
+
+  stats::Rng rng(1);
+  auto w = session_workload(events, rng, 10.0, 5.0, gap);
+  DeviceParams dev;
+  double busy = 0.0;
+  for (auto& e : w) busy += e.active;
+
+  std::printf("%zu events, idle gaps ~%.0f, break-even %.2f, theoretical "
+              "max improvement %.1fx\n\n", events, gap, breakeven_idle(dev),
+              max_power_improvement(w));
+
+  std::vector<std::unique_ptr<ShutdownPolicy>> policies;
+  policies.push_back(always_on_policy());
+  policies.push_back(static_timeout_policy(2.0 * breakeven_idle(dev)));
+  policies.push_back(threshold_policy(dev));
+  policies.push_back(regression_policy(dev));
+  policies.push_back(hwang_wu_policy(dev));
+  policies.push_back(oracle_policy(w, dev));
+
+  std::printf("%-26s %10s %9s %10s\n", "policy", "avg-power", "improve",
+              "perf-loss");
+  double p0 = 0.0;
+  for (auto& p : policies) {
+    auto r = simulate_policy(w, dev, *p);
+    if (p0 == 0.0) p0 = r.avg_power();
+    std::printf("%-26s %10.4f %8.1fx %9.2f%%\n", p->name().c_str(),
+                r.avg_power(), p0 / r.avg_power(),
+                100.0 * r.perf_loss(busy));
+  }
+  return 0;
+}

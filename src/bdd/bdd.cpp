@@ -1,0 +1,185 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hlp::bdd {
+
+namespace {
+constexpr std::uint32_t kTermVar = std::numeric_limits<std::uint32_t>::max();
+}
+
+Manager::Manager() {
+  nodes_.push_back({kTermVar, kFalse, kFalse});  // 0 = false
+  nodes_.push_back({kTermVar, kTrue, kTrue});    // 1 = true
+}
+
+NodeRef Manager::make_node(std::uint32_t var, NodeRef lo, NodeRef hi) {
+  if (lo == hi) return lo;
+  NodeKey key{var, lo, hi};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  NodeRef id = static_cast<NodeRef>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  unique_.emplace(key, id);
+  return id;
+}
+
+NodeRef Manager::var(std::uint32_t v) { return make_node(v, kFalse, kTrue); }
+NodeRef Manager::nvar(std::uint32_t v) { return make_node(v, kTrue, kFalse); }
+
+std::uint32_t Manager::top_var(NodeRef f, NodeRef g, NodeRef h) const {
+  std::uint32_t v = kTermVar;
+  if (f > kTrue) v = std::min(v, nodes_[f].var);
+  if (g > kTrue) v = std::min(v, nodes_[g].var);
+  if (h > kTrue) v = std::min(v, nodes_[h].var);
+  return v;
+}
+
+NodeRef Manager::ite(NodeRef f, NodeRef g, NodeRef h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  IteKey key{f, g, h};
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  std::uint32_t v = top_var(f, g, h);
+  auto cof = [&](NodeRef x, bool hi) -> NodeRef {
+    if (x <= kTrue || nodes_[x].var != v) return x;
+    return hi ? nodes_[x].hi : nodes_[x].lo;
+  };
+  NodeRef t = ite(cof(f, true), cof(g, true), cof(h, true));
+  NodeRef e = ite(cof(f, false), cof(g, false), cof(h, false));
+  NodeRef r = make_node(v, e, t);
+  ite_cache_.emplace(key, r);
+  return r;
+}
+
+NodeRef Manager::restrict_var(NodeRef f, std::uint32_t v, bool val) {
+  if (f <= kTrue) return f;
+  const Node& n = nodes_[f];
+  if (n.var > v) return f;
+  if (n.var == v) return val ? n.hi : n.lo;
+  // n.var < v: rebuild children.
+  NodeRef lo = restrict_var(n.lo, v, val);
+  NodeRef hi = restrict_var(n.hi, v, val);
+  return make_node(n.var, lo, hi);
+}
+
+NodeRef Manager::exists(NodeRef f, std::uint32_t v) {
+  return bdd_or(restrict_var(f, v, false), restrict_var(f, v, true));
+}
+
+NodeRef Manager::forall(NodeRef f, std::uint32_t v) {
+  return bdd_and(restrict_var(f, v, false), restrict_var(f, v, true));
+}
+
+NodeRef Manager::exists_set(NodeRef f, std::span<const std::uint32_t> vars) {
+  for (std::uint32_t v : vars) f = exists(f, v);
+  return f;
+}
+
+NodeRef Manager::forall_set(NodeRef f, std::span<const std::uint32_t> vars) {
+  for (std::uint32_t v : vars) f = forall(f, v);
+  return f;
+}
+
+NodeRef Manager::compose(NodeRef f, std::uint32_t v, NodeRef g) {
+  // f[v <- g] = ite(g, f|v=1, f|v=0)
+  return ite(g, restrict_var(f, v, true), restrict_var(f, v, false));
+}
+
+NodeRef Manager::rename(
+    NodeRef f, const std::unordered_map<std::uint32_t, std::uint32_t>& map) {
+  if (f <= kTrue) return f;
+  const Node n = nodes_[f];
+  NodeRef lo = rename(n.lo, map);
+  NodeRef hi = rename(n.hi, map);
+  auto it = map.find(n.var);
+  std::uint32_t v = it == map.end() ? n.var : it->second;
+  return make_node(v, lo, hi);
+}
+
+double Manager::sat_fraction(NodeRef f) {
+  if (f == kFalse) return 0.0;
+  if (f == kTrue) return 1.0;
+  auto it = sat_cache_.find(f);
+  if (it != sat_cache_.end()) return it->second;
+  const Node& n = nodes_[f];
+  // Each child sits some levels below; with the fraction semantics every
+  // skipped level halves both branches equally, so the plain average is
+  // exact regardless of which variables appear.
+  double r = 0.5 * (sat_fraction(n.lo) + sat_fraction(n.hi));
+  sat_cache_.emplace(f, r);
+  return r;
+}
+
+std::size_t Manager::node_count(NodeRef f) {
+  NodeRef roots[1] = {f};
+  return node_count(roots);
+}
+
+std::size_t Manager::node_count(std::span<const NodeRef> roots) {
+  std::unordered_set<NodeRef> seen;
+  std::vector<NodeRef> stack(roots.begin(), roots.end());
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    NodeRef f = stack.back();
+    stack.pop_back();
+    if (f <= kTrue || !seen.insert(f).second) continue;
+    ++count;
+    stack.push_back(nodes_[f].lo);
+    stack.push_back(nodes_[f].hi);
+  }
+  return count;
+}
+
+std::vector<std::uint32_t> Manager::support(NodeRef f) {
+  std::unordered_set<NodeRef> seen;
+  std::unordered_set<std::uint32_t> vars;
+  std::vector<NodeRef> stack{f};
+  while (!stack.empty()) {
+    NodeRef x = stack.back();
+    stack.pop_back();
+    if (x <= kTrue || !seen.insert(x).second) continue;
+    vars.insert(nodes_[x].var);
+    stack.push_back(nodes_[x].lo);
+    stack.push_back(nodes_[x].hi);
+  }
+  std::vector<std::uint32_t> out(vars.begin(), vars.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Manager::eval(NodeRef f, std::uint64_t assignment) const {
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    if (n.var >= 64)
+      throw std::out_of_range("Manager::eval: variable index >= 64");
+    f = ((assignment >> n.var) & 1u) ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+std::uint64_t Manager::any_sat(NodeRef f) const {
+  if (f == kFalse) throw std::logic_error("any_sat on constant false");
+  std::uint64_t a = 0;
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    if (n.hi != kFalse) {
+      if (n.var < 64) a |= std::uint64_t{1} << n.var;
+      f = n.hi;
+    } else {
+      f = n.lo;
+    }
+  }
+  return a;
+}
+
+}  // namespace hlp::bdd

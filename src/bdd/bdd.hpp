@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace hlp::bdd {
+
+/// Reference to a BDD node. 0 and 1 are the constant terminals.
+using NodeRef = std::uint32_t;
+inline constexpr NodeRef kFalse = 0;
+inline constexpr NodeRef kTrue = 1;
+
+/// Reduced ordered binary decision diagram manager (Bryant [84]).
+///
+/// Plain ROBDDs (no complement arcs) with a unique table and an ITE cache.
+/// Variable order is the variable index order (0 = top). The package backs
+/// the survey's symbolic techniques: Ferrandi's BDD-node capacitance model
+/// (II-B1), precomputation predictor synthesis (III-I), guarded-evaluation
+/// observability don't-cares (III-I), and FSM symbolic analysis (III-H).
+class Manager {
+ public:
+  Manager();
+
+  NodeRef constant(bool b) const { return b ? kTrue : kFalse; }
+  /// Projection function for variable v.
+  NodeRef var(std::uint32_t v);
+  /// Negated projection function.
+  NodeRef nvar(std::uint32_t v);
+
+  NodeRef ite(NodeRef f, NodeRef g, NodeRef h);
+  NodeRef bdd_not(NodeRef f) { return ite(f, kFalse, kTrue); }
+  NodeRef bdd_and(NodeRef f, NodeRef g) { return ite(f, g, kFalse); }
+  NodeRef bdd_or(NodeRef f, NodeRef g) { return ite(f, kTrue, g); }
+  NodeRef bdd_xor(NodeRef f, NodeRef g) { return ite(f, bdd_not(g), g); }
+  NodeRef bdd_xnor(NodeRef f, NodeRef g) { return ite(f, g, bdd_not(g)); }
+
+  /// Cofactor of f with variable v fixed to `val`.
+  NodeRef restrict_var(NodeRef f, std::uint32_t v, bool val);
+  /// Existential / universal quantification over one variable.
+  NodeRef exists(NodeRef f, std::uint32_t v);
+  NodeRef forall(NodeRef f, std::uint32_t v);
+  /// Quantify over a set of variables.
+  NodeRef exists_set(NodeRef f, std::span<const std::uint32_t> vars);
+  NodeRef forall_set(NodeRef f, std::span<const std::uint32_t> vars);
+
+  /// Substitute variable v by function g in f.
+  NodeRef compose(NodeRef f, std::uint32_t v, NodeRef g);
+
+  /// Rename variables: f with var i replaced by var `map[i]` (identity for
+  /// indices not in the map). The mapping must be monotone in the variable
+  /// order (true for the interleaved state encodings we use).
+  NodeRef rename(NodeRef f, const std::unordered_map<std::uint32_t,
+                                                     std::uint32_t>& map);
+
+  /// True iff f implies g.
+  bool implies(NodeRef f, NodeRef g) { return ite(f, g, kTrue) == kTrue; }
+
+  /// Fraction of minterms satisfying f (equals satisfying fraction over any
+  /// superset of the support).
+  double sat_fraction(NodeRef f);
+
+  /// Number of internal nodes reachable from f (terminals excluded) — the
+  /// "N" of Ferrandi's C_tot = alpha * (m/n) * N * h_out + beta model.
+  std::size_t node_count(NodeRef f);
+  /// Internal nodes reachable from any of the given roots, deduplicated
+  /// (shared subgraphs counted once) — multi-output circuit size.
+  std::size_t node_count(std::span<const NodeRef> roots);
+
+  /// Support: sorted list of variables f depends on.
+  std::vector<std::uint32_t> support(NodeRef f);
+
+  /// Evaluate under a full assignment (bit v of `assignment` = variable v).
+  bool eval(NodeRef f, std::uint64_t assignment) const;
+
+  /// One satisfying assignment (as packed bits over support vars); f must
+  /// not be kFalse. Unassigned variables default to 0.
+  std::uint64_t any_sat(NodeRef f) const;
+
+  std::size_t total_nodes() const { return nodes_.size(); }
+
+  std::uint32_t node_var(NodeRef f) const { return nodes_[f].var; }
+  NodeRef node_lo(NodeRef f) const { return nodes_[f].lo; }
+  NodeRef node_hi(NodeRef f) const { return nodes_[f].hi; }
+  bool is_terminal(NodeRef f) const { return f <= kTrue; }
+
+ private:
+  struct Node {
+    std::uint32_t var;
+    NodeRef lo, hi;
+  };
+  struct NodeKey {
+    std::uint32_t var;
+    NodeRef lo, hi;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      std::uint64_t h = k.var;
+      h = h * 0x9E3779B97F4A7C15ull + k.lo;
+      h = h * 0x9E3779B97F4A7C15ull + k.hi;
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+  struct IteKey {
+    NodeRef f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const {
+      std::uint64_t h = k.f;
+      h = h * 0x9E3779B97F4A7C15ull + k.g;
+      h = h * 0x9E3779B97F4A7C15ull + k.h;
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+
+  NodeRef make_node(std::uint32_t var, NodeRef lo, NodeRef hi);
+  std::uint32_t top_var(NodeRef f, NodeRef g, NodeRef h) const;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, NodeRef, NodeKeyHash> unique_;
+  std::unordered_map<IteKey, NodeRef, IteKeyHash> ite_cache_;
+  std::unordered_map<NodeRef, double> sat_cache_;
+};
+
+}  // namespace hlp::bdd

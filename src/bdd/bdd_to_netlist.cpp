@@ -1,0 +1,41 @@
+#include "bdd/bdd_to_netlist.hpp"
+
+#include <stdexcept>
+
+namespace hlp::bdd {
+
+namespace {
+
+netlist::GateId materialize_rec(
+    const Manager& mgr, NodeRef f, netlist::Netlist& nl,
+    const std::unordered_map<std::uint32_t, netlist::GateId>& var_nets,
+    std::unordered_map<NodeRef, netlist::GateId>& memo,
+    netlist::GateId const0, netlist::GateId const1) {
+  if (f == kFalse) return const0;
+  if (f == kTrue) return const1;
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  auto vn = var_nets.find(mgr.node_var(f));
+  if (vn == var_nets.end())
+    throw std::invalid_argument("materialize: unmapped BDD variable");
+  netlist::GateId lo = materialize_rec(mgr, mgr.node_lo(f), nl, var_nets,
+                                       memo, const0, const1);
+  netlist::GateId hi = materialize_rec(mgr, mgr.node_hi(f), nl, var_nets,
+                                       memo, const0, const1);
+  netlist::GateId g = nl.add_mux(vn->second, lo, hi);
+  memo.emplace(f, g);
+  return g;
+}
+
+}  // namespace
+
+netlist::GateId materialize(
+    const Manager& mgr, NodeRef f, netlist::Netlist& nl,
+    const std::unordered_map<std::uint32_t, netlist::GateId>& var_nets) {
+  std::unordered_map<NodeRef, netlist::GateId> memo;
+  netlist::GateId c0 = nl.add_const(false);
+  netlist::GateId c1 = nl.add_const(true);
+  return materialize_rec(mgr, f, nl, var_nets, memo, c0, c1);
+}
+
+}  // namespace hlp::bdd

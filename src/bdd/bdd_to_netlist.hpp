@@ -1,0 +1,19 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hlp::bdd {
+
+/// Materialize a BDD as a mux network in `nl` (one 2:1 mux per BDD node,
+/// shared via memoization — the "obvious mapping" of Section III-H).
+/// `var_nets` maps BDD variable index -> driving net.
+netlist::GateId materialize(const Manager& mgr, NodeRef f,
+                            netlist::Netlist& nl,
+                            const std::unordered_map<std::uint32_t,
+                                                     netlist::GateId>&
+                                var_nets);
+
+}  // namespace hlp::bdd

@@ -1,0 +1,101 @@
+#include "bdd/netlist_bdd.hpp"
+
+#include <stdexcept>
+
+namespace hlp::bdd {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateKind;
+
+NetlistBdds build_bdds(Manager& mgr, const netlist::Netlist& nl) {
+  std::vector<std::size_t> identity(nl.inputs().size());
+  for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+  return build_bdds_ordered(mgr, nl, identity);
+}
+
+std::vector<std::size_t> interleaved_word_order(
+    const std::vector<netlist::Word>& input_words) {
+  std::vector<std::size_t> order;
+  std::size_t base = 0;
+  std::vector<std::size_t> starts;
+  std::size_t max_w = 0;
+  for (const auto& w : input_words) {
+    starts.push_back(base);
+    base += w.size();
+    max_w = std::max(max_w, w.size());
+  }
+  for (std::size_t bit = 0; bit < max_w; ++bit)
+    for (std::size_t w = 0; w < input_words.size(); ++w)
+      if (bit < input_words[w].size()) order.push_back(starts[w] + bit);
+  return order;
+}
+
+NetlistBdds build_bdds_ordered(Manager& mgr, const netlist::Netlist& nl,
+                               std::span<const std::size_t> input_order) {
+  NetlistBdds out;
+  out.fn.assign(nl.gate_count(), kFalse);
+  out.input_vars.assign(nl.inputs().size(), 0);
+  std::uint32_t next_var = 0;
+  for (std::size_t k = 0; k < input_order.size(); ++k) {
+    GateId g = nl.inputs()[input_order[k]];
+    out.var_of[g] = next_var;
+    out.input_vars[input_order[k]] = next_var;
+    out.fn[g] = mgr.var(next_var);
+    ++next_var;
+  }
+  for (GateId g : nl.dffs()) {
+    out.var_of[g] = next_var;
+    out.state_vars.push_back(next_var);
+    out.fn[g] = mgr.var(next_var);
+    ++next_var;
+  }
+  for (GateId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    switch (g.kind) {
+      case GateKind::Input:
+      case GateKind::Dff:
+        break;  // already assigned
+      case GateKind::Const0:
+        out.fn[id] = kFalse;
+        break;
+      case GateKind::Const1:
+        out.fn[id] = kTrue;
+        break;
+      case GateKind::Buf:
+        out.fn[id] = out.fn[g.fanins[0]];
+        break;
+      case GateKind::Not:
+        out.fn[id] = mgr.bdd_not(out.fn[g.fanins[0]]);
+        break;
+      case GateKind::And:
+      case GateKind::Nand: {
+        NodeRef r = kTrue;
+        for (GateId f : g.fanins) r = mgr.bdd_and(r, out.fn[f]);
+        out.fn[id] = g.kind == GateKind::Nand ? mgr.bdd_not(r) : r;
+        break;
+      }
+      case GateKind::Or:
+      case GateKind::Nor: {
+        NodeRef r = kFalse;
+        for (GateId f : g.fanins) r = mgr.bdd_or(r, out.fn[f]);
+        out.fn[id] = g.kind == GateKind::Nor ? mgr.bdd_not(r) : r;
+        break;
+      }
+      case GateKind::Xor:
+      case GateKind::Xnor: {
+        NodeRef r = kFalse;
+        for (GateId f : g.fanins) r = mgr.bdd_xor(r, out.fn[f]);
+        out.fn[id] = g.kind == GateKind::Xnor ? mgr.bdd_not(r) : r;
+        break;
+      }
+      case GateKind::Mux:
+        out.fn[id] = mgr.ite(out.fn[g.fanins[0]], out.fn[g.fanins[2]],
+                             out.fn[g.fanins[1]]);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace hlp::bdd

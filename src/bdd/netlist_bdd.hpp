@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hlp::bdd {
+
+/// Symbolic view of a netlist: one BDD per gate, over variables assigned to
+/// primary inputs and DFF outputs (present-state lines).
+struct NetlistBdds {
+  std::vector<NodeRef> fn;  ///< indexed by GateId
+  std::unordered_map<netlist::GateId, std::uint32_t> var_of;  ///< sources
+  std::vector<std::uint32_t> input_vars;  ///< in primary-input order
+  std::vector<std::uint32_t> state_vars;  ///< in DFF order
+
+  NodeRef output(const netlist::Netlist& nl, std::size_t i) const {
+    return fn[nl.outputs()[i]];
+  }
+};
+
+/// Build BDDs for every gate. Variable order: primary inputs first (in
+/// declaration order), then DFF outputs. Throws if the netlist has a
+/// combinational cycle.
+NetlistBdds build_bdds(Manager& mgr, const netlist::Netlist& nl);
+
+/// Build with an explicit primary-input order: `input_order[k]` is the
+/// index (into nl.inputs()) of the input assigned BDD variable k. Variable
+/// order is the classic lever on BDD size — e.g. interleaving the two
+/// operand words of an adder turns its exponential BDD linear.
+NetlistBdds build_bdds_ordered(Manager& mgr, const netlist::Netlist& nl,
+                               std::span<const std::size_t> input_order);
+
+/// Convenience: interleave the bits of a module's input words
+/// (a0,b0,a1,b1,...) — the right order for word-wise arithmetic.
+std::vector<std::size_t> interleaved_word_order(
+    const std::vector<netlist::Word>& input_words);
+
+}  // namespace hlp::bdd

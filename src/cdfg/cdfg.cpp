@@ -1,0 +1,227 @@
+#include "cdfg/cdfg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace hlp::cdfg {
+
+OpId Cdfg::add_op(OpKind kind, std::span<const OpId> preds,
+                  std::string_view name, int width) {
+  OpId id = static_cast<OpId>(ops_.size());
+  Op op;
+  op.kind = kind;
+  op.preds.assign(preds.begin(), preds.end());
+  for ([[maybe_unused]] OpId p : op.preds)
+    assert(p < id && "CDFG must be built in topo order");
+  op.name = std::string(name);
+  op.width = width;
+  ops_.push_back(std::move(op));
+  return id;
+}
+
+OpId Cdfg::add_input(std::string_view name, int width) {
+  return add_op(OpKind::Input, {}, name, width);
+}
+
+OpId Cdfg::add_const(std::string_view name, int width) {
+  return add_op(OpKind::Const, {}, name, width);
+}
+
+OpId Cdfg::add_binary(OpKind kind, OpId a, OpId b, std::string_view name,
+                      int width) {
+  OpId p[2] = {a, b};
+  return add_op(kind, p, name, width);
+}
+
+OpId Cdfg::add_mux(OpId ctrl, OpId d0, OpId d1, std::string_view name,
+                   int width) {
+  OpId p[3] = {ctrl, d0, d1};
+  return add_op(OpKind::Mux, p, name, width);
+}
+
+OpId Cdfg::mark_output(OpId v, std::string_view name) {
+  OpId p[1] = {v};
+  OpId id = add_op(OpKind::Output, p, name, ops_[v].width);
+  outputs_.push_back(id);
+  return id;
+}
+
+std::vector<std::vector<OpId>> Cdfg::succs() const {
+  std::vector<std::vector<OpId>> s(ops_.size());
+  for (OpId id = 0; id < ops_.size(); ++id)
+    for (OpId p : ops_[id].preds) s[p].push_back(id);
+  return s;
+}
+
+std::vector<OpId> Cdfg::topo_order() const {
+  std::vector<OpId> order(ops_.size());
+  std::iota(order.begin(), order.end(), OpId{0});
+  return order;
+}
+
+std::vector<OpId> Cdfg::transitive_fanin(OpId root) const {
+  std::vector<bool> seen(ops_.size(), false);
+  std::vector<OpId> stack{root}, out;
+  while (!stack.empty()) {
+    OpId id = stack.back();
+    stack.pop_back();
+    for (OpId p : ops_[id].preds) {
+      if (!seen[p]) {
+        seen[p] = true;
+        out.push_back(p);
+        stack.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+int OpDelays::of(OpKind k) const {
+  switch (k) {
+    case OpKind::Add: return add;
+    case OpKind::Sub: return sub;
+    case OpKind::Mul: return mul;
+    case OpKind::Shift: return shift;
+    case OpKind::Cmp: return cmp;
+    case OpKind::Mux: return mux;
+    default: return 0;
+  }
+}
+
+int Schedule::finish(const Cdfg& g, const OpDelays& d, OpId id) const {
+  return start[id] + d.of(g.op(id).kind);
+}
+
+Schedule asap(const Cdfg& g, const OpDelays& d) {
+  Schedule s;
+  s.start.assign(g.size(), 0);
+  for (OpId id = 0; id < g.size(); ++id) {
+    int t = 0;
+    for (OpId p : g.op(id).preds)
+      t = std::max(t, s.start[p] + d.of(g.op(p).kind));
+    s.start[id] = t;
+    s.length = std::max(s.length, t + d.of(g.op(id).kind));
+  }
+  return s;
+}
+
+Schedule alap(const Cdfg& g, int latency, const OpDelays& d) {
+  Schedule s;
+  s.start.assign(g.size(), 0);
+  std::vector<int> latest(g.size(), latency);
+  auto su = g.succs();
+  for (OpId rid = 0; rid < g.size(); ++rid) {
+    OpId id = static_cast<OpId>(g.size() - 1 - rid);
+    int t = latency;
+    for (OpId c : su[id]) t = std::min(t, s.start[c]);
+    s.start[id] = t - d.of(g.op(id).kind);
+    if (s.start[id] < 0)
+      throw std::invalid_argument("alap: latency below critical path");
+  }
+  s.length = latency;
+  return s;
+}
+
+Schedule list_schedule(const Cdfg& g, const std::map<OpKind, int>& limits,
+                       const OpDelays& d, std::span<const double> priority) {
+  // Default priority: negated ALAP slack (critical ops first).
+  std::vector<double> prio(g.size(), 0.0);
+  if (!priority.empty()) {
+    for (OpId i = 0; i < g.size() && i < priority.size(); ++i)
+      prio[i] = priority[i];
+  } else {
+    Schedule a = asap(g, d);
+    Schedule l = alap(g, a.length, d);
+    for (OpId i = 0; i < g.size(); ++i)
+      prio[i] = -static_cast<double>(l.start[i] - a.start[i]);
+  }
+
+  Schedule s;
+  s.start.assign(g.size(), -1);
+  std::vector<int> pending(g.size(), 0);
+  for (OpId id = 0; id < g.size(); ++id)
+    pending[id] = static_cast<int>(g.op(id).preds.size());
+
+  auto su = g.succs();
+  std::vector<OpId> ready;
+  for (OpId id = 0; id < g.size(); ++id)
+    if (pending[id] == 0) ready.push_back(id);
+
+  std::size_t scheduled = 0;
+  std::vector<std::pair<int, OpId>> running;  // (finish step, op)
+  int step = 0;
+  const int guard = static_cast<int>(g.size()) * 8 + 64;
+  while (scheduled < g.size() && step < guard) {
+    // Retire ops finishing at `step` and release their successors.
+    for (auto it = running.begin(); it != running.end();) {
+      if (it->first <= step) {
+        for (OpId c : su[it->second])
+          if (--pending[c] == 0) ready.push_back(c);
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Count resources in use this step.
+    std::map<OpKind, int> busy;
+    for (auto& [fin, id] : running) ++busy[g.op(id).kind];
+    // Greedy issue by priority. Zero-delay ops (inputs/outputs) release
+    // their successors within the same step, so iterate to a fixed point.
+    std::vector<OpId> deferred;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      std::sort(ready.begin(), ready.end(), [&](OpId a, OpId b) {
+        if (prio[a] != prio[b]) return prio[a] > prio[b];
+        return a < b;
+      });
+      std::vector<OpId> next_round;
+      for (OpId id : ready) {
+        OpKind k = g.op(id).kind;
+        auto lim = limits.find(k);
+        bool fits = lim == limits.end() || busy[k] < lim->second;
+        if (!fits) {
+          deferred.push_back(id);
+          continue;
+        }
+        s.start[id] = step;
+        ++scheduled;
+        progress = true;
+        int dur = d.of(k);
+        if (dur == 0) {
+          for (OpId c : su[id])
+            if (--pending[c] == 0) next_round.push_back(c);
+        } else {
+          ++busy[k];
+          running.emplace_back(step + dur, id);
+        }
+        s.length = std::max(s.length, step + dur);
+      }
+      ready = std::move(next_round);
+    }
+    for (OpId id : ready) deferred.push_back(id);
+    ready = std::move(deferred);
+    ++step;
+  }
+  if (scheduled < g.size())
+    throw std::logic_error("list_schedule: failed to converge");
+  return s;
+}
+
+Lifetimes lifetimes(const Cdfg& g, const Schedule& s, const OpDelays& d) {
+  Lifetimes lt;
+  lt.def.assign(g.size(), 0);
+  lt.last_use.assign(g.size(), 0);
+  for (OpId id = 0; id < g.size(); ++id) {
+    lt.def[id] = s.start[id] + d.of(g.op(id).kind);
+    lt.last_use[id] = lt.def[id];
+  }
+  for (OpId id = 0; id < g.size(); ++id)
+    for (OpId p : g.op(id).preds)
+      lt.last_use[p] = std::max(lt.last_use[p], s.start[id]);
+  return lt;
+}
+
+}  // namespace hlp::cdfg

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hlp::cdfg {
+
+using OpId = std::uint32_t;
+inline constexpr OpId kNullOp = static_cast<OpId>(-1);
+
+/// Operation kinds in the control-data-flow graph (Section III-C..III-F).
+enum class OpKind : std::uint8_t {
+  Input,   ///< primary input / constant source (zero delay, no resource)
+  Const,   ///< constant source
+  Add,
+  Sub,
+  Mul,
+  Shift,   ///< constant shift (cheap)
+  Cmp,     ///< comparison
+  Mux,     ///< select: preds = {ctrl, d0, d1}
+  Output,  ///< sink marking a primary output (zero delay, no resource)
+};
+
+struct Op {
+  OpKind kind = OpKind::Input;
+  std::vector<OpId> preds;
+  std::string name;
+  int width = 8;  ///< operand bit width (drives energy models)
+};
+
+/// Dataflow graph with explicit select (Mux) nodes; acyclic.
+class Cdfg {
+ public:
+  OpId add_op(OpKind kind, std::span<const OpId> preds,
+              std::string_view name = {}, int width = 8);
+  OpId add_input(std::string_view name = {}, int width = 8);
+  OpId add_const(std::string_view name = {}, int width = 8);
+  OpId add_binary(OpKind kind, OpId a, OpId b, std::string_view name = {},
+                  int width = 8);
+  OpId add_mux(OpId ctrl, OpId d0, OpId d1, std::string_view name = {},
+               int width = 8);
+  OpId mark_output(OpId v, std::string_view name = {});
+
+  std::size_t size() const { return ops_.size(); }
+  const Op& op(OpId id) const { return ops_[id]; }
+  std::span<const OpId> outputs() const { return outputs_; }
+
+  /// Successor adjacency (computed on demand).
+  std::vector<std::vector<OpId>> succs() const;
+  /// Topological order (ops are created in topological order by
+  /// construction, so this is just 0..n-1; kept for clarity).
+  std::vector<OpId> topo_order() const;
+
+  /// Transitive fanin cone of `root` (excluding root itself).
+  std::vector<OpId> transitive_fanin(OpId root) const;
+
+  /// True if the op consumes a functional-unit resource.
+  static bool is_compute(OpKind k) {
+    return k == OpKind::Add || k == OpKind::Sub || k == OpKind::Mul ||
+           k == OpKind::Shift || k == OpKind::Cmp;
+  }
+
+ private:
+  std::vector<Op> ops_;
+  std::vector<OpId> outputs_;
+};
+
+/// Per-kind execution delays in control steps.
+struct OpDelays {
+  int of(OpKind k) const;
+  int add = 1, sub = 1, mul = 2, shift = 1, cmp = 1, mux = 1;
+};
+
+/// A schedule assigns each op a start control step.
+struct Schedule {
+  std::vector<int> start;  ///< per op; inputs/consts start at 0
+  int length = 0;          ///< total control steps (makespan)
+
+  int finish(const Cdfg& g, const OpDelays& d, OpId id) const;
+};
+
+/// Unconstrained as-soon-as-possible schedule.
+Schedule asap(const Cdfg& g, const OpDelays& d = {});
+/// As-late-as-possible schedule for a given latency bound (>= ASAP length).
+Schedule alap(const Cdfg& g, int latency, const OpDelays& d = {});
+
+/// Resource-constrained list scheduling. `limits` caps the number of ops of
+/// each kind that may execute concurrently (kinds absent = unlimited).
+/// `priority` orders ready ops (higher first); by default, ALAP slack.
+Schedule list_schedule(const Cdfg& g, const std::map<OpKind, int>& limits,
+                       const OpDelays& d = {},
+                       std::span<const double> priority = {});
+
+/// Lifetime [def_step, last_use_step] per op value under a schedule.
+struct Lifetimes {
+  std::vector<int> def;       ///< finish step of producing op
+  std::vector<int> last_use;  ///< latest start step among consumers
+};
+Lifetimes lifetimes(const Cdfg& g, const Schedule& s, const OpDelays& d = {});
+
+}  // namespace hlp::cdfg

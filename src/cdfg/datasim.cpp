@@ -1,0 +1,87 @@
+#include "cdfg/datasim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace hlp::cdfg {
+
+namespace {
+std::int64_t wrap(std::int64_t v, int width) {
+  if (width >= 63) return v;
+  std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(v) & mask);
+}
+}  // namespace
+
+DataTrace simulate_cdfg(
+    const Cdfg& g, const std::vector<std::vector<std::int64_t>>& input_values,
+    const std::map<OpId, std::int64_t>& const_values) {
+  // Collect input ops in creation order.
+  std::vector<OpId> inputs;
+  for (OpId id = 0; id < g.size(); ++id)
+    if (g.op(id).kind == OpKind::Input) inputs.push_back(id);
+  if (inputs.size() != input_values.size())
+    throw std::invalid_argument("simulate_cdfg: input stream count mismatch");
+  std::size_t iters = input_values.empty() ? 0 : input_values[0].size();
+
+  DataTrace tr;
+  tr.value.assign(iters, std::vector<std::int64_t>(g.size(), 0));
+  for (std::size_t t = 0; t < iters; ++t) {
+    auto& v = tr.value[t];
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      v[inputs[i]] = wrap(input_values[i][t], g.op(inputs[i]).width);
+    for (OpId id = 0; id < g.size(); ++id) {
+      const Op& op = g.op(id);
+      switch (op.kind) {
+        case OpKind::Input: break;
+        case OpKind::Const: {
+          auto it = const_values.find(id);
+          v[id] = it == const_values.end() ? 3 : it->second;
+          v[id] = wrap(v[id], op.width);
+          break;
+        }
+        case OpKind::Add:
+          v[id] = wrap(v[op.preds[0]] + v[op.preds[1]], op.width);
+          break;
+        case OpKind::Sub:
+          v[id] = wrap(v[op.preds[0]] - v[op.preds[1]], op.width);
+          break;
+        case OpKind::Mul:
+          v[id] = wrap(v[op.preds[0]] * v[op.preds[1]], op.width);
+          break;
+        case OpKind::Shift:
+          v[id] = wrap(v[op.preds[0]] << 1, op.width);
+          break;
+        case OpKind::Cmp:
+          v[id] = v[op.preds[0]] < v[op.preds[1]] ? 1 : 0;
+          break;
+        case OpKind::Mux:
+          v[id] = v[op.preds[0]] ? v[op.preds[2]] : v[op.preds[1]];
+          break;
+        case OpKind::Output:
+          v[id] = v[op.preds[0]];
+          break;
+      }
+    }
+  }
+  return tr;
+}
+
+double value_stream_switching(const Cdfg& g, const DataTrace& tr, OpId a,
+                              OpId b) {
+  if (tr.value.empty()) return 0.0;
+  int w = std::min(g.op(a).width, g.op(b).width);
+  std::uint64_t mask =
+      w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+  double total = 0.0;
+  for (const auto& v : tr.value) {
+    std::uint64_t x = static_cast<std::uint64_t>(v[a]) & mask;
+    std::uint64_t y = static_cast<std::uint64_t>(v[b]) & mask;
+    total += static_cast<double>(std::popcount(x ^ y));
+  }
+  return total / (static_cast<double>(tr.value.size()) *
+                  static_cast<double>(w));
+}
+
+}  // namespace hlp::cdfg

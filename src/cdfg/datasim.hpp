@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+
+namespace hlp::cdfg {
+
+/// Word-level data simulation of a CDFG: evaluates every op over a number of
+/// iterations given per-input value streams. Used by the low-power
+/// allocation algorithms (Section III-E), which need the actual bit
+/// switching between values that share a resource.
+///
+/// `input_values[i]` is the value stream for input op `inputs[i]` (in the
+/// order input ops were created); `const_values` maps Const ops to fixed
+/// values. Values wrap at each op's width.
+struct DataTrace {
+  /// value[t][op] = value of op at iteration t.
+  std::vector<std::vector<std::int64_t>> value;
+  std::size_t iterations() const { return value.size(); }
+};
+
+DataTrace simulate_cdfg(const Cdfg& g,
+                        const std::vector<std::vector<std::int64_t>>& input_values,
+                        const std::map<OpId, std::int64_t>& const_values = {});
+
+/// Mean normalized Hamming distance between the value streams of two ops
+/// (fraction of differing bits per iteration), over the narrower width.
+double value_stream_switching(const Cdfg& g, const DataTrace& tr, OpId a,
+                              OpId b);
+
+}  // namespace hlp::cdfg

@@ -1,0 +1,143 @@
+#include "cdfg/generators.hpp"
+
+#include <string>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace hlp::cdfg {
+
+Cdfg polynomial_direct(int order, int width) {
+  Cdfg g;
+  OpId x = g.add_input("x", width);
+  std::vector<OpId> coef;
+  for (int i = 0; i <= order; ++i)
+    coef.push_back(g.add_const("a" + std::to_string(i), width));
+  // Powers x^2..x^order.
+  std::vector<OpId> pow{kNullOp, x};
+  for (int i = 2; i <= order; ++i)
+    pow.push_back(g.add_binary(OpKind::Mul, pow.back(), x,
+                               "x^" + std::to_string(i), width));
+  // Terms and sum.
+  OpId acc = coef[0];
+  for (int i = 1; i <= order; ++i) {
+    OpId term = g.add_binary(OpKind::Mul, coef[static_cast<std::size_t>(i)],
+                             pow[static_cast<std::size_t>(i)],
+                             "t" + std::to_string(i), width);
+    acc = g.add_binary(OpKind::Add, acc, term, "s" + std::to_string(i), width);
+  }
+  g.mark_output(acc, "y");
+  return g;
+}
+
+Cdfg polynomial_horner(int order, int width) {
+  Cdfg g;
+  OpId x = g.add_input("x", width);
+  std::vector<OpId> coef;
+  for (int i = 0; i <= order; ++i)
+    coef.push_back(g.add_const("a" + std::to_string(i), width));
+  OpId acc = coef[static_cast<std::size_t>(order)];
+  for (int i = order - 1; i >= 0; --i) {
+    OpId m = g.add_binary(OpKind::Mul, acc, x, "m" + std::to_string(i), width);
+    acc = g.add_binary(OpKind::Add, m, coef[static_cast<std::size_t>(i)],
+                       "h" + std::to_string(i), width);
+  }
+  g.mark_output(acc, "y");
+  return g;
+}
+
+Cdfg fir_cdfg(int taps, int width) {
+  Cdfg g;
+  std::vector<OpId> xs, cs;
+  for (int i = 0; i < taps; ++i)
+    xs.push_back(g.add_input("x[n-" + std::to_string(i) + "]", width));
+  for (int i = 0; i < taps; ++i)
+    cs.push_back(g.add_const("c" + std::to_string(i), width));
+  OpId acc = kNullOp;
+  for (int i = 0; i < taps; ++i) {
+    OpId m = g.add_binary(OpKind::Mul, cs[static_cast<std::size_t>(i)],
+                          xs[static_cast<std::size_t>(i)],
+                          "p" + std::to_string(i), width);
+    acc = (acc == kNullOp)
+              ? m
+              : g.add_binary(OpKind::Add, acc, m, "a" + std::to_string(i),
+                             width);
+  }
+  g.mark_output(acc, "y");
+  return g;
+}
+
+Cdfg random_expr_tree(int n_leaves, double mul_frac, std::uint64_t seed,
+                      int width) {
+  stats::Rng rng(seed);
+  Cdfg g;
+  std::vector<OpId> frontier;
+  for (int i = 0; i < n_leaves; ++i)
+    frontier.push_back(g.add_input("x" + std::to_string(i), width));
+  while (frontier.size() > 1) {
+    // Combine two random frontier nodes.
+    auto pick = [&]() {
+      auto i = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(frontier.size()) - 1));
+      OpId v = frontier[i];
+      frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(i));
+      return v;
+    };
+    OpId a = pick(), b = pick();
+    OpKind k = rng.uniform_real() < mul_frac ? OpKind::Mul : OpKind::Add;
+    frontier.push_back(g.add_binary(k, a, b, {}, width));
+  }
+  g.mark_output(frontier[0], "y");
+  return g;
+}
+
+Cdfg operand_sharing_cdfg(int n_vars, int n_coefs, int width) {
+  Cdfg g;
+  std::vector<OpId> xs, cs;
+  for (int i = 0; i < n_vars; ++i)
+    xs.push_back(g.add_input("x" + std::to_string(i), width));
+  for (int k = 0; k < n_vars * n_coefs; ++k)
+    cs.push_back(g.add_const("c" + std::to_string(k), width));
+  // Interleaved creation: products of different inputs alternate in id
+  // order (the worst case for a slack-ordered single-multiplier schedule).
+  for (int k = 0; k < n_coefs; ++k)
+    for (int i = 0; i < n_vars; ++i) {
+      OpId m = g.add_binary(OpKind::Mul, xs[static_cast<std::size_t>(i)],
+                            cs[static_cast<std::size_t>(k * n_vars + i)],
+                            "p" + std::to_string(k) + "_" + std::to_string(i),
+                            width);
+      g.mark_output(m);
+    }
+  return g;
+}
+
+Cdfg branching_cdfg(int n_branches, int cone_ops, std::uint64_t seed,
+                    int width) {
+  stats::Rng rng(seed);
+  Cdfg g;
+  OpId carry = g.add_input("x0", width);
+  for (int b = 0; b < n_branches; ++b) {
+    OpId in = g.add_input("x" + std::to_string(b + 1), width);
+    OpId cond_in = g.add_input("c" + std::to_string(b), 1);
+    OpId cond = g.add_binary(OpKind::Cmp, cond_in, carry,
+                             "cmp" + std::to_string(b), 1);
+    auto build_cone = [&](OpId seed_op, const char* tag) {
+      OpId acc = seed_op;
+      for (int i = 0; i < cone_ops; ++i) {
+        OpKind k = rng.bit(0.5) ? OpKind::Mul : OpKind::Add;
+        acc = g.add_binary(k, acc, in,
+                           std::string(tag) + std::to_string(b) + "_" +
+                               std::to_string(i),
+                           width);
+      }
+      return acc;
+    };
+    OpId then_v = build_cone(carry, "t");
+    OpId else_v = build_cone(in, "e");
+    carry = g.add_mux(cond, else_v, then_v, "m" + std::to_string(b), width);
+  }
+  g.mark_output(carry, "y");
+  return g;
+}
+
+}  // namespace hlp::cdfg

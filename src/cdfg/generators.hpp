@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cdfg/cdfg.hpp"
+
+namespace hlp::cdfg {
+
+/// Direct (power-form) evaluation of an order-n polynomial
+/// a_n x^n + ... + a_1 x + a_0 — the left-hand structures of Figs. 4 and 5.
+Cdfg polynomial_direct(int order, int width = 8);
+
+/// Horner-form evaluation (((a_n x + a_{n-1}) x + ...) x + a_0) — the
+/// right-hand structures of Figs. 4 and 5.
+Cdfg polynomial_horner(int order, int width = 8);
+
+/// N-tap FIR filter y[n] = sum_i c_i * x[n-i]; delayed samples modeled as
+/// inputs (the register file is handled by the datapath builder in core).
+Cdfg fir_cdfg(int taps, int width = 8);
+
+/// Random binary expression tree of `n_leaves` leaves over +/* (mul_frac of
+/// internal nodes are multiplies). Used by the multiple-voltage scheduling
+/// experiments, which operate on tree CDFGs.
+Cdfg random_expr_tree(int n_leaves, double mul_frac, std::uint64_t seed,
+                      int width = 8);
+
+/// Control-flow-intensive CDFG: `n_branches` two-sided conditional chains
+/// whose sides are add/mul cones merged by muxes — the structure the
+/// Monteiro power-management scheduling (Section III-D) exploits.
+Cdfg branching_cdfg(int n_branches, int cone_ops, std::uint64_t seed,
+                    int width = 8);
+
+/// Operand-sharing CDFG: `n_vars` inputs, each multiplied by `n_coefs`
+/// distinct constants (all products independent). Created in interleaved
+/// order, so an id-ordered schedule alternates the shared operand on a
+/// single multiplier while an operand-affinity schedule (Musoll–Cortadella,
+/// Section III-D) can group same-input products together.
+Cdfg operand_sharing_cdfg(int n_vars, int n_coefs, int width = 8);
+
+}  // namespace hlp::cdfg

@@ -1,0 +1,238 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace hlp::core {
+
+using cdfg::Cdfg;
+using cdfg::OpDelays;
+using cdfg::OpId;
+using cdfg::OpKind;
+using cdfg::Schedule;
+
+namespace {
+
+struct Interval {
+  int lo, hi;  // [lo, hi)
+  bool overlaps(const Interval& o) const { return lo < o.hi && o.lo < hi; }
+};
+
+/// Greedy compatibility-graph merging: starts with one cluster per item and
+/// repeatedly merges the highest-weight compatible cluster pair, exactly the
+/// iterative scheme of Raghunathan–Jha. `weight(a, b)` scores item pairs;
+/// cluster-pair weight is the max over cross pairs.
+std::vector<int> merge_clusters(
+    const std::vector<Interval>& intervals,
+    const std::vector<std::vector<double>>& weight) {
+  const std::size_t n = intervals.size();
+  std::vector<std::vector<std::size_t>> clusters;
+  for (std::size_t i = 0; i < n; ++i) clusters.push_back({i});
+
+  auto compatible = [&](const std::vector<std::size_t>& a,
+                        const std::vector<std::size_t>& b) {
+    for (std::size_t x : a)
+      for (std::size_t y : b)
+        if (intervals[x].overlaps(intervals[y])) return false;
+    return true;
+  };
+  auto pair_weight = [&](const std::vector<std::size_t>& a,
+                         const std::vector<std::size_t>& b) {
+    double best = -1.0;
+    for (std::size_t x : a)
+      for (std::size_t y : b) best = std::max(best, weight[x][y]);
+    return best;
+  };
+
+  for (;;) {
+    double best_w = -1.0;
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < clusters.size(); ++i)
+      for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+        if (!compatible(clusters[i], clusters[j])) continue;
+        double w = pair_weight(clusters[i], clusters[j]);
+        if (w > best_w) {
+          best_w = w;
+          bi = i;
+          bj = j;
+        }
+      }
+    if (best_w < 0.0) break;
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
+                        clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+
+  std::vector<int> assign(n, -1);
+  for (std::size_t c = 0; c < clusters.size(); ++c)
+    for (std::size_t item : clusters[c]) assign[item] = static_cast<int>(c);
+  return assign;
+}
+
+}  // namespace
+
+BindingResult bind_registers(const Cdfg& g, const Schedule& s,
+                             const cdfg::DataTrace& trace, bool power_aware,
+                             const OpDelays& d) {
+  auto lt = cdfg::lifetimes(g, s, d);
+  // Variables needing a register: values alive past their definition step.
+  std::vector<OpId> vars;
+  for (OpId id = 0; id < g.size(); ++id) {
+    if (g.op(id).kind == OpKind::Output) continue;
+    if (lt.last_use[id] > lt.def[id]) vars.push_back(id);
+  }
+  std::vector<Interval> iv;
+  iv.reserve(vars.size());
+  for (OpId v : vars) iv.push_back({lt.def[v], lt.last_use[v]});
+
+  std::vector<std::vector<double>> w(
+      vars.size(), std::vector<double>(vars.size(), 0.0));
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    for (std::size_t j = 0; j < vars.size(); ++j) {
+      if (i == j) continue;
+      if (power_aware) {
+        double ws = cdfg::value_stream_switching(g, trace, vars[i], vars[j]);
+        w[i][j] = 1.0 * (1.0 - ws);  // W = Wc * (1 - Ws), Wc = 1
+      } else {
+        // Activity-blind: prefer tight lifetime packing (left-edge flavor):
+        // smaller gap between intervals scores higher.
+        int gap = std::max(iv[j].lo - iv[i].hi, iv[i].lo - iv[j].hi);
+        w[i][j] = 1.0 / (1.0 + std::max(0, gap));
+      }
+    }
+
+  auto assign_local = merge_clusters(iv, w);
+  BindingResult res;
+  res.assignment.assign(g.size(), -1);
+  int max_r = -1;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    res.assignment[vars[i]] = assign_local[i];
+    max_r = std::max(max_r, assign_local[i]);
+  }
+  res.resources = max_r + 1;
+  res.switching = register_switching(g, s, trace, res.assignment, d);
+  return res;
+}
+
+double register_switching(const Cdfg& g, const Schedule& s,
+                          const cdfg::DataTrace& trace,
+                          std::span<const int> assignment,
+                          const OpDelays& d) {
+  if (trace.value.empty()) return 0.0;
+  auto lt = cdfg::lifetimes(g, s, d);
+  // Per register: variables in definition order.
+  std::map<int, std::vector<OpId>> regs;
+  for (OpId id = 0; id < g.size(); ++id)
+    if (id < assignment.size() && assignment[id] >= 0)
+      regs[assignment[id]].push_back(id);
+  double total = 0.0;
+  for (auto& [r, vars] : regs) {
+    std::sort(vars.begin(), vars.end(),
+              [&](OpId a, OpId b) { return lt.def[a] < lt.def[b]; });
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      OpId cur = vars[i];
+      OpId nxt = vars[(i + 1) % vars.size()];
+      bool wraps = (i + 1 == vars.size());
+      int w = std::min(g.op(cur).width, g.op(nxt).width);
+      std::uint64_t mask =
+          w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+      for (std::size_t t = 0; t + (wraps ? 1 : 0) < trace.value.size(); ++t) {
+        std::size_t tn = wraps ? t + 1 : t;
+        auto a = static_cast<std::uint64_t>(trace.value[t][cur]) & mask;
+        auto b = static_cast<std::uint64_t>(trace.value[tn][nxt]) & mask;
+        total += static_cast<double>(std::popcount(a ^ b));
+      }
+    }
+  }
+  return total / static_cast<double>(trace.value.size());
+}
+
+BindingResult bind_functional_units(const Cdfg& g, const Schedule& s,
+                                    const cdfg::DataTrace& trace,
+                                    bool power_aware, const OpDelays& d) {
+  BindingResult res;
+  res.assignment.assign(g.size(), -1);
+  int next_base = 0;
+  double total_sw = 0.0;
+
+  // Bind each op kind separately (units are not shared across kinds).
+  for (OpKind kind : {OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Shift,
+                      OpKind::Cmp}) {
+    std::vector<OpId> ops;
+    for (OpId id = 0; id < g.size(); ++id)
+      if (g.op(id).kind == kind) ops.push_back(id);
+    if (ops.empty()) continue;
+    std::vector<Interval> iv;
+    for (OpId o : ops) iv.push_back({s.start[o], s.start[o] + d.of(kind)});
+
+    std::vector<std::vector<double>> w(
+        ops.size(), std::vector<double>(ops.size(), 0.0));
+    for (std::size_t i = 0; i < ops.size(); ++i)
+      for (std::size_t j = 0; j < ops.size(); ++j) {
+        if (i == j) continue;
+        if (power_aware) {
+          // Operand switching between the two ops, port by port.
+          double ws = 0.0;
+          const auto& pa = g.op(ops[i]).preds;
+          const auto& pb = g.op(ops[j]).preds;
+          int ports = static_cast<int>(std::min(pa.size(), pb.size()));
+          for (int p = 0; p < ports; ++p)
+            ws += cdfg::value_stream_switching(
+                g, trace, pa[static_cast<std::size_t>(p)],
+                pb[static_cast<std::size_t>(p)]);
+          ws /= std::max(1, ports);
+          w[i][j] = 1.0 - ws;
+        } else {
+          int gap = std::max(iv[j].lo - iv[i].hi, iv[i].lo - iv[j].hi);
+          w[i][j] = 1.0 / (1.0 + std::max(0, gap));
+        }
+      }
+    auto assign_local = merge_clusters(iv, w);
+    int max_local = -1;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      res.assignment[ops[i]] = next_base + assign_local[i];
+      max_local = std::max(max_local, assign_local[i]);
+    }
+    // Switching on each unit of this kind.
+    std::map<int, std::vector<OpId>> units;
+    for (std::size_t i = 0; i < ops.size(); ++i)
+      units[assign_local[i]].push_back(ops[i]);
+    for (auto& [u, uops] : units) {
+      std::sort(uops.begin(), uops.end(),
+                [&](OpId a, OpId b) { return s.start[a] < s.start[b]; });
+      for (std::size_t i = 0; i < uops.size(); ++i) {
+        OpId cur = uops[i];
+        OpId nxt = uops[(i + 1) % uops.size()];
+        bool wraps = (i + 1 == uops.size());
+        const auto& pc = g.op(cur).preds;
+        const auto& pn = g.op(nxt).preds;
+        int ports = static_cast<int>(std::min(pc.size(), pn.size()));
+        int w_bits = std::min(g.op(cur).width, g.op(nxt).width);
+        std::uint64_t mask = w_bits >= 64
+                                 ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << w_bits) - 1);
+        for (std::size_t t = 0;
+             t + (wraps ? 1 : 0) < trace.value.size(); ++t) {
+          std::size_t tn = wraps ? t + 1 : t;
+          for (int p = 0; p < ports; ++p) {
+            auto a = static_cast<std::uint64_t>(
+                         trace.value[t][pc[static_cast<std::size_t>(p)]]) &
+                     mask;
+            auto b = static_cast<std::uint64_t>(
+                         trace.value[tn][pn[static_cast<std::size_t>(p)]]) &
+                     mask;
+            total_sw += static_cast<double>(std::popcount(a ^ b));
+          }
+        }
+      }
+    }
+    next_base += max_local + 1;
+  }
+  res.resources = next_base;
+  res.switching = trace.value.empty()
+                      ? 0.0
+                      : total_sw / static_cast<double>(trace.value.size());
+  return res;
+}
+
+}  // namespace hlp::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+#include "cdfg/datasim.hpp"
+
+namespace hlp::core {
+
+/// Section III-E: low-power resource allocation and binding on the
+/// compatibility graph, following Raghunathan–Jha [65] and the register/
+/// module binding work of Chang–Pedram [64], [19].
+
+/// The result of binding CDFG values (or ops) onto shared resources.
+struct BindingResult {
+  /// resource index per op (-1 if the op owns no resource of this class).
+  std::vector<int> assignment;
+  int resources = 0;
+  /// Mean switched bits per cycle at the inputs of the shared resources.
+  double switching = 0.0;
+};
+
+/// Register allocation: every op value whose lifetime crosses a step
+/// boundary needs a register; values with disjoint lifetimes are
+/// compatible. `power_aware` selects merges by W = Wc * (1 - Ws) where Ws
+/// is the observed value-stream switching between the two variables;
+/// otherwise merges are chosen by lifetime fit only (classic left-edge
+/// objective: fewest registers, activity-blind).
+BindingResult bind_registers(const cdfg::Cdfg& g, const cdfg::Schedule& s,
+                             const cdfg::DataTrace& trace, bool power_aware,
+                             const cdfg::OpDelays& d = {});
+
+/// Functional-unit binding: compute ops of the same kind whose execution
+/// intervals are disjoint are compatible. Power-aware mode minimizes the
+/// operand switching between consecutive ops sharing a unit.
+BindingResult bind_functional_units(const cdfg::Cdfg& g,
+                                    const cdfg::Schedule& s,
+                                    const cdfg::DataTrace& trace,
+                                    bool power_aware,
+                                    const cdfg::OpDelays& d = {});
+
+/// Total register input switching (bits/iteration) for a register binding:
+/// each register sees the sequence of values written to it in step order.
+double register_switching(const cdfg::Cdfg& g, const cdfg::Schedule& s,
+                          const cdfg::DataTrace& trace,
+                          std::span<const int> assignment,
+                          const cdfg::OpDelays& d = {});
+
+}  // namespace hlp::core

@@ -1,0 +1,471 @@
+#include "core/behavioral_transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netlist/words.hpp"
+#include "sim/glitch_sim.hpp"
+#include "sim/simulator.hpp"
+
+namespace hlp::core {
+
+using cdfg::Cdfg;
+using cdfg::OpKind;
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::Word;
+
+CdfgMetrics cdfg_metrics(const cdfg::Cdfg& g) {
+  CdfgMetrics m;
+  std::vector<int> level(g.size(), 0);
+  for (cdfg::OpId id = 0; id < g.size(); ++id) {
+    const auto& op = g.op(id);
+    switch (op.kind) {
+      case OpKind::Add:
+      case OpKind::Sub: ++m.adds; break;
+      case OpKind::Mul: ++m.muls; break;
+      case OpKind::Shift: ++m.shifts; break;
+      default: break;
+    }
+    if (Cdfg::is_compute(op.kind) || op.kind == OpKind::Mux) {
+      int lv = 0;
+      for (auto p : op.preds) lv = std::max(lv, level[p]);
+      level[id] = lv + 1;
+      m.critical_path = std::max(m.critical_path, level[id]);
+    } else {
+      for (auto p : op.preds) level[id] = std::max(level[id], level[p]);
+    }
+  }
+  m.total_compute_ops = m.adds + m.muls + m.shifts;
+  return m;
+}
+
+cdfg::Cdfg polynomial_completed_square(int width) {
+  Cdfg g;
+  auto x = g.add_input("x", width);
+  auto b1 = g.add_const("b1", width);
+  auto b2 = g.add_const("b2", width);
+  auto t1 = g.add_binary(OpKind::Add, x, b1, "t1", width);
+  auto t2 = g.add_binary(OpKind::Mul, t1, t1, "t2", width);
+  auto y = g.add_binary(OpKind::Add, t2, b2, "y", width);
+  g.mark_output(y, "y");
+  return g;
+}
+
+cdfg::Cdfg polynomial_preconditioned_cubic(int width) {
+  Cdfg g;
+  auto x = g.add_input("x", width);
+  auto d0 = g.add_const("d0", width);
+  auto d1 = g.add_const("d1", width);
+  auto d2 = g.add_const("d2", width);
+  auto t1 = g.add_binary(OpKind::Add, x, d0, "t1", width);
+  auto t2 = g.add_binary(OpKind::Mul, t1, x, "t2", width);
+  auto t3 = g.add_binary(OpKind::Add, t2, d1, "t3", width);
+  auto t4 = g.add_binary(OpKind::Mul, t3, t1, "t4", width);
+  auto y = g.add_binary(OpKind::Add, t4, d2, "y", width);
+  g.mark_output(y, "y");
+  return g;
+}
+
+std::vector<std::pair<int, int>> csd_digits(int c) {
+  std::vector<std::pair<int, int>> digits;
+  int shift = 0;
+  while (c != 0) {
+    if (c & 1) {
+      int d = 2 - (c & 3);  // +1 if c mod 4 == 1, else -1
+      digits.emplace_back(shift, d);
+      c -= d;
+    }
+    c >>= 1;
+    ++shift;
+  }
+  return digits;
+}
+
+namespace {
+
+/// Tracks which component label newly created gates belong to.
+class Labeler {
+ public:
+  Labeler(netlist::Netlist& nl, std::vector<std::string>& labels)
+      : nl_(nl), labels_(labels) {}
+  /// Label every gate created since the previous call.
+  void commit(const std::string& label) {
+    labels_.resize(nl_.gate_count(), label);
+  }
+
+ private:
+  netlist::Netlist& nl_;
+  std::vector<std::string>& labels_;
+};
+
+int ceil_log2(int v) {
+  int b = 0;
+  while ((1 << b) < v) ++b;
+  return std::max(1, b);
+}
+
+}  // namespace
+
+FirDatapath build_fir_datapath(std::span<const int> coefficients, int width,
+                               bool constant_mult_as_shift_add) {
+  FirDatapath fir;
+  fir.coefficients.assign(coefficients.begin(), coefficients.end());
+  fir.shift_add = constant_mult_as_shift_add;
+  netlist::Netlist& nl = fir.netlist;
+  Labeler lab(nl, fir.labels);
+  const int taps = static_cast<int>(coefficients.size());
+  const int cw = 8;  // coefficient bit width
+  const int pw = width + cw;  // product width
+
+  // Input sample.
+  fir.input = netlist::make_input_word(nl, width, "x");
+  lab.commit("Interconnect");  // input routing
+
+  // Tap delay line (Registers/clock).
+  std::vector<Word> tap;
+  tap.push_back(fir.input);
+  for (int t = 1; t < taps; ++t)
+    tap.push_back(netlist::register_word(nl, tap.back(),
+                                         "z" + std::to_string(t)));
+  lab.commit("Registers/clock");
+
+  // Products per tap (Execution units).
+  int exec_ops = 0;
+  std::vector<Word> prod;
+  for (int t = 0; t < taps; ++t) {
+    int c = fir.coefficients[static_cast<std::size_t>(t)];
+    Word p;
+    if (!constant_mult_as_shift_add) {
+      Word cword = netlist::make_const_word(nl, cw,
+                                            static_cast<std::uint64_t>(
+                                                c < 0 ? -c : c));
+      p = netlist::array_multiplier(nl, tap[static_cast<std::size_t>(t)],
+                                    cword);
+      ++exec_ops;
+    } else {
+      // Hardwired CSD shift/add network. The accumulator only needs
+      // width + ceil(log2(c)) bits — a general multiplier must provision
+      // the full coefficient width, a hardwired one does not.
+      int cbits_used = ceil_log2((c < 0 ? -c : c) + 1);
+      int aw = width + cbits_used;
+      Word wide = tap[static_cast<std::size_t>(t)];
+      while (static_cast<int>(wide.size()) < aw)
+        wide.push_back(nl.add_const(false));
+      auto digits = csd_digits(c < 0 ? -c : c);
+      Word acc;
+      bool first = true;
+      for (auto [sh, sign] : digits) {
+        Word shifted = netlist::shift_left_const(nl, wide, sh);
+        if (first) {
+          if (sign > 0) {
+            acc = shifted;
+          } else {
+            Word z = netlist::make_const_word(nl, aw, 0);
+            acc = netlist::subtractor(nl, z, shifted);
+            ++exec_ops;
+          }
+          first = false;
+        } else if (sign > 0) {
+          acc = netlist::ripple_adder(nl, acc, shifted);
+          ++exec_ops;
+        } else {
+          acc = netlist::subtractor(nl, acc, shifted);
+          ++exec_ops;
+        }
+      }
+      if (acc.empty()) acc = netlist::make_const_word(nl, pw, 0);
+      p = acc;
+    }
+    while (static_cast<int>(p.size()) < pw) p.push_back(nl.add_const(false));
+    p.resize(static_cast<std::size_t>(pw));
+    prod.push_back(std::move(p));
+  }
+  lab.commit("Execution units");
+
+  // Interconnect: the product buses run across the datapath to the
+  // accumulator; model each as a buffer driving a long wire.
+  for (auto& p : prod) {
+    Word routed;
+    for (GateId bit : p) {
+      GateId buf = nl.add_unary(GateKind::Buf, bit);
+      nl.gate(buf).extra_cap += 1.5;  // bus wire load
+      routed.push_back(buf);
+    }
+    p = std::move(routed);
+  }
+  lab.commit("Interconnect");
+
+  // Accumulation tree (Execution units).
+  std::vector<Word> level = prod;
+  while (level.size() > 1) {
+    std::vector<Word> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(netlist::ripple_adder(nl, level[i], level[i + 1]));
+      ++exec_ops;
+    }
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  Word sum = level[0];
+  lab.commit("Execution units");
+
+  // Control logic: a free-running schedule counter sized by the number of
+  // datapath operations it sequences, plus a terminal-count decode. The
+  // shift/add datapath schedules more (cheaper) operations, so its
+  // controller is wider — the effect behind Table I's control-capacitance
+  // increase. The strobe is a status output only; the data path does not
+  // depend on it, keeping both filter versions cycle-equivalent.
+  int cbits = ceil_log2(std::max(2, exec_ops + 1));
+  Word cnt;
+  for (int b = 0; b < cbits; ++b)
+    cnt.push_back(nl.add_dff(netlist::kNullGate, false,
+                             "cnt[" + std::to_string(b) + "]"));
+  // cnt + 1 via half adders.
+  GateId carry = nl.add_const(true);
+  Word cnt_next;
+  for (int b = 0; b < cbits; ++b) {
+    auto q = cnt[static_cast<std::size_t>(b)];
+    cnt_next.push_back(nl.add_binary(GateKind::Xor, q, carry));
+    carry = nl.add_binary(GateKind::And, q, carry);
+  }
+  for (int b = 0; b < cbits; ++b)
+    nl.set_dff_input(cnt[static_cast<std::size_t>(b)],
+                     cnt_next[static_cast<std::size_t>(b)]);
+  // Terminal-count decode = AND of all counter bits -> "valid" strobe.
+  GateId valid = nl.add_gate(GateKind::And, cnt);
+  nl.mark_output(valid, "valid");
+  lab.commit("Control logic");
+
+  // Output register (Registers/clock).
+  Word yreg = netlist::register_word(nl, sum, "y");
+  netlist::mark_output_word(nl, yreg, "y");
+  lab.commit("Registers/clock");
+
+  fir.output = yreg;
+  return fir;
+}
+
+FirMacDatapath build_fir_mac_datapath(std::span<const int> coefficients,
+                                      int width) {
+  FirMacDatapath fir;
+  fir.coefficients.assign(coefficients.begin(), coefficients.end());
+  fir.taps = static_cast<int>(coefficients.size());
+  netlist::Netlist& nl = fir.netlist;
+  Labeler lab(nl, fir.labels);
+  const int T = fir.taps;
+  const int cw = 8;           // general coefficient path width
+  const int pw = width + cw;  // product/accumulator width
+  const int pbits = ceil_log2(std::max(2, T));
+
+  // Sample input.
+  fir.input = netlist::make_input_word(nl, width, "x");
+  lab.commit("Interconnect");
+
+  // Phase counter with wrap at T-1, plus wrap strobe (Control logic).
+  Word phase;
+  for (int b = 0; b < pbits; ++b)
+    phase.push_back(nl.add_dff(netlist::kNullGate, false,
+                               "ph[" + std::to_string(b) + "]"));
+  Word last = netlist::make_const_word(nl, pbits,
+                                       static_cast<std::uint64_t>(T - 1));
+  GateId wrap = netlist::equals(nl, phase, last);
+  // phase+1 via half adders, then wrap mux to zero.
+  GateId carry = nl.add_const(true);
+  Word inc;
+  for (int b = 0; b < pbits; ++b) {
+    inc.push_back(nl.add_binary(GateKind::Xor, phase[static_cast<std::size_t>(b)], carry));
+    carry = nl.add_binary(GateKind::And, phase[static_cast<std::size_t>(b)], carry);
+  }
+  Word zerop = netlist::make_const_word(nl, pbits, 0);
+  Word nextp = netlist::mux_word(nl, wrap, inc, zerop);
+  for (int b = 0; b < pbits; ++b)
+    nl.set_dff_input(phase[static_cast<std::size_t>(b)],
+                     nextp[static_cast<std::size_t>(b)]);
+  // First-cycle-of-pass strobe: phase == 0.
+  GateId phase_is0 = netlist::equals(nl, phase, zerop);
+  lab.commit("Control logic");
+
+  // Tap shift registers, advancing on wrap (Registers + load muxes).
+  std::vector<Word> tap(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    Word q;
+    for (int b = 0; b < width; ++b)
+      q.push_back(nl.add_dff(netlist::kNullGate, false,
+                             "z" + std::to_string(t) + "[" +
+                                 std::to_string(b) + "]"));
+    tap[static_cast<std::size_t>(t)] = q;
+  }
+  lab.commit("Registers/clock");
+  for (int t = 0; t < T; ++t) {
+    const Word& src = (t == 0) ? fir.input : tap[static_cast<std::size_t>(t - 1)];
+    Word d = netlist::mux_word(nl, wrap, tap[static_cast<std::size_t>(t)],
+                               src);
+    for (int b = 0; b < width; ++b)
+      nl.set_dff_input(tap[static_cast<std::size_t>(t)]
+                          [static_cast<std::size_t>(b)],
+                       d[static_cast<std::size_t>(b)]);
+  }
+  lab.commit("Interconnect");
+
+  // Tap and coefficient selection networks (Interconnect / Control).
+  auto mux_select = [&](const std::vector<Word>& words) {
+    std::vector<Word> level = words;
+    // Pad to the next power of two by repeating the last word.
+    while ((level.size() & (level.size() - 1)) != 0)
+      level.push_back(level.back());
+    int bit = 0;
+    while (level.size() > 1) {
+      std::vector<Word> next;
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+        next.push_back(netlist::mux_word(
+            nl, phase[static_cast<std::size_t>(bit)], level[i],
+            level[i + 1]));
+      level = std::move(next);
+      ++bit;
+    }
+    return level[0];
+  };
+  Word tapval = mux_select(tap);
+  lab.commit("Interconnect");
+  std::vector<Word> coefs;
+  for (int t = 0; t < T; ++t)
+    coefs.push_back(netlist::make_const_word(
+        nl, cw, static_cast<std::uint64_t>(
+                    fir.coefficients[static_cast<std::size_t>(t)] < 0
+                        ? -fir.coefficients[static_cast<std::size_t>(t)]
+                        : fir.coefficients[static_cast<std::size_t>(t)])));
+  Word coefval = mux_select(coefs);
+  lab.commit("Control logic");  // coefficient store + decode
+
+  // Shared MAC: general multiplier + accumulator adder (Execution units).
+  Word product = netlist::array_multiplier(nl, tapval, coefval);
+  product.resize(static_cast<std::size_t>(pw));
+  Word acc;
+  for (int b = 0; b < pw; ++b)
+    acc.push_back(nl.add_dff(netlist::kNullGate, false,
+                             "acc[" + std::to_string(b) + "]"));
+  Word sum = netlist::ripple_adder(nl, acc, product);
+  lab.commit("Execution units");
+  // First cycle of a pass restarts the accumulation from the product.
+  Word acc_next = netlist::mux_word(nl, phase_is0, sum, product);
+  lab.commit("Interconnect");
+  for (int b = 0; b < pw; ++b)
+    nl.set_dff_input(acc[static_cast<std::size_t>(b)],
+                     acc_next[static_cast<std::size_t>(b)]);
+  lab.commit("Registers/clock");
+
+  // Output register loads the finished sum at the wrap cycle.
+  Word yq;
+  for (int b = 0; b < pw; ++b)
+    yq.push_back(nl.add_dff(netlist::kNullGate, false,
+                            "y[" + std::to_string(b) + "]"));
+  lab.commit("Registers/clock");
+  Word yd = netlist::mux_word(nl, wrap, yq, acc_next);
+  for (int b = 0; b < pw; ++b)
+    nl.set_dff_input(yq[static_cast<std::size_t>(b)],
+                     yd[static_cast<std::size_t>(b)]);
+  lab.commit("Interconnect");
+  netlist::mark_output_word(nl, yq, "y");
+  lab.commit("Registers/clock");
+  fir.output = yq;
+  return fir;
+}
+
+std::map<std::string, double> fir_mac_capacitance_breakdown(
+    const FirMacDatapath& fir, const stats::VectorStream& samples,
+    const netlist::CapacitanceModel& cap) {
+  // One sample per pass of `taps` cycles: expand the sample stream.
+  stats::VectorStream expanded;
+  expanded.width = samples.width;
+  for (std::uint64_t w : samples.words)
+    for (int c = 0; c < fir.taps; ++c) expanded.words.push_back(w);
+  auto gl = sim::simulate_glitches(fir.netlist, expanded);
+  auto by = sim::switched_cap_by_component(fir.netlist, gl.total_activity,
+                                           fir.labels, cap);
+  // Clock contribution (2 edges/cycle), then normalize per *sample*.
+  by["Registers/clock"] +=
+      2.0 * cap.dff_clock_cap * static_cast<double>(fir.netlist.dffs().size());
+  for (auto& [k, v] : by) v *= static_cast<double>(fir.taps);
+  return by;
+}
+
+bool fir_mac_matches_parallel(const FirMacDatapath& mac,
+                              const FirDatapath& parallel,
+                              const stats::VectorStream& samples) {
+  const int T = mac.taps;
+  const int pw = static_cast<int>(mac.output.size());
+  const std::uint64_t mask =
+      pw >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << pw) - 1);
+
+  // Golden per-sample outputs: y_k = sum_i c_i x_{k-i} (mod 2^pw).
+  std::vector<std::uint64_t> golden;
+  for (std::size_t k = 0; k < samples.words.size(); ++k) {
+    std::uint64_t y = 0;
+    for (int i = 0; i < T; ++i) {
+      if (k < static_cast<std::size_t>(i)) break;
+      auto c = static_cast<std::uint64_t>(
+          mac.coefficients[static_cast<std::size_t>(i)]);
+      y += c * samples.words[k - static_cast<std::size_t>(i)];
+    }
+    golden.push_back(y & mask);
+  }
+
+  // MAC: record y at the end of each pass.
+  sim::Simulator ms(mac.netlist);
+  std::vector<std::uint64_t> mac_out;
+  for (std::uint64_t w : samples.words) {
+    for (int c = 0; c < T; ++c) {
+      ms.set_word(mac.input, w);
+      ms.eval();
+      ms.tick();
+    }
+    ms.eval();
+    mac_out.push_back(ms.word_value(mac.output));
+  }
+
+  // Parallel: one sample per cycle; output register lags one cycle.
+  sim::Simulator ps(parallel.netlist);
+  std::vector<std::uint64_t> par_out;
+  for (std::uint64_t w : samples.words) {
+    ps.set_word(parallel.input, w);
+    ps.eval();
+    ps.tick();
+    ps.eval();
+    par_out.push_back(ps.word_value(parallel.output) & mask);
+  }
+
+  // Align each sequence to the golden one with a small constant lag.
+  auto matches_with_lag = [&](const std::vector<std::uint64_t>& out) {
+    for (int lag = 0; lag <= 2; ++lag) {
+      bool ok = true;
+      for (std::size_t k = 8; k + static_cast<std::size_t>(lag) < out.size();
+           ++k) {
+        if (out[k + static_cast<std::size_t>(lag)] != golden[k]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return true;
+    }
+    return false;
+  };
+  return matches_with_lag(mac_out) && matches_with_lag(par_out);
+}
+
+std::map<std::string, double> fir_capacitance_breakdown(
+    const FirDatapath& fir, const stats::VectorStream& samples,
+    const netlist::CapacitanceModel& cap) {
+  // Glitch-aware simulation: Table I comes from switch-level simulation,
+  // and the array multipliers' spurious transitions are a large part of
+  // what the constant-multiplication transformation eliminates.
+  auto gl = sim::simulate_glitches(fir.netlist, samples);
+  auto by = sim::switched_cap_by_component(fir.netlist, gl.total_activity,
+                                           fir.labels, cap);
+  // Clock network load belongs to "Registers/clock" (switching twice/cycle).
+  by["Registers/clock"] +=
+      2.0 * cap.dff_clock_cap * static_cast<double>(fir.netlist.dffs().size());
+  return by;
+}
+
+}  // namespace hlp::core

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/power.hpp"
+#include "stats/entropy.hpp"
+
+namespace hlp::core {
+
+/// Section III-C: behavioral transformations on CDFGs plus the Table I
+/// constant-multiplication experiment on a gate-level FIR datapath.
+
+/// Operation counts and unit-delay critical path of a CDFG (the metrics
+/// Figs. 4 and 5 compare).
+struct CdfgMetrics {
+  int adds = 0;
+  int muls = 0;
+  int shifts = 0;
+  int total_compute_ops = 0;
+  int critical_path = 0;  ///< all compute ops count one level
+};
+CdfgMetrics cdfg_metrics(const cdfg::Cdfg& g);
+
+/// Fig. 4 (right): second-order polynomial via completed square
+/// (coefficient preconditioning): y = (x + b1)^2 + b2 — 1 mul, 2 adds, CP 3.
+cdfg::Cdfg polynomial_completed_square(int width = 8);
+
+/// Fig. 5 (right): third-order polynomial with preconditioned coefficients:
+/// t1 = x + d0; t2 = t1 * x; t3 = t2 + d1; y = t3 * t1 + d2 —
+/// 2 muls, 3 adds, CP 5 (one longer than the direct form).
+cdfg::Cdfg polynomial_preconditioned_cubic(int width = 8);
+
+/// --- Table I: FIR datapath with labeled components ----------------------
+
+/// Gate-level N-tap FIR filter datapath. Component labels follow Table I's
+/// rows: "Execution units", "Registers/clock", "Control logic",
+/// "Interconnect".
+struct FirDatapath {
+  netlist::Netlist netlist;
+  std::vector<std::string> labels;  ///< per gate
+  netlist::Word input;              ///< x[n] sample input
+  netlist::Word output;             ///< y[n]
+  std::vector<int> coefficients;
+  bool shift_add = false;
+};
+
+/// Build the datapath. When `constant_mult_as_shift_add` is false each tap
+/// uses a full array multiplier fed by a coefficient register (general
+/// multiplier datapath); when true, each constant multiplication is expanded
+/// into hardwired shifts and adders (CSD-style), the Table I transformation.
+FirDatapath build_fir_datapath(std::span<const int> coefficients, int width,
+                               bool constant_mult_as_shift_add);
+
+/// Simulate `samples` through the filter and return the switched capacitance
+/// per component class — one Table I column.
+std::map<std::string, double> fir_capacitance_breakdown(
+    const FirDatapath& fir, const stats::VectorStream& samples,
+    const netlist::CapacitanceModel& cap = {});
+
+/// --- Time-multiplexed MAC datapath (the paper's "before" design) --------
+
+/// Sequential FIR: one shared general multiplier + accumulator processes one
+/// tap per cycle (T cycles per sample). This is the architecture Table I's
+/// "before" column measures: the shared multiplier sees a *different*
+/// (tap, coefficient) pair every cycle, so its input activity is high even
+/// for slowly varying samples — the effect the constant-multiplication
+/// transformation eliminates.
+struct FirMacDatapath {
+  netlist::Netlist netlist;
+  std::vector<std::string> labels;
+  netlist::Word input;        ///< sample input (captured when phase == 0)
+  netlist::Word output;       ///< registered y, valid after each pass
+  std::vector<int> coefficients;
+  int taps = 0;
+};
+
+FirMacDatapath build_fir_mac_datapath(std::span<const int> coefficients,
+                                      int width);
+
+/// Drive the MAC datapath with one new sample every `taps` cycles and return
+/// the switched capacitance per component class, normalized **per sample**
+/// (T internal cycles each) so it is directly comparable to the parallel
+/// datapath's per-cycle breakdown.
+std::map<std::string, double> fir_mac_capacitance_breakdown(
+    const FirMacDatapath& fir, const stats::VectorStream& samples,
+    const netlist::CapacitanceModel& cap = {});
+
+/// Functional check: run both implementations on the same sample stream and
+/// compare per-sample outputs (the MAC result for sample window k against
+/// the parallel filter's registered output). Returns true if they agree.
+bool fir_mac_matches_parallel(const FirMacDatapath& mac,
+                              const FirDatapath& parallel,
+                              const stats::VectorStream& samples);
+
+/// Canonical-signed-digit decomposition of a constant: returns (shift, sign)
+/// pairs such that c = sum sign_k * 2^shift_k with minimal nonzero digits.
+std::vector<std::pair<int, int>> csd_digits(int c);
+
+}  // namespace hlp::core

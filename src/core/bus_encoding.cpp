@@ -1,0 +1,511 @@
+#include "core/bus_encoding.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace hlp::core {
+
+namespace {
+
+std::uint64_t mask_of(int width) {
+  return width >= 64 ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << width) - 1);
+}
+
+class Binary final : public BusEncoder {
+ public:
+  explicit Binary(int w) : w_(w) {}
+  std::string name() const override { return "binary"; }
+  int phys_width(int) const override { return w_; }
+  std::uint64_t encode(std::uint64_t word) override {
+    return word & mask_of(w_);
+  }
+  std::uint64_t decode(std::uint64_t phys) override { return phys; }
+  void reset() override {}
+
+ private:
+  int w_;
+};
+
+class GrayCode final : public BusEncoder {
+ public:
+  explicit GrayCode(int w) : w_(w) {}
+  std::string name() const override { return "gray"; }
+  int phys_width(int) const override { return w_; }
+  std::uint64_t encode(std::uint64_t word) override {
+    word &= mask_of(w_);
+    return word ^ (word >> 1);
+  }
+  std::uint64_t decode(std::uint64_t phys) override {
+    std::uint64_t b = phys;
+    for (int s = 1; s < w_; s <<= 1) b ^= b >> s;
+    return b & mask_of(w_);
+  }
+  void reset() override {}
+
+ private:
+  int w_;
+};
+
+class BusInvert final : public BusEncoder {
+ public:
+  explicit BusInvert(int w) : w_(w) {}
+  std::string name() const override { return "bus-invert"; }
+  int phys_width(int) const override { return w_ + 1; }
+  std::uint64_t encode(std::uint64_t word) override {
+    word &= mask_of(w_);
+    int dist = std::popcount((prev_data_ ^ word) & mask_of(w_));
+    std::uint64_t phys;
+    if (2 * dist > w_) {
+      phys = (~word & mask_of(w_)) | (std::uint64_t{1} << w_);
+    } else {
+      phys = word;
+    }
+    prev_data_ = phys & mask_of(w_);
+    return phys;
+  }
+  std::uint64_t decode(std::uint64_t phys) override {
+    bool inv = (phys >> w_) & 1u;
+    std::uint64_t data = phys & mask_of(w_);
+    return inv ? (~data & mask_of(w_)) : data;
+  }
+  void reset() override { prev_data_ = 0; }
+
+ private:
+  int w_;
+  std::uint64_t prev_data_ = 0;
+};
+
+class T0 final : public BusEncoder {
+ public:
+  explicit T0(int w) : w_(w) {}
+  std::string name() const override { return "t0"; }
+  int phys_width(int) const override { return w_ + 1; }
+  std::uint64_t encode(std::uint64_t word) override {
+    word &= mask_of(w_);
+    std::uint64_t phys;
+    if (have_prev_ && word == ((prev_addr_ + 1) & mask_of(w_))) {
+      // Freeze the bus; raise INC.
+      phys = bus_data_ | (std::uint64_t{1} << w_);
+    } else {
+      phys = word;
+      bus_data_ = word;
+    }
+    prev_addr_ = word;
+    have_prev_ = true;
+    return phys;
+  }
+  std::uint64_t decode(std::uint64_t phys) override {
+    bool inc = (phys >> w_) & 1u;
+    std::uint64_t addr =
+        inc ? ((rx_prev_ + 1) & mask_of(w_)) : (phys & mask_of(w_));
+    rx_prev_ = addr;
+    return addr;
+  }
+  void reset() override {
+    have_prev_ = false;
+    prev_addr_ = bus_data_ = rx_prev_ = 0;
+  }
+
+ private:
+  int w_;
+  bool have_prev_ = false;
+  std::uint64_t prev_addr_ = 0, bus_data_ = 0, rx_prev_ = 0;
+};
+
+class T0Bi final : public BusEncoder {
+ public:
+  explicit T0Bi(int w) : w_(w) {}
+  std::string name() const override { return "t0+bi"; }
+  int phys_width(int) const override { return w_ + 2; }
+  std::uint64_t encode(std::uint64_t word) override {
+    word &= mask_of(w_);
+    std::uint64_t phys;
+    if (have_prev_ && word == ((prev_addr_ + 1) & mask_of(w_))) {
+      phys = bus_state_ | (std::uint64_t{1} << w_);  // INC, freeze
+    } else {
+      int dist = std::popcount((bus_state_ ^ word) & mask_of(w_));
+      std::uint64_t data = word;
+      std::uint64_t inv = 0;
+      if (2 * dist > w_) {
+        data = ~word & mask_of(w_);
+        inv = std::uint64_t{1} << (w_ + 1);
+      }
+      phys = data | inv;
+      bus_state_ = data | inv;
+    }
+    prev_addr_ = word;
+    have_prev_ = true;
+    return phys;
+  }
+  std::uint64_t decode(std::uint64_t phys) override {
+    bool inc = (phys >> w_) & 1u;
+    bool inv = (phys >> (w_ + 1)) & 1u;
+    std::uint64_t addr;
+    if (inc) {
+      addr = (rx_prev_ + 1) & mask_of(w_);
+    } else {
+      std::uint64_t data = phys & mask_of(w_);
+      addr = inv ? (~data & mask_of(w_)) : data;
+    }
+    rx_prev_ = addr;
+    return addr;
+  }
+  void reset() override {
+    have_prev_ = false;
+    prev_addr_ = bus_state_ = rx_prev_ = 0;
+  }
+
+ private:
+  int w_;
+  bool have_prev_ = false;
+  std::uint64_t prev_addr_ = 0, bus_state_ = 0, rx_prev_ = 0;
+};
+
+class WorkingZone final : public BusEncoder {
+ public:
+  WorkingZone(int w, int zones, int offset_bits)
+      : w_(w), zones_(zones), obits_(offset_bits) {
+    zbits_ = 1;
+    while ((1 << zbits_) < zones_) ++zbits_;
+    reset();
+  }
+  std::string name() const override { return "working-zone"; }
+  int phys_width(int) const override { return w_ + 1; }
+
+  std::uint64_t encode(std::uint64_t word) override {
+    word &= mask_of(w_);
+    int hit = -1;
+    for (int z = 0; z < zones_; ++z) {
+      std::uint64_t off = (word - ref_[static_cast<std::size_t>(z)]) &
+                          mask_of(w_);
+      if (off < (std::uint64_t{1} << obits_)) {
+        hit = z;
+        break;
+      }
+    }
+    std::uint64_t phys;
+    if (hit >= 0) {
+      std::uint64_t off =
+          (word - ref_[static_cast<std::size_t>(hit)]) & mask_of(w_);
+      // Gray-coded offset + zone id, hit line raised; unused lines freeze.
+      std::uint64_t gray = off ^ (off >> 1);
+      std::uint64_t payload =
+          gray | (static_cast<std::uint64_t>(hit) << obits_);
+      std::uint64_t used = mask_of(obits_ + zbits_);
+      phys = (bus_data_ & ~used) | (payload & used) |
+             (std::uint64_t{1} << w_);
+      bus_data_ = phys & mask_of(w_);
+      ref_[static_cast<std::size_t>(hit)] = word;  // zone tracks the walk
+    } else {
+      phys = word;  // full address, hit line low
+      bus_data_ = word;
+      // Replace round-robin.
+      ref_[static_cast<std::size_t>(victim_)] = word;
+      victim_ = (victim_ + 1) % zones_;
+    }
+    return phys;
+  }
+
+  std::uint64_t decode(std::uint64_t phys) override {
+    bool hit = (phys >> w_) & 1u;
+    std::uint64_t addr;
+    if (hit) {
+      std::uint64_t payload = phys & mask_of(obits_ + zbits_);
+      std::uint64_t gray = payload & mask_of(obits_);
+      std::uint64_t off = gray;
+      for (int s = 1; s < obits_; s <<= 1) off ^= off >> s;
+      off &= mask_of(obits_);
+      int z = static_cast<int>(payload >> obits_);
+      addr = (rx_ref_[static_cast<std::size_t>(z)] + off) & mask_of(w_);
+      rx_ref_[static_cast<std::size_t>(z)] = addr;
+    } else {
+      addr = phys & mask_of(w_);
+      rx_ref_[static_cast<std::size_t>(rx_victim_)] = addr;
+      rx_victim_ = (rx_victim_ + 1) % zones_;
+    }
+    return addr;
+  }
+
+  void reset() override {
+    ref_.assign(static_cast<std::size_t>(zones_), 0);
+    rx_ref_.assign(static_cast<std::size_t>(zones_), 0);
+    bus_data_ = 0;
+    victim_ = rx_victim_ = 0;
+  }
+
+ private:
+  int w_, zones_, obits_, zbits_;
+  std::vector<std::uint64_t> ref_, rx_ref_;
+  std::uint64_t bus_data_ = 0;
+  int victim_ = 0, rx_victim_ = 0;
+};
+
+/// Beach: cluster correlated lines, re-encode each cluster with an annealed
+/// minimum-transition bijection learned from the training trace.
+class Beach final : public BusEncoder {
+ public:
+  Beach(int w, const std::vector<std::uint64_t>& training, int max_bits)
+      : w_(w) {
+    build(training, max_bits);
+  }
+  std::string name() const override { return "beach"; }
+  int phys_width(int) const override { return w_; }
+
+  std::uint64_t encode(std::uint64_t word) override {
+    word &= mask_of(w_);
+    std::uint64_t out = 0;
+    for (const auto& cl : clusters_) {
+      std::uint64_t v = extract(word, cl.lines);
+      std::uint64_t code = cl.enc[static_cast<std::size_t>(v)];
+      out |= deposit(code, cl.lines);
+    }
+    return out;
+  }
+  std::uint64_t decode(std::uint64_t phys) override {
+    std::uint64_t out = 0;
+    for (const auto& cl : clusters_) {
+      std::uint64_t code = extract(phys, cl.lines);
+      std::uint64_t v = cl.dec[static_cast<std::size_t>(code)];
+      out |= deposit(v, cl.lines);
+    }
+    return out;
+  }
+  void reset() override {}
+
+ private:
+  struct Cluster {
+    std::vector<int> lines;
+    std::vector<std::uint64_t> enc, dec;
+  };
+
+  static std::uint64_t extract(std::uint64_t word,
+                               const std::vector<int>& lines) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i)
+      v |= ((word >> lines[i]) & 1u) << i;
+    return v;
+  }
+  static std::uint64_t deposit(std::uint64_t v,
+                               const std::vector<int>& lines) {
+    std::uint64_t w = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i)
+      w |= ((v >> i) & 1u) << lines[i];
+    return w;
+  }
+
+  void build(const std::vector<std::uint64_t>& training, int max_bits) {
+    // Pairwise line correlation over the training trace.
+    std::vector<std::vector<double>> corr(
+        static_cast<std::size_t>(w_),
+        std::vector<double>(static_cast<std::size_t>(w_), 0.0));
+    if (training.size() > 1) {
+      std::vector<double> mean(static_cast<std::size_t>(w_), 0.0);
+      for (auto word : training)
+        for (int i = 0; i < w_; ++i)
+          mean[static_cast<std::size_t>(i)] +=
+              static_cast<double>((word >> i) & 1u);
+      for (auto& m : mean) m /= static_cast<double>(training.size());
+      for (int i = 0; i < w_; ++i)
+        for (int j = 0; j < w_; ++j) {
+          double sij = 0.0;
+          for (auto word : training)
+            sij += (static_cast<double>((word >> i) & 1u) -
+                    mean[static_cast<std::size_t>(i)]) *
+                   (static_cast<double>((word >> j) & 1u) -
+                    mean[static_cast<std::size_t>(j)]);
+          corr[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+              std::abs(sij);
+        }
+    }
+    // Greedy clustering: grow each cluster from the strongest unused pair.
+    std::vector<bool> used(static_cast<std::size_t>(w_), false);
+    for (;;) {
+      int seed = -1;
+      for (int i = 0; i < w_; ++i)
+        if (!used[static_cast<std::size_t>(i)]) {
+          seed = i;
+          break;
+        }
+      if (seed < 0) break;
+      Cluster cl;
+      cl.lines.push_back(seed);
+      used[static_cast<std::size_t>(seed)] = true;
+      while (static_cast<int>(cl.lines.size()) < max_bits) {
+        int best = -1;
+        double best_c = -1.0;
+        for (int j = 0; j < w_; ++j) {
+          if (used[static_cast<std::size_t>(j)]) continue;
+          double c = 0.0;
+          for (int i : cl.lines)
+            c += corr[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(j)];
+          if (c > best_c) {
+            best_c = c;
+            best = j;
+          }
+        }
+        if (best < 0) break;
+        cl.lines.push_back(best);
+        used[static_cast<std::size_t>(best)] = true;
+      }
+      clusters_.push_back(std::move(cl));
+    }
+    // Per-cluster transition counts and annealed code assignment.
+    for (auto& cl : clusters_) {
+      const std::size_t space = std::size_t{1} << cl.lines.size();
+      std::vector<std::vector<double>> count(
+          space, std::vector<double>(space, 0.0));
+      for (std::size_t t = 1; t < training.size(); ++t) {
+        auto a = extract(training[t - 1], cl.lines);
+        auto b = extract(training[t], cl.lines);
+        count[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] +=
+            1.0;
+      }
+      // Greedy assignment: order values by total traffic; give the busiest
+      // pair adjacent codes, then place each next value at the free code
+      // minimizing weighted Hamming to already-placed neighbors.
+      cl.enc.assign(space, 0);
+      cl.dec.assign(space, 0);
+      std::vector<std::size_t> order(space);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::vector<double> traffic(space, 0.0);
+      for (std::size_t a = 0; a < space; ++a)
+        for (std::size_t b = 0; b < space; ++b)
+          traffic[a] += count[a][b] + count[b][a];
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return traffic[a] > traffic[b];
+      });
+      std::vector<bool> code_used(space, false);
+      std::vector<bool> placed(space, false);
+      for (std::size_t v : order) {
+        double best_cost = std::numeric_limits<double>::infinity();
+        std::size_t best_code = 0;
+        for (std::size_t c = 0; c < space; ++c) {
+          if (code_used[c]) continue;
+          double cost = 0.0;
+          for (std::size_t u = 0; u < space; ++u) {
+            if (!placed[u]) continue;
+            double wgt = count[v][u] + count[u][v];
+            if (wgt > 0.0)
+              cost += wgt * static_cast<double>(std::popcount(
+                                c ^ cl.enc[u]));
+          }
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_code = c;
+          }
+        }
+        cl.enc[v] = best_code;
+        cl.dec[best_code] = v;
+        code_used[best_code] = true;
+        placed[v] = true;
+      }
+    }
+  }
+
+  int w_;
+  std::vector<Cluster> clusters_;
+};
+
+}  // namespace
+
+std::unique_ptr<BusEncoder> binary_encoder(int width) {
+  return std::make_unique<Binary>(width);
+}
+std::unique_ptr<BusEncoder> gray_encoder(int width) {
+  return std::make_unique<GrayCode>(width);
+}
+std::unique_ptr<BusEncoder> bus_invert_encoder(int width) {
+  return std::make_unique<BusInvert>(width);
+}
+std::unique_ptr<BusEncoder> t0_encoder(int width) {
+  return std::make_unique<T0>(width);
+}
+std::unique_ptr<BusEncoder> t0_bi_encoder(int width) {
+  return std::make_unique<T0Bi>(width);
+}
+std::unique_ptr<BusEncoder> working_zone_encoder(int width, int zones,
+                                                 int offset_bits) {
+  return std::make_unique<WorkingZone>(width, zones, offset_bits);
+}
+std::unique_ptr<BusEncoder> beach_encoder(
+    int width, const std::vector<std::uint64_t>& training_trace,
+    int max_cluster_bits) {
+  return std::make_unique<Beach>(width, training_trace, max_cluster_bits);
+}
+
+BusRunResult run_encoder(BusEncoder& enc,
+                         const std::vector<std::uint64_t>& stream,
+                         int logical_width) {
+  BusRunResult r;
+  r.phys_width = enc.phys_width(logical_width);
+  enc.reset();
+  std::uint64_t prev = 0;
+  bool first = true;
+  std::uint64_t lmask = mask_of(logical_width);
+  for (std::uint64_t w : stream) {
+    std::uint64_t phys = enc.encode(w & lmask);
+    std::uint64_t back = enc.decode(phys);
+    if ((back & lmask) != (w & lmask))
+      throw std::logic_error("bus encoder " + enc.name() +
+                             " failed round-trip");
+    if (!first)
+      r.transitions +=
+          static_cast<std::uint64_t>(std::popcount(phys ^ prev));
+    prev = phys;
+    first = false;
+  }
+  if (stream.size() > 1)
+    r.per_word = static_cast<double>(r.transitions) /
+                 static_cast<double>(stream.size() - 1);
+  return r;
+}
+
+std::vector<std::uint64_t> address_stream(std::size_t n, double seq,
+                                          int width, stats::Rng& rng) {
+  std::vector<std::uint64_t> s;
+  s.reserve(n);
+  std::uint64_t addr = rng.uniform_bits(width);
+  std::uint64_t m = mask_of(width);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back(addr & m);
+    if (rng.uniform_real() < seq)
+      addr = (addr + 1) & m;
+    else
+      addr = rng.uniform_bits(width);
+  }
+  return s;
+}
+
+std::vector<std::uint64_t> interleaved_array_stream(std::size_t n, int arrays,
+                                                    int width,
+                                                    stats::Rng& rng) {
+  std::vector<std::uint64_t> base(static_cast<std::size_t>(arrays));
+  std::uint64_t m = mask_of(width);
+  for (auto& b : base) b = rng.uniform_bits(width) & m;
+  std::vector<std::uint64_t> s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, arrays - 1));
+    s.push_back(base[a] & m);
+    base[a] = (base[a] + 1) & m;
+  }
+  return s;
+}
+
+std::vector<std::uint64_t> random_data_stream(std::size_t n, int width,
+                                              stats::Rng& rng) {
+  std::vector<std::uint64_t> s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(rng.uniform_bits(width));
+  return s;
+}
+
+}  // namespace hlp::core

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/entropy.hpp"
+#include "stats/rng.hpp"
+
+namespace hlp::core {
+
+/// Section III-G: low-power bus encoding schemes.
+///
+/// An encoder maps the word stream to the physical bus lines (possibly with
+/// redundant lines); the figure of merit is the number of physical line
+/// transitions per transmitted word. Every scheme here is paired with an
+/// exact decoder so tests can verify losslessness.
+
+class BusEncoder {
+ public:
+  virtual ~BusEncoder() = default;
+  virtual std::string name() const = 0;
+  /// Physical bus width (data lines + redundant lines).
+  virtual int phys_width(int logical_width) const = 0;
+  /// Encode the next word; returns the physical bus state.
+  virtual std::uint64_t encode(std::uint64_t word) = 0;
+  /// Decode a physical bus state back to the logical word (stateful,
+  /// mirrors the receiver).
+  virtual std::uint64_t decode(std::uint64_t phys) = 0;
+  virtual void reset() = 0;
+};
+
+/// Factory per scheme.
+std::unique_ptr<BusEncoder> binary_encoder(int width);
+std::unique_ptr<BusEncoder> gray_encoder(int width);          // Su et al. [78]
+std::unique_ptr<BusEncoder> bus_invert_encoder(int width);    // Stan-Burleson [77]
+std::unique_ptr<BusEncoder> t0_encoder(int width);            // Benini et al. [80]
+std::unique_ptr<BusEncoder> t0_bi_encoder(int width);         // T0 + Bus-Invert
+/// Working-zone encoding [82] with `zones` reference registers and
+/// `offset_bits` one-hot offset range.
+std::unique_ptr<BusEncoder> working_zone_encoder(int width, int zones,
+                                                 int offset_bits);
+/// Beach encoding [83]: clusters correlated lines from a training trace and
+/// builds per-cluster minimum-transition code tables.
+std::unique_ptr<BusEncoder> beach_encoder(int width,
+                                          const std::vector<std::uint64_t>&
+                                              training_trace,
+                                          int max_cluster_bits = 8);
+
+/// Count physical bus transitions for a stream through an encoder
+/// (resets the encoder first). Also verifies decode(encode(w)) == w and
+/// throws on mismatch.
+struct BusRunResult {
+  std::uint64_t transitions = 0;
+  double per_word = 0.0;
+  int phys_width = 0;
+};
+BusRunResult run_encoder(BusEncoder& enc, const std::vector<std::uint64_t>&
+                                              stream, int logical_width);
+
+/// --- Address/data stream generators for the experiments -----------------
+
+/// Sequential addresses with occasional jumps (in-sequence fraction `seq`).
+std::vector<std::uint64_t> address_stream(std::size_t n, double seq,
+                                          int width, stats::Rng& rng);
+
+/// Interleaved accesses to `arrays` working zones, each internally
+/// sequential — the pattern the working-zone code targets.
+std::vector<std::uint64_t> interleaved_array_stream(std::size_t n, int arrays,
+                                                    int width,
+                                                    stats::Rng& rng);
+
+/// Uniform random data words.
+std::vector<std::uint64_t> random_data_stream(std::size_t n, int width,
+                                              stats::Rng& rng);
+
+}  // namespace hlp::core

@@ -1,0 +1,132 @@
+#include "core/compaction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace hlp::core {
+
+namespace {
+
+stats::VectorStream compact_markov(const stats::VectorStream& input,
+                                   std::size_t target, std::uint64_t seed) {
+  // First-order chain over the observed words.
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint64_t, double>>
+      trans;
+  for (std::size_t t = 1; t < input.words.size(); ++t)
+    trans[input.words[t - 1]][input.words[t]] += 1.0;
+
+  stats::Rng rng(seed);
+  stats::VectorStream out;
+  out.width = input.width;
+  out.words.reserve(target);
+  std::uint64_t cur = input.words.front();
+  out.words.push_back(cur);
+  while (out.words.size() < target) {
+    auto it = trans.find(cur);
+    if (it == trans.end() || it->second.empty()) {
+      // Dead end (last word of the trace): restart from the beginning.
+      cur = input.words.front();
+      out.words.push_back(cur);
+      continue;
+    }
+    double total = 0.0;
+    for (auto& [w, c] : it->second) total += c;
+    double u = rng.uniform_real(0.0, total);
+    double acc = 0.0;
+    std::uint64_t next = it->second.begin()->first;
+    for (auto& [w, c] : it->second) {
+      acc += c;
+      next = w;
+      if (u <= acc) break;
+    }
+    out.words.push_back(next);
+    cur = next;
+  }
+  return out;
+}
+
+stats::VectorStream compact_bitwise(const stats::VectorStream& input,
+                                    std::size_t target, std::uint64_t seed) {
+  // Per-line lag-1 Markov chain matching both the signal probability q and
+  // the switching activity e exactly: detailed balance gives
+  //   P(1->0) = e / (2q),  P(0->1) = e / (2(1-q)).
+  auto q = stats::signal_probabilities(input);
+  auto e = stats::switching_activities(input);
+  stats::Rng rng(seed);
+  stats::VectorStream out;
+  out.width = input.width;
+  out.words.reserve(target);
+  std::uint64_t cur = input.words.front();
+  out.words.push_back(cur);
+  std::vector<double> p10(static_cast<std::size_t>(input.width));
+  std::vector<double> p01(static_cast<std::size_t>(input.width));
+  for (int i = 0; i < input.width; ++i) {
+    auto ii = static_cast<std::size_t>(i);
+    p10[ii] = q[ii] > 1e-9 ? std::min(1.0, e[ii] / (2.0 * q[ii])) : 0.0;
+    p01[ii] = q[ii] < 1.0 - 1e-9
+                  ? std::min(1.0, e[ii] / (2.0 * (1.0 - q[ii])))
+                  : 0.0;
+  }
+  for (std::size_t t = 1; t < target; ++t) {
+    std::uint64_t w = 0;
+    for (int i = 0; i < input.width; ++i) {
+      auto ii = static_cast<std::size_t>(i);
+      bool prev = (cur >> i) & 1u;
+      bool bit = prev ? !rng.bit(p10[ii]) : rng.bit(p01[ii]);
+      if (bit) w |= std::uint64_t{1} << i;
+    }
+    out.words.push_back(w);
+    cur = w;
+  }
+  return out;
+}
+
+}  // namespace
+
+stats::VectorStream compact_stream(const stats::VectorStream& input,
+                                   std::size_t target_length,
+                                   std::uint64_t seed,
+                                   std::size_t max_alphabet) {
+  stats::VectorStream out;
+  out.width = input.width;
+  if (input.words.empty() || target_length == 0) return out;
+  target_length = std::min(target_length, input.words.size());
+
+  std::unordered_map<std::uint64_t, int> alphabet;
+  for (std::uint64_t w : input.words) {
+    alphabet.emplace(w, 1);
+    if (alphabet.size() > max_alphabet) break;
+  }
+  if (alphabet.size() <= max_alphabet)
+    return compact_markov(input, target_length, seed);
+  return compact_bitwise(input, target_length, seed);
+}
+
+CompactionFidelity compaction_fidelity(const stats::VectorStream& original,
+                                       const stats::VectorStream& compacted) {
+  CompactionFidelity f;
+  auto q0 = stats::signal_probabilities(original);
+  auto q1 = stats::signal_probabilities(compacted);
+  auto e0 = stats::switching_activities(original);
+  auto e1 = stats::switching_activities(compacted);
+  int n = std::min(original.width, compacted.width);
+  for (int i = 0; i < n; ++i) {
+    f.signal_prob_error += std::abs(q0[static_cast<std::size_t>(i)] -
+                                    q1[static_cast<std::size_t>(i)]);
+    f.activity_error += std::abs(e0[static_cast<std::size_t>(i)] -
+                                 e1[static_cast<std::size_t>(i)]);
+  }
+  if (n) {
+    f.signal_prob_error /= n;
+    f.activity_error /= n;
+  }
+  return f;
+}
+
+}  // namespace hlp::core

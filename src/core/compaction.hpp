@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "stats/entropy.hpp"
+
+namespace hlp::core {
+
+/// Section II-C step 4 lists "automata-based compaction techniques"
+/// (Marculescu et al. [36]-[38]) as a way to speed up low-level power
+/// simulation: replace a long input sequence by a much shorter one with the
+/// same first-order statistics, simulate that, and scale.
+///
+/// Two models, picked automatically:
+///  * dictionary Markov chain over the distinct words (exact first-order
+///    word statistics) when the stream's alphabet is small enough;
+///  * per-line lag-1 model (signal probability + hold probability per bit)
+///    otherwise.
+stats::VectorStream compact_stream(const stats::VectorStream& input,
+                                   std::size_t target_length,
+                                   std::uint64_t seed,
+                                   std::size_t max_alphabet = 4096);
+
+/// First-order fidelity metrics between two streams: absolute error of
+/// per-line signal probability and switching activity (averaged over
+/// lines). Small values mean the compacted stream preserves what the
+/// macro-models and gate-level power depend on.
+struct CompactionFidelity {
+  double signal_prob_error = 0.0;
+  double activity_error = 0.0;
+};
+CompactionFidelity compaction_fidelity(const stats::VectorStream& original,
+                                       const stats::VectorStream& compacted);
+
+}  // namespace hlp::core

@@ -1,0 +1,86 @@
+#include "core/complexity_model.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hlp::core {
+
+double ces_power(std::size_t gate_equivalents, const CesParams& ces,
+                 const sim::PowerParams& p) {
+  return p.freq * static_cast<double>(gate_equivalents) *
+         (ces.energy_gate + 0.5 * p.vdd * p.vdd * ces.c_load) * ces.e_gate;
+}
+
+namespace {
+
+/// C1 of the given on-set table: group minterms by the size (in literals,
+/// larger cube = smaller literal count) of the *largest* essential prime
+/// covering them; weight = minterm probability mass.
+double linear_measure(const TruthTable& tt, int n) {
+  auto primes = prime_implicants(tt, n);
+  auto essentials = essential_primes(tt, n, primes);
+  if (essentials.empty()) {
+    // Degenerate (e.g. every minterm multiply covered): fall back to the
+    // full prime set so the measure stays defined.
+    essentials = primes;
+  }
+  const double total = static_cast<double>(tt.size());
+  // For each on-set minterm, find the largest essential prime covering it
+  // (largest cube = fewest literals); c_i = literal count of that prime.
+  std::map<int, double> mass_by_size;  // literals -> probability
+  double onset_mass = 0.0;
+  for (std::uint32_t m = 0; m < tt.size(); ++m) {
+    if (!tt[m]) continue;
+    onset_mass += 1.0 / total;
+    int best_lits = -1;
+    for (const Cube& e : essentials) {
+      if (!e.covers(m)) continue;
+      if (best_lits < 0 || e.literals() < best_lits) best_lits = e.literals();
+    }
+    if (best_lits >= 0) mass_by_size[best_lits] += 1.0 / total;
+  }
+  double c1 = 0.0;
+  for (auto& [lits, p] : mass_by_size)
+    c1 += static_cast<double>(lits) * p;
+  (void)onset_mass;
+  return c1;
+}
+
+}  // namespace
+
+AreaComplexity area_complexity(const TruthTable& tt, int n) {
+  AreaComplexity ac;
+  TruthTable off(tt.size());
+  double ones = 0.0;
+  for (std::size_t m = 0; m < tt.size(); ++m) {
+    off[m] = tt[m] ? 0 : 1;
+    if (tt[m]) ones += 1.0;
+  }
+  ac.output_prob = ones / static_cast<double>(tt.size());
+  ac.c_on = linear_measure(tt, n);
+  ac.c_off = linear_measure(off, n);
+  ac.c = 0.5 * (ac.c_on + ac.c_off);
+  return ac;
+}
+
+double landman_rabaey_power(int n_in_lines, double e_in, int n_out_lines,
+                            double e_out, int n_minterms,
+                            const ControllerModelParams& cm,
+                            const sim::PowerParams& p) {
+  return 0.5 * p.vdd * p.vdd * p.freq *
+         (static_cast<double>(n_in_lines) * cm.c_in * e_in +
+          static_cast<double>(n_out_lines) * cm.c_out * e_out) *
+         static_cast<double>(n_minterms);
+}
+
+std::size_t gate_equivalents(const netlist::Netlist& nl) {
+  std::size_t ge2 = 0;  // in half-gates to avoid fractions
+  for (netlist::GateId g = 0; g < nl.gate_count(); ++g) {
+    const auto& gate = nl.gate(g);
+    if (!netlist::is_logic(gate.kind)) continue;
+    ge2 += std::max<std::size_t>(1, gate.fanins.size());
+  }
+  return (ge2 + 1) / 2;
+}
+
+}  // namespace hlp::core

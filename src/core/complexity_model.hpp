@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "core/two_level.hpp"
+#include "sim/power.hpp"
+
+namespace hlp::core {
+
+/// Complexity-based power models of Section II-B2.
+
+/// Chip Estimation System [14] gate-equivalent model:
+/// Power = f * N * (Energy_gate + 0.5 V^2 C_load) * E_gate.
+struct CesParams {
+  double energy_gate = 2.5e-12;  ///< internal energy per transition [J]
+  double c_load = 3.0;           ///< average load per equivalent gate [cap units]
+  double e_gate = 0.2;           ///< average output activity per cycle
+};
+double ces_power(std::size_t gate_equivalents, const CesParams& ces,
+                 const sim::PowerParams& p);
+
+/// Nemani–Najm [15] "linear measure" area-complexity of a single-output
+/// function: C1(f) = sum_i c_i p_i over distinct essential-prime sizes c_i,
+/// where p_i is the probability mass of on-set minterms covered by essential
+/// primes of size c_i but no larger; C(f) = (C1(f) + C0(f)) / 2.
+struct AreaComplexity {
+  double c_on = 0.0;   ///< C1(f)
+  double c_off = 0.0;  ///< C0(f)
+  double c = 0.0;      ///< C(f)
+  double output_prob = 0.0;  ///< P(f = 1) under uniform inputs
+};
+AreaComplexity area_complexity(const TruthTable& tt, int n);
+
+/// Landman–Rabaey [17] controller power model for standard cells:
+/// Power = 0.5 V^2 f (N_I C_I E_I + N_O C_O E_O) N_M.
+struct ControllerModelParams {
+  double c_in = 1.0;   ///< regression coefficient for input+state lines
+  double c_out = 1.0;  ///< regression coefficient for output+state lines
+};
+double landman_rabaey_power(int n_in_lines, double e_in, int n_out_lines,
+                            double e_out, int n_minterms,
+                            const ControllerModelParams& cm,
+                            const sim::PowerParams& p);
+
+/// Equivalent-gate count of a netlist: 2-input-NAND equivalents by summing
+/// fanin/2 per logic gate (the usual gate-equivalent convention).
+std::size_t gate_equivalents(const netlist::Netlist& nl);
+
+}  // namespace hlp::core

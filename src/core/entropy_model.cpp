@@ -1,0 +1,115 @@
+#include "core/entropy_model.hpp"
+
+#include <cmath>
+
+#include "bdd/netlist_bdd.hpp"
+#include "sim/simulator.hpp"
+
+namespace hlp::core {
+
+double marculescu_havg(double h_in, double h_out, int n, int m) {
+  // Degenerate cases: equal entropies mean no decay; fall back to average.
+  if (h_in <= 0.0 || h_out <= 0.0) return 0.5 * (h_in + h_out);
+  double ratio = h_in / h_out;
+  if (std::abs(ratio - 1.0) < 1e-9) return h_in;
+  double ln_r = std::log(ratio);
+  double nn = static_cast<double>(n), mm = static_cast<double>(m);
+  double lead = 2.0 * nn * h_in / ((nn + mm) * ln_r);
+  double inner = 1.0 - (mm / nn) * (h_out / h_in) -
+                 ((1.0 - mm / nn) * (1.0 - h_out / h_in)) / ln_r;
+  return lead * inner;
+}
+
+double nemani_najm_havg(double h_sum_in, double h_sum_out, int n, int m) {
+  return 2.0 / (3.0 * static_cast<double>(n + m)) * (h_sum_in + h_sum_out);
+}
+
+double cheng_agrawal_ctot(int n, int m, double h_out) {
+  return (static_cast<double>(m) / static_cast<double>(n)) *
+         std::pow(2.0, n) * h_out;
+}
+
+double ferrandi_ctot(std::size_t bdd_nodes, int n, int m, double h_out,
+                     double alpha, double beta) {
+  return alpha * (static_cast<double>(m) / static_cast<double>(n)) *
+             static_cast<double>(bdd_nodes) * h_out +
+         beta;
+}
+
+double entropy_power(double c_tot, double h_avg, const sim::PowerParams& p) {
+  double e_avg = 0.5 * h_avg;  // switching activity <= entropy / 2
+  return 0.5 * p.vdd * p.vdd * p.freq * c_tot * e_avg;
+}
+
+EntropyEstimates evaluate_entropy_models(const netlist::Module& mod,
+                                         const stats::VectorStream& input,
+                                         const sim::PowerParams& params,
+                                         bool build_bdd, double ferrandi_alpha,
+                                         double ferrandi_beta) {
+  EntropyEstimates est;
+  const int n = mod.total_input_bits();
+  const int m = mod.total_output_bits();
+
+  stats::VectorStream out_stream;
+  auto acts = sim::simulate_activities(mod.netlist, input, &out_stream);
+  est.h_in = stats::avg_bit_entropy(input);
+  est.h_out = stats::avg_bit_entropy(out_stream);
+
+  est.havg_marculescu = marculescu_havg(est.h_in, est.h_out, n, m);
+  est.havg_nemani = nemani_najm_havg(stats::sum_bit_entropy(input),
+                                     stats::sum_bit_entropy(out_stream), n, m);
+
+  est.ctot_actual = mod.netlist.total_capacitance(params.cap);
+  est.ctot_cheng = cheng_agrawal_ctot(n, m, est.h_out);
+  if (build_bdd) {
+    bdd::Manager mgr;
+    auto bdds = bdd::build_bdds(mgr, mod.netlist);
+    std::vector<bdd::NodeRef> roots;
+    for (auto g : mod.netlist.outputs()) roots.push_back(bdds.fn[g]);
+    est.bdd_nodes = mgr.node_count(roots);
+    est.ctot_ferrandi = ferrandi_ctot(est.bdd_nodes, n, m, est.h_out,
+                                      ferrandi_alpha, ferrandi_beta);
+  }
+
+  est.power_marculescu =
+      entropy_power(est.ctot_actual, est.havg_marculescu, params);
+  est.power_nemani = entropy_power(est.ctot_actual, est.havg_nemani, params);
+  est.power_simulated =
+      sim::compute_power(mod.netlist, acts, params).total_power;
+  return est;
+}
+
+double avg_transition_entropy(const stats::VectorStream& s) {
+  if (s.width == 0) return 0.0;
+  auto e = stats::switching_activities(s);
+  double h = 0.0;
+  for (double ei : e) h += stats::binary_entropy(ei);
+  return h / static_cast<double>(s.width);
+}
+
+double transition_entropy_power(const stats::VectorStream& input,
+                                const stats::VectorStream& output,
+                                double c_tot, int n, int m,
+                                const sim::PowerParams& p) {
+  double h_in = avg_transition_entropy(input);
+  double h_out = avg_transition_entropy(output);
+  return entropy_power(c_tot, marculescu_havg(h_in, h_out, n, m), p);
+}
+
+double tyagi_switching_bound(const fsm::MarkovAnalysis& ma,
+                             std::size_t n_states) {
+  double t = static_cast<double>(n_states);
+  double log_t = std::log2(t);
+  if (log_t <= 1.0) return 0.0;  // bound is vacuous for tiny machines
+  return ma.edge_entropy() - 1.52 * log_t - 2.16 + 0.5 * std::log2(log_t);
+}
+
+bool tyagi_sparse(const fsm::MarkovAnalysis& ma, std::size_t n_states) {
+  double t_edges = static_cast<double>(ma.nonzero_edges());
+  double big_t = static_cast<double>(n_states);
+  double log_t = std::log2(big_t);
+  if (log_t <= 0.0) return false;
+  return t_edges <= 2.23 * std::pow(big_t, 1.72) / std::sqrt(log_t);
+}
+
+}  // namespace hlp::core

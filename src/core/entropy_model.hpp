@@ -1,0 +1,86 @@
+#pragma once
+
+#include "bdd/bdd.hpp"
+#include "fsm/markov.hpp"
+#include "netlist/generators.hpp"
+#include "sim/power.hpp"
+#include "stats/entropy.hpp"
+
+namespace hlp::core {
+
+/// Information-theoretic power models of Section II-B1.
+
+/// Marculescu et al. [9]: closed-form average line entropy for a linear gate
+/// distribution between n inputs and m outputs, given average *bit-level*
+/// entropies h_in and h_out.
+double marculescu_havg(double h_in, double h_out, int n, int m);
+
+/// Nemani–Najm [10]: h_avg = 2/(3(n+m)) * (H_in + H_out), where H are
+/// *sectional* (word-level) entropies, approximated in practice by the sum of
+/// bit-level entropies.
+double nemani_najm_havg(double h_sum_in, double h_sum_out, int n, int m);
+
+/// Cheng–Agrawal [11] total-capacitance estimate C_tot = (m/n) 2^n h_out
+/// (pessimistic for large n).
+double cheng_agrawal_ctot(int n, int m, double h_out);
+
+/// Ferrandi et al. [12]: C_tot = alpha * (m/n) * N * h_out + beta, with N the
+/// number of BDD nodes of the circuit's multi-output BDD.
+double ferrandi_ctot(std::size_t bdd_nodes, int n, int m, double h_out,
+                     double alpha = 1.0, double beta = 0.0);
+
+/// Power = 0.5 V^2 f C_tot E_avg with E_avg = h_avg / 2 (the temporal-
+/// independence switching bound the paper adopts).
+double entropy_power(double c_tot, double h_avg, const sim::PowerParams& p);
+
+/// One-stop entropy-model evaluation of a module under an input stream:
+/// runs a functional simulation for h_out, computes every II-B1 estimate,
+/// and the simulated reference power for comparison.
+struct EntropyEstimates {
+  double h_in = 0.0;        ///< average input bit entropy
+  double h_out = 0.0;       ///< average output bit entropy
+  double havg_marculescu = 0.0;
+  double havg_nemani = 0.0;
+  double ctot_actual = 0.0;     ///< from the netlist capacitance model
+  double ctot_cheng = 0.0;      ///< Cheng–Agrawal estimate
+  double ctot_ferrandi = 0.0;   ///< Ferrandi estimate (needs BDD build)
+  std::size_t bdd_nodes = 0;
+  double power_marculescu = 0.0;  ///< entropy power w/ actual C_tot
+  double power_nemani = 0.0;
+  double power_simulated = 0.0;   ///< gate-level reference
+};
+
+EntropyEstimates evaluate_entropy_models(const netlist::Module& mod,
+                                         const stats::VectorStream& input,
+                                         const sim::PowerParams& params = {},
+                                         bool build_bdd = true,
+                                         double ferrandi_alpha = 1.0,
+                                         double ferrandi_beta = 0.0);
+
+/// Extension beyond the paper: the surveyed entropy estimators use the
+/// entropy of the static signal-probability distribution H(q_i), which is
+/// blind to temporal correlation (a slowly-walking bus has q ~ 0.5 but few
+/// transitions). Replacing H(q_i) with the entropy of the per-line
+/// *transition* process H(E_i) — exactly the quantity later transition-
+/// probability work optimizes — restores activity tracking. Returns the
+/// average of H(E_i) over the stream's lines.
+double avg_transition_entropy(const stats::VectorStream& s);
+
+/// Entropy power estimate with transition entropies substituted into the
+/// Marculescu line-decay model.
+double transition_entropy_power(const stats::VectorStream& input,
+                                const stats::VectorStream& output,
+                                double c_tot, int n, int m,
+                                const sim::PowerParams& p);
+
+/// Tyagi [13]: entropic lower bound on the expected state-register Hamming
+/// switching of an FSM with T states, valid for any encoding:
+///   sum p_ij H(s_i,s_j) >= h(p_ij) - 1.52 log2 T - 2.16 + 0.5 log2(log2 T).
+double tyagi_switching_bound(const fsm::MarkovAnalysis& ma,
+                             std::size_t n_states);
+
+/// True when the FSM satisfies Tyagi's sparseness condition
+/// t <= 2.23 * T^1.72 / sqrt(log2 T).
+bool tyagi_sparse(const fsm::MarkovAnalysis& ma, std::size_t n_states);
+
+}  // namespace hlp::core

@@ -1,0 +1,239 @@
+#include "core/guarded_eval.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "bdd/netlist_bdd.hpp"
+#include "netlist/copy.hpp"
+#include "sim/simulator.hpp"
+
+namespace hlp::core {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::Netlist;
+
+namespace {
+
+/// Gates from which every path to a primary output passes through the
+/// d<side> port of one of the muxes in `mux_group` (a word-level mux bank
+/// sharing one select). Fixed point: a gate is in the cone when each of its
+/// fanouts is in the cone or is a group mux reading it only on that port.
+std::vector<GateId> exclusive_cone(const Netlist& nl,
+                                   const std::vector<GateId>& mux_group,
+                                   int side) {
+  auto fo = nl.fanouts();
+  std::unordered_set<GateId> group(mux_group.begin(), mux_group.end());
+  auto reads_only_on_port = [&](GateId mux, GateId g) {
+    const auto& f = nl.gate(mux).fanins;  // {sel, d0, d1}
+    if (f[0] == g) return false;
+    if (f[static_cast<std::size_t>(1 + (1 - side))] == g) return false;
+    return f[static_cast<std::size_t>(1 + side)] == g;
+  };
+  std::unordered_set<GateId> primary_outputs(nl.outputs().begin(),
+                                             nl.outputs().end());
+  // Note: gates with no fanouts (dead logic, e.g. truncated product bits)
+  // are trivially unobservable and join the cone; in the circuits we build
+  // such gates only occur inside the guarded block itself.
+  std::unordered_set<GateId> cone;
+  auto eligible = [&](GateId g) {
+    if (!netlist::is_logic(nl.gate(g).kind)) return false;
+    if (primary_outputs.count(g)) return false;  // always observable
+    if (fo[g].empty()) return true;  // dangling: trivially unobservable
+    for (GateId s : fo[g]) {
+      if (cone.count(s)) continue;
+      if (group.count(s) && reads_only_on_port(s, g)) continue;
+      return false;
+    }
+    return true;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GateId g = 0; g < nl.gate_count(); ++g) {
+      if (cone.count(g)) continue;
+      if (eligible(g)) {
+        cone.insert(g);
+        changed = true;
+      }
+    }
+  }
+  std::vector<GateId> out(cone.begin(), cone.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> gate_levels(const Netlist& nl) {
+  std::vector<int> lvl(nl.gate_count(), 0);
+  for (GateId id : nl.topo_order()) {
+    const auto& g = nl.gate(id);
+    if (!netlist::is_logic(g.kind)) continue;
+    int m = 0;
+    for (GateId f : g.fanins) m = std::max(m, lvl[f]);
+    lvl[id] = m + 1;
+  }
+  return lvl;
+}
+
+}  // namespace
+
+std::vector<GuardCandidate> find_guards(const netlist::Module& mod) {
+  const Netlist& nl = mod.netlist;
+  std::vector<GuardCandidate> out;
+
+  bdd::Manager mgr;
+  auto bdds = bdd::build_bdds(mgr, nl);
+  auto levels = gate_levels(nl);
+
+  // Group muxes by select signal: a word-level mux bank is one opportunity.
+  std::map<GateId, std::vector<GateId>> groups;
+  for (GateId m = 0; m < nl.gate_count(); ++m)
+    if (nl.gate(m).kind == GateKind::Mux)
+      groups[nl.gate(m).fanins[0]].push_back(m);
+
+  for (const auto& [sel, muxes] : groups) {
+    for (int side = 0; side < 2; ++side) {
+      auto cone = exclusive_cone(nl, muxes, side);
+      if (cone.size() < 2) continue;  // not worth latching
+
+      GuardCandidate c;
+      c.mux = muxes.front();
+      c.guard = sel;
+      // The d0 side (side 0) is unobserved when sel = 1.
+      c.block_when_guard_high = (side == 0);
+      c.cone_root = nl.gate(muxes.front())
+                        .fanins[static_cast<std::size_t>(1 + side)];
+      c.cone = cone;
+
+      // ODC verification via BDDs: under the blocking select value the mux
+      // bank outputs equal the other branch for every input assignment —
+      // i.e. the cone is unobservable. Check symbolically per mux.
+      bdd::NodeRef sel_fn = bdds.fn[sel];
+      bdd::NodeRef cond =
+          c.block_when_guard_high ? sel_fn : mgr.bdd_not(sel_fn);
+      bool verified = cond != bdd::kFalse;
+      for (GateId m : muxes) {
+        const auto& mf = nl.gate(m).fanins;
+        bdd::NodeRef other =
+            bdds.fn[mf[static_cast<std::size_t>(1 + (1 - side))]];
+        // cond -> (mux output == other branch).
+        bdd::NodeRef eq = mgr.bdd_xnor(bdds.fn[m], other);
+        if (!mgr.implies(cond, eq)) {
+          verified = false;
+          break;
+        }
+      }
+      c.odc_verified = verified;
+      if (!verified) continue;
+
+      // Pure guarded evaluation timing: the guard must settle before any
+      // boundary input of the cone can switch (unit-delay levels).
+      std::unordered_set<GateId> inside(cone.begin(), cone.end());
+      int t_e = 1 << 30;
+      for (GateId cg : cone)
+        for (GateId f : nl.gate(cg).fanins)
+          if (!inside.count(f)) t_e = std::min(t_e, levels[f] + 1);
+      c.pure = levels[sel] < t_e;
+      out.push_back(std::move(c));
+    }
+  }
+  // Keep a disjoint subset, largest cones first.
+  std::sort(out.begin(), out.end(),
+            [](const GuardCandidate& a, const GuardCandidate& b) {
+              return a.cone.size() > b.cone.size();
+            });
+  std::unordered_set<GateId> taken;
+  std::vector<GuardCandidate> disjoint;
+  for (auto& c : out) {
+    bool overlap = false;
+    for (GateId g : c.cone)
+      if (taken.count(g)) {
+        overlap = true;
+        break;
+      }
+    if (overlap || taken.count(c.guard)) continue;
+    for (GateId g : c.cone) taken.insert(g);
+    disjoint.push_back(std::move(c));
+  }
+  return disjoint;
+}
+
+GuardedCircuit apply_guards(const netlist::Module& mod,
+                            std::span<const GuardCandidate> guards) {
+  GuardedCircuit gc;
+  Netlist& nl = gc.netlist;
+  // Copy the module 1:1 (combinational), keeping a translation table.
+  std::vector<GateId> new_inputs;
+  for (int i = 0; i < mod.total_input_bits(); ++i)
+    new_inputs.push_back(nl.add_input("x[" + std::to_string(i) + "]"));
+  auto xlat = netlist::copy_combinational(mod.netlist, nl, new_inputs);
+  for (std::size_t i = 0; i < mod.netlist.outputs().size(); ++i)
+    nl.mark_output(xlat[mod.netlist.outputs()[i]]);
+
+  for (const auto& c : guards) {
+    std::unordered_set<GateId> inside;  // in source ids
+    for (GateId g : c.cone) inside.insert(g);
+    // Transparent-when-observed enable: latches pass while the cone is
+    // observed, hold while it is blocked.
+    GateId sel_new = xlat[c.guard];
+    GateId enable = c.block_when_guard_high
+                        ? nl.add_unary(GateKind::Not, sel_new)
+                        : sel_new;
+    // Gate every boundary edge (f outside -> g inside).
+    std::map<GateId, GateId> gated_of;  // source boundary net -> gated net
+    for (GateId src_g : c.cone) {
+      for (GateId src_f : mod.netlist.gate(src_g).fanins) {
+        if (inside.count(src_f)) continue;
+        GateId gated;
+        auto it = gated_of.find(src_f);
+        if (it != gated_of.end()) {
+          gated = it->second;
+        } else {
+          GateId held = nl.add_dff(netlist::kNullGate, false);
+          gated = nl.add_mux(enable, held, xlat[src_f]);
+          nl.set_dff_input(held, gated);
+          gated_of.emplace(src_f, gated);
+          ++gc.latches;
+        }
+        // Rewire the copied gate's fanin.
+        for (GateId& fi : nl.gate(xlat[src_g]).fanins)
+          if (fi == xlat[src_f]) fi = gated;
+      }
+    }
+  }
+  return gc;
+}
+
+GuardedEvalResult evaluate_guarded(const netlist::Module& mod,
+                                   const GuardedCircuit& gc,
+                                   const stats::VectorStream& input,
+                                   const sim::PowerParams& params) {
+  GuardedEvalResult res;
+  sim::Simulator ref(mod.netlist);
+  sim::Simulator s(gc.netlist);
+  sim::ActivityCollector col_ref(mod.netlist);
+  sim::ActivityCollector col(gc.netlist);
+  for (std::uint64_t w : input.words) {
+    ref.set_all_inputs(w);
+    ref.eval();
+    col_ref.record(ref);
+    s.set_all_inputs(w);
+    s.eval();
+    col.record(s);
+    if (ref.output_bits() != s.output_bits()) res.functionally_correct = false;
+    ref.tick();
+    s.tick();
+  }
+  res.base_power =
+      sim::compute_power(mod.netlist, col_ref.activities(), params)
+          .total_power;
+  // Transparent latches are level-sensitive: they add pin and mux loads
+  // (already in the netlist) but no clock-tree load, so clock power is not
+  // charged here.
+  auto rep = sim::compute_power(gc.netlist, col.activities(), params);
+  res.guarded_power = rep.total_power;
+  return res;
+}
+
+}  // namespace hlp::core

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/generators.hpp"
+#include "sim/power.hpp"
+#include "stats/entropy.hpp"
+
+namespace hlp::core {
+
+/// Section III-I, guarded evaluation (Tiwari et al. [105], Fig. 8).
+///
+/// Finds logic cones that are observable only through one data input of a
+/// multiplexer, verifies with BDDs that the mux select implies the cone's
+/// observability don't-care condition, and inserts transparent latches
+/// (modeled as recirculating mux + state bit) at the cone boundary,
+/// controlled by the existing select signal — no new control logic is
+/// synthesized, which is the technique's distinctive feature.
+
+struct GuardCandidate {
+  netlist::GateId mux = netlist::kNullGate;
+  netlist::GateId guard = netlist::kNullGate;  ///< the existing select net
+  bool block_when_guard_high = true;  ///< s=1 blocks the cone (d0 side)
+  netlist::GateId cone_root = netlist::kNullGate;
+  std::vector<netlist::GateId> cone;  ///< gates inside the guarded block
+  bool odc_verified = false;          ///< BDD implication check passed
+  bool pure = false;  ///< timing condition t_l(s) < t_e(Y) holds (unit delay)
+};
+
+/// Enumerate and verify guard candidates on a combinational module.
+std::vector<GuardCandidate> find_guards(const netlist::Module& mod);
+
+/// Build a transformed copy of the module with guard latches inserted for
+/// the given (disjoint) candidates.
+struct GuardedCircuit {
+  netlist::Netlist netlist;
+  std::size_t latches = 0;
+};
+GuardedCircuit apply_guards(const netlist::Module& mod,
+                            std::span<const GuardCandidate> guards);
+
+/// Simulate both circuits on the stream; checks functional equivalence
+/// cycle by cycle and reports both powers.
+struct GuardedEvalResult {
+  double base_power = 0.0;
+  double guarded_power = 0.0;
+  bool functionally_correct = true;
+  double saving() const {
+    return base_power > 0.0 ? 1.0 - guarded_power / base_power : 0.0;
+  }
+};
+GuardedEvalResult evaluate_guarded(const netlist::Module& mod,
+                                   const GuardedCircuit& gc,
+                                   const stats::VectorStream& input,
+                                   const sim::PowerParams& params = {});
+
+}  // namespace hlp::core

@@ -1,0 +1,65 @@
+#include "core/memory_hierarchy.hpp"
+
+namespace hlp::core {
+
+BufferLevel make_level(int addr_bits, int line_words,
+                       const MemoryParams& base,
+                       const sim::PowerParams& pp) {
+  BufferLevel lv;
+  lv.addr_bits = addr_bits;
+  lv.line_words = line_words;
+  MemoryParams p = base;
+  p.n = addr_bits;
+  p.k = optimal_column_split(p, pp);
+  lv.energy_per_access = memory_access_energy(p, pp).total();
+  return lv;
+}
+
+HierarchyEval evaluate_hierarchy(std::span<const std::uint32_t> trace,
+                                 std::span<const BufferLevel> levels) {
+  HierarchyEval ev;
+  ev.hits.assign(levels.size(), 0);
+  // Direct-mapped tag array per level (last level is the backing store and
+  // always hits).
+  std::vector<std::vector<std::int64_t>> tags;
+  for (const auto& lv : levels) {
+    std::size_t lines = (std::size_t{1} << lv.addr_bits) /
+                        static_cast<std::size_t>(lv.line_words);
+    tags.emplace_back(std::max<std::size_t>(1, lines), -1);
+  }
+  for (std::uint32_t addr : trace) {
+    ++ev.accesses;
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      ev.energy += levels[i].energy_per_access;
+      if (i + 1 == levels.size()) {
+        ++ev.hits[i];  // backing store
+        break;
+      }
+      std::int64_t line = addr / static_cast<std::uint32_t>(
+                                     levels[i].line_words);
+      auto idx = static_cast<std::size_t>(
+          line % static_cast<std::int64_t>(tags[i].size()));
+      if (tags[i][idx] == line) {
+        ++ev.hits[i];
+        break;
+      }
+      tags[i][idx] = line;  // refill on the way down
+    }
+  }
+  return ev;
+}
+
+std::vector<std::pair<int, double>> sweep_first_level(
+    std::span<const std::uint32_t> trace, int backing_addr_bits,
+    int min_bits, int max_bits) {
+  std::vector<std::pair<int, double>> out;
+  BufferLevel backing = make_level(backing_addr_bits);
+  for (int bits = min_bits; bits <= max_bits; ++bits) {
+    std::vector<BufferLevel> levels{make_level(bits), backing};
+    auto ev = evaluate_hierarchy(trace, levels);
+    out.emplace_back(bits, ev.energy_per_access());
+  }
+  return out;
+}
+
+}  // namespace hlp::core

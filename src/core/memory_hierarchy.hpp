@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/memory_model.hpp"
+
+namespace hlp::core {
+
+/// Section III-A (Catthoor et al. [52],[56],[57]): memory-hierarchy
+/// exploration for data-dominated applications. Higher hierarchy levels are
+/// cheap per access but small; energy is minimized by sizing them so the
+/// application's data reuse is captured.
+
+/// One level of the hierarchy: a direct-mapped buffer of 2^addr_bits words
+/// whose per-access energy comes from the Liu–Svensson parametric model at
+/// its own capacity (optimal aspect ratio).
+struct BufferLevel {
+  int addr_bits = 6;          ///< capacity = 2^addr_bits words
+  int line_words = 4;         ///< refill granularity
+  double energy_per_access = 0.0;  ///< filled by make_level
+};
+
+/// Build a level with its energy derived from the parametric memory model.
+BufferLevel make_level(int addr_bits, int line_words = 4,
+                       const MemoryParams& base = {},
+                       const sim::PowerParams& pp = {});
+
+/// Result of running an address trace through a hierarchy (levels ordered
+/// small/cheap -> large/expensive; the last level always hits).
+struct HierarchyEval {
+  std::vector<std::uint64_t> hits;   ///< per level
+  std::uint64_t accesses = 0;
+  double energy = 0.0;
+  double energy_per_access() const {
+    return accesses ? energy / static_cast<double>(accesses) : 0.0;
+  }
+};
+
+/// Simulate the trace: each access probes levels in order; a miss at level
+/// i costs that level's access plus a line refill from level i+1 (and so
+/// on). Direct-mapped tag arrays per level.
+HierarchyEval evaluate_hierarchy(std::span<const std::uint32_t> trace,
+                                 std::span<const BufferLevel> levels);
+
+/// Sweep the first-level buffer size for a fixed backing store and return
+/// (addr_bits, energy-per-access) pairs — the exploration curve whose knee
+/// the methodology selects.
+std::vector<std::pair<int, double>> sweep_first_level(
+    std::span<const std::uint32_t> trace, int backing_addr_bits,
+    int min_bits = 3, int max_bits = 12);
+
+}  // namespace hlp::core

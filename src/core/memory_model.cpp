@@ -1,0 +1,64 @@
+#include "core/memory_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace hlp::core {
+
+MemoryEnergy memory_access_energy(const MemoryParams& p,
+                                  const sim::PowerParams& pp) {
+  MemoryEnergy e;
+  const double rows = std::pow(2.0, p.n - p.k);
+  const double cols = std::pow(2.0, p.k);
+  // (1) every cell on the selected row drives bit or bit-bar by V_swing:
+  //     0.5 * V * V_swing * 2^k * (C_int + 2^(n-k) C_tr).
+  e.cells = 0.5 * pp.vdd * p.v_swing * cols * (p.c_int + rows * p.c_tr);
+  // (2) row decoder: one output toggles per access, the predecoder tree
+  //     switches ~(n-k) node pairs, and the decode/select wiring spans all
+  //     2^(n-k) rows — the term that penalizes tall arrays and gives the
+  //     aspect-ratio optimization its interior optimum.
+  e.decoder = 0.5 * pp.vdd * pp.vdd *
+              (2.0 * p.c_decoder +
+               static_cast<double>(p.n - p.k) * p.c_decoder +
+               rows * p.c_decoder_wire);
+  // (3) selected word line spans all columns.
+  e.wordline = 0.5 * pp.vdd * pp.vdd * cols * p.c_wordline;
+  // (4) column select: word_bits columns steered out of 2^k.
+  e.colselect = 0.5 * pp.vdd * pp.vdd *
+                static_cast<double>(p.word_bits) * p.c_colmux;
+  // (5) sense amplifier + readout inverter per output bit.
+  e.sense = 0.5 * pp.vdd * pp.vdd * static_cast<double>(p.word_bits) *
+            p.c_sense;
+  return e;
+}
+
+double memory_power(const MemoryParams& p, double accesses_per_cycle,
+                    const sim::PowerParams& pp) {
+  return memory_access_energy(p, pp).total() * accesses_per_cycle * pp.freq;
+}
+
+std::vector<std::pair<int, double>> sweep_column_split(
+    MemoryParams p, const sim::PowerParams& pp) {
+  std::vector<std::pair<int, double>> out;
+  int kmin = 0;
+  while ((1 << kmin) < p.word_bits) ++kmin;  // need at least a word per row
+  for (int k = kmin; k < p.n; ++k) {
+    p.k = k;
+    out.emplace_back(k, memory_access_energy(p, pp).total());
+  }
+  return out;
+}
+
+int optimal_column_split(const MemoryParams& p, const sim::PowerParams& pp) {
+  double best = std::numeric_limits<double>::infinity();
+  int best_k = p.k;
+  for (auto [k, e] : sweep_column_split(p, pp)) {
+    if (e < best) {
+      best = e;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace hlp::core

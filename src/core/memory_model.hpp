@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/power.hpp"
+
+namespace hlp::core {
+
+/// Liu–Svensson parametric power model (Section II-C1, [42]): closed-form
+/// power for a six-transistor SRAM array of 2^(n-k) rows x 2^k columns,
+/// decomposed exactly as the paper lists:
+///   1) cell array precharge/evaluation on the selected row,
+///   2) row decoder,
+///   3) selected row (word line) driver,
+///   4) column select,
+///   5) sense amplifiers + readout.
+
+struct MemoryParams {
+  int n = 12;               ///< total address bits (2^n words)
+  int k = 6;                ///< column bits (2^k columns)
+  double v_swing = 0.5;     ///< bit-line swing [V] (read)
+  double c_int = 0.5;       ///< wiring cap per cell along a row
+  double c_tr = 0.25;       ///< drain cap per cell on a bit line
+  double c_wordline = 0.6;  ///< word-line cap per cell
+  double c_decoder = 2.0;       ///< per decoder output node
+  double c_decoder_wire = 0.1;  ///< decode/select wiring, per row spanned
+  double c_colmux = 1.5;    ///< per column-select switch
+  double c_sense = 8.0;     ///< sense amp + readout inverter, per column read
+  int word_bits = 8;        ///< bits read per access
+};
+
+/// Per-access energy components (capacitance x voltage terms folded in;
+/// same arbitrary capacitance units as the rest of the library).
+struct MemoryEnergy {
+  double cells = 0.0;      ///< (1) 2^k cells driving bit/bit-bar
+  double decoder = 0.0;    ///< (2) row decoder switching
+  double wordline = 0.0;   ///< (3) driving the selected row
+  double colselect = 0.0;  ///< (4) column select
+  double sense = 0.0;      ///< (5) sense amps + readout
+  double total() const {
+    return cells + decoder + wordline + colselect + sense;
+  }
+};
+
+/// Energy of one read access (the paper's expression set; the memory-cell
+/// term is 0.5 * V * V_swing * 2^k * (C_int + 2^(n-k) * C_tr)).
+MemoryEnergy memory_access_energy(const MemoryParams& p,
+                                  const sim::PowerParams& pp = {});
+
+/// Power at an access rate of `accesses_per_cycle`.
+double memory_power(const MemoryParams& p, double accesses_per_cycle,
+                    const sim::PowerParams& pp = {});
+
+/// Sweep the row/column split k for fixed capacity n and return the energy
+/// per access for each k — the aspect-ratio optimization the parametric
+/// model enables.
+std::vector<std::pair<int, double>> sweep_column_split(
+    MemoryParams p, const sim::PowerParams& pp = {});
+
+/// Best k for the given parameters.
+int optimal_column_split(const MemoryParams& p,
+                         const sim::PowerParams& pp = {});
+
+}  // namespace hlp::core

@@ -1,0 +1,218 @@
+#include "core/multivoltage.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace hlp::core {
+
+using cdfg::Cdfg;
+using cdfg::OpId;
+using cdfg::OpKind;
+
+int VoltageLibrary::base_delay(OpKind kind) const {
+  switch (kind) {
+    case OpKind::Mul: return 2;
+    case OpKind::Add:
+    case OpKind::Sub:
+    case OpKind::Cmp:
+    case OpKind::Mux: return 1;
+    case OpKind::Shift: return 1;
+    default: return 0;
+  }
+}
+
+double VoltageLibrary::base_energy(OpKind kind, int width) const {
+  double w = static_cast<double>(width);
+  switch (kind) {
+    case OpKind::Mul: return 0.4 * w * w;
+    case OpKind::Add:
+    case OpKind::Sub:
+    case OpKind::Cmp: return 1.0 * w;
+    case OpKind::Mux: return 0.3 * w;
+    case OpKind::Shift: return 0.15 * w;
+    default: return 0.0;
+  }
+}
+
+std::vector<VoltageOption> VoltageLibrary::options(OpKind kind,
+                                                   int width) const {
+  std::vector<VoltageOption> out;
+  if (voltages.empty()) return out;
+  double vmax = voltages.front();
+  double dmax_scale = vmax / ((vmax - vt) * (vmax - vt));
+  for (double v : voltages) {
+    VoltageOption o;
+    o.vdd = v;
+    double scale = (v / ((v - vt) * (v - vt))) / dmax_scale;
+    o.delay = std::max(1, static_cast<int>(
+                              std::ceil(base_delay(kind) * scale)));
+    o.energy = base_energy(kind, width) * (v * v) / (vmax * vmax);
+    out.push_back(o);
+  }
+  return out;
+}
+
+namespace {
+
+struct Point {
+  int delay = 0;
+  double energy = 0.0;
+  /// Per child: (voltage index, point index) chosen.
+  std::vector<std::pair<int, int>> child_choice;
+};
+
+/// Pareto-prune: keep minimal energy per delay, strictly improving.
+void prune(std::vector<Point>& pts) {
+  std::sort(pts.begin(), pts.end(), [](const Point& a, const Point& b) {
+    if (a.delay != b.delay) return a.delay < b.delay;
+    return a.energy < b.energy;
+  });
+  std::vector<Point> keep;
+  double best_e = std::numeric_limits<double>::infinity();
+  for (auto& p : pts) {
+    if (p.energy < best_e - 1e-12) {
+      best_e = p.energy;
+      keep.push_back(std::move(p));
+    }
+  }
+  pts = std::move(keep);
+}
+
+}  // namespace
+
+MvAssignment schedule_multivoltage(const Cdfg& g, const VoltageLibrary& lib,
+                                   int latency_bound) {
+  const std::size_t nv = lib.voltages.size();
+  // curve[node][v] = Pareto points with the node's output at voltage v.
+  std::vector<std::vector<std::vector<Point>>> curve(
+      g.size(), std::vector<std::vector<Point>>(nv));
+
+  for (OpId id = 0; id < g.size(); ++id) {
+    const auto& op = g.op(id);
+    if (op.kind == OpKind::Input || op.kind == OpKind::Const) {
+      for (std::size_t v = 0; v < nv; ++v)
+        curve[id][v].push_back(Point{0, 0.0, {}});
+      continue;
+    }
+    if (op.kind == OpKind::Output) {
+      for (std::size_t v = 0; v < nv; ++v) {
+        for (int pi = 0;
+             pi < static_cast<int>(curve[op.preds[0]][v].size()); ++pi) {
+          const auto& cp = curve[op.preds[0]][v][static_cast<std::size_t>(pi)];
+          Point p{cp.delay, cp.energy, {{static_cast<int>(v), pi}}};
+          curve[id][v].push_back(std::move(p));
+        }
+        prune(curve[id][v]);
+      }
+      continue;
+    }
+    auto opts = lib.options(op.kind, op.width);
+    for (std::size_t v = 0; v < nv; ++v) {
+      const auto& o = opts[v];
+      // Candidate "children ready" times: union of child point delays.
+      std::set<int> cand{0};
+      for (OpId c : op.preds)
+        for (std::size_t cv = 0; cv < nv; ++cv)
+          for (const auto& p : curve[c][cv]) cand.insert(p.delay);
+      for (int t : cand) {
+        // For each child: cheapest point (any voltage) with delay <= t,
+        // paying a level shifter when the child voltage differs.
+        double total = o.energy;
+        std::vector<std::pair<int, int>> choice;
+        bool ok = true;
+        for (OpId c : op.preds) {
+          double best = std::numeric_limits<double>::infinity();
+          std::pair<int, int> pick{-1, -1};
+          for (std::size_t cv = 0; cv < nv; ++cv) {
+            for (int pi = 0; pi < static_cast<int>(curve[c][cv].size());
+                 ++pi) {
+              const auto& p = curve[c][cv][static_cast<std::size_t>(pi)];
+              if (p.delay > t) continue;
+              double e = p.energy +
+                         (cv != v ? lib.shifter_energy : 0.0);
+              if (e < best) {
+                best = e;
+                pick = {static_cast<int>(cv), pi};
+              }
+            }
+          }
+          if (pick.first < 0) {
+            ok = false;
+            break;
+          }
+          total += best;
+          choice.push_back(pick);
+        }
+        if (!ok) continue;
+        curve[id][v].push_back(Point{t + o.delay, total, std::move(choice)});
+      }
+      prune(curve[id][v]);
+    }
+  }
+
+  // Pick the minimum-energy root combination meeting the bound. For
+  // multi-output graphs, treat each output independently and sum (exact on
+  // trees).
+  MvAssignment res;
+  res.voltage_index.assign(g.size(), -1);
+  res.latency = 0;
+  std::vector<std::tuple<OpId, int, int>> stack;  // (node, voltage, point)
+  for (OpId out : g.outputs()) {
+    double best = std::numeric_limits<double>::infinity();
+    int bv = -1, bp = -1;
+    for (std::size_t v = 0; v < nv; ++v)
+      for (int pi = 0; pi < static_cast<int>(curve[out][v].size()); ++pi) {
+        const auto& p = curve[out][v][static_cast<std::size_t>(pi)];
+        if (p.delay > latency_bound) continue;
+        if (p.energy < best) {
+          best = p.energy;
+          bv = static_cast<int>(v);
+          bp = pi;
+        }
+      }
+    if (bv < 0) return res;  // infeasible
+    res.energy += best;
+    stack.emplace_back(out, bv, bp);
+  }
+  // Recover assignments by walking back-pointers.
+  while (!stack.empty()) {
+    auto [id, v, pi] = stack.back();
+    stack.pop_back();
+    const Point& p = curve[id][static_cast<std::size_t>(v)]
+                          [static_cast<std::size_t>(pi)];
+    const auto& op = g.op(id);
+    if (Cdfg::is_compute(op.kind) || op.kind == OpKind::Mux)
+      res.voltage_index[id] = v;
+    res.latency = std::max(res.latency, p.delay);
+    for (std::size_t c = 0; c < p.child_choice.size(); ++c) {
+      auto [cv, cpi] = p.child_choice[c];
+      if (cv != v && Cdfg::is_compute(g.op(op.preds[c]).kind))
+        ++res.level_shifters;
+      stack.emplace_back(op.preds[c], cv, cpi);
+    }
+  }
+  res.feasible = true;
+  return res;
+}
+
+MvAssignment single_voltage_baseline(const Cdfg& g,
+                                     const VoltageLibrary& lib) {
+  MvAssignment res;
+  res.voltage_index.assign(g.size(), -1);
+  cdfg::OpDelays d;  // base delays match options at vmax
+  auto s = cdfg::asap(g, d);
+  res.latency = s.length;
+  for (OpId id = 0; id < g.size(); ++id) {
+    const auto& op = g.op(id);
+    if (Cdfg::is_compute(op.kind) || op.kind == OpKind::Mux) {
+      res.voltage_index[id] = 0;
+      res.energy += lib.base_energy(op.kind, op.width);
+    }
+  }
+  res.feasible = true;
+  return res;
+}
+
+}  // namespace hlp::core

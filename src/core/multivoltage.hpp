@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+
+namespace hlp::core {
+
+/// Section III-F: Chang–Pedram [73] multiple supply-voltage scheduling via
+/// dynamic programming over tree CDFGs with per-module energy–delay curves.
+
+/// One selectable operating point of a module.
+struct VoltageOption {
+  double vdd;
+  int delay;      ///< execution delay in control steps at this voltage
+  double energy;  ///< energy per operation at this voltage
+};
+
+/// Library entry: options per op kind, ordered by descending vdd.
+struct VoltageLibrary {
+  std::vector<double> voltages;   ///< available rails, descending
+  double shifter_energy = 0.5;   ///< per level-shifter insertion
+  int shifter_delay = 0;         ///< level shifters are fast
+
+  /// Delay scales as Vdd / (Vdd - Vt)^2 (alpha-power law, alpha = 2);
+  /// energy scales as Vdd^2.
+  std::vector<VoltageOption> options(cdfg::OpKind kind, int width) const;
+  double vt = 0.8;
+  int base_delay(cdfg::OpKind kind) const;
+  double base_energy(cdfg::OpKind kind, int width) const;
+};
+
+/// A point on a node's power-delay tradeoff curve.
+struct PdPoint {
+  int delay;       ///< arrival time at this node's output
+  double energy;   ///< subtree energy
+  int option;      ///< voltage option chosen at this node
+  std::vector<int> child_points;  ///< chosen point index per child
+};
+
+/// Result of the DP: per-op voltage assignment meeting the latency bound
+/// with minimal energy.
+struct MvAssignment {
+  std::vector<int> voltage_index;  ///< per op; -1 for non-compute
+  double energy = 0.0;
+  int latency = 0;
+  int level_shifters = 0;
+  bool feasible = false;
+};
+
+/// Dynamic programming over the (tree-shaped) CDFG: computes the
+/// power-delay curve bottom-up, then selects the minimum-energy root point
+/// meeting `latency_bound` and recovers assignments by preorder traversal.
+/// Non-tree graphs are handled by duplicating shared subtrees' energy
+/// conservatively (exact on trees, which is what [73] treats).
+MvAssignment schedule_multivoltage(const cdfg::Cdfg& g,
+                                   const VoltageLibrary& lib,
+                                   int latency_bound);
+
+/// Reference: everything at the maximum voltage.
+MvAssignment single_voltage_baseline(const cdfg::Cdfg& g,
+                                     const VoltageLibrary& lib);
+
+}  // namespace hlp::core

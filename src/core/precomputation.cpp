@@ -1,0 +1,283 @@
+#include "core/precomputation.hpp"
+
+#include <algorithm>
+
+#include "bdd/bdd_to_netlist.hpp"
+#include "bdd/netlist_bdd.hpp"
+#include "netlist/copy.hpp"
+#include "sim/simulator.hpp"
+
+namespace hlp::core {
+
+using netlist::GateId;
+using netlist::GateKind;
+
+std::vector<std::uint32_t> select_precompute_inputs(const netlist::Module& mod,
+                                                    int subset_size) {
+  bdd::Manager mgr;
+  auto bdds = bdd::build_bdds(mgr, mod.netlist);
+  bdd::NodeRef f = bdds.fn[mod.netlist.outputs()[0]];
+  bdd::NodeRef nf = mgr.bdd_not(f);
+  const auto& all_vars = bdds.input_vars;
+
+  // Boolean-difference influence of each input: P(f|x=0 != f|x=1). Early
+  // greedy rounds often see zero coverage for every candidate (no single
+  // input decides f), so influence breaks those ties toward the inputs
+  // that matter most (e.g. the MSBs of a comparator).
+  std::vector<double> influence(all_vars.size(), 0.0);
+  for (std::size_t i = 0; i < all_vars.size(); ++i) {
+    bdd::NodeRef diff = mgr.bdd_xor(mgr.restrict_var(f, all_vars[i], false),
+                                    mgr.restrict_var(f, all_vars[i], true));
+    influence[i] = mgr.sat_fraction(diff);
+  }
+
+  std::vector<std::uint32_t> subset;
+  std::vector<bool> in_subset(all_vars.size(), false);
+  for (int k = 0; k < subset_size; ++k) {
+    double best_score = -1.0;
+    std::size_t best_i = all_vars.size();
+    for (std::size_t i = 0; i < all_vars.size(); ++i) {
+      if (in_subset[i]) continue;
+      // Quantify out everything except subset + candidate i.
+      std::vector<std::uint32_t> others;
+      for (std::size_t j = 0; j < all_vars.size(); ++j)
+        if (!in_subset[j] && j != i) others.push_back(all_vars[j]);
+      double cov = mgr.sat_fraction(mgr.forall_set(f, others)) +
+                   mgr.sat_fraction(mgr.forall_set(nf, others));
+      double score = cov + 1e-3 * influence[i];
+      if (score > best_score) {
+        best_score = score;
+        best_i = i;
+      }
+    }
+    if (best_i == all_vars.size()) break;
+    in_subset[best_i] = true;
+    subset.push_back(static_cast<std::uint32_t>(best_i));
+  }
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+PrecomputedCircuit build_precomputed(const netlist::Module& mod,
+                                     std::span<const std::uint32_t> subset,
+                                     bool precompute) {
+  PrecomputedCircuit pc;
+  netlist::Netlist& nl = pc.netlist;
+  pc.subset.assign(subset.begin(), subset.end());
+  const int n = mod.total_input_bits();
+
+  // Primary inputs in the same order as the source module.
+  for (int i = 0; i < n; ++i)
+    pc.inputs.push_back(nl.add_input("x[" + std::to_string(i) + "]"));
+
+  GateId load_enable = netlist::kNullGate;
+  GateId g1_reg = netlist::kNullGate, g0_reg = netlist::kNullGate;
+  if (precompute) {
+    // Predictors from the current inputs, via BDD quantification.
+    bdd::Manager mgr;
+    auto bdds = bdd::build_bdds(mgr, mod.netlist);
+    bdd::NodeRef f = bdds.fn[mod.netlist.outputs()[0]];
+    std::vector<std::uint32_t> others;
+    for (std::size_t j = 0; j < bdds.input_vars.size(); ++j)
+      if (std::find(subset.begin(), subset.end(),
+                    static_cast<std::uint32_t>(j)) == subset.end())
+        others.push_back(bdds.input_vars[j]);
+    bdd::NodeRef g1 = mgr.forall_set(f, others);
+    bdd::NodeRef g0 = mgr.forall_set(mgr.bdd_not(f), others);
+    pc.coverage = mgr.sat_fraction(mgr.bdd_or(g1, g0));
+
+    std::unordered_map<std::uint32_t, GateId> var_nets;
+    for (std::size_t j = 0; j < bdds.input_vars.size(); ++j)
+      var_nets[bdds.input_vars[j]] = pc.inputs[j];
+    std::size_t before = nl.gate_count();
+    GateId g1_net = bdd::materialize(mgr, g1, nl, var_nets);
+    GateId g0_net = bdd::materialize(mgr, g0, nl, var_nets);
+    pc.predictor_gates = nl.gate_count() - before;
+
+    GateId fired = nl.add_binary(GateKind::Or, g1_net, g0_net, "fired");
+    load_enable = nl.add_unary(GateKind::Not, fired, "LE");
+    g1_reg = nl.add_dff(g1_net, false, "G1");
+    g0_reg = nl.add_dff(g0_net, false, "G0");
+    nl.mark_output(fired, "fired");
+  }
+
+  // Input register bank, recirculating when LE = 0.
+  netlist::Word regs;
+  for (int i = 0; i < n; ++i) {
+    GateId q = nl.add_dff(netlist::kNullGate, false,
+                          "R[" + std::to_string(i) + "]");
+    GateId d = precompute
+                   ? nl.add_mux(load_enable, q,
+                                pc.inputs[static_cast<std::size_t>(i)])
+                   : pc.inputs[static_cast<std::size_t>(i)];
+    nl.set_dff_input(q, d);
+    regs.push_back(q);
+  }
+
+  // Block A (a structural copy of the module) on the registered inputs.
+  auto xlat = netlist::copy_combinational(mod.netlist, nl, regs);
+  GateId f_out = xlat[mod.netlist.outputs()[0]];
+
+  GateId y;
+  if (precompute) {
+    GateId fired_reg =
+        nl.add_binary(GateKind::Or, g1_reg, g0_reg, "fired_q");
+    y = nl.add_mux(fired_reg, f_out, g1_reg, "y");
+  } else {
+    y = nl.add_unary(GateKind::Buf, f_out, "y");
+  }
+  nl.mark_output(y, "y");
+  return pc;
+}
+
+MultiPrecomputedCircuit build_precomputed_multi(
+    const netlist::Module& mod, std::span<const std::uint32_t> subset,
+    bool precompute) {
+  MultiPrecomputedCircuit pc;
+  netlist::Netlist& nl = pc.netlist;
+  pc.subset.assign(subset.begin(), subset.end());
+  const int n = mod.total_input_bits();
+  pc.n_outputs = mod.netlist.outputs().size();
+
+  for (int i = 0; i < n; ++i)
+    pc.inputs.push_back(nl.add_input("x[" + std::to_string(i) + "]"));
+
+  GateId load_enable = netlist::kNullGate;
+  GateId all_fired_reg = netlist::kNullGate;
+  std::vector<GateId> g1_regs;
+  if (precompute) {
+    bdd::Manager mgr;
+    auto bdds = bdd::build_bdds(mgr, mod.netlist);
+    std::vector<std::uint32_t> others;
+    for (std::size_t j = 0; j < bdds.input_vars.size(); ++j)
+      if (std::find(subset.begin(), subset.end(),
+                    static_cast<std::uint32_t>(j)) == subset.end())
+        others.push_back(bdds.input_vars[j]);
+
+    std::unordered_map<std::uint32_t, GateId> var_nets;
+    for (std::size_t j = 0; j < bdds.input_vars.size(); ++j)
+      var_nets[bdds.input_vars[j]] = pc.inputs[j];
+
+    std::size_t before = nl.gate_count();
+    bdd::NodeRef all_fired_fn = bdd::kTrue;
+    std::vector<GateId> fired_nets;
+    for (auto out_gate : mod.netlist.outputs()) {
+      bdd::NodeRef f = bdds.fn[out_gate];
+      bdd::NodeRef g1 = mgr.forall_set(f, others);
+      bdd::NodeRef g0 = mgr.forall_set(mgr.bdd_not(f), others);
+      all_fired_fn = mgr.bdd_and(all_fired_fn, mgr.bdd_or(g1, g0));
+      GateId g1_net = bdd::materialize(mgr, g1, nl, var_nets);
+      GateId g0_net = bdd::materialize(mgr, g0, nl, var_nets);
+      fired_nets.push_back(
+          nl.add_binary(GateKind::Or, g1_net, g0_net));
+      g1_regs.push_back(nl.add_dff(g1_net, false));
+    }
+    pc.coverage = mgr.sat_fraction(all_fired_fn);
+    GateId all_fired = fired_nets.size() == 1
+                           ? fired_nets[0]
+                           : nl.add_gate(GateKind::And, fired_nets);
+    pc.predictor_gates = nl.gate_count() - before;
+    load_enable = nl.add_unary(GateKind::Not, all_fired, "LE");
+    all_fired_reg = nl.add_dff(all_fired, false, "firedq");
+    nl.mark_output(all_fired, "fired");
+  }
+
+  netlist::Word regs;
+  for (int i = 0; i < n; ++i) {
+    GateId q = nl.add_dff(netlist::kNullGate, false);
+    GateId d = precompute
+                   ? nl.add_mux(load_enable, q,
+                                pc.inputs[static_cast<std::size_t>(i)])
+                   : pc.inputs[static_cast<std::size_t>(i)];
+    nl.set_dff_input(q, d);
+    regs.push_back(q);
+  }
+
+  auto xlat = netlist::copy_combinational(mod.netlist, nl, regs);
+  for (std::size_t o = 0; o < mod.netlist.outputs().size(); ++o) {
+    GateId f_out = xlat[mod.netlist.outputs()[o]];
+    GateId y = precompute
+                   ? nl.add_mux(all_fired_reg, f_out, g1_regs[o])
+                   : nl.add_unary(GateKind::Buf, f_out);
+    nl.mark_output(y, "y[" + std::to_string(o) + "]");
+  }
+  return pc;
+}
+
+PrecomputationEval evaluate_precomputed_multi(
+    const MultiPrecomputedCircuit& pc, const netlist::Module& reference,
+    const stats::VectorStream& input, const sim::PowerParams& params) {
+  PrecomputationEval ev;
+  sim::Simulator ref_sim(reference.netlist);
+  std::vector<std::uint64_t> ref_out;
+  for (std::uint64_t w : input.words) {
+    ref_sim.set_all_inputs(w);
+    ref_sim.eval();
+    ref_out.push_back(ref_sim.output_bits());
+  }
+
+  sim::Simulator s(pc.netlist);
+  sim::ActivityCollector col(pc.netlist);
+  bool has_fired = pc.netlist.outputs().size() > pc.n_outputs;
+  std::size_t y_base = has_fired ? 1 : 0;
+  std::size_t fired_cycles = 0;
+  for (std::size_t t = 0; t < input.words.size(); ++t) {
+    s.set_all_inputs(input.words[t]);
+    s.eval();
+    col.record(s);
+    if (has_fired && s.value(pc.netlist.outputs()[0])) ++fired_cycles;
+    if (t >= 1) {
+      std::uint64_t y = 0;
+      for (std::size_t o = 0; o < pc.n_outputs; ++o)
+        if (s.value(pc.netlist.outputs()[y_base + o]))
+          y |= std::uint64_t{1} << o;
+      if (y != ref_out[t - 1]) ev.functionally_correct = false;
+    }
+    s.tick();
+  }
+  ev.power =
+      sim::compute_power(pc.netlist, col.activities(), params).total_power;
+  if (!input.words.empty())
+    ev.coverage_observed = static_cast<double>(fired_cycles) /
+                           static_cast<double>(input.words.size());
+  return ev;
+}
+
+PrecomputationEval evaluate_precomputed(const PrecomputedCircuit& pc,
+                                        const netlist::Module& reference,
+                                        const stats::VectorStream& input,
+                                        const sim::PowerParams& params) {
+  PrecomputationEval ev;
+  // Reference (combinational) output sequence.
+  sim::Simulator ref_sim(reference.netlist);
+  std::vector<bool> ref_out;
+  ref_out.reserve(input.words.size());
+  for (std::uint64_t w : input.words) {
+    ref_sim.set_all_inputs(w);
+    ref_sim.eval();
+    ref_out.push_back(ref_sim.value(reference.netlist.outputs()[0]));
+  }
+
+  sim::Simulator s(pc.netlist);
+  sim::ActivityCollector col(pc.netlist);
+  GateId y = pc.netlist.outputs().back();  // "y" marked last
+  bool has_fired = pc.netlist.outputs().size() > 1;
+  GateId fired = has_fired ? pc.netlist.outputs()[0] : netlist::kNullGate;
+  std::size_t fired_cycles = 0;
+  for (std::size_t t = 0; t < input.words.size(); ++t) {
+    s.set_all_inputs(input.words[t]);
+    s.eval();
+    col.record(s);
+    if (has_fired && s.value(fired)) ++fired_cycles;
+    if (t >= 1 && s.value(y) != ref_out[t - 1]) ev.functionally_correct = false;
+    s.tick();
+  }
+  ev.power =
+      sim::compute_power(pc.netlist, col.activities(), params).total_power;
+  if (!input.words.empty())
+    ev.coverage_observed = static_cast<double>(fired_cycles) /
+                           static_cast<double>(input.words.size());
+  return ev;
+}
+
+}  // namespace hlp::core

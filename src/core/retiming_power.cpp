@@ -1,0 +1,138 @@
+#include "core/retiming_power.hpp"
+
+#include <algorithm>
+
+#include "netlist/copy.hpp"
+#include "sim/simulator.hpp"
+
+namespace hlp::core {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+namespace {
+
+std::vector<int> gate_levels(const Netlist& nl) {
+  std::vector<int> lvl(nl.gate_count(), 0);
+  for (GateId id : nl.topo_order()) {
+    const auto& g = nl.gate(id);
+    if (!netlist::is_logic(g.kind)) continue;
+    int m = 0;
+    for (GateId f : g.fanins) m = std::max(m, lvl[f]);
+    lvl[id] = m + 1;
+  }
+  return lvl;
+}
+
+}  // namespace
+
+RetimedCircuit place_registers_at_cut(const netlist::Module& mod,
+                                      int cut_level) {
+  RetimedCircuit rc;
+  rc.cut_level = cut_level;
+  Netlist& nl = rc.netlist;
+  const Netlist& src = mod.netlist;
+  auto levels = gate_levels(src);
+  auto fo = src.fanouts();
+
+  std::vector<GateId> new_inputs;
+  for (std::size_t i = 0; i < src.inputs().size(); ++i)
+    new_inputs.push_back(nl.add_input("x[" + std::to_string(i) + "]"));
+  auto xlat = netlist::copy_combinational(src, nl, new_inputs);
+
+  // Register each boundary net for its above-cut consumers.
+  for (GateId u = 0; u < src.gate_count(); ++u) {
+    if (levels[u] > cut_level) continue;
+    bool feeds_above = false;
+    for (GateId v : fo[u])
+      if (levels[v] > cut_level) feeds_above = true;
+    bool is_output_here =
+        std::find(src.outputs().begin(), src.outputs().end(), u) !=
+        src.outputs().end();
+    if (!feeds_above && !is_output_here) continue;
+    GateId q = nl.add_dff(xlat[u], false);
+    ++rc.registers;
+    for (GateId v : fo[u]) {
+      if (levels[v] <= cut_level) continue;
+      for (GateId& fi : nl.gate(xlat[v]).fanins)
+        if (fi == xlat[u]) fi = q;
+    }
+    if (is_output_here) xlat[u] = q;  // output sampled at the register
+  }
+  for (GateId o : src.outputs()) nl.mark_output(xlat[o]);
+  return rc;
+}
+
+RetimingEval evaluate_retimed(const RetimedCircuit& rc,
+                              const netlist::Module& reference,
+                              const stats::VectorStream& input,
+                              const sim::PowerParams& params) {
+  RetimingEval ev;
+  ev.registers = rc.registers;
+
+  // Glitch-aware power.
+  auto gl = sim::simulate_glitches(rc.netlist, input);
+  auto rep_total = sim::compute_power(rc.netlist, gl.total_activity, params);
+  auto rep_fn =
+      sim::compute_power(rc.netlist, gl.functional_activity, params);
+  ev.power_total = rep_total.total_power + rep_total.clock_power;
+  ev.power_functional = rep_fn.total_power + rep_fn.clock_power;
+
+  // Functional check: settled outputs equal the reference delayed one cycle.
+  sim::Simulator ref(reference.netlist);
+  sim::Simulator s(rc.netlist);
+  std::vector<std::uint64_t> ref_out;
+  for (std::size_t t = 0; t < input.words.size(); ++t) {
+    ref.set_all_inputs(input.words[t]);
+    ref.eval();
+    ref_out.push_back(ref.output_bits());
+    s.set_all_inputs(input.words[t]);
+    s.eval();
+    if (t >= 1 && s.output_bits() != ref_out[t - 1])
+      ev.functionally_correct = false;
+    s.tick();
+  }
+  return ev;
+}
+
+int select_cut_monteiro(const netlist::Module& mod,
+                        const stats::VectorStream& input,
+                        const sim::PowerParams& params) {
+  const Netlist& src = mod.netlist;
+  auto gl = sim::simulate_glitches(src, input);
+  auto levels = gate_levels(src);
+  auto fo = src.fanouts();
+  auto loads = src.loads(params.cap);
+  int depth = src.depth();
+
+  double best_score = -1e300;
+  int best_level = 0;
+  for (int L = 0; L < depth; ++L) {
+    double benefit = 0.0;
+    std::size_t regs = 0;
+    for (GateId u = 0; u < src.gate_count(); ++u) {
+      if (levels[u] > L) continue;
+      bool feeds_above = false;
+      for (GateId v : fo[u])
+        if (levels[v] > L) feeds_above = true;
+      if (!feeds_above) continue;
+      ++regs;
+      // Glitches on u currently re-propagate through everything above the
+      // cut; a register filters them. Weight by the remaining depth as a
+      // proxy for the affected capacitance.
+      double glitch = gl.total_activity[u] - gl.functional_activity[u];
+      benefit += glitch * loads[u] * static_cast<double>(depth - L);
+    }
+    double reg_cost =
+        static_cast<double>(regs) *
+        (2.0 * params.cap.dff_clock_cap + params.cap.dff_pin_cap);
+    double score = benefit - reg_cost;
+    if (score > best_score) {
+      best_score = score;
+      best_level = L;
+    }
+  }
+  return best_level;
+}
+
+}  // namespace hlp::core

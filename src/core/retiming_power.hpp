@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/generators.hpp"
+#include "sim/glitch_sim.hpp"
+#include "sim/power.hpp"
+
+namespace hlp::core {
+
+/// Section III-J, low-power retiming (Monteiro et al. [111], Fig. 9).
+///
+/// A one-stage pipeline is built around a combinational module by placing
+/// registers on a *cut* of its DAG (every input-to-output path crosses
+/// exactly one register). Registers at the primary inputs (cut level 0) are
+/// the un-retimed baseline; moving the cut past glitch-producing, heavily
+/// loaded gates filters their spurious transitions from the downstream
+/// logic, reducing power at identical function and latency.
+
+struct RetimedCircuit {
+  netlist::Netlist netlist;
+  int cut_level = 0;
+  std::size_t registers = 0;
+};
+
+/// Place the pipeline registers on the cut at unit-delay level `cut_level`:
+/// every net crossing from level <= cut_level to a consumer above it gets a
+/// register (level 0 = registers at the primary inputs).
+RetimedCircuit place_registers_at_cut(const netlist::Module& mod,
+                                      int cut_level);
+
+/// Glitch-aware power of a retimed circuit on a stream; also validates that
+/// sampled outputs equal the combinational reference delayed by one cycle.
+struct RetimingEval {
+  double power_total = 0.0;      ///< glitching included
+  double power_functional = 0.0; ///< zero-delay component
+  std::size_t registers = 0;
+  bool functionally_correct = true;
+};
+RetimingEval evaluate_retimed(const RetimedCircuit& rc,
+                              const netlist::Module& reference,
+                              const stats::VectorStream& input,
+                              const sim::PowerParams& params = {});
+
+/// Monteiro-style candidate selection: score each cut level by the summed
+/// (glitch activity x downstream load) it filters, from one glitch
+/// simulation of the unretimed circuit; returns the best level.
+int select_cut_monteiro(const netlist::Module& mod,
+                        const stats::VectorStream& input,
+                        const sim::PowerParams& params = {});
+
+}  // namespace hlp::core

@@ -1,0 +1,124 @@
+#include "core/sampling_power.hpp"
+
+#include "stats/descriptive.hpp"
+#include "sim/simulator.hpp"
+#include "stats/sampling.hpp"
+
+namespace hlp::core {
+
+CosimEstimate census_estimate(const ModuleCharacterization& eval_set,
+                              const MacroFn& model) {
+  CosimEstimate est;
+  stats::RunningStats rs;
+  for (std::size_t t = 0; t < eval_set.transitions(); ++t) {
+    rs.add(model(eval_set, t));
+    ++est.macro_evals;
+  }
+  est.mean_energy = rs.mean();
+  return est;
+}
+
+CosimEstimate sampler_estimate(const ModuleCharacterization& eval_set,
+                               const MacroFn& model, std::size_t sample_size,
+                               std::size_t n_samples, stats::Rng& rng) {
+  CosimEstimate est;
+  stats::RunningStats means;
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    auto idx =
+        stats::simple_random_sample(eval_set.transitions(), sample_size, rng);
+    stats::RunningStats rs;
+    for (std::size_t t : idx) {
+      rs.add(model(eval_set, t));
+      ++est.macro_evals;
+    }
+    means.add(rs.mean());
+  }
+  est.mean_energy = means.mean();
+  return est;
+}
+
+CosimEstimate adaptive_estimate(const ModuleCharacterization& eval_set,
+                                const MacroFn& model,
+                                std::size_t gate_sample_size,
+                                stats::Rng& rng) {
+  CosimEstimate est;
+  // Census of the (cheap) macro-model gives the population mean of X.
+  stats::RunningStats xs_pop;
+  for (std::size_t t = 0; t < eval_set.transitions(); ++t) {
+    xs_pop.add(model(eval_set, t));
+    ++est.macro_evals;
+  }
+  // Gate-level Y on a small subsample, paired with X.
+  auto idx = stats::simple_random_sample(eval_set.transitions(),
+                                         gate_sample_size, rng);
+  std::vector<double> xs, ys;
+  xs.reserve(idx.size());
+  ys.reserve(idx.size());
+  for (std::size_t t : idx) {
+    xs.push_back(model(eval_set, t));
+    ys.push_back(eval_set.energy[t]);
+    ++est.gate_cycle_sims;
+  }
+  est.mean_energy = stats::ratio_estimate_mean(xs, ys, xs_pop.mean());
+  return est;
+}
+
+CosimEstimate stratified_estimate(const ModuleCharacterization& eval_set,
+                                  const MacroFn& model, std::size_t strata,
+                                  std::size_t per_stratum, stats::Rng& rng) {
+  CosimEstimate est;
+  auto idx = stats::stratified_sample(eval_set.transitions(), strata,
+                                      per_stratum, rng);
+  stats::RunningStats rs;
+  for (std::size_t t : idx) {
+    rs.add(model(eval_set, t));
+    ++est.macro_evals;
+  }
+  est.mean_energy = rs.mean();
+  return est;
+}
+
+double gate_level_mean(const ModuleCharacterization& eval_set) {
+  return eval_set.mean_energy();
+}
+
+MonteCarloResult monte_carlo_power(
+    const netlist::Module& mod,
+    const std::function<std::uint64_t()>& vector_gen, double epsilon,
+    double confidence, std::size_t min_pairs, std::size_t max_pairs,
+    const netlist::CapacitanceModel& cap) {
+  MonteCarloResult res;
+  const auto& nl = mod.netlist;
+  auto loads = nl.loads(cap);
+  sim::Simulator s(nl);
+  std::vector<std::uint8_t> prev(nl.gate_count(), 0);
+  stats::RunningStats rs;
+
+  for (std::size_t k = 0; k < max_pairs; ++k) {
+    // One independent vector pair: apply v1, settle, then v2, count.
+    s.set_all_inputs(vector_gen());
+    s.eval();
+    for (netlist::GateId g = 0; g < nl.gate_count(); ++g)
+      prev[g] = s.value(g) ? 1 : 0;
+    s.set_all_inputs(vector_gen());
+    s.eval();
+    double e = 0.0;
+    for (netlist::GateId g = 0; g < nl.gate_count(); ++g)
+      if ((s.value(g) ? 1 : 0) != prev[g]) e += loads[g];
+    rs.add(e);
+    if (rs.count() >= min_pairs) {
+      double hw = stats::ci_halfwidth(rs, confidence);
+      if (rs.mean() > 0.0 && hw <= epsilon * rs.mean()) {
+        res.converged = true;
+        res.ci_halfwidth = hw;
+        break;
+      }
+    }
+  }
+  res.mean_energy = rs.mean();
+  res.pairs = rs.count();
+  if (!res.converged) res.ci_halfwidth = stats::ci_halfwidth(rs, confidence);
+  return res;
+}
+
+}  // namespace hlp::core

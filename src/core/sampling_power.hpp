@@ -1,0 +1,75 @@
+#pragma once
+
+#include <functional>
+
+#include "core/macromodel.hpp"
+#include "stats/rng.hpp"
+
+namespace hlp::core {
+
+/// Section II-C2: power co-simulation estimators layered on a macro-model.
+///
+/// The "RT-level simulator" is our functional simulator; the estimators
+/// differ in how often they collect input statistics and evaluate the
+/// macro-model (census = every cycle, sampler = sampled cycles) and whether
+/// they correct macro-model bias with a small number of gate-level cycle
+/// simulations (adaptive).
+
+/// A macro-model evaluated at transition t of a characterization set.
+using MacroFn =
+    std::function<double(const ModuleCharacterization&, std::size_t)>;
+
+struct CosimEstimate {
+  double mean_energy = 0.0;       ///< estimated switched cap per cycle
+  std::size_t macro_evals = 0;    ///< data collections + model evaluations
+  std::size_t gate_cycle_sims = 0;///< gate-level cycles simulated
+};
+
+/// Census macro-modeling [46]: evaluate the macro-model at every cycle.
+CosimEstimate census_estimate(const ModuleCharacterization& eval_set,
+                              const MacroFn& model);
+
+/// Sampler macro-modeling [46]: `n_samples` simple random samples of
+/// `sample_size` cycles each (>= 30 for normality); the estimate is the
+/// mean of sample means.
+CosimEstimate sampler_estimate(const ModuleCharacterization& eval_set,
+                               const MacroFn& model, std::size_t sample_size,
+                               std::size_t n_samples, stats::Rng& rng);
+
+/// Adaptive macro-modeling [46]: the macro-model is used as a *predictor*
+/// for the gate-level power; a small random subsample of cycles is simulated
+/// at gate level and a ratio estimator maps the census macro mean onto the
+/// gate-level scale, removing training-set bias.
+CosimEstimate adaptive_estimate(const ModuleCharacterization& eval_set,
+                                const MacroFn& model,
+                                std::size_t gate_sample_size,
+                                stats::Rng& rng);
+
+/// Stratified sampling (Ding et al. [33]): the cycle axis is split into
+/// contiguous strata and each is sampled, which cuts the estimator variance
+/// when power drifts over the trace (program phases).
+CosimEstimate stratified_estimate(const ModuleCharacterization& eval_set,
+                                  const MacroFn& model, std::size_t strata,
+                                  std::size_t per_stratum, stats::Rng& rng);
+
+/// Gate-level reference mean (full census of reference energies).
+double gate_level_mean(const ModuleCharacterization& eval_set);
+
+/// Monte Carlo gate-level power estimation with confidence-interval
+/// stopping (Burch et al. [32], the paper's II-C step 4 speedup): simulate
+/// random vector *pairs* drawn from the generator until the relative CI
+/// half-width of mean switched cap falls below `epsilon`.
+struct MonteCarloResult {
+  double mean_energy = 0.0;   ///< switched cap per transition
+  std::size_t pairs = 0;      ///< vector pairs simulated
+  double ci_halfwidth = 0.0;  ///< absolute, at the requested confidence
+  bool converged = false;
+};
+MonteCarloResult monte_carlo_power(
+    const netlist::Module& mod,
+    const std::function<std::uint64_t()>& vector_gen, double epsilon,
+    double confidence = 0.95, std::size_t min_pairs = 30,
+    std::size_t max_pairs = 100000,
+    const netlist::CapacitanceModel& cap = {});
+
+}  // namespace hlp::core

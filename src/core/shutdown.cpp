@@ -1,0 +1,299 @@
+#include "core/shutdown.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "stats/regression.hpp"
+
+namespace hlp::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<WorkloadEvent> session_workload(std::size_t n_events,
+                                            stats::Rng& rng,
+                                            double mean_active,
+                                            double mean_idle_short,
+                                            double mean_idle_long,
+                                            double session_end_prob) {
+  std::vector<WorkloadEvent> w;
+  w.reserve(n_events);
+  for (std::size_t i = 0; i < n_events; ++i) {
+    bool session_ends = rng.bit(session_end_prob);
+    WorkloadEvent e;
+    if (session_ends) {
+      // Trailing interaction is a brief housekeeping burst, then a
+      // heavy-tailed session gap.
+      e.active = rng.exponential_mean(mean_active * 0.12) + 0.05;
+      e.idle = rng.pareto(mean_idle_long * 0.4, 1.8);
+    } else {
+      // Real interactive bursts have a minimum service time; that floor is
+      // what makes the pre-gap bursts recognizably short (the structural
+      // signal Srivastava's threshold predictor exploits).
+      e.active = 0.3 * mean_active + rng.exponential_mean(mean_active * 0.7);
+      e.idle = rng.exponential_mean(mean_idle_short) + 0.05;
+    }
+    w.push_back(e);
+  }
+  return w;
+}
+
+double breakeven_idle(const DeviceParams& dev) {
+  // Sleeping for T costs p_sleep*T + e_restart; staying up costs p_idle*T.
+  return dev.e_restart / (dev.p_idle - dev.p_sleep);
+}
+
+double max_power_improvement(const std::vector<WorkloadEvent>& workload) {
+  double ta = 0.0, ti = 0.0;
+  for (const auto& e : workload) {
+    ta += e.active;
+    ti += e.idle;
+  }
+  return ta > 0.0 ? 1.0 + ti / ta : 1.0;
+}
+
+namespace {
+
+class AlwaysOn final : public ShutdownPolicy {
+ public:
+  IdleDecision on_idle(double) override { return {}; }
+  std::string name() const override { return "always-on"; }
+};
+
+class Oracle final : public ShutdownPolicy {
+ public:
+  Oracle(const std::vector<WorkloadEvent>& w, const DeviceParams& dev)
+      : breakeven_(breakeven_idle(dev)), restart_(dev.t_restart) {
+    for (const auto& e : w) idles_.push_back(e.idle);
+  }
+  IdleDecision on_idle(double) override {
+    IdleDecision d;
+    double ti = idles_[std::min(k_, idles_.size() - 1)];
+    ++k_;
+    if (ti > breakeven_) {
+      d.sleep_after = 0.0;
+      d.predicted_idle = ti;  // perfect prewakeup
+      (void)restart_;
+    }
+    return d;
+  }
+  std::string name() const override { return "oracle"; }
+
+ private:
+  std::vector<double> idles_;
+  std::size_t k_ = 0;
+  double breakeven_;
+  double restart_;
+};
+
+class StaticTimeout final : public ShutdownPolicy {
+ public:
+  explicit StaticTimeout(double t) : timeout_(t) {}
+  IdleDecision on_idle(double) override {
+    IdleDecision d;
+    d.sleep_after = timeout_;
+    return d;
+  }
+  std::string name() const override {
+    return "static-T=" + std::to_string(timeout_);
+  }
+
+ private:
+  double timeout_;
+};
+
+class Regression final : public ShutdownPolicy {
+ public:
+  Regression(const DeviceParams& dev, std::size_t window)
+      : breakeven_(breakeven_idle(dev)), window_(window) {}
+  IdleDecision on_idle(double prev_active) override {
+    last_active_ = prev_active;
+    IdleDecision d;
+    if (hist_a_.size() >= 8) {
+      stats::Matrix x(hist_a_.size());
+      for (std::size_t i = 0; i < hist_a_.size(); ++i)
+        x[i] = {hist_a_[i], hist_a_[i] * hist_a_[i], hist_i_[i]};
+      std::vector<double> y(hist_next_i_.begin(), hist_next_i_.end());
+      auto fit = stats::ols(x, y);
+      if (fit.ok) {
+        double prev_i = hist_next_i_.empty() ? 0.0 : hist_next_i_.back();
+        double row[3] = {prev_active, prev_active * prev_active, prev_i};
+        double pred = fit.predict(row);
+        if (pred > breakeven_) d.sleep_after = 0.0;
+      }
+    }
+    return d;
+  }
+  void after_idle(double actual_idle) override {
+    double prev_i = hist_next_i_.empty() ? 0.0 : hist_next_i_.back();
+    hist_a_.push_back(last_active_);
+    hist_i_.push_back(prev_i);
+    hist_next_i_.push_back(actual_idle);
+    if (hist_a_.size() > window_) {
+      hist_a_.pop_front();
+      hist_i_.pop_front();
+      hist_next_i_.pop_front();
+    }
+  }
+  std::string name() const override { return "srivastava-regression"; }
+
+ private:
+  double breakeven_;
+  std::size_t window_;
+  double last_active_ = 0.0;
+  std::deque<double> hist_a_, hist_i_, hist_next_i_;
+};
+
+class Threshold final : public ShutdownPolicy {
+ public:
+  explicit Threshold(const DeviceParams& dev)
+      : breakeven_(breakeven_idle(dev)) {}
+  IdleDecision on_idle(double prev_active) override {
+    IdleDecision d;
+    if (n_ >= 8 && prev_active < threshold_) d.sleep_after = 0.0;
+    // Running low-quantile estimate of active periods ("shorter than the
+    // shortest typically seen"), kept adaptive instead of an absolute min
+    // so one outlier does not freeze the policy.
+    threshold_ = threshold_ + 0.05 * (prev_active * 0.3 - threshold_);
+    ++n_;
+    (void)breakeven_;
+    return d;
+  }
+  std::string name() const override { return "srivastava-threshold"; }
+
+ private:
+  double breakeven_;
+  double threshold_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+class HwangWu final : public ShutdownPolicy {
+ public:
+  HwangWu(const DeviceParams& dev, double alpha)
+      : breakeven_(breakeven_idle(dev)), restart_(dev.t_restart),
+        alpha_(alpha) {}
+  IdleDecision on_idle(double prev_active) override {
+    IdleDecision d;
+    // Exponential average in log space: robust to the heavy idle tail, so
+    // a run of short idles keeps the predictor short and a single long gap
+    // does not poison it.
+    double pred = n_ ? std::exp(log_pred_) : 0.0;
+    bool short_burst = n_ > 4 && prev_active < 0.25 * avg_active_;
+    if (pred > breakeven_ + restart_ || short_burst) {
+      d.sleep_after = 0.0;
+      // Prewakeup only when the prediction itself says "long".
+      if (pred > breakeven_ + restart_) d.predicted_idle = pred;
+    } else {
+      // Default guard: behave like a conservative timeout policy so long
+      // idles are never missed entirely, while marginal idles (which would
+      // pay the wake-up latency for little gain) stay powered.
+      d.sleep_after = 2.5 * breakeven_;
+    }
+    avg_active_ = n_ ? (avg_active_ * 0.9 + prev_active * 0.1) : prev_active;
+    ++n_;
+    return d;
+  }
+  void after_idle(double actual) override {
+    under_predicted_ = n_ > 0 && actual > std::exp(log_pred_) * 3.0;
+    last_actual_ = actual;
+    double la = std::log(std::max(actual, 1e-6));
+    log_pred_ = n_ > 1 ? alpha_ * la + (1.0 - alpha_) * log_pred_ : la;
+  }
+  std::string name() const override { return "hwang-wu"; }
+
+ private:
+  double breakeven_, restart_, alpha_;
+  double log_pred_ = 0.0;
+  double avg_active_ = 0.0;
+  double last_actual_ = 0.0;
+  bool under_predicted_ = false;
+  std::size_t n_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ShutdownPolicy> always_on_policy() {
+  return std::make_unique<AlwaysOn>();
+}
+std::unique_ptr<ShutdownPolicy> oracle_policy(
+    const std::vector<WorkloadEvent>& workload, const DeviceParams& dev) {
+  return std::make_unique<Oracle>(workload, dev);
+}
+std::unique_ptr<ShutdownPolicy> static_timeout_policy(double timeout) {
+  return std::make_unique<StaticTimeout>(timeout);
+}
+std::unique_ptr<ShutdownPolicy> regression_policy(const DeviceParams& dev,
+                                                  std::size_t window) {
+  return std::make_unique<Regression>(dev, window);
+}
+std::unique_ptr<ShutdownPolicy> threshold_policy(const DeviceParams& dev) {
+  return std::make_unique<Threshold>(dev);
+}
+std::unique_ptr<ShutdownPolicy> hwang_wu_policy(const DeviceParams& dev,
+                                                double alpha) {
+  return std::make_unique<HwangWu>(dev, alpha);
+}
+
+PolicyResult simulate_policy(const std::vector<WorkloadEvent>& workload,
+                             const DeviceParams& dev,
+                             ShutdownPolicy& policy) {
+  PolicyResult r;
+  r.policy = policy.name();
+  for (const auto& e : workload) {
+    // Active phase.
+    r.energy += dev.p_active * e.active;
+    r.elapsed += e.active;
+
+    IdleDecision d = policy.on_idle(e.active);
+    double ti = e.idle;
+    if (d.sleep_after >= ti) {
+      // Never slept during this idle period.
+      r.energy += dev.p_idle * ti;
+      r.elapsed += ti;
+    } else {
+      double awake = std::max(0.0, d.sleep_after);
+      double asleep_start = awake;
+      ++r.shutdowns;
+      r.energy += dev.p_idle * awake;
+      double wake_delay = dev.t_restart;
+      double sleep_time = ti - asleep_start;
+      if (std::isfinite(d.predicted_idle)) {
+        // Prewakeup: device begins restarting at predicted_idle - t_restart.
+        double prewake_at = std::max(asleep_start,
+                                     d.predicted_idle - dev.t_restart);
+        if (prewake_at + dev.t_restart <= ti) {
+          // Ready before the request arrives. If the prediction was far too
+          // early the policy notices the continued silence and re-sleeps
+          // after one break-even interval (misprediction correction);
+          // otherwise the device idles briefly until the request.
+          sleep_time = prewake_at - asleep_start;
+          double ready_at = prewake_at + dev.t_restart;
+          double early = ti - ready_at;
+          double be = breakeven_idle(dev);
+          if (early > 2.0 * be) {
+            r.energy += dev.p_idle * be + dev.p_sleep * (early - be) +
+                        dev.e_restart;
+            ++r.shutdowns;
+            wake_delay = dev.t_restart;  // asleep again at the request
+          } else {
+            r.energy += dev.p_idle * early;
+            wake_delay = 0.0;
+          }
+        } else if (prewake_at < ti) {
+          // Restart in flight when the request arrives: partial delay.
+          sleep_time = prewake_at - asleep_start;
+          wake_delay = prewake_at + dev.t_restart - ti;
+        }
+      }
+      r.energy += dev.p_sleep * sleep_time + dev.e_restart;
+      r.elapsed += ti + wake_delay;
+      r.delay_penalty += wake_delay;
+    }
+    policy.after_idle(ti);
+  }
+  return r;
+}
+
+}  // namespace hlp::core

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace hlp::core {
+
+/// Section III-B: event-driven device shutdown policies.
+
+/// One busy/quiet episode: the device computes for `active` time units, then
+/// sits idle for `idle` time units until the next request.
+struct WorkloadEvent {
+  double active = 0.0;
+  double idle = 0.0;
+};
+
+/// Interactive-session workload (models the X-server traces of Srivastava
+/// et al. [58]): bursts of short active/short idle events inside a session,
+/// heavy-tailed long idle gaps between sessions. Within sessions the active
+/// periods are longer; the last active period before a session gap is short
+/// — the structural signal their threshold predictor keys on.
+std::vector<WorkloadEvent> session_workload(std::size_t n_events,
+                                            stats::Rng& rng,
+                                            double mean_active = 10.0,
+                                            double mean_idle_short = 5.0,
+                                            double mean_idle_long = 2000.0,
+                                            double session_end_prob = 0.08);
+
+/// Device electrical/timing parameters.
+struct DeviceParams {
+  double p_active = 1.0;    ///< power while computing
+  double p_idle = 0.95;     ///< power while powered but idle
+  double p_sleep = 0.01;    ///< power while shut down
+  double t_restart = 4.0;   ///< wake-up latency
+  double e_restart = 6.0;   ///< extra energy per wake-up
+};
+
+/// Decision a policy makes when the device becomes idle.
+struct IdleDecision {
+  /// Wait this long (in the idle state) before shutting down; 0 = sleep
+  /// immediately; infinity = never sleep.
+  double sleep_after = std::numeric_limits<double>::infinity();
+  /// Predicted idle length; if finite, the simulator performs a prewakeup
+  /// so the device is ready at this time (Hwang–Wu [59]).
+  double predicted_idle = std::numeric_limits<double>::infinity();
+};
+
+/// Policy interface: called at each idle-period start with the length of
+/// the just-finished active period; told the true idle length afterwards.
+class ShutdownPolicy {
+ public:
+  virtual ~ShutdownPolicy() = default;
+  virtual IdleDecision on_idle(double prev_active) = 0;
+  virtual void after_idle(double actual_idle) { (void)actual_idle; }
+  virtual std::string name() const = 0;
+};
+
+/// Never shuts down.
+std::unique_ptr<ShutdownPolicy> always_on_policy();
+/// Clairvoyant: sleeps immediately iff the idle period is long enough to
+/// amortize the restart cost (upper bound on any causal policy).
+std::unique_ptr<ShutdownPolicy> oracle_policy(
+    const std::vector<WorkloadEvent>& workload, const DeviceParams& dev);
+/// Fig. 3 static policy: sleep after a fixed timeout T.
+std::unique_ptr<ShutdownPolicy> static_timeout_policy(double timeout);
+/// Srivastava regression predictor [58]: quadratic regression of idle
+/// length on the preceding active length, fitted online.
+std::unique_ptr<ShutdownPolicy> regression_policy(const DeviceParams& dev,
+                                                  std::size_t window = 64);
+/// Srivastava threshold predictor [58]: sleep immediately when the
+/// preceding active period is shorter than a (running) threshold.
+std::unique_ptr<ShutdownPolicy> threshold_policy(const DeviceParams& dev);
+/// Hwang–Wu [59]: exponentially weighted idle-length predictor with
+/// prewakeup and watchdog-based misprediction correction.
+std::unique_ptr<ShutdownPolicy> hwang_wu_policy(const DeviceParams& dev,
+                                                double alpha = 0.3);
+
+/// Simulation result over a workload.
+struct PolicyResult {
+  std::string policy;
+  double energy = 0.0;
+  double elapsed = 0.0;        ///< total time including wake-up delays
+  double delay_penalty = 0.0;  ///< summed wake-up latency seen by requests
+  std::size_t shutdowns = 0;
+  double avg_power() const { return elapsed > 0.0 ? energy / elapsed : 0.0; }
+  /// Fractional slowdown: added latency over the busy time.
+  double perf_loss(double busy_time) const {
+    return busy_time > 0.0 ? delay_penalty / busy_time : 0.0;
+  }
+};
+
+PolicyResult simulate_policy(const std::vector<WorkloadEvent>& workload,
+                             const DeviceParams& dev, ShutdownPolicy& policy);
+
+/// Break-even idle length: sleeping pays off iff T_I exceeds this.
+double breakeven_idle(const DeviceParams& dev);
+
+/// Theoretical maximum power improvement 1 + T_I/T_A from the paper.
+double max_power_improvement(const std::vector<WorkloadEvent>& workload);
+
+}  // namespace hlp::core

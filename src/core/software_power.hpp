@@ -1,0 +1,74 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/isa.hpp"
+#include "isa/programs.hpp"
+#include "stats/rng.hpp"
+
+namespace hlp::core {
+
+/// Tiwari et al. [7] instruction-level energy model:
+///   Energy = sum_i BC_i N_i + sum_{i,j} SC_{i,j} N_{i,j} + sum_k OC_k.
+/// Base costs are per-instruction; circuit-state costs SC_{i,j} are charged
+/// per adjacent pair; "other" costs cover stalls and cache misses.
+struct InstructionEnergyModel {
+  std::array<double, isa::kNumOpcodes> base{};  ///< BC_i [energy units]
+  /// SC_{i,j}: cost of i followed by j. Modeled as class-switch penalties
+  /// (ALU <-> MUL <-> MEM <-> BRANCH) plus a small generic term.
+  std::array<std::array<double, isa::kNumOpcodes>, isa::kNumOpcodes> state{};
+  double stall_cost = 0.6;        ///< per stall cycle
+  double cache_miss_cost = 4.0;   ///< per cache miss (I or D)
+
+  /// Default model loosely following published DSP/CPU measurements:
+  /// mul > mem > alu > branch > nop base costs; inter-class switches cost
+  /// extra.
+  static InstructionEnergyModel typical();
+
+  /// Total energy of an execution according to the model.
+  double energy(const isa::ExecStats& st) const;
+  /// Energy per instruction.
+  double epi(const isa::ExecStats& st) const {
+    return st.instructions ? energy(st) / static_cast<double>(st.instructions)
+                           : 0.0;
+  }
+};
+
+/// Characteristic profile (Hsieh et al. [8], step 2): the statistics the
+/// profile-driven synthesis preserves.
+struct CharacteristicProfile {
+  std::array<double, isa::kNumOpcodes> mix{};  ///< instruction-mix fractions
+  double icache_miss_rate = 0.0;
+  double dcache_miss_rate = 0.0;   ///< per memory access
+  double branch_taken_rate = 0.0;
+  double branch_fraction = 0.0;    ///< branches / instructions
+  std::uint64_t instructions = 0;
+
+  static CharacteristicProfile from(const isa::ExecStats& st);
+};
+
+/// Profile-driven program synthesis (Hsieh et al. [8], step 3): generate a
+/// short program whose execution matches the profile's instruction mix and
+/// cache/branch behaviour. `target_instructions` is the synthetic trace
+/// length (orders of magnitude below the original).
+isa::Program synthesize_program(const CharacteristicProfile& profile,
+                                std::uint64_t target_instructions,
+                                const isa::MachineConfig& cfg,
+                                std::uint64_t seed);
+
+/// Cold scheduling (Su et al. [6]): reorder instructions inside dependence-
+/// free windows of a basic block to minimize the summed circuit-state cost
+/// sum SC(op_t, op_{t+1}). Returns the rescheduled program. Only straight-
+/// line segments between branches are touched; data dependences (RAW/WAR/
+/// WAW through registers and any memory op order) are preserved.
+isa::Program cold_schedule(const isa::Program& prog,
+                           const InstructionEnergyModel& model);
+
+/// Static circuit-state cost of a program's layout (sum over adjacent
+/// static instruction pairs, ignoring control flow) — the list scheduler's
+/// objective.
+double static_state_cost(const isa::Program& prog,
+                         const InstructionEnergyModel& model);
+
+}  // namespace hlp::core

@@ -1,0 +1,110 @@
+#include "core/two_level.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <set>
+
+namespace hlp::core {
+
+int Cube::literals() const { return std::popcount(care); }
+
+std::uint64_t Cube::size(int n) const {
+  return std::uint64_t{1} << (n - literals());
+}
+
+std::vector<Cube> prime_implicants(const TruthTable& tt, int n) {
+  const std::uint32_t full =
+      n >= 32 ? ~0u : ((std::uint32_t{1} << n) - 1);
+  // Start from on-set minterms as fully bound cubes.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> current;
+  for (std::uint32_t m = 0; m < tt.size(); ++m)
+    if (tt[m]) current.insert({full, m});
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> next;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, bool> combined;
+    for (const auto& c : current) combined[c] = false;
+    // Try to merge cube pairs differing in exactly one bound position.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> list(
+        current.begin(), current.end());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        if (list[i].first != list[j].first) continue;  // same care set
+        std::uint32_t diff = list[i].second ^ list[j].second;
+        if (std::popcount(diff) != 1) continue;
+        std::uint32_t ncare = list[i].first & ~diff;
+        std::uint32_t nval = list[i].second & ncare;
+        next.insert({ncare, nval});
+        combined[list[i]] = true;
+        combined[list[j]] = true;
+      }
+    }
+    for (const auto& [cube, was_combined] : combined)
+      if (!was_combined) primes.push_back({cube.first, cube.second});
+    current = std::move(next);
+  }
+  return primes;
+}
+
+std::vector<Cube> essential_primes(const TruthTable& tt, int n,
+                                   const std::vector<Cube>& primes) {
+  std::vector<Cube> essentials;
+  (void)n;
+  for (std::uint32_t m = 0; m < tt.size(); ++m) {
+    if (!tt[m]) continue;
+    int covering = 0;
+    const Cube* only = nullptr;
+    for (const Cube& p : primes) {
+      if (p.covers(m)) {
+        ++covering;
+        only = &p;
+        if (covering > 1) break;
+      }
+    }
+    if (covering == 1) {
+      if (std::find(essentials.begin(), essentials.end(), *only) ==
+          essentials.end())
+        essentials.push_back(*only);
+    }
+  }
+  return essentials;
+}
+
+std::vector<Cube> minimize_cover(const TruthTable& tt, int n) {
+  auto primes = prime_implicants(tt, n);
+  auto cover = essential_primes(tt, n, primes);
+  std::vector<bool> covered(tt.size(), false);
+  auto mark = [&](const Cube& c) {
+    for (std::uint32_t m = 0; m < tt.size(); ++m)
+      if (tt[m] && c.covers(m)) covered[m] = true;
+  };
+  for (const Cube& c : cover) mark(c);
+  // Greedy: repeatedly pick the prime covering the most uncovered minterms.
+  for (;;) {
+    std::size_t best_gain = 0;
+    const Cube* best = nullptr;
+    for (const Cube& p : primes) {
+      std::size_t gain = 0;
+      for (std::uint32_t m = 0; m < tt.size(); ++m)
+        if (tt[m] && !covered[m] && p.covers(m)) ++gain;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = &p;
+      }
+    }
+    if (!best) break;
+    cover.push_back(*best);
+    mark(*best);
+  }
+  return cover;
+}
+
+int cover_literals(const std::vector<Cube>& cover) {
+  int total = 0;
+  for (const Cube& c : cover) total += c.literals();
+  return total;
+}
+
+}  // namespace hlp::core

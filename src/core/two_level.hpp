@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hlp::core {
+
+/// A cube (product term) over n variables: `care` marks bound positions,
+/// `value` gives their polarity (value bits outside `care` are 0).
+struct Cube {
+  std::uint32_t care = 0;
+  std::uint32_t value = 0;
+
+  int literals() const;
+  bool covers(std::uint32_t minterm) const {
+    return (minterm & care) == value;
+  }
+  /// Number of minterms covered (over n variables).
+  std::uint64_t size(int n) const;
+  bool operator==(const Cube&) const = default;
+};
+
+/// Truth table: bit/byte per minterm, index = input assignment.
+using TruthTable = std::vector<std::uint8_t>;
+
+/// TruthTable of a function given as an evaluator.
+template <typename F>
+TruthTable table_from(int n, F&& f) {
+  TruthTable tt(std::size_t{1} << n);
+  for (std::uint32_t m = 0; m < tt.size(); ++m)
+    tt[m] = f(m) ? 1 : 0;
+  return tt;
+}
+
+/// All prime implicants of the on-set (Quine–McCluskey). n <= 16.
+std::vector<Cube> prime_implicants(const TruthTable& tt, int n);
+
+/// Essential prime implicants (primes covering a minterm no other prime
+/// covers).
+std::vector<Cube> essential_primes(const TruthTable& tt, int n,
+                                   const std::vector<Cube>& primes);
+
+/// Minimal-ish cover: essentials plus greedy selection by coverage.
+std::vector<Cube> minimize_cover(const TruthTable& tt, int n);
+
+/// Total literal count of a cover.
+int cover_literals(const std::vector<Cube>& cover);
+
+}  // namespace hlp::core

@@ -1,0 +1,116 @@
+#include "fsm/benchmarks.hpp"
+
+#include "fsm/kiss.hpp"
+
+namespace hlp::fsm {
+
+namespace {
+
+// Inputs: bit0 = car waiting on side road, bit1 = timer expired.
+// Outputs: bit0 = main green, bit1 = side green (both low = yellow phase).
+constexpr const char* kTrafficKiss = R"(
+.i 2
+.o 2
+.r mgreen
+-0 mgreen mgreen 01
+01 mgreen mgreen 01
+11 mgreen myel   00
+-- myel   sgreen 10
+-1 sgreen myel2  00
+0- sgreen myel2  00
+11 sgreen sgreen 10
+-- myel2  mgreen 01
+.e
+)";
+
+// Serial receiver. Inputs: bit0 = rx line, bit1 = baud tick.
+// Outputs: bit0 = busy, bit1 = byte-ready strobe.
+constexpr const char* kUartKiss = R"(
+.i 2
+.o 2
+.r idle
+-0 idle  idle  00
+10 idle  idle  00
+11 idle  idle  00
+01 idle  start 01
+-0 start start 01
+-1 start d0    01
+-0 d0 d0 01
+-1 d0 d1 01
+-0 d1 d1 01
+-1 d1 d2 01
+-0 d2 d2 01
+-1 d2 d3 01
+-0 d3 d3 01
+-1 d3 d4 01
+-0 d4 d4 01
+-1 d4 d5 01
+-0 d5 d5 01
+-1 d5 d6 01
+-0 d6 d6 01
+-1 d6 d7 01
+-0 d7 d7 01
+-1 d7 stop 01
+-0 stop stop 01
+-1 stop idle 11
+.e
+)";
+
+// DMA channel. Inputs: bit0 = request, bit1 = bus grant / ack.
+// Outputs: bit0 = bus request, bit1 = transfer active.
+constexpr const char* kDmaKiss = R"(
+.i 2
+.o 2
+.r idle
+0- idle idle 00
+1- idle req  10
+-0 req  req  10
+-1 req  b0   01
+-0 b0 err 00
+-1 b0 b1 01
+-0 b1 err 00
+-1 b1 b2 01
+-0 b2 err 00
+-1 b2 b3 01
+-- b3 done 01
+-- done idle 00
+-- err  req  10
+.e
+)";
+
+// Elevator, two floors. Inputs: bit0 = call other floor, bit1 = door timer.
+// Outputs: bit0 = motor, bit1 = door open.
+constexpr const char* kElevatorKiss = R"(
+.i 2
+.o 2
+.r f1
+0- f1 f1 01
+1- f1 c1 00
+-0 c1 c1 00
+-1 c1 up 10
+-- up f2 01
+0- f2 f2 01
+1- f2 c2 00
+-0 c2 c2 00
+-1 c2 dn 10
+-- dn f1 01
+.e
+)";
+
+}  // namespace
+
+Stg traffic_light_fsm() { return parse_kiss2(kTrafficKiss); }
+Stg uart_rx_fsm() { return parse_kiss2(kUartKiss); }
+Stg dma_fsm() { return parse_kiss2(kDmaKiss); }
+Stg elevator_fsm() { return parse_kiss2(kElevatorKiss); }
+
+std::vector<NamedFsm> controller_benchmarks() {
+  std::vector<NamedFsm> out;
+  out.push_back({"traffic", traffic_light_fsm()});
+  out.push_back({"uart-rx", uart_rx_fsm()});
+  out.push_back({"dma", dma_fsm()});
+  out.push_back({"elevator", elevator_fsm()});
+  return out;
+}
+
+}  // namespace hlp::fsm

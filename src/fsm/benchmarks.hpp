@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/stg.hpp"
+
+namespace hlp::fsm {
+
+/// Curated controller benchmarks, distributed as KISS2 text (the MCNC
+/// interchange format) and parsed at construction. These are original
+/// machines written for this library in the style of the classic benchmark
+/// suites: reactive controllers with hot idle states, bursty handshakes,
+/// and mode registers — the structures the Section III-H/III-I experiments
+/// care about.
+struct NamedFsm {
+  std::string name;
+  Stg stg;
+};
+
+/// Traffic-light controller: car sensor + timer inputs, light outputs.
+Stg traffic_light_fsm();
+
+/// UART receiver: idle / start-bit check / 8 data bits / stop-bit check.
+Stg uart_rx_fsm();
+
+/// DMA channel: request/grant handshake, 4-beat burst, error recovery.
+Stg dma_fsm();
+
+/// Two-floor elevator controller with door timer.
+Stg elevator_fsm();
+
+/// All of the above.
+std::vector<NamedFsm> controller_benchmarks();
+
+}  // namespace hlp::fsm

@@ -1,0 +1,135 @@
+#include "fsm/kiss.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace hlp::fsm {
+
+namespace {
+
+struct RawTransition {
+  std::string in, from, to, out;
+};
+
+}  // namespace
+
+Stg parse_kiss2(std::string_view text) {
+  int n_in = -1, n_out = -1;
+  std::string reset;
+  std::vector<RawTransition> raw;
+
+  std::istringstream ss{std::string(text)};
+  std::string line;
+  while (std::getline(ss, line)) {
+    // Strip comments and whitespace.
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+    if (tok == ".i") {
+      ls >> n_in;
+    } else if (tok == ".o") {
+      ls >> n_out;
+    } else if (tok == ".s" || tok == ".p") {
+      int ignored;
+      ls >> ignored;
+    } else if (tok == ".r") {
+      ls >> reset;
+    } else if (tok == ".e" || tok == ".end") {
+      break;
+    } else if (tok[0] == '.') {
+      continue;  // unknown directive
+    } else {
+      RawTransition t;
+      t.in = tok;
+      if (!(ls >> t.from >> t.to >> t.out))
+        throw std::invalid_argument("kiss2: malformed transition: " + line);
+      raw.push_back(std::move(t));
+    }
+  }
+  if (n_in < 0 || n_out < 0)
+    throw std::invalid_argument("kiss2: missing .i/.o directives");
+  if (n_in > 16)
+    throw std::invalid_argument("kiss2: too many inputs for dense STG");
+
+  // State table, reset first.
+  std::map<std::string, StateId> id;
+  std::vector<std::string> names;
+  auto intern = [&](const std::string& name) {
+    auto it = id.find(name);
+    if (it != id.end()) return it->second;
+    auto sid = static_cast<StateId>(names.size());
+    id.emplace(name, sid);
+    names.push_back(name);
+    return sid;
+  };
+  if (!reset.empty()) intern(reset);
+  for (const auto& t : raw) {
+    intern(t.from);
+    intern(t.to);
+  }
+  if (names.empty()) throw std::invalid_argument("kiss2: no transitions");
+
+  Stg stg(n_in, n_out);
+  for (const auto& name : names) stg.add_state(name);
+
+  for (const auto& t : raw) {
+    if (static_cast<int>(t.in.size()) != n_in)
+      throw std::invalid_argument("kiss2: input width mismatch: " + t.in);
+    if (static_cast<int>(t.out.size()) != n_out)
+      throw std::invalid_argument("kiss2: output width mismatch: " + t.out);
+    std::uint64_t out = 0;
+    for (int b = 0; b < n_out; ++b)
+      if (t.out[static_cast<std::size_t>(b)] == '1')
+        out |= std::uint64_t{1} << b;
+    // Expand input don't-cares.
+    std::vector<int> free_bits;
+    std::uint64_t base = 0;
+    for (int b = 0; b < n_in; ++b) {
+      char ch = t.in[static_cast<std::size_t>(b)];
+      if (ch == '1')
+        base |= std::uint64_t{1} << b;
+      else if (ch == '-')
+        free_bits.push_back(b);
+      else if (ch != '0')
+        throw std::invalid_argument("kiss2: bad input char in " + t.in);
+    }
+    std::uint64_t combos = std::uint64_t{1} << free_bits.size();
+    for (std::uint64_t c = 0; c < combos; ++c) {
+      std::uint64_t sym = base;
+      for (std::size_t k = 0; k < free_bits.size(); ++k)
+        if ((c >> k) & 1u)
+          sym |= std::uint64_t{1} << free_bits[k];
+      stg.set_transition(id[t.from], sym, id[t.to], out);
+    }
+  }
+  return stg;
+}
+
+std::string to_kiss2(const Stg& stg) {
+  std::ostringstream os;
+  os << ".i " << stg.n_inputs() << "\n";
+  os << ".o " << stg.n_outputs() << "\n";
+  os << ".s " << stg.num_states() << "\n";
+  os << ".p " << stg.num_states() * stg.n_symbols() << "\n";
+  os << ".r " << stg.state_name(0) << "\n";
+  for (std::size_t s = 0; s < stg.num_states(); ++s) {
+    for (std::uint64_t a = 0; a < stg.n_symbols(); ++a) {
+      for (int b = 0; b < stg.n_inputs(); ++b)
+        os << (((a >> b) & 1u) ? '1' : '0');
+      os << ' ' << stg.state_name(static_cast<StateId>(s)) << ' '
+         << stg.state_name(stg.next(static_cast<StateId>(s), a)) << ' ';
+      std::uint64_t out = stg.output(static_cast<StateId>(s), a);
+      for (int b = 0; b < stg.n_outputs(); ++b)
+        os << (((out >> b) & 1u) ? '1' : '0');
+      os << "\n";
+    }
+  }
+  os << ".e\n";
+  return os.str();
+}
+
+}  // namespace hlp::fsm

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fsm/stg.hpp"
+
+namespace hlp::fsm {
+
+/// KISS2 import/export — the interchange format of the MCNC FSM benchmarks
+/// the Section III-H literature evaluates on.
+///
+/// Input fields may contain '-' (don't care, expanded over all matching
+/// symbols); output '-' is read as 0. The reset state is the `.r`
+/// directive's state (or the first present-state seen) and becomes state
+/// id 0. Unspecified (state, symbol) pairs are completed as self-loops
+/// with all-zero outputs, the usual completion for power analysis.
+/// Character j (from the left) of an input/output field is bit j.
+
+/// Parse a KISS2 description. Throws std::invalid_argument on malformed
+/// input.
+Stg parse_kiss2(std::string_view text);
+
+/// Serialize an STG to KISS2 (one line per (state, symbol) pair; no
+/// don't-care recompression).
+std::string to_kiss2(const Stg& stg);
+
+}  // namespace hlp::fsm

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fsm/stg.hpp"
+#include "stats/entropy.hpp"
+#include "stats/rng.hpp"
+
+namespace hlp::fsm {
+
+/// Markov-chain analysis of an STG under an i.i.d. input-symbol distribution
+/// (Hachtel et al. [96] compute the same quantities symbolically; explicit
+/// power iteration suffices at benchmark scale).
+struct MarkovAnalysis {
+  /// Steady-state probability per state.
+  std::vector<double> state_prob;
+  /// Conditional transition matrix P[s][t] = P(next = t | cur = s).
+  std::vector<std::vector<double>> cond;
+
+  /// Steady-state edge probability p_ij = pi_i * P(i -> j) (the p_{i,j} of
+  /// Tyagi's bound, Section II-B1).
+  double edge_prob(StateId i, StateId j) const {
+    return state_prob[i] * cond[i][j];
+  }
+  /// Number of edges (i,j) with nonzero steady-state probability — the "t"
+  /// in Tyagi's sparseness condition.
+  std::size_t nonzero_edges() const;
+  /// Entropy (bits) of the joint edge distribution p_ij — Tyagi's h(p_ij).
+  double edge_entropy() const;
+};
+
+/// `input_probs` has one probability per input symbol (must sum to ~1);
+/// empty means uniform. Power iteration runs `iters` sweeps from uniform.
+MarkovAnalysis analyze_markov(const Stg& stg,
+                              std::span<const double> input_probs = {},
+                              int iters = 2000);
+
+/// Expected state-register switching per cycle for an encoding:
+/// sum_{i,j} p_ij * Hamming(code_i, code_j).
+double expected_code_switching(const MarkovAnalysis& ma,
+                               std::span<const std::uint64_t> codes);
+
+/// Monte Carlo run of the STG: draws input symbols i.i.d. from
+/// `input_probs` (uniform if empty) and returns the visited state sequence.
+std::vector<StateId> simulate_states(const Stg& stg, std::size_t cycles,
+                                     stats::Rng& rng,
+                                     std::span<const double> input_probs = {},
+                                     StateId start = 0,
+                                     std::vector<std::uint64_t>* inputs = nullptr,
+                                     std::vector<std::uint64_t>* outputs = nullptr);
+
+}  // namespace hlp::fsm

@@ -1,0 +1,75 @@
+#include "fsm/minimize.hpp"
+
+#include <map>
+#include <vector>
+
+namespace hlp::fsm {
+
+std::vector<StateId> equivalence_classes(const Stg& stg) {
+  const std::size_t n = stg.num_states();
+  const std::size_t sym = stg.n_symbols();
+  // Initial partition: states with identical output rows.
+  std::vector<StateId> cls(n, 0);
+  {
+    std::map<std::vector<std::uint64_t>, StateId> index;
+    for (std::size_t s = 0; s < n; ++s) {
+      std::vector<std::uint64_t> row;
+      row.reserve(sym);
+      for (std::size_t a = 0; a < sym; ++a)
+        row.push_back(stg.output(static_cast<StateId>(s), a));
+      auto [it, fresh] =
+          index.try_emplace(std::move(row),
+                            static_cast<StateId>(index.size()));
+      cls[s] = it->second;
+      (void)fresh;
+    }
+  }
+  // Refine until stable: signature = (class, successor classes per symbol).
+  for (;;) {
+    std::map<std::vector<StateId>, StateId> index;
+    std::vector<StateId> next_cls(n, 0);
+    for (std::size_t s = 0; s < n; ++s) {
+      std::vector<StateId> sig;
+      sig.reserve(sym + 1);
+      sig.push_back(cls[s]);
+      for (std::size_t a = 0; a < sym; ++a)
+        sig.push_back(cls[stg.next(static_cast<StateId>(s), a)]);
+      auto [it, fresh] =
+          index.try_emplace(std::move(sig),
+                            static_cast<StateId>(index.size()));
+      next_cls[s] = it->second;
+      (void)fresh;
+    }
+    bool changed = next_cls != cls;
+    cls.swap(next_cls);
+    if (!changed) break;
+  }
+  // Renumber so state 0's class is 0 while keeping ids dense.
+  std::vector<StateId> remap(n, static_cast<StateId>(-1));
+  StateId next_id = 0;
+  remap[cls[0]] = next_id++;
+  for (std::size_t s = 0; s < n; ++s)
+    if (remap[cls[s]] == static_cast<StateId>(-1)) remap[cls[s]] = next_id++;
+  for (std::size_t s = 0; s < n; ++s) cls[s] = remap[cls[s]];
+  return cls;
+}
+
+Stg minimize(const Stg& stg) {
+  auto cls = equivalence_classes(stg);
+  StateId n_classes = 0;
+  for (StateId c : cls) n_classes = std::max(n_classes, c + 1);
+  Stg out(stg.n_inputs(), stg.n_outputs());
+  for (StateId c = 0; c < n_classes; ++c) out.add_state();
+  std::vector<bool> done(n_classes, false);
+  for (std::size_t s = 0; s < stg.num_states(); ++s) {
+    StateId c = cls[s];
+    if (done[c]) continue;
+    done[c] = true;
+    for (std::size_t a = 0; a < stg.n_symbols(); ++a)
+      out.set_transition(c, a, cls[stg.next(static_cast<StateId>(s), a)],
+                         stg.output(static_cast<StateId>(s), a));
+  }
+  return out;
+}
+
+}  // namespace hlp::fsm

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <vector>
+
+#include "fsm/stg.hpp"
+
+namespace hlp::fsm {
+
+/// Equivalence classes of a completely specified Mealy machine (partition
+/// refinement; the explicit counterpart of the implicit BDD method of Lin &
+/// Newton [88]). Returns class id per state; class ids are dense from 0.
+std::vector<StateId> equivalence_classes(const Stg& stg);
+
+/// Minimized machine: one state per equivalence class, transitions and
+/// outputs inherited from any representative. State 0's class becomes the
+/// new state 0 (reset preserved).
+Stg minimize(const Stg& stg);
+
+}  // namespace hlp::fsm

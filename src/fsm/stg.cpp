@@ -1,0 +1,131 @@
+#include "fsm/stg.hpp"
+
+#include <algorithm>
+
+#include "stats/rng.hpp"
+
+namespace hlp::fsm {
+
+StateId Stg::add_state(std::string_view name) {
+  StateId id = static_cast<StateId>(next_.size());
+  next_.emplace_back(n_symbols(), id);  // default: self-loop
+  out_.emplace_back(n_symbols(), 0);
+  names_.emplace_back(name.empty() ? "s" + std::to_string(id)
+                                   : std::string(name));
+  return id;
+}
+
+void Stg::set_transition(StateId from, std::uint64_t in, StateId to,
+                         std::uint64_t out) {
+  next_[from][static_cast<std::size_t>(in)] = to;
+  out_[from][static_cast<std::size_t>(in)] = out;
+}
+
+void Stg::set_all_transitions(StateId from, StateId to, std::uint64_t out) {
+  for (std::size_t in = 0; in < n_symbols(); ++in)
+    set_transition(from, in, to, out);
+}
+
+bool Stg::complete() const {
+  for (const auto& row : next_)
+    for (StateId t : row)
+      if (t >= num_states()) return false;
+  return true;
+}
+
+Stg counter_fsm(int bits) {
+  Stg stg(1, bits);
+  std::size_t n = std::size_t{1} << bits;
+  for (std::size_t s = 0; s < n; ++s) stg.add_state();
+  for (std::size_t s = 0; s < n; ++s) {
+    stg.set_transition(static_cast<StateId>(s), 0, static_cast<StateId>(s),
+                       s);  // hold
+    stg.set_transition(static_cast<StateId>(s), 1,
+                       static_cast<StateId>((s + 1) % n), s);  // count
+  }
+  return stg;
+}
+
+Stg sequence_detector_fsm(std::uint64_t pattern, int len) {
+  // State = number of matched prefix bits (0..len); match state emits 1 and
+  // restarts via the standard KMP failure links.
+  Stg stg(1, 1);
+  for (int s = 0; s <= len; ++s) stg.add_state();
+  // KMP failure function over the pattern bits.
+  std::vector<int> fail(static_cast<std::size_t>(len) + 1, 0);
+  for (int i = 1; i < len; ++i) {
+    int k = fail[static_cast<std::size_t>(i)];
+    bool bit = (pattern >> i) & 1u;
+    while (k > 0 && (((pattern >> k) & 1u) != (bit ? 1u : 0u)))
+      k = fail[static_cast<std::size_t>(k)];
+    if (((pattern >> k) & 1u) == (bit ? 1u : 0u)) ++k;
+    fail[static_cast<std::size_t>(i) + 1] = k;
+  }
+  auto advance = [&](int s, bool bit) {
+    while (true) {
+      if (s < len && (((pattern >> s) & 1u) == (bit ? 1u : 0u))) return s + 1;
+      if (s == 0) return 0;
+      s = fail[static_cast<std::size_t>(s)];
+    }
+  };
+  for (int s = 0; s <= len; ++s) {
+    int base = (s == len) ? fail[static_cast<std::size_t>(len)] : s;
+    for (std::uint64_t in = 0; in <= 1; ++in) {
+      int ns = advance(base, in & 1u);
+      stg.set_transition(static_cast<StateId>(s), in,
+                         static_cast<StateId>(ns), ns == len ? 1u : 0u);
+    }
+  }
+  return stg;
+}
+
+Stg protocol_fsm(int burst_len) {
+  // Inputs: bit0 = req, bit1 = data. Outputs: bit0 = busy, bits1.. = phase.
+  Stg stg(2, 2);
+  StateId idle = stg.add_state("idle");
+  std::vector<StateId> burst;
+  for (int i = 0; i < burst_len; ++i)
+    burst.push_back(stg.add_state("b" + std::to_string(i)));
+  // Idle: stay unless req.
+  for (std::uint64_t in = 0; in < 4; ++in)
+    stg.set_transition(idle, in, (in & 1u) ? burst[0] : idle, 0);
+  for (int i = 0; i < burst_len; ++i) {
+    StateId nxt = (i + 1 < burst_len) ? burst[static_cast<std::size_t>(i) + 1]
+                                      : idle;
+    for (std::uint64_t in = 0; in < 4; ++in) {
+      std::uint64_t out = 1u | (((in >> 1) & 1u) << 1);  // busy | data echo
+      stg.set_transition(burst[static_cast<std::size_t>(i)], in, nxt, out);
+    }
+  }
+  return stg;
+}
+
+Stg random_fsm(std::size_t n_states, int n_inputs, int n_outputs,
+               std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Stg stg(n_inputs, n_outputs);
+  for (std::size_t s = 0; s < n_states; ++s) stg.add_state();
+  const std::uint64_t out_mask =
+      n_outputs >= 64 ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << n_outputs) - 1);
+  for (std::size_t s = 0; s < n_states; ++s) {
+    for (std::size_t in = 0; in < stg.n_symbols(); ++in) {
+      // Zipf-ish skew: prefer low-numbered states so steady-state
+      // probabilities are nonuniform (realistic controllers have hot states).
+      double u = rng.uniform_real();
+      auto t = static_cast<std::size_t>(
+          static_cast<double>(n_states) * u * u);
+      t = std::min(t, n_states - 1);
+      stg.set_transition(static_cast<StateId>(s), in,
+                         static_cast<StateId>(t),
+                         rng.uniform_bits(std::min(n_outputs, 63)) & out_mask);
+    }
+    // Guarantee reachability chain: s -> (s+1) mod n on symbol 0.
+    stg.set_transition(static_cast<StateId>(s), 0,
+                       static_cast<StateId>((s + 1) % n_states),
+                       rng.uniform_bits(std::min(n_outputs, 63)) & out_mask);
+  }
+  return stg;
+}
+
+}  // namespace hlp::fsm

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hlp::fsm {
+
+using StateId = std::uint32_t;
+
+/// State transition graph of a completely specified, deterministic Mealy
+/// machine with a small binary input alphabet (n_inputs bits, dense over the
+/// 2^n_inputs symbols) and up to 64 output bits.
+///
+/// This is the representation Section III-H of the paper synthesizes and
+/// re-encodes; it is deliberately explicit (not symbolic) since our FSMs are
+/// benchmark-sized, while the BDD package covers the symbolic algorithms.
+class Stg {
+ public:
+  Stg(int n_inputs, int n_outputs)
+      : n_inputs_(n_inputs), n_outputs_(n_outputs) {}
+
+  StateId add_state(std::string_view name = {});
+
+  /// Define the transition for `from` on input symbol `in`.
+  void set_transition(StateId from, std::uint64_t in, StateId to,
+                      std::uint64_t out = 0);
+  /// Define the same transition for every input symbol (self-loop helpers).
+  void set_all_transitions(StateId from, StateId to, std::uint64_t out = 0);
+
+  StateId next(StateId s, std::uint64_t in) const {
+    return next_[s][static_cast<std::size_t>(in)];
+  }
+  std::uint64_t output(StateId s, std::uint64_t in) const {
+    return out_[s][static_cast<std::size_t>(in)];
+  }
+
+  std::size_t num_states() const { return next_.size(); }
+  int n_inputs() const { return n_inputs_; }
+  int n_outputs() const { return n_outputs_; }
+  std::size_t n_symbols() const { return std::size_t{1} << n_inputs_; }
+  const std::string& state_name(StateId s) const { return names_[s]; }
+
+  /// True when every (state, symbol) pair has a defined successor.
+  bool complete() const;
+
+ private:
+  int n_inputs_;
+  int n_outputs_;
+  std::vector<std::vector<StateId>> next_;
+  std::vector<std::vector<std::uint64_t>> out_;
+  std::vector<std::string> names_;
+};
+
+/// --- Benchmark FSM generators ------------------------------------------
+
+/// Modulo-2^bits up/hold counter: input bit 0 = enable; outputs = count.
+Stg counter_fsm(int bits);
+
+/// Detector of the bit pattern `pattern` (LSB-first, `len` bits) on a serial
+/// input; one output raised on match.
+Stg sequence_detector_fsm(std::uint64_t pattern, int len);
+
+/// Reactive protocol FSM with a large idle/wait region: from IDLE, a request
+/// (input bit 0) starts a `burst_len`-state handshake, then returns to IDLE.
+/// Input bit 1 is a "data" bit consumed during the burst. Designed so the
+/// machine self-loops in IDLE most cycles — the clock-gating target workload.
+Stg protocol_fsm(int burst_len);
+
+/// Random strongly connected Mealy machine: `n_states` states, `n_inputs`
+/// input bits, `n_outputs` output bits, transition targets zipf-skewed so
+/// the steady-state distribution is nonuniform. Deterministic in `seed`.
+Stg random_fsm(std::size_t n_states, int n_inputs, int n_outputs,
+               std::uint64_t seed);
+
+}  // namespace hlp::fsm

@@ -1,0 +1,84 @@
+#include "fsm/symbolic.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "bdd/netlist_bdd.hpp"
+
+namespace hlp::fsm {
+
+SymbolicFsm build_symbolic(bdd::Manager& mgr, const SynthesizedFsm& sf) {
+  SymbolicFsm sym;
+  sym.mgr = &mgr;
+  sym.state_bits = sf.state_bits;
+
+  // Gate BDDs over (input vars, present-state vars) in declaration order:
+  // inputs get 0..n_in-1, DFF outputs n_in..n_in+n_s-1.
+  auto bdds = bdd::build_bdds(mgr, sf.netlist);
+  sym.in_vars = bdds.input_vars;
+  sym.s_vars = bdds.state_vars;
+  // Next-state variables in a block above both (the s' -> s rename then
+  // shifts a contiguous block downward, which preserves relative order).
+  std::uint32_t base =
+      static_cast<std::uint32_t>(sym.in_vars.size() + sym.s_vars.size());
+  for (int k = 0; k < sf.state_bits; ++k)
+    sym.ns_vars.push_back(base + static_cast<std::uint32_t>(k));
+
+  // T(x, s, s') = AND_k (s'_k XNOR delta_k(x, s)).
+  sym.trans = bdd::kTrue;
+  for (int k = 0; k < sf.state_bits; ++k) {
+    netlist::GateId dff = sf.state[static_cast<std::size_t>(k)];
+    netlist::GateId d = sf.netlist.gate(dff).fanins[0];
+    bdd::NodeRef delta = bdds.fn[d];
+    sym.trans = mgr.bdd_and(
+        sym.trans,
+        mgr.bdd_xnor(mgr.var(sym.ns_vars[static_cast<std::size_t>(k)]),
+                     delta));
+  }
+
+  // Initial state predicate from the reset code.
+  sym.init = bdd::kTrue;
+  for (int k = 0; k < sf.state_bits; ++k) {
+    bool bit = (sf.codes[0] >> k) & 1u;
+    auto v = sym.s_vars[static_cast<std::size_t>(k)];
+    sym.init = mgr.bdd_and(sym.init, bit ? mgr.var(v) : mgr.nvar(v));
+  }
+  return sym;
+}
+
+ReachResult symbolic_reachability(const SymbolicFsm& sym) {
+  bdd::Manager& mgr = *sym.mgr;
+  ReachResult res;
+
+  std::vector<std::uint32_t> quantify = sym.in_vars;
+  quantify.insert(quantify.end(), sym.s_vars.begin(), sym.s_vars.end());
+  std::unordered_map<std::uint32_t, std::uint32_t> ns_to_s;
+  for (std::size_t k = 0; k < sym.ns_vars.size(); ++k)
+    ns_to_s[sym.ns_vars[k]] = sym.s_vars[k];
+
+  bdd::NodeRef reached = sym.init;
+  for (;;) {
+    ++res.iterations;
+    bdd::NodeRef img =
+        mgr.exists_set(mgr.bdd_and(sym.trans, reached), quantify);
+    img = mgr.rename(img, ns_to_s);
+    bdd::NodeRef next = mgr.bdd_or(reached, img);
+    if (next == reached) break;
+    reached = next;
+  }
+  res.reached = reached;
+  res.count = mgr.sat_fraction(reached) *
+              std::pow(2.0, sym.state_bits);
+  return res;
+}
+
+bool code_reachable(const SymbolicFsm& sym, bdd::NodeRef reached,
+                    std::uint64_t code) {
+  std::uint64_t assignment = 0;
+  for (std::size_t k = 0; k < sym.s_vars.size(); ++k)
+    if ((code >> k) & 1u)
+      assignment |= std::uint64_t{1} << sym.s_vars[k];
+  return sym.mgr->eval(reached, assignment);
+}
+
+}  // namespace hlp::fsm

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "fsm/synth.hpp"
+
+namespace hlp::fsm {
+
+/// Section III-H: "symbolic techniques based on binary decision diagrams
+/// [84] are often applied to the manipulation of large graphs ... To be
+/// effective, symbolic algorithms must avoid explicit enumeration of the
+/// elements of the sets." This module builds the transition relation of a
+/// synthesized machine as a BDD and computes reachability by image
+/// iteration — the machinery behind the re-encoding and Markov analyses of
+/// [95],[96].
+
+/// Symbolic view of a synthesized FSM. Variable order: inputs, then the
+/// present-state block, then the next-state block — shifting the contiguous
+/// s' block down onto s preserves relative order, so the rename after image
+/// computation is safe.
+struct SymbolicFsm {
+  bdd::Manager* mgr = nullptr;
+  bdd::NodeRef trans = bdd::kFalse;  ///< T(x, s, s')
+  bdd::NodeRef init = bdd::kFalse;   ///< characteristic fn of the reset state
+  std::vector<std::uint32_t> in_vars, s_vars, ns_vars;
+  int state_bits = 0;
+};
+
+/// Build T and the initial-state predicate from a synthesized machine.
+SymbolicFsm build_symbolic(bdd::Manager& mgr, const SynthesizedFsm& sf);
+
+/// Least fixed point of R = init ∨ image(R): the reachable state set.
+/// Returns its characteristic function over the present-state variables and
+/// reports the iteration count (sequential depth + 1).
+struct ReachResult {
+  bdd::NodeRef reached = bdd::kFalse;
+  int iterations = 0;
+  /// Number of reachable state codes (2^state_bits * sat fraction).
+  double count = 0.0;
+};
+ReachResult symbolic_reachability(const SymbolicFsm& sym);
+
+/// Check whether a specific state code is in a reachable set.
+bool code_reachable(const SymbolicFsm& sym, bdd::NodeRef reached,
+                    std::uint64_t code);
+
+}  // namespace hlp::fsm

@@ -1,0 +1,88 @@
+#include "fsm/synth.hpp"
+
+#include <string>
+
+namespace hlp::fsm {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::Word;
+
+SynthesizedFsm synthesize_fsm(const Stg& stg,
+                              std::span<const std::uint64_t> codes,
+                              int state_bits) {
+  SynthesizedFsm out;
+  netlist::Netlist& nl = out.netlist;
+  out.codes.assign(codes.begin(), codes.end());
+  out.state_bits = state_bits;
+
+  for (int i = 0; i < stg.n_inputs(); ++i)
+    out.inputs.push_back(nl.add_input("in[" + std::to_string(i) + "]"));
+  for (int b = 0; b < state_bits; ++b) {
+    bool init = (codes[0] >> b) & 1u;
+    out.state.push_back(
+        nl.add_dff(netlist::kNullGate, init, "st[" + std::to_string(b) + "]"));
+  }
+
+  // Shared literal inverters.
+  Word n_in, n_st;
+  for (GateId g : out.inputs) n_in.push_back(nl.add_unary(GateKind::Not, g));
+  for (GateId g : out.state) n_st.push_back(nl.add_unary(GateKind::Not, g));
+
+  // One product term per (state, symbol).
+  const std::size_t n = stg.num_states();
+  const std::size_t sym = stg.n_symbols();
+  std::vector<std::vector<GateId>>& term = out.terms;
+  term.assign(n, std::vector<GateId>(sym));
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t a = 0; a < sym; ++a) {
+      std::vector<GateId> lits;
+      lits.reserve(static_cast<std::size_t>(state_bits) + out.inputs.size());
+      for (int b = 0; b < state_bits; ++b)
+        lits.push_back(((codes[s] >> b) & 1u)
+                           ? out.state[static_cast<std::size_t>(b)]
+                           : n_st[static_cast<std::size_t>(b)]);
+      for (std::size_t i = 0; i < out.inputs.size(); ++i)
+        lits.push_back(((a >> i) & 1u) ? out.inputs[i] : n_in[i]);
+      term[s][a] = nl.add_gate(GateKind::And, lits);
+    }
+  }
+
+  // OR plane per next-state bit.
+  for (int b = 0; b < state_bits; ++b) {
+    std::vector<GateId> ors;
+    for (std::size_t s = 0; s < n; ++s)
+      for (std::size_t a = 0; a < sym; ++a)
+        if ((codes[stg.next(static_cast<StateId>(s), a)] >> b) & 1u)
+          ors.push_back(term[s][a]);
+    GateId d;
+    if (ors.empty())
+      d = nl.add_const(false);
+    else if (ors.size() == 1)
+      d = nl.add_unary(GateKind::Buf, ors[0]);
+    else
+      d = nl.add_gate(GateKind::Or, ors);
+    nl.set_dff_input(out.state[static_cast<std::size_t>(b)], d);
+  }
+
+  // OR plane per output bit.
+  for (int o = 0; o < stg.n_outputs(); ++o) {
+    std::vector<GateId> ors;
+    for (std::size_t s = 0; s < n; ++s)
+      for (std::size_t a = 0; a < sym; ++a)
+        if ((stg.output(static_cast<StateId>(s), a) >> o) & 1u)
+          ors.push_back(term[s][a]);
+    GateId y;
+    if (ors.empty())
+      y = nl.add_const(false);
+    else if (ors.size() == 1)
+      y = nl.add_unary(GateKind::Buf, ors[0]);
+    else
+      y = nl.add_gate(GateKind::Or, ors);
+    nl.mark_output(y, "out[" + std::to_string(o) + "]");
+    out.outputs.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace hlp::fsm

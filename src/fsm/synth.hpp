@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fsm/stg.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hlp::fsm {
+
+/// Result of synthesizing an STG into a gate-level netlist.
+struct SynthesizedFsm {
+  netlist::Netlist netlist;
+  netlist::Word inputs;      ///< primary-input nets (one per FSM input bit)
+  netlist::Word state;       ///< DFF outputs (one per state-code bit)
+  netlist::Word outputs;     ///< output nets (marked as primary outputs)
+  std::vector<std::uint64_t> codes;  ///< the state encoding used
+  int state_bits = 0;
+  /// Product-term gate per (state, input symbol) — exposed so downstream
+  /// passes (e.g. gated-clock synthesis) can reuse the AND plane.
+  std::vector<std::vector<netlist::GateId>> terms;
+};
+
+/// Two-level (PLA-style) synthesis: one product term per (state, symbol)
+/// pair over full state/input literals, OR planes per next-state/output bit.
+/// This is the "direct translation of the STG into gates" the paper's
+/// Section III-H starts from; different encodings change both the logic and
+/// the state-register activity, which is exactly what the encoding
+/// experiments measure.
+SynthesizedFsm synthesize_fsm(const Stg& stg,
+                              std::span<const std::uint64_t> codes,
+                              int state_bits);
+
+}  // namespace hlp::fsm

@@ -1,0 +1,163 @@
+#include "isa/isa.hpp"
+
+#include <stdexcept>
+
+namespace hlp::isa {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::Nop: return "nop";
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::Shr: return "shr";
+    case Opcode::Li: return "li";
+    case Opcode::Addi: return "addi";
+    case Opcode::Ld: return "ld";
+    case Opcode::St: return "st";
+    case Opcode::Beq: return "beq";
+    case Opcode::Bne: return "bne";
+    case Opcode::Jmp: return "jmp";
+    case Opcode::Halt: return "halt";
+  }
+  return "?";
+}
+
+Instr make_r(Opcode op, int rd, int rs1, int rs2) {
+  return {op, static_cast<std::uint8_t>(rd), static_cast<std::uint8_t>(rs1),
+          static_cast<std::uint8_t>(rs2), 0};
+}
+
+Instr make_i(Opcode op, int rd, int rs1, std::int32_t imm) {
+  return {op, static_cast<std::uint8_t>(rd), static_cast<std::uint8_t>(rs1),
+          0, imm};
+}
+
+Instr make_b(Opcode op, int rs1, int rs2, std::int32_t offset) {
+  return {op, 0, static_cast<std::uint8_t>(rs1),
+          static_cast<std::uint8_t>(rs2), offset};
+}
+
+Machine::Machine(MachineConfig cfg) : cfg_(cfg) {
+  regs_.assign(static_cast<std::size_t>(cfg_.n_regs), 0);
+  mem_.assign(cfg_.mem_words, 0);
+  icache_tag_.assign(static_cast<std::size_t>(cfg_.icache_lines), -1);
+  dcache_tag_.assign(static_cast<std::size_t>(cfg_.dcache_lines), -1);
+}
+
+ExecStats Machine::run(const Program& prog, std::uint64_t max_instructions,
+                       bool record_trace) {
+  ExecStats st;
+  std::int64_t pc = 0;
+  int prev_op = -1;
+  std::fill(icache_tag_.begin(), icache_tag_.end(), -1);
+  std::fill(dcache_tag_.begin(), dcache_tag_.end(), -1);
+
+  auto icache_access = [&](std::int64_t addr) {
+    std::int64_t line = addr / cfg_.icache_line_words;
+    auto idx = static_cast<std::size_t>(
+        line % static_cast<std::int64_t>(cfg_.icache_lines));
+    if (icache_tag_[idx] != line) {
+      icache_tag_[idx] = line;
+      ++st.icache_misses;
+      st.cycles += static_cast<std::uint64_t>(cfg_.miss_penalty);
+    }
+  };
+  auto dcache_access = [&](std::int64_t addr) {
+    std::int64_t line = addr / cfg_.dcache_line_words;
+    auto idx = static_cast<std::size_t>(
+        line % static_cast<std::int64_t>(cfg_.dcache_lines));
+    if (dcache_tag_[idx] != line) {
+      dcache_tag_[idx] = line;
+      ++st.dcache_misses;
+      st.cycles += static_cast<std::uint64_t>(cfg_.miss_penalty);
+    }
+  };
+
+  while (st.instructions < max_instructions) {
+    if (pc < 0 || pc >= static_cast<std::int64_t>(prog.code.size())) break;
+    icache_access(pc);
+    const Instr& in = prog.code[static_cast<std::size_t>(pc)];
+    ++st.instructions;
+    ++st.cycles;
+    auto op_idx = static_cast<std::size_t>(in.op);
+    ++st.per_opcode[op_idx];
+    if (prev_op >= 0)
+      ++st.pair[static_cast<std::size_t>(prev_op)][op_idx];
+    prev_op = static_cast<int>(op_idx);
+    if (record_trace) {
+      st.trace.push_back(static_cast<std::uint8_t>(in.op));
+      st.pc_trace.push_back(static_cast<std::uint32_t>(pc));
+    }
+
+    auto& R = regs_;
+    auto rd = static_cast<std::size_t>(in.rd);
+    auto rs1 = static_cast<std::size_t>(in.rs1);
+    auto rs2 = static_cast<std::size_t>(in.rs2);
+    std::int64_t next_pc = pc + 1;
+    switch (in.op) {
+      case Opcode::Nop: break;
+      case Opcode::Add: R[rd] = R[rs1] + R[rs2]; break;
+      case Opcode::Sub: R[rd] = R[rs1] - R[rs2]; break;
+      case Opcode::Mul: R[rd] = R[rs1] * R[rs2]; break;
+      case Opcode::And: R[rd] = R[rs1] & R[rs2]; break;
+      case Opcode::Or: R[rd] = R[rs1] | R[rs2]; break;
+      case Opcode::Xor: R[rd] = R[rs1] ^ R[rs2]; break;
+      case Opcode::Shl: R[rd] = R[rs1] << (in.imm & 63); break;
+      case Opcode::Shr:
+        R[rd] = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(R[rs1]) >> (in.imm & 63));
+        break;
+      case Opcode::Li: R[rd] = in.imm; break;
+      case Opcode::Addi: R[rd] = R[rs1] + in.imm; break;
+      case Opcode::Ld: {
+        auto addr = static_cast<std::uint64_t>(R[rs1] + in.imm) %
+                    cfg_.mem_words;
+        dcache_access(static_cast<std::int64_t>(addr));
+        if (record_trace)
+          st.addr_trace.push_back(static_cast<std::uint32_t>(addr));
+        R[rd] = mem_[addr];
+        ++st.mem_reads;
+        break;
+      }
+      case Opcode::St: {
+        auto addr = static_cast<std::uint64_t>(R[rs1] + in.imm) %
+                    cfg_.mem_words;
+        dcache_access(static_cast<std::int64_t>(addr));
+        if (record_trace)
+          st.addr_trace.push_back(static_cast<std::uint32_t>(addr));
+        mem_[addr] = R[rs2];
+        ++st.mem_writes;
+        break;
+      }
+      case Opcode::Beq:
+      case Opcode::Bne: {
+        ++st.branch_instructions;
+        bool eq = R[rs1] == R[rs2];
+        bool taken = (in.op == Opcode::Beq) ? eq : !eq;
+        if (taken) {
+          next_pc = pc + in.imm;
+          ++st.taken_branches;
+          st.cycles += static_cast<std::uint64_t>(cfg_.branch_penalty);
+        }
+        break;
+      }
+      case Opcode::Jmp:
+        next_pc = pc + in.imm;
+        ++st.taken_branches;
+        ++st.branch_instructions;
+        st.cycles += static_cast<std::uint64_t>(cfg_.branch_penalty);
+        break;
+      case Opcode::Halt:
+        return st;
+    }
+    pc = next_pc;
+  }
+  return st;
+}
+
+}  // namespace hlp::isa

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hlp::isa {
+
+/// Opcodes of the tiny load/store ISA used by the software-level power
+/// experiments (Section II-A / III-A of the paper). The set is intentionally
+/// DSP-flavored: ALU ops, multiply, memory, and branches, so the Tiwari
+/// instruction-level model [7] and the profile-driven synthesis flow [8]
+/// exercise the same structure they did on real processors.
+enum class Opcode : std::uint8_t {
+  Nop,
+  Add,   // rd = rs1 + rs2
+  Sub,   // rd = rs1 - rs2
+  Mul,   // rd = rs1 * rs2
+  And,   // rd = rs1 & rs2
+  Or,    // rd = rs1 | rs2
+  Xor,   // rd = rs1 ^ rs2
+  Shl,   // rd = rs1 << imm
+  Shr,   // rd = rs1 >> imm
+  Li,    // rd = imm
+  Addi,  // rd = rs1 + imm
+  Ld,    // rd = mem[rs1 + imm]
+  St,    // mem[rs1 + imm] = rs2
+  Beq,   // if rs1 == rs2 goto pc + imm
+  Bne,   // if rs1 != rs2 goto pc + imm
+  Jmp,   // goto pc + imm
+  Halt,
+};
+inline constexpr int kNumOpcodes = 17;
+
+const char* opcode_name(Opcode op);
+
+struct Instr {
+  Opcode op = Opcode::Nop;
+  std::uint8_t rd = 0, rs1 = 0, rs2 = 0;
+  std::int32_t imm = 0;
+};
+
+struct Program {
+  std::vector<Instr> code;
+  std::size_t size() const { return code.size(); }
+};
+
+/// Microarchitecture parameters: single-issue in-order pipeline with a
+/// direct-mapped I-cache and D-cache and static not-taken branch prediction.
+struct MachineConfig {
+  int n_regs = 16;
+  std::size_t mem_words = 1 << 16;
+  int icache_lines = 64;     ///< direct-mapped, 4 instructions per line
+  int icache_line_words = 4;
+  int dcache_lines = 64;     ///< direct-mapped, 4 words per line
+  int dcache_line_words = 4;
+  int miss_penalty = 8;      ///< stall cycles per cache miss
+  int branch_penalty = 2;    ///< stall cycles per taken branch (mispredict)
+};
+
+/// Execution statistics: everything the instruction-level power model and
+/// the characteristic profile need.
+struct ExecStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t icache_misses = 0;
+  std::uint64_t dcache_misses = 0;
+  std::uint64_t taken_branches = 0;
+  std::uint64_t branch_instructions = 0;
+  std::uint64_t mem_reads = 0;
+  std::uint64_t mem_writes = 0;
+  std::array<std::uint64_t, kNumOpcodes> per_opcode{};
+  /// pair_counts[prev][cur]: circuit-state transition counts (the N_{i,j}
+  /// of the Tiwari model).
+  std::array<std::array<std::uint64_t, kNumOpcodes>, kNumOpcodes> pair{};
+  /// Executed opcode trace (recorded when requested).
+  std::vector<std::uint8_t> trace;
+  /// Data-memory address trace (loads and stores, recorded when requested)
+  /// — input to the memory-hierarchy exploration of Section III-A.
+  std::vector<std::uint32_t> addr_trace;
+  /// Instruction-address (PC) trace — the mostly-consecutive stream the
+  /// Gray/T0 instruction-bus codes of Section III-G target.
+  std::vector<std::uint32_t> pc_trace;
+
+  double icache_miss_rate() const {
+    return instructions ? static_cast<double>(icache_misses) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+  }
+  double branch_taken_rate() const {
+    return branch_instructions ? static_cast<double>(taken_branches) /
+                                     static_cast<double>(branch_instructions)
+                               : 0.0;
+  }
+};
+
+/// Functional + timing simulator.
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg = {});
+
+  /// Run until Halt or `max_instructions`. Returns the statistics.
+  ExecStats run(const Program& prog, std::uint64_t max_instructions,
+                bool record_trace = false);
+
+  /// Register/memory access for test setup and result checks.
+  std::int64_t reg(int r) const { return regs_[static_cast<std::size_t>(r)]; }
+  void set_reg(int r, std::int64_t v) {
+    regs_[static_cast<std::size_t>(r)] = v;
+  }
+  std::int64_t mem(std::size_t addr) const { return mem_[addr]; }
+  void set_mem(std::size_t addr, std::int64_t v) { mem_[addr] = v; }
+
+ private:
+  MachineConfig cfg_;
+  std::vector<std::int64_t> regs_;
+  std::vector<std::int64_t> mem_;
+  std::vector<std::int64_t> icache_tag_, dcache_tag_;
+};
+
+/// Small assembler-style helpers.
+Instr make_r(Opcode op, int rd, int rs1, int rs2);
+Instr make_i(Opcode op, int rd, int rs1, std::int32_t imm);
+Instr make_b(Opcode op, int rs1, int rs2, std::int32_t offset);
+
+}  // namespace hlp::isa

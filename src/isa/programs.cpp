@@ -1,0 +1,171 @@
+#include "isa/programs.hpp"
+
+#include "stats/rng.hpp"
+
+namespace hlp::isa {
+namespace {
+
+// Register conventions for generated programs.
+constexpr int rZero = 0;   // always 0 by convention (never written)
+constexpr int rIdx = 1;    // loop index
+constexpr int rLim = 2;    // loop limit
+constexpr int rTmp = 3;
+constexpr int rTmp2 = 4;
+constexpr int rAcc = 5;
+constexpr int rBase = 6;   // array a base
+constexpr int rBase2 = 7;  // array b base
+constexpr int rBase3 = 8;  // array c base
+constexpr int rK = 9;      // scalar constant
+
+}  // namespace
+
+Program fig2_with_memory_temp(int n) {
+  // for i: b[i] = a[i] * k;            (store to memory)
+  // for i: c[i] = b[i] + k;            (load from memory)
+  Program p;
+  auto& c = p.code;
+  c.push_back(make_i(Opcode::Li, rIdx, 0, 0));
+  c.push_back(make_i(Opcode::Li, rLim, 0, n));
+  c.push_back(make_i(Opcode::Li, rBase, 0, 0));
+  c.push_back(make_i(Opcode::Li, rBase2, 0, n));
+  c.push_back(make_i(Opcode::Li, rBase3, 0, 2 * n));
+  c.push_back(make_i(Opcode::Li, rK, 0, 3));
+  // Loop 1 (6 instructions): body at index 6.
+  std::int32_t loop1 = static_cast<std::int32_t>(c.size());
+  c.push_back(make_r(Opcode::Add, rTmp2, rBase, rIdx));
+  c.push_back(make_i(Opcode::Ld, rTmp, rTmp2, 0));         // a[i]
+  c.push_back(make_r(Opcode::Mul, rTmp, rTmp, rK));
+  c.push_back(make_r(Opcode::Add, rTmp2, rBase2, rIdx));
+  c.push_back(make_r(Opcode::St, 0, rTmp2, rTmp));         // b[i] = ...
+  c.push_back(make_i(Opcode::Addi, rIdx, rIdx, 1));
+  c.push_back(make_b(Opcode::Bne, rIdx, rLim,
+                     loop1 - static_cast<std::int32_t>(c.size())));
+  // Loop 2.
+  c.push_back(make_i(Opcode::Li, rIdx, 0, 0));
+  std::int32_t loop2 = static_cast<std::int32_t>(c.size());
+  c.push_back(make_r(Opcode::Add, rTmp2, rBase2, rIdx));
+  c.push_back(make_i(Opcode::Ld, rTmp, rTmp2, 0));         // b[i]
+  c.push_back(make_r(Opcode::Add, rTmp, rTmp, rK));
+  c.push_back(make_r(Opcode::Add, rTmp2, rBase3, rIdx));
+  c.push_back(make_r(Opcode::St, 0, rTmp2, rTmp));         // c[i] = ...
+  c.push_back(make_i(Opcode::Addi, rIdx, rIdx, 1));
+  c.push_back(make_b(Opcode::Bne, rIdx, rLim,
+                     loop2 - static_cast<std::int32_t>(c.size())));
+  c.push_back(make_r(Opcode::Halt, 0, 0, 0));
+  return p;
+}
+
+Program fig2_register_temp(int n) {
+  // for i: t = a[i] * k; c[i] = t + k;   (t stays in a register)
+  Program p;
+  auto& c = p.code;
+  c.push_back(make_i(Opcode::Li, rIdx, 0, 0));
+  c.push_back(make_i(Opcode::Li, rLim, 0, n));
+  c.push_back(make_i(Opcode::Li, rBase, 0, 0));
+  c.push_back(make_i(Opcode::Li, rBase3, 0, 2 * n));
+  c.push_back(make_i(Opcode::Li, rK, 0, 3));
+  std::int32_t loop = static_cast<std::int32_t>(c.size());
+  c.push_back(make_r(Opcode::Add, rTmp2, rBase, rIdx));
+  c.push_back(make_i(Opcode::Ld, rTmp, rTmp2, 0));   // a[i]
+  c.push_back(make_r(Opcode::Mul, rTmp, rTmp, rK));  // t = a[i]*k
+  c.push_back(make_r(Opcode::Add, rTmp, rTmp, rK));  // t + k
+  c.push_back(make_r(Opcode::Add, rTmp2, rBase3, rIdx));
+  c.push_back(make_r(Opcode::St, 0, rTmp2, rTmp));   // c[i]
+  c.push_back(make_i(Opcode::Addi, rIdx, rIdx, 1));
+  c.push_back(make_b(Opcode::Bne, rIdx, rLim,
+                     loop - static_cast<std::int32_t>(c.size())));
+  c.push_back(make_r(Opcode::Halt, 0, 0, 0));
+  return p;
+}
+
+Program dsp_kernel(int taps, int iters) {
+  Program p;
+  auto& c = p.code;
+  c.push_back(make_i(Opcode::Li, rIdx, 0, 0));           // sample index
+  c.push_back(make_i(Opcode::Li, rLim, 0, iters));
+  c.push_back(make_i(Opcode::Li, rBase, 0, 0));          // samples base
+  c.push_back(make_i(Opcode::Li, rBase2, 0, 4096));      // coeff base
+  std::int32_t outer = static_cast<std::int32_t>(c.size());
+  c.push_back(make_i(Opcode::Li, rAcc, 0, 0));
+  for (int t = 0; t < taps; ++t) {
+    c.push_back(make_r(Opcode::Add, rTmp2, rBase, rIdx));
+    c.push_back(make_i(Opcode::Ld, rTmp, rTmp2, t));       // x[n-t]
+    c.push_back(make_i(Opcode::Ld, rTmp2, rBase2, t));     // c[t]
+    c.push_back(make_r(Opcode::Mul, rTmp, rTmp, rTmp2));
+    c.push_back(make_r(Opcode::Add, rAcc, rAcc, rTmp));
+  }
+  c.push_back(make_r(Opcode::Add, rTmp2, rBase, rIdx));
+  c.push_back(make_r(Opcode::St, 0, rTmp2, rAcc));  // y[n] = acc
+  c.push_back(make_i(Opcode::Addi, rIdx, rIdx, 1));
+  c.push_back(make_b(Opcode::Bne, rIdx, rLim,
+                     outer - static_cast<std::int32_t>(c.size())));
+  c.push_back(make_r(Opcode::Halt, 0, 0, 0));
+  return p;
+}
+
+Program array_sum(int rows, int cols) {
+  Program p;
+  auto& c = p.code;
+  int n = rows * cols;
+  c.push_back(make_i(Opcode::Li, rIdx, 0, 0));
+  c.push_back(make_i(Opcode::Li, rLim, 0, n));
+  c.push_back(make_i(Opcode::Li, rAcc, 0, 0));
+  std::int32_t loop = static_cast<std::int32_t>(c.size());
+  c.push_back(make_i(Opcode::Ld, rTmp, rIdx, 0));
+  c.push_back(make_r(Opcode::Add, rAcc, rAcc, rTmp));
+  c.push_back(make_i(Opcode::Addi, rIdx, rIdx, 1));
+  c.push_back(make_b(Opcode::Bne, rIdx, rLim,
+                     loop - static_cast<std::int32_t>(c.size())));
+  c.push_back(make_r(Opcode::Halt, 0, 0, 0));
+  return p;
+}
+
+Program random_loads(int span, int iters, std::uint64_t seed) {
+  Program p;
+  auto& c = p.code;
+  c.push_back(make_i(Opcode::Li, rIdx, 0, 0));
+  c.push_back(make_i(Opcode::Li, rLim, 0, iters));
+  // Linear congruential address generator in registers.
+  c.push_back(make_i(Opcode::Li, rTmp2, 0,
+                     static_cast<std::int32_t>(seed % 65521)));
+  c.push_back(make_i(Opcode::Li, rK, 0, 1103));
+  std::int32_t loop = static_cast<std::int32_t>(c.size());
+  c.push_back(make_r(Opcode::Mul, rTmp2, rTmp2, rK));
+  c.push_back(make_i(Opcode::Addi, rTmp2, rTmp2, 12345));
+  c.push_back(make_i(Opcode::Li, rTmp, 0, span - 1));
+  c.push_back(make_r(Opcode::And, rTmp, rTmp2, rTmp));  // addr = x & mask
+  c.push_back(make_i(Opcode::Ld, rAcc, rTmp, 0));
+  c.push_back(make_i(Opcode::Addi, rIdx, rIdx, 1));
+  c.push_back(make_b(Opcode::Bne, rIdx, rLim,
+                     loop - static_cast<std::int32_t>(c.size())));
+  c.push_back(make_r(Opcode::Halt, 0, 0, 0));
+  return p;
+}
+
+Program random_arith(int n, int reps, double mul_frac, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Program p;
+  auto& c = p.code;
+  c.push_back(make_i(Opcode::Li, rIdx, 0, 0));
+  c.push_back(make_i(Opcode::Li, rLim, 0, reps));
+  std::int32_t loop = static_cast<std::int32_t>(c.size());
+  for (int i = 0; i < n; ++i) {
+    int rd = 3 + static_cast<int>(rng.uniform_int(0, 6));
+    int rs1 = 3 + static_cast<int>(rng.uniform_int(0, 6));
+    int rs2 = 3 + static_cast<int>(rng.uniform_int(0, 6));
+    if (rng.uniform_real() < mul_frac) {
+      c.push_back(make_r(Opcode::Mul, rd, rs1, rs2));
+    } else {
+      static constexpr Opcode kAlu[] = {Opcode::Add, Opcode::Sub, Opcode::And,
+                                        Opcode::Or, Opcode::Xor};
+      c.push_back(make_r(kAlu[rng.uniform_int(0, 4)], rd, rs1, rs2));
+    }
+  }
+  c.push_back(make_i(Opcode::Addi, rIdx, rIdx, 1));
+  c.push_back(make_b(Opcode::Bne, rIdx, rLim,
+                     loop - static_cast<std::int32_t>(c.size())));
+  c.push_back(make_r(Opcode::Halt, 0, 0, 0));
+  return p;
+}
+
+}  // namespace hlp::isa

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.hpp"
+
+namespace hlp::isa {
+
+/// Workload programs for the software-level power experiments.
+
+/// Fig. 2 (left): first loop stores an intermediate array b[i] = a[i] * k to
+/// memory, second loop reads it back — 2n extra memory accesses.
+Program fig2_with_memory_temp(int n);
+
+/// Fig. 2 (right): fused loop keeps the intermediate in a register.
+Program fig2_register_temp(int n);
+
+/// FIR-like DSP kernel: `iters` output samples of a `taps`-tap filter over a
+/// circular buffer (mul/add/load heavy).
+Program dsp_kernel(int taps, int iters);
+
+/// Dense traversal summing a `rows` x `cols` array — cache-regular loads.
+Program array_sum(int rows, int cols);
+
+/// Pointer-chase style random loads over `span` words for `iters` steps —
+/// cache-hostile workload.
+Program random_loads(int span, int iters, std::uint64_t seed);
+
+/// Straight-line random arithmetic block of `n` instructions repeated
+/// `reps` times (loop), with the given fraction of multiplies.
+Program random_arith(int n, int reps, double mul_frac, std::uint64_t seed);
+
+}  // namespace hlp::isa

@@ -1,0 +1,41 @@
+#include "netlist/copy.hpp"
+
+#include <stdexcept>
+
+namespace hlp::netlist {
+
+std::vector<GateId> copy_combinational(const Netlist& src, Netlist& dst,
+                                       std::span<const GateId> input_nets) {
+  if (input_nets.size() != src.inputs().size())
+    throw std::invalid_argument("copy_combinational: input count mismatch");
+  if (!src.dffs().empty())
+    throw std::invalid_argument("copy_combinational: source has DFFs");
+  std::vector<GateId> xlat(src.gate_count(), kNullGate);
+  for (std::size_t i = 0; i < input_nets.size(); ++i)
+    xlat[src.inputs()[i]] = input_nets[i];
+  for (GateId id : src.topo_order()) {
+    const Gate& g = src.gate(id);
+    switch (g.kind) {
+      case GateKind::Input:
+        break;  // mapped above
+      case GateKind::Const0:
+        xlat[id] = dst.add_const(false);
+        break;
+      case GateKind::Const1:
+        xlat[id] = dst.add_const(true);
+        break;
+      case GateKind::Dff:
+        throw std::logic_error("unreachable");
+      default: {
+        std::vector<GateId> fanins;
+        fanins.reserve(g.fanins.size());
+        for (GateId f : g.fanins) fanins.push_back(xlat[f]);
+        xlat[id] = dst.add_gate(g.kind, fanins, g.name);
+        break;
+      }
+    }
+  }
+  return xlat;
+}
+
+}  // namespace hlp::netlist

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace hlp::netlist {
+
+/// Copy a purely combinational netlist into `dst`, substituting the source's
+/// primary inputs with `input_nets` (same order/count as src.inputs()).
+/// Returns the translation table (src GateId -> dst GateId). Output marks
+/// are NOT copied; use the returned table to wire/mark outputs.
+std::vector<GateId> copy_combinational(const Netlist& src, Netlist& dst,
+                                       std::span<const GateId> input_nets);
+
+}  // namespace hlp::netlist

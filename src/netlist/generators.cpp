@@ -1,0 +1,201 @@
+#include "netlist/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "stats/rng.hpp"
+
+namespace hlp::netlist {
+
+Module adder_module(int n) {
+  Module m;
+  m.name = "add" + std::to_string(n);
+  Word a = make_input_word(m.netlist, n, "a");
+  Word b = make_input_word(m.netlist, n, "b");
+  GateId cout = kNullGate;
+  Word sum = ripple_adder(m.netlist, a, b, kNullGate, &cout);
+  sum.push_back(cout);
+  mark_output_word(m.netlist, sum, "s");
+  m.input_words = {a, b};
+  m.output_words = {sum};
+  return m;
+}
+
+Module multiplier_module(int n) {
+  Module m;
+  m.name = "mul" + std::to_string(n);
+  Word a = make_input_word(m.netlist, n, "a");
+  Word b = make_input_word(m.netlist, n, "b");
+  Word p = array_multiplier(m.netlist, a, b);
+  mark_output_word(m.netlist, p, "p");
+  m.input_words = {a, b};
+  m.output_words = {p};
+  return m;
+}
+
+Module alu_module(int n) {
+  Module m;
+  m.name = "alu" + std::to_string(n);
+  Word a = make_input_word(m.netlist, n, "a");
+  Word b = make_input_word(m.netlist, n, "b");
+  Word op = make_input_word(m.netlist, 2, "op");
+  Word sum = ripple_adder(m.netlist, a, b);
+  Word aw = and_word(m.netlist, a, b);
+  Word ow = or_word(m.netlist, a, b);
+  Word xw = xor_word(m.netlist, a, b);
+  Word lo = mux_word(m.netlist, op[0], sum, aw);   // op=00 add, 01 and
+  Word hi = mux_word(m.netlist, op[0], ow, xw);    // op=10 or, 11 xor
+  Word out = mux_word(m.netlist, op[1], lo, hi);
+  mark_output_word(m.netlist, out, "y");
+  m.input_words = {a, b, op};
+  m.output_words = {out};
+  return m;
+}
+
+Module parity_module(int n) {
+  Module m;
+  m.name = "par" + std::to_string(n);
+  Word a = make_input_word(m.netlist, n, "a");
+  GateId p = parity(m.netlist, a);
+  m.netlist.mark_output(p, "p");
+  m.input_words = {a};
+  m.output_words = {{p}};
+  return m;
+}
+
+Module comparator_module(int n) {
+  Module m;
+  m.name = "cmp" + std::to_string(n);
+  Word a = make_input_word(m.netlist, n, "a");
+  Word b = make_input_word(m.netlist, n, "b");
+  GateId lt = less_than(m.netlist, a, b);
+  GateId eq = equals(m.netlist, a, b);
+  m.netlist.mark_output(lt, "lt");
+  m.netlist.mark_output(eq, "eq");
+  m.input_words = {a, b};
+  m.output_words = {{lt, eq}};
+  return m;
+}
+
+Module max_module(int n) {
+  Module m;
+  m.name = "max" + std::to_string(n);
+  Word a = make_input_word(m.netlist, n, "a");
+  Word b = make_input_word(m.netlist, n, "b");
+  GateId lt = less_than(m.netlist, a, b);  // a < b
+  Word out = mux_word(m.netlist, lt, a, b);
+  mark_output_word(m.netlist, out, "m");
+  m.input_words = {a, b};
+  m.output_words = {out};
+  return m;
+}
+
+Module random_logic_module(int n_in, int n_gates, int n_out,
+                           std::uint64_t seed) {
+  assert(n_in >= 2 && n_gates >= 1);
+  Module m;
+  m.name = "rnd" + std::to_string(n_in) + "x" + std::to_string(n_gates);
+  hlp::stats::Rng rng(seed);
+  Word ins = make_input_word(m.netlist, n_in, "x");
+  std::vector<GateId> pool(ins.begin(), ins.end());
+  static constexpr GateKind kKinds[] = {GateKind::And,  GateKind::Or,
+                                        GateKind::Nand, GateKind::Nor,
+                                        GateKind::Xor,  GateKind::Not};
+  for (int g = 0; g < n_gates; ++g) {
+    auto kind = kKinds[rng.uniform_int(0, 5)];
+    // Locality bias: prefer recently created nodes so depth grows with size.
+    auto pick = [&]() -> GateId {
+      auto sz = static_cast<std::int64_t>(pool.size());
+      std::int64_t i = sz - 1 - std::min<std::int64_t>(
+                                    rng.geometric(0.15), sz - 1);
+      return pool[static_cast<std::size_t>(i)];
+    };
+    GateId out;
+    if (kind == GateKind::Not) {
+      out = m.netlist.add_unary(kind, pick());
+    } else {
+      GateId a = pick(), b = pick();
+      if (a == b) b = pool[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      out = m.netlist.add_binary(kind, a, b);
+    }
+    pool.push_back(out);
+  }
+  Word outs;
+  int n_logic = static_cast<int>(pool.size()) - n_in;
+  n_out = std::min(n_out, n_logic);
+  for (int i = 0; i < n_out; ++i) {
+    GateId g = pool[pool.size() - 1 - static_cast<std::size_t>(i)];
+    m.netlist.mark_output(g, "y[" + std::to_string(i) + "]");
+    outs.push_back(g);
+  }
+  m.input_words = {ins};
+  m.output_words = {outs};
+  return m;
+}
+
+Module c17_module() {
+  Module m;
+  m.name = "c17";
+  Netlist& nl = m.netlist;
+  GateId g1 = nl.add_input("1");
+  GateId g2 = nl.add_input("2");
+  GateId g3 = nl.add_input("3");
+  GateId g6 = nl.add_input("6");
+  GateId g7 = nl.add_input("7");
+  GateId g10 = nl.add_binary(GateKind::Nand, g1, g3, "10");
+  GateId g11 = nl.add_binary(GateKind::Nand, g3, g6, "11");
+  GateId g16 = nl.add_binary(GateKind::Nand, g2, g11, "16");
+  GateId g19 = nl.add_binary(GateKind::Nand, g11, g7, "19");
+  GateId g22 = nl.add_binary(GateKind::Nand, g10, g16, "22");
+  GateId g23 = nl.add_binary(GateKind::Nand, g16, g19, "23");
+  nl.mark_output(g22, "22");
+  nl.mark_output(g23, "23");
+  m.input_words = {{g1, g2, g3, g6, g7}};
+  m.output_words = {{g22, g23}};
+  return m;
+}
+
+Module multiply_reduce_module(int n, int trees) {
+  Module m;
+  m.name = "mulred" + std::to_string(n);
+  Word a = make_input_word(m.netlist, n, "a");
+  Word b = make_input_word(m.netlist, n, "b");
+  Word p = array_multiplier(m.netlist, a, b);
+  Word outs;
+  for (int t = 0; t < trees; ++t) {
+    // Rotated two-thirds subset of the product bits per tree.
+    Word subset;
+    for (std::size_t i = 0; i < p.size(); ++i)
+      if (static_cast<int>((i + static_cast<std::size_t>(t)) % 3) != 0)
+        subset.push_back(p[(i + static_cast<std::size_t>(t)) % p.size()]);
+    GateId y = parity(m.netlist, subset);
+    m.netlist.mark_output(y, "y[" + std::to_string(t) + "]");
+    outs.push_back(y);
+  }
+  m.input_words = {a, b};
+  m.output_words = {outs};
+  return m;
+}
+
+Module mux_tree_module(int sel_bits) {
+  Module m;
+  m.name = "muxtree" + std::to_string(sel_bits);
+  int n_data = 1 << sel_bits;
+  Word sel = make_input_word(m.netlist, sel_bits, "s");
+  Word data = make_input_word(m.netlist, n_data, "d");
+  std::vector<GateId> level(data.begin(), data.end());
+  for (int b = 0; b < sel_bits; ++b) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(m.netlist.add_mux(sel[static_cast<std::size_t>(b)],
+                                       level[i], level[i + 1]));
+    level = std::move(next);
+  }
+  m.netlist.mark_output(level[0], "y");
+  m.input_words = {sel, data};
+  m.output_words = {{level[0]}};
+  return m;
+}
+
+}  // namespace hlp::netlist

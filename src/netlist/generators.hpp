@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/words.hpp"
+
+namespace hlp::netlist {
+
+/// A combinational or sequential block with word-level port structure.
+///
+/// Stands in for the precharacterized RT-level library components the paper's
+/// macro-modeling flows operate on (adders, multipliers, ALUs, ...).
+struct Module {
+  std::string name;
+  Netlist netlist;
+  std::vector<Word> input_words;   ///< primary input buses
+  std::vector<Word> output_words;  ///< primary output buses
+
+  int total_input_bits() const {
+    int n = 0;
+    for (const auto& w : input_words) n += static_cast<int>(w.size());
+    return n;
+  }
+  int total_output_bits() const {
+    int n = 0;
+    for (const auto& w : output_words) n += static_cast<int>(w.size());
+    return n;
+  }
+};
+
+/// n-bit ripple-carry adder: inputs a, b; output sum (n+1 bits).
+Module adder_module(int n);
+
+/// n x n unsigned array multiplier: inputs a, b; output p (2n bits).
+Module multiplier_module(int n);
+
+/// n-bit ALU with 2-bit opcode: 00 add, 01 and, 10 or, 11 xor.
+Module alu_module(int n);
+
+/// n-bit parity generator (single output).
+Module parity_module(int n);
+
+/// n-bit unsigned comparator: outputs {lt, eq}.
+Module comparator_module(int n);
+
+/// n-bit maximum: out = max(a, b) (comparator + word mux); used by the
+/// precomputation experiments (Fig. 6 of the paper).
+Module max_module(int n);
+
+/// Random combinational DAG: `n_in` inputs, `n_gates` two-input gates with
+/// fanins drawn from earlier nodes (locality-biased), `n_out` outputs drawn
+/// from the last gates. Deterministic in `seed`.
+Module random_logic_module(int n_in, int n_gates, int n_out,
+                           std::uint64_t seed);
+
+/// The ISCAS-85 c17 benchmark (6 NAND gates, 5 inputs, 2 outputs).
+Module c17_module();
+
+/// Balanced mux tree selecting one of 2^sel_bits data inputs.
+Module mux_tree_module(int sel_bits);
+
+/// n x n multiplier followed by `trees` XOR-reduction trees over rotated
+/// subsets of the product bits. The multiplier generates glitches and the
+/// XOR trees amplify them — the canonical low-power retiming target
+/// (Fig. 9): a register cut at the product bits is narrow and blocks the
+/// glitches from the reduction stage.
+Module multiply_reduce_module(int n, int trees = 4);
+
+}  // namespace hlp::netlist

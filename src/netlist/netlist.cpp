@@ -1,0 +1,253 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hlp::netlist {
+
+bool is_logic(GateKind k) {
+  switch (k) {
+    case GateKind::Input:
+    case GateKind::Const0:
+    case GateKind::Const1:
+    case GateKind::Dff:
+      return false;
+    default:
+      return true;
+  }
+}
+
+const char* kind_name(GateKind k) {
+  switch (k) {
+    case GateKind::Input: return "input";
+    case GateKind::Const0: return "const0";
+    case GateKind::Const1: return "const1";
+    case GateKind::Buf: return "buf";
+    case GateKind::Not: return "not";
+    case GateKind::And: return "and";
+    case GateKind::Or: return "or";
+    case GateKind::Nand: return "nand";
+    case GateKind::Nor: return "nor";
+    case GateKind::Xor: return "xor";
+    case GateKind::Xnor: return "xnor";
+    case GateKind::Mux: return "mux";
+    case GateKind::Dff: return "dff";
+  }
+  return "?";
+}
+
+bool eval_gate(GateKind kind, std::span<const std::uint8_t> v) {
+  switch (kind) {
+    case GateKind::Const0: return false;
+    case GateKind::Const1: return true;
+    case GateKind::Buf: return v[0];
+    case GateKind::Not: return !v[0];
+    case GateKind::And: {
+      for (std::uint8_t b : v)
+        if (!b) return false;
+      return true;
+    }
+    case GateKind::Or: {
+      for (std::uint8_t b : v)
+        if (b) return true;
+      return false;
+    }
+    case GateKind::Nand: {
+      for (std::uint8_t b : v)
+        if (!b) return true;
+      return false;
+    }
+    case GateKind::Nor: {
+      for (std::uint8_t b : v)
+        if (b) return false;
+      return true;
+    }
+    case GateKind::Xor: {
+      bool r = false;
+      for (std::uint8_t b : v) r ^= b;
+      return r;
+    }
+    case GateKind::Xnor: {
+      bool r = true;
+      for (std::uint8_t b : v) r ^= b;
+      return r;
+    }
+    case GateKind::Mux:
+      return v[0] ? v[2] : v[1];
+    case GateKind::Input:
+    case GateKind::Dff:
+      throw std::logic_error("eval_gate: kind has no combinational function");
+  }
+  return false;
+}
+
+GateId Netlist::add_input(std::string_view name) {
+  GateId id = static_cast<GateId>(gates_.size());
+  gates_.push_back({GateKind::Input, {}, std::string(name), 0.0});
+  inputs_.push_back(id);
+  invalidate_cache();
+  return id;
+}
+
+GateId Netlist::add_const(bool value) {
+  GateId id = static_cast<GateId>(gates_.size());
+  gates_.push_back(
+      {value ? GateKind::Const1 : GateKind::Const0, {}, {}, 0.0});
+  invalidate_cache();
+  return id;
+}
+
+GateId Netlist::add_gate(GateKind kind, std::span<const GateId> fanins,
+                         std::string_view name) {
+  assert(is_logic(kind));
+  GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.kind = kind;
+  g.fanins.assign(fanins.begin(), fanins.end());
+  g.name = std::string(name);
+  gates_.push_back(std::move(g));
+  invalidate_cache();
+  return id;
+}
+
+GateId Netlist::add_unary(GateKind kind, GateId a, std::string_view name) {
+  GateId f[1] = {a};
+  return add_gate(kind, f, name);
+}
+
+GateId Netlist::add_binary(GateKind kind, GateId a, GateId b,
+                           std::string_view name) {
+  GateId f[2] = {a, b};
+  return add_gate(kind, f, name);
+}
+
+GateId Netlist::add_mux(GateId sel, GateId d0, GateId d1,
+                        std::string_view name) {
+  GateId f[3] = {sel, d0, d1};
+  return add_gate(GateKind::Mux, f, name);
+}
+
+GateId Netlist::add_dff(GateId d, bool init, std::string_view name) {
+  GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.kind = GateKind::Dff;
+  if (d != kNullGate) g.fanins.push_back(d);
+  g.name = std::string(name);
+  gates_.push_back(std::move(g));
+  dffs_.push_back(id);
+  dff_inits_.push_back(init);
+  invalidate_cache();
+  return id;
+}
+
+void Netlist::set_dff_input(GateId dff, GateId d) {
+  assert(gates_[dff].kind == GateKind::Dff);
+  gates_[dff].fanins.assign(1, d);
+  invalidate_cache();
+}
+
+bool Netlist::dff_init(GateId dff) const {
+  for (std::size_t i = 0; i < dffs_.size(); ++i)
+    if (dffs_[i] == dff) return dff_inits_[i];
+  return false;
+}
+
+void Netlist::mark_output(GateId g, std::string_view name) {
+  outputs_.push_back(g);
+  output_names_.emplace_back(name);
+}
+
+std::size_t Netlist::logic_gate_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_)
+    if (is_logic(g.kind)) ++n;
+  return n;
+}
+
+const std::vector<GateId>& Netlist::topo_order() const {
+  if (topo_valid_) return topo_cache_;
+  topo_cache_.clear();
+  topo_cache_.reserve(gates_.size());
+  // Kahn's algorithm over combinational edges only: DFFs are sources (their
+  // output is the state) and their D fanin is not a combinational dependency
+  // of the DFF node itself.
+  std::vector<std::uint32_t> pending(gates_.size(), 0);
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    if (is_logic(g.kind)) pending[id] = static_cast<std::uint32_t>(g.fanins.size());
+  }
+  std::vector<std::vector<GateId>> fo(gates_.size());
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    if (!is_logic(gates_[id].kind)) continue;
+    for (GateId f : gates_[id].fanins) fo[f].push_back(id);
+  }
+  std::vector<GateId> ready;
+  for (GateId id = 0; id < gates_.size(); ++id)
+    if (!is_logic(gates_[id].kind)) ready.push_back(id);
+  while (!ready.empty()) {
+    GateId id = ready.back();
+    ready.pop_back();
+    topo_cache_.push_back(id);
+    for (GateId s : fo[id])
+      if (--pending[s] == 0) ready.push_back(s);
+  }
+  if (topo_cache_.size() != gates_.size())
+    throw std::logic_error("Netlist: combinational cycle detected");
+  topo_valid_ = true;
+  return topo_cache_;
+}
+
+std::vector<std::uint32_t> Netlist::fanout_counts() const {
+  std::vector<std::uint32_t> n(gates_.size(), 0);
+  for (const Gate& g : gates_)
+    for (GateId f : g.fanins) ++n[f];
+  return n;
+}
+
+std::vector<std::vector<GateId>> Netlist::fanouts() const {
+  std::vector<std::vector<GateId>> fo(gates_.size());
+  for (GateId id = 0; id < gates_.size(); ++id)
+    for (GateId f : gates_[id].fanins) fo[f].push_back(id);
+  return fo;
+}
+
+std::vector<double> Netlist::loads(const CapacitanceModel& cap) const {
+  std::vector<double> load(gates_.size(), 0.0);
+  auto nfo = fanout_counts();
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    double pin = (g.kind == GateKind::Dff) ? cap.dff_pin_cap
+                                           : cap.input_pin_cap;
+    for (GateId f : g.fanins) load[f] += pin;
+  }
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    load[id] += cap.output_self_cap +
+                cap.wire_cap_per_fanout * static_cast<double>(nfo[id]) +
+                gates_[id].extra_cap;
+  }
+  return load;
+}
+
+double Netlist::total_capacitance(const CapacitanceModel& cap) const {
+  double total = 0.0;
+  for (double l : loads(cap)) total += l;
+  total += cap.dff_clock_cap * static_cast<double>(dffs_.size());
+  return total;
+}
+
+int Netlist::depth() const {
+  std::vector<int> d(gates_.size(), 0);
+  int best = 0;
+  for (GateId id : topo_order()) {
+    const Gate& g = gates_[id];
+    if (!is_logic(g.kind)) continue;
+    int m = 0;
+    for (GateId f : g.fanins) m = std::max(m, d[f]);
+    d[id] = m + 1;
+    best = std::max(best, d[id]);
+  }
+  return best;
+}
+
+}  // namespace hlp::netlist

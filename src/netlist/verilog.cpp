@@ -1,0 +1,116 @@
+#include "netlist/verilog.hpp"
+
+#include <sstream>
+
+namespace hlp::netlist {
+
+namespace {
+
+std::string net(GateId g) { return "n" + std::to_string(g); }
+
+const char* infix_op(GateKind k) {
+  switch (k) {
+    case GateKind::And:
+    case GateKind::Nand: return " & ";
+    case GateKind::Or:
+    case GateKind::Nor: return " | ";
+    case GateKind::Xor:
+    case GateKind::Xnor: return " ^ ";
+    default: return nullptr;
+  }
+}
+
+bool inverted(GateKind k) {
+  return k == GateKind::Nand || k == GateKind::Nor || k == GateKind::Xnor ||
+         k == GateKind::Not;
+}
+
+}  // namespace
+
+std::string to_verilog(const Netlist& nl, std::string_view module_name) {
+  std::ostringstream os;
+  const bool sequential = !nl.dffs().empty();
+
+  os << "module " << module_name << "(";
+  if (sequential) os << "clk, ";
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    os << "pi" << i << ", ";
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    os << "po" << i;
+    if (i + 1 < nl.outputs().size()) os << ", ";
+  }
+  os << ");\n";
+  if (sequential) os << "  input clk;\n";
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    os << "  input pi" << i << ";\n";
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i)
+    os << "  output po" << i << ";\n";
+
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    if (nl.gate(g).kind == GateKind::Dff)
+      os << "  reg " << net(g) << ";\n";
+    else
+      os << "  wire " << net(g) << ";\n";
+  }
+
+  // Input bindings.
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    os << "  assign " << net(nl.inputs()[i]) << " = pi" << i << ";\n";
+
+  // Combinational logic.
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    const Gate& gate = nl.gate(g);
+    switch (gate.kind) {
+      case GateKind::Input:
+      case GateKind::Dff:
+        break;
+      case GateKind::Const0:
+        os << "  assign " << net(g) << " = 1'b0;\n";
+        break;
+      case GateKind::Const1:
+        os << "  assign " << net(g) << " = 1'b1;\n";
+        break;
+      case GateKind::Buf:
+        os << "  assign " << net(g) << " = " << net(gate.fanins[0])
+           << ";\n";
+        break;
+      case GateKind::Not:
+        os << "  assign " << net(g) << " = ~" << net(gate.fanins[0])
+           << ";\n";
+        break;
+      case GateKind::Mux:
+        os << "  assign " << net(g) << " = " << net(gate.fanins[0]) << " ? "
+           << net(gate.fanins[2]) << " : " << net(gate.fanins[1]) << ";\n";
+        break;
+      default: {
+        const char* op = infix_op(gate.kind);
+        os << "  assign " << net(g) << " = ";
+        if (inverted(gate.kind)) os << "~(";
+        for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+          os << net(gate.fanins[i]);
+          if (i + 1 < gate.fanins.size()) os << op;
+        }
+        if (inverted(gate.kind)) os << ")";
+        os << ";\n";
+        break;
+      }
+    }
+  }
+
+  if (sequential) {
+    os << "  always @(posedge clk) begin\n";
+    for (GateId d : nl.dffs()) {
+      const Gate& g = nl.gate(d);
+      if (!g.fanins.empty())
+        os << "    " << net(d) << " <= " << net(g.fanins[0]) << ";\n";
+    }
+    os << "  end\n";
+  }
+
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i)
+    os << "  assign po" << i << " = " << net(nl.outputs()[i]) << ";\n";
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace hlp::netlist

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace hlp::netlist {
+
+/// Structural Verilog export (synthesizable subset: continuous assigns for
+/// the logic, one clocked always block for the DFFs). Lets downstream users
+/// push the library's netlists into standard EDA flows for cross-checking.
+///
+/// Net names are `n<id>`; primary inputs/outputs get `pi<k>`/`po<k>` ports
+/// (plus `clk` when the netlist has state).
+std::string to_verilog(const Netlist& nl, std::string_view module_name);
+
+}  // namespace hlp::netlist

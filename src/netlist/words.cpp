@@ -1,0 +1,290 @@
+#include "netlist/words.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace hlp::netlist {
+namespace {
+
+std::string indexed(std::string_view prefix, int i) {
+  return std::string(prefix) + "[" + std::to_string(i) + "]";
+}
+
+/// One-bit full adder; returns {sum, carry}.
+std::pair<GateId, GateId> full_adder(Netlist& nl, GateId a, GateId b,
+                                     GateId c) {
+  GateId axb = nl.add_binary(GateKind::Xor, a, b);
+  GateId sum = nl.add_binary(GateKind::Xor, axb, c);
+  GateId ab = nl.add_binary(GateKind::And, a, b);
+  GateId axbc = nl.add_binary(GateKind::And, axb, c);
+  GateId carry = nl.add_binary(GateKind::Or, ab, axbc);
+  return {sum, carry};
+}
+
+}  // namespace
+
+Word make_input_word(Netlist& nl, int width, std::string_view prefix) {
+  Word w;
+  w.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) w.push_back(nl.add_input(indexed(prefix, i)));
+  return w;
+}
+
+Word make_const_word(Netlist& nl, int width, std::uint64_t value) {
+  Word w;
+  w.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) w.push_back(nl.add_const((value >> i) & 1u));
+  return w;
+}
+
+Word ripple_adder(Netlist& nl, const Word& a, const Word& b, GateId cin,
+                  GateId* cout) {
+  assert(a.size() == b.size());
+  Word sum;
+  sum.reserve(a.size());
+  GateId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (carry == kNullGate) {
+      // Half adder for the first stage without carry-in.
+      sum.push_back(nl.add_binary(GateKind::Xor, a[i], b[i]));
+      carry = nl.add_binary(GateKind::And, a[i], b[i]);
+    } else {
+      auto [s, c] = full_adder(nl, a[i], b[i], carry);
+      sum.push_back(s);
+      carry = c;
+    }
+  }
+  if (cout) *cout = carry;
+  return sum;
+}
+
+Word subtractor(Netlist& nl, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word nb = not_word(nl, b);
+  GateId one = nl.add_const(true);
+  GateId cout = kNullGate;
+  Word diff;
+  GateId carry = one;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto [s, c] = full_adder(nl, a[i], nb[i], carry);
+    diff.push_back(s);
+    carry = c;
+  }
+  cout = carry;
+  (void)cout;
+  return diff;
+}
+
+Word array_multiplier(Netlist& nl, const Word& a, const Word& b) {
+  const std::size_t n = a.size(), m = b.size();
+  Word result;
+  if (n == 0 || m == 0) return result;
+  // Row of partial products accumulated with ripple adders.
+  Word acc;
+  for (std::size_t i = 0; i < n; ++i)
+    acc.push_back(nl.add_binary(GateKind::And, a[i], b[0]));
+  result.push_back(acc[0]);
+  acc.erase(acc.begin());
+  acc.push_back(nl.add_const(false));
+  for (std::size_t j = 1; j < m; ++j) {
+    Word pp;
+    for (std::size_t i = 0; i < n; ++i)
+      pp.push_back(nl.add_binary(GateKind::And, a[i], b[j]));
+    GateId cout = kNullGate;
+    acc = ripple_adder(nl, acc, pp, kNullGate, &cout);
+    result.push_back(acc[0]);
+    acc.erase(acc.begin());
+    acc.push_back(cout);
+  }
+  for (GateId g : acc) result.push_back(g);
+  return result;
+}
+
+Word carry_select_adder(Netlist& nl, const Word& a, const Word& b, int block,
+                        GateId* cout) {
+  assert(a.size() == b.size());
+  assert(block >= 1);
+  Word sum;
+  sum.reserve(a.size());
+  GateId carry = kNullGate;  // null = known zero at the first block
+  for (std::size_t lo = 0; lo < a.size();
+       lo += static_cast<std::size_t>(block)) {
+    std::size_t hi = std::min(a.size(), lo + static_cast<std::size_t>(block));
+    Word ab(a.begin() + static_cast<std::ptrdiff_t>(lo),
+            a.begin() + static_cast<std::ptrdiff_t>(hi));
+    Word bb(b.begin() + static_cast<std::ptrdiff_t>(lo),
+            b.begin() + static_cast<std::ptrdiff_t>(hi));
+    if (carry == kNullGate) {
+      GateId c0 = kNullGate;
+      Word s = ripple_adder(nl, ab, bb, kNullGate, &c0);
+      for (GateId g : s) sum.push_back(g);
+      carry = c0;
+    } else {
+      // Both speculative versions, selected by the incoming carry.
+      GateId zero = nl.add_const(false);
+      GateId one = nl.add_const(true);
+      GateId c0 = kNullGate, c1 = kNullGate;
+      Word s0 = ripple_adder(nl, ab, bb, zero, &c0);
+      Word s1 = ripple_adder(nl, ab, bb, one, &c1);
+      Word sel = mux_word(nl, carry, s0, s1);
+      for (GateId g : sel) sum.push_back(g);
+      carry = nl.add_mux(carry, c0, c1);
+    }
+  }
+  if (cout) *cout = carry;
+  return sum;
+}
+
+Word csa_multiplier(Netlist& nl, const Word& a, const Word& b) {
+  const std::size_t n = a.size(), m = b.size();
+  Word result;
+  if (n == 0 || m == 0) return result;
+  const std::size_t w = n + m;
+  // Column-wise partial-product bins.
+  std::vector<std::vector<GateId>> cols(w);
+  for (std::size_t j = 0; j < m; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      cols[i + j].push_back(nl.add_binary(GateKind::And, a[i], b[j]));
+  // 3:2 / 2:2 reduction until every column holds at most two bits.
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    std::vector<std::vector<GateId>> next(w);
+    for (std::size_t c = 0; c < w; ++c) {
+      auto& col = cols[c];
+      std::size_t i = 0;
+      while (col.size() - i >= 3) {
+        // Full adder: sum stays, carry moves up.
+        GateId x = col[i], y = col[i + 1], z = col[i + 2];
+        i += 3;
+        GateId xy = nl.add_binary(GateKind::Xor, x, y);
+        GateId s = nl.add_binary(GateKind::Xor, xy, z);
+        GateId c1 = nl.add_binary(GateKind::And, x, y);
+        GateId c2 = nl.add_binary(GateKind::And, xy, z);
+        GateId cy = nl.add_binary(GateKind::Or, c1, c2);
+        next[c].push_back(s);
+        if (c + 1 < w) next[c + 1].push_back(cy);
+        reduced = true;
+      }
+      for (; i < col.size(); ++i) next[c].push_back(col[i]);
+    }
+    cols = std::move(next);
+  }
+  // Final carry-propagate add over the two remaining rows; carry-select
+  // keeps the fast tree from being bottlenecked by a ripple chain.
+  Word row0, row1;
+  for (std::size_t c = 0; c < w; ++c) {
+    row0.push_back(cols[c].empty() ? nl.add_const(false) : cols[c][0]);
+    row1.push_back(cols[c].size() > 1 ? cols[c][1] : nl.add_const(false));
+  }
+  return carry_select_adder(nl, row0, row1, 3);
+}
+
+Word and_word(Netlist& nl, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word w;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    w.push_back(nl.add_binary(GateKind::And, a[i], b[i]));
+  return w;
+}
+
+Word or_word(Netlist& nl, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word w;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    w.push_back(nl.add_binary(GateKind::Or, a[i], b[i]));
+  return w;
+}
+
+Word xor_word(Netlist& nl, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word w;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    w.push_back(nl.add_binary(GateKind::Xor, a[i], b[i]));
+  return w;
+}
+
+Word not_word(Netlist& nl, const Word& a) {
+  Word w;
+  for (GateId g : a) w.push_back(nl.add_unary(GateKind::Not, g));
+  return w;
+}
+
+Word mux_word(Netlist& nl, GateId sel, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word w;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    w.push_back(nl.add_mux(sel, a[i], b[i]));
+  return w;
+}
+
+Word register_word(Netlist& nl, const Word& d, std::string_view prefix) {
+  Word q;
+  for (std::size_t i = 0; i < d.size(); ++i)
+    q.push_back(nl.add_dff(d[i], false,
+                           prefix.empty()
+                               ? std::string{}
+                               : indexed(prefix, static_cast<int>(i))));
+  return q;
+}
+
+GateId parity(Netlist& nl, const Word& a) {
+  assert(!a.empty());
+  // Balanced XOR tree.
+  Word level = a;
+  while (level.size() > 1) {
+    Word next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(nl.add_binary(GateKind::Xor, level[i], level[i + 1]));
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+GateId equals(Netlist& nl, const Word& a, const Word& b) {
+  assert(a.size() == b.size() && !a.empty());
+  Word eqs;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    eqs.push_back(nl.add_binary(GateKind::Xnor, a[i], b[i]));
+  // AND tree.
+  while (eqs.size() > 1) {
+    Word next;
+    for (std::size_t i = 0; i + 1 < eqs.size(); i += 2)
+      next.push_back(nl.add_binary(GateKind::And, eqs[i], eqs[i + 1]));
+    if (eqs.size() % 2) next.push_back(eqs.back());
+    eqs = std::move(next);
+  }
+  return eqs[0];
+}
+
+GateId less_than(Netlist& nl, const Word& a, const Word& b) {
+  assert(a.size() == b.size() && !a.empty());
+  // lt_i = (!a_i & b_i) | (a_i==b_i) & lt_{i-1}, scanning from LSB.
+  GateId lt = nl.add_const(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    GateId na = nl.add_unary(GateKind::Not, a[i]);
+    GateId strict = nl.add_binary(GateKind::And, na, b[i]);
+    GateId eq = nl.add_binary(GateKind::Xnor, a[i], b[i]);
+    GateId carry = nl.add_binary(GateKind::And, eq, lt);
+    lt = nl.add_binary(GateKind::Or, strict, carry);
+  }
+  return lt;
+}
+
+Word shift_left_const(Netlist& nl, const Word& a, int amount) {
+  Word w;
+  for (int i = 0; i < amount && i < static_cast<int>(a.size()); ++i)
+    w.push_back(nl.add_const(false));
+  for (std::size_t i = 0; w.size() < a.size(); ++i) w.push_back(a[i]);
+  return w;
+}
+
+void mark_output_word(Netlist& nl, const Word& w, std::string_view prefix) {
+  for (std::size_t i = 0; i < w.size(); ++i)
+    nl.mark_output(w[i], prefix.empty()
+                             ? std::string{}
+                             : indexed(prefix, static_cast<int>(i)));
+}
+
+}  // namespace hlp::netlist

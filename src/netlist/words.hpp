@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace hlp::netlist {
+
+/// Word-level construction helpers. All words are LSB-first.
+
+Word make_input_word(Netlist& nl, int width, std::string_view prefix);
+Word make_const_word(Netlist& nl, int width, std::uint64_t value);
+
+/// sum = a + b + cin (ripple-carry); if `cout` is non-null it receives the
+/// carry out. a and b must have equal width.
+Word ripple_adder(Netlist& nl, const Word& a, const Word& b,
+                  GateId cin = kNullGate, GateId* cout = nullptr);
+
+/// a - b (two's complement); width preserved, borrow discarded.
+Word subtractor(Netlist& nl, const Word& a, const Word& b);
+
+/// Carry-select adder: `block`-bit groups computed for both carry-in values
+/// and selected by the incoming carry — shallower than ripple at the cost
+/// of duplicated group logic (a classic power/delay tradeoff point for the
+/// architecture-exploration experiments).
+Word carry_select_adder(Netlist& nl, const Word& a, const Word& b, int block,
+                        GateId* cout = nullptr);
+
+/// Carry-save (Wallace-style) multiplier: partial products reduced with 3:2
+/// compressors, final ripple add. Much shallower than the array multiplier
+/// and with different glitch behavior.
+Word csa_multiplier(Netlist& nl, const Word& a, const Word& b);
+
+/// Unsigned array multiplier; result width = |a| + |b|.
+Word array_multiplier(Netlist& nl, const Word& a, const Word& b);
+
+/// Bitwise word operations (equal widths).
+Word and_word(Netlist& nl, const Word& a, const Word& b);
+Word or_word(Netlist& nl, const Word& a, const Word& b);
+Word xor_word(Netlist& nl, const Word& a, const Word& b);
+Word not_word(Netlist& nl, const Word& a);
+
+/// 2:1 word multiplexer: sel ? b : a.
+Word mux_word(Netlist& nl, GateId sel, const Word& a, const Word& b);
+
+/// Registers the word through DFFs; returns the Q-side word.
+Word register_word(Netlist& nl, const Word& d, std::string_view prefix = {});
+
+/// XOR-tree parity of all word bits.
+GateId parity(Netlist& nl, const Word& a);
+
+/// a == b (AND of XNORs).
+GateId equals(Netlist& nl, const Word& a, const Word& b);
+
+/// Unsigned a < b.
+GateId less_than(Netlist& nl, const Word& a, const Word& b);
+
+/// Logical shift left by a constant (zero fill, width preserved) — free,
+/// implemented by rewiring and constant nets.
+Word shift_left_const(Netlist& nl, const Word& a, int amount);
+
+/// Marks every bit of the word as a primary output.
+void mark_output_word(Netlist& nl, const Word& w,
+                      std::string_view prefix = {});
+
+}  // namespace hlp::netlist

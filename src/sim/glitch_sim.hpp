@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "stats/entropy.hpp"
+
+namespace hlp::sim {
+
+/// Unit-delay, glitch-aware transition counts for a netlist driven by an
+/// input stream.
+///
+/// Each logic gate has delay 1; inputs and DFF outputs change at t=0 of each
+/// cycle. Every output change (including spurious transitions that are later
+/// undone within the same cycle — glitches) is counted. The zero-delay count
+/// is also returned so callers can separate functional from glitch activity,
+/// which is what the low-power retiming heuristic of Monteiro et al.
+/// (Section III-J) keys on.
+struct GlitchResult {
+  std::vector<double> total_activity;       ///< transitions/cycle, glitches included
+  std::vector<double> functional_activity;  ///< zero-delay transitions/cycle
+  std::size_t cycles = 0;
+
+  double glitch_activity(netlist::GateId g) const {
+    return total_activity[g] - functional_activity[g];
+  }
+};
+
+GlitchResult simulate_glitches(const netlist::Netlist& nl,
+                               const stats::VectorStream& in_stream);
+
+}  // namespace hlp::sim

@@ -1,0 +1,38 @@
+#include "sim/power.hpp"
+
+namespace hlp::sim {
+
+PowerReport compute_power(const netlist::Netlist& nl,
+                          std::span<const double> activities,
+                          const PowerParams& p) {
+  PowerReport rep;
+  auto loads = nl.loads(p.cap);
+  rep.gate_energy.assign(nl.gate_count(), 0.0);
+  for (netlist::GateId g = 0; g < nl.gate_count(); ++g) {
+    double e = loads[g] * (g < activities.size() ? activities[g] : 0.0);
+    rep.gate_energy[g] = e;
+    rep.switched_cap += e;
+  }
+  rep.total_power = 0.5 * p.vdd * p.vdd * p.freq * rep.switched_cap;
+  double c_clk =
+      p.cap.dff_clock_cap * static_cast<double>(nl.dffs().size());
+  rep.clock_power = p.vdd * p.vdd * p.freq * c_clk;
+  return rep;
+}
+
+std::map<std::string, double> switched_cap_by_component(
+    const netlist::Netlist& nl, std::span<const double> activities,
+    std::span<const std::string> labels,
+    const netlist::CapacitanceModel& cap) {
+  std::map<std::string, double> by;
+  auto loads = nl.loads(cap);
+  for (netlist::GateId g = 0; g < nl.gate_count(); ++g) {
+    double e = loads[g] * (g < activities.size() ? activities[g] : 0.0);
+    const std::string& label =
+        (g < labels.size() && !labels[g].empty()) ? labels[g] : "other";
+    by[label] += e;
+  }
+  return by;
+}
+
+}  // namespace hlp::sim

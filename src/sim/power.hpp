@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace hlp::sim {
+
+/// Electrical/operating parameters for power calculation.
+/// Defaults model a mid-1990s 5 V CMOS process at 20 MHz; the paper's
+/// techniques only depend on ratios (see DESIGN.md).
+struct PowerParams {
+  double vdd = 5.0;          ///< supply voltage [V]
+  double freq = 20e6;        ///< clock frequency [Hz]
+  netlist::CapacitanceModel cap;
+};
+
+/// Power / switched-capacitance report for one simulation run.
+struct PowerReport {
+  double total_power = 0.0;        ///< watts (arbitrary-unit capacitance)
+  double switched_cap = 0.0;       ///< sum of C_g * E_g (per cycle)
+  double clock_power = 0.0;        ///< clock network contribution
+  std::vector<double> gate_energy; ///< per-gate C_g * E_g
+
+  double power_with_clock() const { return total_power + clock_power; }
+};
+
+/// P = 0.5 * V^2 * f * sum_g C_g * E_g, plus clock-tree power
+/// P_clk = V^2 * f * C_clk (the clock toggles twice per cycle).
+PowerReport compute_power(const netlist::Netlist& nl,
+                          std::span<const double> activities,
+                          const PowerParams& p = {});
+
+/// Switched capacitance per cycle grouped by a user-provided component label
+/// per gate (used for the Table I breakdown). Gates whose label is empty are
+/// grouped under "other".
+std::map<std::string, double> switched_cap_by_component(
+    const netlist::Netlist& nl, std::span<const double> activities,
+    std::span<const std::string> labels,
+    const netlist::CapacitanceModel& cap = {});
+
+}  // namespace hlp::sim

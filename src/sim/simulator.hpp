@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "stats/entropy.hpp"
+
+namespace hlp::sim {
+
+/// Zero-delay functional simulator for `netlist::Netlist`.
+///
+/// Usage per cycle:
+///   sim.set_input(...); sim.eval();   // settle combinational logic
+///   ... read values / record activity ...
+///   sim.tick();                       // clock edge: DFFs sample D
+class Simulator {
+ public:
+  explicit Simulator(const netlist::Netlist& nl);
+
+  /// Reset DFFs to their init values and clear all nets to 0.
+  void reset();
+
+  void set_input(netlist::GateId input, bool value);
+  /// Assign an input word from an integer, LSB first.
+  void set_word(const netlist::Word& w, std::uint64_t value);
+  /// Assign all primary inputs from packed bits (bit i -> inputs()[i]).
+  void set_all_inputs(std::uint64_t packed);
+
+  /// Propagate values through the combinational logic (topological order).
+  void eval();
+
+  /// Clock edge: every DFF samples its D input.
+  void tick();
+
+  bool value(netlist::GateId g) const { return values_[g] != 0; }
+  std::uint64_t word_value(const netlist::Word& w) const;
+  /// Packed primary-output bits (output i -> bit i), up to 64 outputs.
+  std::uint64_t output_bits() const;
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<std::uint8_t> values_;
+  std::vector<std::uint8_t> fanin_buf_;
+};
+
+/// Accumulates zero-delay toggle counts per gate between settled snapshots.
+class ActivityCollector {
+ public:
+  explicit ActivityCollector(const netlist::Netlist& nl);
+
+  /// Record the simulator's current settled values; counts toggles against
+  /// the previously recorded snapshot.
+  void record(const Simulator& sim);
+
+  std::size_t cycles() const { return cycles_; }
+  /// Per-gate switching activity E_g = toggles / (cycles - 1).
+  std::vector<double> activities() const;
+  /// Raw toggle count per gate.
+  std::span<const std::uint64_t> toggles() const { return toggles_; }
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<std::uint8_t> prev_;
+  std::vector<std::uint64_t> toggles_;
+  std::size_t cycles_ = 0;
+};
+
+/// Run the netlist over an input stream (one word per cycle; stream bit i
+/// drives primary input i) and return per-gate zero-delay activities.
+/// If `out_stream` is non-null it receives the primary-output stream.
+std::vector<double> simulate_activities(
+    const netlist::Netlist& nl, const stats::VectorStream& in_stream,
+    stats::VectorStream* out_stream = nullptr);
+
+}  // namespace hlp::sim

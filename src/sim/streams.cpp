@@ -1,0 +1,108 @@
+#include "sim/streams.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hlp::sim {
+
+using stats::Rng;
+using stats::VectorStream;
+
+VectorStream random_stream(int width, std::size_t cycles, double p1,
+                           Rng& rng) {
+  VectorStream s;
+  s.width = width;
+  s.words.reserve(cycles);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    std::uint64_t w = 0;
+    for (int i = 0; i < width; ++i)
+      if (rng.bit(p1)) w |= std::uint64_t{1} << i;
+    s.words.push_back(w);
+  }
+  return s;
+}
+
+VectorStream correlated_stream(int width, std::size_t cycles, double hold,
+                               Rng& rng, double p1) {
+  VectorStream s;
+  s.width = width;
+  s.words.reserve(cycles);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < width; ++i)
+    if (rng.bit(p1)) prev |= std::uint64_t{1} << i;
+  s.words.push_back(prev);
+  for (std::size_t c = 1; c < cycles; ++c) {
+    std::uint64_t w = 0;
+    for (int i = 0; i < width; ++i) {
+      bool pb = (prev >> i) & 1u;
+      bool nb = rng.bit(hold) ? pb : rng.bit(p1);
+      if (nb) w |= std::uint64_t{1} << i;
+    }
+    s.words.push_back(w);
+    prev = w;
+  }
+  return s;
+}
+
+VectorStream gaussian_walk_stream(int width, std::size_t cycles, double rho,
+                                  double sigma_frac, Rng& rng) {
+  VectorStream s;
+  s.width = width;
+  s.words.reserve(cycles);
+  const double full = std::pow(2.0, width - 1) - 1.0;  // max magnitude
+  const double sigma = sigma_frac * full;
+  double x = 0.0;
+  const std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    x = rho * x + std::sqrt(std::max(0.0, 1.0 - rho * rho)) *
+                      rng.normal(0.0, sigma);
+    double clamped = std::clamp(x, -full, full);
+    auto v = static_cast<std::int64_t>(clamped);
+    s.words.push_back(static_cast<std::uint64_t>(v) & mask);
+  }
+  return s;
+}
+
+VectorStream counter_stream(int width, std::size_t cycles, std::uint64_t start,
+                            std::uint64_t stride) {
+  VectorStream s;
+  s.width = width;
+  s.words.reserve(cycles);
+  const std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  std::uint64_t v = start;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    s.words.push_back(v & mask);
+    v += stride;
+  }
+  return s;
+}
+
+VectorStream concat_streams(const std::vector<VectorStream>& xs) {
+  VectorStream s;
+  if (xs.empty()) return s;
+  s.width = xs[0].width;
+  for (const auto& x : xs)
+    s.words.insert(s.words.end(), x.words.begin(), x.words.end());
+  return s;
+}
+
+VectorStream zip_streams(const VectorStream& lo, const VectorStream& hi) {
+  VectorStream s;
+  s.width = lo.width + hi.width;
+  std::size_t n = std::min(lo.words.size(), hi.words.size());
+  s.words.reserve(n);
+  for (std::size_t c = 0; c < n; ++c)
+    s.words.push_back(lo.words[c] | (hi.words[c] << lo.width));
+  return s;
+}
+
+VectorStream stream_from_words(int width, std::vector<std::uint64_t> words) {
+  VectorStream s;
+  s.width = width;
+  s.words = std::move(words);
+  return s;
+}
+
+}  // namespace hlp::sim

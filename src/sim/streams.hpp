@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/entropy.hpp"
+#include "stats/rng.hpp"
+
+namespace hlp::sim {
+
+/// Input-stream generators. All streams are `stats::VectorStream`s: one
+/// fixed-width word per cycle, bit i of the word driving line i.
+
+/// Independent-bit stream: every line is 1 with probability `p1` each cycle.
+stats::VectorStream random_stream(int width, std::size_t cycles, double p1,
+                                  stats::Rng& rng);
+
+/// Temporally correlated stream: each bit holds its previous value with
+/// probability `hold` (hold=0.5 is white noise; hold->1 is near-constant).
+stats::VectorStream correlated_stream(int width, std::size_t cycles,
+                                      double hold, stats::Rng& rng,
+                                      double p1 = 0.5);
+
+/// Two's-complement Gaussian random-walk data words (lag-1 correlation
+/// `rho`), the signal class behind the dual-bit-type macro-model of Landman
+/// and Rabaey [40]: low-order bits behave randomly, sign bits follow the
+/// word-level correlation.
+stats::VectorStream gaussian_walk_stream(int width, std::size_t cycles,
+                                         double rho, double sigma_frac,
+                                         stats::Rng& rng);
+
+/// Counter stream: word value increments by `stride` each cycle (mod 2^width).
+stats::VectorStream counter_stream(int width, std::size_t cycles,
+                                   std::uint64_t start = 0,
+                                   std::uint64_t stride = 1);
+
+/// Concatenate streams of equal width.
+stats::VectorStream concat_streams(const std::vector<stats::VectorStream>& xs);
+
+/// Zip two streams side by side (widths add; `hi` occupies the upper lines).
+stats::VectorStream zip_streams(const stats::VectorStream& lo,
+                                const stats::VectorStream& hi);
+
+/// Build a stream directly from explicit word values.
+stats::VectorStream stream_from_words(int width,
+                                      std::vector<std::uint64_t> words);
+
+}  // namespace hlp::sim

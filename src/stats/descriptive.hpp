@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace hlp::stats {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the sampling-based power estimators (Section II-C2 of the paper)
+/// where per-cycle power values arrive one at a time and both the census and
+/// sampler macro-models need running moments.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double stderr_mean() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // unbiased, n-1
+double stddev(std::span<const double> xs);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Mean absolute relative error of `est` against reference `ref`,
+/// skipping reference values with magnitude below `eps`.
+double mean_abs_rel_error(std::span<const double> est,
+                          std::span<const double> ref, double eps = 1e-12);
+
+/// Half-width of the two-sided normal-approximation confidence interval
+/// for the mean at the given confidence level (e.g. 0.95 -> 1.96 * SE).
+double ci_halfwidth(const RunningStats& s, double confidence = 0.95);
+
+}  // namespace hlp::stats

@@ -1,0 +1,87 @@
+#include "stats/entropy.hpp"
+
+#include <bit>
+#include <cmath>
+#include <unordered_map>
+
+namespace hlp::stats {
+
+double binary_entropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double distribution_entropy(std::span<const double> probs) {
+  double total = 0.0;
+  for (double p : probs)
+    if (p > 0.0) total += p;
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double p : probs) {
+    if (p <= 0.0) continue;
+    double q = p / total;
+    h -= q * std::log2(q);
+  }
+  return h;
+}
+
+std::vector<double> signal_probabilities(const VectorStream& s) {
+  std::vector<double> q(static_cast<std::size_t>(s.width), 0.0);
+  if (s.words.empty()) return q;
+  for (std::uint64_t w : s.words)
+    for (int i = 0; i < s.width; ++i)
+      if ((w >> i) & 1u) q[static_cast<std::size_t>(i)] += 1.0;
+  for (double& v : q) v /= static_cast<double>(s.words.size());
+  return q;
+}
+
+std::vector<double> switching_activities(const VectorStream& s) {
+  std::vector<double> e(static_cast<std::size_t>(s.width), 0.0);
+  if (s.words.size() < 2) return e;
+  for (std::size_t c = 1; c < s.words.size(); ++c) {
+    std::uint64_t diff = s.words[c] ^ s.words[c - 1];
+    for (int i = 0; i < s.width; ++i)
+      if ((diff >> i) & 1u) e[static_cast<std::size_t>(i)] += 1.0;
+  }
+  for (double& v : e) v /= static_cast<double>(s.words.size() - 1);
+  return e;
+}
+
+double avg_bit_entropy(const VectorStream& s) {
+  if (s.width == 0) return 0.0;
+  auto q = signal_probabilities(s);
+  double h = 0.0;
+  for (double qi : q) h += binary_entropy(qi);
+  return h / static_cast<double>(s.width);
+}
+
+double sum_bit_entropy(const VectorStream& s) {
+  auto q = signal_probabilities(s);
+  double h = 0.0;
+  for (double qi : q) h += binary_entropy(qi);
+  return h;
+}
+
+double word_entropy(const VectorStream& s) {
+  if (s.words.empty()) return 0.0;
+  std::unordered_map<std::uint64_t, double> counts;
+  for (std::uint64_t w : s.words) counts[w] += 1.0;
+  double n = static_cast<double>(s.words.size());
+  double h = 0.0;
+  for (const auto& [w, c] : counts) {
+    double p = c / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double avg_hamming_per_cycle(const VectorStream& s) {
+  if (s.words.size() < 2) return 0.0;
+  std::uint64_t total = 0;
+  for (std::size_t c = 1; c < s.words.size(); ++c)
+    total += static_cast<std::uint64_t>(
+        std::popcount(s.words[c] ^ s.words[c - 1]));
+  return static_cast<double>(total) / static_cast<double>(s.words.size() - 1);
+}
+
+}  // namespace hlp::stats

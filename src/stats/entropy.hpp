@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hlp::stats {
+
+/// Binary entropy H(p) = -p log2 p - (1-p) log2 (1-p), in bits.
+/// Returns 0 for p outside (0,1).
+double binary_entropy(double p);
+
+/// Shannon entropy (bits) of an arbitrary discrete distribution.
+/// Probabilities are normalized internally; non-positive entries ignored.
+double distribution_entropy(std::span<const double> probs);
+
+/// A stream of fixed-width binary vectors, one word per cycle
+/// (bit i of the word = value of line i).
+struct VectorStream {
+  int width = 0;
+  std::vector<std::uint64_t> words;
+
+  std::size_t length() const { return words.size(); }
+  bool bit(std::size_t cycle, int line) const {
+    return (words[cycle] >> line) & 1u;
+  }
+};
+
+/// Per-line signal probabilities q_i = P(line i == 1) observed in the stream.
+std::vector<double> signal_probabilities(const VectorStream& s);
+
+/// Per-line switching activities E_i = P(line i toggles between consecutive
+/// vectors).
+std::vector<double> switching_activities(const VectorStream& s);
+
+/// Average bit-level entropy h = (1/n) * sum_i H(q_i).
+/// This is the independence upper bound used in Section II-B1 of the paper.
+double avg_bit_entropy(const VectorStream& s);
+
+/// Sum of bit-level entropies sum_i H(q_i) (the paper's practical
+/// approximation of the sectional/word-level entropy H).
+double sum_bit_entropy(const VectorStream& s);
+
+/// Exact word-level entropy of the stream (empirical distribution over the
+/// distinct vectors). Feasible because streams are bounded; the paper notes
+/// the exact value is upper-bounded by sum_bit_entropy.
+double word_entropy(const VectorStream& s);
+
+/// Average Hamming distance between consecutive vectors of the stream.
+double avg_hamming_per_cycle(const VectorStream& s);
+
+}  // namespace hlp::stats

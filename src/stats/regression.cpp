@@ -1,0 +1,165 @@
+#include "stats/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace hlp::stats {
+namespace {
+
+/// Solve A * x = b in place; returns false if singular even after ridge.
+bool solve_linear(std::vector<std::vector<double>> a, std::vector<double> b,
+                  std::vector<double>& out) {
+  const std::size_t n = a.size();
+  for (std::size_t attempt = 0; attempt < 2; ++attempt) {
+    auto aa = a;
+    auto bb = b;
+    if (attempt == 1) {
+      // Ridge fallback for collinear predictors.
+      for (std::size_t i = 0; i < n; ++i) aa[i][i] += 1e-8 * (aa[i][i] + 1.0);
+    }
+    bool singular = false;
+    for (std::size_t col = 0; col < n && !singular; ++col) {
+      std::size_t piv = col;
+      for (std::size_t r = col + 1; r < n; ++r)
+        if (std::abs(aa[r][col]) > std::abs(aa[piv][col])) piv = r;
+      if (std::abs(aa[piv][col]) < 1e-12) {
+        singular = true;
+        break;
+      }
+      std::swap(aa[piv], aa[col]);
+      std::swap(bb[piv], bb[col]);
+      for (std::size_t r = 0; r < n; ++r) {
+        if (r == col) continue;
+        double f = aa[r][col] / aa[col][col];
+        if (f == 0.0) continue;
+        for (std::size_t c = col; c < n; ++c) aa[r][c] -= f * aa[col][c];
+        bb[r] -= f * bb[col];
+      }
+    }
+    if (singular) continue;
+    out.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) out[i] = bb[i] / aa[i][i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+double OlsFit::predict(std::span<const double> x) const {
+  double y = intercept;
+  for (std::size_t i = 0; i < beta.size() && i < x.size(); ++i)
+    y += beta[i] * x[i];
+  return y;
+}
+
+OlsFit ols(const Matrix& x, std::span<const double> y, bool with_intercept) {
+  OlsFit fit;
+  const std::size_t n = y.size();
+  if (n == 0 || x.size() != n) return fit;
+  const std::size_t k = x.empty() ? 0 : x[0].size();
+  const std::size_t p = k + (with_intercept ? 1 : 0);
+  if (p == 0 || n < p) return fit;
+
+  // Build augmented design with optional leading constant column.
+  auto cell = [&](std::size_t row, std::size_t col) -> double {
+    if (with_intercept) return col == 0 ? 1.0 : x[row][col - 1];
+    return x[row][col];
+  };
+  std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < p; ++i) {
+      double xi = cell(r, i);
+      xty[i] += xi * y[r];
+      for (std::size_t j = i; j < p; ++j) xtx[i][j] += xi * cell(r, j);
+    }
+  }
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j < i; ++j) xtx[i][j] = xtx[j][i];
+
+  std::vector<double> coef;
+  if (!solve_linear(xtx, xty, coef)) return fit;
+
+  if (with_intercept) {
+    fit.intercept = coef[0];
+    fit.beta.assign(coef.begin() + 1, coef.end());
+  } else {
+    fit.beta = coef;
+  }
+
+  double ybar = mean(y);
+  double tss = 0.0, rss = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double pred = fit.intercept;
+    for (std::size_t j = 0; j < k; ++j) pred += fit.beta[j] * x[r][j];
+    rss += (y[r] - pred) * (y[r] - pred);
+    tss += (y[r] - ybar) * (y[r] - ybar);
+  }
+  fit.rss = rss;
+  fit.r2 = tss > 0.0 ? 1.0 - rss / tss : (rss < 1e-12 ? 1.0 : 0.0);
+  fit.ok = true;
+  return fit;
+}
+
+Matrix select_columns(const Matrix& x, std::span<const std::size_t> cols) {
+  Matrix out(x.size());
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    out[r].reserve(cols.size());
+    for (std::size_t c : cols) out[r].push_back(x[r][c]);
+  }
+  return out;
+}
+
+StepwiseResult forward_select(const Matrix& x, std::span<const double> y,
+                              double f_enter, std::size_t max_vars) {
+  StepwiseResult res;
+  const std::size_t n = y.size();
+  if (n == 0 || x.empty()) return res;
+  const std::size_t k = x[0].size();
+
+  // RSS of the intercept-only model.
+  double ybar = mean(y);
+  double rss_cur = 0.0;
+  for (double v : y) rss_cur += (v - ybar) * (v - ybar);
+
+  std::vector<bool> in(k, false);
+  while (res.selected.size() < std::min(max_vars, k)) {
+    double best_f = 0.0;
+    std::size_t best_col = k;
+    OlsFit best_fit;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (in[c]) continue;
+      auto cols = res.selected;
+      cols.push_back(c);
+      auto xs = select_columns(x, cols);
+      OlsFit f = ols(xs, y);
+      if (!f.ok) continue;
+      std::size_t p_new = cols.size() + 1;  // + intercept
+      if (n <= p_new) continue;
+      double denom = f.rss / static_cast<double>(n - p_new);
+      if (denom < 1e-15) denom = 1e-15;
+      double fstat = (rss_cur - f.rss) / denom;
+      if (fstat > best_f) {
+        best_f = fstat;
+        best_col = c;
+        best_fit = f;
+      }
+    }
+    if (best_col == k || best_f < f_enter) break;
+    in[best_col] = true;
+    res.selected.push_back(best_col);
+    res.fit = best_fit;
+    rss_cur = best_fit.rss;
+  }
+  if (res.selected.empty()) {
+    res.fit = OlsFit{};
+    res.fit.intercept = ybar;
+    res.fit.ok = true;
+  }
+  return res;
+}
+
+}  // namespace hlp::stats

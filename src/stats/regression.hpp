@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hlp::stats {
+
+/// Result of an ordinary-least-squares fit  y ~ X * beta (+ intercept).
+struct OlsFit {
+  std::vector<double> beta;  ///< coefficient per column of X
+  double intercept = 0.0;
+  double r2 = 0.0;          ///< coefficient of determination
+  double rss = 0.0;         ///< residual sum of squares
+  bool ok = false;          ///< false if the normal equations were singular
+
+  /// Evaluate the fitted model on one row of predictors.
+  double predict(std::span<const double> x) const;
+};
+
+/// Row-major design matrix: rows.size() observations, each of equal width.
+using Matrix = std::vector<std::vector<double>>;
+
+/// Ordinary least squares with intercept, solved via normal equations with
+/// partial-pivot Gaussian elimination and a small ridge fallback when the
+/// system is near-singular (collinear macro-model variables are common).
+OlsFit ols(const Matrix& x, std::span<const double> y,
+           bool with_intercept = true);
+
+/// Stepwise variable selection driven by the partial F statistic, as used by
+/// Wu et al. [44] to pick power-critical macro-model variables.
+struct StepwiseResult {
+  std::vector<std::size_t> selected;  ///< column indices, in selection order
+  OlsFit fit;                         ///< OLS on the selected columns
+};
+
+/// Forward selection: greedily add the column with the largest partial
+/// F statistic until none exceeds `f_enter` or `max_vars` is reached.
+StepwiseResult forward_select(const Matrix& x, std::span<const double> y,
+                              double f_enter = 4.0,
+                              std::size_t max_vars = 8);
+
+/// Project a design matrix onto the given columns.
+Matrix select_columns(const Matrix& x, std::span<const std::size_t> cols);
+
+}  // namespace hlp::stats

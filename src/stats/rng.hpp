@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace hlp::stats {
+
+/// Deterministic random source used throughout the library.
+///
+/// Every experiment in the repository takes an explicit seed so results are
+/// reproducible run-to-run; no component ever reads a global RNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  /// Bernoulli draw: true with probability `p` (clamped to [0,1]).
+  bool bit(double p = 0.5) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi], inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform unsigned value with `bits` random low-order bits.
+  std::uint64_t uniform_bits(int bits) {
+    if (bits <= 0) return 0;
+    std::uint64_t v = engine_();
+    return bits >= 64 ? v : (v & ((std::uint64_t{1} << bits) - 1));
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Normal draw.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Exponential draw with the given mean (not rate).
+  double exponential_mean(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Pareto (heavy-tail) draw with minimum `xm` and shape `alpha`.
+  double pareto(double xm, double alpha) {
+    double u = uniform_real(1e-12, 1.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Geometric draw (number of failures before first success), p in (0,1].
+  std::int64_t geometric(double p) {
+    return std::geometric_distribution<std::int64_t>(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hlp::stats

@@ -1,0 +1,76 @@
+#include "stats/sampling.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "stats/descriptive.hpp"
+
+namespace hlp::stats {
+
+std::vector<std::size_t> simple_random_sample(std::size_t n, std::size_t k,
+                                              Rng& rng) {
+  std::vector<std::size_t> out;
+  if (n == 0) return out;
+  if (k >= n) {
+    out.resize(n);
+    std::iota(out.begin(), out.end(), std::size_t{0});
+    return out;
+  }
+  // Floyd's algorithm: k distinct samples in O(k) expected time.
+  std::unordered_set<std::size_t> chosen;
+  for (std::size_t j = n - k; j < n; ++j) {
+    auto t = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(j)));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  out.assign(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> stratified_sample(std::size_t n, std::size_t strata,
+                                           std::size_t per_stratum, Rng& rng) {
+  std::vector<std::size_t> out;
+  if (n == 0 || strata == 0) return out;
+  strata = std::min(strata, n);
+  for (std::size_t s = 0; s < strata; ++s) {
+    std::size_t lo = n * s / strata;
+    std::size_t hi = n * (s + 1) / strata;  // exclusive
+    auto local = simple_random_sample(hi - lo, per_stratum, rng);
+    for (std::size_t idx : local) out.push_back(lo + idx);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double ratio_estimate_mean(std::span<const double> x_sample,
+                           std::span<const double> y_sample,
+                           double x_pop_mean) {
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x_sample.size() && i < y_sample.size(); ++i) {
+    sx += x_sample[i];
+    sy += y_sample[i];
+  }
+  if (sx == 0.0) return mean(y_sample);
+  return (sy / sx) * x_pop_mean;
+}
+
+double regression_estimate_mean(std::span<const double> x_sample,
+                                std::span<const double> y_sample,
+                                double x_pop_mean) {
+  std::size_t n = std::min(x_sample.size(), y_sample.size());
+  if (n < 2) return mean(y_sample);
+  double mx = mean(x_sample.subspan(0, n));
+  double my = mean(y_sample.subspan(0, n));
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x_sample[i] - mx) * (y_sample[i] - my);
+    sxx += (x_sample[i] - mx) * (x_sample[i] - mx);
+  }
+  if (sxx <= 0.0) return my;
+  double b = sxy / sxx;
+  return my + b * (x_pop_mean - mx);
+}
+
+}  // namespace hlp::stats

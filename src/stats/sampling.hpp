@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace hlp::stats {
+
+/// Draw a simple random sample of `k` distinct indices from [0, n).
+/// If k >= n, returns all indices. Result is sorted ascending.
+std::vector<std::size_t> simple_random_sample(std::size_t n, std::size_t k,
+                                              Rng& rng);
+
+/// Split [0, n) into `strata` contiguous strata and draw `per_stratum`
+/// indices from each (stratified sampling, as in Ding et al. [33]).
+std::vector<std::size_t> stratified_sample(std::size_t n, std::size_t strata,
+                                           std::size_t per_stratum, Rng& rng);
+
+/// Ratio estimator: estimate mean(Y) over a population where X is known for
+/// every unit but Y only on a sample, exploiting Y ~ r * X.
+/// `x_sample`/`y_sample` are paired observations; `x_pop_mean` is the known
+/// population mean of X. This is the "adaptive macro-modeling" estimator of
+/// Hsieh et al. [46]: X = macro-model power, Y = gate-level power.
+double ratio_estimate_mean(std::span<const double> x_sample,
+                           std::span<const double> y_sample,
+                           double x_pop_mean);
+
+/// Linear-regression estimator for the same setting: fits y = a + b x on the
+/// sample and evaluates at the population mean of x.
+double regression_estimate_mean(std::span<const double> x_sample,
+                                std::span<const double> y_sample,
+                                double x_pop_mean);
+
+}  // namespace hlp::stats

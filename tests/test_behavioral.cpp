@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "cdfg/datasim.hpp"
+#include "cdfg/generators.hpp"
+#include "core/behavioral_transform.hpp"
+#include "sim/simulator.hpp"
+#include "sim/streams.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+
+TEST(Csd, DigitsReconstructConstant) {
+  for (int c : {1, 2, 3, 5, 7, 11, 15, 23, 64, 100, 127, 255}) {
+    auto digits = csd_digits(c);
+    int v = 0;
+    for (auto [sh, sign] : digits) v += sign * (1 << sh);
+    EXPECT_EQ(v, c);
+    // CSD has no two adjacent nonzero digits.
+    for (std::size_t i = 1; i < digits.size(); ++i)
+      EXPECT_GE(digits[i].first - digits[i - 1].first, 2);
+  }
+}
+
+TEST(Csd, FewerDigitsThanBinaryForRuns) {
+  // 15 = 1111b (4 digits) = 10000-1 in CSD (2 digits).
+  EXPECT_EQ(csd_digits(15).size(), 2u);
+  EXPECT_EQ(csd_digits(255).size(), 2u);
+}
+
+TEST(Fig4, SecondOrderTransformSavesOpsSameCp) {
+  auto direct = cdfg::polynomial_direct(2);
+  auto square = polynomial_completed_square();
+  auto md = cdfg_metrics(direct);
+  auto ms = cdfg_metrics(square);
+  EXPECT_EQ(ms.muls, 1);
+  EXPECT_EQ(ms.adds, 2);
+  EXPECT_LT(ms.total_compute_ops, md.total_compute_ops);
+  EXPECT_LE(ms.critical_path, md.critical_path);  // no CP penalty (Fig. 4)
+}
+
+TEST(Fig5, ThirdOrderTransformSavesOpsButLengthensCp) {
+  auto direct = cdfg::polynomial_direct(3);
+  auto pre = polynomial_preconditioned_cubic();
+  auto md = cdfg_metrics(direct);
+  auto mp = cdfg_metrics(pre);
+  EXPECT_EQ(mp.muls, 2);
+  EXPECT_EQ(mp.adds, 3);
+  EXPECT_EQ(mp.critical_path, 5);   // paper: length five
+  EXPECT_EQ(md.critical_path, 4);   // paper: length four
+  EXPECT_LT(mp.total_compute_ops, md.total_compute_ops);
+  EXPECT_GT(mp.critical_path, md.critical_path);  // the Fig. 5 tradeoff
+}
+
+TEST(FirDatapath, BothVersionsComputeSameFilter) {
+  std::vector<int> coeffs{3, 5, 2, 7};
+  auto fir_mul = build_fir_datapath(coeffs, 6, false);
+  auto fir_sa = build_fir_datapath(coeffs, 6, true);
+  sim::Simulator s1(fir_mul.netlist), s2(fir_sa.netlist);
+  stats::Rng rng(5);
+  for (int c = 0; c < 200; ++c) {
+    std::uint64_t x = rng.uniform_bits(6);
+    s1.set_word(fir_mul.input, x);
+    s2.set_word(fir_sa.input, x);
+    s1.eval();
+    s2.eval();
+    EXPECT_EQ(s1.word_value(fir_mul.output), s2.word_value(fir_sa.output))
+        << "cycle " << c;
+    s1.tick();
+    s2.tick();
+  }
+}
+
+TEST(FirDatapath, ShiftAddVersionIsMuchSmaller) {
+  std::vector<int> coeffs{3, 5, 2, 7, 9, 4, 6, 1};
+  auto fir_mul = build_fir_datapath(coeffs, 8, false);
+  auto fir_sa = build_fir_datapath(coeffs, 8, true);
+  EXPECT_LT(fir_sa.netlist.logic_gate_count() * 2,
+            fir_mul.netlist.logic_gate_count());
+}
+
+TEST(FirDatapath, LabelsCoverAllGates) {
+  std::vector<int> coeffs{3, 5};
+  auto fir = build_fir_datapath(coeffs, 4, true);
+  EXPECT_EQ(fir.labels.size(), fir.netlist.gate_count());
+  for (auto& l : fir.labels) EXPECT_FALSE(l.empty());
+}
+
+TEST(FirDatapath, TableOneShape) {
+  // The Table I qualitative shape: constant-mult conversion slashes
+  // execution-unit capacitance and total capacitance; control can rise.
+  std::vector<int> coeffs{93, 57, 201, 39, 141, 78};
+  auto fir_mul = build_fir_datapath(coeffs, 8, false);
+  auto fir_sa = build_fir_datapath(coeffs, 8, true);
+  stats::Rng rng(11);
+  auto samples = sim::gaussian_walk_stream(8, 1200, 0.9, 0.3, rng);
+  auto before = fir_capacitance_breakdown(fir_mul, samples);
+  auto after = fir_capacitance_breakdown(fir_sa, samples);
+  double total_before = 0.0, total_after = 0.0;
+  for (auto& [k, v] : before) total_before += v;
+  for (auto& [k, v] : after) total_after += v;
+  // Direction of every Table I row is preserved. The paper's datapath is
+  // time-multiplexed (the transformation removes the shared multiplier
+  // entirely, 2.7x total); our parallel datapath shares the accumulation
+  // tree between versions, so the measured factors are smaller — see
+  // EXPERIMENTS.md E1 for the quantitative comparison.
+  EXPECT_LT(total_after, 0.8 * total_before);
+  EXPECT_LT(after["Execution units"], 0.75 * before["Execution units"]);
+  // Exec units dominate before; their share shrinks after.
+  EXPECT_GT(before["Execution units"] / total_before, 0.5);
+  EXPECT_LT(after["Execution units"] / total_after,
+            before["Execution units"] / total_before);
+  // Control capacitance rises slightly (wider schedule counter).
+  EXPECT_GE(after["Control logic"], before["Control logic"] * 0.95);
+}
+
+TEST(FirMac, MatchesParallelAndGolden) {
+  std::vector<int> coeffs{93, 57, 201, 39};
+  auto mac = build_fir_mac_datapath(coeffs, 6);
+  auto par = build_fir_datapath(coeffs, 6, true);
+  stats::Rng rng(3);
+  auto samples = sim::gaussian_walk_stream(6, 150, 0.8, 0.3, rng);
+  EXPECT_TRUE(fir_mac_matches_parallel(mac, par, samples));
+}
+
+TEST(FirMac, NonPowerOfTwoTapsWork) {
+  std::vector<int> coeffs{3, 5, 7, 9, 11, 2, 13};  // 7 taps
+  auto mac = build_fir_mac_datapath(coeffs, 5);
+  auto par = build_fir_datapath(coeffs, 5, true);
+  stats::Rng rng(5);
+  auto samples = sim::random_stream(5, 120, 0.5, rng);
+  EXPECT_TRUE(fir_mac_matches_parallel(mac, par, samples));
+}
+
+TEST(FirMac, MuchSmallerThanParallelMultipliers) {
+  std::vector<int> coeffs{93, 57, 201, 39, 141, 78};
+  auto mac = build_fir_mac_datapath(coeffs, 8);
+  auto par = build_fir_datapath(coeffs, 8, false);
+  EXPECT_LT(mac.netlist.logic_gate_count() * 3,
+            par.netlist.logic_gate_count());
+}
+
+TEST(FirMac, TableOneArchitectureComparison) {
+  // The paper's actual Table I comparison: time-multiplexed MAC before,
+  // dedicated shift/add after. Total and exec-unit capacitance must drop
+  // by a factor in the paper's ballpark (2.65x total).
+  std::vector<int> coeffs{93, 57, 201, 39, 141, 78};
+  auto mac = build_fir_mac_datapath(coeffs, 8);
+  auto sa = build_fir_datapath(coeffs, 8, true);
+  stats::Rng rng(11);
+  auto samples = sim::gaussian_walk_stream(8, 500, 0.9, 0.3, rng);
+  auto before = fir_mac_capacitance_breakdown(mac, samples);
+  auto after = fir_capacitance_breakdown(sa, samples);
+  double tb = 0, ta = 0;
+  for (auto& [k, v] : before) tb += v;
+  for (auto& [k, v] : after) ta += v;
+  EXPECT_GT(tb / ta, 2.0);
+  EXPECT_LT(tb / ta, 6.0);
+  EXPECT_GT(before["Execution units"] / after["Execution units"], 1.5);
+}
+
+TEST(CompletedSquare, EvaluatesPolynomial) {
+  auto g = polynomial_completed_square(16);
+  // (x + b1)^2 + b2 with default consts = 3: (x+3)^2 + 3.
+  std::vector<std::vector<std::int64_t>> in{{0, 1, 2, 7}};
+  auto tr = cdfg::simulate_cdfg(g, in);
+  for (std::size_t t = 0; t < 4; ++t) {
+    std::int64_t x = in[0][t];
+    EXPECT_EQ(tr.value[t][g.outputs()[0]], ((x + 3) * (x + 3) + 3) & 0xFFFF);
+  }
+}
+
+}  // namespace

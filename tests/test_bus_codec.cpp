@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/bus_codec.hpp"
+#include "core/bus_encoding.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+
+TEST(BusCodec, DecodesExactlyOneCycleLate) {
+  auto codec = build_bus_invert_codec(8);
+  stats::Rng rng(3);
+  auto words = random_data_stream(500, 8, rng);
+  auto ev = evaluate_bus_invert_codec(codec, words);
+  EXPECT_TRUE(ev.functionally_correct);
+}
+
+TEST(BusCodec, MatchesBehavioralEncoderTransitionCount) {
+  const int w = 8;
+  auto codec = build_bus_invert_codec(w);
+  stats::Rng rng(5);
+  auto words = random_data_stream(2000, w, rng);
+  auto ev = evaluate_bus_invert_codec(codec, words);
+  auto behavioral = bus_invert_encoder(w);
+  auto r = run_encoder(*behavioral, words, w);
+  EXPECT_NEAR(ev.bus_transitions_bi, r.per_word, 0.05);
+}
+
+TEST(BusCodec, SavesBusTransitionsOnRandomData) {
+  auto codec = build_bus_invert_codec(16);
+  stats::Rng rng(7);
+  auto words = random_data_stream(3000, 16, rng);
+  auto ev = evaluate_bus_invert_codec(codec, words);
+  EXPECT_LT(ev.bus_transitions_bi, ev.bus_transitions_binary);
+}
+
+TEST(BusCodec, BreakevenCapacitanceIsFinitePositive) {
+  auto codec = build_bus_invert_codec(16);
+  stats::Rng rng(9);
+  auto words = random_data_stream(3000, 16, rng);
+  auto ev = evaluate_bus_invert_codec(codec, words);
+  double be = ev.breakeven_cbus();
+  ASSERT_TRUE(std::isfinite(be));
+  EXPECT_GT(be, 0.0);
+  // Below break-even, plain binary wins; above, bus-invert wins.
+  EXPECT_LT(ev.total_binary(be * 0.5), ev.total_bi(be * 0.5));
+  EXPECT_GT(ev.total_binary(be * 2.0), ev.total_bi(be * 2.0));
+}
+
+TEST(BusCodec, NoAdvantageOnConstantStream) {
+  auto codec = build_bus_invert_codec(8);
+  std::vector<std::uint64_t> words(200, 0x5A);
+  auto ev = evaluate_bus_invert_codec(codec, words);
+  EXPECT_EQ(ev.bus_transitions_binary, 0.0);
+  EXPECT_EQ(ev.bus_transitions_bi, 0.0);
+  EXPECT_TRUE(std::isinf(ev.breakeven_cbus()));
+}
+
+class CodecWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecWidth, RoundTripAcrossWidths) {
+  int w = GetParam();
+  auto codec = build_bus_invert_codec(w);
+  stats::Rng rng(11);
+  auto words = random_data_stream(300, w, rng);
+  auto ev = evaluate_bus_invert_codec(codec, words);
+  EXPECT_TRUE(ev.functionally_correct) << "width " << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CodecWidth, ::testing::Values(4, 8, 12, 16,
+                                                               24, 32));
+
+}  // namespace

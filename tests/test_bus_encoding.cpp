@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/bus_encoding.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+
+std::vector<std::unique_ptr<BusEncoder>> all_encoders(
+    int w, const std::vector<std::uint64_t>& training) {
+  std::vector<std::unique_ptr<BusEncoder>> v;
+  v.push_back(binary_encoder(w));
+  v.push_back(gray_encoder(w));
+  v.push_back(bus_invert_encoder(w));
+  v.push_back(t0_encoder(w));
+  v.push_back(t0_bi_encoder(w));
+  v.push_back(working_zone_encoder(w, 4, 4));
+  v.push_back(beach_encoder(w, training, 4));
+  return v;
+}
+
+TEST(BusEncoders, RoundTripOnRandomStreams) {
+  stats::Rng rng(3);
+  const int w = 12;
+  auto training = random_data_stream(500, w, rng);
+  auto stream = random_data_stream(2000, w, rng);
+  for (auto& enc : all_encoders(w, training)) {
+    EXPECT_NO_THROW(run_encoder(*enc, stream, w)) << enc->name();
+  }
+}
+
+TEST(BusEncoders, RoundTripOnSequentialStreams) {
+  stats::Rng rng(4);
+  const int w = 12;
+  auto training = address_stream(500, 0.9, w, rng);
+  auto stream = address_stream(2000, 0.9, w, rng);
+  for (auto& enc : all_encoders(w, training)) {
+    EXPECT_NO_THROW(run_encoder(*enc, stream, w)) << enc->name();
+  }
+}
+
+TEST(BusInvert, NeverExceedsHalfWidthPerWord) {
+  stats::Rng rng(5);
+  const int w = 8;
+  auto enc = bus_invert_encoder(w);
+  enc->reset();
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t phys = enc->encode(rng.uniform_bits(w));
+    if (!first) {
+      EXPECT_LE(__builtin_popcountll(phys ^ prev), w / 2 + 1);
+    }
+    prev = phys;
+    first = false;
+  }
+}
+
+TEST(BusInvert, BeatsBinaryOnRandomData) {
+  stats::Rng rng(6);
+  const int w = 16;
+  auto stream = random_data_stream(5000, w, rng);
+  auto bin = binary_encoder(w);
+  auto bi = bus_invert_encoder(w);
+  auto r_bin = run_encoder(*bin, stream, w);
+  auto r_bi = run_encoder(*bi, stream, w);
+  EXPECT_LT(r_bi.per_word, r_bin.per_word);
+}
+
+TEST(Gray, OneTransitionPerSequentialAddress) {
+  const int w = 12;
+  std::vector<std::uint64_t> seq;
+  for (std::uint64_t a = 0; a < 3000; ++a) seq.push_back(a & 0xFFF);
+  auto enc = gray_encoder(w);
+  auto r = run_encoder(*enc, seq, w);
+  // Asymptotically exactly 1 transition per address (paper claim).
+  EXPECT_NEAR(r.per_word, 1.0, 0.01);
+  auto bin = binary_encoder(w);
+  auto rb = run_encoder(*bin, seq, w);
+  EXPECT_NEAR(rb.per_word, 2.0, 0.05);  // binary counter averages ~2
+}
+
+TEST(T0, ZeroTransitionsOnPureSequence) {
+  const int w = 12;
+  std::vector<std::uint64_t> seq;
+  for (std::uint64_t a = 100; a < 2100; ++a) seq.push_back(a & 0xFFF);
+  auto enc = t0_encoder(w);
+  auto r = run_encoder(*enc, seq, w);
+  // After the first address, the bus freezes and INC stays high:
+  // asymptotically zero transitions (the paper's T0 claim).
+  EXPECT_LT(r.per_word, 0.01);
+}
+
+TEST(T0, DegradesGracefullyOnMixedStreams) {
+  stats::Rng rng(8);
+  const int w = 12;
+  auto mixed = address_stream(4000, 0.5, w, rng);
+  auto t0 = t0_encoder(w);
+  auto bin = binary_encoder(w);
+  auto r_t0 = run_encoder(*t0, mixed, w);
+  auto r_bin = run_encoder(*bin, mixed, w);
+  EXPECT_LT(r_t0.per_word, r_bin.per_word);
+}
+
+TEST(WorkingZone, WinsOnInterleavedArrays) {
+  stats::Rng rng(9);
+  const int w = 14;
+  auto stream = interleaved_array_stream(4000, 4, w, rng);
+  auto wz = working_zone_encoder(w, 4, 4);
+  auto gray = gray_encoder(w);
+  auto t0 = t0_encoder(w);
+  auto r_wz = run_encoder(*wz, stream, w);
+  auto r_gray = run_encoder(*gray, stream, w);
+  auto r_t0 = run_encoder(*t0, stream, w);
+  // Interleaving destroys plain sequentiality: WZ restores it.
+  EXPECT_LT(r_wz.per_word, r_gray.per_word);
+  EXPECT_LT(r_wz.per_word, r_t0.per_word);
+}
+
+TEST(Beach, ExploitsTrainedCorrelations) {
+  stats::Rng rng(10);
+  const int w = 12;
+  // Strongly block-correlated stream: same pattern class repeats.
+  std::vector<std::uint64_t> stream;
+  std::uint64_t patterns[4] = {0x000, 0x0FF, 0xF0F, 0xFFF};
+  int state = 0;
+  for (int i = 0; i < 6000; ++i) {
+    // Markov walk among patterns; adjacent patterns differ a lot in binary.
+    if (rng.bit(0.3)) state = (state + 1) % 4;
+    stream.push_back(patterns[state]);
+  }
+  std::vector<std::uint64_t> training(stream.begin(), stream.begin() + 2000);
+  auto beach = beach_encoder(w, training, 6);
+  auto bin = binary_encoder(w);
+  auto r_beach = run_encoder(*beach, stream, w);
+  auto r_bin = run_encoder(*bin, stream, w);
+  EXPECT_LT(r_beach.per_word, r_bin.per_word);
+}
+
+TEST(Beach, IsBijective) {
+  stats::Rng rng(11);
+  const int w = 8;
+  auto training = random_data_stream(300, w, rng);
+  auto enc = beach_encoder(w, training, 4);
+  std::set<std::uint64_t> images;
+  for (std::uint64_t v = 0; v < 256; ++v) images.insert(enc->encode(v));
+  EXPECT_EQ(images.size(), 256u);
+}
+
+TEST(StreamGenerators, SequentialFractionRespected) {
+  stats::Rng rng(12);
+  auto s = address_stream(10000, 0.8, 16, rng);
+  std::size_t seq = 0;
+  for (std::size_t i = 1; i < s.size(); ++i)
+    if (s[i] == ((s[i - 1] + 1) & 0xFFFF)) ++seq;
+  EXPECT_NEAR(static_cast<double>(seq) / static_cast<double>(s.size() - 1),
+              0.8, 0.03);
+}
+
+class EncoderParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderParam, AllWidthsRoundTrip) {
+  int w = GetParam();
+  stats::Rng rng(13);
+  auto training = address_stream(300, 0.7, w, rng);
+  auto stream = address_stream(1000, 0.7, w, rng);
+  for (auto& enc : all_encoders(w, training))
+    EXPECT_NO_THROW(run_encoder(*enc, stream, w)) << enc->name() << " w=" << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, EncoderParam,
+                         ::testing::Values(8, 10, 16, 24, 32));
+
+}  // namespace

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "cdfg/cdfg.hpp"
+#include "cdfg/datasim.hpp"
+#include "cdfg/generators.hpp"
+
+namespace {
+
+using namespace hlp::cdfg;
+
+TEST(Cdfg, AsapRespectsDelays) {
+  Cdfg g;
+  auto a = g.add_input("a");
+  auto b = g.add_input("b");
+  auto m = g.add_binary(OpKind::Mul, a, b);   // delay 2
+  auto s = g.add_binary(OpKind::Add, m, a);   // delay 1
+  g.mark_output(s);
+  auto sch = asap(g);
+  EXPECT_EQ(sch.start[m], 0);
+  EXPECT_EQ(sch.start[s], 2);
+  EXPECT_EQ(sch.length, 3);
+}
+
+TEST(Cdfg, AlapPushesLate) {
+  Cdfg g;
+  auto a = g.add_input();
+  auto x = g.add_binary(OpKind::Add, a, a);
+  auto y = g.add_binary(OpKind::Add, a, a);
+  auto z = g.add_binary(OpKind::Add, x, y);
+  g.mark_output(z);
+  auto sch = alap(g, 5);
+  EXPECT_EQ(sch.start[z], 4);
+  EXPECT_EQ(sch.start[x], 3);
+  EXPECT_EQ(sch.start[y], 3);
+}
+
+TEST(Cdfg, AlapThrowsBelowCriticalPath) {
+  auto g = polynomial_horner(4);
+  auto a = asap(g);
+  EXPECT_THROW(alap(g, a.length - 1), std::invalid_argument);
+  EXPECT_NO_THROW(alap(g, a.length));
+}
+
+TEST(Cdfg, ListScheduleHonorsResourceLimit) {
+  Cdfg g;
+  auto a = g.add_input();
+  std::vector<OpId> adds;
+  for (int i = 0; i < 6; ++i) adds.push_back(g.add_binary(OpKind::Add, a, a));
+  for (auto v : adds) g.mark_output(v);
+  std::map<OpKind, int> limits{{OpKind::Add, 2}};
+  auto sch = list_schedule(g, limits);
+  // With 2 adders and 6 unit-delay adds, at most 2 per step.
+  std::map<int, int> per_step;
+  for (auto v : adds) per_step[sch.start[v]]++;
+  for (auto& [step, cnt] : per_step) EXPECT_LE(cnt, 2);
+  EXPECT_GE(sch.length, 3);
+}
+
+TEST(Cdfg, ListScheduleMatchesAsapWhenUnconstrained) {
+  auto g = fir_cdfg(6);
+  auto a = asap(g);
+  auto l = list_schedule(g, {});
+  EXPECT_EQ(l.length, a.length);
+}
+
+TEST(Cdfg, LifetimesSpanDefToUse) {
+  Cdfg g;
+  auto a = g.add_input();
+  auto x = g.add_binary(OpKind::Add, a, a);  // def at 1
+  auto m = g.add_binary(OpKind::Mul, x, x);  // starts 1, ends 3
+  auto y = g.add_binary(OpKind::Add, m, x);  // starts 3 -> x used at 3
+  g.mark_output(y);
+  auto sch = asap(g);
+  auto lt = lifetimes(g, sch);
+  EXPECT_EQ(lt.def[x], 1);
+  EXPECT_EQ(lt.last_use[x], 3);
+}
+
+TEST(Generators, PolynomialOpCounts) {
+  // Order-3 direct: 5 muls (x^2, x^3, 3 coefficient muls), 3 adds.
+  auto dir = polynomial_direct(3);
+  int muls = 0, adds = 0;
+  for (OpId i = 0; i < dir.size(); ++i) {
+    if (dir.op(i).kind == OpKind::Mul) ++muls;
+    if (dir.op(i).kind == OpKind::Add) ++adds;
+  }
+  EXPECT_EQ(muls, 5);
+  EXPECT_EQ(adds, 3);
+  // Horner order 3: 3 muls, 3 adds.
+  auto hor = polynomial_horner(3);
+  muls = adds = 0;
+  for (OpId i = 0; i < hor.size(); ++i) {
+    if (hor.op(i).kind == OpKind::Mul) ++muls;
+    if (hor.op(i).kind == OpKind::Add) ++adds;
+  }
+  EXPECT_EQ(muls, 3);
+  EXPECT_EQ(adds, 3);
+}
+
+TEST(DataSim, PolynomialEvaluatesCorrectly) {
+  // Horner with all consts = 3 (datasim default): y = ((3x+3)x+3)... check
+  // against direct evaluation in int space for small x.
+  auto g = polynomial_horner(2, 16);
+  std::vector<std::vector<std::int64_t>> inputs{{0, 1, 2, 3, 4}};
+  auto tr = simulate_cdfg(g, inputs);
+  for (std::size_t t = 0; t < 5; ++t) {
+    std::int64_t x = static_cast<std::int64_t>(t);
+    std::int64_t expect = (3 * x + 3) * x + 3;
+    EXPECT_EQ(tr.value[t][g.outputs()[0]], expect & 0xFFFF);
+  }
+}
+
+TEST(DataSim, DirectAndHornerAgree) {
+  auto d = polynomial_direct(3, 32);
+  auto h = polynomial_horner(3, 32);
+  std::vector<std::vector<std::int64_t>> in{{0, 1, 2, 5, 9, 12}};
+  auto td = simulate_cdfg(d, in);
+  auto th = simulate_cdfg(h, in);
+  for (std::size_t t = 0; t < in[0].size(); ++t)
+    EXPECT_EQ(td.value[t][d.outputs()[0]], th.value[t][h.outputs()[0]]);
+}
+
+TEST(DataSim, MuxSelects) {
+  Cdfg g;
+  auto c = g.add_input("c", 1);
+  auto a = g.add_input("a");
+  auto b = g.add_input("b");
+  auto m = g.add_mux(c, a, b);
+  g.mark_output(m);
+  std::vector<std::vector<std::int64_t>> in{{0, 1, 0, 1}, {10, 10, 30, 30},
+                                            {20, 20, 40, 40}};
+  auto tr = simulate_cdfg(g, in);
+  EXPECT_EQ(tr.value[0][m], 10);
+  EXPECT_EQ(tr.value[1][m], 20);
+  EXPECT_EQ(tr.value[2][m], 30);
+  EXPECT_EQ(tr.value[3][m], 40);
+}
+
+TEST(DataSim, SwitchingBetweenIdenticalStreamsIsZero) {
+  Cdfg g;
+  auto a = g.add_input("a");
+  auto x = g.add_binary(OpKind::Add, a, a);
+  auto y = g.add_binary(OpKind::Add, a, a);
+  g.mark_output(x);
+  g.mark_output(y);
+  std::vector<std::vector<std::int64_t>> in{{1, 5, 9, 13}};
+  auto tr = simulate_cdfg(g, in);
+  EXPECT_EQ(value_stream_switching(g, tr, x, y), 0.0);
+}
+
+class ExprTreeLeaves : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprTreeLeaves, TreeHasExpectedStructure) {
+  auto g = random_expr_tree(GetParam(), 0.4, 11);
+  // A binary tree over n leaves has n-1 internal nodes (+1 output marker).
+  int internal = 0, leaves = 0;
+  for (OpId i = 0; i < g.size(); ++i) {
+    if (g.op(i).kind == OpKind::Input) ++leaves;
+    if (g.op(i).kind == OpKind::Add || g.op(i).kind == OpKind::Mul)
+      ++internal;
+  }
+  EXPECT_EQ(leaves, GetParam());
+  EXPECT_EQ(internal, GetParam() - 1);
+  // Every non-output node has exactly one consumer (tree property).
+  auto su = g.succs();
+  for (OpId i = 0; i < g.size(); ++i)
+    if (g.op(i).kind != OpKind::Output) {
+      EXPECT_EQ(su[i].size(), 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExprTreeLeaves,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(Generators, BranchingCdfgHasMuxes) {
+  auto g = branching_cdfg(3, 2, 5);
+  int muxes = 0;
+  for (OpId i = 0; i < g.size(); ++i)
+    if (g.op(i).kind == OpKind::Mux) ++muxes;
+  EXPECT_EQ(muxes, 3);
+}
+
+}  // namespace

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "core/clock_gating.hpp"
+#include "fsm/encoding.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+
+fsm::SynthesizedFsm synth(const fsm::Stg& stg) {
+  auto ma = fsm::analyze_markov(stg);
+  auto codes = fsm::encode_states(stg, fsm::EncodingStyle::Binary, &ma);
+  return fsm::synthesize_fsm(
+      stg, codes, fsm::encoding_bits(fsm::EncodingStyle::Binary,
+                                     stg.num_states()));
+}
+
+TEST(ClockGating, ReactiveFsmMostlyIdle) {
+  auto stg = fsm::protocol_fsm(3);
+  auto sf = synth(stg);
+  stats::Rng rng(3);
+  // Requests are rare: idle self-loop dominates.
+  std::vector<double> probs{0.9, 0.033, 0.034, 0.033};
+  auto res = evaluate_clock_gating(stg, sf, 5000, rng, probs);
+  EXPECT_GT(res.idle_fraction, 0.5);
+  EXPECT_LT(res.gated_power, res.base_power);
+  EXPECT_GT(res.saving(), 0.05);
+}
+
+TEST(ClockGating, BusyFsmGainsLittle) {
+  auto stg = fsm::counter_fsm(3);
+  auto sf = synth(stg);
+  stats::Rng rng(5);
+  // Counter always enabled: never self-loops.
+  std::vector<double> probs{0.0, 1.0};
+  auto res = evaluate_clock_gating(stg, sf, 3000, rng, probs);
+  EXPECT_NEAR(res.idle_fraction, 0.0, 1e-9);
+  // Gating only adds the F_a overhead.
+  EXPECT_GE(res.gated_power, res.base_power);
+}
+
+TEST(ClockGating, SavingGrowsWithIdleness) {
+  auto stg = fsm::protocol_fsm(4);
+  auto sf = synth(stg);
+  double prev_saving = -1.0;
+  int i = 0;
+  for (double req_prob : {0.5, 0.2, 0.05}) {
+    stats::Rng rng(7 + static_cast<std::uint64_t>(i++));
+    std::vector<double> probs{(1 - req_prob), req_prob / 2, 0.0,
+                              req_prob / 2};
+    auto res = evaluate_clock_gating(stg, sf, 6000, rng, probs);
+    EXPECT_GE(res.saving(), prev_saving - 0.05);
+    prev_saving = res.saving();
+  }
+  EXPECT_GT(prev_saving, 0.1);
+}
+
+TEST(ClockGating, ActivationLogicCounted) {
+  auto stg = fsm::protocol_fsm(2);
+  auto sf = synth(stg);
+  stats::Rng rng(9);
+  auto res = evaluate_clock_gating(stg, sf, 1000, rng);
+  EXPECT_GT(res.fa_gates, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/complexity_model.hpp"
+#include "netlist/generators.hpp"
+
+namespace {
+
+using namespace hlp::core;
+
+TEST(CesModel, PowerScalesWithGateCount) {
+  CesParams ces;
+  hlp::sim::PowerParams p;
+  double p1 = ces_power(100, ces, p);
+  double p2 = ces_power(200, ces, p);
+  EXPECT_NEAR(p2 / p1, 2.0, 1e-12);
+  EXPECT_GT(p1, 0.0);
+}
+
+TEST(GateEquivalents, LargerModuleHasMore) {
+  auto small = hlp::netlist::adder_module(4);
+  auto big = hlp::netlist::adder_module(16);
+  EXPECT_GT(gate_equivalents(big.netlist), gate_equivalents(small.netlist));
+  auto mul = hlp::netlist::multiplier_module(8);
+  EXPECT_GT(gate_equivalents(mul.netlist), gate_equivalents(big.netlist));
+}
+
+TEST(AreaComplexity, AndGateIsSimple) {
+  // f = x0 & x1 & x2: on-set has one essential prime of 3 literals covering
+  // probability 1/8; off-set is simple too.
+  auto tt = table_from(3, [](std::uint32_t m) { return m == 7; });
+  auto ac = area_complexity(tt, 3);
+  EXPECT_NEAR(ac.output_prob, 1.0 / 8.0, 1e-12);
+  EXPECT_NEAR(ac.c_on, 3.0 / 8.0, 1e-12);  // 3 literals * 1/8 mass
+  EXPECT_GT(ac.c, 0.0);
+}
+
+TEST(AreaComplexity, ParityIsComplex) {
+  // Parity has no merging: every minterm needs a full-literal prime; its
+  // linear measure is maximal (n per covered minterm).
+  auto par = table_from(4, [](std::uint32_t m) {
+    return __builtin_popcount(m) % 2 == 1;
+  });
+  auto simple = table_from(4, [](std::uint32_t m) { return m >= 8; });
+  auto ac_par = area_complexity(par, 4);
+  auto ac_simple = area_complexity(simple, 4);
+  EXPECT_GT(ac_par.c, ac_simple.c * 2.0);
+}
+
+TEST(AreaComplexity, ConstantFunctions) {
+  auto zero = table_from(3, [](std::uint32_t) { return false; });
+  auto ac = area_complexity(zero, 3);
+  EXPECT_EQ(ac.output_prob, 0.0);
+  EXPECT_EQ(ac.c_on, 0.0);  // empty on-set
+}
+
+TEST(LandmanRabaey, ScalesWithMintermsAndActivity) {
+  ControllerModelParams cm;
+  hlp::sim::PowerParams p;
+  double base = landman_rabaey_power(8, 0.3, 4, 0.2, 10, cm, p);
+  EXPECT_GT(base, 0.0);
+  EXPECT_NEAR(landman_rabaey_power(8, 0.3, 4, 0.2, 20, cm, p) / base, 2.0,
+              1e-12);
+  EXPECT_GT(landman_rabaey_power(8, 0.6, 4, 0.2, 10, cm, p), base);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "fsm/decompose.hpp"
+
+namespace {
+
+using namespace hlp::fsm;
+
+TEST(Decompose, PartitionIsBalancedAndComplete) {
+  auto stg = random_fsm(16, 2, 2, 7);
+  auto ma = analyze_markov(stg);
+  auto part = partition_min_crossing(stg, ma);
+  ASSERT_EQ(part.size(), 16u);
+  int ones = 0;
+  for (int b : part) {
+    EXPECT_TRUE(b == 0 || b == 1);
+    ones += b;
+  }
+  EXPECT_GE(ones, 4);
+  EXPECT_LE(ones, 12);
+}
+
+TEST(Decompose, OptimizedPartitionBeatsNaiveSplit) {
+  auto stg = protocol_fsm(7);
+  auto ma = analyze_markov(stg);
+  auto opt = partition_min_crossing(stg, ma);
+  Partition naive(stg.num_states(), 0);
+  for (std::size_t s = 0; s < stg.num_states(); s += 2) naive[s] = 1;
+  EXPECT_LE(crossing_probability(stg, ma, opt),
+            crossing_probability(stg, ma, naive));
+}
+
+TEST(Decompose, SubmachinesPartitionTheStates) {
+  auto stg = random_fsm(12, 1, 2, 9);
+  auto ma = analyze_markov(stg);
+  auto part = partition_min_crossing(stg, ma);
+  auto subs = build_submachines(stg, part);
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0].members.size() + subs[1].members.size(),
+            stg.num_states());
+  // Each submachine = members + one wait state.
+  EXPECT_EQ(subs[0].stg.num_states(), subs[0].members.size() + 1);
+  EXPECT_EQ(subs[1].stg.num_states(), subs[1].members.size() + 1);
+}
+
+TEST(Decompose, InternalTransitionsPreserved) {
+  auto stg = random_fsm(10, 1, 3, 21);
+  auto ma = analyze_markov(stg);
+  auto part = partition_min_crossing(stg, ma);
+  auto subs = build_submachines(stg, part);
+  for (const auto& sm : subs) {
+    for (std::size_t i = 0; i < sm.members.size(); ++i) {
+      StateId orig = sm.members[i];
+      for (std::uint64_t a = 0; a < stg.n_symbols(); ++a) {
+        EXPECT_EQ(sm.stg.output(static_cast<StateId>(i), a),
+                  stg.output(orig, a));
+      }
+    }
+    // Wait self-loops.
+    for (std::uint64_t a = 0; a < sm.stg.n_symbols(); ++a)
+      EXPECT_EQ(sm.stg.next(sm.wait, a), sm.wait);
+  }
+}
+
+TEST(Decompose, EvaluationTracksMonolithicOutputs) {
+  auto stg = protocol_fsm(6);
+  auto ma = analyze_markov(stg);
+  auto part = partition_min_crossing(stg, ma);
+  auto ev = evaluate_decomposition(stg, part, 3000, 5);
+  EXPECT_TRUE(ev.functionally_correct);
+  EXPECT_GT(ev.mono_power, 0.0);
+  EXPECT_GT(ev.decomposed_power, 0.0);
+  // Exactly one machine is active per cycle, plus one extra clocked cycle
+  // per crossing for the wake handshake.
+  EXPECT_NEAR(ev.active_fraction[0] + ev.active_fraction[1],
+              1.0 + ev.crossing_rate, 0.05);
+}
+
+TEST(Decompose, SavesPowerOnLopsidedActivity) {
+  // Protocol FSM with rare requests: the burst block is almost always
+  // waiting, so shutting it down pays.
+  auto stg = protocol_fsm(10);
+  std::vector<double> probs{0.92, 0.04, 0.0, 0.04};
+  auto ma = analyze_markov(stg, probs);
+  auto part = partition_min_crossing(stg, ma);
+  auto ev = evaluate_decomposition(stg, part, 6000, 7, probs);
+  EXPECT_TRUE(ev.functionally_correct);
+  EXPECT_LT(ev.decomposed_power, ev.mono_power);
+}
+
+}  // namespace

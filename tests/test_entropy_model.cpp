@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/entropy_model.hpp"
+#include "sim/simulator.hpp"
+#include "fsm/encoding.hpp"
+#include "sim/streams.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+
+TEST(EntropyModel, MarculescuDegenerateCases) {
+  // Equal in/out entropy -> no decay -> h_avg = h_in.
+  EXPECT_NEAR(marculescu_havg(1.0, 1.0, 8, 8), 1.0, 1e-9);
+  // Zero entropy anywhere -> average fallback.
+  EXPECT_NEAR(marculescu_havg(0.0, 0.5, 8, 8), 0.25, 1e-9);
+}
+
+TEST(EntropyModel, MarculescuBetweenInAndOut) {
+  double h = marculescu_havg(1.0, 0.2, 16, 4);
+  EXPECT_GT(h, 0.0);
+  EXPECT_LT(h, 1.0);
+}
+
+TEST(EntropyModel, NemaniNajmFormula) {
+  // h_avg = 2/(3(n+m)) (H_in + H_out).
+  EXPECT_NEAR(nemani_najm_havg(8.0, 4.0, 8, 4), 2.0 / 36.0 * 12.0, 1e-12);
+}
+
+TEST(EntropyModel, ChengAgrawalGrowsExponentially) {
+  double c8 = cheng_agrawal_ctot(8, 8, 1.0);
+  double c16 = cheng_agrawal_ctot(16, 8, 1.0);
+  EXPECT_GT(c16 / c8, 100.0);  // pessimistic for large n, as the paper notes
+}
+
+TEST(EntropyModel, EvaluateOnAdderTracksSimulatedPower) {
+  auto mod = netlist::adder_module(8);
+  stats::Rng rng(3);
+  auto in = sim::random_stream(16, 2000, 0.5, rng);
+  auto est = evaluate_entropy_models(mod, in);
+  EXPECT_GT(est.h_in, 0.9);          // random inputs ~1 bit entropy
+  EXPECT_GT(est.h_out, 0.5);
+  EXPECT_GT(est.power_simulated, 0.0);
+  // Entropy estimates should land within a factor ~4 of simulation for
+  // random data on a shallow module (coarse model, right magnitude).
+  EXPECT_GT(est.power_marculescu, est.power_simulated / 5.0);
+  EXPECT_LT(est.power_marculescu, est.power_simulated * 5.0);
+  EXPECT_GT(est.power_nemani, est.power_simulated / 5.0);
+  EXPECT_LT(est.power_nemani, est.power_simulated * 5.0);
+}
+
+TEST(EntropyModel, LowActivityInputsLowerEstimateAndPower) {
+  auto mod = netlist::adder_module(8);
+  stats::Rng rng(3);
+  auto hot = sim::random_stream(16, 1500, 0.5, rng);
+  auto cold = sim::correlated_stream(16, 1500, 0.97, rng);
+  auto e_hot = evaluate_entropy_models(mod, hot, {}, false);
+  auto e_cold = evaluate_entropy_models(mod, cold, {}, false);
+  EXPECT_LT(e_cold.power_simulated, e_hot.power_simulated);
+  EXPECT_LT(e_cold.power_marculescu, e_hot.power_marculescu);
+}
+
+TEST(EntropyModel, FerrandiUsesBddNodes) {
+  auto mod = netlist::adder_module(6);
+  stats::Rng rng(3);
+  auto in = sim::random_stream(12, 500, 0.5, rng);
+  auto est = evaluate_entropy_models(mod, in, {}, true);
+  EXPECT_GT(est.bdd_nodes, 0u);
+  EXPECT_GT(est.ctot_ferrandi, 0.0);
+  // Ferrandi estimate is polynomial in size; Cheng-Agrawal exponential.
+  EXPECT_LT(est.ctot_ferrandi, est.ctot_cheng);
+}
+
+TEST(EntropyModel, TransitionEntropyTracksCorrelation) {
+  // The paper's static-entropy estimates are blind to temporal correlation;
+  // the transition-entropy extension must fall with the true activity.
+  auto mod = netlist::adder_module(8);
+  auto run = [&](double hold) {
+    stats::Rng rng(7);
+    auto in = sim::correlated_stream(16, 2000, hold, rng);
+    stats::VectorStream out;
+    sim::simulate_activities(mod.netlist, in, &out);
+    return transition_entropy_power(in, out,
+                                    mod.netlist.total_capacitance(), 16, 9,
+                                    {});
+  };
+  double noisy = run(0.0), mid = run(0.9), quiet = run(0.99);
+  EXPECT_GT(noisy, 2.0 * mid);
+  EXPECT_GT(mid, 2.0 * quiet);
+}
+
+TEST(EntropyModel, TransitionEntropyOfConstantStreamIsZero) {
+  stats::VectorStream s;
+  s.width = 8;
+  s.words.assign(100, 0x3C);
+  EXPECT_EQ(avg_transition_entropy(s), 0.0);
+}
+
+TEST(EntropyModel, TyagiBoundHoldsForAllEncodings) {
+  auto stg = fsm::random_fsm(32, 2, 2, 77);
+  auto ma = fsm::analyze_markov(stg);
+  double bound = tyagi_switching_bound(ma, stg.num_states());
+  for (auto style :
+       {fsm::EncodingStyle::Binary, fsm::EncodingStyle::Gray,
+        fsm::EncodingStyle::Random, fsm::EncodingStyle::LowPower}) {
+    auto codes = fsm::encode_states(stg, style, &ma, 5);
+    double measured = fsm::expected_code_switching(ma, codes);
+    EXPECT_GE(measured, bound - 1e-9)
+        << "violated for style " << static_cast<int>(style);
+  }
+}
+
+TEST(EntropyModel, TyagiSparsenessDetection) {
+  // A counter visits each edge once -> very sparse.
+  auto stg = fsm::counter_fsm(5);
+  auto ma = fsm::analyze_markov(stg);
+  EXPECT_TRUE(tyagi_sparse(ma, stg.num_states()));
+}
+
+}  // namespace

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "fsm/encoding.hpp"
+#include "fsm/markov.hpp"
+#include "fsm/minimize.hpp"
+#include "fsm/stg.hpp"
+#include "fsm/synth.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace hlp::fsm;
+
+TEST(Stg, CounterCounts) {
+  auto stg = counter_fsm(3);
+  EXPECT_EQ(stg.num_states(), 8u);
+  StateId s = 0;
+  for (int i = 0; i < 20; ++i) {
+    StateId expect = static_cast<StateId>((i) % 8);
+    EXPECT_EQ(s, expect);
+    s = stg.next(s, 1);
+  }
+  // Hold input keeps the state.
+  EXPECT_EQ(stg.next(5, 0), 5u);
+}
+
+TEST(Stg, SequenceDetectorFindsPattern) {
+  // Pattern 1011 (LSB-first: bits 1,1,0,1 read b0..b3).
+  auto stg = sequence_detector_fsm(0b1101, 4);
+  auto run = [&](std::vector<int> bits) {
+    StateId s = 0;
+    std::vector<int> outs;
+    for (int b : bits) {
+      outs.push_back(static_cast<int>(stg.output(s, b)));
+      s = stg.next(s, b);
+    }
+    return outs;
+  };
+  // Feed 1,0,1,1 -> matches pattern (pattern read LSB-first: 1,0,1,1).
+  auto outs = run({1, 0, 1, 1, 0});
+  // Output raised on the transition entering the match state, visible on
+  // the next symbol's output evaluation; just check a match occurred.
+  StateId s = 0;
+  bool matched = false;
+  for (int b : {1, 0, 1, 1}) {
+    s = stg.next(s, b);
+  }
+  matched = (s == 4);
+  EXPECT_TRUE(matched);
+  (void)outs;
+}
+
+TEST(Stg, ProtocolFsmIdlesAndBursts) {
+  auto stg = protocol_fsm(3);
+  EXPECT_EQ(stg.num_states(), 4u);
+  // Stay idle without request.
+  EXPECT_EQ(stg.next(0, 0), 0u);
+  EXPECT_EQ(stg.next(0, 2), 0u);
+  // Request starts the burst and returns to idle after 3 states.
+  StateId s = stg.next(0, 1);
+  EXPECT_EQ(s, 1u);
+  s = stg.next(s, 0);
+  s = stg.next(s, 0);
+  s = stg.next(s, 0);
+  EXPECT_EQ(s, 0u);
+}
+
+TEST(Markov, SteadyStateSumsToOne) {
+  auto stg = random_fsm(12, 2, 3, 5);
+  auto ma = analyze_markov(stg);
+  double sum = 0.0;
+  for (double p : ma.state_prob) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double p : ma.state_prob) EXPECT_GE(p, 0.0);
+}
+
+TEST(Markov, CounterUniformSteadyState) {
+  auto stg = counter_fsm(3);
+  // Always-enabled input distribution: symbol 1 w.p. 1.
+  std::vector<double> probs{0.0, 1.0};
+  auto ma = analyze_markov(stg, probs);
+  for (double p : ma.state_prob) EXPECT_NEAR(p, 1.0 / 8.0, 1e-6);
+}
+
+TEST(Markov, SimulationMatchesAnalysis) {
+  auto stg = random_fsm(8, 1, 2, 9);
+  auto ma = analyze_markov(stg);
+  hlp::stats::Rng rng(4);
+  auto seq = simulate_states(stg, 200000, rng);
+  std::vector<double> freq(stg.num_states(), 0.0);
+  for (StateId s : seq) freq[s] += 1.0;
+  for (auto& f : freq) f /= static_cast<double>(seq.size());
+  for (std::size_t s = 0; s < stg.num_states(); ++s)
+    EXPECT_NEAR(freq[s], ma.state_prob[s], 0.01);
+}
+
+TEST(Encoding, StylesProduceUniqueCodes) {
+  auto stg = random_fsm(10, 2, 2, 3);
+  auto ma = analyze_markov(stg);
+  for (auto style : {EncodingStyle::Binary, EncodingStyle::Gray,
+                     EncodingStyle::OneHot, EncodingStyle::Random,
+                     EncodingStyle::LowPower}) {
+    auto codes = encode_states(stg, style, &ma, 7);
+    std::set<std::uint64_t> uniq(codes.begin(), codes.end());
+    EXPECT_EQ(uniq.size(), stg.num_states())
+        << "style " << static_cast<int>(style);
+  }
+}
+
+TEST(Encoding, GrayAdjacentCodesDifferByOneBit) {
+  auto stg = counter_fsm(4);
+  auto codes = encode_states(stg, EncodingStyle::Gray);
+  for (std::size_t i = 1; i < codes.size(); ++i)
+    EXPECT_EQ(std::popcount(codes[i] ^ codes[i - 1]), 1);
+}
+
+TEST(Encoding, LowPowerBeatsRandomOnWeightedHamming) {
+  auto stg = random_fsm(16, 2, 2, 21);
+  auto ma = analyze_markov(stg);
+  auto lp = encode_states(stg, EncodingStyle::LowPower, &ma, 1);
+  auto rnd = encode_states(stg, EncodingStyle::Random, &ma, 1);
+  EXPECT_LE(expected_code_switching(ma, lp),
+            expected_code_switching(ma, rnd) + 1e-9);
+}
+
+TEST(Encoding, GrayOptimalForPureCounter) {
+  auto stg = counter_fsm(3);
+  std::vector<double> probs{0.0, 1.0};
+  auto ma = analyze_markov(stg, probs);
+  auto gray = encode_states(stg, EncodingStyle::Gray);
+  // Gray on a pure cycle achieves exactly 1 bit/transition.
+  EXPECT_NEAR(expected_code_switching(ma, gray), 1.0, 1e-6);
+  auto bin = encode_states(stg, EncodingStyle::Binary);
+  EXPECT_GT(expected_code_switching(ma, bin), 1.5);
+}
+
+TEST(Minimize, CollapsesEquivalentStates) {
+  // Build a machine with duplicated states: two copies of a 2-state toggler.
+  Stg stg(1, 1);
+  auto a = stg.add_state(), b = stg.add_state(), a2 = stg.add_state(),
+       b2 = stg.add_state();
+  for (std::uint64_t in = 0; in <= 1; ++in) {
+    stg.set_transition(a, in, in ? b : a, in);
+    stg.set_transition(b, in, in ? a2 : b, 1 - in);
+    stg.set_transition(a2, in, in ? b2 : a2, in);
+    stg.set_transition(b2, in, in ? a : b2, 1 - in);
+  }
+  auto cls = equivalence_classes(stg);
+  EXPECT_EQ(cls[a], cls[a2]);
+  EXPECT_EQ(cls[b], cls[b2]);
+  EXPECT_NE(cls[a], cls[b]);
+  auto min = minimize(stg);
+  EXPECT_EQ(min.num_states(), 2u);
+}
+
+TEST(Minimize, PreservesBehavior) {
+  auto stg = random_fsm(12, 1, 2, 33);
+  auto min = minimize(stg);
+  ASSERT_LE(min.num_states(), stg.num_states());
+  // Run both machines on the same input sequence; outputs must agree.
+  hlp::stats::Rng rng(2);
+  StateId s1 = 0, s2 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t in = rng.uniform_bits(1);
+    EXPECT_EQ(stg.output(s1, in), min.output(s2, in));
+    s1 = stg.next(s1, in);
+    s2 = min.next(s2, in);
+  }
+}
+
+TEST(Synth, NetlistMatchesStg) {
+  auto stg = random_fsm(6, 2, 3, 44);
+  auto ma = analyze_markov(stg);
+  auto codes = encode_states(stg, EncodingStyle::Binary, &ma);
+  auto sf = synthesize_fsm(stg, codes, encoding_bits(EncodingStyle::Binary,
+                                                     stg.num_states()));
+  hlp::sim::Simulator sim(sf.netlist);
+  hlp::stats::Rng rng(6);
+  StateId s = 0;
+  for (int c = 0; c < 500; ++c) {
+    std::uint64_t in = rng.uniform_bits(2);
+    sim.set_word(sf.inputs, in);
+    sim.eval();
+    // State register should hold code of s; outputs should match STG.
+    EXPECT_EQ(sim.word_value(sf.state), codes[s]);
+    EXPECT_EQ(sim.word_value(sf.outputs), stg.output(s, in));
+    sim.tick();
+    s = stg.next(s, in);
+  }
+}
+
+class SynthEncodingStyle
+    : public ::testing::TestWithParam<EncodingStyle> {};
+
+TEST_P(SynthEncodingStyle, AllEncodingsAreFunctionallyCorrect) {
+  auto stg = protocol_fsm(4);
+  auto ma = analyze_markov(stg);
+  auto codes = encode_states(stg, GetParam(), &ma, 3);
+  int bits = encoding_bits(GetParam(), stg.num_states());
+  auto sf = synthesize_fsm(stg, codes, bits);
+  hlp::sim::Simulator sim(sf.netlist);
+  hlp::stats::Rng rng(6);
+  StateId s = 0;
+  for (int c = 0; c < 300; ++c) {
+    std::uint64_t in = rng.uniform_bits(2);
+    sim.set_word(sf.inputs, in);
+    sim.eval();
+    EXPECT_EQ(sim.word_value(sf.outputs), stg.output(s, in));
+    sim.tick();
+    s = stg.next(s, in);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Styles, SynthEncodingStyle,
+    ::testing::Values(EncodingStyle::Binary, EncodingStyle::Gray,
+                      EncodingStyle::OneHot, EncodingStyle::Random,
+                      EncodingStyle::LowPower));
+
+}  // namespace

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/entropy_model.hpp"
+#include "core/fsm_encoding_power.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+
+TEST(FsmEncodingPower, ReportsAllStyles) {
+  auto stg = fsm::random_fsm(8, 1, 2, 5);
+  auto reports = compare_encodings(stg, 2000, 7);
+  ASSERT_EQ(reports.size(), 5u);
+  for (auto& r : reports) {
+    EXPECT_GT(r.simulated_power, 0.0) << r.style;
+    EXPECT_GT(r.gates, 0u);
+    EXPECT_GE(r.expected_switching, 0.0);
+  }
+}
+
+TEST(FsmEncodingPower, LowPowerBeatsRandomOnSwitching) {
+  auto stg = fsm::random_fsm(16, 2, 2, 9);
+  auto reports = compare_encodings(stg, 4000, 11);
+  double lp = -1, rnd = -1;
+  for (auto& r : reports) {
+    if (r.style == "low-power") lp = r.expected_switching;
+    if (r.style == "random") rnd = r.expected_switching;
+  }
+  ASSERT_GE(lp, 0.0);
+  ASSERT_GE(rnd, 0.0);
+  EXPECT_LE(lp, rnd + 1e-9);
+}
+
+TEST(FsmEncodingPower, MeasuredSwitchingTracksAnalytical) {
+  auto stg = fsm::random_fsm(8, 1, 2, 13);
+  auto ma = fsm::analyze_markov(stg);
+  auto rep = evaluate_encoding(stg, fsm::EncodingStyle::Binary, ma, 30000, 3);
+  EXPECT_NEAR(rep.simulated_state_switching, rep.expected_switching,
+              0.15 * rep.expected_switching + 0.05);
+}
+
+TEST(FsmEncodingPower, TyagiBoundBelowAllMeasurements) {
+  auto stg = fsm::random_fsm(24, 2, 2, 17);
+  auto ma = fsm::analyze_markov(stg);
+  double bound = tyagi_switching_bound(ma, stg.num_states());
+  auto reports = compare_encodings(stg, 1500, 19);
+  for (auto& r : reports) {
+    if (r.style == "one-hot") continue;  // different bit budget
+    EXPECT_GE(r.expected_switching, bound - 1e-9) << r.style;
+  }
+}
+
+TEST(FsmEncodingPower, OneHotUsesMoreBits) {
+  auto stg = fsm::random_fsm(10, 1, 1, 21);
+  auto reports = compare_encodings(stg, 500, 23);
+  int onehot_bits = 0, binary_bits = 0;
+  for (auto& r : reports) {
+    if (r.style == "one-hot") onehot_bits = r.state_bits;
+    if (r.style == "binary") binary_bits = r.state_bits;
+  }
+  EXPECT_EQ(onehot_bits, 10);
+  EXPECT_EQ(binary_bits, 4);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/guarded_eval.hpp"
+#include "netlist/words.hpp"
+#include "sim/streams.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+using netlist::GateKind;
+
+/// Shared-ALU style module: out = sel ? (a+b) : (a&b reduced cone).
+netlist::Module alu_select_module(int n) {
+  netlist::Module m;
+  m.name = "alusel";
+  auto& nl = m.netlist;
+  auto a = netlist::make_input_word(nl, n, "a");
+  auto b = netlist::make_input_word(nl, n, "b");
+  auto sel = nl.add_input("sel");
+  auto sum = netlist::ripple_adder(nl, a, b);
+  auto mult = netlist::array_multiplier(nl, a, b);
+  mult.resize(sum.size(), mult.empty() ? 0 : mult.back());
+  auto out = netlist::mux_word(nl, sel, sum, mult);
+  netlist::mark_output_word(nl, out, "y");
+  m.input_words = {a, b, {sel}};
+  m.output_words = {out};
+  return m;
+}
+
+TEST(GuardedEval, FindsCandidatesInMuxedDesign) {
+  auto mod = alu_select_module(4);
+  auto guards = find_guards(mod);
+  EXPECT_FALSE(guards.empty());
+  for (auto& g : guards) {
+    EXPECT_TRUE(g.odc_verified);
+    EXPECT_GE(g.cone.size(), 2u);
+  }
+}
+
+TEST(GuardedEval, TransformPreservesFunction) {
+  auto mod = alu_select_module(4);
+  auto guards = find_guards(mod);
+  ASSERT_FALSE(guards.empty());
+  auto gc = apply_guards(mod, guards);
+  stats::Rng rng(3);
+  auto in = sim::random_stream(9, 2000, 0.5, rng);
+  auto res = evaluate_guarded(mod, gc, in);
+  EXPECT_TRUE(res.functionally_correct);
+}
+
+TEST(GuardedEval, SavesPowerWhenOneSideDominates) {
+  auto mod = alu_select_module(6);
+  auto guards = find_guards(mod);
+  ASSERT_FALSE(guards.empty());
+  auto gc = apply_guards(mod, guards);
+  // sel mostly selects the adder; the multiplier cone is usually blocked.
+  stats::Rng rng(5);
+  auto data = sim::random_stream(12, 4000, 0.5, rng);
+  auto selbit = sim::random_stream(1, 4000, 0.05, rng);  // sel=0 mostly
+  auto in = sim::zip_streams(data, selbit);
+  auto res = evaluate_guarded(mod, gc, in);
+  ASSERT_TRUE(res.functionally_correct);
+  EXPECT_LT(res.guarded_power, res.base_power);
+}
+
+TEST(GuardedEval, LatchCountMatchesBoundary) {
+  auto mod = alu_select_module(4);
+  auto guards = find_guards(mod);
+  ASSERT_FALSE(guards.empty());
+  auto gc = apply_guards(mod, guards);
+  EXPECT_GT(gc.latches, 0u);
+  EXPECT_EQ(gc.netlist.dffs().size(), gc.latches);
+}
+
+TEST(GuardedEval, NoCandidatesInMuxFreeLogic) {
+  auto mod = netlist::adder_module(6);
+  auto guards = find_guards(mod);
+  EXPECT_TRUE(guards.empty());
+}
+
+}  // namespace

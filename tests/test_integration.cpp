@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/clock_gating.hpp"
+#include "core/entropy_model.hpp"
+#include "core/fsm_encoding_power.hpp"
+#include "core/guarded_eval.hpp"
+#include "core/macromodel.hpp"
+#include "core/precomputation.hpp"
+#include "core/retiming_power.hpp"
+#include "core/sampling_power.hpp"
+#include "fsm/minimize.hpp"
+#include "sim/streams.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+
+// End-to-end flows spanning multiple subsystems, mirroring the paper's
+// "design improvement loop" (Fig. 1): estimate, transform, re-estimate.
+
+TEST(Integration, EstimatorHierarchyConverges) {
+  // Entropy (behavioral), macro-model (RT), gate-level simulation: all three
+  // should rank a quiet stream below a noisy one.
+  auto mod = netlist::alu_module(6);
+  stats::Rng rng(3);
+  int n_in = mod.total_input_bits();
+  auto noisy = sim::random_stream(n_in, 1200, 0.5, rng);
+  auto quiet = sim::correlated_stream(n_in, 1200, 0.93, rng);
+
+  auto ent_noisy = evaluate_entropy_models(mod, noisy, {}, false);
+  auto ent_quiet = evaluate_entropy_models(mod, quiet, {}, false);
+  EXPECT_LT(ent_quiet.power_simulated, ent_noisy.power_simulated);
+  EXPECT_LT(ent_quiet.power_marculescu, ent_noisy.power_marculescu);
+
+  auto chr_noisy = characterize(mod, noisy);
+  auto chr_quiet = characterize(mod, quiet);
+  InputOutputModel io;
+  io.fit(chr_noisy);
+  MacroFn fn = [&](const ModuleCharacterization& c, std::size_t t) {
+    return io.predict_cycle(c.in_activity[t], c.out_activity[t]);
+  };
+  auto cen_noisy = census_estimate(chr_noisy, fn);
+  auto cen_quiet = census_estimate(chr_quiet, fn);
+  EXPECT_LT(cen_quiet.mean_energy, cen_noisy.mean_energy);
+}
+
+TEST(Integration, FsmFlowMinimizeEncodeGateSynthesize) {
+  // Full controller flow: minimize -> low-power encode -> synthesize ->
+  // clock gate. Every stage must preserve behavior and reduce its metric.
+  auto stg = fsm::protocol_fsm(5);
+  auto min = fsm::minimize(stg);
+  EXPECT_LE(min.num_states(), stg.num_states());
+
+  auto ma = fsm::analyze_markov(min);
+  auto lp_codes = fsm::encode_states(min, fsm::EncodingStyle::LowPower, &ma, 3);
+  auto rnd_codes = fsm::encode_states(min, fsm::EncodingStyle::Random, &ma, 3);
+  EXPECT_LE(fsm::expected_code_switching(ma, lp_codes),
+            fsm::expected_code_switching(ma, rnd_codes) + 1e-9);
+
+  int bits = fsm::encoding_bits(fsm::EncodingStyle::LowPower,
+                                min.num_states());
+  auto sf = fsm::synthesize_fsm(min, lp_codes, bits);
+  stats::Rng rng(5);
+  std::vector<double> probs{0.85, 0.05, 0.05, 0.05};
+  auto cg = evaluate_clock_gating(min, sf, 4000, rng, probs);
+  EXPECT_LT(cg.gated_power, cg.base_power);
+}
+
+TEST(Integration, ShutdownTechniquesComposeOnDatapath) {
+  // Precomputation and guarded evaluation applied to the same comparator
+  // module both save power on skewed input streams.
+  auto cmp = netlist::comparator_module(6);
+  std::vector<std::uint32_t> subset{5, 11};
+  auto pc = build_precomputed(cmp, subset, true);
+  auto base = build_precomputed(cmp, subset, false);
+  stats::Rng rng(7);
+  auto in = sim::random_stream(12, 2500, 0.5, rng);
+  auto ev_pc = evaluate_precomputed(pc, cmp, in);
+  auto ev_base = evaluate_precomputed(base, cmp, in);
+  ASSERT_TRUE(ev_pc.functionally_correct);
+  EXPECT_LT(ev_pc.power, ev_base.power);
+}
+
+TEST(Integration, RetimingAfterMacroCharacterization) {
+  // Characterize a multiplier, then retime it; the retimed circuit's
+  // functional power matches the zero-delay characterization scale.
+  auto mod = netlist::multiplier_module(4);
+  stats::Rng rng(9);
+  auto in = sim::random_stream(8, 600, 0.5, rng);
+  auto rc = place_registers_at_cut(mod, mod.netlist.depth() / 2);
+  auto ev = evaluate_retimed(rc, mod, in);
+  ASSERT_TRUE(ev.functionally_correct);
+  EXPECT_GT(ev.power_total, 0.0);
+}
+
+TEST(Integration, AdaptiveEstimatorVsEntropyEstimator) {
+  // Both high-level estimators applied to the same module/stream should
+  // land within a small factor of the gate-level truth.
+  auto mod = netlist::adder_module(8);
+  stats::Rng rng(11);
+  auto train = sim::random_stream(16, 1500, 0.5, rng);
+  auto eval = sim::correlated_stream(16, 2500, 0.85, rng);
+  auto chr_train = characterize(mod, train);
+  auto chr_eval = characterize(mod, eval);
+  InputOutputModel io;
+  io.fit(chr_train);
+  MacroFn fn = [&](const ModuleCharacterization& c, std::size_t t) {
+    return io.predict_cycle(c.in_activity[t], c.out_activity[t]);
+  };
+  stats::Rng rng2(12);
+  auto adaptive = adaptive_estimate(chr_eval, fn, 100, rng2);
+  double ref = gate_level_mean(chr_eval);
+  EXPECT_LT(std::abs(adaptive.mean_energy - ref) / ref, 0.15);
+}
+
+}  // namespace

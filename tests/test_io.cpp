@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "fsm/benchmarks.hpp"
+#include "fsm/kiss.hpp"
+#include "fsm/markov.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/verilog.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::fsm;
+
+constexpr const char* kExampleKiss = R"(
+# simple handshake controller
+.i 2
+.o 1
+.s 3
+.p 6
+.r idle
+0- idle idle 0
+1- idle req  0
+-1 req  ack  1
+-0 req  req  1
+-- ack  idle 0
+.e
+)";
+
+TEST(Kiss, ParsesExampleMachine) {
+  auto stg = parse_kiss2(kExampleKiss);
+  EXPECT_EQ(stg.n_inputs(), 2);
+  EXPECT_EQ(stg.n_outputs(), 1);
+  EXPECT_EQ(stg.num_states(), 3u);
+  EXPECT_EQ(stg.state_name(0), "idle");
+  // 0- idle idle: symbols 00 (0) and 10 (2) stay in idle.
+  EXPECT_EQ(stg.next(0, 0b00), 0u);
+  EXPECT_EQ(stg.next(0, 0b10), 0u);
+  // 1- idle req: symbols 01 and 11 (bit0 = first char).
+  EXPECT_EQ(stg.next(0, 0b01), 1u);
+  EXPECT_EQ(stg.next(0, 0b11), 1u);
+  // -1 req ack with output 1.
+  EXPECT_EQ(stg.next(1, 0b10), 2u);
+  EXPECT_EQ(stg.output(1, 0b10), 1u);
+  // -- ack idle.
+  for (std::uint64_t a = 0; a < 4; ++a) EXPECT_EQ(stg.next(2, a), 0u);
+}
+
+TEST(Kiss, RoundTripPreservesBehavior) {
+  auto stg = protocol_fsm(4);
+  auto text = to_kiss2(stg);
+  auto back = parse_kiss2(text);
+  ASSERT_EQ(back.num_states(), stg.num_states());
+  stats::Rng rng(3);
+  StateId s1 = 0, s2 = 0;
+  for (int c = 0; c < 2000; ++c) {
+    std::uint64_t a = rng.uniform_bits(stg.n_inputs());
+    EXPECT_EQ(stg.output(s1, a), back.output(s2, a));
+    s1 = stg.next(s1, a);
+    s2 = back.next(s2, a);
+  }
+}
+
+TEST(Kiss, RejectsMalformedInput) {
+  EXPECT_THROW(parse_kiss2("01 a b"), std::invalid_argument);
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n0 a b"), std::invalid_argument);
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n2 a b 0\n"), std::invalid_argument);
+}
+
+TEST(Kiss, UnspecifiedPairsCompleteAsSelfLoops) {
+  auto stg = parse_kiss2(".i 1\n.o 1\n0 a b 1\n0 b a 0\n.e\n");
+  // Symbol 1 unspecified: self-loops with zero output.
+  EXPECT_EQ(stg.next(0, 1), 0u);
+  EXPECT_EQ(stg.output(0, 1), 0u);
+}
+
+TEST(Verilog, EmitsStructureForCombinational) {
+  auto mod = netlist::c17_module();
+  auto v = netlist::to_verilog(mod.netlist, "c17");
+  EXPECT_NE(v.find("module c17("), std::string::npos);
+  EXPECT_NE(v.find("~("), std::string::npos);  // NAND bodies
+  EXPECT_NE(v.find("assign po0"), std::string::npos);
+  EXPECT_NE(v.find("assign po1"), std::string::npos);
+  EXPECT_EQ(v.find("always"), std::string::npos);  // no state
+  EXPECT_EQ(v.find("clk"), std::string::npos);
+}
+
+TEST(Verilog, EmitsClockedBlockForSequential) {
+  netlist::Netlist nl;
+  auto q = nl.add_dff();
+  auto nq = nl.add_unary(netlist::GateKind::Not, q);
+  nl.set_dff_input(q, nq);
+  nl.mark_output(q);
+  auto v = netlist::to_verilog(nl, "toggle");
+  EXPECT_NE(v.find("input clk;"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("<="), std::string::npos);
+  EXPECT_NE(v.find("reg n0;"), std::string::npos);
+}
+
+TEST(Verilog, MuxAsTernary) {
+  netlist::Netlist nl;
+  auto s = nl.add_input();
+  auto a = nl.add_input();
+  auto b = nl.add_input();
+  auto m = nl.add_mux(s, a, b);
+  nl.mark_output(m);
+  auto v = netlist::to_verilog(nl, "m");
+  EXPECT_NE(v.find("n0 ? n2 : n1"), std::string::npos);
+}
+
+TEST(Benchmarks, AllControllersParseAndAreLive) {
+  for (auto& [name, stg] : controller_benchmarks()) {
+    EXPECT_GE(stg.num_states(), 4u) << name;
+    EXPECT_TRUE(stg.complete()) << name;
+    // Every state is reachable from reset and the machine returns to reset.
+    std::vector<bool> seen(stg.num_states(), false);
+    std::vector<StateId> stack{0};
+    seen[0] = true;
+    while (!stack.empty()) {
+      StateId s = stack.back();
+      stack.pop_back();
+      for (std::uint64_t a = 0; a < stg.n_symbols(); ++a) {
+        StateId t = stg.next(s, a);
+        if (!seen[t]) {
+          seen[t] = true;
+          stack.push_back(t);
+        }
+      }
+    }
+    for (std::size_t s = 0; s < stg.num_states(); ++s)
+      EXPECT_TRUE(seen[s]) << name << " state " << stg.state_name(
+          static_cast<StateId>(s));
+  }
+}
+
+TEST(Benchmarks, UartReceivesAByte) {
+  auto stg = uart_rx_fsm();
+  StateId s = 0;
+  // Start bit (rx=0, tick), then 8 ticked data bits, then stop bit.
+  auto step = [&](std::uint64_t sym) {
+    auto out = stg.output(s, sym);
+    s = stg.next(s, sym);
+    return out;
+  };
+  step(0b10);  // rx low at tick -> start
+  for (int b = 0; b < 8; ++b) step(0b11);  // start -> d0, d0 -> d1, ... d7
+  step(0b11);                              // d7 -> stop (still busy)
+  auto out = step(0b11);                   // stop -> idle, byte ready
+  EXPECT_EQ(out & 2u, 2u);                 // byte-ready strobe
+  EXPECT_EQ(s, 0u);                        // back to idle
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+#include "isa/programs.hpp"
+
+namespace {
+
+using namespace hlp::isa;
+
+TEST(Machine, ArithmeticAndHalt) {
+  Program p;
+  p.code = {
+      make_i(Opcode::Li, 1, 0, 7),
+      make_i(Opcode::Li, 2, 0, 5),
+      make_r(Opcode::Add, 3, 1, 2),
+      make_r(Opcode::Mul, 4, 1, 2),
+      make_r(Opcode::Sub, 5, 1, 2),
+      make_r(Opcode::Halt, 0, 0, 0),
+  };
+  Machine m;
+  auto st = m.run(p, 100);
+  EXPECT_EQ(m.reg(3), 12);
+  EXPECT_EQ(m.reg(4), 35);
+  EXPECT_EQ(m.reg(5), 2);
+  EXPECT_EQ(st.instructions, 6u);
+}
+
+TEST(Machine, LoadStoreRoundTrip) {
+  Program p;
+  p.code = {
+      make_i(Opcode::Li, 1, 0, 100),   // addr
+      make_i(Opcode::Li, 2, 0, 42),    // value
+      make_r(Opcode::St, 0, 1, 2),     // mem[100] = 42
+      make_i(Opcode::Ld, 3, 1, 0),     // r3 = mem[100]
+      make_r(Opcode::Halt, 0, 0, 0),
+  };
+  Machine m;
+  m.run(p, 100);
+  EXPECT_EQ(m.reg(3), 42);
+  EXPECT_EQ(m.mem(100), 42);
+}
+
+TEST(Machine, BranchLoopCountsCorrectly) {
+  // Sum 1..10 in r5.
+  Program p;
+  p.code = {
+      make_i(Opcode::Li, 1, 0, 0),   // i
+      make_i(Opcode::Li, 2, 0, 10),  // limit
+      make_i(Opcode::Li, 5, 0, 0),   // acc
+      make_i(Opcode::Addi, 1, 1, 1),
+      make_r(Opcode::Add, 5, 5, 1),
+      make_b(Opcode::Bne, 1, 2, -2),
+      make_r(Opcode::Halt, 0, 0, 0),
+  };
+  Machine m;
+  auto st = m.run(p, 1000);
+  EXPECT_EQ(m.reg(5), 55);
+  EXPECT_EQ(st.taken_branches, 9u);
+  EXPECT_EQ(st.branch_instructions, 10u);
+}
+
+TEST(Machine, CacheMissesOnColdAndStride) {
+  MachineConfig cfg;
+  cfg.dcache_lines = 8;
+  cfg.dcache_line_words = 4;
+  Program seq = array_sum(1, 64);
+  Machine m(cfg);
+  auto st = m.run(seq, 100000);
+  // Sequential: one miss per 4 loads.
+  double miss_rate = static_cast<double>(st.dcache_misses) /
+                     static_cast<double>(st.mem_reads);
+  EXPECT_NEAR(miss_rate, 0.25, 0.05);
+}
+
+TEST(Machine, RandomLoadsMissMore) {
+  MachineConfig cfg;
+  cfg.dcache_lines = 8;
+  Program rnd = random_loads(4096, 500, 3);
+  Program seq = array_sum(1, 500);
+  Machine m1(cfg), m2(cfg);
+  auto st_rnd = m1.run(rnd, 100000);
+  auto st_seq = m2.run(seq, 100000);
+  double mr_rnd = static_cast<double>(st_rnd.dcache_misses) /
+                  static_cast<double>(st_rnd.mem_reads);
+  double mr_seq = static_cast<double>(st_seq.dcache_misses) /
+                  static_cast<double>(st_seq.mem_reads);
+  EXPECT_GT(mr_rnd, mr_seq * 2);
+}
+
+TEST(Machine, PairCountsSumCorrectly) {
+  Program p = random_arith(20, 5, 0.3, 7);
+  Machine m;
+  auto st = m.run(p, 100000, true);
+  std::uint64_t pair_total = 0;
+  for (auto& row : st.pair)
+    for (auto v : row) pair_total += v;
+  EXPECT_EQ(pair_total, st.instructions - 1);
+  EXPECT_EQ(st.trace.size(), st.instructions);
+}
+
+TEST(Machine, CyclesIncludePenalties) {
+  MachineConfig cfg;
+  Program p = array_sum(1, 100);
+  Machine m(cfg);
+  auto st = m.run(p, 100000);
+  EXPECT_GT(st.cycles, st.instructions);  // misses + taken branches stall
+}
+
+TEST(Programs, Fig2MemoryAccessCounts) {
+  int n = 50;
+  Machine m1, m2;
+  auto st_mem = m1.run(fig2_with_memory_temp(n), 1000000);
+  auto st_reg = m2.run(fig2_register_temp(n), 1000000);
+  // The transformed version eliminates 2n accesses for the temp array.
+  std::uint64_t acc_mem = st_mem.mem_reads + st_mem.mem_writes;
+  std::uint64_t acc_reg = st_reg.mem_reads + st_reg.mem_writes;
+  EXPECT_EQ(acc_mem - acc_reg, static_cast<std::uint64_t>(2 * n));
+  // And both compute the same result c[i] = a[i]*3 + 3.
+  for (int i = 0; i < n; ++i)
+    EXPECT_EQ(m1.mem(static_cast<std::size_t>(2 * n + i)),
+              m2.mem(static_cast<std::size_t>(2 * n + i)));
+}
+
+TEST(Programs, DspKernelComputesFir) {
+  int taps = 4, iters = 8;
+  Machine m;
+  // Preload samples and coefficients.
+  for (int i = 0; i < 32; ++i) m.set_mem(static_cast<std::size_t>(i), i + 1);
+  for (int t = 0; t < taps; ++t)
+    m.set_mem(static_cast<std::size_t>(4096 + t), t + 1);
+  auto st = m.run(dsp_kernel(taps, iters), 1000000);
+  EXPECT_GT(st.per_opcode[static_cast<std::size_t>(Opcode::Mul)],
+            static_cast<std::uint64_t>(taps * iters - 1));
+  // y[0] = sum_t x[0+t]*c[t] = 1*1+2*2+3*3+4*4 = 30 (stored over x[0]).
+  EXPECT_EQ(m.mem(0), 30);
+}
+
+TEST(Programs, HaltLimitsRespected) {
+  Program p = random_arith(10, 1000000, 0.2, 1);
+  Machine m;
+  auto st = m.run(p, 5000);
+  EXPECT_EQ(st.instructions, 5000u);  // capped
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Additional coverage: cross-cutting checks that tie modules together and
+// pin down smaller API contracts not exercised elsewhere.
+
+#include <gtest/gtest.h>
+
+#include "hlp.hpp"
+
+namespace {
+
+using namespace hlp;
+
+TEST(Umbrella, SingleHeaderExposesEverything) {
+  // Compile-time check mostly; touch a few symbols across modules.
+  stats::Rng rng(1);
+  auto mod = netlist::adder_module(4);
+  EXPECT_GT(mod.netlist.gate_count(), 0u);
+  auto stg = fsm::traffic_light_fsm();
+  EXPECT_GT(stg.num_states(), 0u);
+  core::CesParams ces;
+  EXPECT_GT(core::ces_power(10, ces, {}), 0.0);
+}
+
+TEST(Kiss, ControllersRoundTripThroughKiss2) {
+  for (auto& [name, stg] : fsm::controller_benchmarks()) {
+    auto back = fsm::parse_kiss2(fsm::to_kiss2(stg));
+    ASSERT_EQ(back.num_states(), stg.num_states()) << name;
+    stats::Rng rng(3);
+    fsm::StateId s1 = 0, s2 = 0;
+    for (int c = 0; c < 1000; ++c) {
+      std::uint64_t a = rng.uniform_bits(stg.n_inputs());
+      ASSERT_EQ(stg.output(s1, a), back.output(s2, a)) << name;
+      s1 = stg.next(s1, a);
+      s2 = back.next(s2, a);
+    }
+  }
+}
+
+TEST(Verilog, MacDatapathExportsCleanly) {
+  std::vector<int> coeffs{3, 5, 7};
+  auto mac = core::build_fir_mac_datapath(coeffs, 4);
+  auto v = netlist::to_verilog(mac.netlist, "fir_mac");
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  // Every DFF must be assigned in the clocked block.
+  std::size_t assigns = 0, pos = 0;
+  while ((pos = v.find("<=", pos)) != std::string::npos) {
+    ++assigns;
+    pos += 2;
+  }
+  EXPECT_EQ(assigns, mac.netlist.dffs().size());
+}
+
+TEST(Decompose, ControllersEvaluateCorrectly) {
+  for (auto& [name, stg] : fsm::controller_benchmarks()) {
+    if (stg.num_states() < 6) continue;
+    auto ma = fsm::analyze_markov(stg);
+    auto part = fsm::partition_min_crossing(stg, ma);
+    auto ev = fsm::evaluate_decomposition(stg, part, 2000, 5);
+    EXPECT_TRUE(ev.functionally_correct) << name;
+  }
+}
+
+TEST(ClockGating, ControllersWithSkewedInputsSave) {
+  // UART mostly idle (line high, ticks rare).
+  auto stg = fsm::uart_rx_fsm();
+  auto ma = fsm::analyze_markov(stg);
+  auto codes = fsm::encode_states(stg, fsm::EncodingStyle::Binary, &ma);
+  auto sf = fsm::synthesize_fsm(
+      stg, codes,
+      fsm::encoding_bits(fsm::EncodingStyle::Binary, stg.num_states()));
+  stats::Rng rng(3);
+  // Symbols over (rx, tick): rx=1 mostly, tick rare.
+  std::vector<double> probs{0.05, 0.75, 0.05, 0.15};  // {00,01(rx),10,11}
+  auto res = core::evaluate_clock_gating(stg, sf, 5000, rng, probs);
+  EXPECT_GT(res.idle_fraction, 0.3);
+  EXPECT_LT(res.gated_power, res.base_power);
+}
+
+TEST(Retiming, WorksOnCsaMultiplierFamily) {
+  netlist::Module mod;
+  mod.name = "csa";
+  auto a = netlist::make_input_word(mod.netlist, 5, "a");
+  auto b = netlist::make_input_word(mod.netlist, 5, "b");
+  auto p = netlist::csa_multiplier(mod.netlist, a, b);
+  netlist::mark_output_word(mod.netlist, p, "p");
+  mod.input_words = {a, b};
+  mod.output_words = {p};
+  stats::Rng rng(7);
+  auto in = sim::random_stream(10, 200, 0.5, rng);
+  int depth = mod.netlist.depth();
+  for (int cut : {0, depth / 2, depth - 1}) {
+    auto rc = core::place_registers_at_cut(mod, cut);
+    auto ev = core::evaluate_retimed(rc, mod, in);
+    EXPECT_TRUE(ev.functionally_correct) << "cut " << cut;
+  }
+}
+
+TEST(MemoryModel, PowerScalesWithAccessRate) {
+  core::MemoryParams p;
+  double p1 = core::memory_power(p, 0.1);
+  double p2 = core::memory_power(p, 0.2);
+  EXPECT_NEAR(p2 / p1, 2.0, 1e-12);
+}
+
+TEST(Stats, CiHalfwidthShrinksWithSamples) {
+  stats::Rng rng(3);
+  stats::RunningStats small, big;
+  for (int i = 0; i < 30; ++i) small.add(rng.normal(10, 2));
+  for (int i = 0; i < 3000; ++i) big.add(rng.normal(10, 2));
+  EXPECT_LT(stats::ci_halfwidth(big), stats::ci_halfwidth(small));
+  EXPECT_GT(stats::ci_halfwidth(small, 0.99),
+            stats::ci_halfwidth(small, 0.90));
+}
+
+TEST(Shutdown, OracleDelayIsAlwaysZero) {
+  for (std::uint64_t seed : {1u, 5u, 9u}) {
+    stats::Rng rng(seed);
+    auto w = core::session_workload(1000, rng);
+    core::DeviceParams dev;
+    auto oracle = core::oracle_policy(w, dev);
+    auto r = core::simulate_policy(w, dev, *oracle);
+    EXPECT_NEAR(r.delay_penalty, 0.0, 1e-9);
+  }
+}
+
+TEST(BusCodec, GateLevelMatchesBehavioralBitForBit) {
+  // Stronger than transition counts: the physical bus states must agree
+  // cycle by cycle with the behavioral encoder (modulo its one-cycle
+  // register delay).
+  const int w = 8;
+  auto codec = core::build_bus_invert_codec(w);
+  auto behavioral = core::bus_invert_encoder(w);
+  behavioral->reset();
+  stats::Rng rng(11);
+  sim::Simulator s(codec.netlist);
+  std::uint64_t expect_prev = 0;
+  bool have = false;
+  for (int c = 0; c < 400; ++c) {
+    std::uint64_t word = rng.uniform_bits(w);
+    std::uint64_t phys = behavioral->encode(word);
+    behavioral->decode(phys);
+    s.set_word(codec.data_in, word);
+    s.eval();
+    std::uint64_t bus_now =
+        s.word_value(codec.bus) |
+        (static_cast<std::uint64_t>(s.value(codec.inv)) << w);
+    if (have) {
+      EXPECT_EQ(bus_now, expect_prev) << "cycle " << c;
+    }
+    expect_prev = phys;
+    have = true;
+    s.tick();
+  }
+}
+
+TEST(Compaction, DegenerateInputs) {
+  stats::VectorStream empty;
+  empty.width = 4;
+  auto out = core::compact_stream(empty, 100, 1);
+  EXPECT_TRUE(out.words.empty());
+  stats::Rng rng(1);
+  auto s = sim::random_stream(4, 50, 0.5, rng);
+  // Target longer than the input is clamped.
+  auto c = core::compact_stream(s, 500, 1);
+  EXPECT_LE(c.words.size(), 50u);
+}
+
+}  // namespace

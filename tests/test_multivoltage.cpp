@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "cdfg/generators.hpp"
+#include "core/multivoltage.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+
+VoltageLibrary make_lib() {
+  VoltageLibrary lib;
+  lib.voltages = {5.0, 3.3, 2.4};
+  return lib;
+}
+
+TEST(VoltageLibrary, LowerVoltageSlowerCheaper) {
+  auto lib = make_lib();
+  auto opts = lib.options(cdfg::OpKind::Mul, 8);
+  ASSERT_EQ(opts.size(), 3u);
+  EXPECT_LT(opts[1].energy, opts[0].energy);
+  EXPECT_LT(opts[2].energy, opts[1].energy);
+  EXPECT_GE(opts[1].delay, opts[0].delay);
+  EXPECT_GE(opts[2].delay, opts[1].delay);
+}
+
+TEST(MultiVoltage, MatchesSingleVoltageAtCriticalLatency) {
+  auto g = cdfg::random_expr_tree(8, 0.5, 3);
+  auto lib = make_lib();
+  auto base = single_voltage_baseline(g, lib);
+  auto mv = schedule_multivoltage(g, lib, base.latency);
+  ASSERT_TRUE(mv.feasible);
+  // With zero slack not much can be slowed down, but energy never exceeds
+  // the single-voltage baseline.
+  EXPECT_LE(mv.energy, base.energy + 1e-9);
+}
+
+TEST(MultiVoltage, SlackEnablesSavings) {
+  auto g = cdfg::random_expr_tree(16, 0.4, 5);
+  auto lib = make_lib();
+  auto base = single_voltage_baseline(g, lib);
+  auto tight = schedule_multivoltage(g, lib, base.latency);
+  auto loose = schedule_multivoltage(g, lib, base.latency * 3);
+  ASSERT_TRUE(tight.feasible);
+  ASSERT_TRUE(loose.feasible);
+  EXPECT_LT(loose.energy, base.energy);
+  EXPECT_LE(loose.energy, tight.energy + 1e-9);
+  EXPECT_LE(loose.latency, base.latency * 3);
+}
+
+TEST(MultiVoltage, InfeasibleBelowCriticalPath) {
+  auto g = cdfg::random_expr_tree(8, 0.5, 7);
+  auto lib = make_lib();
+  auto base = single_voltage_baseline(g, lib);
+  auto mv = schedule_multivoltage(g, lib, base.latency - 1);
+  EXPECT_FALSE(mv.feasible);
+}
+
+TEST(MultiVoltage, MonotoneInLatency) {
+  auto g = cdfg::random_expr_tree(12, 0.5, 9);
+  auto lib = make_lib();
+  auto base = single_voltage_baseline(g, lib);
+  double prev = 1e300;
+  for (int slack = 0; slack <= 12; slack += 2) {
+    auto mv = schedule_multivoltage(g, lib, base.latency + slack);
+    ASSERT_TRUE(mv.feasible);
+    EXPECT_LE(mv.energy, prev + 1e-9);
+    prev = mv.energy;
+  }
+}
+
+TEST(MultiVoltage, AssignsVoltagesToAllComputeOps) {
+  auto g = cdfg::random_expr_tree(10, 0.5, 11);
+  auto lib = make_lib();
+  auto base = single_voltage_baseline(g, lib);
+  auto mv = schedule_multivoltage(g, lib, base.latency + 6);
+  ASSERT_TRUE(mv.feasible);
+  for (cdfg::OpId id = 0; id < g.size(); ++id) {
+    if (cdfg::Cdfg::is_compute(g.op(id).kind)) {
+      EXPECT_GE(mv.voltage_index[id], 0) << "op " << id;
+    }
+  }
+}
+
+TEST(MultiVoltage, ShifterCostDiscouragesMixing) {
+  auto g = cdfg::random_expr_tree(12, 0.5, 13);
+  auto cheap = make_lib();
+  cheap.shifter_energy = 0.0;
+  auto costly = make_lib();
+  costly.shifter_energy = 100.0;
+  auto base = single_voltage_baseline(g, cheap);
+  auto mv_cheap = schedule_multivoltage(g, cheap, base.latency * 2);
+  auto mv_costly = schedule_multivoltage(g, costly, base.latency * 2);
+  ASSERT_TRUE(mv_cheap.feasible);
+  ASSERT_TRUE(mv_costly.feasible);
+  EXPECT_GE(mv_cheap.level_shifters, mv_costly.level_shifters);
+}
+
+}  // namespace

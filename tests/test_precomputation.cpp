@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/precomputation.hpp"
+#include "sim/streams.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+
+netlist::Module comparator_single_output(int n) {
+  // Single-output module: a < b (output 0 of comparator_module).
+  auto mod = netlist::comparator_module(n);
+  return mod;  // output 0 is lt
+}
+
+TEST(Precompute, SubsetSelectionPrefersMsbsForComparator) {
+  auto mod = comparator_single_output(6);
+  auto subset = select_precompute_inputs(mod, 2);
+  ASSERT_EQ(subset.size(), 2u);
+  // For a<b the MSBs (indices 5 of a = 5, of b = 11) decide most often.
+  bool has_msb_a =
+      std::find(subset.begin(), subset.end(), 5u) != subset.end();
+  bool has_msb_b =
+      std::find(subset.begin(), subset.end(), 11u) != subset.end();
+  EXPECT_TRUE(has_msb_a && has_msb_b);
+}
+
+TEST(Precompute, CoverageMatchesTheory) {
+  // Comparator with both MSBs selected: the predictors decide whenever the
+  // MSBs differ -> coverage = 1/2.
+  auto mod = comparator_single_output(6);
+  std::vector<std::uint32_t> subset{5, 11};
+  auto pc = build_precomputed(mod, subset, true);
+  EXPECT_NEAR(pc.coverage, 0.5, 1e-9);
+}
+
+TEST(Precompute, FunctionalCorrectness) {
+  auto mod = comparator_single_output(5);
+  auto subset = select_precompute_inputs(mod, 2);
+  auto pc = build_precomputed(mod, subset, true);
+  stats::Rng rng(3);
+  auto in = sim::random_stream(10, 1500, 0.5, rng);
+  auto ev = evaluate_precomputed(pc, mod, in);
+  EXPECT_TRUE(ev.functionally_correct);
+  EXPECT_NEAR(ev.coverage_observed, pc.coverage, 0.05);
+}
+
+TEST(Precompute, SavesPowerVsPlainRegisteredBlock) {
+  auto mod = comparator_single_output(8);
+  std::vector<std::uint32_t> subset{7, 15};  // the two MSBs
+  auto pc = build_precomputed(mod, subset, true);
+  auto base = build_precomputed(mod, subset, false);
+  stats::Rng rng(5);
+  auto in = sim::random_stream(16, 3000, 0.5, rng);
+  auto ev_pc = evaluate_precomputed(pc, mod, in);
+  auto ev_base = evaluate_precomputed(base, mod, in);
+  ASSERT_TRUE(ev_pc.functionally_correct);
+  ASSERT_TRUE(ev_base.functionally_correct);
+  EXPECT_LT(ev_pc.power, ev_base.power);
+}
+
+TEST(Precompute, LargerSubsetsCoverMore) {
+  auto mod = comparator_single_output(6);
+  double prev = -1.0;
+  for (int k = 2; k <= 6; k += 2) {
+    auto subset = select_precompute_inputs(mod, k);
+    auto pc = build_precomputed(mod, subset, true);
+    EXPECT_GE(pc.coverage, prev - 1e-9) << "k=" << k;
+    prev = pc.coverage;
+  }
+}
+
+TEST(PrecomputeMulti, ComparatorBothOutputsCorrect) {
+  auto mod = netlist::comparator_module(5);  // outputs: lt, eq
+  std::vector<std::uint32_t> subset{4, 9};   // both MSBs
+  auto pc = build_precomputed_multi(mod, subset, true);
+  stats::Rng rng(3);
+  auto in = sim::random_stream(10, 2000, 0.5, rng);
+  auto ev = evaluate_precomputed_multi(pc, mod, in);
+  EXPECT_TRUE(ev.functionally_correct);
+  EXPECT_NEAR(ev.coverage_observed, pc.coverage, 0.05);
+}
+
+TEST(PrecomputeMulti, CoverageNeverExceedsSingleOutput) {
+  // All outputs must be decided: coverage of the multi-output version can
+  // only be <= the single-output coverage of each output alone.
+  auto mod = netlist::comparator_module(6);
+  std::vector<std::uint32_t> subset{5, 11};
+  auto single = build_precomputed(mod, subset, true);  // output 0 (lt)
+  auto multi = build_precomputed_multi(mod, subset, true);
+  EXPECT_LE(multi.coverage, single.coverage + 1e-12);
+  // For the comparator pair {lt, eq}: MSBs differing decide lt but leave eq
+  // decided too (eq=0), so coverage stays 0.5 here.
+  EXPECT_NEAR(multi.coverage, 0.5, 1e-9);
+}
+
+TEST(PrecomputeMulti, SavesPowerOnSkewedComparator) {
+  auto mod = netlist::comparator_module(8);
+  std::vector<std::uint32_t> subset{6, 7, 14, 15};
+  auto pc = build_precomputed_multi(mod, subset, true);
+  auto base = build_precomputed_multi(mod, subset, false);
+  stats::Rng rng(5);
+  auto in = sim::random_stream(16, 3000, 0.5, rng);
+  auto ev = evaluate_precomputed_multi(pc, mod, in);
+  auto ev0 = evaluate_precomputed_multi(base, mod, in);
+  ASSERT_TRUE(ev.functionally_correct);
+  ASSERT_TRUE(ev0.functionally_correct);
+  EXPECT_LT(ev.power, ev0.power);
+}
+
+TEST(Precompute, WorksOnMaxCircuitToo) {
+  // The paper's Fig. 6 example family: max/comparator circuits.
+  auto mod = netlist::parity_module(8);
+  // Parity is the adversarial case: no subset smaller than all inputs can
+  // ever predict the output -> coverage 0.
+  auto subset = select_precompute_inputs(mod, 3);
+  auto pc = build_precomputed(mod, subset, true);
+  EXPECT_NEAR(pc.coverage, 0.0, 1e-9);
+}
+
+}  // namespace

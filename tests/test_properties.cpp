@@ -1,0 +1,233 @@
+// Cross-module property tests: invariants that must hold over whole
+// families of circuits, machines, and seeds (TEST_P sweeps).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bdd/netlist_bdd.hpp"
+#include "cdfg/generators.hpp"
+#include "core/bus_encoding.hpp"
+#include "core/multivoltage.hpp"
+#include "core/retiming_power.hpp"
+#include "core/shutdown.hpp"
+#include "fsm/encoding.hpp"
+#include "fsm/minimize.hpp"
+#include "sim/glitch_sim.hpp"
+#include "sim/simulator.hpp"
+#include "sim/streams.hpp"
+
+namespace {
+
+using namespace hlp;
+
+// --- Random-logic equivalence: BDD vs simulator over seeds ---------------
+
+class RandomLogicSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomLogicSeed, BddAgreesWithSimulatorEverywhere) {
+  auto mod = netlist::random_logic_module(10, 60, 5, GetParam());
+  bdd::Manager mgr;
+  auto bdds = bdd::build_bdds(mgr, mod.netlist);
+  sim::Simulator s(mod.netlist);
+  for (std::uint64_t in = 0; in < 1024; ++in) {
+    s.set_all_inputs(in);
+    s.eval();
+    for (std::size_t o = 0; o < mod.netlist.outputs().size(); ++o)
+      ASSERT_EQ(mgr.eval(bdds.output(mod.netlist, o), in),
+                s.value(mod.netlist.outputs()[o]))
+          << "seed " << GetParam() << " input " << in;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLogicSeed,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- Glitch simulation invariants over module families -------------------
+
+class GlitchFamily : public ::testing::TestWithParam<int> {};
+
+TEST_P(GlitchFamily, TotalActivityDominatesFunctional) {
+  netlist::Module mod;
+  switch (GetParam()) {
+    case 0: mod = netlist::adder_module(8); break;
+    case 1: mod = netlist::multiplier_module(4); break;
+    case 2: mod = netlist::alu_module(5); break;
+    case 3: mod = netlist::parity_module(10); break;
+    case 4: mod = netlist::comparator_module(8); break;
+    default: mod = netlist::multiply_reduce_module(4, 3); break;
+  }
+  stats::Rng rng(5);
+  auto in = sim::random_stream(mod.total_input_bits(), 400, 0.5, rng);
+  auto gl = sim::simulate_glitches(mod.netlist, in);
+  auto zero = sim::simulate_activities(mod.netlist, in);
+  double glitch_total = 0.0;
+  for (netlist::GateId g = 0; g < mod.netlist.gate_count(); ++g) {
+    ASSERT_GE(gl.total_activity[g] + 1e-12, gl.functional_activity[g]);
+    ASSERT_NEAR(gl.functional_activity[g], zero[g], 1e-9);
+    glitch_total += gl.total_activity[g] - gl.functional_activity[g];
+  }
+  // Reconvergent structures must show some glitching; fanout-free trees
+  // (parity) may legitimately show none.
+  if (GetParam() == 1 || GetParam() == 5) {
+    EXPECT_GT(glitch_total, 0.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GlitchFamily,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+// --- Bus encoders: redundancy and bound properties ------------------------
+
+class BusStreamSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BusStreamSeed, BusInvertNeverWorseThanBinaryPlusInvLine) {
+  const int w = 12;
+  stats::Rng rng(GetParam());
+  auto stream = core::address_stream(3000, 0.5, w, rng);
+  auto bin = core::binary_encoder(w);
+  auto bi = core::bus_invert_encoder(w);
+  auto rb = core::run_encoder(*bin, stream, w);
+  auto ri = core::run_encoder(*bi, stream, w);
+  // Bus-invert flips only when it strictly reduces data transitions, and
+  // pays at most 1 INV transition when it does; per word it can never
+  // exceed binary by more than... in fact its data+INV total is <= binary's
+  // transitions + 0 (the flip case strictly improves by >= 1 and costs 1).
+  EXPECT_LE(ri.per_word, rb.per_word + 1e-9);
+}
+
+TEST_P(BusStreamSeed, T0NeverWorseThanBinaryOnAddressStreams) {
+  const int w = 12;
+  stats::Rng rng(GetParam() + 100);
+  auto stream = core::address_stream(3000, 0.7, w, rng);
+  auto bin = core::binary_encoder(w);
+  auto t0 = core::t0_encoder(w);
+  auto rb = core::run_encoder(*bin, stream, w);
+  auto rt = core::run_encoder(*t0, stream, w);
+  // In-sequence words are free; out-of-sequence words cost the same data
+  // transitions plus at most one INC-line transition.
+  EXPECT_LE(rt.per_word, rb.per_word + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BusStreamSeed,
+                         ::testing::Values(1, 7, 42, 99, 1234));
+
+// --- Scheduling: structural bounds over random graphs --------------------
+
+class CdfgSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdfgSeed, ListScheduleNeverBeatsAsap) {
+  auto g = cdfg::random_expr_tree(12, 0.4, GetParam());
+  auto a = cdfg::asap(g);
+  std::map<cdfg::OpKind, int> limits{{cdfg::OpKind::Mul, 1},
+                                     {cdfg::OpKind::Add, 1}};
+  auto l = cdfg::list_schedule(g, limits);
+  EXPECT_GE(l.length, a.length);
+  // And with no limits it matches ASAP exactly.
+  auto free_sched = cdfg::list_schedule(g, {});
+  EXPECT_EQ(free_sched.length, a.length);
+}
+
+TEST_P(CdfgSeed, AlapNeverEarlierThanAsap) {
+  auto g = cdfg::branching_cdfg(3, 3, GetParam());
+  auto a = cdfg::asap(g);
+  auto l = cdfg::alap(g, a.length + 4);
+  for (cdfg::OpId id = 0; id < g.size(); ++id)
+    EXPECT_GE(l.start[id], a.start[id]) << "op " << id;
+}
+
+TEST_P(CdfgSeed, MultiVoltageEnergyMonotoneInSlack) {
+  auto g = cdfg::random_expr_tree(10, 0.5, GetParam());
+  core::VoltageLibrary lib;
+  lib.voltages = {5.0, 3.3, 2.4};
+  auto base = core::single_voltage_baseline(g, lib);
+  double prev = 1e300;
+  for (int slack : {0, 2, 5, 10}) {
+    auto mv = core::schedule_multivoltage(g, lib, base.latency + slack);
+    ASSERT_TRUE(mv.feasible);
+    EXPECT_LE(mv.energy, prev + 1e-9);
+    EXPECT_LE(mv.energy, base.energy + 1e-9);
+    prev = mv.energy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfgSeed,
+                         ::testing::Values(3, 11, 29, 47, 83));
+
+// --- FSM: encoding/minimization invariants over machines ------------------
+
+class FsmSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FsmSeed, MinimizationNeverGrowsAndPreservesIO) {
+  auto stg = fsm::random_fsm(14, 2, 2, GetParam());
+  auto min = fsm::minimize(stg);
+  EXPECT_LE(min.num_states(), stg.num_states());
+  stats::Rng rng(GetParam() + 1);
+  fsm::StateId s1 = 0, s2 = 0;
+  for (int c = 0; c < 500; ++c) {
+    std::uint64_t a = rng.uniform_bits(2);
+    ASSERT_EQ(stg.output(s1, a), min.output(s2, a));
+    s1 = stg.next(s1, a);
+    s2 = min.next(s2, a);
+  }
+}
+
+TEST_P(FsmSeed, LowPowerEncodingNeverWorseThanItsBinaryStart) {
+  auto stg = fsm::random_fsm(12, 2, 2, GetParam());
+  auto ma = fsm::analyze_markov(stg);
+  auto bin = fsm::encode_states(stg, fsm::EncodingStyle::Binary, &ma);
+  auto lp = fsm::encode_states(stg, fsm::EncodingStyle::LowPower, &ma,
+                               GetParam());
+  EXPECT_LE(fsm::expected_code_switching(ma, lp),
+            fsm::expected_code_switching(ma, bin) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsmSeed,
+                         ::testing::Values(5, 17, 23, 61, 101));
+
+// --- Shutdown: ski-rental style bound --------------------------------------
+
+TEST(ShutdownProperty, BreakevenTimeoutIsTwoCompetitive) {
+  // The classic result: a static timeout equal to the break-even time is
+  // 2-competitive against the clairvoyant policy on the *idle-interval*
+  // cost. Verify on many random workloads (small tolerance for the
+  // restart-delay accounting).
+  core::DeviceParams dev;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    stats::Rng rng(seed);
+    auto w = core::session_workload(2000, rng);
+    auto oracle = core::oracle_policy(w, dev);
+    auto stat = core::static_timeout_policy(core::breakeven_idle(dev));
+    auto r_oracle = core::simulate_policy(w, dev, *oracle);
+    auto r_stat = core::simulate_policy(w, dev, *stat);
+    // Compare idle-phase energies: subtract the busy energy common to both.
+    double busy = 0.0;
+    for (auto& e : w) busy += e.active * dev.p_active;
+    double idle_oracle = r_oracle.energy - busy;
+    double idle_stat = r_stat.energy - busy;
+    EXPECT_LE(idle_stat, 2.0 * idle_oracle * 1.05 + 1e-6) << "seed " << seed;
+  }
+}
+
+// --- Retiming: every cut of every family stays functionally correct ------
+
+class RetimingFamilySeed : public ::testing::TestWithParam<int> {};
+
+TEST_P(RetimingFamilySeed, AllCutsCorrectEverywhere) {
+  netlist::Module mod = GetParam() % 2 == 0
+                            ? netlist::multiply_reduce_module(4, 3)
+                            : netlist::alu_module(4);
+  stats::Rng rng(7);
+  auto in = sim::random_stream(mod.total_input_bits(), 200, 0.5, rng);
+  int depth = mod.netlist.depth();
+  for (int cut = 0; cut < depth; cut += 1 + depth / 6) {
+    auto rc = core::place_registers_at_cut(mod, cut);
+    auto ev = core::evaluate_retimed(rc, mod, in);
+    ASSERT_TRUE(ev.functionally_correct)
+        << "family " << GetParam() << " cut " << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, RetimingFamilySeed, ::testing::Values(0, 1));
+
+}  // namespace

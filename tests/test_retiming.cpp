@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/retiming_power.hpp"
+#include "sim/streams.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+
+TEST(Retiming, CutZeroRegistersInputs) {
+  auto mod = netlist::adder_module(6);
+  auto rc = place_registers_at_cut(mod, 0);
+  // One register per primary input that feeds logic.
+  EXPECT_EQ(rc.registers, 12u);
+}
+
+TEST(Retiming, AllCutsAreFunctionallyCorrect) {
+  auto mod = netlist::multiplier_module(4);
+  stats::Rng rng(3);
+  auto in = sim::random_stream(8, 400, 0.5, rng);
+  int depth = mod.netlist.depth();
+  for (int cut = 0; cut < depth; cut += std::max(1, depth / 5)) {
+    auto rc = place_registers_at_cut(mod, cut);
+    auto ev = evaluate_retimed(rc, mod, in);
+    EXPECT_TRUE(ev.functionally_correct) << "cut " << cut;
+    EXPECT_GT(ev.registers, 0u) << "cut " << cut;
+  }
+}
+
+TEST(Retiming, GlitchPowerAtLeastFunctional) {
+  auto mod = netlist::multiplier_module(5);
+  stats::Rng rng(5);
+  auto in = sim::random_stream(10, 400, 0.5, rng);
+  auto rc = place_registers_at_cut(mod, 0);
+  auto ev = evaluate_retimed(rc, mod, in);
+  EXPECT_GE(ev.power_total, ev.power_functional);
+}
+
+TEST(Retiming, SomeCutBeatsInputRegisters) {
+  // Multiplier followed by XOR reduction: the reduction amplifies the
+  // multiplier's glitches, so registering the product bits beats
+  // registers-at-inputs (Fig. 9's effect).
+  auto mod = netlist::multiply_reduce_module(5, 4);
+  stats::Rng rng(7);
+  auto in = sim::random_stream(10, 800, 0.5, rng);
+  auto base = evaluate_retimed(place_registers_at_cut(mod, 0), mod, in);
+  double best = base.power_total;
+  int depth = mod.netlist.depth();
+  for (int cut = 1; cut < depth; ++cut) {
+    auto ev = evaluate_retimed(place_registers_at_cut(mod, cut), mod, in);
+    ASSERT_TRUE(ev.functionally_correct);
+    best = std::min(best, ev.power_total);
+  }
+  EXPECT_LT(best, base.power_total);
+}
+
+TEST(Retiming, MonteiroHeuristicPicksGoodCut) {
+  auto mod = netlist::multiply_reduce_module(5, 4);
+  stats::Rng rng(9);
+  auto in = sim::random_stream(10, 800, 0.5, rng);
+  int pick = select_cut_monteiro(mod, in);
+  auto ev_pick = evaluate_retimed(place_registers_at_cut(mod, pick), mod, in);
+  ASSERT_TRUE(ev_pick.functionally_correct);
+  // Heuristic pick should be within 30% of the exhaustive best.
+  double best = 1e300;
+  int depth = mod.netlist.depth();
+  for (int cut = 0; cut < depth; ++cut) {
+    auto ev = evaluate_retimed(place_registers_at_cut(mod, cut), mod, in);
+    best = std::min(best, ev.power_total);
+  }
+  EXPECT_LT(ev_pick.power_total, best * 1.3);
+}
+
+}  // namespace

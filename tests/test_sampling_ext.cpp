@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compaction.hpp"
+#include "core/macromodel.hpp"
+#include "core/sampling_power.hpp"
+#include "sim/simulator.hpp"
+#include "sim/streams.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+
+TEST(MonteCarlo, ConvergesToCensusMean) {
+  auto mod = netlist::adder_module(8);
+  stats::Rng rng(3);
+  // Reference: census over a long random stream.
+  auto stream = sim::random_stream(16, 8000, 0.5, rng);
+  auto chr = characterize(mod, stream);
+  double ref = chr.mean_energy();
+
+  stats::Rng vg_rng(7);
+  auto res = monte_carlo_power(
+      mod, [&] { return vg_rng.uniform_bits(16); }, 0.03);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(std::abs(res.mean_energy - ref) / ref, 0.08);
+  // Convergence needs far fewer pairs than the census length.
+  EXPECT_LT(res.pairs, 4000u);
+}
+
+TEST(MonteCarlo, TighterEpsilonNeedsMorePairs) {
+  auto mod = netlist::multiplier_module(4);
+  stats::Rng r1(5), r2(5);
+  auto loose = monte_carlo_power(
+      mod, [&] { return r1.uniform_bits(8); }, 0.10);
+  auto tight = monte_carlo_power(
+      mod, [&] { return r2.uniform_bits(8); }, 0.02);
+  EXPECT_TRUE(loose.converged);
+  EXPECT_TRUE(tight.converged);
+  EXPECT_GT(tight.pairs, loose.pairs);
+}
+
+TEST(MonteCarlo, ReportsNonConvergenceAtCap) {
+  auto mod = netlist::adder_module(6);
+  stats::Rng rng(9);
+  auto res = monte_carlo_power(
+      mod, [&] { return rng.uniform_bits(12); }, 1e-6, 0.95, 30, 200);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.pairs, 200u);
+}
+
+TEST(Stratified, BeatsSimpleRandomOnDriftingTrace) {
+  // Phased workload: quiet first half, noisy second half. Stratification
+  // guarantees coverage of both phases.
+  auto mod = netlist::adder_module(8);
+  stats::Rng rng(3);
+  auto quiet = sim::correlated_stream(16, 3000, 0.95, rng);
+  auto noisy = sim::random_stream(16, 3000, 0.5, rng);
+  auto chr = characterize(mod, sim::concat_streams({quiet, noisy}));
+  InputOutputModel io;
+  io.fit(chr);
+  MacroFn fn = [&](const ModuleCharacterization& c, std::size_t t) {
+    return io.predict_cycle(c.in_activity[t], c.out_activity[t]);
+  };
+  auto census = census_estimate(chr, fn);
+  double err_srs = 0.0, err_str = 0.0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    stats::Rng r1(seed), r2(seed + 500);
+    auto srs = sampler_estimate(chr, fn, 60, 1, r1);
+    auto str = stratified_estimate(chr, fn, 12, 5, r2);
+    err_srs += std::abs(srs.mean_energy - census.mean_energy);
+    err_str += std::abs(str.mean_energy - census.mean_energy);
+  }
+  EXPECT_LT(err_str, err_srs);
+}
+
+TEST(AnalyticModel, BuildsWithoutSimulationAndPredicts) {
+  auto mod = netlist::adder_module(8);
+  AnalyticBitwiseModel am;
+  am.build(mod);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_GT(am.coefficient(i), 0.0);
+  stats::Rng rng(3);
+  auto stream = sim::random_stream(16, 3000, 0.5, rng);
+  auto chr = characterize(mod, stream);
+  std::vector<double> pred;
+  for (std::size_t t = 0; t < chr.transitions(); ++t)
+    pred.push_back(am.predict_cycle(chr.pin_toggle[t]));
+  auto err = evaluate_predictions(pred, chr.energy);
+  // Characterization-free: coarser than the fitted model, but in range.
+  EXPECT_LT(err.avg_power_error, 0.5);
+  // And strictly worse than (or equal to) the *fitted* bitwise model.
+  BitwiseModel fitted;
+  fitted.fit(chr);
+  std::vector<double> pred_fit;
+  for (std::size_t t = 0; t < chr.transitions(); ++t)
+    pred_fit.push_back(fitted.predict_cycle(chr.pin_toggle[t]));
+  auto err_fit = evaluate_predictions(pred_fit, chr.energy);
+  EXPECT_LE(err_fit.avg_power_error, err.avg_power_error + 0.02);
+}
+
+TEST(Compaction, MarkovPathPreservesFirstOrderStats) {
+  stats::Rng rng(5);
+  auto original = sim::correlated_stream(8, 20000, 0.9, rng);
+  auto compacted = compact_stream(original, 2000, 7);
+  ASSERT_EQ(compacted.words.size(), 2000u);
+  auto f = compaction_fidelity(original, compacted);
+  EXPECT_LT(f.signal_prob_error, 0.05);
+  EXPECT_LT(f.activity_error, 0.03);
+}
+
+TEST(Compaction, BitwisePathHandlesWideStreams) {
+  stats::Rng rng(7);
+  // 32-bit random words: alphabet far exceeds the dictionary cap.
+  auto original = sim::random_stream(32, 20000, 0.3, rng);
+  auto compacted = compact_stream(original, 1500, 9, 256);
+  ASSERT_EQ(compacted.words.size(), 1500u);
+  auto f = compaction_fidelity(original, compacted);
+  EXPECT_LT(f.signal_prob_error, 0.08);
+  EXPECT_LT(f.activity_error, 0.08);
+}
+
+TEST(Compaction, PowerOnCompactedStreamMatches) {
+  auto mod = netlist::alu_module(6);
+  stats::Rng rng(9);
+  auto original = sim::correlated_stream(mod.total_input_bits(), 20000,
+                                         0.85, rng);
+  auto compacted = compact_stream(original, 2000, 11);
+  auto chr_full = characterize(mod, original);
+  auto chr_cmp = characterize(mod, compacted);
+  double err = std::abs(chr_cmp.mean_energy() - chr_full.mean_energy()) /
+               chr_full.mean_energy();
+  EXPECT_LT(err, 0.10);  // 10x compaction, <10% error
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sampling_power.hpp"
+#include "sim/streams.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+
+struct CosimSetup {
+  netlist::Module mod = netlist::adder_module(8);
+  ModuleCharacterization train, eval;
+  InputOutputModel io;
+
+  explicit CosimSetup(double eval_hold = 0.0) {
+    stats::Rng rng(5);
+    auto train_in = sim::random_stream(16, 2000, 0.5, rng);
+    train = characterize(mod, train_in);
+    io.fit(train);
+    stats::VectorStream eval_in =
+        eval_hold > 0.0 ? sim::correlated_stream(16, 4000, eval_hold, rng)
+                        : sim::random_stream(16, 4000, 0.5, rng);
+    eval = characterize(mod, eval_in);
+  }
+
+  MacroFn model() const {
+    return [this](const ModuleCharacterization& c, std::size_t t) {
+      return io.predict_cycle(c.in_activity[t], c.out_activity[t]);
+    };
+  }
+};
+
+TEST(Census, MatchesGateLevelOnInDistributionData) {
+  CosimSetup s;
+  auto est = census_estimate(s.eval, s.model());
+  double ref = gate_level_mean(s.eval);
+  EXPECT_LT(std::abs(est.mean_energy - ref) / ref, 0.05);
+  EXPECT_EQ(est.macro_evals, s.eval.transitions());
+}
+
+TEST(Census, BiasedOnOutOfDistributionData) {
+  // Trained on white noise, evaluated on highly correlated data: the census
+  // of the biased model is off (the ~30% effect in the paper).
+  CosimSetup s(0.9);
+  auto est = census_estimate(s.eval, s.model());
+  double ref = gate_level_mean(s.eval);
+  EXPECT_GT(std::abs(est.mean_energy - ref) / ref, 0.08);
+}
+
+TEST(Sampler, ApproximatesCensusWithFarFewerEvals) {
+  CosimSetup s;
+  stats::Rng rng(9);
+  auto census = census_estimate(s.eval, s.model());
+  auto sampler = sampler_estimate(s.eval, s.model(), 40, 2, rng);
+  EXPECT_LT(sampler.macro_evals * 20, census.macro_evals);
+  double rel =
+      std::abs(sampler.mean_energy - census.mean_energy) / census.mean_energy;
+  EXPECT_LT(rel, 0.15);
+}
+
+TEST(Sampler, MoreSamplesReduceError) {
+  CosimSetup s;
+  auto census = census_estimate(s.eval, s.model());
+  double avg_small = 0.0, avg_big = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    stats::Rng r1(seed), r2(seed + 100);
+    auto small = sampler_estimate(s.eval, s.model(), 30, 1, r1);
+    auto big = sampler_estimate(s.eval, s.model(), 30, 12, r2);
+    avg_small +=
+        std::abs(small.mean_energy - census.mean_energy) / census.mean_energy;
+    avg_big +=
+        std::abs(big.mean_energy - census.mean_energy) / census.mean_energy;
+  }
+  EXPECT_LT(avg_big, avg_small + 1e-9);
+}
+
+TEST(Adaptive, RemovesModelBias) {
+  CosimSetup s(0.9);  // biased regime
+  stats::Rng rng(13);
+  auto census = census_estimate(s.eval, s.model());
+  auto adaptive = adaptive_estimate(s.eval, s.model(), 120, rng);
+  double ref = gate_level_mean(s.eval);
+  double census_err = std::abs(census.mean_energy - ref) / ref;
+  double adaptive_err = std::abs(adaptive.mean_energy - ref) / ref;
+  EXPECT_LT(adaptive_err, census_err);
+  EXPECT_LT(adaptive_err, 0.10);
+  EXPECT_EQ(adaptive.gate_cycle_sims, 120u);
+}
+
+TEST(Adaptive, UsesFewGateLevelCycles) {
+  CosimSetup s(0.9);
+  stats::Rng rng(17);
+  auto adaptive = adaptive_estimate(s.eval, s.model(), 100, rng);
+  EXPECT_LE(adaptive.gate_cycle_sims * 10,
+            s.eval.transitions());  // ground truth mostly untouched
+}
+
+}  // namespace

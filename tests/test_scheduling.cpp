@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "cdfg/generators.hpp"
+#include "core/scheduling_power.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+using cdfg::Cdfg;
+using cdfg::OpId;
+using cdfg::OpKind;
+
+TEST(OpEnergy, MultiplierQuadraticAdderLinear) {
+  OpEnergyModel m;
+  EXPECT_NEAR(m.of(OpKind::Add, 16) / m.of(OpKind::Add, 8), 2.0, 1e-12);
+  EXPECT_NEAR(m.of(OpKind::Mul, 16) / m.of(OpKind::Mul, 8), 4.0, 1e-12);
+}
+
+TEST(CdfgEnergy, ActivationProbScales) {
+  auto g = cdfg::fir_cdfg(4);
+  OpEnergyModel m;
+  double full = cdfg_energy(g, m);
+  std::vector<double> half(g.size(), 0.5);
+  EXPECT_NEAR(cdfg_energy(g, m, half), full / 2.0, 1e-9);
+}
+
+TEST(Monteiro, ManagesMuxInBranchingGraph) {
+  auto g = cdfg::branching_cdfg(2, 3, 7);
+  auto pm = monteiro_schedule(g, 4);
+  EXPECT_FALSE(pm.managed_muxes.empty());
+  // Some ops must have activation probability < 1.
+  int shut = 0;
+  for (double p : pm.activation_prob)
+    if (p < 1.0) ++shut;
+  EXPECT_GT(shut, 0);
+}
+
+TEST(Monteiro, SavesExpectedEnergy) {
+  auto g = cdfg::branching_cdfg(3, 4, 9);
+  OpEnergyModel m;
+  auto pm = monteiro_schedule(g, 6);
+  double e_pm = cdfg_energy(g, m, pm.activation_prob);
+  double e_base = cdfg_energy(g, m);
+  EXPECT_LT(e_pm, e_base);
+}
+
+TEST(Monteiro, RespectsLatencyBound) {
+  auto g = cdfg::branching_cdfg(3, 3, 11);
+  auto base = cdfg::asap(g);
+  int slack = 3;
+  auto pm = monteiro_schedule(g, slack);
+  EXPECT_LE(pm.schedule.length, base.length + slack);
+  // Added edges are honored: branch ops start after the control settles.
+  for (auto [from, to] : pm.added_edges)
+    EXPECT_GE(pm.schedule.start[to],
+              pm.schedule.start[from] + 1);
+}
+
+TEST(Monteiro, ZeroSlackManagesFewerMuxes) {
+  auto g = cdfg::branching_cdfg(3, 4, 13);
+  auto tight = monteiro_schedule(g, 0);
+  auto loose = monteiro_schedule(g, 8);
+  EXPECT_LE(tight.managed_muxes.size(), loose.managed_muxes.size());
+}
+
+TEST(Binding, RoundRobinRespectsLimits) {
+  auto g = cdfg::fir_cdfg(8);
+  std::map<OpKind, int> limits{{OpKind::Mul, 2}, {OpKind::Add, 2}};
+  auto s = cdfg::list_schedule(g, limits);
+  auto binding = bind_round_robin(g, s, limits);
+  for (OpId id = 0; id < g.size(); ++id) {
+    if (binding[id] < 0) continue;
+    EXPECT_LT(binding[id], 2);
+  }
+}
+
+TEST(ActivityDriven, ReducesFuInputSwitching) {
+  // Independent products over shared inputs, created interleaved: the
+  // affinity-driven scheduler should group same-operand products on the
+  // single multiplier and strictly cut its input switching.
+  auto g = cdfg::operand_sharing_cdfg(4, 4);
+  std::map<OpKind, int> limits{{OpKind::Mul, 1}, {OpKind::Add, 1}};
+  auto plain = cdfg::list_schedule(g, limits);
+  auto act = activity_driven_schedule(g, limits);
+
+  // Data: correlated walk on the inputs.
+  std::vector<std::vector<std::int64_t>> inputs;
+  stats::Rng rng(3);
+  std::size_t iters = 200;
+  int n_inputs = 0;
+  for (OpId i = 0; i < g.size(); ++i)
+    if (g.op(i).kind == OpKind::Input) ++n_inputs;
+  for (int i = 0; i < n_inputs; ++i) {
+    std::vector<std::int64_t> vs;
+    std::int64_t v = rng.uniform_int(0, 255);
+    for (std::size_t t = 0; t < iters; ++t) {
+      v = (v + rng.uniform_int(-3, 3)) & 0xFF;
+      vs.push_back(v);
+    }
+    inputs.push_back(vs);
+  }
+  auto tr = cdfg::simulate_cdfg(g, inputs);
+  auto b_plain = bind_round_robin(g, plain, limits);
+  auto b_act = bind_round_robin(g, act, limits);
+  double sw_plain = fu_input_switching(g, plain, b_plain, tr);
+  double sw_act = fu_input_switching(g, act, b_act, tr);
+  EXPECT_LT(sw_act, sw_plain);  // grouping shared operands must pay off
+  EXPECT_EQ(act.start.size(), g.size());
+  // And both schedules remain valid (all ops placed).
+  for (OpId id = 0; id < g.size(); ++id) EXPECT_GE(act.start[id], 0);
+}
+
+TEST(ActivityDriven, RespectsResourceLimits) {
+  auto g = cdfg::random_expr_tree(16, 0.5, 5);
+  std::map<OpKind, int> limits{{OpKind::Mul, 1}, {OpKind::Add, 1}};
+  auto s = activity_driven_schedule(g, limits);
+  // Count concurrent ops per kind per step.
+  cdfg::OpDelays d;
+  std::map<std::pair<OpKind, int>, int> busy;
+  for (OpId id = 0; id < g.size(); ++id) {
+    auto k = g.op(id).kind;
+    if (!Cdfg::is_compute(k)) continue;
+    for (int t = s.start[id]; t < s.start[id] + d.of(k); ++t)
+      ++busy[{k, t}];
+  }
+  for (auto& [key, cnt] : busy) EXPECT_LE(cnt, 1);
+}
+
+TEST(LoopFolding, SharesHiddenOperandsAcrossIterations) {
+  auto res = evaluate_loop_folding(8, 500, 8, 7);
+  EXPECT_GT(res.sw_unfolded, 0.0);
+  EXPECT_LT(res.sw_folded, res.sw_unfolded);
+  // With T=8 taps the data port is still 7/8 of the time when folded:
+  // expect a large reduction.
+  EXPECT_GT(res.saving(), 0.3);
+}
+
+TEST(LoopFolding, SavingGrowsWithTaps) {
+  double prev = -1.0;
+  for (int taps : {2, 4, 8, 16}) {
+    auto res = evaluate_loop_folding(taps, 400, 8, 9);
+    EXPECT_GE(res.saving(), prev - 0.05) << "taps " << taps;
+    prev = res.saving();
+  }
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/shutdown.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+
+std::vector<WorkloadEvent> make_workload(std::uint64_t seed,
+                                         std::size_t n = 3000) {
+  stats::Rng rng(seed);
+  return session_workload(n, rng);
+}
+
+TEST(Workload, HasHeavyIdleTail) {
+  auto w = make_workload(1);
+  double max_idle = 0.0, total_idle = 0.0, total_active = 0.0;
+  for (auto& e : w) {
+    max_idle = std::max(max_idle, e.idle);
+    total_idle += e.idle;
+    total_active += e.active;
+  }
+  EXPECT_GT(max_idle, 1000.0);
+  EXPECT_GT(total_idle, total_active);  // mostly idle, like an X server
+}
+
+TEST(Breakeven, MatchesEnergyAlgebra) {
+  DeviceParams dev;
+  double t = breakeven_idle(dev);
+  // At exactly t, sleeping and staying idle cost the same.
+  EXPECT_NEAR(dev.p_idle * t, dev.p_sleep * t + dev.e_restart, 1e-9);
+}
+
+TEST(Policies, AlwaysOnHasNoDelayAndFullPower) {
+  auto w = make_workload(2);
+  DeviceParams dev;
+  auto p = always_on_policy();
+  auto r = simulate_policy(w, dev, *p);
+  EXPECT_EQ(r.delay_penalty, 0.0);
+  EXPECT_EQ(r.shutdowns, 0u);
+  EXPECT_NEAR(r.avg_power(), dev.p_active, 0.3);  // p_idle ~ p_active here
+}
+
+TEST(Policies, OracleBeatsEveryone) {
+  auto w = make_workload(3);
+  DeviceParams dev;
+  auto oracle = oracle_policy(w, dev);
+  auto r_oracle = simulate_policy(w, dev, *oracle);
+  for (auto& mk : {static_timeout_policy(2 * breakeven_idle(dev)),
+                   regression_policy(dev), threshold_policy(dev),
+                   hwang_wu_policy(dev)}) {
+    auto r = simulate_policy(w, dev, *mk);
+    EXPECT_LE(r_oracle.energy, r.energy * 1.001) << mk->name();
+  }
+  // The oracle never pays visible wake-up delay (perfect prewakeup).
+  EXPECT_NEAR(r_oracle.delay_penalty, 0.0, 1e-9);
+}
+
+TEST(Policies, PredictiveBeatsStaticTimeout) {
+  auto w = make_workload(4);
+  DeviceParams dev;
+  auto stat = static_timeout_policy(2.0 * breakeven_idle(dev));
+  auto hw = hwang_wu_policy(dev);
+  auto r_stat = simulate_policy(w, dev, *stat);
+  auto r_hw = simulate_policy(w, dev, *hw);
+  EXPECT_LT(r_hw.avg_power(), r_stat.avg_power());
+}
+
+TEST(Policies, ShutdownGivesLargeImprovement) {
+  // The paper reports up to 38x power improvement from predictive shutdown
+  // on event-driven workloads; our heavy-tail workload should show >5x.
+  auto w = make_workload(5);
+  DeviceParams dev;
+  auto on = always_on_policy();
+  auto hw = hwang_wu_policy(dev);
+  auto r_on = simulate_policy(w, dev, *on);
+  auto r_hw = simulate_policy(w, dev, *hw);
+  EXPECT_GT(r_on.avg_power() / r_hw.avg_power(), 5.0);
+}
+
+TEST(Policies, PerformanceLossIsBounded) {
+  auto w = make_workload(6);
+  DeviceParams dev;
+  double busy = 0.0;
+  for (auto& e : w) busy += e.active;
+  auto hw = hwang_wu_policy(dev);
+  auto r = simulate_policy(w, dev, *hw);
+  // Paper: ~3% performance loss for predictive shutdown.
+  EXPECT_LT(r.perf_loss(busy), 0.15);
+}
+
+TEST(Policies, StaticTimeoutTradeoff) {
+  // Smaller T sleeps more (less energy, more delay); larger T the reverse.
+  auto w = make_workload(7);
+  DeviceParams dev;
+  auto small = static_timeout_policy(0.5 * breakeven_idle(dev));
+  auto large = static_timeout_policy(20.0 * breakeven_idle(dev));
+  auto r_small = simulate_policy(w, dev, *small);
+  auto r_large = simulate_policy(w, dev, *large);
+  EXPECT_LT(r_small.energy, r_large.energy);
+  EXPECT_GE(r_small.shutdowns, r_large.shutdowns);
+}
+
+TEST(MaxImprovement, MatchesFormula) {
+  std::vector<WorkloadEvent> w{{10.0, 90.0}, {10.0, 90.0}};
+  EXPECT_NEAR(max_power_improvement(w), 10.0, 1e-12);
+}
+
+TEST(Simulate, EnergyConservation) {
+  // All policies on the same workload keep elapsed >= busy+idle time.
+  auto w = make_workload(8, 500);
+  DeviceParams dev;
+  double base_time = 0.0;
+  for (auto& e : w) base_time += e.active + e.idle;
+  for (auto& mk : {always_on_policy(), static_timeout_policy(5.0),
+                   hwang_wu_policy(dev)}) {
+    auto r = simulate_policy(w, dev, *mk);
+    EXPECT_GE(r.elapsed + 1e-9, base_time) << mk->name();
+    EXPECT_GT(r.energy, 0.0);
+  }
+}
+
+}  // namespace

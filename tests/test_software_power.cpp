@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/software_power.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::core;
+using isa::Opcode;
+
+TEST(TiwariModel, EnergyDecomposes) {
+  auto model = InstructionEnergyModel::typical();
+  isa::Machine m;
+  auto st = m.run(isa::random_arith(50, 20, 0.3, 3), 100000);
+  double e = model.energy(st);
+  EXPECT_GT(e, 0.0);
+  // Base component alone is a lower bound.
+  double base_only = 0.0;
+  for (int i = 0; i < isa::kNumOpcodes; ++i)
+    base_only += model.base[static_cast<std::size_t>(i)] *
+                 static_cast<double>(st.per_opcode[static_cast<std::size_t>(i)]);
+  EXPECT_GT(e, base_only);
+}
+
+TEST(TiwariModel, MulHeavyCodeCostsMore) {
+  auto model = InstructionEnergyModel::typical();
+  isa::Machine m1, m2;
+  auto st_mul = m1.run(isa::random_arith(60, 50, 0.9, 5), 1000000);
+  auto st_alu = m2.run(isa::random_arith(60, 50, 0.0, 5), 1000000);
+  EXPECT_GT(model.epi(st_mul), model.epi(st_alu));
+}
+
+TEST(TiwariModel, CacheMissesAddEnergy) {
+  auto model = InstructionEnergyModel::typical();
+  isa::MachineConfig cfg;
+  cfg.dcache_lines = 8;
+  isa::Machine m1(cfg), m2(cfg);
+  auto st_rnd = m1.run(isa::random_loads(4096, 2000, 1), 1000000);
+  auto st_seq = m2.run(isa::array_sum(1, 2000), 1000000);
+  EXPECT_GT(model.epi(st_rnd), model.epi(st_seq));
+}
+
+TEST(Profile, MixSumsToOne) {
+  isa::Machine m;
+  auto st = m.run(isa::dsp_kernel(6, 50), 1000000);
+  auto prof = CharacteristicProfile::from(st);
+  double sum = 0.0;
+  for (double p : prof.mix) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(prof.mix[static_cast<std::size_t>(Opcode::Mul)], 0.1);
+}
+
+TEST(ProfileSynthesis, MatchesMixAndShortensTrace) {
+  isa::MachineConfig cfg;
+  isa::Machine m(cfg);
+  auto st_orig = m.run(isa::dsp_kernel(8, 2000), 2000000);
+  auto prof = CharacteristicProfile::from(st_orig);
+
+  isa::Machine m2(cfg);
+  auto prog = synthesize_program(prof, st_orig.instructions / 100, cfg, 3);
+  auto st_syn = m2.run(prog, st_orig.instructions / 50);
+  ASSERT_GT(st_syn.instructions, 0u);
+  EXPECT_LT(st_syn.instructions * 20, st_orig.instructions);
+
+  // Energy-per-instruction of the synthetic program tracks the original.
+  auto model = InstructionEnergyModel::typical();
+  double err = std::abs(model.epi(st_syn) - model.epi(st_orig)) /
+               model.epi(st_orig);
+  EXPECT_LT(err, 0.25);
+
+  // Instruction-mix similarity on the big classes.
+  auto prof_syn = CharacteristicProfile::from(st_syn);
+  for (auto op : {Opcode::Mul, Opcode::Ld, Opcode::Add}) {
+    auto i = static_cast<std::size_t>(op);
+    EXPECT_NEAR(prof_syn.mix[i], prof.mix[i], 0.12)
+        << isa::opcode_name(op);
+  }
+}
+
+TEST(ColdScheduling, ReducesStaticStateCost) {
+  auto model = InstructionEnergyModel::typical();
+  // Alternating mul/add with no dependences: cold scheduling should group
+  // same-class instructions.
+  isa::Program p;
+  for (int i = 0; i < 8; ++i) {
+    p.code.push_back(isa::make_r(Opcode::Mul, 3 + (i % 2), 5, 6));
+    p.code.push_back(isa::make_r(Opcode::Add, 7 + (i % 2), 9, 10));
+  }
+  p.code.push_back(isa::make_r(Opcode::Halt, 0, 0, 0));
+  auto cold = cold_schedule(p, model);
+  EXPECT_EQ(cold.code.size(), p.code.size());
+  EXPECT_LT(static_state_cost(cold, model), static_state_cost(p, model));
+}
+
+TEST(ColdScheduling, PreservesSemantics) {
+  // A dependent chain must not be reordered: r3 = r1+r2; r4 = r3*r3; ...
+  isa::Program p;
+  p.code = {
+      isa::make_i(Opcode::Li, 1, 0, 3),
+      isa::make_i(Opcode::Li, 2, 0, 4),
+      isa::make_r(Opcode::Add, 3, 1, 2),
+      isa::make_r(Opcode::Mul, 4, 3, 3),
+      isa::make_r(Opcode::Sub, 5, 4, 1),
+      isa::make_r(Opcode::Halt, 0, 0, 0),
+  };
+  auto model = InstructionEnergyModel::typical();
+  auto cold = cold_schedule(p, model);
+  isa::Machine m1, m2;
+  m1.run(p, 100);
+  m2.run(cold, 100);
+  EXPECT_EQ(m1.reg(5), m2.reg(5));
+  EXPECT_EQ(m1.reg(5), 49 - 3);
+}
+
+TEST(ColdScheduling, LoopProgramStaysCorrect) {
+  auto model = InstructionEnergyModel::typical();
+  auto p = isa::fig2_register_temp(20);
+  auto cold = cold_schedule(p, model);
+  isa::Machine m1, m2;
+  for (int i = 0; i < 20; ++i) {
+    m1.set_mem(static_cast<std::size_t>(i), i * 2);
+    m2.set_mem(static_cast<std::size_t>(i), i * 2);
+  }
+  m1.run(p, 100000);
+  m2.run(cold, 100000);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(m1.mem(static_cast<std::size_t>(40 + i)),
+              m2.mem(static_cast<std::size_t>(40 + i)));
+}
+
+TEST(Fig2Transform, SavesEnergy) {
+  auto model = InstructionEnergyModel::typical();
+  isa::Machine m1, m2;
+  auto st_mem = m1.run(isa::fig2_with_memory_temp(200), 1000000);
+  auto st_reg = m2.run(isa::fig2_register_temp(200), 1000000);
+  EXPECT_LT(model.energy(st_reg), model.energy(st_mem));
+  EXPECT_LT(st_reg.cycles, st_mem.cycles);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fsm/benchmarks.hpp"
+#include "fsm/encoding.hpp"
+#include "fsm/symbolic.hpp"
+
+namespace {
+
+using namespace hlp;
+using namespace hlp::fsm;
+
+SynthesizedFsm synth_binary(const Stg& stg) {
+  auto ma = analyze_markov(stg);
+  auto codes = encode_states(stg, EncodingStyle::Binary, &ma);
+  return synthesize_fsm(
+      stg, codes, encoding_bits(EncodingStyle::Binary, stg.num_states()));
+}
+
+/// Explicit reachable-state set for cross-checking.
+std::set<StateId> explicit_reachable(const Stg& stg) {
+  std::set<StateId> seen{0};
+  std::vector<StateId> stack{0};
+  while (!stack.empty()) {
+    StateId s = stack.back();
+    stack.pop_back();
+    for (std::uint64_t a = 0; a < stg.n_symbols(); ++a) {
+      StateId t = stg.next(s, a);
+      if (seen.insert(t).second) stack.push_back(t);
+    }
+  }
+  return seen;
+}
+
+TEST(Symbolic, CounterReachesAllCodes) {
+  auto stg = counter_fsm(4);
+  auto sf = synth_binary(stg);
+  bdd::Manager mgr;
+  auto sym = build_symbolic(mgr, sf);
+  auto res = symbolic_reachability(sym);
+  EXPECT_EQ(res.reached, bdd::kTrue);  // every 4-bit code is a state
+  EXPECT_NEAR(res.count, 16.0, 1e-9);
+  // Sequential depth of a 16-cycle counter: 16 image steps to close.
+  EXPECT_GE(res.iterations, 16);
+}
+
+TEST(Symbolic, MatchesExplicitReachability) {
+  for (std::uint64_t seed : {3u, 7u, 21u}) {
+    auto stg = random_fsm(11, 2, 2, seed);  // 11 states in 4 bits
+    auto sf = synth_binary(stg);
+    bdd::Manager mgr;
+    auto sym = build_symbolic(mgr, sf);
+    auto res = symbolic_reachability(sym);
+    auto expl = explicit_reachable(stg);
+    EXPECT_NEAR(res.count, static_cast<double>(expl.size()), 1e-9)
+        << "seed " << seed;
+    for (std::size_t s = 0; s < stg.num_states(); ++s) {
+      bool expect = expl.count(static_cast<StateId>(s)) > 0;
+      EXPECT_EQ(code_reachable(sym, res.reached, sf.codes[s]), expect)
+          << "seed " << seed << " state " << s;
+    }
+    // Codes outside the state set must be unreachable.
+    for (std::uint64_t c = stg.num_states(); c < 16; ++c)
+      EXPECT_FALSE(code_reachable(sym, res.reached, c)) << "code " << c;
+  }
+}
+
+TEST(Symbolic, ControllersUseOnlyTheirCodes) {
+  for (auto& [name, stg] : controller_benchmarks()) {
+    auto sf = synth_binary(stg);
+    bdd::Manager mgr;
+    auto sym = build_symbolic(mgr, sf);
+    auto res = symbolic_reachability(sym);
+    EXPECT_NEAR(res.count, static_cast<double>(explicit_reachable(stg).size()),
+                1e-9)
+        << name;
+  }
+}
+
+TEST(Symbolic, IterationCountIsSequentialDepthPlusClosure) {
+  // protocol_fsm(6): idle -> b0..b5; the frontier grows one state per
+  // image (sequential depth 6), and the 7th image detects closure.
+  auto stg = protocol_fsm(6);
+  auto sf = synth_binary(stg);
+  bdd::Manager mgr;
+  auto sym = build_symbolic(mgr, sf);
+  auto res = symbolic_reachability(sym);
+  EXPECT_EQ(res.iterations, 7);
+}
+
+}  // namespace
