@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_behavioral.dir/bench_behavioral.cpp.o"
+  "CMakeFiles/bench_behavioral.dir/bench_behavioral.cpp.o.d"
+  "bench_behavioral"
+  "bench_behavioral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_behavioral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

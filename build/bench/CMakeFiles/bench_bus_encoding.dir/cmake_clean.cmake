@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bus_encoding.dir/bench_bus_encoding.cpp.o"
+  "CMakeFiles/bench_bus_encoding.dir/bench_bus_encoding.cpp.o.d"
+  "bench_bus_encoding"
+  "bench_bus_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bus_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

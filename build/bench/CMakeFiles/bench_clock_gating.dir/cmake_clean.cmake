@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clock_gating.dir/bench_clock_gating.cpp.o"
+  "CMakeFiles/bench_clock_gating.dir/bench_clock_gating.cpp.o.d"
+  "bench_clock_gating"
+  "bench_clock_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clock_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_entropy.dir/bench_entropy.cpp.o"
+  "CMakeFiles/bench_entropy.dir/bench_entropy.cpp.o.d"
+  "bench_entropy"
+  "bench_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fsm_encoding.dir/bench_fsm_encoding.cpp.o"
+  "CMakeFiles/bench_fsm_encoding.dir/bench_fsm_encoding.cpp.o.d"
+  "bench_fsm_encoding"
+  "bench_fsm_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fsm_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guarded_eval.dir/bench_guarded_eval.cpp.o"
+  "CMakeFiles/bench_guarded_eval.dir/bench_guarded_eval.cpp.o.d"
+  "bench_guarded_eval"
+  "bench_guarded_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guarded_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_macromodel.dir/bench_macromodel.cpp.o"
+  "CMakeFiles/bench_macromodel.dir/bench_macromodel.cpp.o.d"
+  "bench_macromodel"
+  "bench_macromodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_macromodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory.dir/bench_memory.cpp.o"
+  "CMakeFiles/bench_memory.dir/bench_memory.cpp.o.d"
+  "bench_memory"
+  "bench_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

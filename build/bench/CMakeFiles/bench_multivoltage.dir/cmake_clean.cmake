@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multivoltage.dir/bench_multivoltage.cpp.o"
+  "CMakeFiles/bench_multivoltage.dir/bench_multivoltage.cpp.o.d"
+  "bench_multivoltage"
+  "bench_multivoltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multivoltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

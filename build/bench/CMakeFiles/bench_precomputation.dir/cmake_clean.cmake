@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precomputation.dir/bench_precomputation.cpp.o"
+  "CMakeFiles/bench_precomputation.dir/bench_precomputation.cpp.o.d"
+  "bench_precomputation"
+  "bench_precomputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precomputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

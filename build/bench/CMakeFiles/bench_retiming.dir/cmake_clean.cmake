@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retiming.dir/bench_retiming.cpp.o"
+  "CMakeFiles/bench_retiming.dir/bench_retiming.cpp.o.d"
+  "bench_retiming"
+  "bench_retiming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retiming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

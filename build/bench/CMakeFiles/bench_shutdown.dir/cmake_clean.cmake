@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shutdown.dir/bench_shutdown.cpp.o"
+  "CMakeFiles/bench_shutdown.dir/bench_shutdown.cpp.o.d"
+  "bench_shutdown"
+  "bench_shutdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shutdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_software_power.dir/bench_software_power.cpp.o"
+  "CMakeFiles/bench_software_power.dir/bench_software_power.cpp.o.d"
+  "bench_software_power"
+  "bench_software_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_software_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fir.dir/bench_table1_fir.cpp.o"
+  "CMakeFiles/bench_table1_fir.dir/bench_table1_fir.cpp.o.d"
+  "bench_table1_fir"
+  "bench_table1_fir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

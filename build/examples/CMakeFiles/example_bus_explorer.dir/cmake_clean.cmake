@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bus_explorer.dir/bus_explorer.cpp.o"
+  "CMakeFiles/example_bus_explorer.dir/bus_explorer.cpp.o.d"
+  "example_bus_explorer"
+  "example_bus_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bus_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fir_lowpower_flow.dir/fir_lowpower_flow.cpp.o"
+  "CMakeFiles/example_fir_lowpower_flow.dir/fir_lowpower_flow.cpp.o.d"
+  "example_fir_lowpower_flow"
+  "example_fir_lowpower_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fir_lowpower_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fsm_flow.dir/fsm_flow.cpp.o"
+  "CMakeFiles/example_fsm_flow.dir/fsm_flow.cpp.o.d"
+  "example_fsm_flow"
+  "example_fsm_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fsm_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

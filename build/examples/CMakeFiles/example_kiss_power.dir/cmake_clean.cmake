@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kiss_power.dir/kiss_power.cpp.o"
+  "CMakeFiles/example_kiss_power.dir/kiss_power.cpp.o.d"
+  "example_kiss_power"
+  "example_kiss_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kiss_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

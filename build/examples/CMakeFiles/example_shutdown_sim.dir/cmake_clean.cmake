@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_shutdown_sim.dir/shutdown_sim.cpp.o"
+  "CMakeFiles/example_shutdown_sim.dir/shutdown_sim.cpp.o.d"
+  "example_shutdown_sim"
+  "example_shutdown_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_shutdown_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

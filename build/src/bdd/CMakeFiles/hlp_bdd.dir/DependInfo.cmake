@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/bdd.cpp" "src/bdd/CMakeFiles/hlp_bdd.dir/bdd.cpp.o" "gcc" "src/bdd/CMakeFiles/hlp_bdd.dir/bdd.cpp.o.d"
+  "/root/repo/src/bdd/bdd_to_netlist.cpp" "src/bdd/CMakeFiles/hlp_bdd.dir/bdd_to_netlist.cpp.o" "gcc" "src/bdd/CMakeFiles/hlp_bdd.dir/bdd_to_netlist.cpp.o.d"
+  "/root/repo/src/bdd/netlist_bdd.cpp" "src/bdd/CMakeFiles/hlp_bdd.dir/netlist_bdd.cpp.o" "gcc" "src/bdd/CMakeFiles/hlp_bdd.dir/netlist_bdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/hlp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hlp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlp_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/hlp_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/hlp_bdd.dir/bdd_to_netlist.cpp.o"
+  "CMakeFiles/hlp_bdd.dir/bdd_to_netlist.cpp.o.d"
+  "CMakeFiles/hlp_bdd.dir/netlist_bdd.cpp.o"
+  "CMakeFiles/hlp_bdd.dir/netlist_bdd.cpp.o.d"
+  "libhlp_bdd.a"
+  "libhlp_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlp_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

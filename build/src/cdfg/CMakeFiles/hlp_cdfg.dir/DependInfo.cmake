@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdfg/cdfg.cpp" "src/cdfg/CMakeFiles/hlp_cdfg.dir/cdfg.cpp.o" "gcc" "src/cdfg/CMakeFiles/hlp_cdfg.dir/cdfg.cpp.o.d"
+  "/root/repo/src/cdfg/datasim.cpp" "src/cdfg/CMakeFiles/hlp_cdfg.dir/datasim.cpp.o" "gcc" "src/cdfg/CMakeFiles/hlp_cdfg.dir/datasim.cpp.o.d"
+  "/root/repo/src/cdfg/generators.cpp" "src/cdfg/CMakeFiles/hlp_cdfg.dir/generators.cpp.o" "gcc" "src/cdfg/CMakeFiles/hlp_cdfg.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/hlp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

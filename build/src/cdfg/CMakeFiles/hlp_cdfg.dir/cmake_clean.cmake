@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlp_cdfg.dir/cdfg.cpp.o"
+  "CMakeFiles/hlp_cdfg.dir/cdfg.cpp.o.d"
+  "CMakeFiles/hlp_cdfg.dir/datasim.cpp.o"
+  "CMakeFiles/hlp_cdfg.dir/datasim.cpp.o.d"
+  "CMakeFiles/hlp_cdfg.dir/generators.cpp.o"
+  "CMakeFiles/hlp_cdfg.dir/generators.cpp.o.d"
+  "libhlp_cdfg.a"
+  "libhlp_cdfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlp_cdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cpp" "src/core/CMakeFiles/hlp_core.dir/allocation.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/allocation.cpp.o.d"
+  "/root/repo/src/core/behavioral_transform.cpp" "src/core/CMakeFiles/hlp_core.dir/behavioral_transform.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/behavioral_transform.cpp.o.d"
+  "/root/repo/src/core/bus_codec.cpp" "src/core/CMakeFiles/hlp_core.dir/bus_codec.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/bus_codec.cpp.o.d"
+  "/root/repo/src/core/bus_encoding.cpp" "src/core/CMakeFiles/hlp_core.dir/bus_encoding.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/bus_encoding.cpp.o.d"
+  "/root/repo/src/core/clock_gating.cpp" "src/core/CMakeFiles/hlp_core.dir/clock_gating.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/clock_gating.cpp.o.d"
+  "/root/repo/src/core/compaction.cpp" "src/core/CMakeFiles/hlp_core.dir/compaction.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/compaction.cpp.o.d"
+  "/root/repo/src/core/complexity_model.cpp" "src/core/CMakeFiles/hlp_core.dir/complexity_model.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/complexity_model.cpp.o.d"
+  "/root/repo/src/core/control_respec.cpp" "src/core/CMakeFiles/hlp_core.dir/control_respec.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/control_respec.cpp.o.d"
+  "/root/repo/src/core/entropy_model.cpp" "src/core/CMakeFiles/hlp_core.dir/entropy_model.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/entropy_model.cpp.o.d"
+  "/root/repo/src/core/fsm_encoding_power.cpp" "src/core/CMakeFiles/hlp_core.dir/fsm_encoding_power.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/fsm_encoding_power.cpp.o.d"
+  "/root/repo/src/core/guarded_eval.cpp" "src/core/CMakeFiles/hlp_core.dir/guarded_eval.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/guarded_eval.cpp.o.d"
+  "/root/repo/src/core/macromodel.cpp" "src/core/CMakeFiles/hlp_core.dir/macromodel.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/macromodel.cpp.o.d"
+  "/root/repo/src/core/memory_hierarchy.cpp" "src/core/CMakeFiles/hlp_core.dir/memory_hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/memory_hierarchy.cpp.o.d"
+  "/root/repo/src/core/memory_model.cpp" "src/core/CMakeFiles/hlp_core.dir/memory_model.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/memory_model.cpp.o.d"
+  "/root/repo/src/core/multivoltage.cpp" "src/core/CMakeFiles/hlp_core.dir/multivoltage.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/multivoltage.cpp.o.d"
+  "/root/repo/src/core/precomputation.cpp" "src/core/CMakeFiles/hlp_core.dir/precomputation.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/precomputation.cpp.o.d"
+  "/root/repo/src/core/retiming_power.cpp" "src/core/CMakeFiles/hlp_core.dir/retiming_power.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/retiming_power.cpp.o.d"
+  "/root/repo/src/core/sampling_power.cpp" "src/core/CMakeFiles/hlp_core.dir/sampling_power.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/sampling_power.cpp.o.d"
+  "/root/repo/src/core/scheduling_power.cpp" "src/core/CMakeFiles/hlp_core.dir/scheduling_power.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/scheduling_power.cpp.o.d"
+  "/root/repo/src/core/shutdown.cpp" "src/core/CMakeFiles/hlp_core.dir/shutdown.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/shutdown.cpp.o.d"
+  "/root/repo/src/core/software_power.cpp" "src/core/CMakeFiles/hlp_core.dir/software_power.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/software_power.cpp.o.d"
+  "/root/repo/src/core/two_level.cpp" "src/core/CMakeFiles/hlp_core.dir/two_level.cpp.o" "gcc" "src/core/CMakeFiles/hlp_core.dir/two_level.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/hlp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hlp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/hlp_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/hlp_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdfg/CMakeFiles/hlp_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hlp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hlp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

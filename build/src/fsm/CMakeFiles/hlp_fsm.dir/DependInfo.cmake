@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsm/benchmarks.cpp" "src/fsm/CMakeFiles/hlp_fsm.dir/benchmarks.cpp.o" "gcc" "src/fsm/CMakeFiles/hlp_fsm.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/fsm/decompose.cpp" "src/fsm/CMakeFiles/hlp_fsm.dir/decompose.cpp.o" "gcc" "src/fsm/CMakeFiles/hlp_fsm.dir/decompose.cpp.o.d"
+  "/root/repo/src/fsm/encoding.cpp" "src/fsm/CMakeFiles/hlp_fsm.dir/encoding.cpp.o" "gcc" "src/fsm/CMakeFiles/hlp_fsm.dir/encoding.cpp.o.d"
+  "/root/repo/src/fsm/kiss.cpp" "src/fsm/CMakeFiles/hlp_fsm.dir/kiss.cpp.o" "gcc" "src/fsm/CMakeFiles/hlp_fsm.dir/kiss.cpp.o.d"
+  "/root/repo/src/fsm/markov.cpp" "src/fsm/CMakeFiles/hlp_fsm.dir/markov.cpp.o" "gcc" "src/fsm/CMakeFiles/hlp_fsm.dir/markov.cpp.o.d"
+  "/root/repo/src/fsm/minimize.cpp" "src/fsm/CMakeFiles/hlp_fsm.dir/minimize.cpp.o" "gcc" "src/fsm/CMakeFiles/hlp_fsm.dir/minimize.cpp.o.d"
+  "/root/repo/src/fsm/stg.cpp" "src/fsm/CMakeFiles/hlp_fsm.dir/stg.cpp.o" "gcc" "src/fsm/CMakeFiles/hlp_fsm.dir/stg.cpp.o.d"
+  "/root/repo/src/fsm/symbolic.cpp" "src/fsm/CMakeFiles/hlp_fsm.dir/symbolic.cpp.o" "gcc" "src/fsm/CMakeFiles/hlp_fsm.dir/symbolic.cpp.o.d"
+  "/root/repo/src/fsm/synth.cpp" "src/fsm/CMakeFiles/hlp_fsm.dir/synth.cpp.o" "gcc" "src/fsm/CMakeFiles/hlp_fsm.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/hlp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hlp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hlp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

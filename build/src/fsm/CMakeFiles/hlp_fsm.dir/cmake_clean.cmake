@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlp_fsm.dir/benchmarks.cpp.o"
+  "CMakeFiles/hlp_fsm.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/hlp_fsm.dir/decompose.cpp.o"
+  "CMakeFiles/hlp_fsm.dir/decompose.cpp.o.d"
+  "CMakeFiles/hlp_fsm.dir/encoding.cpp.o"
+  "CMakeFiles/hlp_fsm.dir/encoding.cpp.o.d"
+  "CMakeFiles/hlp_fsm.dir/kiss.cpp.o"
+  "CMakeFiles/hlp_fsm.dir/kiss.cpp.o.d"
+  "CMakeFiles/hlp_fsm.dir/markov.cpp.o"
+  "CMakeFiles/hlp_fsm.dir/markov.cpp.o.d"
+  "CMakeFiles/hlp_fsm.dir/minimize.cpp.o"
+  "CMakeFiles/hlp_fsm.dir/minimize.cpp.o.d"
+  "CMakeFiles/hlp_fsm.dir/stg.cpp.o"
+  "CMakeFiles/hlp_fsm.dir/stg.cpp.o.d"
+  "CMakeFiles/hlp_fsm.dir/symbolic.cpp.o"
+  "CMakeFiles/hlp_fsm.dir/symbolic.cpp.o.d"
+  "CMakeFiles/hlp_fsm.dir/synth.cpp.o"
+  "CMakeFiles/hlp_fsm.dir/synth.cpp.o.d"
+  "libhlp_fsm.a"
+  "libhlp_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlp_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

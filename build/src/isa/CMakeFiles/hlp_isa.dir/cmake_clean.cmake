@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlp_isa.dir/isa.cpp.o"
+  "CMakeFiles/hlp_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/hlp_isa.dir/programs.cpp.o"
+  "CMakeFiles/hlp_isa.dir/programs.cpp.o.d"
+  "libhlp_isa.a"
+  "libhlp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

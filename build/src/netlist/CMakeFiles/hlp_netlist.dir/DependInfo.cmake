@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/copy.cpp" "src/netlist/CMakeFiles/hlp_netlist.dir/copy.cpp.o" "gcc" "src/netlist/CMakeFiles/hlp_netlist.dir/copy.cpp.o.d"
+  "/root/repo/src/netlist/generators.cpp" "src/netlist/CMakeFiles/hlp_netlist.dir/generators.cpp.o" "gcc" "src/netlist/CMakeFiles/hlp_netlist.dir/generators.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/hlp_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/hlp_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/hlp_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/hlp_netlist.dir/verilog.cpp.o.d"
+  "/root/repo/src/netlist/words.cpp" "src/netlist/CMakeFiles/hlp_netlist.dir/words.cpp.o" "gcc" "src/netlist/CMakeFiles/hlp_netlist.dir/words.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/hlp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

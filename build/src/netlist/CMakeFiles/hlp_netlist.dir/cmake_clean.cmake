@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlp_netlist.dir/copy.cpp.o"
+  "CMakeFiles/hlp_netlist.dir/copy.cpp.o.d"
+  "CMakeFiles/hlp_netlist.dir/generators.cpp.o"
+  "CMakeFiles/hlp_netlist.dir/generators.cpp.o.d"
+  "CMakeFiles/hlp_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/hlp_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/hlp_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/hlp_netlist.dir/verilog.cpp.o.d"
+  "CMakeFiles/hlp_netlist.dir/words.cpp.o"
+  "CMakeFiles/hlp_netlist.dir/words.cpp.o.d"
+  "libhlp_netlist.a"
+  "libhlp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhlp_netlist.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/glitch_sim.cpp" "src/sim/CMakeFiles/hlp_sim.dir/glitch_sim.cpp.o" "gcc" "src/sim/CMakeFiles/hlp_sim.dir/glitch_sim.cpp.o.d"
+  "/root/repo/src/sim/power.cpp" "src/sim/CMakeFiles/hlp_sim.dir/power.cpp.o" "gcc" "src/sim/CMakeFiles/hlp_sim.dir/power.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/hlp_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/hlp_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/streams.cpp" "src/sim/CMakeFiles/hlp_sim.dir/streams.cpp.o" "gcc" "src/sim/CMakeFiles/hlp_sim.dir/streams.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/hlp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hlp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlp_sim.dir/glitch_sim.cpp.o"
+  "CMakeFiles/hlp_sim.dir/glitch_sim.cpp.o.d"
+  "CMakeFiles/hlp_sim.dir/power.cpp.o"
+  "CMakeFiles/hlp_sim.dir/power.cpp.o.d"
+  "CMakeFiles/hlp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hlp_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hlp_sim.dir/streams.cpp.o"
+  "CMakeFiles/hlp_sim.dir/streams.cpp.o.d"
+  "libhlp_sim.a"
+  "libhlp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/hlp_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/hlp_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/entropy.cpp" "src/stats/CMakeFiles/hlp_stats.dir/entropy.cpp.o" "gcc" "src/stats/CMakeFiles/hlp_stats.dir/entropy.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/hlp_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/hlp_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/sampling.cpp" "src/stats/CMakeFiles/hlp_stats.dir/sampling.cpp.o" "gcc" "src/stats/CMakeFiles/hlp_stats.dir/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

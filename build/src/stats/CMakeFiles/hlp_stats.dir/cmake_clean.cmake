@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlp_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/hlp_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/hlp_stats.dir/entropy.cpp.o"
+  "CMakeFiles/hlp_stats.dir/entropy.cpp.o.d"
+  "CMakeFiles/hlp_stats.dir/regression.cpp.o"
+  "CMakeFiles/hlp_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/hlp_stats.dir/sampling.cpp.o"
+  "CMakeFiles/hlp_stats.dir/sampling.cpp.o.d"
+  "libhlp_stats.a"
+  "libhlp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocation.cpp" "tests/CMakeFiles/hlp_tests.dir/test_allocation.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_allocation.cpp.o.d"
+  "/root/repo/tests/test_bdd.cpp" "tests/CMakeFiles/hlp_tests.dir/test_bdd.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_bdd.cpp.o.d"
+  "/root/repo/tests/test_behavioral.cpp" "tests/CMakeFiles/hlp_tests.dir/test_behavioral.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_behavioral.cpp.o.d"
+  "/root/repo/tests/test_bus_codec.cpp" "tests/CMakeFiles/hlp_tests.dir/test_bus_codec.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_bus_codec.cpp.o.d"
+  "/root/repo/tests/test_bus_encoding.cpp" "tests/CMakeFiles/hlp_tests.dir/test_bus_encoding.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_bus_encoding.cpp.o.d"
+  "/root/repo/tests/test_cdfg.cpp" "tests/CMakeFiles/hlp_tests.dir/test_cdfg.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_cdfg.cpp.o.d"
+  "/root/repo/tests/test_clock_gating.cpp" "tests/CMakeFiles/hlp_tests.dir/test_clock_gating.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_clock_gating.cpp.o.d"
+  "/root/repo/tests/test_complexity_model.cpp" "tests/CMakeFiles/hlp_tests.dir/test_complexity_model.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_complexity_model.cpp.o.d"
+  "/root/repo/tests/test_decompose.cpp" "tests/CMakeFiles/hlp_tests.dir/test_decompose.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_decompose.cpp.o.d"
+  "/root/repo/tests/test_entropy_model.cpp" "tests/CMakeFiles/hlp_tests.dir/test_entropy_model.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_entropy_model.cpp.o.d"
+  "/root/repo/tests/test_fsm.cpp" "tests/CMakeFiles/hlp_tests.dir/test_fsm.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_fsm.cpp.o.d"
+  "/root/repo/tests/test_fsm_encoding.cpp" "tests/CMakeFiles/hlp_tests.dir/test_fsm_encoding.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_fsm_encoding.cpp.o.d"
+  "/root/repo/tests/test_guarded_eval.cpp" "tests/CMakeFiles/hlp_tests.dir/test_guarded_eval.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_guarded_eval.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hlp_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/hlp_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/hlp_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_macromodel.cpp" "tests/CMakeFiles/hlp_tests.dir/test_macromodel.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_macromodel.cpp.o.d"
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/hlp_tests.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_memory.cpp.o.d"
+  "/root/repo/tests/test_misc_coverage.cpp" "tests/CMakeFiles/hlp_tests.dir/test_misc_coverage.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_misc_coverage.cpp.o.d"
+  "/root/repo/tests/test_multivoltage.cpp" "tests/CMakeFiles/hlp_tests.dir/test_multivoltage.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_multivoltage.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/hlp_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_precomputation.cpp" "tests/CMakeFiles/hlp_tests.dir/test_precomputation.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_precomputation.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/hlp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_respec_cluster.cpp" "tests/CMakeFiles/hlp_tests.dir/test_respec_cluster.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_respec_cluster.cpp.o.d"
+  "/root/repo/tests/test_retiming.cpp" "tests/CMakeFiles/hlp_tests.dir/test_retiming.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_retiming.cpp.o.d"
+  "/root/repo/tests/test_sampling_ext.cpp" "tests/CMakeFiles/hlp_tests.dir/test_sampling_ext.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_sampling_ext.cpp.o.d"
+  "/root/repo/tests/test_sampling_power.cpp" "tests/CMakeFiles/hlp_tests.dir/test_sampling_power.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_sampling_power.cpp.o.d"
+  "/root/repo/tests/test_scheduling.cpp" "tests/CMakeFiles/hlp_tests.dir/test_scheduling.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_scheduling.cpp.o.d"
+  "/root/repo/tests/test_shutdown.cpp" "tests/CMakeFiles/hlp_tests.dir/test_shutdown.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_shutdown.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/hlp_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_software_power.cpp" "tests/CMakeFiles/hlp_tests.dir/test_software_power.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_software_power.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/hlp_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_symbolic.cpp" "tests/CMakeFiles/hlp_tests.dir/test_symbolic.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_symbolic.cpp.o.d"
+  "/root/repo/tests/test_two_level.cpp" "tests/CMakeFiles/hlp_tests.dir/test_two_level.cpp.o" "gcc" "tests/CMakeFiles/hlp_tests.dir/test_two_level.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hlp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/hlp_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/hlp_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hlp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/hlp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdfg/CMakeFiles/hlp_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hlp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hlp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
