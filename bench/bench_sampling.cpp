@@ -11,9 +11,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/compaction.hpp"
 #include "core/sampling_power.hpp"
 #include "stats/descriptive.hpp"
@@ -184,11 +186,61 @@ void print_accuracy_tables() {
   }
 }
 
+/// Scalar vs packed Monte Carlo throughput on the 8x8 multiplier, written
+/// to BENCH_sampling.json (same schema as BENCH_simengine.json) for the
+/// perf trajectory.
+void write_engine_report(const char* path) {
+  using clock = std::chrono::steady_clock;
+  auto mod = netlist::multiplier_module(8);
+  const int n_in = mod.total_input_bits();
+  const std::size_t pairs = 20000;
+  const double gate_evals = static_cast<double>(
+      mod.netlist.logic_gate_count() * pairs * 2);  // two vectors per pair
+
+  auto measure = [&](sim::EngineKind engine) {
+    double best = 0.0;
+    for (int r = 0; r < 3; ++r) {
+      stats::Rng vg(23);
+      auto t0 = clock::now();
+      auto res = monte_carlo_power(
+          mod, [&] { return vg.uniform_bits(n_in); }, 1e-9, 0.95, 30, pairs,
+          {}, sim::SimOptions{engine});
+      auto t1 = clock::now();
+      benchmark::DoNotOptimize(res.mean_energy);
+      double secs = std::chrono::duration<double>(t1 - t0).count();
+      if (secs > 0.0) best = std::max(best, gate_evals / secs);
+    }
+    return best;
+  };
+  double scalar = measure(sim::EngineKind::Scalar);
+  double packed = measure(sim::EngineKind::Packed);
+  double speedup = scalar > 0.0 ? packed / scalar : 0.0;
+  std::printf("\nMonte Carlo engine throughput (multiplier8, %zu pairs): "
+              "scalar %.3e packed %.3e gate-evals/sec (%.1fx)\n",
+              pairs, scalar, packed, speedup);
+  benchjson::Object root{
+      {"bench", "sampling"},
+      {"metric", "gate_evals_per_sec"},
+      {"engines", benchjson::Array{"scalar", "packed"}},
+      {"circuits",
+       benchjson::Array{benchjson::Object{
+           {"name", "multiplier8_monte_carlo"},
+           {"gates", mod.netlist.logic_gate_count()},
+           {"cycles", pairs * 2},
+           {"scalar_gate_evals_per_sec", scalar},
+           {"packed_gate_evals_per_sec", packed},
+           {"speedup", speedup},
+       }}},
+  };
+  if (benchjson::save(path, root)) std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_accuracy_tables();
+  write_engine_report("BENCH_sampling.json");
   return 0;
 }

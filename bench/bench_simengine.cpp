@@ -1,0 +1,142 @@
+// E-SIM — Scalar vs packed (64-lane bit-parallel) simulation throughput.
+//
+// The packed backend evaluates 64 input patterns per gate operation with
+// bitwise ops on uint64_t lanes (PPSFP-style), which is the classic software
+// answer to the gate-level simulation bottleneck under every estimator in
+// this repo. Target: >= 10x gate-evals/sec over the scalar engine on the
+// array multiplier and random-DAG sweeps.
+//
+// Results go to BENCH_simengine.json (cwd, or argv[1] after the
+// google-benchmark flags) so future PRs can track the trajectory.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "netlist/generators.hpp"
+#include "sim/simulator.hpp"
+#include "sim/streams.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace hlp;
+
+struct Workload {
+  std::string name;
+  netlist::Module mod;
+  stats::VectorStream in;
+};
+
+std::vector<Workload>& workloads() {
+  static std::vector<Workload> w = [] {
+    std::vector<Workload> v;
+    stats::Rng rng(7);
+    auto add = [&](std::string name, netlist::Module mod,
+                   std::size_t cycles) {
+      auto in = sim::random_stream(mod.total_input_bits(), cycles, 0.5, rng);
+      v.push_back({std::move(name), std::move(mod), std::move(in)});
+    };
+    add("multiplier8", netlist::multiplier_module(8), 8192);
+    add("random_dag", netlist::random_logic_module(32, 2000, 16, 42), 8192);
+    add("adder16", netlist::adder_module(16), 8192);
+    return v;
+  }();
+  return w;
+}
+
+double run_activities(const Workload& w, sim::EngineKind engine) {
+  auto acts = sim::simulate_activities(w.mod.netlist, w.in, nullptr,
+                                       sim::SimOptions{engine});
+  double sum = 0.0;
+  for (double a : acts) sum += a;
+  return sum;
+}
+
+void BM_Sweep(benchmark::State& state, const Workload& w,
+              sim::EngineKind engine) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_activities(w, engine));
+  }
+  state.counters["gate_evals_per_sec"] = benchmark::Counter(
+      static_cast<double>(w.mod.netlist.logic_gate_count() *
+                          w.in.words.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// Wall-clock gate-evals/sec for one engine, repeated and best-of to damp
+/// scheduler noise.
+double measure_evals_per_sec(const Workload& w, sim::EngineKind engine,
+                             int reps) {
+  using clock = std::chrono::steady_clock;
+  const double gate_evals = static_cast<double>(
+      w.mod.netlist.logic_gate_count() * w.in.words.size());
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = clock::now();
+    benchmark::DoNotOptimize(run_activities(w, engine));
+    auto t1 = clock::now();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (secs > 0.0) best = std::max(best, gate_evals / secs);
+  }
+  return best;
+}
+
+void write_report(const std::string& path) {
+  benchjson::Array circuits;
+  std::printf("\nE-SIM — scalar vs packed sweep throughput "
+              "(gate-evals/sec)\n\n");
+  std::printf("%14s %8s %8s %14s %14s %9s\n", "circuit", "gates", "cycles",
+              "scalar", "packed", "speedup");
+  for (const auto& w : workloads()) {
+    double scalar = measure_evals_per_sec(w, sim::EngineKind::Scalar, 5);
+    double packed = measure_evals_per_sec(w, sim::EngineKind::Packed, 5);
+    double speedup = scalar > 0.0 ? packed / scalar : 0.0;
+    std::printf("%14s %8zu %8zu %14.3e %14.3e %8.1fx\n", w.name.c_str(),
+                w.mod.netlist.logic_gate_count(), w.in.words.size(), scalar,
+                packed, speedup);
+    circuits.push_back(benchjson::Object{
+        {"name", w.name},
+        {"gates", w.mod.netlist.logic_gate_count()},
+        {"cycles", w.in.words.size()},
+        {"scalar_gate_evals_per_sec", scalar},
+        {"packed_gate_evals_per_sec", packed},
+        {"speedup", speedup},
+    });
+  }
+  benchjson::Object root{
+      {"bench", "simengine"},
+      {"metric", "gate_evals_per_sec"},
+      {"engines", benchjson::Array{"scalar", "packed"}},
+      {"circuits", std::move(circuits)},
+  };
+  if (benchjson::save(path, root))
+    std::printf("\nwrote %s\n", path.c_str());
+  else
+    std::printf("\nfailed to write %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const auto& w : workloads()) {
+    benchmark::RegisterBenchmark(("BM_Sweep_scalar/" + w.name).c_str(),
+                                 [&w](benchmark::State& st) {
+                                   BM_Sweep(st, w, sim::EngineKind::Scalar);
+                                 });
+    benchmark::RegisterBenchmark(("BM_Sweep_packed/" + w.name).c_str(),
+                                 [&w](benchmark::State& st) {
+                                   BM_Sweep(st, w, sim::EngineKind::Packed);
+                                 });
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  const char* path = "BENCH_simengine.json";
+  if (argc > 1 && argv[1][0] != '-') path = argv[1];
+  write_report(path);
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/engine.hpp"
 #include "sim/power.hpp"
 
 namespace hlp::core {
@@ -47,8 +48,11 @@ struct CodecEval {
 
 /// Simulate the codec netlist on a word stream; verifies decoded == input
 /// (one cycle late) and accounts bus vs codec switching separately.
+/// The codec registers its bus, so the cycle recurrence is inherently
+/// serial: Auto resolves to the scalar engine; forcing Packed throws.
 CodecEval evaluate_bus_invert_codec(const BusInvertCodec& codec,
                                     const std::vector<std::uint64_t>& words,
-                                    const netlist::CapacitanceModel& cap = {});
+                                    const netlist::CapacitanceModel& cap = {},
+                                    const sim::SimOptions& opts = {});
 
 }  // namespace hlp::core

@@ -52,7 +52,8 @@ BusDesign build_bus(int width, int sources) {
 RespecResult evaluate_control_respec(int width, int sources,
                                      std::size_t cycles, double idle_prob,
                                      std::uint64_t seed,
-                                     const sim::PowerParams& params) {
+                                     const sim::PowerParams& params,
+                                     const sim::SimOptions& opts) {
   RespecResult res;
   stats::Rng rng(seed);
 
@@ -77,29 +78,65 @@ RespecResult evaluate_control_respec(int width, int sources,
   auto run = [&](bool respecify) {
     BusDesign d = build_bus(width, sources);
     res.mux_gates = d.nl.logic_gate_count();
-    sim::Simulator s(d.nl);
-    sim::ActivityCollector col(d.nl);
+    // Per-cycle select under this policy (depends only on the schedule).
+    std::vector<int> sel_of(cycles);
     int held_sel = 0;
     for (std::size_t c = 0; c < cycles; ++c) {
       int src = used_source[c];
-      int sel;
-      if (src >= 0)
-        sel = src;
-      else
-        sel = respecify ? held_sel : 0;  // don't-care assignment
+      int sel = src >= 0 ? src
+                         : (respecify ? held_sel : 0);  // don't-care assignment
       held_sel = sel;
-      for (int k = 0; k < sources; ++k)
-        s.set_word(d.sources[static_cast<std::size_t>(k)],
-                   data[static_cast<std::size_t>(k)][c]);
-      s.set_word(d.select, static_cast<std::uint64_t>(sel));
-      s.eval();
-      col.record(s);
-      if (src >= 0 &&
-          s.word_value(d.bus) != data[static_cast<std::size_t>(src)][c])
-        throw std::logic_error("control_respec: bus steering broken");
-      s.tick();
+      sel_of[c] = sel;
     }
-    return sim::compute_power(d.nl, col.activities(), params).total_power;
+    const int total_bits = static_cast<int>(d.nl.inputs().size());
+    std::vector<double> acts;
+    if (total_bits <= 64) {
+      // Engine-generic sweep: pack all inputs into one word per cycle using
+      // the creation-order layout (source s bit b -> s*width + b, select
+      // above the sources), then let resolve_engine pick the backend. The
+      // bus word is the whole output word, checked after the sweep.
+      stats::VectorStream in_stream;
+      in_stream.width = total_bits;
+      in_stream.words.reserve(cycles);
+      for (std::size_t c = 0; c < cycles; ++c) {
+        std::uint64_t w = 0;
+        for (int k = 0; k < sources; ++k)
+          w |= (data[static_cast<std::size_t>(k)][c] & mask)
+               << (static_cast<unsigned>(k * width));
+        w |= static_cast<std::uint64_t>(sel_of[c])
+             << (static_cast<unsigned>(sources * width));
+        in_stream.words.push_back(w);
+      }
+      stats::VectorStream out_stream;
+      acts = sim::simulate_activities(d.nl, in_stream, &out_stream, opts);
+      for (std::size_t c = 0; c < cycles; ++c) {
+        int src = used_source[c];
+        if (src >= 0 &&
+            out_stream.words[c] != data[static_cast<std::size_t>(src)][c])
+          throw std::logic_error("control_respec: bus steering broken");
+      }
+    } else {
+      // Wider than one packed word: word-sliced scalar sweep (validate any
+      // forced engine request first).
+      (void)sim::resolve_engine(d.nl, opts.engine);
+      sim::Simulator s(d.nl);
+      sim::ActivityCollector col(d.nl);
+      for (std::size_t c = 0; c < cycles; ++c) {
+        for (int k = 0; k < sources; ++k)
+          s.set_word(d.sources[static_cast<std::size_t>(k)],
+                     data[static_cast<std::size_t>(k)][c]);
+        s.set_word(d.select, static_cast<std::uint64_t>(sel_of[c]));
+        s.eval();
+        col.record(s);
+        int src = used_source[c];
+        if (src >= 0 &&
+            s.word_value(d.bus) != data[static_cast<std::size_t>(src)][c])
+          throw std::logic_error("control_respec: bus steering broken");
+        s.tick();
+      }
+      acts = col.activities();
+    }
+    return sim::compute_power(d.nl, acts, params).total_power;
   };
 
   res.power_default = run(false);

@@ -45,13 +45,14 @@ EntropyEstimates evaluate_entropy_models(const netlist::Module& mod,
                                          const stats::VectorStream& input,
                                          const sim::PowerParams& params,
                                          bool build_bdd, double ferrandi_alpha,
-                                         double ferrandi_beta) {
+                                         double ferrandi_beta,
+                                         const sim::SimOptions& opts) {
   EntropyEstimates est;
   const int n = mod.total_input_bits();
   const int m = mod.total_output_bits();
 
   stats::VectorStream out_stream;
-  auto acts = sim::simulate_activities(mod.netlist, input, &out_stream);
+  auto acts = sim::simulate_activities(mod.netlist, input, &out_stream, opts);
   est.h_in = stats::avg_bit_entropy(input);
   est.h_out = stats::avg_bit_entropy(out_stream);
 

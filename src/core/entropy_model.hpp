@@ -3,6 +3,7 @@
 #include "bdd/bdd.hpp"
 #include "fsm/markov.hpp"
 #include "netlist/generators.hpp"
+#include "sim/engine.hpp"
 #include "sim/power.hpp"
 #include "stats/entropy.hpp"
 
@@ -55,7 +56,8 @@ EntropyEstimates evaluate_entropy_models(const netlist::Module& mod,
                                          const sim::PowerParams& params = {},
                                          bool build_bdd = true,
                                          double ferrandi_alpha = 1.0,
-                                         double ferrandi_beta = 0.0);
+                                         double ferrandi_beta = 0.0,
+                                         const sim::SimOptions& opts = {});
 
 /// Extension beyond the paper: the surveyed entropy estimators use the
 /// entropy of the static signal-probability distribution H(q_i), which is

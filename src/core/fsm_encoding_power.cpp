@@ -22,7 +22,8 @@ EncodingReport evaluate_encoding(const fsm::Stg& stg,
                                  const fsm::MarkovAnalysis& ma,
                                  std::size_t cycles, std::uint64_t seed,
                                  std::span<const double> input_probs,
-                                 const sim::PowerParams& params) {
+                                 const sim::PowerParams& params,
+                                 const sim::SimOptions& opts) {
   EncodingReport rep;
   rep.style = encoding_style_name(style);
   rep.state_bits = fsm::encoding_bits(style, stg.num_states());
@@ -35,6 +36,9 @@ EncodingReport evaluate_encoding(const fsm::Stg& stg,
   // Drive with random symbols; measure gate-level power and actual
   // state-register switching.
   stats::Rng rng(seed + 17);
+  // State recurrence is serial: scalar only (throws if Packed is forced;
+  // Auto resolves to Scalar).
+  (void)sim::resolve_engine(sf.netlist, opts.engine);
   sim::Simulator s(sf.netlist);
   sim::ActivityCollector col(sf.netlist);
   std::uint64_t prev_state = codes[0];
@@ -78,14 +82,15 @@ EncodingReport evaluate_encoding(const fsm::Stg& stg,
 
 std::vector<EncodingReport> compare_encodings(
     const fsm::Stg& stg, std::size_t cycles, std::uint64_t seed,
-    std::span<const double> input_probs, const sim::PowerParams& params) {
+    std::span<const double> input_probs, const sim::PowerParams& params,
+    const sim::SimOptions& opts) {
   auto ma = fsm::analyze_markov(stg, input_probs);
   std::vector<EncodingReport> out;
   for (auto style : {fsm::EncodingStyle::Binary, fsm::EncodingStyle::Gray,
                      fsm::EncodingStyle::OneHot, fsm::EncodingStyle::Random,
                      fsm::EncodingStyle::LowPower})
     out.push_back(evaluate_encoding(stg, style, ma, cycles, seed,
-                                    input_probs, params));
+                                    input_probs, params, opts));
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "fsm/encoding.hpp"
 #include "fsm/synth.hpp"
+#include "sim/engine.hpp"
 #include "sim/power.hpp"
 #include "stats/rng.hpp"
 
@@ -25,19 +26,23 @@ struct EncodingReport {
   double simulated_state_switching = 0.0;  ///< measured bits/cycle
 };
 
-/// Evaluate one encoding style on an STG.
+/// Evaluate one encoding style on an STG. The synthesized FSM's state
+/// recurrence is inherently serial: Auto resolves to the scalar engine;
+/// forcing Packed throws.
 EncodingReport evaluate_encoding(const fsm::Stg& stg,
                                  fsm::EncodingStyle style,
                                  const fsm::MarkovAnalysis& ma,
                                  std::size_t cycles, std::uint64_t seed,
                                  std::span<const double> input_probs = {},
-                                 const sim::PowerParams& params = {});
+                                 const sim::PowerParams& params = {},
+                                 const sim::SimOptions& opts = {});
 
 /// All styles side by side.
 std::vector<EncodingReport> compare_encodings(
     const fsm::Stg& stg, std::size_t cycles, std::uint64_t seed,
     std::span<const double> input_probs = {},
-    const sim::PowerParams& params = {});
+    const sim::PowerParams& params = {},
+    const sim::SimOptions& opts = {});
 
 const char* encoding_style_name(fsm::EncodingStyle s);
 

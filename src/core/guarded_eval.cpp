@@ -208,26 +208,24 @@ GuardedCircuit apply_guards(const netlist::Module& mod,
 GuardedEvalResult evaluate_guarded(const netlist::Module& mod,
                                    const GuardedCircuit& gc,
                                    const stats::VectorStream& input,
-                                   const sim::PowerParams& params) {
+                                   const sim::PowerParams& params,
+                                   const sim::SimOptions& opts) {
   GuardedEvalResult res;
-  sim::Simulator ref(mod.netlist);
+  // Reference module is combinational: engine-generic sweep.
+  stats::VectorStream ref_out;
+  auto ref_acts = sim::simulate_activities(mod.netlist, input, &ref_out, opts);
+  // The guarded circuit holds state in its latches; it stays scalar.
   sim::Simulator s(gc.netlist);
-  sim::ActivityCollector col_ref(mod.netlist);
   sim::ActivityCollector col(gc.netlist);
-  for (std::uint64_t w : input.words) {
-    ref.set_all_inputs(w);
-    ref.eval();
-    col_ref.record(ref);
-    s.set_all_inputs(w);
+  for (std::size_t t = 0; t < input.words.size(); ++t) {
+    s.set_all_inputs(input.words[t]);
     s.eval();
     col.record(s);
-    if (ref.output_bits() != s.output_bits()) res.functionally_correct = false;
-    ref.tick();
+    if (ref_out.words[t] != s.output_bits()) res.functionally_correct = false;
     s.tick();
   }
   res.base_power =
-      sim::compute_power(mod.netlist, col_ref.activities(), params)
-          .total_power;
+      sim::compute_power(mod.netlist, ref_acts, params).total_power;
   // Transparent latches are level-sensitive: they add pin and mux loads
   // (already in the netlist) but no clock-tree load, so clock power is not
   // charged here.

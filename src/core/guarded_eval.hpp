@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "netlist/generators.hpp"
+#include "sim/engine.hpp"
 #include "sim/power.hpp"
 #include "stats/entropy.hpp"
 
@@ -49,9 +50,12 @@ struct GuardedEvalResult {
     return base_power > 0.0 ? 1.0 - guarded_power / base_power : 0.0;
   }
 };
+/// The combinational reference sweep is engine-generic (packed under Auto);
+/// the guarded circuit contains latches and always runs scalar.
 GuardedEvalResult evaluate_guarded(const netlist::Module& mod,
                                    const GuardedCircuit& gc,
                                    const stats::VectorStream& input,
-                                   const sim::PowerParams& params = {});
+                                   const sim::PowerParams& params = {},
+                                   const sim::SimOptions& opts = {});
 
 }  // namespace hlp::core

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "sim/packed_simulator.hpp"
 #include "sim/simulator.hpp"
 #include "stats/descriptive.hpp"
 
@@ -13,15 +14,96 @@ double ModuleCharacterization::mean_energy() const {
   return stats::mean(energy);
 }
 
+namespace {
+
+/// Fill the per-transition characterization fields for the transition into
+/// cycle `t` from the input words and the settled output words.
+void push_transition(ModuleCharacterization& chr,
+                     const stats::VectorStream& input, std::size_t t,
+                     double energy, std::uint64_t out, std::uint64_t prev_out) {
+  std::uint64_t cur = input.words[t];
+  std::uint64_t prev = input.words[t - 1];
+  std::uint64_t diff = cur ^ prev;
+  chr.energy.push_back(energy);
+  std::vector<double> toggles(static_cast<std::size_t>(chr.n_in));
+  for (int i = 0; i < chr.n_in; ++i)
+    toggles[static_cast<std::size_t>(i)] =
+        static_cast<double>((diff >> i) & 1u);
+  chr.pin_toggle.push_back(std::move(toggles));
+  chr.in_activity.push_back(static_cast<double>(std::popcount(diff)) /
+                            static_cast<double>(chr.n_in));
+  chr.in_prob.push_back(static_cast<double>(std::popcount(cur)) /
+                        static_cast<double>(chr.n_in));
+  chr.out_activity.push_back(
+      static_cast<double>(std::popcount(out ^ prev_out)) /
+      static_cast<double>(std::max(1, chr.n_out)));
+  chr.cur_word.push_back(cur);
+  chr.prev_word.push_back(prev);
+}
+
+/// Packed characterization sweep (combinational modules): lane k of a block
+/// carries cycle base+k; per-gate toggle words are scattered into the 64
+/// per-transition energies in ascending gate order, which reproduces the
+/// scalar per-cycle load summation bit-exactly.
+ModuleCharacterization characterize_packed(
+    ModuleCharacterization chr, const netlist::Netlist& nl,
+    const stats::VectorStream& input, const netlist::CapacitanceModel& cap) {
+  auto loads = nl.loads(cap);
+  sim::PackedSimulator ps(nl);
+  const std::size_t n = nl.gate_count();
+  const std::size_t total = input.words.size();
+  std::vector<std::uint8_t> last(n, 0);
+  std::uint64_t prev_out = 0;
+  double e_buf[64];
+  std::uint64_t ob[64];
+
+  for (std::size_t base = 0; base < total; base += 64) {
+    const int count =
+        static_cast<int>(std::min<std::size_t>(64, total - base));
+    ps.set_inputs_from_cycles(
+        std::span(input.words).subspan(base, static_cast<std::size_t>(count)));
+    ps.eval();
+    const std::uint64_t mask =
+        count == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << count) - 1);
+    std::fill(e_buf, e_buf + count, 0.0);
+    for (netlist::GateId g = 0; g < n; ++g) {
+      const std::uint64_t x = ps.lanes(g) & mask;
+      // Bit k of d = toggle on the transition into cycle base+k.
+      std::uint64_t d =
+          (x ^ ((x << 1) | static_cast<std::uint64_t>(last[g]))) & mask;
+      if (base == 0) d &= ~std::uint64_t{1};  // no transition into cycle 0
+      while (d) {
+        e_buf[std::countr_zero(d)] += loads[g];
+        d &= d - 1;
+      }
+      last[g] = static_cast<std::uint8_t>((x >> (count - 1)) & 1u);
+    }
+    ps.outputs_to_cycles(ob);
+    for (int k = 0; k < count; ++k) {
+      const std::size_t t = base + static_cast<std::size_t>(k);
+      if (t > 0)
+        push_transition(chr, input, t, e_buf[k], ob[k],
+                        k > 0 ? ob[k - 1] : prev_out);
+    }
+    prev_out = ob[count - 1];
+  }
+  return chr;
+}
+
+}  // namespace
+
 ModuleCharacterization characterize(const netlist::Module& mod,
                                     const stats::VectorStream& input,
-                                    const netlist::CapacitanceModel& cap) {
+                                    const netlist::CapacitanceModel& cap,
+                                    const sim::SimOptions& opts) {
   ModuleCharacterization chr;
   chr.n_in = mod.total_input_bits();
   chr.n_out = mod.total_output_bits();
   chr.total_cap = mod.netlist.total_capacitance(cap);
 
   const auto& nl = mod.netlist;
+  if (sim::resolve_engine(nl, opts.engine) == sim::EngineKind::Packed)
+    return characterize_packed(std::move(chr), nl, input, cap);
   auto loads = nl.loads(cap);
   sim::Simulator s(nl);
   std::vector<std::uint8_t> prev_vals(nl.gate_count(), 0);
@@ -36,25 +118,7 @@ ModuleCharacterization characterize(const netlist::Module& mod,
         std::uint8_t v = s.value(g) ? 1 : 0;
         if (v != prev_vals[g]) e += loads[g];
       }
-      std::uint64_t cur = input.words[t];
-      std::uint64_t prev = input.words[t - 1];
-      std::uint64_t diff = cur ^ prev;
-      chr.energy.push_back(e);
-      std::vector<double> toggles(static_cast<std::size_t>(chr.n_in));
-      for (int i = 0; i < chr.n_in; ++i)
-        toggles[static_cast<std::size_t>(i)] =
-            static_cast<double>((diff >> i) & 1u);
-      chr.pin_toggle.push_back(std::move(toggles));
-      chr.in_activity.push_back(static_cast<double>(std::popcount(diff)) /
-                                static_cast<double>(chr.n_in));
-      chr.in_prob.push_back(static_cast<double>(std::popcount(cur)) /
-                            static_cast<double>(chr.n_in));
-      std::uint64_t out = s.output_bits();
-      chr.out_activity.push_back(
-          static_cast<double>(std::popcount(out ^ prev_out)) /
-          static_cast<double>(std::max(1, chr.n_out)));
-      chr.cur_word.push_back(cur);
-      chr.prev_word.push_back(prev);
+      push_transition(chr, input, t, e, s.output_bits(), prev_out);
     }
     prev_out = s.output_bits();
     for (netlist::GateId g = 0; g < nl.gate_count(); ++g)

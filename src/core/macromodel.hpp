@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "netlist/generators.hpp"
+#include "sim/engine.hpp"
 #include "sim/power.hpp"
 #include "stats/entropy.hpp"
 #include "stats/regression.hpp"
@@ -35,9 +36,12 @@ struct ModuleCharacterization {
 };
 
 /// Simulate the module under `input` and collect characterization data.
+/// Engine-generic: combinational modules run the 64-cycle-per-step packed
+/// backend under Auto (bit-identical energies and predictor variables).
 ModuleCharacterization characterize(const netlist::Module& mod,
                                     const stats::VectorStream& input,
-                                    const netlist::CapacitanceModel& cap = {});
+                                    const netlist::CapacitanceModel& cap = {},
+                                    const sim::SimOptions& opts = {});
 
 /// --- Macro-model forms (in increasing accuracy/cost order) -------------
 

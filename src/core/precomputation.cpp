@@ -206,15 +206,12 @@ MultiPrecomputedCircuit build_precomputed_multi(
 
 PrecomputationEval evaluate_precomputed_multi(
     const MultiPrecomputedCircuit& pc, const netlist::Module& reference,
-    const stats::VectorStream& input, const sim::PowerParams& params) {
+    const stats::VectorStream& input, const sim::PowerParams& params,
+    const sim::SimOptions& opts) {
   PrecomputationEval ev;
-  sim::Simulator ref_sim(reference.netlist);
-  std::vector<std::uint64_t> ref_out;
-  for (std::uint64_t w : input.words) {
-    ref_sim.set_all_inputs(w);
-    ref_sim.eval();
-    ref_out.push_back(ref_sim.output_bits());
-  }
+  // Combinational reference output sequence: engine-generic sweep.
+  const std::vector<std::uint64_t> ref_out =
+      sim::simulate_outputs(reference.netlist, input, opts).words;
 
   sim::Simulator s(pc.netlist);
   sim::ActivityCollector col(pc.netlist);
@@ -246,17 +243,16 @@ PrecomputationEval evaluate_precomputed_multi(
 PrecomputationEval evaluate_precomputed(const PrecomputedCircuit& pc,
                                         const netlist::Module& reference,
                                         const stats::VectorStream& input,
-                                        const sim::PowerParams& params) {
+                                        const sim::PowerParams& params,
+                                        const sim::SimOptions& opts) {
   PrecomputationEval ev;
-  // Reference (combinational) output sequence.
-  sim::Simulator ref_sim(reference.netlist);
+  // Reference (combinational) output sequence: engine-generic sweep; the
+  // reference value is output 0, i.e. bit 0 of each packed output word.
+  const stats::VectorStream ref_stream =
+      sim::simulate_outputs(reference.netlist, input, opts);
   std::vector<bool> ref_out;
   ref_out.reserve(input.words.size());
-  for (std::uint64_t w : input.words) {
-    ref_sim.set_all_inputs(w);
-    ref_sim.eval();
-    ref_out.push_back(ref_sim.value(reference.netlist.outputs()[0]));
-  }
+  for (std::uint64_t w : ref_stream.words) ref_out.push_back((w & 1u) != 0);
 
   sim::Simulator s(pc.netlist);
   sim::ActivityCollector col(pc.netlist);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "netlist/generators.hpp"
+#include "sim/engine.hpp"
 #include "sim/power.hpp"
 #include "stats/entropy.hpp"
 
@@ -47,10 +48,13 @@ struct PrecomputationEval {
   double coverage_observed = 0.0;
   bool functionally_correct = true;
 };
+/// The combinational reference sweep is engine-generic (packed under Auto);
+/// the gated circuit itself holds registers and always simulates scalar.
 PrecomputationEval evaluate_precomputed(const PrecomputedCircuit& pc,
                                         const netlist::Module& reference,
                                         const stats::VectorStream& input,
-                                        const sim::PowerParams& params = {});
+                                        const sim::PowerParams& params = {},
+                                        const sim::SimOptions& opts = {});
 
 /// Multi-output generalization ([16],[100]): one g1/g0 predictor pair per
 /// output; the input register holds only when *every* output is decided by
@@ -71,6 +75,7 @@ MultiPrecomputedCircuit build_precomputed_multi(
 
 PrecomputationEval evaluate_precomputed_multi(
     const MultiPrecomputedCircuit& pc, const netlist::Module& reference,
-    const stats::VectorStream& input, const sim::PowerParams& params = {});
+    const stats::VectorStream& input, const sim::PowerParams& params = {},
+    const sim::SimOptions& opts = {});
 
 }  // namespace hlp::core

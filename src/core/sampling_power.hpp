@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "core/macromodel.hpp"
+#include "sim/engine.hpp"
 #include "stats/rng.hpp"
 
 namespace hlp::core {
@@ -59,6 +60,13 @@ double gate_level_mean(const ModuleCharacterization& eval_set);
 /// stopping (Burch et al. [32], the paper's II-C step 4 speedup): simulate
 /// random vector *pairs* drawn from the generator until the relative CI
 /// half-width of mean switched cap falls below `epsilon`.
+///
+/// Engine-generic: under the default Auto engine, combinational modules
+/// simulate 64 independent vector pairs per packed step (one pair per bit
+/// lane); the sequential-sampling stop rule is evaluated per pair in draw
+/// order, so the estimate, pair count, and CI are bit-identical to the
+/// scalar engine. The only observable difference is that `vector_gen` may
+/// be drawn up to one 64-pair batch ahead of the stopping point.
 struct MonteCarloResult {
   double mean_energy = 0.0;   ///< switched cap per transition
   std::size_t pairs = 0;      ///< vector pairs simulated
@@ -70,6 +78,7 @@ MonteCarloResult monte_carlo_power(
     const std::function<std::uint64_t()>& vector_gen, double epsilon,
     double confidence = 0.95, std::size_t min_pairs = 30,
     std::size_t max_pairs = 100000,
-    const netlist::CapacitanceModel& cap = {});
+    const netlist::CapacitanceModel& cap = {},
+    const sim::SimOptions& opts = {});
 
 }  // namespace hlp::core

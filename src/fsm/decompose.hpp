@@ -5,6 +5,7 @@
 
 #include "fsm/markov.hpp"
 #include "fsm/stg.hpp"
+#include "sim/engine.hpp"
 
 namespace hlp::fsm {
 
@@ -59,10 +60,11 @@ struct DecompositionEval {
   }
 };
 
-DecompositionEval evaluate_decomposition(const Stg& stg,
-                                         const Partition& part,
-                                         std::size_t cycles,
-                                         std::uint64_t seed,
-                                         std::span<const double> input_probs = {});
+/// FSM state recurrences are inherently serial: Auto resolves to the
+/// scalar engine; forcing Packed throws.
+DecompositionEval evaluate_decomposition(
+    const Stg& stg, const Partition& part, std::size_t cycles,
+    std::uint64_t seed, std::span<const double> input_probs = {},
+    const sim::SimOptions& opts = {});
 
 }  // namespace hlp::fsm

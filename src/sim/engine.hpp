@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace hlp::sim {
+
+/// --- SimEngine -----------------------------------------------------------
+///
+/// Every gate-level estimator in the library is measured against zero-delay
+/// switched-capacitance simulation, so the simulator is the hot path under
+/// all of them. Two interchangeable backends implement the same contract:
+///
+///  * `Simulator` (scalar): one input pattern per eval; the reference
+///    semantics.
+///  * `PackedSimulator` (packed): 64 patterns per eval, one per bit lane of
+///    a `uint64_t` word per gate (PPSFP-style bit parallelism). Logic gates
+///    vectorize into bitwise ops and toggle counting into popcounts.
+///
+/// The equivalence contract is exact: for the same seed and input stream,
+/// both backends must produce bit-identical activities, toggle counts, and
+/// power reports (tests/test_simengine.cpp enforces this differentially).
+/// Temporal lane packing — lane k carries cycle base+k — is therefore only
+/// legal for combinational netlists: a DFF's next state depends on the
+/// previous cycle's settled values, which serializes consecutive cycles.
+/// Sequential netlists either run scalar or use the packed backend in
+/// *replica* mode (lane k carries an independent pattern stream with its own
+/// DFF state). Glitch simulation (`glitch_sim`) always stays scalar: event
+/// timing does not vectorize across lanes.
+enum class EngineKind : std::uint8_t {
+  Auto,    ///< packed where bit-exactly legal, scalar otherwise
+  Scalar,  ///< force the scalar `Simulator` backend
+  Packed,  ///< force the 64-lane `PackedSimulator` backend
+};
+
+/// Engine selection threaded through the estimator APIs. Defaults preserve
+/// the historical (scalar-era) results exactly while picking the fast
+/// backend automatically.
+struct SimOptions {
+  EngineKind engine = EngineKind::Auto;
+};
+
+/// Resolve `Auto` against the netlist structure: packed iff the netlist is
+/// combinational and its primary inputs/outputs fit one 64-bit stream word.
+/// Forcing `Packed` where temporal lane packing cannot reproduce scalar
+/// results bit-exactly throws `std::logic_error`.
+EngineKind resolve_engine(const netlist::Netlist& nl, EngineKind requested);
+
+const char* engine_name(EngineKind k);
+
+/// In-place 64x64 bit-matrix transpose: bit c of m[r] moves to bit r of
+/// m[c]. Converts between cycle-major vector-stream words (bit i = line i)
+/// and lane-major packed words (bit k = cycle k); it is an involution.
+void transpose64(std::uint64_t m[64]);
+
+}  // namespace hlp::sim

@@ -1,0 +1,190 @@
+#include "sim/packed_simulator.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hlp::sim {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateKind;
+
+EngineKind resolve_engine(const netlist::Netlist& nl, EngineKind requested) {
+  const bool packable = nl.dffs().empty() && nl.inputs().size() <= 64 &&
+                        nl.outputs().size() <= 64;
+  if (requested == EngineKind::Auto)
+    return packable ? EngineKind::Packed : EngineKind::Scalar;
+  if (requested == EngineKind::Packed && !packable)
+    throw std::logic_error(
+        "resolve_engine: packed temporal lanes require a combinational "
+        "netlist with <= 64 inputs/outputs (sequential state recurrence "
+        "serializes consecutive cycles); use the scalar engine or packed "
+        "replica lanes via PackedSimulator directly");
+  return requested;
+}
+
+const char* engine_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::Auto: return "auto";
+    case EngineKind::Scalar: return "scalar";
+    case EngineKind::Packed: return "packed";
+  }
+  return "?";
+}
+
+void transpose64(std::uint64_t m[64]) {
+  // Block-swap transpose: exchange the off-diagonal quadrants of
+  // progressively smaller 2j x 2j blocks. Convention: element (row r,
+  // column c) lives at bit c of m[r], so the swap pairs bit c+j of row r
+  // with bit c of row r+j.
+  std::uint64_t mask = 0x00000000FFFFFFFFull;
+  for (int j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (int k = 0; k < 64; k = ((k | j) + 1) & ~j) {
+      std::uint64_t t = ((m[k] >> j) ^ m[k | j]) & mask;
+      m[k] ^= t << j;
+      m[k | j] ^= t;
+    }
+  }
+}
+
+PackedSimulator::PackedSimulator(const netlist::Netlist& nl) : nl_(&nl) {
+  lanes_.assign(nl.gate_count(), 0);
+  for (GateId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    if (!netlist::is_logic(g.kind)) continue;
+    Op op;
+    op.kind = g.kind;
+    op.gate = id;
+    op.fanin_begin = static_cast<std::uint32_t>(flat_fanins_.size());
+    flat_fanins_.insert(flat_fanins_.end(), g.fanins.begin(), g.fanins.end());
+    op.fanin_end = static_cast<std::uint32_t>(flat_fanins_.size());
+    ops_.push_back(op);
+  }
+  reset();
+}
+
+void PackedSimulator::reset() {
+  lanes_.assign(nl_->gate_count(), 0);
+  for (GateId g = 0; g < nl_->gate_count(); ++g)
+    if (nl_->gate(g).kind == GateKind::Const1) lanes_[g] = ~std::uint64_t{0};
+  for (GateId d : nl_->dffs())
+    lanes_[d] = nl_->dff_init(d) ? ~std::uint64_t{0} : 0;
+}
+
+void PackedSimulator::set_input_lanes(GateId input, std::uint64_t lanes) {
+  lanes_[input] = lanes;
+}
+
+void PackedSimulator::set_inputs_from_cycles(
+    std::span<const std::uint64_t> words) {
+  auto ins = nl_->inputs();
+  if (ins.size() > 64)
+    throw std::out_of_range(
+        "PackedSimulator::set_inputs_from_cycles: more than 64 inputs");
+  std::uint64_t m[64] = {};
+  const std::size_t count = words.size() < 64 ? words.size() : 64;
+  for (std::size_t k = 0; k < count; ++k) m[k] = words[k];
+  transpose64(m);
+  for (std::size_t i = 0; i < ins.size(); ++i) lanes_[ins[i]] = m[i];
+}
+
+void PackedSimulator::eval() {
+  const GateId* fan = flat_fanins_.data();
+  for (const Op& op : ops_) {
+    const GateId* f = fan + op.fanin_begin;
+    const std::uint32_t n = op.fanin_end - op.fanin_begin;
+    std::uint64_t v = 0;
+    switch (op.kind) {
+      case GateKind::Buf:
+        v = lanes_[f[0]];
+        break;
+      case GateKind::Not:
+        v = ~lanes_[f[0]];
+        break;
+      case GateKind::And:
+      case GateKind::Nand: {
+        v = ~std::uint64_t{0};
+        for (std::uint32_t i = 0; i < n; ++i) v &= lanes_[f[i]];
+        if (op.kind == GateKind::Nand) v = ~v;
+        break;
+      }
+      case GateKind::Or:
+      case GateKind::Nor: {
+        v = 0;
+        for (std::uint32_t i = 0; i < n; ++i) v |= lanes_[f[i]];
+        if (op.kind == GateKind::Nor) v = ~v;
+        break;
+      }
+      case GateKind::Xor:
+      case GateKind::Xnor: {
+        v = 0;
+        for (std::uint32_t i = 0; i < n; ++i) v ^= lanes_[f[i]];
+        if (op.kind == GateKind::Xnor) v = ~v;
+        break;
+      }
+      case GateKind::Mux:
+        v = (lanes_[f[0]] & lanes_[f[2]]) | (~lanes_[f[0]] & lanes_[f[1]]);
+        break;
+      default:  // Input/Const/Dff never appear in ops_.
+        break;
+    }
+    lanes_[op.gate] = v;
+  }
+}
+
+void PackedSimulator::tick() {
+  dff_next_.clear();
+  for (GateId d : nl_->dffs()) {
+    const Gate& g = nl_->gate(d);
+    dff_next_.push_back(g.fanins.empty() ? lanes_[d] : lanes_[g.fanins[0]]);
+  }
+  std::size_t i = 0;
+  for (GateId d : nl_->dffs()) lanes_[d] = dff_next_[i++];
+}
+
+void PackedSimulator::outputs_to_cycles(std::span<std::uint64_t> out) const {
+  auto outs = nl_->outputs();
+  if (outs.size() > 64)
+    throw std::out_of_range(
+        "PackedSimulator::outputs_to_cycles: more than 64 outputs");
+  std::uint64_t m[64] = {};
+  for (std::size_t i = 0; i < outs.size(); ++i) m[i] = lanes_[outs[i]];
+  transpose64(m);
+  const std::size_t count = out.size() < 64 ? out.size() : 64;
+  for (std::size_t k = 0; k < count; ++k) out[k] = m[k];
+}
+
+PackedActivityCollector::PackedActivityCollector(const netlist::Netlist& nl)
+    : nl_(&nl) {
+  toggles_.assign(nl.gate_count(), 0);
+}
+
+void PackedActivityCollector::record(const PackedSimulator& sim,
+                                     std::uint64_t lane_mask) {
+  const std::size_t n = nl_->gate_count();
+  if (cycles_ == 0) {
+    prev_.resize(n);
+    lanes_per_record_ = std::popcount(lane_mask);
+    for (GateId g = 0; g < n; ++g) prev_[g] = sim.lanes(g);
+  } else {
+    for (GateId g = 0; g < n; ++g) {
+      std::uint64_t cur = sim.lanes(g);
+      toggles_[g] += static_cast<std::uint64_t>(
+          std::popcount((cur ^ prev_[g]) & lane_mask));
+      prev_[g] = cur;
+    }
+  }
+  ++cycles_;
+}
+
+std::vector<double> PackedActivityCollector::activities() const {
+  std::vector<double> e(toggles_.size(), 0.0);
+  if (cycles_ < 2 || lanes_per_record_ == 0) return e;
+  double denom = static_cast<double>(cycles_ - 1) *
+                 static_cast<double>(lanes_per_record_);
+  for (std::size_t g = 0; g < toggles_.size(); ++g)
+    e[g] = static_cast<double>(toggles_[g]) / denom;
+  return e;
+}
+
+}  // namespace hlp::sim

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/engine.hpp"
+
+namespace hlp::sim {
+
+/// 64-lane bit-parallel zero-delay simulator (the packed `SimEngine`
+/// backend). Each gate holds one `uint64_t` whose bit k is the gate's value
+/// under pattern k, so one pass over the netlist evaluates 64 patterns:
+/// AND/OR/XOR/NOT/MUX become single bitwise ops and a DFF tick samples all
+/// 64 lane states at once.
+///
+/// Lane semantics are chosen by the caller:
+///  * temporal packing (combinational netlists only): lane k = cycle
+///    base+k of one stream; toggle counts come from `popcount(x ^ (x >> 1))`
+///    and are bit-identical to a scalar cycle loop;
+///  * replica packing (sequential netlists): lane k = an independent
+///    pattern stream with its own DFF state trajectory.
+///
+/// Usage per step mirrors `Simulator`:
+///   ps.set_inputs_from_cycles(words); ps.eval();  // settle
+///   ... read lanes / count toggles ...
+///   ps.tick();                                    // clock edge, all lanes
+class PackedSimulator {
+ public:
+  static constexpr int kLanes = 64;
+
+  explicit PackedSimulator(const netlist::Netlist& nl);
+
+  /// Reset DFF lanes to their broadcast init values, clear all nets to 0.
+  void reset();
+
+  /// Assign one primary input's 64 lanes directly.
+  void set_input_lanes(netlist::GateId input, std::uint64_t lanes);
+
+  /// Load up to 64 cycle words (vector-stream convention: bit i of words[k]
+  /// drives primary input i in lane k); lanes >= words.size() are cleared.
+  /// Requires <= 64 primary inputs.
+  void set_inputs_from_cycles(std::span<const std::uint64_t> words);
+
+  /// Propagate all 64 lanes through the combinational logic.
+  void eval();
+
+  /// Clock edge: every DFF samples its D input in every lane.
+  void tick();
+
+  /// Per-gate lane word (bit k = value under pattern k).
+  std::uint64_t lanes(netlist::GateId g) const { return lanes_[g]; }
+
+  /// Transpose primary-output lanes back to cycle words: out[k] bit i =
+  /// output i under pattern k. Writes min(out.size(), 64) words; requires
+  /// <= 64 primary outputs.
+  void outputs_to_cycles(std::span<std::uint64_t> out) const;
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+ private:
+  /// Flattened topo-ordered op list: dispatching on a dense struct keeps the
+  /// 64-pattern eval loop free of per-gate vector traffic.
+  struct Op {
+    netlist::GateKind kind;
+    netlist::GateId gate;
+    std::uint32_t fanin_begin;
+    std::uint32_t fanin_end;
+  };
+
+  const netlist::Netlist* nl_;
+  std::vector<std::uint64_t> lanes_;
+  std::vector<Op> ops_;
+  std::vector<netlist::GateId> flat_fanins_;
+  std::vector<std::uint64_t> dff_next_;
+};
+
+/// Toggle accumulator for packed *replica* lanes: each record() counts, per
+/// gate, the lanes that changed since the previous record. With `lane_mask`
+/// restricting to L active lanes, activities() normalizes by L independent
+/// (cycles-1)-transition streams, matching the mean of L scalar collectors.
+class PackedActivityCollector {
+ public:
+  explicit PackedActivityCollector(const netlist::Netlist& nl);
+
+  void record(const PackedSimulator& sim,
+              std::uint64_t lane_mask = ~std::uint64_t{0});
+
+  std::size_t cycles() const { return cycles_; }
+  std::span<const std::uint64_t> toggles() const { return toggles_; }
+  std::vector<double> activities() const;
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<std::uint64_t> prev_;
+  std::vector<std::uint64_t> toggles_;
+  std::size_t cycles_ = 0;
+  int lanes_per_record_ = 0;
+};
+
+}  // namespace hlp::sim

@@ -1,6 +1,11 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
+#include <stdexcept>
+
+#include "sim/packed_simulator.hpp"
 
 namespace hlp::sim {
 
@@ -32,8 +37,21 @@ void Simulator::set_word(const netlist::Word& w, std::uint64_t value) {
 
 void Simulator::set_all_inputs(std::uint64_t packed) {
   auto ins = nl_->inputs();
+  if (ins.size() > 64)
+    throw std::out_of_range(
+        "Simulator::set_all_inputs: netlist has more than 64 inputs; "
+        "use set_inputs(span)");
   for (std::size_t i = 0; i < ins.size(); ++i)
     values_[ins[i]] = (packed >> i) & 1u;
+}
+
+void Simulator::set_inputs(std::span<const std::uint8_t> bits) {
+  auto ins = nl_->inputs();
+  if (bits.size() < ins.size())
+    throw std::out_of_range("Simulator::set_inputs: span shorter than the "
+                            "primary input list");
+  for (std::size_t i = 0; i < ins.size(); ++i)
+    values_[ins[i]] = bits[i] ? 1 : 0;
 }
 
 void Simulator::eval() {
@@ -66,11 +84,24 @@ std::uint64_t Simulator::word_value(const netlist::Word& w) const {
 }
 
 std::uint64_t Simulator::output_bits() const {
-  std::uint64_t v = 0;
   auto outs = nl_->outputs();
-  for (std::size_t i = 0; i < outs.size() && i < 64; ++i)
+  if (outs.size() > 64)
+    throw std::out_of_range(
+        "Simulator::output_bits: netlist has more than 64 outputs; "
+        "use read_outputs(span)");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < outs.size(); ++i)
     if (values_[outs[i]]) v |= std::uint64_t{1} << i;
   return v;
+}
+
+void Simulator::read_outputs(std::span<std::uint8_t> out) const {
+  auto outs = nl_->outputs();
+  if (out.size() < outs.size())
+    throw std::out_of_range("Simulator::read_outputs: span shorter than the "
+                            "primary output list");
+  for (std::size_t i = 0; i < outs.size(); ++i)
+    out[i] = values_[outs[i]] ? 1 : 0;
 }
 
 ActivityCollector::ActivityCollector(const netlist::Netlist& nl) : nl_(&nl) {
@@ -103,9 +134,67 @@ std::vector<double> ActivityCollector::activities() const {
   return e;
 }
 
+namespace {
+
+/// Temporal-lane packed sweep over a combinational netlist: lane k of block
+/// `base` carries cycle base+k. Within a block, consecutive-cycle toggles
+/// are popcount(x ^ (x >> 1)); the block boundary compares lane 0 against
+/// the previous block's last lane. Exactly reproduces the scalar
+/// record-per-cycle toggle counts.
+std::vector<double> packed_activities(const netlist::Netlist& nl,
+                                      const stats::VectorStream& in_stream,
+                                      stats::VectorStream* out_stream) {
+  PackedSimulator ps(nl);
+  const std::size_t n = nl.gate_count();
+  const std::size_t total = in_stream.words.size();
+  std::vector<std::uint64_t> toggles(n, 0);
+  std::vector<std::uint8_t> last(n, 0);
+  if (out_stream) {
+    out_stream->width = static_cast<int>(nl.outputs().size());
+    out_stream->words.clear();
+    out_stream->words.reserve(total);
+  }
+  bool first_block = true;
+  for (std::size_t base = 0; base < total; base += 64) {
+    const int count = static_cast<int>(std::min<std::size_t>(64, total - base));
+    ps.set_inputs_from_cycles(
+        std::span(in_stream.words).subspan(base, static_cast<std::size_t>(count)));
+    ps.eval();
+    const std::uint64_t mask =
+        count == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << count) - 1);
+    const std::uint64_t inner = mask >> 1;  // pairs (k, k+1) inside the block
+    for (GateId g = 0; g < n; ++g) {
+      const std::uint64_t x = ps.lanes(g) & mask;
+      std::uint64_t t =
+          static_cast<std::uint64_t>(std::popcount((x ^ (x >> 1)) & inner));
+      if (!first_block) t += ((x & 1u) != last[g]) ? 1u : 0u;
+      toggles[g] += t;
+      last[g] = static_cast<std::uint8_t>((x >> (count - 1)) & 1u);
+    }
+    if (out_stream) {
+      std::uint64_t ob[64];
+      ps.outputs_to_cycles(ob);
+      for (int k = 0; k < count; ++k) out_stream->words.push_back(ob[k]);
+    }
+    first_block = false;
+  }
+  std::vector<double> e(n, 0.0);
+  if (total >= 2) {
+    double denom = static_cast<double>(total - 1);
+    for (std::size_t g = 0; g < n; ++g)
+      e[g] = static_cast<double>(toggles[g]) / denom;
+  }
+  return e;
+}
+
+}  // namespace
+
 std::vector<double> simulate_activities(const netlist::Netlist& nl,
                                         const stats::VectorStream& in_stream,
-                                        stats::VectorStream* out_stream) {
+                                        stats::VectorStream* out_stream,
+                                        const SimOptions& opts) {
+  if (resolve_engine(nl, opts.engine) == EngineKind::Packed)
+    return packed_activities(nl, in_stream, out_stream);
   Simulator sim(nl);
   ActivityCollector col(nl);
   if (out_stream) {
@@ -118,13 +207,39 @@ std::vector<double> simulate_activities(const netlist::Netlist& nl,
     col.record(sim);
     if (out_stream) out_stream->words.push_back(sim.output_bits());
     sim.tick();
-    if (!nl.dffs().empty()) {
-      // Re-settle after the clock edge so the next snapshot includes the
-      // effect of the new state under the same inputs. (For purely
-      // combinational netlists this is a no-op.)
-    }
   }
   return col.activities();
+}
+
+stats::VectorStream simulate_outputs(const netlist::Netlist& nl,
+                                     const stats::VectorStream& in_stream,
+                                     const SimOptions& opts) {
+  stats::VectorStream out;
+  if (resolve_engine(nl, opts.engine) == EngineKind::Packed) {
+    PackedSimulator ps(nl);
+    const std::size_t total = in_stream.words.size();
+    out.width = static_cast<int>(nl.outputs().size());
+    out.words.reserve(total);
+    for (std::size_t base = 0; base < total; base += 64) {
+      const std::size_t count = std::min<std::size_t>(64, total - base);
+      ps.set_inputs_from_cycles(std::span(in_stream.words).subspan(base, count));
+      ps.eval();
+      std::uint64_t ob[64];
+      ps.outputs_to_cycles(ob);
+      for (std::size_t k = 0; k < count; ++k) out.words.push_back(ob[k]);
+    }
+    return out;
+  }
+  Simulator sim(nl);
+  out.width = static_cast<int>(nl.outputs().size());
+  out.words.reserve(in_stream.words.size());
+  for (std::uint64_t w : in_stream.words) {
+    sim.set_all_inputs(w);
+    sim.eval();
+    out.words.push_back(sim.output_bits());
+    sim.tick();
+  }
+  return out;
 }
 
 }  // namespace hlp::sim

@@ -5,11 +5,13 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/engine.hpp"
 #include "stats/entropy.hpp"
 
 namespace hlp::sim {
 
-/// Zero-delay functional simulator for `netlist::Netlist`.
+/// Zero-delay functional simulator for `netlist::Netlist` (the scalar
+/// `SimEngine` backend; see engine.hpp for the backend contract).
 ///
 /// Usage per cycle:
 ///   sim.set_input(...); sim.eval();   // settle combinational logic
@@ -26,7 +28,13 @@ class Simulator {
   /// Assign an input word from an integer, LSB first.
   void set_word(const netlist::Word& w, std::uint64_t value);
   /// Assign all primary inputs from packed bits (bit i -> inputs()[i]).
+  /// Throws std::out_of_range on netlists with more than 64 inputs (one
+  /// word cannot carry them); use set_inputs() there.
   void set_all_inputs(std::uint64_t packed);
+  /// Assign all primary inputs from a bit span (bits[i] -> inputs()[i]);
+  /// works for any input count. Throws if the span is shorter than the
+  /// input list.
+  void set_inputs(std::span<const std::uint8_t> bits);
 
   /// Propagate values through the combinational logic (topological order).
   void eval();
@@ -36,8 +44,13 @@ class Simulator {
 
   bool value(netlist::GateId g) const { return values_[g] != 0; }
   std::uint64_t word_value(const netlist::Word& w) const;
-  /// Packed primary-output bits (output i -> bit i), up to 64 outputs.
+  /// Packed primary-output bits (output i -> bit i). Throws
+  /// std::out_of_range on netlists with more than 64 outputs; use
+  /// read_outputs() there.
   std::uint64_t output_bits() const;
+  /// Copy primary-output values into `out` (out[i] = outputs()[i]); works
+  /// for any output count. Throws if the span is too short.
+  void read_outputs(std::span<std::uint8_t> out) const;
 
   const netlist::Netlist& netlist() const { return *nl_; }
 
@@ -72,8 +85,17 @@ class ActivityCollector {
 /// Run the netlist over an input stream (one word per cycle; stream bit i
 /// drives primary input i) and return per-gate zero-delay activities.
 /// If `out_stream` is non-null it receives the primary-output stream.
+/// Engine-generic: with the default Auto engine, combinational netlists run
+/// on the 64-lane packed backend (bit-identical results, see engine.hpp);
+/// sequential netlists run scalar.
 std::vector<double> simulate_activities(
     const netlist::Netlist& nl, const stats::VectorStream& in_stream,
-    stats::VectorStream* out_stream = nullptr);
+    stats::VectorStream* out_stream = nullptr, const SimOptions& opts = {});
+
+/// Run the netlist over an input stream and return only the primary-output
+/// stream (engine-generic; packed on combinational netlists under Auto).
+stats::VectorStream simulate_outputs(const netlist::Netlist& nl,
+                                     const stats::VectorStream& in_stream,
+                                     const SimOptions& opts = {});
 
 }  // namespace hlp::sim

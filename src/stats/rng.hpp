@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
 
 namespace hlp::stats {
 
@@ -30,6 +31,13 @@ class Rng {
     if (bits <= 0) return 0;
     std::uint64_t v = engine_();
     return bits >= 64 ? v : (v & ((std::uint64_t{1} << bits) - 1));
+  }
+
+  /// Lane-batched vectors: out[k] equals the k-th of out.size() successive
+  /// uniform_bits(width) draws, so packed 64-pattern consumers see exactly
+  /// the vector sequence a scalar caller would draw one at a time.
+  void fill_packed(std::span<std::uint64_t> out, int width) {
+    for (std::uint64_t& w : out) w = uniform_bits(width);
   }
 
   /// Uniform real in [lo, hi).

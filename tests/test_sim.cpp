@@ -159,6 +159,37 @@ TEST(SimulateActivities, OutputStreamMatchesManualSim) {
   }
 }
 
+TEST(WideNetlist, SetAllInputsAndOutputBitsThrowBeyond64) {
+  // 70 inputs / 70 outputs: the packed-word entry points must refuse
+  // instead of silently truncating to the low 64 lines.
+  Netlist nl;
+  std::vector<netlist::GateId> ins;
+  for (int i = 0; i < 70; ++i) ins.push_back(nl.add_input());
+  for (int i = 0; i < 70; ++i) {
+    auto b = nl.add_unary(GateKind::Buf, ins[static_cast<std::size_t>(i)]);
+    nl.mark_output(b);
+  }
+  Simulator s(nl);
+  EXPECT_THROW(s.set_all_inputs(0), std::out_of_range);
+  EXPECT_THROW((void)s.output_bits(), std::out_of_range);
+
+  // The span interfaces drive and read every line, including those past 64.
+  std::vector<std::uint8_t> bits(70, 0);
+  bits[67] = 1;
+  bits[3] = 1;
+  s.set_inputs(bits);
+  s.eval();
+  std::vector<std::uint8_t> out(70, 0xff);
+  s.read_outputs(out);
+  for (int i = 0; i < 70; ++i)
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], (i == 67 || i == 3) ? 1 : 0);
+
+  // Undersized spans are rejected too.
+  std::vector<std::uint8_t> small(69);
+  EXPECT_THROW(s.set_inputs(small), std::out_of_range);
+  EXPECT_THROW(s.read_outputs(small), std::out_of_range);
+}
+
 TEST(Streams, ZipAndConcat) {
   auto a = counter_stream(4, 10);
   auto b = counter_stream(4, 10, 5);

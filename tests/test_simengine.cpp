@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/macromodel.hpp"
+#include "core/sampling_power.hpp"
+#include "netlist/generators.hpp"
+#include "sim/packed_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/streams.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace hlp;
+using netlist::GateKind;
+using netlist::Netlist;
+
+// --- transpose64 ---------------------------------------------------------
+
+TEST(Transpose64, MovesBitAcrossTheDiagonal) {
+  std::uint64_t m[64] = {};
+  m[3] = std::uint64_t{1} << 17;  // element (row 3, col 17)
+  sim::transpose64(m);
+  for (int r = 0; r < 64; ++r)
+    EXPECT_EQ(m[r], r == 17 ? std::uint64_t{1} << 3 : 0u) << "row " << r;
+}
+
+TEST(Transpose64, IsAnInvolutionOnRandomMatrices) {
+  stats::Rng rng(99);
+  std::uint64_t m[64], orig[64];
+  for (int i = 0; i < 64; ++i) m[i] = orig[i] = rng.uniform_bits(64);
+  sim::transpose64(m);
+  // Spot-check the defining property on a few elements.
+  for (int r = 0; r < 64; r += 7)
+    for (int c = 0; c < 64; c += 5)
+      EXPECT_EQ((m[c] >> r) & 1u, (orig[r] >> c) & 1u);
+  sim::transpose64(m);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(m[i], orig[i]);
+}
+
+// --- engine resolution ---------------------------------------------------
+
+TEST(ResolveEngine, AutoPicksPackedForCombinational) {
+  auto mod = netlist::adder_module(8);
+  EXPECT_EQ(sim::resolve_engine(mod.netlist, sim::EngineKind::Auto),
+            sim::EngineKind::Packed);
+  EXPECT_EQ(sim::resolve_engine(mod.netlist, sim::EngineKind::Scalar),
+            sim::EngineKind::Scalar);
+}
+
+TEST(ResolveEngine, AutoFallsBackToScalarForSequential) {
+  Netlist nl;
+  auto q = nl.add_dff();
+  auto nq = nl.add_unary(GateKind::Not, q);
+  nl.set_dff_input(q, nq);
+  nl.mark_output(nq);
+  EXPECT_EQ(sim::resolve_engine(nl, sim::EngineKind::Auto),
+            sim::EngineKind::Scalar);
+  EXPECT_THROW(sim::resolve_engine(nl, sim::EngineKind::Packed),
+               std::logic_error);
+}
+
+// --- packed vs scalar differential: activities and outputs ---------------
+
+void expect_exact_equivalence(const Netlist& nl, int n_in,
+                              std::size_t cycles, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  auto in = sim::random_stream(n_in, cycles, 0.5, rng);
+
+  stats::VectorStream out_s, out_p;
+  auto act_s = sim::simulate_activities(
+      nl, in, &out_s, sim::SimOptions{sim::EngineKind::Scalar});
+  auto act_p = sim::simulate_activities(
+      nl, in, &out_p, sim::SimOptions{sim::EngineKind::Packed});
+
+  ASSERT_EQ(act_s.size(), act_p.size());
+  for (std::size_t g = 0; g < act_s.size(); ++g)
+    EXPECT_EQ(act_s[g], act_p[g]) << "activity mismatch at gate " << g;
+  ASSERT_EQ(out_s.words.size(), out_p.words.size());
+  for (std::size_t t = 0; t < out_s.words.size(); ++t)
+    EXPECT_EQ(out_s.words[t], out_p.words[t]) << "output mismatch at " << t;
+
+  auto so = sim::simulate_outputs(nl, in,
+                                  sim::SimOptions{sim::EngineKind::Scalar});
+  auto po = sim::simulate_outputs(nl, in,
+                                  sim::SimOptions{sim::EngineKind::Packed});
+  EXPECT_EQ(so.words, po.words);
+}
+
+TEST(PackedDifferential, RandomDags) {
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    auto mod = netlist::random_logic_module(16, 120, 8, seed);
+    // 130 cycles spans two full blocks plus a partial third.
+    expect_exact_equivalence(mod.netlist, mod.total_input_bits(), 130,
+                             seed + 100);
+  }
+}
+
+TEST(PackedDifferential, Adders) {
+  for (int n : {4, 8, 16}) {
+    auto mod = netlist::adder_module(n);
+    expect_exact_equivalence(mod.netlist, mod.total_input_bits(), 200, 3);
+  }
+}
+
+TEST(PackedDifferential, Multipliers) {
+  for (int n : {4, 6}) {
+    auto mod = netlist::multiplier_module(n);
+    expect_exact_equivalence(mod.netlist, mod.total_input_bits(), 150, 5);
+  }
+}
+
+TEST(PackedDifferential, AluParityComparatorMuxTree) {
+  auto alu = netlist::alu_module(6);
+  expect_exact_equivalence(alu.netlist, alu.total_input_bits(), 100, 11);
+  auto par = netlist::parity_module(12);
+  expect_exact_equivalence(par.netlist, par.total_input_bits(), 100, 12);
+  auto cmp = netlist::comparator_module(10);
+  expect_exact_equivalence(cmp.netlist, cmp.total_input_bits(), 100, 13);
+  auto mux = netlist::mux_tree_module(3);
+  expect_exact_equivalence(mux.netlist, mux.total_input_bits(), 100, 14);
+}
+
+TEST(PackedDifferential, ShortAndPartialStreams) {
+  auto mod = netlist::adder_module(8);
+  // Degenerate lengths: empty, one cycle, exactly one block, one over.
+  for (std::size_t cycles : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                             std::size_t{63}, std::size_t{64},
+                             std::size_t{65}}) {
+    expect_exact_equivalence(mod.netlist, mod.total_input_bits(), cycles, 21);
+  }
+}
+
+// --- sequential circuits: replica lanes ----------------------------------
+
+TEST(PackedReplicaLanes, SequentialFsmMatches64ScalarRuns) {
+  // Serial-in parity accumulator: q' = q xor in; y = q or in.
+  Netlist nl;
+  auto in = nl.add_input("in");
+  auto q = nl.add_dff();
+  auto x = nl.add_binary(GateKind::Xor, q, in);
+  nl.set_dff_input(q, x);
+  auto y = nl.add_binary(GateKind::Or, q, in);
+  nl.mark_output(y);
+
+  // 64 independent input streams, one per lane.
+  const std::size_t cycles = 40;
+  stats::Rng rng(77);
+  std::vector<std::uint64_t> lane_words(cycles);
+  for (auto& w : lane_words) w = rng.uniform_bits(64);
+
+  sim::PackedSimulator ps(nl);
+  sim::PackedActivityCollector pcol(nl);
+  std::vector<std::uint64_t> packed_y(cycles);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    ps.set_input_lanes(in, lane_words[c]);
+    ps.eval();
+    pcol.record(ps);
+    packed_y[c] = ps.lanes(y);
+    ps.tick();
+  }
+
+  // Reference: 64 scalar replicas.
+  std::uint64_t total_toggles = 0;
+  std::vector<std::uint64_t> toggles_packed(nl.gate_count(), 0);
+  for (int lane = 0; lane < 64; ++lane) {
+    sim::Simulator s(nl);
+    sim::ActivityCollector col(nl);
+    for (std::size_t c = 0; c < cycles; ++c) {
+      s.set_input(in, (lane_words[c] >> lane) & 1u);
+      s.eval();
+      col.record(s);
+      EXPECT_EQ(static_cast<std::uint64_t>(s.value(y)),
+                (packed_y[c] >> lane) & 1u)
+          << "lane " << lane << " cycle " << c;
+      s.tick();
+    }
+    auto acts = col.activities();
+    for (double a : acts)
+      total_toggles +=
+          static_cast<std::uint64_t>(a * static_cast<double>(cycles - 1) + 0.5);
+  }
+  // Packed activities average over all 64 replica lanes.
+  double packed_sum = 0.0;
+  for (double a : pcol.activities())
+    packed_sum += a * static_cast<double>(cycles - 1) * 64.0;
+  EXPECT_NEAR(packed_sum, static_cast<double>(total_toggles), 1e-6);
+}
+
+// --- Monte Carlo power: packed == scalar, bit for bit --------------------
+
+TEST(PackedMonteCarlo, BitIdenticalToScalar) {
+  for (std::uint64_t seed : {2u, 9u}) {
+    auto mod = netlist::multiplier_module(4);
+    const int n_in = mod.total_input_bits();
+    stats::Rng rng_s(seed), rng_p(seed);
+    auto gen_s = [&] { return rng_s.uniform_bits(n_in); };
+    auto gen_p = [&] { return rng_p.uniform_bits(n_in); };
+    auto rs = core::monte_carlo_power(
+        mod, gen_s, 0.05, 0.95, 30, 4000, {},
+        sim::SimOptions{sim::EngineKind::Scalar});
+    auto rp = core::monte_carlo_power(
+        mod, gen_p, 0.05, 0.95, 30, 4000, {},
+        sim::SimOptions{sim::EngineKind::Packed});
+    EXPECT_EQ(rs.mean_energy, rp.mean_energy);
+    EXPECT_EQ(rs.pairs, rp.pairs);
+    EXPECT_EQ(rs.ci_halfwidth, rp.ci_halfwidth);
+    EXPECT_EQ(rs.converged, rp.converged);
+  }
+}
+
+TEST(PackedMonteCarlo, ExhaustsMaxPairsIdentically) {
+  auto mod = netlist::adder_module(6);
+  const int n_in = mod.total_input_bits();
+  stats::Rng rng_s(4), rng_p(4);
+  auto gen_s = [&] { return rng_s.uniform_bits(n_in); };
+  auto gen_p = [&] { return rng_p.uniform_bits(n_in); };
+  // Impossible epsilon: both paths must run to max_pairs (not a multiple
+  // of 64, so the last packed block is partial).
+  auto rs = core::monte_carlo_power(
+      mod, gen_s, 1e-9, 0.95, 30, 100, {},
+      sim::SimOptions{sim::EngineKind::Scalar});
+  auto rp = core::monte_carlo_power(
+      mod, gen_p, 1e-9, 0.95, 30, 100, {},
+      sim::SimOptions{sim::EngineKind::Packed});
+  EXPECT_FALSE(rp.converged);
+  EXPECT_EQ(rs.pairs, rp.pairs);
+  EXPECT_EQ(rs.mean_energy, rp.mean_energy);
+  EXPECT_EQ(rs.ci_halfwidth, rp.ci_halfwidth);
+}
+
+// --- macro-model characterization: packed == scalar ----------------------
+
+TEST(PackedCharacterize, BitIdenticalToScalar) {
+  auto mod = netlist::multiplier_module(4);
+  stats::Rng rng(31);
+  auto in = sim::random_stream(mod.total_input_bits(), 300, 0.5, rng);
+  auto cs =
+      core::characterize(mod, in, {}, sim::SimOptions{sim::EngineKind::Scalar});
+  auto cp =
+      core::characterize(mod, in, {}, sim::SimOptions{sim::EngineKind::Packed});
+  ASSERT_EQ(cs.transitions(), cp.transitions());
+  EXPECT_EQ(cs.n_in, cp.n_in);
+  EXPECT_EQ(cs.n_out, cp.n_out);
+  EXPECT_EQ(cs.total_cap, cp.total_cap);
+  for (std::size_t t = 0; t < cs.transitions(); ++t) {
+    EXPECT_EQ(cs.energy[t], cp.energy[t]) << "t=" << t;
+    EXPECT_EQ(cs.in_activity[t], cp.in_activity[t]);
+    EXPECT_EQ(cs.in_prob[t], cp.in_prob[t]);
+    EXPECT_EQ(cs.out_activity[t], cp.out_activity[t]);
+    EXPECT_EQ(cs.cur_word[t], cp.cur_word[t]);
+    EXPECT_EQ(cs.prev_word[t], cp.prev_word[t]);
+    EXPECT_EQ(cs.pin_toggle[t], cp.pin_toggle[t]);
+  }
+}
+
+// --- Rng::fill_packed ----------------------------------------------------
+
+TEST(RngFillPacked, MatchesSequentialUniformBits) {
+  stats::Rng a(5), b(5);
+  std::vector<std::uint64_t> words(10);
+  a.fill_packed(words, 12);
+  for (std::uint64_t w : words) EXPECT_EQ(w, b.uniform_bits(12));
+}
+
+}  // namespace
