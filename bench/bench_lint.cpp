@@ -1,0 +1,146 @@
+// E-LINT — Design-rule checker throughput over the three IRs.
+//
+// The lint pass (src/lint/) is meant to run at every estimator entry point
+// in strict deployments, so it must stay linear in the design: all rules are
+// single-pass reachability/SCC/fanout computations, O(V + E) over the
+// netlist. This bench measures gates/sec on the largest array multiplier
+// and sweeps random DAGs across a 32x size range — if the checker is really
+// linear, gates/sec stays flat as the design grows.
+//
+// Results go to BENCH_lint.json (cwd, or argv[1] after the google-benchmark
+// flags) so future PRs can track the trajectory.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "cdfg/generators.hpp"
+#include "fsm/stg.hpp"
+#include "lint/lint.hpp"
+#include "netlist/generators.hpp"
+
+namespace {
+
+using namespace hlp;
+
+struct Workload {
+  std::string name;
+  netlist::Module mod;
+  std::size_t edges = 0;
+};
+
+std::size_t count_edges(const netlist::Netlist& nl) {
+  std::size_t e = 0;
+  for (netlist::GateId g = 0; g < nl.gate_count(); ++g)
+    e += nl.gate(g).fanins.size();
+  return e;
+}
+
+std::vector<Workload>& workloads() {
+  static std::vector<Workload> w = [] {
+    std::vector<Workload> v;
+    auto add = [&](std::string name, netlist::Module mod) {
+      std::size_t e = count_edges(mod.netlist);
+      v.push_back({std::move(name), std::move(mod), e});
+    };
+    add("multiplier16", netlist::multiplier_module(16));
+    // O(V+E) scaling sweep: same shape, 32x size range.
+    for (int gates : {1000, 2000, 4000, 8000, 16000, 32000})
+      add("random_dag" + std::to_string(gates),
+          netlist::random_logic_module(32, gates, 16, 42));
+    return v;
+  }();
+  return w;
+}
+
+std::size_t run_lint(const Workload& w) {
+  lint::LintOptions opts;
+  opts.mode = lint::LintMode::Warn;
+  return lint::run_module(w.mod, opts).diags.size();
+}
+
+void BM_Lint(benchmark::State& state, const Workload& w) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_lint(w));
+  }
+  state.counters["gates_per_sec"] = benchmark::Counter(
+      static_cast<double>(w.mod.netlist.gate_count()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// Wall-clock gates/sec for one full run_module pass, best-of-N to damp
+/// scheduler noise.
+double measure_gates_per_sec(const Workload& w, int reps) {
+  using clock = std::chrono::steady_clock;
+  const double gates = static_cast<double>(w.mod.netlist.gate_count());
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = clock::now();
+    benchmark::DoNotOptimize(run_lint(w));
+    auto t1 = clock::now();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (secs > 0.0) best = std::max(best, gates / secs);
+  }
+  return best;
+}
+
+void write_report(const std::string& path) {
+  benchjson::Array circuits;
+  std::printf("\nE-LINT — full rule-set lint throughput (gates/sec)\n\n");
+  std::printf("%16s %8s %8s %8s %14s\n", "circuit", "gates", "edges",
+              "diags", "gates/sec");
+  double first_sweep = 0.0;
+  double last_sweep = 0.0;
+  for (const auto& w : workloads()) {
+    double gps = measure_gates_per_sec(w, 7);
+    std::size_t diags = run_lint(w);
+    std::printf("%16s %8zu %8zu %8zu %14.3e\n", w.name.c_str(),
+                w.mod.netlist.gate_count(), w.edges, diags, gps);
+    if (w.name.rfind("random_dag", 0) == 0) {
+      if (first_sweep == 0.0) first_sweep = gps;
+      last_sweep = gps;
+    }
+    circuits.push_back(benchjson::Object{
+        {"name", w.name},
+        {"gates", w.mod.netlist.gate_count()},
+        {"edges", w.edges},
+        {"diagnostics", diags},
+        {"gates_per_sec", gps},
+    });
+  }
+  // Linearity figure of merit: gates/sec at 32x size over gates/sec at 1x.
+  // ~1.0 means O(V+E); a superlinear checker would decay toward 0.
+  double retention = first_sweep > 0.0 ? last_sweep / first_sweep : 0.0;
+  std::printf("\nthroughput retention across 32x sweep: %.2f "
+              "(1.0 = perfectly linear)\n", retention);
+  benchjson::Object root{
+      {"bench", "lint"},
+      {"metric", "gates_per_sec"},
+      {"sweep_throughput_retention", retention},
+      {"circuits", std::move(circuits)},
+  };
+  if (benchjson::save(path, root))
+    std::printf("\nwrote %s\n", path.c_str());
+  else
+    std::printf("\nfailed to write %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const auto& w : workloads()) {
+    benchmark::RegisterBenchmark(
+        ("BM_Lint/" + w.name).c_str(),
+        [&w](benchmark::State& st) { BM_Lint(st, w); });
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  const char* path = "BENCH_lint.json";
+  if (argc > 1 && argv[1][0] != '-') path = argv[1];
+  write_report(path);
+  return 0;
+}

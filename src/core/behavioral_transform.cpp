@@ -189,7 +189,7 @@ FirDatapath build_fir_datapath(std::span<const int> coefficients, int width,
     Word routed;
     for (GateId bit : p) {
       GateId buf = nl.add_unary(GateKind::Buf, bit);
-      nl.gate(buf).extra_cap += 1.5;  // bus wire load
+      nl.add_extra_cap(buf, 1.5);  // bus wire load
       routed.push_back(buf);
     }
     p = std::move(routed);

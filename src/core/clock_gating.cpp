@@ -40,7 +40,7 @@ ClockGatingResult evaluate_clock_gating(const fsm::Stg& stg,
   else
     fa = nl.add_gate(GateKind::Or, terms, "Fa");
   // Gating latch L modeled as one extra load on F_a.
-  nl.gate(fa).extra_cap += params.cap.dff_pin_cap;
+  nl.add_extra_cap(fa, params.cap.dff_pin_cap);
   nl.mark_output(fa, "Fa");
   res.fa_gates = nl.gate_count() - watermark;
 

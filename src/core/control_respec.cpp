@@ -42,7 +42,7 @@ BusDesign build_bus(int width, int sources) {
   }
   d.bus = level[0];
   // The bus drives heavy downstream loads.
-  for (netlist::GateId g : d.bus) d.nl.gate(g).extra_cap += 3.0;
+  for (netlist::GateId g : d.bus) d.nl.add_extra_cap(g, 3.0);
   netlist::mark_output_word(d.nl, d.bus, "bus");
   return d;
 }

@@ -197,7 +197,7 @@ GuardedCircuit apply_guards(const netlist::Module& mod,
           ++gc.latches;
         }
         // Rewire the copied gate's fanin.
-        for (GateId& fi : nl.gate(xlat[src_g]).fanins)
+        for (GateId& fi : nl.gate_mut(xlat[src_g]).fanins)
           if (fi == xlat[src_f]) fi = gated;
       }
     }

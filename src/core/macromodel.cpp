@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "lint/lint.hpp"
 #include "sim/packed_simulator.hpp"
 #include "sim/simulator.hpp"
 #include "stats/descriptive.hpp"
@@ -96,6 +97,7 @@ ModuleCharacterization characterize(const netlist::Module& mod,
                                     const stats::VectorStream& input,
                                     const netlist::CapacitanceModel& cap,
                                     const sim::SimOptions& opts) {
+  lint::enforce_module(mod, opts.lint, "characterize");
   ModuleCharacterization chr;
   chr.n_in = mod.total_input_bits();
   chr.n_out = mod.total_output_bits();

@@ -54,7 +54,7 @@ RetimedCircuit place_registers_at_cut(const netlist::Module& mod,
     ++rc.registers;
     for (GateId v : fo[u]) {
       if (levels[v] <= cut_level) continue;
-      for (GateId& fi : nl.gate(xlat[v]).fanins)
+      for (GateId& fi : nl.gate_mut(xlat[v]).fanins)
         if (fi == xlat[u]) fi = q;
     }
     if (is_output_here) xlat[u] = q;  // output sampled at the register

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <bit>
 
-#include "stats/descriptive.hpp"
+#include "lint/lint.hpp"
 #include "sim/packed_simulator.hpp"
 #include "sim/simulator.hpp"
+#include "stats/descriptive.hpp"
 #include "stats/sampling.hpp"
 
 namespace hlp::core {
@@ -157,6 +158,7 @@ MonteCarloResult monte_carlo_power(
     const std::function<std::uint64_t()>& vector_gen, double epsilon,
     double confidence, std::size_t min_pairs, std::size_t max_pairs,
     const netlist::CapacitanceModel& cap, const sim::SimOptions& opts) {
+  lint::enforce_module(mod, opts.lint, "monte_carlo_power");
   const auto& nl = mod.netlist;
   if (sim::resolve_engine(nl, opts.engine) == sim::EngineKind::Packed)
     return monte_carlo_power_packed(nl, vector_gen, epsilon, confidence,

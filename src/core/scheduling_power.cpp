@@ -4,6 +4,7 @@
 #include <bit>
 #include <set>
 
+#include "lint/lint.hpp"
 #include "stats/rng.hpp"
 
 namespace hlp::core {
@@ -86,7 +87,9 @@ std::vector<bool> forward_reach(const Cdfg& g,
 
 PowerManagedSchedule monteiro_schedule(
     const Cdfg& g, int latency_slack, const OpDelays& d,
-    const std::map<OpId, double>& branch_prob) {
+    const std::map<OpId, double>& branch_prob,
+    const lint::LintOptions& lint) {
+  lint::enforce_cdfg(g, lint, "monteiro_schedule");
   PowerManagedSchedule res;
   res.activation_prob.assign(g.size(), 1.0);
   Schedule base = cdfg::asap(g, d);
@@ -245,7 +248,9 @@ double fu_input_switching(const Cdfg& g, const Schedule& s,
 
 Schedule activity_driven_schedule(const Cdfg& g,
                                   const std::map<OpKind, int>& limits,
-                                  const OpDelays& d) {
+                                  const OpDelays& d,
+                                  const lint::LintOptions& lint) {
+  lint::enforce_cdfg(g, lint, "activity_driven_schedule");
   // List scheduling where, among ready ops, we prefer one sharing an operand
   // with the op most recently issued to the same kind of unit.
   Schedule s;

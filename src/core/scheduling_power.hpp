@@ -5,6 +5,7 @@
 
 #include "cdfg/cdfg.hpp"
 #include "cdfg/datasim.hpp"
+#include "lint/diagnostics.hpp"
 
 namespace hlp::core {
 
@@ -43,10 +44,13 @@ struct PowerManagedSchedule {
 /// strictly after the control cone settles; feasible muxes get precedence
 /// edges and their unselected branch cone is shut down at runtime.
 /// `branch_prob[mux]` = probability the control input is 1 (default 0.5).
+/// `lint` optionally runs the CD-* design rules on `g` first (strict mode
+/// rejects malformed dataflow before scheduling).
 PowerManagedSchedule monteiro_schedule(
     const cdfg::Cdfg& g, int latency_slack = 2,
     const cdfg::OpDelays& d = {},
-    const std::map<cdfg::OpId, double>& branch_prob = {});
+    const std::map<cdfg::OpId, double>& branch_prob = {},
+    const lint::LintOptions& lint = {});
 
 /// --- Musoll–Cortadella [60]: activity-driven scheduling -----------------
 
@@ -66,9 +70,12 @@ double fu_input_switching(const cdfg::Cdfg& g, const cdfg::Schedule& s,
 
 /// List scheduling whose priority favors placing ops that share operands
 /// consecutively on the same unit (the Musoll–Cortadella objective).
+/// `lint` optionally runs the CD-* rules on `g` before scheduling, and in
+/// strict mode also self-checks the produced schedule against `limits`
+/// (CD-UNSCHED / CD-RESOURCE).
 cdfg::Schedule activity_driven_schedule(
     const cdfg::Cdfg& g, const std::map<cdfg::OpKind, int>& limits,
-    const cdfg::OpDelays& d = {});
+    const cdfg::OpDelays& d = {}, const lint::LintOptions& lint = {});
 
 /// --- Kim–Choi [62]: power-conscious loop folding -------------------------
 ///

@@ -5,6 +5,7 @@
 
 #include "fsm/encoding.hpp"
 #include "fsm/synth.hpp"
+#include "lint/lint.hpp"
 #include "sim/power.hpp"
 #include "sim/simulator.hpp"
 
@@ -102,6 +103,7 @@ DecompositionEval evaluate_decomposition(const Stg& stg,
                                          std::uint64_t seed,
                                          std::span<const double> input_probs,
                                          const sim::SimOptions& opts) {
+  lint::enforce_fsm(stg, opts.lint, "evaluate_decomposition");
   DecompositionEval ev;
   sim::PowerParams pp;
 

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "lint/lint.hpp"
+
 namespace hlp::fsm {
 namespace {
 
@@ -40,7 +42,9 @@ int encoding_bits(EncodingStyle style, std::size_t n_states) {
 
 std::vector<std::uint64_t> encode_states(const Stg& stg, EncodingStyle style,
                                          const MarkovAnalysis* ma,
-                                         std::uint64_t seed) {
+                                         std::uint64_t seed,
+                                         const lint::LintOptions& lint) {
+  lint::enforce_fsm(stg, lint, "encode_states");
   const std::size_t n = stg.num_states();
   std::vector<std::uint64_t> codes(n);
   switch (style) {

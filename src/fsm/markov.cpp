@@ -3,6 +3,8 @@
 #include <bit>
 #include <cmath>
 
+#include "lint/lint.hpp"
+
 namespace hlp::fsm {
 
 std::size_t MarkovAnalysis::nonzero_edges() const {
@@ -25,7 +27,8 @@ double MarkovAnalysis::edge_entropy() const {
 
 MarkovAnalysis analyze_markov(const Stg& stg,
                               std::span<const double> input_probs,
-                              int iters) {
+                              int iters, const lint::LintOptions& lint) {
+  lint::enforce_fsm(stg, lint, "analyze_markov");
   const std::size_t n = stg.num_states();
   const std::size_t sym = stg.n_symbols();
   MarkovAnalysis ma;

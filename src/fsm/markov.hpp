@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "fsm/stg.hpp"
+#include "lint/diagnostics.hpp"
 #include "stats/entropy.hpp"
 #include "stats/rng.hpp"
 
@@ -32,9 +33,13 @@ struct MarkovAnalysis {
 
 /// `input_probs` has one probability per input symbol (must sum to ~1);
 /// empty means uniform. Power iteration runs `iters` sweeps from uniform.
+/// `lint` optionally runs the FS-* design rules first: strict mode rejects
+/// non-ergodic chains (FS-ERGODIC), whose steady state puts zero mass on
+/// every transient state.
 MarkovAnalysis analyze_markov(const Stg& stg,
                               std::span<const double> input_probs = {},
-                              int iters = 2000);
+                              int iters = 2000,
+                              const lint::LintOptions& lint = {});
 
 /// Expected state-register switching per cycle for an encoding:
 /// sum_{i,j} p_ij * Hamming(code_i, code_j).

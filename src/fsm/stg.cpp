@@ -10,8 +10,12 @@ StateId Stg::add_state(std::string_view name) {
   StateId id = static_cast<StateId>(next_.size());
   next_.emplace_back(n_symbols(), id);  // default: self-loop
   out_.emplace_back(n_symbols(), 0);
-  names_.emplace_back(name.empty() ? "s" + std::to_string(id)
-                                   : std::string(name));
+  std::string n(name);
+  if (n.empty()) {
+    n += 's';
+    n += std::to_string(id);
+  }
+  names_.push_back(std::move(n));
   return id;
 }
 
@@ -84,8 +88,11 @@ Stg protocol_fsm(int burst_len) {
   Stg stg(2, 2);
   StateId idle = stg.add_state("idle");
   std::vector<StateId> burst;
-  for (int i = 0; i < burst_len; ++i)
-    burst.push_back(stg.add_state("b" + std::to_string(i)));
+  for (int i = 0; i < burst_len; ++i) {
+    std::string bn(1, 'b');
+    bn += std::to_string(i);
+    burst.push_back(stg.add_state(bn));
+  }
   // Idle: stay unless req.
   for (std::uint64_t in = 0; in < 4; ++in)
     stg.set_transition(idle, in, (in & 1u) ? burst[0] : idle, 0);

@@ -1,0 +1,192 @@
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace hlp::lint {
+
+namespace {
+
+using cdfg::Cdfg;
+using cdfg::OpId;
+using cdfg::OpKind;
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::Input: return "input";
+    case OpKind::Const: return "const";
+    case OpKind::Add: return "add";
+    case OpKind::Sub: return "sub";
+    case OpKind::Mul: return "mul";
+    case OpKind::Shift: return "shift";
+    case OpKind::Cmp: return "cmp";
+    case OpKind::Mux: return "mux";
+    case OpKind::Output: return "output";
+  }
+  return "?";
+}
+
+void emit(Report& rep, const LintOptions& opts, std::string_view rule,
+          const Cdfg& g, OpId id, std::string message) {
+  if (!opts.enabled(rule)) return;
+  Diagnostic d;
+  d.rule_id = std::string(rule);
+  d.severity = RuleRegistry::global().severity(rule);
+  d.loc.ir = Ir::Cdfg;
+  d.loc.object = id;
+  if (id != kNoObject && id < g.size()) d.loc.name = g.op(id).name;
+  d.message = std::move(message);
+  rep.diags.push_back(std::move(d));
+}
+
+std::string op_label(const Cdfg& g, OpId id) {
+  std::string s = "op";
+  s += std::to_string(id);
+  s += '(';
+  s += op_kind_name(g.op(id).kind);
+  if (!g.op(id).name.empty()) {
+    s += ' ';
+    s += g.op(id).name;
+  }
+  s += ')';
+  return s;
+}
+
+/// CD-REF + CD-ARITY; returns false when any operand reference is invalid.
+bool check_refs_and_arity(const Cdfg& g, const LintOptions& opts,
+                          Report& rep) {
+  bool ok = true;
+  for (OpId id = 0; id < g.size(); ++id) {
+    const cdfg::Op& op = g.op(id);
+    for (OpId p : op.preds) {
+      // Ops are topologically ordered by construction, so any operand id
+      // at or beyond the op itself is a use before its definition.
+      if (p >= id) {
+        emit(rep, opts, "CD-REF", g, id,
+             op_label(g, id) + " uses operand " + std::to_string(p) +
+                 (p >= g.size() ? " which does not exist"
+                                : " before it is defined"));
+        ok = false;
+      }
+    }
+    const std::size_t k = op.preds.size();
+    std::size_t want_lo = 0, want_hi = 0;
+    switch (op.kind) {
+      case OpKind::Input:
+      case OpKind::Const: want_lo = want_hi = 0; break;
+      case OpKind::Output: want_lo = want_hi = 1; break;
+      case OpKind::Mux: want_lo = want_hi = 3; break;
+      case OpKind::Shift: want_lo = 1; want_hi = 2; break;  // constant shift
+      default: want_lo = want_hi = 2; break;  // Add/Sub/Mul/Cmp
+    }
+    if (k < want_lo || k > want_hi)
+      emit(rep, opts, "CD-ARITY", g, id,
+           op_label(g, id) + " has " + std::to_string(k) +
+               " operand(s), expected " +
+               (want_lo == want_hi
+                    ? std::to_string(want_lo)
+                    : std::to_string(want_lo) + ".." +
+                          std::to_string(want_hi)));
+  }
+  return ok;
+}
+
+void check_widths_and_liveness(const Cdfg& g, const LintOptions& opts,
+                               Report& rep) {
+  // CD-WIDTH: binary compute ops whose operand widths disagree; the energy
+  // models are width-driven, so a silent width mixup skews estimates.
+  for (OpId id = 0; id < g.size(); ++id) {
+    const cdfg::Op& op = g.op(id);
+    if (op.preds.size() == 2 && Cdfg::is_compute(op.kind) &&
+        op.kind != OpKind::Shift) {
+      int w0 = g.op(op.preds[0]).width;
+      int w1 = g.op(op.preds[1]).width;
+      if (w0 != w1)
+        emit(rep, opts, "CD-WIDTH", g, id,
+             op_label(g, id) + " mixes operand widths " +
+                 std::to_string(w0) + " and " + std::to_string(w1));
+    }
+  }
+
+  // CD-DEAD: values never consumed (and not outputs) are scheduled,
+  // bound, and powered for nothing.
+  std::vector<std::uint32_t> uses(g.size(), 0);
+  for (OpId id = 0; id < g.size(); ++id)
+    for (OpId p : g.op(id).preds) ++uses[p];
+  for (OpId id = 0; id < g.size(); ++id)
+    if (uses[id] == 0 && g.op(id).kind != OpKind::Output)
+      emit(rep, opts, "CD-DEAD", g, id,
+           op_label(g, id) + " result is never consumed");
+}
+
+}  // namespace
+
+Report run_cdfg(const Cdfg& g, const LintOptions& opts) {
+  Report rep;
+  if (!check_refs_and_arity(g, opts, rep)) return rep;
+  check_widths_and_liveness(g, opts, rep);
+  return rep;
+}
+
+Report run_cdfg(const Cdfg& g, const cdfg::Schedule& s,
+                const std::map<OpKind, int>& limits,
+                const cdfg::OpDelays& delays, const LintOptions& opts) {
+  Report rep = run_cdfg(g, opts);
+  if (rep.has_errors()) return rep;
+
+  // CD-UNSCHED: every op needs a start step, and no op may start before
+  // all of its operands finish.
+  if (s.start.size() != g.size()) {
+    emit(rep, opts, "CD-UNSCHED", g, kNoObject,
+         "schedule covers " + std::to_string(s.start.size()) + " of " +
+             std::to_string(g.size()) + " ops");
+    return rep;
+  }
+  for (OpId id = 0; id < g.size(); ++id) {
+    if (s.start[id] < 0) {
+      emit(rep, opts, "CD-UNSCHED", g, id,
+           op_label(g, id) + " has no start step");
+      continue;
+    }
+    for (OpId p : g.op(id).preds) {
+      int ready = s.start[p] + delays.of(g.op(p).kind);
+      if (s.start[id] < ready)
+        emit(rep, opts, "CD-UNSCHED", g, id,
+             op_label(g, id) + " starts at step " +
+                 std::to_string(s.start[id]) + " before operand " +
+                 op_label(g, p) + " finishes at step " +
+                 std::to_string(ready));
+    }
+  }
+  if (rep.has_errors()) return rep;
+
+  // CD-RESOURCE: concurrent occupancy per op kind against the binding
+  // limits (sweep-line over start/finish events).
+  for (const auto& [kind, limit] : limits) {
+    if (limit <= 0) continue;
+    std::map<int, int> delta;
+    for (OpId id = 0; id < g.size(); ++id) {
+      if (g.op(id).kind != kind) continue;
+      int dur = delays.of(kind);
+      if (dur <= 0) continue;
+      ++delta[s.start[id]];
+      --delta[s.start[id] + dur];
+    }
+    int busy = 0;
+    for (const auto& [step, d] : delta) {
+      busy += d;
+      if (busy > limit) {
+        emit(rep, opts, "CD-RESOURCE", g, kNoObject,
+             std::string(op_kind_name(kind)) + " occupancy " +
+                 std::to_string(busy) + " at step " + std::to_string(step) +
+                 " exceeds the limit of " + std::to_string(limit));
+        break;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace hlp::lint

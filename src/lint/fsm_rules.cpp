@@ -1,0 +1,217 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace hlp::lint {
+
+namespace {
+
+using fsm::StateId;
+using fsm::Stg;
+
+void emit(Report& rep, const LintOptions& opts, std::string_view rule,
+          const Stg& stg, StateId s, std::string message) {
+  if (!opts.enabled(rule)) return;
+  Diagnostic d;
+  d.rule_id = std::string(rule);
+  d.severity = RuleRegistry::global().severity(rule);
+  d.loc.ir = Ir::Fsm;
+  d.loc.object = s;
+  if (s != kNoObject && s < stg.num_states()) d.loc.name = stg.state_name(s);
+  d.message = std::move(message);
+  rep.diags.push_back(std::move(d));
+}
+
+/// SCC count over the reachable transition graph (iterative Tarjan),
+/// plus the id of one state inside an absorbing SCC that is a proper
+/// subset of the reachable set. The chain (under any full-support input
+/// distribution) is ergodic iff the reachable states form one SCC.
+struct SccSummary {
+  std::size_t n_sccs = 0;
+  std::size_t absorbing_size = 0;
+  StateId absorbing_example = 0;
+};
+
+SccSummary scc_over_reachable(const Stg& stg,
+                              const std::vector<bool>& reachable) {
+  const std::size_t n = stg.num_states();
+  const std::size_t sym = stg.n_symbols();
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::vector<std::uint32_t> index(n, kUnvisited), low(n, 0), comp(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<StateId> stack;
+  std::uint32_t next_index = 0, n_comps = 0;
+  std::vector<std::vector<StateId>> sccs;
+
+  struct Frame {
+    StateId v;
+    std::size_t edge;
+  };
+  std::vector<Frame> dfs;
+  for (StateId root = 0; root < n; ++root) {
+    if (!reachable[root] || index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& fr = dfs.back();
+      StateId v = fr.v;
+      if (fr.edge == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      if (fr.edge < sym) {
+        StateId w = stg.next(v, fr.edge++);
+        if (w >= n || !reachable[w]) continue;
+        if (index[w] == kUnvisited) {
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      } else {
+        if (low[v] == index[v]) {
+          std::vector<StateId> scc;
+          StateId w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = n_comps;
+            scc.push_back(w);
+          } while (w != v);
+          ++n_comps;
+          sccs.push_back(std::move(scc));
+        }
+        dfs.pop_back();
+        if (!dfs.empty())
+          low[dfs.back().v] = std::min(low[dfs.back().v], low[v]);
+      }
+    }
+  }
+
+  SccSummary out;
+  out.n_sccs = sccs.size();
+  // An absorbing SCC has no edge leaving it; with more than one SCC at
+  // least one exists and the steady state collapses into it.
+  for (const std::vector<StateId>& scc : sccs) {
+    bool escapes = false;
+    for (StateId s : scc) {
+      for (std::size_t a = 0; a < sym && !escapes; ++a) {
+        StateId t = stg.next(s, a);
+        if (t < n && reachable[t] && comp[t] != comp[s]) escapes = true;
+      }
+      if (escapes) break;
+    }
+    if (!escapes && scc.size() > out.absorbing_size) {
+      out.absorbing_size = scc.size();
+      out.absorbing_example = scc.front();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Report run_fsm(const Stg& stg, const LintOptions& opts) {
+  Report rep;
+  const std::size_t n = stg.num_states();
+  const std::size_t sym = stg.n_symbols();
+  if (n == 0) return rep;
+
+  // FS-RANGE: in this dense representation an undefined or corrupted
+  // transition shows up as an out-of-range target (the incomplete /
+  // ill-formed transition relation case).
+  bool ranges_ok = true;
+  for (StateId s = 0; s < n; ++s) {
+    for (std::size_t a = 0; a < sym; ++a) {
+      StateId t = stg.next(s, a);
+      if (t >= n) {
+        emit(rep, opts, "FS-RANGE", stg, s,
+             "transition (" + stg.state_name(s) + ", in=" +
+                 std::to_string(a) + ") targets nonexistent state " +
+                 std::to_string(t));
+        ranges_ok = false;
+        break;  // one per state is enough
+      }
+    }
+  }
+
+  // FS-OUT-WIDTH: outputs wider than the declared width silently truncate
+  // in the synthesized netlist.
+  if (stg.n_outputs() < 64) {
+    const std::uint64_t mask =
+        (std::uint64_t{1} << stg.n_outputs()) - 1;
+    for (StateId s = 0; s < n; ++s) {
+      for (std::size_t a = 0; a < sym; ++a) {
+        if (stg.output(s, a) & ~mask) {
+          emit(rep, opts, "FS-OUT-WIDTH", stg, s,
+               "output " + std::to_string(stg.output(s, a)) + " on (" +
+                   stg.state_name(s) + ", in=" + std::to_string(a) +
+                   ") exceeds the declared " +
+                   std::to_string(stg.n_outputs()) + "-bit width");
+          break;
+        }
+      }
+    }
+  }
+
+  if (!ranges_ok) return rep;  // graph passes need valid targets
+
+  // FS-TRAP: a state whose every transition self-loops can never be left.
+  // Freshly added states default to self-loops, so this is also the
+  // signature of a state that was never wired up.
+  if (n > 1) {
+    for (StateId s = 0; s < n; ++s) {
+      bool trap = true;
+      for (std::size_t a = 0; a < sym; ++a)
+        if (stg.next(s, a) != s) {
+          trap = false;
+          break;
+        }
+      if (trap)
+        emit(rep, opts, "FS-TRAP", stg, s,
+             "state " + stg.state_name(s) +
+                 " self-loops on every input symbol (trap / never-wired "
+                 "state)");
+    }
+  }
+
+  // FS-UNREACH: BFS from the reset state (state 0).
+  std::vector<bool> reachable(n, false);
+  std::vector<StateId> work{0};
+  reachable[0] = true;
+  while (!work.empty()) {
+    StateId s = work.back();
+    work.pop_back();
+    for (std::size_t a = 0; a < sym; ++a) {
+      StateId t = stg.next(s, a);
+      if (!reachable[t]) {
+        reachable[t] = true;
+        work.push_back(t);
+      }
+    }
+  }
+  for (StateId s = 0; s < n; ++s)
+    if (!reachable[s])
+      emit(rep, opts, "FS-UNREACH", stg, s,
+           "state " + stg.state_name(s) +
+               " is unreachable from the reset state; it still costs "
+               "encoding bits and next-state logic");
+
+  // FS-ERGODIC: steady-state analysis (analyze_markov, Tyagi's bound, the
+  // encoding optimizers) assumes an irreducible chain over the reachable
+  // states. More than one reachable SCC means the chain drains into an
+  // absorbing component and transient states get probability zero.
+  SccSummary scc = scc_over_reachable(stg, reachable);
+  if (scc.n_sccs > 1)
+    emit(rep, opts, "FS-ERGODIC", stg, scc.absorbing_example,
+         "reachable states split into " + std::to_string(scc.n_sccs) +
+             " SCCs; the chain is absorbed into a component of " +
+             std::to_string(scc.absorbing_size) + " state(s) around " +
+             stg.state_name(scc.absorbing_example) +
+             ", so steady-state probabilities are invalid");
+  return rep;
+}
+
+}  // namespace hlp::lint

@@ -1,0 +1,418 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace hlp::lint {
+
+namespace {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::Netlist;
+
+class NetlistLinter {
+ public:
+  NetlistLinter(const Netlist& nl, const LintOptions& opts)
+      : nl_(nl), opts_(opts), n_(static_cast<GateId>(nl.gate_count())) {}
+
+  Report run() {
+    if (!check_refs_and_arity()) return std::move(rep_);
+    build_fanouts();
+    const bool acyclic = check_cycles();
+    check_outputs();
+    check_liveness();
+    check_fanout_cap();
+    if (opts_.power_rules && acyclic) power_rules();
+    return std::move(rep_);
+  }
+
+ private:
+  void emit(std::string_view rule, GateId g, std::string message) {
+    if (!opts_.enabled(rule)) return;
+    Diagnostic d;
+    d.rule_id = std::string(rule);
+    d.severity = RuleRegistry::global().severity(rule);
+    d.loc.ir = Ir::Netlist;
+    d.loc.object = g;
+    if (g != netlist::kNullGate && g < n_) d.loc.name = nl_.gate(g).name;
+    d.message = std::move(message);
+    rep_.diags.push_back(std::move(d));
+  }
+
+  std::string net_label(GateId g) const {
+    const Gate& gate = nl_.gate(g);
+    std::string s = "n";
+    s += std::to_string(g);
+    s += '(';
+    s += netlist::kind_name(gate.kind);
+    if (!gate.name.empty()) {
+      s += ' ';
+      s += gate.name;
+    }
+    s += ')';
+    return s;
+  }
+
+  /// NL-REF, NL-ARITY, NL-DFF-D. Returns false when any fanin reference is
+  /// invalid: the graph passes cannot run over dangling ids.
+  bool check_refs_and_arity() {
+    bool refs_ok = true;
+    for (GateId id = 0; id < n_; ++id) {
+      const Gate& g = nl_.gate(id);
+      for (GateId f : g.fanins) {
+        if (f >= n_) {
+          emit("NL-REF", id,
+               "fanin " + std::to_string(f) + " of " + net_label(id) +
+                   " does not exist (netlist has " + std::to_string(n_) +
+                   " nets)");
+          refs_ok = false;
+        }
+      }
+      const std::size_t k = g.fanins.size();
+      switch (g.kind) {
+        case GateKind::Input:
+        case GateKind::Const0:
+        case GateKind::Const1:
+          if (k != 0)
+            emit("NL-ARITY", id, net_label(id) + " must have no fanins");
+          break;
+        case GateKind::Buf:
+        case GateKind::Not:
+          if (k != 1)
+            emit("NL-ARITY", id,
+                 net_label(id) + " needs exactly 1 fanin, has " +
+                     std::to_string(k));
+          break;
+        case GateKind::Mux:
+          if (k != 3)
+            emit("NL-ARITY", id,
+                 net_label(id) + " needs {sel, d0, d1}, has " +
+                     std::to_string(k) + " fanins");
+          break;
+        case GateKind::Dff:
+          if (k == 0)
+            emit("NL-DFF-D", id,
+                 net_label(id) + " has no D input; its state can never "
+                                 "change from the init value");
+          else if (k > 1)
+            emit("NL-ARITY", id,
+                 net_label(id) + " takes one D input, has " +
+                     std::to_string(k));
+          break;
+        default:  // And/Or/Nand/Nor/Xor/Xnor
+          if (k < 2)
+            emit("NL-ARITY", id,
+                 net_label(id) + " needs at least 2 fanins, has " +
+                     std::to_string(k));
+          break;
+      }
+    }
+    return refs_ok;
+  }
+
+  /// Combinational fanout adjacency: edges f -> u for logic consumers u
+  /// only (a DFF's D pin is a sequential sink, not a combinational edge —
+  /// the same edge set topo_order() uses).
+  void build_fanouts() {
+    comb_fo_.assign(n_, {});
+    fanout_count_.assign(n_, 0);
+    for (GateId id = 0; id < n_; ++id) {
+      const Gate& g = nl_.gate(id);
+      for (GateId f : g.fanins) {
+        ++fanout_count_[f];
+        if (netlist::is_logic(g.kind)) comb_fo_[f].push_back(id);
+      }
+    }
+  }
+
+  /// NL-CYCLE via iterative Tarjan SCC over the combinational edges. Every
+  /// nontrivial SCC (or self-loop) is reported as an explicit cycle path —
+  /// the diagnostic topo_order() cannot give when it bails out.
+  /// Returns true when the combinational graph is acyclic.
+  bool check_cycles() {
+    constexpr std::uint32_t kUnvisited = 0xffffffffu;
+    std::vector<std::uint32_t> index(n_, kUnvisited), low(n_, 0);
+    std::vector<bool> on_stack(n_, false);
+    std::vector<GateId> stack;
+    std::vector<std::uint32_t> comp(n_, kUnvisited);
+    std::uint32_t next_index = 0, n_comps = 0;
+    std::vector<std::vector<GateId>> cyclic_sccs;
+
+    struct Frame {
+      GateId v;
+      std::size_t edge;
+    };
+    std::vector<Frame> dfs;
+    for (GateId root = 0; root < n_; ++root) {
+      if (index[root] != kUnvisited) continue;
+      dfs.push_back({root, 0});
+      while (!dfs.empty()) {
+        Frame& fr = dfs.back();
+        GateId v = fr.v;
+        if (fr.edge == 0) {
+          index[v] = low[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+        }
+        if (fr.edge < comb_fo_[v].size()) {
+          GateId w = comb_fo_[v][fr.edge++];
+          if (index[w] == kUnvisited) {
+            dfs.push_back({w, 0});
+          } else if (on_stack[w]) {
+            low[v] = std::min(low[v], index[w]);
+          }
+        } else {
+          if (low[v] == index[v]) {
+            std::vector<GateId> scc;
+            GateId w;
+            do {
+              w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              comp[w] = n_comps;
+              scc.push_back(w);
+            } while (w != v);
+            ++n_comps;
+            bool self_loop = false;
+            for (GateId u : comb_fo_[v])
+              if (u == v) self_loop = true;
+            if (scc.size() > 1 || self_loop)
+              cyclic_sccs.push_back(std::move(scc));
+          }
+          dfs.pop_back();
+          if (!dfs.empty()) {
+            Frame& parent = dfs.back();
+            low[parent.v] = std::min(low[parent.v], low[v]);
+          }
+        }
+      }
+    }
+
+    for (const std::vector<GateId>& scc : cyclic_sccs) {
+      // Walk edges inside the SCC until a node repeats: an explicit cycle.
+      std::vector<bool> in_scc(n_, false);
+      for (GateId g : scc) in_scc[g] = true;
+      std::vector<GateId> path;
+      std::vector<bool> seen(n_, false);
+      GateId cur = *std::min_element(scc.begin(), scc.end());
+      while (!seen[cur]) {
+        seen[cur] = true;
+        path.push_back(cur);
+        for (GateId w : comb_fo_[cur]) {
+          if (in_scc[w]) {
+            cur = w;
+            break;
+          }
+        }
+      }
+      // Trim the lead-in so the path starts at the repeated node.
+      auto it = std::find(path.begin(), path.end(), cur);
+      path.erase(path.begin(), it);
+      std::string msg = "combinational cycle through " +
+                        std::to_string(scc.size()) + " gate(s): ";
+      constexpr std::size_t kMaxShown = 12;
+      for (std::size_t i = 0; i < path.size() && i < kMaxShown; ++i) {
+        msg += net_label(path[i]);
+        msg += " -> ";
+      }
+      if (path.size() > kMaxShown) msg += "... -> ";
+      msg += net_label(path.front());
+      emit("NL-CYCLE", path.front(), std::move(msg));
+    }
+    return cyclic_sccs.empty();
+  }
+
+  /// NL-MULTIOUT.
+  void check_outputs() {
+    std::vector<std::uint32_t> marked(n_, 0);
+    for (GateId g : nl_.outputs())
+      if (g < n_) ++marked[g];
+    for (GateId id = 0; id < n_; ++id)
+      if (marked[id] > 1)
+        emit("NL-MULTIOUT", id,
+             net_label(id) + " is marked as a primary output " +
+                 std::to_string(marked[id]) + " times");
+  }
+
+  /// NL-FLOAT (no sinks at all) and NL-DEAD (has sinks, but none of them
+  /// can reach a primary output or DFF). Both burn switched capacitance
+  /// for nothing. Skipped when the netlist declares no outputs and no DFFs
+  /// (a netlist still under construction has no liveness roots).
+  void check_liveness() {
+    if (nl_.outputs().empty() && nl_.dffs().empty()) return;
+    std::vector<bool> live(n_, false);
+    std::vector<GateId> work;
+    auto seed = [&](GateId g) {
+      if (g < n_ && !live[g]) {
+        live[g] = true;
+        work.push_back(g);
+      }
+    };
+    for (GateId g : nl_.outputs()) seed(g);
+    for (GateId g : nl_.dffs()) seed(g);
+    while (!work.empty()) {
+      GateId g = work.back();
+      work.pop_back();
+      for (GateId f : nl_.gate(g).fanins) seed(f);
+    }
+    for (GateId id = 0; id < n_; ++id) {
+      const Gate& g = nl_.gate(id);
+      if (g.kind == GateKind::Input || g.kind == GateKind::Const0 ||
+          g.kind == GateKind::Const1)
+        continue;  // unused inputs/constants are a module-port concern
+      if (live[id]) continue;
+      if (fanout_count_[id] == 0)
+        emit("NL-FLOAT", id,
+             net_label(id) + " drives nothing and is not a primary output");
+      else
+        emit("NL-DEAD", id,
+             net_label(id) + " cannot reach any primary output or DFF "
+                             "(dead logic still switches)");
+    }
+  }
+
+  /// NL-FANOUT against the statistical wire-load model.
+  void check_fanout_cap() {
+    if (opts_.fanout_cap <= 0) return;
+    const auto cap = static_cast<std::uint32_t>(opts_.fanout_cap);
+    for (GateId id = 0; id < n_; ++id)
+      if (fanout_count_[id] > cap)
+        emit("NL-FANOUT", id,
+             net_label(id) + " has fanout " +
+                 std::to_string(fanout_count_[id]) + " (cap " +
+                 std::to_string(cap) +
+                 "); wire load grows linearly with fanout");
+  }
+
+  /// The power-lint tier: PW-GLITCH, PW-GATE, PW-HOTCAP. Requires an
+  /// acyclic combinational graph (depths are defined).
+  void power_rules() {
+    // Arrival depth per net, as in Netlist::depth().
+    std::vector<int> depth(n_, 0);
+    for (GateId id : nl_.topo_order()) {
+      const Gate& g = nl_.gate(id);
+      if (!netlist::is_logic(g.kind)) continue;
+      int m = 0;
+      for (GateId f : g.fanins) m = std::max(m, depth[f]);
+      depth[id] = m + 1;
+    }
+
+    // PW-GLITCH: unequal reconverging path depths at one gate generate
+    // spurious transitions before the late input settles (the glitch power
+    // the zero-delay model cannot see; cross-check with sim/glitch_sim).
+    if (opts_.glitch_depth_spread > 0) {
+      for (GateId id = 0; id < n_; ++id) {
+        const Gate& g = nl_.gate(id);
+        if (!netlist::is_logic(g.kind) || g.fanins.size() < 2) continue;
+        int lo = depth[g.fanins[0]], hi = lo;
+        for (GateId f : g.fanins) {
+          lo = std::min(lo, depth[f]);
+          hi = std::max(hi, depth[f]);
+        }
+        if (hi - lo >= opts_.glitch_depth_spread)
+          emit("PW-GLITCH", id,
+               net_label(id) + " merges paths of depth " +
+                   std::to_string(lo) + " and " + std::to_string(hi) +
+                   "; unequal arrivals make it glitch-prone");
+      }
+    }
+
+    // PW-GATE: DFF fed by a hold mux that recirculates its own output —
+    // the textbook clock-gating candidate (Section III-G): gate the clock
+    // with the select instead of re-clocking the held value every cycle.
+    for (GateId dff : nl_.dffs()) {
+      const Gate& g = nl_.gate(dff);
+      if (g.fanins.empty()) continue;
+      GateId d = g.fanins[0];
+      if (d >= n_) continue;
+      const Gate& m = nl_.gate(d);
+      if (m.kind == GateKind::Mux && m.fanins.size() == 3 &&
+          (m.fanins[1] == dff || m.fanins[2] == dff))
+        emit("PW-GATE", dff,
+             net_label(dff) + " recirculates through hold mux " +
+                 net_label(d) + ": clock-gating candidate");
+    }
+
+    // PW-HOTCAP: nets carrying a dominating share of total capacitance —
+    // where any activity reduction buys the most sum(C_i * E_i).
+    if (opts_.hot_load_fraction > 0.0) {
+      auto loads = nl_.loads();
+      double total = 0.0;
+      for (double l : loads) total += l;
+      if (total > 0.0) {
+        for (GateId id = 0; id < n_; ++id)
+          if (loads[id] >= opts_.hot_load_fraction * total)
+            emit("PW-HOTCAP", id,
+                 net_label(id) + " carries " +
+                     std::to_string(100.0 * loads[id] / total) +
+                     "% of total capacitance");
+      }
+    }
+  }
+
+  const Netlist& nl_;
+  const LintOptions& opts_;
+  const GateId n_;
+  Report rep_;
+  std::vector<std::vector<GateId>> comb_fo_;
+  std::vector<std::uint32_t> fanout_count_;
+};
+
+}  // namespace
+
+Report run_netlist(const netlist::Netlist& nl, const LintOptions& opts) {
+  return NetlistLinter(nl, opts).run();
+}
+
+Report run_module(const netlist::Module& mod, const LintOptions& opts) {
+  Report rep = run_netlist(mod.netlist, opts);
+  if (!opts.enabled("NL-PORT")) return rep;
+  const auto n = static_cast<GateId>(mod.netlist.gate_count());
+  auto emit = [&](GateId g, std::string msg) {
+    Diagnostic d;
+    d.rule_id = "NL-PORT";
+    d.severity = RuleRegistry::global().severity("NL-PORT");
+    d.loc.ir = Ir::Netlist;
+    d.loc.object = g;
+    d.message = std::move(msg);
+    rep.diags.push_back(std::move(d));
+  };
+
+  std::vector<std::uint8_t> in_word_bit(n, 0);
+  for (std::size_t w = 0; w < mod.input_words.size(); ++w) {
+    for (GateId g : mod.input_words[w]) {
+      if (g >= n) {
+        emit(g, "input word " + std::to_string(w) +
+                    " references nonexistent net " + std::to_string(g));
+        continue;
+      }
+      if (mod.netlist.gate(g).kind != GateKind::Input)
+        emit(g, "input word " + std::to_string(w) + " bit n" +
+                    std::to_string(g) + " is a " +
+                    netlist::kind_name(mod.netlist.gate(g).kind) +
+                    ", not a primary input");
+      if (in_word_bit[g]++)
+        emit(g, "net n" + std::to_string(g) +
+                    " appears in more than one input word position "
+                    "(multiply-driven port bit)");
+    }
+  }
+  // Every primary input must be drivable through some port word, or the
+  // word-level stimulus APIs and the netlist-level ones disagree.
+  for (GateId g : mod.netlist.inputs())
+    if (g < n && !in_word_bit[g])
+      emit(g, "primary input n" + std::to_string(g) + " (" +
+                  mod.netlist.gate(g).name +
+                  ") is not covered by any input word");
+  for (std::size_t w = 0; w < mod.output_words.size(); ++w)
+    for (GateId g : mod.output_words[w])
+      if (g >= n)
+        emit(g, "output word " + std::to_string(w) +
+                    " references nonexistent net " + std::to_string(g));
+  return rep;
+}
+
+}  // namespace hlp::lint

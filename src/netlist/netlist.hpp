@@ -80,11 +80,22 @@ class Netlist {
 
   std::size_t gate_count() const { return gates_.size(); }
   const Gate& gate(GateId g) const { return gates_[g]; }
-  /// Mutable access (e.g. fanin rewiring) invalidates the topo cache.
-  Gate& gate(GateId g) {
+  /// Mutable access invalidates the topo cache. Deliberately named (rather
+  /// than a non-const `gate()` overload) so that reads on a non-const
+  /// Netlist do not silently discard the cache; use `set_fanin` /
+  /// `add_extra_cap` for the common structured edits.
+  Gate& gate_mut(GateId g) {
     invalidate_cache();
     return gates_[g];
   }
+  /// Rewire one fanin slot. Invalidates the topo cache.
+  void set_fanin(GateId g, std::size_t slot, GateId src) {
+    invalidate_cache();
+    gates_[g].fanins[slot] = src;
+  }
+  /// Add wire/pin load to a gate. Loads do not affect topology, so the
+  /// topo cache stays valid.
+  void add_extra_cap(GateId g, double cap) { gates_[g].extra_cap += cap; }
 
   std::span<const GateId> inputs() const { return inputs_; }
   std::span<const GateId> outputs() const { return outputs_; }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -14,5 +15,37 @@ namespace hlp::netlist {
 /// Net names are `n<id>`; primary inputs/outputs get `pi<k>`/`po<k>` ports
 /// (plus `clk` when the netlist has state).
 std::string to_verilog(const Netlist& nl, std::string_view module_name);
+
+/// Parse error with the 1-based source line where it was detected. The
+/// what() string is already formatted as `verilog:<line>: <message>`.
+class VerilogError : public std::runtime_error {
+ public:
+  VerilogError(int line, const std::string& msg);
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+struct ParsedModule {
+  std::string name;
+  Netlist netlist;
+  /// Input port that clocks the always block ("" if combinational).
+  std::string clock;
+};
+
+/// Parses the structural subset emitted by to_verilog: one module, scalar
+/// input/output/wire/reg declarations, continuous assigns over `~ & | ^ ?:`
+/// and `1'b0/1'b1`, and at most one `always @(posedge <clk>)` block of
+/// non-blocking reg updates. Input ports become Input gates (in port-list
+/// order), regs become DFFs, and output ports are marked in port-list order,
+/// so `parse_verilog(to_verilog(nl, m)).netlist` is simulation-equivalent
+/// to `nl`.
+///
+/// Malformed input throws VerilogError: truncated files, duplicate module
+/// definitions, undeclared or doubly-declared nets, nets with zero or
+/// multiple drivers, assigns targeting regs or input ports, mixed infix
+/// operators, and combinational cycles.
+ParsedModule parse_verilog(std::string_view src);
 
 }  // namespace hlp::netlist

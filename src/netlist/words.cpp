@@ -1,6 +1,6 @@
 #include "netlist/words.hpp"
 
-#include <cassert>
+#include <stdexcept>
 #include <string>
 
 namespace hlp::netlist {
@@ -8,6 +8,17 @@ namespace {
 
 std::string indexed(std::string_view prefix, int i) {
   return std::string(prefix) + "[" + std::to_string(i) + "]";
+}
+
+void require_same_width(const Word& a, const Word& b, const char* fn) {
+  if (a.size() != b.size())
+    throw std::invalid_argument(std::string(fn) + ": word width mismatch (" +
+                                std::to_string(a.size()) + " vs " +
+                                std::to_string(b.size()) + " bits)");
+}
+
+void require_nonempty(const Word& a, const char* fn) {
+  if (a.empty()) throw std::invalid_argument(std::string(fn) + ": empty word");
 }
 
 /// One-bit full adder; returns {sum, carry}.
@@ -39,7 +50,7 @@ Word make_const_word(Netlist& nl, int width, std::uint64_t value) {
 
 Word ripple_adder(Netlist& nl, const Word& a, const Word& b, GateId cin,
                   GateId* cout) {
-  assert(a.size() == b.size());
+  require_same_width(a, b, "ripple_adder");
   Word sum;
   sum.reserve(a.size());
   GateId carry = cin;
@@ -59,7 +70,7 @@ Word ripple_adder(Netlist& nl, const Word& a, const Word& b, GateId cin,
 }
 
 Word subtractor(Netlist& nl, const Word& a, const Word& b) {
-  assert(a.size() == b.size());
+  require_same_width(a, b, "subtractor");
   Word nb = not_word(nl, b);
   GateId one = nl.add_const(true);
   GateId cout = kNullGate;
@@ -102,8 +113,9 @@ Word array_multiplier(Netlist& nl, const Word& a, const Word& b) {
 
 Word carry_select_adder(Netlist& nl, const Word& a, const Word& b, int block,
                         GateId* cout) {
-  assert(a.size() == b.size());
-  assert(block >= 1);
+  require_same_width(a, b, "carry_select_adder");
+  if (block < 1)
+    throw std::invalid_argument("carry_select_adder: block must be >= 1");
   Word sum;
   sum.reserve(a.size());
   GateId carry = kNullGate;  // null = known zero at the first block
@@ -181,7 +193,7 @@ Word csa_multiplier(Netlist& nl, const Word& a, const Word& b) {
 }
 
 Word and_word(Netlist& nl, const Word& a, const Word& b) {
-  assert(a.size() == b.size());
+  require_same_width(a, b, "and_word");
   Word w;
   for (std::size_t i = 0; i < a.size(); ++i)
     w.push_back(nl.add_binary(GateKind::And, a[i], b[i]));
@@ -189,7 +201,7 @@ Word and_word(Netlist& nl, const Word& a, const Word& b) {
 }
 
 Word or_word(Netlist& nl, const Word& a, const Word& b) {
-  assert(a.size() == b.size());
+  require_same_width(a, b, "or_word");
   Word w;
   for (std::size_t i = 0; i < a.size(); ++i)
     w.push_back(nl.add_binary(GateKind::Or, a[i], b[i]));
@@ -197,7 +209,7 @@ Word or_word(Netlist& nl, const Word& a, const Word& b) {
 }
 
 Word xor_word(Netlist& nl, const Word& a, const Word& b) {
-  assert(a.size() == b.size());
+  require_same_width(a, b, "xor_word");
   Word w;
   for (std::size_t i = 0; i < a.size(); ++i)
     w.push_back(nl.add_binary(GateKind::Xor, a[i], b[i]));
@@ -211,7 +223,7 @@ Word not_word(Netlist& nl, const Word& a) {
 }
 
 Word mux_word(Netlist& nl, GateId sel, const Word& a, const Word& b) {
-  assert(a.size() == b.size());
+  require_same_width(a, b, "mux_word");
   Word w;
   for (std::size_t i = 0; i < a.size(); ++i)
     w.push_back(nl.add_mux(sel, a[i], b[i]));
@@ -229,7 +241,7 @@ Word register_word(Netlist& nl, const Word& d, std::string_view prefix) {
 }
 
 GateId parity(Netlist& nl, const Word& a) {
-  assert(!a.empty());
+  require_nonempty(a, "parity");
   // Balanced XOR tree.
   Word level = a;
   while (level.size() > 1) {
@@ -243,7 +255,8 @@ GateId parity(Netlist& nl, const Word& a) {
 }
 
 GateId equals(Netlist& nl, const Word& a, const Word& b) {
-  assert(a.size() == b.size() && !a.empty());
+  require_same_width(a, b, "equals");
+  require_nonempty(a, "equals");
   Word eqs;
   for (std::size_t i = 0; i < a.size(); ++i)
     eqs.push_back(nl.add_binary(GateKind::Xnor, a[i], b[i]));
@@ -259,7 +272,8 @@ GateId equals(Netlist& nl, const Word& a, const Word& b) {
 }
 
 GateId less_than(Netlist& nl, const Word& a, const Word& b) {
-  assert(a.size() == b.size() && !a.empty());
+  require_same_width(a, b, "less_than");
+  require_nonempty(a, "less_than");
   // lt_i = (!a_i & b_i) | (a_i==b_i) & lt_{i-1}, scanning from LSB.
   GateId lt = nl.add_const(false);
   for (std::size_t i = 0; i < a.size(); ++i) {

@@ -8,6 +8,10 @@
 namespace hlp::netlist {
 
 /// Word-level construction helpers. All words are LSB-first.
+///
+/// Width contracts are enforced: helpers that combine two words throw
+/// std::invalid_argument on a width mismatch (or an empty word where one is
+/// required), naming the helper and both widths.
 
 Word make_input_word(Netlist& nl, int width, std::string_view prefix);
 Word make_const_word(Netlist& nl, int width, std::uint64_t value);

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "lint/diagnostics.hpp"
 #include "netlist/netlist.hpp"
 
 namespace hlp::sim {
@@ -37,8 +38,14 @@ enum class EngineKind : std::uint8_t {
 /// Engine selection threaded through the estimator APIs. Defaults preserve
 /// the historical (scalar-era) results exactly while picking the fast
 /// backend automatically.
+///
+/// `lint` runs the hlp::lint static pass over the input IR before any
+/// simulation cycles are spent (see lint/lint.hpp). Off by default (zero
+/// overhead); Strict turns malformed-input crashes into structured
+/// LintError diagnostics, Warn reports and continues.
 struct SimOptions {
   EngineKind engine = EngineKind::Auto;
+  lint::LintOptions lint;
 };
 
 /// Resolve `Auto` against the netlist structure: packed iff the netlist is

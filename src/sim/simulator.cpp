@@ -5,6 +5,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "lint/lint.hpp"
 #include "sim/packed_simulator.hpp"
 
 namespace hlp::sim {
@@ -193,6 +194,7 @@ std::vector<double> simulate_activities(const netlist::Netlist& nl,
                                         const stats::VectorStream& in_stream,
                                         stats::VectorStream* out_stream,
                                         const SimOptions& opts) {
+  lint::enforce_netlist(nl, opts.lint, "simulate_activities");
   if (resolve_engine(nl, opts.engine) == EngineKind::Packed)
     return packed_activities(nl, in_stream, out_stream);
   Simulator sim(nl);
@@ -214,6 +216,7 @@ std::vector<double> simulate_activities(const netlist::Netlist& nl,
 stats::VectorStream simulate_outputs(const netlist::Netlist& nl,
                                      const stats::VectorStream& in_stream,
                                      const SimOptions& opts) {
+  lint::enforce_netlist(nl, opts.lint, "simulate_outputs");
   stats::VectorStream out;
   if (resolve_engine(nl, opts.engine) == EngineKind::Packed) {
     PackedSimulator ps(nl);

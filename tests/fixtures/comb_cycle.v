@@ -1,0 +1,11 @@
+module ring(pi0, po0);
+  input pi0;
+  output po0;
+  wire a;
+  wire b;
+  wire c;
+  assign a = pi0 & c;
+  assign b = ~a;
+  assign c = ~b;
+  assign po0 = c;
+endmodule

@@ -1,0 +1,23 @@
+// 2-bit counter with enable: the good-path fixture for parse_verilog.
+module counter2(clk, pi0, po0, po1);
+  input clk;
+  input pi0;
+  output po0;
+  output po1;
+  reg q0;
+  reg q1;
+  wire en;
+  wire d0;
+  wire carry;
+  wire d1;
+  assign en = pi0;
+  assign d0 = q0 ^ en;
+  assign carry = q0 & en;
+  assign d1 = q1 ^ carry;
+  always @(posedge clk) begin
+    q0 <= d0;
+    q1 <= d1;
+  end
+  assign po0 = q0;
+  assign po1 = q1;
+endmodule

@@ -1,0 +1,8 @@
+module twicedeclared(pi0, po0);
+  input pi0;
+  output po0;
+  wire a;
+  wire a;
+  assign a = pi0;
+  assign po0 = a;
+endmodule

@@ -1,0 +1,13 @@
+module twodrivers(pi0, pi1, po0);
+  input pi0;
+  input pi1;
+  output po0;
+  wire a;
+  wire b;
+  wire x;
+  assign a = pi0;
+  assign b = pi1;
+  assign x = a & b;
+  assign x = a | b;
+  assign po0 = x;
+endmodule

@@ -1,0 +1,14 @@
+module one(pi0, po0);
+  input pi0;
+  output po0;
+  wire a;
+  assign a = pi0;
+  assign po0 = a;
+endmodule
+module two(pi0, po0);
+  input pi0;
+  output po0;
+  wire a;
+  assign a = pi0;
+  assign po0 = a;
+endmodule

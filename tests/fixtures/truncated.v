@@ -1,0 +1,8 @@
+module cutoff(pi0, pi1, po0);
+  input pi0;
+  input pi1;
+  output po0;
+  wire a;
+  wire b;
+  assign a = pi0;
+  assign b = pi1;

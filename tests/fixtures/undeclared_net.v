@@ -1,0 +1,7 @@
+module bad(pi0, po0);
+  input pi0;
+  output po0;
+  wire a;
+  assign a = pi0 & ghost;
+  assign po0 = a;
+endmodule

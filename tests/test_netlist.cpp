@@ -47,6 +47,82 @@ TEST(Netlist, TopoOrderRespectsDependencies) {
   EXPECT_LT(pos(c), pos(d));
 }
 
+TEST(Netlist, MutationInvalidatesTopoCache) {
+  Netlist nl;
+  auto a = nl.add_input("a");
+  auto b = nl.add_input("b");
+  auto c = nl.add_input("c");
+  auto x = nl.add_binary(GateKind::And, a, b);
+  auto y = nl.add_binary(GateKind::Or, x, c);
+  nl.mark_output(y);
+
+  auto pos_in = [](const std::vector<GateId>& topo, GateId g) {
+    return std::find(topo.begin(), topo.end(), g) - topo.begin();
+  };
+  // Populate the cache.
+  {
+    const auto& topo = nl.topo_order();
+    EXPECT_LT(pos_in(topo, x), pos_in(topo, y));
+  }
+
+  // Rewire y's first fanin from x to a: x no longer precedes y by
+  // necessity, and the new order must still be a valid topological order
+  // of the *edited* graph (stale-cache bug would keep the old vector).
+  nl.set_fanin(y, 0, a);
+  EXPECT_EQ(nl.gate(y).fanins[0], a);
+  {
+    const auto& topo = nl.topo_order();
+    ASSERT_EQ(topo.size(), nl.gate_count());
+    EXPECT_LT(pos_in(topo, a), pos_in(topo, y));
+  }
+
+  // Rewire through gate_mut(): make y depend on x again, then make x
+  // depend on y — a combinational cycle the refreshed cache must detect.
+  nl.gate_mut(y).fanins[0] = x;
+  (void)nl.topo_order();
+  nl.set_fanin(x, 0, y);
+  EXPECT_THROW(nl.topo_order(), std::logic_error);
+
+  // Undo; add_extra_cap must not perturb topology but must show up in
+  // loads().
+  nl.set_fanin(x, 0, a);
+  EXPECT_NO_THROW(nl.topo_order());
+  auto before = nl.loads();
+  nl.add_extra_cap(x, 2.5);
+  auto after = nl.loads();
+  EXPECT_DOUBLE_EQ(after[x], before[x] + 2.5);
+}
+
+TEST(Netlist, GateAccessorsAreConstByDefault) {
+  // gate() on a non-const Netlist must bind to the const (non-invalidating)
+  // accessor; only gate_mut() hands out a mutable reference. This is the
+  // contract that keeps read-heavy passes from discarding the topo cache.
+  Netlist nl;
+  (void)nl.add_input();
+  static_assert(std::is_same_v<decltype(nl.gate(GateId{0})), const Gate&>);
+  static_assert(std::is_same_v<decltype(nl.gate_mut(GateId{0})), Gate&>);
+}
+
+TEST(Words, WidthMismatchThrowsTypedError) {
+  Netlist nl;
+  Word a = make_input_word(nl, 4, "a");
+  Word b = make_input_word(nl, 3, "b");
+  try {
+    (void)ripple_adder(nl, a, b);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ripple_adder"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("4"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("3"), std::string::npos);
+  }
+  EXPECT_THROW((void)subtractor(nl, a, b), std::invalid_argument);
+  EXPECT_THROW((void)xor_word(nl, a, b), std::invalid_argument);
+  EXPECT_THROW((void)mux_word(nl, a[0], a, b), std::invalid_argument);
+  EXPECT_THROW((void)equals(nl, a, b), std::invalid_argument);
+  EXPECT_THROW((void)parity(nl, Word{}), std::invalid_argument);
+  EXPECT_THROW((void)carry_select_adder(nl, a, a, 0), std::invalid_argument);
+}
+
 TEST(Netlist, DffBreaksCycles) {
   Netlist nl;
   auto q = nl.add_dff();

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "netlist/generators.hpp"
+#include "netlist/verilog.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace hlp::netlist;
+using hlp::sim::Simulator;
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(std::string(HLP_FIXTURE_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Drives both netlists with the same random input bits for `cycles` and
+/// compares every primary output each cycle.
+void expect_equivalent(const Netlist& a, const Netlist& b, int cycles,
+                       std::uint64_t seed) {
+  ASSERT_EQ(a.inputs().size(), b.inputs().size());
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  Simulator sa(a);
+  Simulator sb(b);
+  hlp::stats::Rng rng(seed);
+  for (int c = 0; c < cycles; ++c) {
+    for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+      bool v = rng.bit();
+      sa.set_input(a.inputs()[i], v);
+      sb.set_input(b.inputs()[i], v);
+    }
+    sa.eval();
+    sb.eval();
+    for (std::size_t o = 0; o < a.outputs().size(); ++o)
+      ASSERT_EQ(sa.value(a.outputs()[o]), sb.value(b.outputs()[o]))
+          << "cycle " << c << " output " << o;
+    sa.tick();
+    sb.tick();
+  }
+}
+
+TEST(Verilog, RoundTripCombinationalGenerators) {
+  Module mods[] = {adder_module(4), alu_module(3), c17_module(),
+                   mux_tree_module(2), parity_module(5),
+                   comparator_module(3)};
+  for (const Module& m : mods) {
+    SCOPED_TRACE(m.name);
+    std::string src = to_verilog(m.netlist, m.name);
+    ParsedModule pm = parse_verilog(src);
+    EXPECT_EQ(pm.name, m.name);
+    EXPECT_TRUE(pm.clock.empty());
+    expect_equivalent(m.netlist, pm.netlist, 64, 7);
+  }
+}
+
+TEST(Verilog, RoundTripSequential) {
+  // 3-bit enabled counter built from DFFs + XOR/AND chain.
+  Netlist nl;
+  GateId en = nl.add_input("en");
+  GateId carry = en;
+  std::vector<GateId> qs;
+  for (int k = 0; k < 3; ++k) {
+    GateId q = nl.add_dff();
+    nl.set_dff_input(q, nl.add_binary(GateKind::Xor, q, carry));
+    carry = nl.add_binary(GateKind::And, q, carry);
+    nl.mark_output(q);
+    qs.push_back(q);
+  }
+  std::string src = to_verilog(nl, "ctr3");
+  ParsedModule pm = parse_verilog(src);
+  EXPECT_EQ(pm.clock, "clk");
+  EXPECT_EQ(pm.netlist.dffs().size(), 3u);
+  expect_equivalent(nl, pm.netlist, 100, 11);
+}
+
+TEST(Verilog, RoundTripOfParsedTextIsStable) {
+  Module m = adder_module(3);
+  std::string once = to_verilog(m.netlist, "a3");
+  ParsedModule pm = parse_verilog(once);
+  // Net ids may be renumbered, but a second round trip must be a fixpoint.
+  std::string twice = to_verilog(pm.netlist, "a3");
+  ParsedModule pm2 = parse_verilog(twice);
+  EXPECT_EQ(to_verilog(pm2.netlist, "a3"), twice);
+  expect_equivalent(m.netlist, pm2.netlist, 32, 3);
+}
+
+TEST(Verilog, FixtureCounterParsesAndCounts) {
+  ParsedModule pm = parse_verilog(read_fixture("counter2.v"));
+  EXPECT_EQ(pm.name, "counter2");
+  EXPECT_EQ(pm.clock, "clk");
+  ASSERT_EQ(pm.netlist.inputs().size(), 1u);
+  ASSERT_EQ(pm.netlist.outputs().size(), 2u);
+  Simulator s(pm.netlist);
+  s.set_input(pm.netlist.inputs()[0], true);  // enable
+  for (int expect = 0; expect < 8; ++expect) {
+    s.eval();
+    int got = (s.value(pm.netlist.outputs()[0]) ? 1 : 0) |
+              (s.value(pm.netlist.outputs()[1]) ? 2 : 0);
+    EXPECT_EQ(got, expect % 4) << "cycle " << expect;
+    s.tick();
+  }
+}
+
+void expect_error(const std::string& fixture, int line,
+                  const std::string& needle) {
+  try {
+    parse_verilog(read_fixture(fixture));
+    FAIL() << fixture << ": expected VerilogError";
+  } catch (const VerilogError& e) {
+    if (line > 0) {
+      EXPECT_EQ(e.line(), line) << fixture << ": " << e.what();
+    }
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << fixture << ": " << e.what();
+  }
+}
+
+TEST(Verilog, ErrorUndeclaredNet) {
+  expect_error("undeclared_net.v", 5, "undeclared net 'ghost'");
+}
+
+TEST(Verilog, ErrorDuplicateModule) {
+  expect_error("duplicate_module.v", 8, "duplicate module");
+}
+
+TEST(Verilog, ErrorTruncatedFile) {
+  expect_error("truncated.v", 0, "end of file");
+}
+
+TEST(Verilog, ErrorMultipleDrivers) {
+  expect_error("duplicate_driver.v", 11, "multiple drivers");
+}
+
+TEST(Verilog, ErrorDuplicateDeclaration) {
+  expect_error("duplicate_decl.v", 5, "duplicate declaration of 'a'");
+}
+
+TEST(Verilog, ErrorCombinationalCycle) {
+  expect_error("comb_cycle.v", 0, "combinational cycle");
+}
+
+TEST(Verilog, ErrorInlineCases) {
+  // Driving an input port.
+  EXPECT_THROW(parse_verilog("module m(pi0);\n  input pi0;\n"
+                             "  assign pi0 = 1'b0;\nendmodule\n"),
+               VerilogError);
+  // Assign to a reg.
+  EXPECT_THROW(
+      parse_verilog("module m(pi0, po0);\n  input pi0;\n  output po0;\n"
+                    "  reg r;\n  assign r = pi0;\n  assign po0 = r;\n"
+                    "endmodule\n"),
+      VerilogError);
+  // Mixed operators in one expression.
+  EXPECT_THROW(
+      parse_verilog("module m(pi0, pi1, po0);\n  input pi0;\n  input pi1;\n"
+                    "  output po0;\n  wire a;\n  wire b;\n  wire x;\n"
+                    "  assign a = pi0;\n  assign b = pi1;\n"
+                    "  assign x = a & b | a;\n  assign po0 = x;\n"
+                    "endmodule\n"),
+      VerilogError);
+  // Unsupported literal width.
+  EXPECT_THROW(
+      parse_verilog("module m(po0);\n  output po0;\n  wire a;\n"
+                    "  assign a = 2'b10;\n  assign po0 = a;\nendmodule\n"),
+      VerilogError);
+  // Port never declared.
+  EXPECT_THROW(parse_verilog("module m(mystery);\nendmodule\n"),
+               VerilogError);
+  // Undriven wire.
+  EXPECT_THROW(
+      parse_verilog("module m(pi0, po0);\n  input pi0;\n  output po0;\n"
+                    "  wire a;\n  wire hang;\n  assign a = pi0;\n"
+                    "  assign po0 = a;\nendmodule\n"),
+      VerilogError);
+  // Empty file.
+  EXPECT_THROW(parse_verilog(""), VerilogError);
+}
+
+}  // namespace
