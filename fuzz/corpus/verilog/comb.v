@@ -1,0 +1,11 @@
+module seed_comb(pi0, pi1, pi2, po0);
+  input pi0;
+  input pi1;
+  input pi2;
+  output po0;
+  wire a;
+  wire b;
+  assign a = pi0 & pi1;
+  assign b = pi2 ? a : 1'b0;
+  assign po0 = ~b | pi1;
+endmodule

@@ -1,0 +1,12 @@
+module seed_counter(clk, pi0, po0);
+  input clk;
+  input pi0;
+  output po0;
+  reg q0;
+  wire d0;
+  assign d0 = q0 ^ pi0;
+  always @(posedge clk) begin
+    q0 <= d0;
+  end
+  assign po0 = q0;
+endmodule

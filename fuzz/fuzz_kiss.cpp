@@ -1,0 +1,26 @@
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "fsm/kiss.hpp"
+
+/// libFuzzer entry point for the KISS2 reader. Contract: any byte sequence
+/// either yields an Stg or throws std::invalid_argument — never a crash,
+/// UB-sanitizer fault (e.g. an oversized shift from a hostile .o count), or
+/// unbounded don't-care expansion. Small parsed machines are round-tripped
+/// through the serializer; large ones are skipped because to_kiss2 emits one
+/// line per (state, symbol) pair and a 16-input machine would legitimately
+/// produce a multi-megabyte string, drowning the fuzzer in allocator time.
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    auto stg = hlp::fsm::parse_kiss2(text);
+    if (stg.num_states() * stg.n_symbols() <= 4096)
+      (void)hlp::fsm::to_kiss2(stg);
+  } catch (const std::invalid_argument&) {
+    // Expected rejection path for malformed input.
+  }
+  return 0;
+}

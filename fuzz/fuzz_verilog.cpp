@@ -1,0 +1,22 @@
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "netlist/verilog.hpp"
+
+/// libFuzzer entry point for the structural-Verilog reader. The parser's
+/// contract is: any byte sequence either yields a ParsedModule or throws
+/// VerilogError — never a crash, sanitizer fault, or other exception type.
+/// Inputs that parse are round-tripped through the exporter, which must
+/// accept any netlist the parser produces.
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string_view src(reinterpret_cast<const char*>(data), size);
+  try {
+    auto mod = hlp::netlist::parse_verilog(src);
+    (void)hlp::netlist::to_verilog(mod.netlist, "fuzz_roundtrip");
+  } catch (const hlp::netlist::VerilogError&) {
+    // Expected rejection path for malformed input.
+  }
+  return 0;
+}

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "exec/fi.hpp"
+
 namespace hlp::bdd {
 
 namespace {
@@ -21,9 +23,20 @@ NodeRef Manager::make_node(std::uint32_t var, NodeRef lo, NodeRef hi) {
   NodeKey key{var, lo, hi};
   auto it = unique_.find(key);
   if (it != unique_.end()) return it->second;
+  // The only point where the manager grows. Budget and fault checks sit
+  // before the first mutation; the rollback below restores the class
+  // invariant (every node is in the unique table, and vice versa) if the
+  // second mutation throws — the strong exception guarantee.
+  if (meter_) meter_->check_nodes(nodes_.size() + 1);
+  fi::alloc_checkpoint();
   NodeRef id = static_cast<NodeRef>(nodes_.size());
   nodes_.push_back({var, lo, hi});
-  unique_.emplace(key, id);
+  try {
+    unique_.emplace(key, id);
+  } catch (...) {
+    nodes_.pop_back();
+    throw;
+  }
   return id;
 }
 
@@ -48,6 +61,7 @@ NodeRef Manager::ite(NodeRef f, NodeRef g, NodeRef h) {
   IteKey key{f, g, h};
   auto it = ite_cache_.find(key);
   if (it != ite_cache_.end()) return it->second;
+  if (meter_) meter_->step();
 
   std::uint32_t v = top_var(f, g, h);
   auto cof = [&](NodeRef x, bool hi) -> NodeRef {
@@ -63,7 +77,9 @@ NodeRef Manager::ite(NodeRef f, NodeRef g, NodeRef h) {
 
 NodeRef Manager::restrict_var(NodeRef f, std::uint32_t v, bool val) {
   if (f <= kTrue) return f;
-  const Node& n = nodes_[f];
+  // Copy, not reference: the recursive calls below go through make_node,
+  // which can grow nodes_ and invalidate anything pointing into it.
+  const Node n = nodes_[f];
   if (n.var > v) return f;
   if (n.var == v) return val ? n.hi : n.lo;
   // n.var < v: rebuild children.

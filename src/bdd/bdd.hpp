@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/exec.hpp"
+
 namespace hlp::bdd {
 
 /// Reference to a BDD node. 0 and 1 are the constant terminals.
@@ -80,6 +82,15 @@ class Manager {
 
   std::size_t total_nodes() const { return nodes_.size(); }
 
+  /// Attach an execution meter (not owned; nullptr detaches). While
+  /// attached, node creation checks the budget's node cap and every ITE
+  /// cache miss charges one meter step, so runaway constructions trip the
+  /// deadline/step quota/cancellation instead of hanging. A trip throws
+  /// exec::BudgetExceeded mid-operation; the manager's tables only ever
+  /// contain completed entries, so it remains fully usable afterwards.
+  void set_meter(exec::Meter* m) { meter_ = m; }
+  exec::Meter* meter() const { return meter_; }
+
   std::uint32_t node_var(NodeRef f) const { return nodes_[f].var; }
   NodeRef node_lo(NodeRef f) const { return nodes_[f].lo; }
   NodeRef node_hi(NodeRef f) const { return nodes_[f].hi; }
@@ -123,6 +134,7 @@ class Manager {
   std::unordered_map<NodeKey, NodeRef, NodeKeyHash> unique_;
   std::unordered_map<IteKey, NodeRef, IteKeyHash> ite_cache_;
   std::unordered_map<NodeRef, double> sat_cache_;
+  exec::Meter* meter_ = nullptr;
 };
 
 }  // namespace hlp::bdd

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <map>
+#include <new>
+#include <string>
 #include <unordered_set>
 
 #include "bdd/netlist_bdd.hpp"
 #include "netlist/copy.hpp"
 #include "sim/simulator.hpp"
+#include "stats/rng.hpp"
 
 namespace hlp::core {
 
@@ -76,68 +79,96 @@ std::vector<int> gate_levels(const Netlist& nl) {
   return lvl;
 }
 
-}  // namespace
+/// A structurally enumerated guard opportunity, before ODC verification:
+/// the full mux bank sharing one select, the blocked side, and its cone.
+struct RawGuard {
+  GateId sel = netlist::kNullGate;
+  std::vector<GateId> muxes;
+  int side = 0;
+  std::vector<GateId> cone;
+};
 
-std::vector<GuardCandidate> find_guards(const netlist::Module& mod) {
-  const Netlist& nl = mod.netlist;
-  std::vector<GuardCandidate> out;
-
-  bdd::Manager mgr;
-  auto bdds = bdd::build_bdds(mgr, nl);
-  auto levels = gate_levels(nl);
-
+std::vector<RawGuard> enumerate_guard_cones(const Netlist& nl) {
   // Group muxes by select signal: a word-level mux bank is one opportunity.
   std::map<GateId, std::vector<GateId>> groups;
   for (GateId m = 0; m < nl.gate_count(); ++m)
     if (nl.gate(m).kind == GateKind::Mux)
       groups[nl.gate(m).fanins[0]].push_back(m);
 
-  for (const auto& [sel, muxes] : groups) {
+  std::vector<RawGuard> raw;
+  for (const auto& [sel, muxes] : groups)
     for (int side = 0; side < 2; ++side) {
       auto cone = exclusive_cone(nl, muxes, side);
       if (cone.size() < 2) continue;  // not worth latching
+      raw.push_back({sel, muxes, side, std::move(cone)});
+    }
+  return raw;
+}
 
-      GuardCandidate c;
-      c.mux = muxes.front();
-      c.guard = sel;
-      // The d0 side (side 0) is unobserved when sel = 1.
-      c.block_when_guard_high = (side == 0);
-      c.cone_root = nl.gate(muxes.front())
-                        .fanins[static_cast<std::size_t>(1 + side)];
-      c.cone = cone;
+GuardCandidate make_candidate(const Netlist& nl, const RawGuard& rg,
+                              const std::vector<int>& levels) {
+  GuardCandidate c;
+  c.mux = rg.muxes.front();
+  c.guard = rg.sel;
+  // The d0 side (side 0) is unobserved when sel = 1.
+  c.block_when_guard_high = (rg.side == 0);
+  c.cone_root =
+      nl.gate(rg.muxes.front()).fanins[static_cast<std::size_t>(1 + rg.side)];
+  c.cone = rg.cone;
+  // Pure guarded evaluation timing: the guard must settle before any
+  // boundary input of the cone can switch (unit-delay levels).
+  std::unordered_set<GateId> inside(rg.cone.begin(), rg.cone.end());
+  int t_e = 1 << 30;
+  for (GateId cg : rg.cone)
+    for (GateId f : nl.gate(cg).fanins)
+      if (!inside.count(f)) t_e = std::min(t_e, levels[f] + 1);
+  c.pure = levels[rg.sel] < t_e;
+  return c;
+}
 
-      // ODC verification via BDDs: under the blocking select value the mux
-      // bank outputs equal the other branch for every input assignment —
-      // i.e. the cone is unobservable. Check symbolically per mux.
-      bdd::NodeRef sel_fn = bdds.fn[sel];
-      bdd::NodeRef cond =
-          c.block_when_guard_high ? sel_fn : mgr.bdd_not(sel_fn);
-      bool verified = cond != bdd::kFalse;
-      for (GateId m : muxes) {
-        const auto& mf = nl.gate(m).fanins;
-        bdd::NodeRef other =
-            bdds.fn[mf[static_cast<std::size_t>(1 + (1 - side))]];
-        // cond -> (mux output == other branch).
-        bdd::NodeRef eq = mgr.bdd_xnor(bdds.fn[m], other);
-        if (!mgr.implies(cond, eq)) {
-          verified = false;
-          break;
-        }
-      }
-      c.odc_verified = verified;
-      if (!verified) continue;
+/// ODC verification via BDDs: under the blocking select value the mux bank
+/// outputs equal the other branch for every input assignment — i.e. the
+/// cone is unobservable. Checked symbolically per mux.
+bool verify_odc_bdd(bdd::Manager& mgr, const bdd::NetlistBdds& bdds,
+                    const Netlist& nl, const RawGuard& rg) {
+  bdd::NodeRef sel_fn = bdds.fn[rg.sel];
+  bdd::NodeRef cond = rg.side == 0 ? sel_fn : mgr.bdd_not(sel_fn);
+  if (cond == bdd::kFalse) return false;
+  for (GateId m : rg.muxes) {
+    const auto& mf = nl.gate(m).fanins;
+    bdd::NodeRef other =
+        bdds.fn[mf[static_cast<std::size_t>(1 + (1 - rg.side))]];
+    // cond -> (mux output == other branch).
+    bdd::NodeRef eq = mgr.bdd_xnor(bdds.fn[m], other);
+    if (!mgr.implies(cond, eq)) return false;
+  }
+  return true;
+}
 
-      // Pure guarded evaluation timing: the guard must settle before any
-      // boundary input of the cone can switch (unit-delay levels).
-      std::unordered_set<GateId> inside(cone.begin(), cone.end());
-      int t_e = 1 << 30;
-      for (GateId cg : cone)
-        for (GateId f : nl.gate(cg).fanins)
-          if (!inside.count(f)) t_e = std::min(t_e, levels[f] + 1);
-      c.pure = levels[sel] < t_e;
-      out.push_back(std::move(c));
+/// Degraded ODC verification: random-vector search for a counterexample.
+/// Accepts only if the blocking select value was observed at least once and
+/// no sampled vector violates the implication — weaker than the proof, but
+/// sound against everything the sample saw.
+bool verify_odc_sampled(sim::Simulator& s, const Netlist& nl,
+                        const RawGuard& rg, int n_inputs, stats::Rng& rng,
+                        int n_vectors) {
+  bool cond_seen = false;
+  for (int t = 0; t < n_vectors; ++t) {
+    s.set_all_inputs(rng.uniform_bits(n_inputs));
+    s.eval();
+    bool blocking = s.value(rg.sel) == (rg.side == 0);
+    if (!blocking) continue;
+    cond_seen = true;
+    for (GateId m : rg.muxes) {
+      const auto& mf = nl.gate(m).fanins;
+      GateId other = mf[static_cast<std::size_t>(1 + (1 - rg.side))];
+      if (s.value(m) != s.value(other)) return false;
     }
   }
+  return cond_seen;
+}
+
+std::vector<GuardCandidate> filter_disjoint(std::vector<GuardCandidate> out) {
   // Keep a disjoint subset, largest cones first.
   std::sort(out.begin(), out.end(),
             [](const GuardCandidate& a, const GuardCandidate& b) {
@@ -157,6 +188,68 @@ std::vector<GuardCandidate> find_guards(const netlist::Module& mod) {
     disjoint.push_back(std::move(c));
   }
   return disjoint;
+}
+
+std::vector<GuardCandidate> find_guards_impl(const netlist::Module& mod,
+                                             exec::Meter* meter) {
+  const Netlist& nl = mod.netlist;
+  bdd::Manager mgr;
+  mgr.set_meter(meter);
+  auto bdds = bdd::build_bdds(mgr, nl);
+  auto levels = gate_levels(nl);
+  std::vector<GuardCandidate> out;
+  for (const RawGuard& rg : enumerate_guard_cones(nl)) {
+    if (!verify_odc_bdd(mgr, bdds, nl, rg)) continue;
+    GuardCandidate c = make_candidate(nl, rg, levels);
+    c.odc_verified = true;
+    out.push_back(std::move(c));
+  }
+  return filter_disjoint(std::move(out));
+}
+
+}  // namespace
+
+std::vector<GuardCandidate> find_guards(const netlist::Module& mod) {
+  return find_guards_impl(mod, nullptr);
+}
+
+exec::Outcome<std::vector<GuardCandidate>> find_guards_budgeted(
+    const netlist::Module& mod, const exec::Budget& budget,
+    std::uint64_t seed) {
+  exec::Outcome<std::vector<GuardCandidate>> out;
+  exec::Meter meter(budget);
+  try {
+    out.value = find_guards_impl(mod, &meter);
+    out.diag = meter.diag();
+    return out;
+  } catch (const exec::BudgetExceeded&) {
+    out.diag = meter.diag();
+  } catch (const std::bad_alloc&) {
+    out.diag = meter.diag();
+    out.diag.stop = exec::StopReason::AllocFailure;
+  }
+
+  const Netlist& nl = mod.netlist;
+  auto levels = gate_levels(nl);
+  sim::Simulator s(nl);
+  stats::Rng rng(seed);
+  constexpr int kVectors = 256;
+  std::vector<GuardCandidate> found;
+  for (const RawGuard& rg : enumerate_guard_cones(nl)) {
+    if (!verify_odc_sampled(s, nl, rg, mod.total_input_bits(), rng, kVectors))
+      continue;
+    GuardCandidate c = make_candidate(nl, rg, levels);
+    c.odc_verified = true;
+    found.push_back(std::move(c));
+  }
+  out.value = filter_disjoint(std::move(found));
+  out.diag.degraded = true;
+  out.diag.degraded_from = "BDD ODC implication proof";
+  out.diag.degraded_to = "random-vector ODC verification";
+  out.diag.note = "accepted " + std::to_string(out.value.size()) +
+                  " guards on " + std::to_string(kVectors) +
+                  " sampled vectors after the symbolic check tripped";
+  return out;
 }
 
 GuardedCircuit apply_guards(const netlist::Module& mod,

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "netlist/generators.hpp"
 #include "sim/engine.hpp"
 #include "sim/power.hpp"
@@ -30,6 +31,19 @@ struct GuardCandidate {
 
 /// Enumerate and verify guard candidates on a combinational module.
 std::vector<GuardCandidate> find_guards(const netlist::Module& mod);
+
+/// Budgeted guard discovery with graceful degradation. Structural cone
+/// enumeration is cheap and always runs; the ODC implication check runs
+/// symbolically with `budget` metered on the BDD manager. If the BDDs blow
+/// the budget (or allocation fails), verification degrades to random-vector
+/// simulation: a candidate is accepted only if, across every sampled vector
+/// where the blocking select value holds, the mux bank output equals the
+/// unblocked branch (and the blocking value was actually observed).
+/// Sampled acceptance is weaker than the symbolic proof; the outcome's diag
+/// records the degradation so callers can tell. Deterministic in `seed`.
+exec::Outcome<std::vector<GuardCandidate>> find_guards_budgeted(
+    const netlist::Module& mod, const exec::Budget& budget,
+    std::uint64_t seed = 0x5eedbeefu);
 
 /// Build a transformed copy of the module with guard latches inserted for
 /// the given (disjoint) candidates.

@@ -1,20 +1,26 @@
 #include "core/precomputation.hpp"
 
 #include <algorithm>
+#include <new>
+#include <string>
 
 #include "bdd/bdd_to_netlist.hpp"
 #include "bdd/netlist_bdd.hpp"
 #include "netlist/copy.hpp"
 #include "sim/simulator.hpp"
+#include "stats/rng.hpp"
 
 namespace hlp::core {
 
 using netlist::GateId;
 using netlist::GateKind;
 
-std::vector<std::uint32_t> select_precompute_inputs(const netlist::Module& mod,
-                                                    int subset_size) {
+namespace {
+
+std::vector<std::uint32_t> select_precompute_inputs_impl(
+    const netlist::Module& mod, int subset_size, exec::Meter* meter) {
   bdd::Manager mgr;
+  mgr.set_meter(meter);
   auto bdds = bdd::build_bdds(mgr, mod.netlist);
   bdd::NodeRef f = bdds.fn[mod.netlist.outputs()[0]];
   bdd::NodeRef nf = mgr.bdd_not(f);
@@ -56,6 +62,119 @@ std::vector<std::uint32_t> select_precompute_inputs(const netlist::Module& mod,
   }
   std::sort(subset.begin(), subset.end());
   return subset;
+}
+
+/// Sampled coverage of a subset: hold a random assignment of the subset
+/// bits, draw random completions of the rest, count how often the output is
+/// the same across all completions (the predictors would have decided it).
+double sampled_coverage(sim::Simulator& s, GateId out, int n_inputs,
+                        std::uint64_t subset_mask, stats::Rng& rng,
+                        int n_holds, int n_completions) {
+  int decided = 0;
+  for (int j = 0; j < n_holds; ++j) {
+    std::uint64_t held = rng.uniform_bits(n_inputs) & subset_mask;
+    bool first = true, ref = false, constant = true;
+    for (int k = 0; k < n_completions; ++k) {
+      std::uint64_t w = held | (rng.uniform_bits(n_inputs) & ~subset_mask);
+      s.set_all_inputs(w);
+      s.eval();
+      bool v = s.value(out);
+      if (first) {
+        ref = v;
+        first = false;
+      } else if (v != ref) {
+        constant = false;
+        break;
+      }
+    }
+    if (constant) ++decided;
+  }
+  return static_cast<double>(decided) / static_cast<double>(n_holds);
+}
+
+/// Degraded greedy selection: the same loop as the symbolic version, with
+/// coverage and influence estimated by simulation instead of quantification.
+std::vector<std::uint32_t> select_precompute_inputs_sampled(
+    const netlist::Module& mod, int subset_size, std::uint64_t seed) {
+  sim::Simulator s(mod.netlist);
+  const GateId out = mod.netlist.outputs()[0];
+  const int n = mod.total_input_bits();
+  stats::Rng rng(seed);
+
+  constexpr int kInfluenceSamples = 64;
+  constexpr int kHolds = 48;
+  constexpr int kCompletions = 16;
+
+  std::vector<double> influence(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    int flips = 0;
+    for (int t = 0; t < kInfluenceSamples; ++t) {
+      std::uint64_t w = rng.uniform_bits(n);
+      s.set_all_inputs(w);
+      s.eval();
+      bool a = s.value(out);
+      s.set_all_inputs(w ^ (std::uint64_t{1} << i));
+      s.eval();
+      if (s.value(out) != a) ++flips;
+    }
+    influence[static_cast<std::size_t>(i)] =
+        static_cast<double>(flips) / kInfluenceSamples;
+  }
+
+  std::uint64_t subset_mask = 0;
+  std::vector<std::uint32_t> subset;
+  for (int k = 0; k < subset_size && static_cast<int>(subset.size()) < n;
+       ++k) {
+    double best_score = -1.0;
+    int best_i = -1;
+    for (int i = 0; i < n; ++i) {
+      if (subset_mask & (std::uint64_t{1} << i)) continue;
+      double cov = sampled_coverage(s, out, n,
+                                    subset_mask | (std::uint64_t{1} << i),
+                                    rng, kHolds, kCompletions);
+      double score = cov + 1e-3 * influence[static_cast<std::size_t>(i)];
+      if (score > best_score) {
+        best_score = score;
+        best_i = i;
+      }
+    }
+    if (best_i < 0) break;
+    subset_mask |= std::uint64_t{1} << best_i;
+    subset.push_back(static_cast<std::uint32_t>(best_i));
+  }
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> select_precompute_inputs(const netlist::Module& mod,
+                                                    int subset_size) {
+  return select_precompute_inputs_impl(mod, subset_size, nullptr);
+}
+
+exec::Outcome<std::vector<std::uint32_t>> select_precompute_inputs_budgeted(
+    const netlist::Module& mod, int subset_size, const exec::Budget& budget,
+    std::uint64_t seed) {
+  exec::Outcome<std::vector<std::uint32_t>> out;
+  exec::Meter meter(budget);
+  try {
+    out.value = select_precompute_inputs_impl(mod, subset_size, &meter);
+    out.diag = meter.diag();
+    return out;
+  } catch (const exec::BudgetExceeded&) {
+    out.diag = meter.diag();
+  } catch (const std::bad_alloc&) {
+    out.diag = meter.diag();
+    out.diag.stop = exec::StopReason::AllocFailure;
+  }
+  out.value = select_precompute_inputs_sampled(mod, subset_size, seed);
+  out.diag.degraded = true;
+  out.diag.degraded_from = "BDD quantified coverage";
+  out.diag.degraded_to = "sampled coverage";
+  out.diag.note = "selected " + std::to_string(out.value.size()) +
+                  " inputs by simulation after the symbolic search tripped";
+  return out;
 }
 
 PrecomputedCircuit build_precomputed(const netlist::Module& mod,

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "netlist/generators.hpp"
 #include "sim/engine.hpp"
 #include "sim/power.hpp"
@@ -32,6 +33,17 @@ struct PrecomputedCircuit {
 /// decide the output), evaluated symbolically.
 std::vector<std::uint32_t> select_precompute_inputs(const netlist::Module& mod,
                                                     int subset_size);
+
+/// Budgeted subset selection with graceful degradation. The symbolic greedy
+/// search runs with `budget` metered on its BDD manager; if quantification
+/// blows the node cap / deadline (or allocation fails), selection degrades
+/// to the same greedy loop scored by *sampled* coverage: hold a random
+/// assignment of the candidate subset, draw random completions of the other
+/// inputs, and count how often the output stays constant. Deterministic in
+/// `seed`. The degradation (if any) is recorded in the outcome's diag.
+exec::Outcome<std::vector<std::uint32_t>> select_precompute_inputs_budgeted(
+    const netlist::Module& mod, int subset_size, const exec::Budget& budget,
+    std::uint64_t seed = 0x5eedbeefu);
 
 /// Build the Fig. 6 architecture around output 0 of `mod`.
 /// The baseline comparison circuit is the same block behind an input

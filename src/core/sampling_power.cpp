@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
 
+#include "exec/fi.hpp"
 #include "lint/lint.hpp"
 #include "sim/packed_simulator.hpp"
 #include "sim/simulator.hpp"
@@ -89,28 +91,58 @@ double gate_level_mean(const ModuleCharacterization& eval_set) {
 
 namespace {
 
+/// Close out a run: stop-reason bookkeeping + resume checkpoint. `res`
+/// already carries converged/ci from the stop rule when it fired.
+void finish_monte_carlo(MonteCarloResult& res, const stats::RunningStats& rs,
+                        double confidence, bool budget_stop) {
+  res.mean_energy = rs.mean();
+  res.pairs = rs.count();
+  if (res.converged) {
+    res.stop_reason = MonteCarloResult::StopReason::Converged;
+  } else {
+    res.ci_halfwidth = stats::ci_halfwidth(rs, confidence);
+    res.stop_reason = budget_stop
+                          ? MonteCarloResult::StopReason::BudgetExhausted
+                          : MonteCarloResult::StopReason::MaxPairsExhausted;
+  }
+  res.checkpoint = {rs.count(), rs.mean(), rs.m2()};
+}
+
 /// 64 independent vector pairs per step: pair k occupies bit lane k, drawn
 /// in the same interleaved order (v1_k, v2_k) the scalar loop uses. Lane
 /// energies are drained into the running stats in draw order, so the
-/// sequential stop rule fires at exactly the same pair as the scalar path.
+/// sequential stop rule fires at exactly the same pair as the scalar path,
+/// and a step-quota/cancellation budget trip also lands on the same pair.
 MonteCarloResult monte_carlo_power_packed(
     const netlist::Netlist& nl,
     const std::function<std::uint64_t()>& vector_gen, double epsilon,
     double confidence, std::size_t min_pairs, std::size_t max_pairs,
-    const netlist::CapacitanceModel& cap) {
+    const netlist::CapacitanceModel& cap, exec::Meter* meter,
+    const MonteCarloCheckpoint& resume) {
   MonteCarloResult res;
   auto loads = nl.loads(cap);
+  fi::alloc_checkpoint();
   sim::PackedSimulator ps(nl);
   const std::size_t n = nl.gate_count();
+  fi::alloc_checkpoint();
   std::vector<std::uint64_t> prev(n, 0);
   std::uint64_t w1[64], w2[64];
   double e_lane[64];
-  stats::RunningStats rs;
+  stats::RunningStats rs =
+      stats::RunningStats::restore(resume.count, resume.mean, resume.m2);
 
-  bool stopped = false;
-  for (std::size_t base = 0; base < max_pairs && !stopped; base += 64) {
-    const int count =
-        static_cast<int>(std::min<std::size_t>(64, max_pairs - base));
+  bool stopped = false, budget_stop = false;
+  while (rs.count() < max_pairs && !stopped) {
+    // Never draw past a step quota: a quota-stopped run must leave the
+    // shared generator at the same position as the scalar engine, or a
+    // resumed run would diverge from an uninterrupted one.
+    std::size_t batch = std::min<std::size_t>(64, max_pairs - rs.count());
+    if (meter) batch = std::min(batch, meter->steps_remaining());
+    if (batch == 0) {  // quota exactly spent: the next pair's probe trips
+      budget_stop = meter->over_budget(1);
+      break;
+    }
+    const int count = static_cast<int>(batch);
     for (int k = 0; k < count; ++k) {
       w1[k] = vector_gen();
       w2[k] = vector_gen();
@@ -133,6 +165,14 @@ MonteCarloResult monte_carlo_power_packed(
       }
     }
     for (int k = 0; k < count; ++k) {
+      // One step per pair; a tripped pair is not counted, so the stats only
+      // ever contain fully-paid-for samples (the generator may have been
+      // drawn up to one batch ahead — see the header contract).
+      if (meter && meter->over_budget(1)) {
+        stopped = true;
+        budget_stop = true;
+        break;
+      }
       rs.add(e_lane[k]);
       if (rs.count() >= min_pairs) {
         double hw = stats::ci_halfwidth(rs, confidence);
@@ -145,31 +185,31 @@ MonteCarloResult monte_carlo_power_packed(
       }
     }
   }
-  res.mean_energy = rs.mean();
-  res.pairs = rs.count();
-  if (!res.converged) res.ci_halfwidth = stats::ci_halfwidth(rs, confidence);
+  finish_monte_carlo(res, rs, confidence, budget_stop);
   return res;
 }
 
-}  // namespace
-
-MonteCarloResult monte_carlo_power(
-    const netlist::Module& mod,
+MonteCarloResult monte_carlo_power_scalar(
+    const netlist::Netlist& nl,
     const std::function<std::uint64_t()>& vector_gen, double epsilon,
     double confidence, std::size_t min_pairs, std::size_t max_pairs,
-    const netlist::CapacitanceModel& cap, const sim::SimOptions& opts) {
-  lint::enforce_module(mod, opts.lint, "monte_carlo_power");
-  const auto& nl = mod.netlist;
-  if (sim::resolve_engine(nl, opts.engine) == sim::EngineKind::Packed)
-    return monte_carlo_power_packed(nl, vector_gen, epsilon, confidence,
-                                    min_pairs, max_pairs, cap);
+    const netlist::CapacitanceModel& cap, exec::Meter* meter,
+    const MonteCarloCheckpoint& resume) {
   MonteCarloResult res;
   auto loads = nl.loads(cap);
+  fi::alloc_checkpoint();
   sim::Simulator s(nl);
+  fi::alloc_checkpoint();
   std::vector<std::uint8_t> prev(nl.gate_count(), 0);
-  stats::RunningStats rs;
+  stats::RunningStats rs =
+      stats::RunningStats::restore(resume.count, resume.mean, resume.m2);
 
-  for (std::size_t k = 0; k < max_pairs; ++k) {
+  bool budget_stop = false;
+  while (rs.count() < max_pairs) {
+    if (meter && meter->over_budget(1)) {
+      budget_stop = true;
+      break;
+    }
     // One independent vector pair: apply v1, settle, then v2, count.
     s.set_all_inputs(vector_gen());
     s.eval();
@@ -190,10 +230,54 @@ MonteCarloResult monte_carlo_power(
       }
     }
   }
-  res.mean_energy = rs.mean();
-  res.pairs = rs.count();
-  if (!res.converged) res.ci_halfwidth = stats::ci_halfwidth(rs, confidence);
+  finish_monte_carlo(res, rs, confidence, budget_stop);
   return res;
+}
+
+MonteCarloResult monte_carlo_power_impl(
+    const netlist::Module& mod,
+    const std::function<std::uint64_t()>& vector_gen, double epsilon,
+    double confidence, std::size_t min_pairs, std::size_t max_pairs,
+    const netlist::CapacitanceModel& cap, const sim::SimOptions& opts,
+    exec::Meter* meter, const MonteCarloCheckpoint& resume) {
+  lint::enforce_module(mod, opts.lint, "monte_carlo_power");
+  const auto& nl = mod.netlist;
+  if (sim::resolve_engine(nl, opts.engine) == sim::EngineKind::Packed)
+    return monte_carlo_power_packed(nl, vector_gen, epsilon, confidence,
+                                    min_pairs, max_pairs, cap, meter, resume);
+  return monte_carlo_power_scalar(nl, vector_gen, epsilon, confidence,
+                                  min_pairs, max_pairs, cap, meter, resume);
+}
+
+}  // namespace
+
+MonteCarloResult monte_carlo_power(
+    const netlist::Module& mod,
+    const std::function<std::uint64_t()>& vector_gen, double epsilon,
+    double confidence, std::size_t min_pairs, std::size_t max_pairs,
+    const netlist::CapacitanceModel& cap, const sim::SimOptions& opts) {
+  return monte_carlo_power_impl(mod, vector_gen, epsilon, confidence,
+                                min_pairs, max_pairs, cap, opts, nullptr, {});
+}
+
+exec::Outcome<MonteCarloResult> monte_carlo_power_budgeted(
+    const netlist::Module& mod,
+    const std::function<std::uint64_t()>& vector_gen,
+    const exec::Budget& budget, double epsilon, double confidence,
+    std::size_t min_pairs, std::size_t max_pairs,
+    const netlist::CapacitanceModel& cap, const sim::SimOptions& opts,
+    const MonteCarloCheckpoint& resume) {
+  exec::Meter meter(budget);
+  exec::Outcome<MonteCarloResult> out;
+  out.value = monte_carlo_power_impl(mod, vector_gen, epsilon, confidence,
+                                     min_pairs, max_pairs, cap, opts, &meter,
+                                     resume);
+  out.diag = meter.diag();
+  if (out.value.stop_reason == MonteCarloResult::StopReason::BudgetExhausted)
+    out.diag.note = "partial estimate over " +
+                    std::to_string(out.value.pairs) +
+                    " pairs; resume via result.checkpoint";
+  return out;
 }
 
 }  // namespace hlp::core

@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "core/macromodel.hpp"
+#include "exec/exec.hpp"
 #include "sim/engine.hpp"
 #include "stats/rng.hpp"
 
@@ -66,12 +67,38 @@ double gate_level_mean(const ModuleCharacterization& eval_set);
 /// lane); the sequential-sampling stop rule is evaluated per pair in draw
 /// order, so the estimate, pair count, and CI are bit-identical to the
 /// scalar engine. The only observable difference is that `vector_gen` may
-/// be drawn up to one 64-pair batch ahead of the stopping point.
+/// be drawn up to one 64-pair batch ahead of a convergence or deadline/
+/// cancellation stopping point; a *step-quota* stop never over-draws (the
+/// batch size is capped by the remaining quota), so quota-stopped runs can
+/// be resumed against the same generator with no divergence.
+/// Resume token: the full Welford state of the running estimate. A stopped
+/// run's checkpoint, fed back into monte_carlo_power_budgeted together with
+/// the *same, un-rewound* vector generator, continues the estimate exactly
+/// where it left off.
+struct MonteCarloCheckpoint {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  bool valid() const { return count > 0; }
+};
+
 struct MonteCarloResult {
   double mean_energy = 0.0;   ///< switched cap per transition
-  std::size_t pairs = 0;      ///< vector pairs simulated
+  std::size_t pairs = 0;      ///< vector pairs simulated (incl. resumed)
   double ci_halfwidth = 0.0;  ///< absolute, at the requested confidence
-  bool converged = false;
+  bool converged = false;     ///< == (stop_reason == Converged)
+
+  /// Why sampling stopped — unambiguous, unlike the old converged=false
+  /// which conflated pair exhaustion with every other cause.
+  enum class StopReason : std::uint8_t {
+    Converged,          ///< CI half-width criterion met
+    MaxPairsExhausted,  ///< max_pairs simulated without meeting the CI
+    BudgetExhausted,    ///< exec budget tripped (see the Outcome's diag)
+  };
+  StopReason stop_reason = StopReason::MaxPairsExhausted;
+
+  /// Always filled; pass to monte_carlo_power_budgeted to resume.
+  MonteCarloCheckpoint checkpoint;
 };
 MonteCarloResult monte_carlo_power(
     const netlist::Module& mod,
@@ -80,5 +107,21 @@ MonteCarloResult monte_carlo_power(
     std::size_t max_pairs = 100000,
     const netlist::CapacitanceModel& cap = {},
     const sim::SimOptions& opts = {});
+
+/// Budgeted Monte Carlo power: one meter step per vector pair. When the
+/// budget trips mid-run the outcome carries the partial estimate (mean, CI
+/// over the pairs actually simulated) with stop_reason = BudgetExhausted
+/// and a resume checkpoint — exhausted budgets return resumable partial
+/// estimates instead of hanging or pretending to have converged. Pass a
+/// previous run's `resume` checkpoint (and keep drawing from the same
+/// generator sequence) to continue; `max_pairs` counts resumed pairs too.
+exec::Outcome<MonteCarloResult> monte_carlo_power_budgeted(
+    const netlist::Module& mod,
+    const std::function<std::uint64_t()>& vector_gen,
+    const exec::Budget& budget, double epsilon, double confidence = 0.95,
+    std::size_t min_pairs = 30, std::size_t max_pairs = 100000,
+    const netlist::CapacitanceModel& cap = {},
+    const sim::SimOptions& opts = {},
+    const MonteCarloCheckpoint& resume = {});
 
 }  // namespace hlp::core

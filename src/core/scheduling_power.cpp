@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <set>
+#include <string>
 
 #include "lint/lint.hpp"
 #include "stats/rng.hpp"
@@ -85,10 +86,12 @@ std::vector<bool> forward_reach(const Cdfg& g,
 
 }  // namespace
 
-PowerManagedSchedule monteiro_schedule(
+namespace {
+
+PowerManagedSchedule monteiro_schedule_impl(
     const Cdfg& g, int latency_slack, const OpDelays& d,
-    const std::map<OpId, double>& branch_prob,
-    const lint::LintOptions& lint) {
+    const std::map<OpId, double>& branch_prob, const lint::LintOptions& lint,
+    exec::Meter* meter, std::size_t* muxes_considered) {
   lint::enforce_cdfg(g, lint, "monteiro_schedule");
   PowerManagedSchedule res;
   res.activation_prob.assign(g.size(), 1.0);
@@ -103,6 +106,10 @@ PowerManagedSchedule monteiro_schedule(
   std::sort(muxes.begin(), muxes.end(), std::greater<>());
 
   for (OpId m : muxes) {
+    // One step per mux candidate: on a trip, muxes already accepted stay
+    // managed and the rest run unmanaged — a valid, weaker schedule.
+    if (meter && meter->over_budget(1)) break;
+    if (muxes_considered) ++*muxes_considered;
     const auto& mp = g.op(m).preds;  // {ctrl, d0, d1}
     auto in_set = [&](const std::vector<OpId>& xs, OpId v) {
       return std::find(xs.begin(), xs.end(), v) != xs.end();
@@ -164,6 +171,37 @@ PowerManagedSchedule monteiro_schedule(
   }
   res.schedule = asap_with_edges(g, d, res.added_edges);
   return res;
+}
+
+}  // namespace
+
+PowerManagedSchedule monteiro_schedule(
+    const Cdfg& g, int latency_slack, const OpDelays& d,
+    const std::map<OpId, double>& branch_prob,
+    const lint::LintOptions& lint) {
+  return monteiro_schedule_impl(g, latency_slack, d, branch_prob, lint,
+                                nullptr, nullptr);
+}
+
+exec::Outcome<PowerManagedSchedule> monteiro_schedule_budgeted(
+    const Cdfg& g, const exec::Budget& budget, int latency_slack,
+    const OpDelays& d, const std::map<OpId, double>& branch_prob,
+    const lint::LintOptions& lint) {
+  exec::Meter meter(budget);
+  exec::Outcome<PowerManagedSchedule> out;
+  std::size_t considered = 0;
+  out.value = monteiro_schedule_impl(g, latency_slack, d, branch_prob, lint,
+                                     &meter, &considered);
+  out.diag = meter.diag();
+  if (out.diag.stop != exec::StopReason::None) {
+    out.diag.degraded = true;
+    out.diag.degraded_from = "power-managed schedule (all muxes)";
+    out.diag.degraded_to = "power-managed schedule (first " +
+                           std::to_string(considered) + " mux candidates)";
+    out.diag.note = std::to_string(out.value.managed_muxes.size()) +
+                    " muxes managed before the budget tripped";
+  }
+  return out;
 }
 
 std::vector<int> bind_round_robin(const Cdfg& g, const Schedule& s,
@@ -246,10 +284,13 @@ double fu_input_switching(const Cdfg& g, const Schedule& s,
   return pairs ? total / static_cast<double>(trace.value.size()) : 0.0;
 }
 
-Schedule activity_driven_schedule(const Cdfg& g,
-                                  const std::map<OpKind, int>& limits,
-                                  const OpDelays& d,
-                                  const lint::LintOptions& lint) {
+namespace {
+
+Schedule activity_driven_schedule_impl(const Cdfg& g,
+                                       const std::map<OpKind, int>& limits,
+                                       const OpDelays& d,
+                                       const lint::LintOptions& lint,
+                                       exec::Meter* meter, bool* tripped) {
   lint::enforce_cdfg(g, lint, "activity_driven_schedule");
   // List scheduling where, among ready ops, we prefer one sharing an operand
   // with the op most recently issued to the same kind of unit.
@@ -272,6 +313,13 @@ Schedule activity_driven_schedule(const Cdfg& g,
   int step = 0;
   const int guard = static_cast<int>(g.size()) * 8 + 64;
   while (done < g.size() && step < guard) {
+    // One step per scheduler time step. A partial list schedule is not a
+    // valid schedule (ops left at start = -1), so the budgeted wrapper
+    // discards it and degrades to plain ASAP; we just stop burning time.
+    if (meter && meter->over_budget(1)) {
+      if (tripped) *tripped = true;
+      break;
+    }
     for (auto it = running.begin(); it != running.end();) {
       if (it->first <= step) {
         for (OpId c : su[it->second])
@@ -343,6 +391,38 @@ Schedule activity_driven_schedule(const Cdfg& g,
     ++step;
   }
   return s;
+}
+
+}  // namespace
+
+Schedule activity_driven_schedule(const Cdfg& g,
+                                  const std::map<OpKind, int>& limits,
+                                  const OpDelays& d,
+                                  const lint::LintOptions& lint) {
+  return activity_driven_schedule_impl(g, limits, d, lint, nullptr, nullptr);
+}
+
+exec::Outcome<Schedule> activity_driven_schedule_budgeted(
+    const Cdfg& g, const exec::Budget& budget,
+    const std::map<OpKind, int>& limits, const OpDelays& d,
+    const lint::LintOptions& lint) {
+  exec::Meter meter(budget);
+  exec::Outcome<Schedule> out;
+  bool tripped = false;
+  out.value =
+      activity_driven_schedule_impl(g, limits, d, lint, &meter, &tripped);
+  out.diag = meter.diag();
+  if (tripped) {
+    // A half-filled list schedule is unusable; fall back to the cheap
+    // resource-unaware baseline so the caller always gets a full schedule.
+    out.value = cdfg::asap(g, d);
+    out.diag.degraded = true;
+    out.diag.degraded_from = "activity-driven list schedule";
+    out.diag.degraded_to = "asap schedule (resource limits ignored)";
+    out.diag.note = "list scheduler hit the budget after " +
+                    std::to_string(meter.steps()) + " time steps";
+  }
+  return out;
 }
 
 LoopFoldingResult evaluate_loop_folding(int taps, std::size_t iterations,

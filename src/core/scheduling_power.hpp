@@ -5,6 +5,7 @@
 
 #include "cdfg/cdfg.hpp"
 #include "cdfg/datasim.hpp"
+#include "exec/exec.hpp"
 #include "lint/diagnostics.hpp"
 
 namespace hlp::core {
@@ -52,6 +53,17 @@ PowerManagedSchedule monteiro_schedule(
     const std::map<cdfg::OpId, double>& branch_prob = {},
     const lint::LintOptions& lint = {});
 
+/// Budgeted power-managed scheduling: one meter step per mux candidate
+/// (plus one per feasibility trial). On a budget trip, muxes already
+/// accepted keep their power management and the remaining candidates are
+/// left unmanaged — the schedule is always valid, just managing fewer
+/// branches. The diag reports how many candidates were considered.
+exec::Outcome<PowerManagedSchedule> monteiro_schedule_budgeted(
+    const cdfg::Cdfg& g, const exec::Budget& budget, int latency_slack = 2,
+    const cdfg::OpDelays& d = {},
+    const std::map<cdfg::OpId, double>& branch_prob = {},
+    const lint::LintOptions& lint = {});
+
 /// --- Musoll–Cortadella [60]: activity-driven scheduling -----------------
 
 /// Round-robin binding of compute ops to functional-unit instances under
@@ -76,6 +88,15 @@ double fu_input_switching(const cdfg::Cdfg& g, const cdfg::Schedule& s,
 cdfg::Schedule activity_driven_schedule(
     const cdfg::Cdfg& g, const std::map<cdfg::OpKind, int>& limits,
     const cdfg::OpDelays& d = {}, const lint::LintOptions& lint = {});
+
+/// Budgeted activity-driven scheduling: one meter step per time step of the
+/// list scheduler. A budget trip degrades to the plain (resource-unaware)
+/// ASAP schedule — the cheap deterministic fallback — with the degradation
+/// recorded in the diag rather than returning a half-filled schedule.
+exec::Outcome<cdfg::Schedule> activity_driven_schedule_budgeted(
+    const cdfg::Cdfg& g, const exec::Budget& budget,
+    const std::map<cdfg::OpKind, int>& limits, const cdfg::OpDelays& d = {},
+    const lint::LintOptions& lint = {});
 
 /// --- Kim–Choi [62]: power-conscious loop folding -------------------------
 ///

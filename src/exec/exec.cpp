@@ -1,0 +1,118 @@
+#include "exec/exec.hpp"
+
+#include <algorithm>
+
+#include "exec/fi.hpp"
+
+namespace hlp::exec {
+
+const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::None: return "none";
+    case StopReason::Deadline: return "deadline";
+    case StopReason::NodeCap: return "node-cap";
+    case StopReason::MemoryCap: return "memory-cap";
+    case StopReason::StepQuota: return "step-quota";
+    case StopReason::Cancelled: return "cancelled";
+    case StopReason::AllocFailure: return "alloc-failure";
+  }
+  return "unknown";
+}
+
+Meter::Meter(Budget b)
+    : budget_(std::move(b)), start_(std::chrono::steady_clock::now()) {
+  if (budget_.deadline_seconds > 0.0) {
+    has_deadline_ = true;
+    deadline_ = start_ + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(
+                                 budget_.deadline_seconds));
+    last_clock_poll_ = start_;
+  }
+}
+
+double Meter::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+StopReason Meter::poll() {
+  if (budget_.step_quota && steps_ > budget_.step_quota)
+    return StopReason::StepQuota;
+  if (budget_.cancel.cancel_requested()) return StopReason::Cancelled;
+  if (has_deadline_ && ticks_ >= next_clock_poll_) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto since = now - last_clock_poll_;
+    if (since * 2 < kClockPollTargetNs) {
+      clock_stride_ = std::min(clock_stride_ * 2, kMaxClockStride);
+    } else if (since > kClockPollTargetNs * 2 && clock_stride_ > 1) {
+      // Proportional back-off: one overshoot is enough to re-land the
+      // stride near the target, so a loop that suddenly slows down still
+      // sees its deadline within roughly one poll interval.
+      const double ratio =
+          std::chrono::duration<double>(kClockPollTargetNs).count() /
+          std::chrono::duration<double>(since).count();
+      clock_stride_ = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 static_cast<double>(clock_stride_) * ratio * 2.0));
+    }
+    last_clock_poll_ = now;
+    next_clock_poll_ = ticks_ + clock_stride_;
+    if (now >= deadline_) return StopReason::Deadline;
+  }
+  return StopReason::None;
+}
+
+void Meter::step(std::size_t n) {
+  steps_ += n;
+  ticks_ += n ? n : 1;
+  fi::step_checkpoint(budget_.cancel);
+  StopReason r = poll();
+  if (r != StopReason::None)
+    trip(r, "after " + std::to_string(steps_) + " steps");
+}
+
+bool Meter::over_budget(std::size_t charge_steps) {
+  if (charge_steps) {
+    steps_ += charge_steps;
+    fi::step_checkpoint(budget_.cancel);
+  }
+  ticks_ += charge_steps ? charge_steps : 1;
+  if (tripped_ != StopReason::None) return true;
+  StopReason r = poll();
+  if (r == StopReason::None) return false;
+  tripped_ = r;
+  return true;
+}
+
+void Meter::check_nodes(std::size_t live_nodes) {
+  if (budget_.node_cap && live_nodes > budget_.node_cap)
+    trip(StopReason::NodeCap,
+         std::to_string(live_nodes) + " live nodes > cap " +
+             std::to_string(budget_.node_cap));
+}
+
+void Meter::charge_bytes(std::size_t n) {
+  bytes_ += n;
+  if (budget_.memory_cap_bytes && bytes_ > budget_.memory_cap_bytes)
+    trip(StopReason::MemoryCap,
+         std::to_string(bytes_) + " bytes charged > cap " +
+             std::to_string(budget_.memory_cap_bytes));
+}
+
+void Meter::trip(StopReason r, const std::string& detail) {
+  tripped_ = r;
+  throw BudgetExceeded(
+      r, std::string("budget exceeded (") + to_string(r) + "): " + detail);
+}
+
+Diag Meter::diag() const {
+  Diag d;
+  d.stop = tripped_;
+  d.steps = steps_;
+  d.elapsed_seconds = elapsed_seconds();
+  return d;
+}
+
+}  // namespace hlp::exec

@@ -1,0 +1,202 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace hlp::exec {
+
+/// --- Execution control ----------------------------------------------------
+///
+/// Every technique the toolkit reproduces has a known blow-up mode that used
+/// to run open-loop: ROBDD construction is worst-case exponential in the
+/// variable order (the paper's II-B1 / III-I symbolic methods), power
+/// iteration on a non-mixing chain never settles, and Monte Carlo
+/// co-simulation (Burch et al., II-C) can exhaust its pair budget without
+/// converging. `exec` closes the loop: a kernel invocation carries a
+/// `Budget`, charges work against a `Meter`, and returns an `Outcome<T>`
+/// that either holds a complete result or an honest partial/degraded one —
+/// it never hangs and never aborts the process.
+
+/// Why a kernel stopped before finishing. `None` means it ran to completion.
+enum class StopReason : std::uint8_t {
+  None = 0,      ///< ran to completion within budget
+  Deadline,      ///< wall-clock deadline exceeded
+  NodeCap,       ///< BDD live-node cap exceeded
+  MemoryCap,     ///< tracked-allocation cap exceeded
+  StepQuota,     ///< kernel step quota exhausted
+  Cancelled,     ///< cooperative cancellation requested
+  AllocFailure,  ///< std::bad_alloc surfaced and was absorbed
+};
+
+const char* to_string(StopReason r);
+
+/// Shared cooperative-cancellation handle. Copies alias one flag; any copy
+/// can request cancellation and every metered kernel holding a copy observes
+/// it at its next step. Thread-safe.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+  void request_cancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Declarative resource budget for one kernel invocation. Zero means
+/// unlimited for every numeric field; the default budget never trips.
+struct Budget {
+  double deadline_seconds = 0.0;    ///< wall clock from Meter construction
+  std::size_t node_cap = 0;         ///< max live BDD nodes in a Manager
+  std::size_t memory_cap_bytes = 0; ///< max bytes charged via charge_bytes()
+  std::size_t step_quota = 0;       ///< max kernel-defined steps
+  CancelToken cancel;               ///< shared cancellation handle
+
+  bool unlimited() const {
+    return deadline_seconds <= 0.0 && node_cap == 0 &&
+           memory_cap_bytes == 0 && step_quota == 0;
+  }
+
+  static Budget with_deadline(double seconds) {
+    Budget b;
+    b.deadline_seconds = seconds;
+    return b;
+  }
+  static Budget with_node_cap(std::size_t nodes) {
+    Budget b;
+    b.node_cap = nodes;
+    return b;
+  }
+  static Budget with_step_quota(std::size_t steps) {
+    Budget b;
+    b.step_quota = steps;
+    return b;
+  }
+};
+
+/// Thrown by Meter when a budget dimension trips. Kernels that cannot
+/// accumulate partial state simply unwind (the BDD manager guarantees its
+/// tables stay consistent); wrappers catch it and degrade.
+class BudgetExceeded : public std::runtime_error {
+ public:
+  BudgetExceeded(StopReason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+  StopReason reason() const { return reason_; }
+
+ private:
+  StopReason reason_;
+};
+
+/// Diagnostics attached to every Outcome: what stopped the kernel (if
+/// anything), whether and how it degraded, and how much work was done.
+struct Diag {
+  StopReason stop = StopReason::None;
+  bool degraded = false;
+  std::string degraded_from;  ///< method abandoned (e.g. "bdd-quantification")
+  std::string degraded_to;    ///< method that produced the value
+  std::size_t steps = 0;      ///< meter steps charged
+  double elapsed_seconds = 0.0;
+  std::string note;           ///< human-readable detail (partial extents etc.)
+};
+
+/// Result-or-degradation carrier. `value` is always usable: either the
+/// complete answer (complete() == true), a partial-but-honest answer (stop
+/// reason recorded), or the output of a cheaper fallback method
+/// (degraded() == true, with from/to named in the diag).
+template <typename T>
+struct Outcome {
+  T value{};
+  Diag diag;
+
+  bool complete() const {
+    return diag.stop == StopReason::None && !diag.degraded;
+  }
+  bool degraded() const { return diag.degraded; }
+  const T& operator*() const { return value; }
+  const T* operator->() const { return &value; }
+};
+
+/// Runtime meter bound to one kernel invocation. Kernels charge work via
+/// step()/check_nodes()/charge_bytes(); the meter throws BudgetExceeded on
+/// any trip. Loops that accumulate resumable state use the non-throwing
+/// over_budget() probe instead and return a partial result.
+///
+/// Cost model: step() is one thread-local increment, two compares, and one
+/// relaxed atomic load; the wall clock is polled on an adaptive tick grid
+/// that aims for roughly one clock read per `kClockPollTargetNs` of work —
+/// a packed-engine loop metering millions of pairs per second settles on a
+/// multi-thousand-step stride while a seconds-per-iteration sweep stays at
+/// stride 1 — so metering a hot loop at step granularity stays well under
+/// the 2% overhead target (see bench/bench_exec.cpp) and a deadline is
+/// still observed within a few milliseconds.
+class Meter {
+ public:
+  Meter() : Meter(Budget{}) {}
+  explicit Meter(Budget b);
+
+  /// Charge `n` steps; throws BudgetExceeded on quota/deadline/cancel trip.
+  void step(std::size_t n = 1);
+  /// Non-throwing probe: charges `charge_steps` steps, polls every
+  /// dimension except nodes/bytes, records the trip reason, and returns
+  /// true when the budget is exhausted. Sticky. This is the check used by
+  /// loops that keep resumable partial state (Markov sweeps, Monte Carlo
+  /// pairs, glitch cycles): they break and return what they have. A
+  /// zero-charge probe still advances the clock-poll grid, so deadline
+  /// trips are observed even by loops that never charge steps.
+  bool over_budget(std::size_t charge_steps = 0);
+  /// BDD live-node check (throws StopReason::NodeCap).
+  void check_nodes(std::size_t live_nodes);
+  /// Charge tracked allocations (throws StopReason::MemoryCap).
+  void charge_bytes(std::size_t n);
+
+  std::size_t steps() const { return steps_; }
+  /// Steps that can still be charged before the quota trips (SIZE_MAX when
+  /// no quota is set). Batched kernels use this to avoid working — or
+  /// drawing from a shared generator — past the stopping point, so a
+  /// quota-stopped run consumes exactly as much input as a scalar one.
+  std::size_t steps_remaining() const {
+    if (tripped_ != StopReason::None) return 0;
+    if (!budget_.step_quota) return static_cast<std::size_t>(-1);
+    return steps_ < budget_.step_quota ? budget_.step_quota - steps_ : 0;
+  }
+  std::size_t bytes_charged() const { return bytes_; }
+  double elapsed_seconds() const;
+  /// Reason recorded by the last trip (None if the budget never tripped).
+  StopReason tripped() const { return tripped_; }
+  const Budget& budget() const { return budget_; }
+
+  /// Snapshot diagnostics (steps/elapsed/stop) for an Outcome.
+  Diag diag() const;
+
+  /// Target spacing between wall-clock reads; the poll stride doubles while
+  /// polls land closer together than half this and shrinks proportionally
+  /// when they land further apart, bounding deadline-detection latency to a
+  /// few milliseconds regardless of per-step cost.
+  static constexpr std::chrono::nanoseconds kClockPollTargetNs{1'000'000};
+  static constexpr std::size_t kMaxClockStride = std::size_t{1} << 20;
+
+ private:
+  [[noreturn]] void trip(StopReason r, const std::string& detail);
+  StopReason poll();
+
+  Budget budget_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::chrono::steady_clock::time_point last_clock_poll_{};
+  bool has_deadline_ = false;
+  std::size_t steps_ = 0;
+  std::size_t bytes_ = 0;
+  std::size_t ticks_ = 0;  ///< steps plus zero-charge probes; drives polling
+  std::size_t next_clock_poll_ = 0;
+  std::size_t clock_stride_ = 1;
+  StopReason tripped_ = StopReason::None;
+};
+
+}  // namespace hlp::exec

@@ -1,0 +1,49 @@
+#include "exec/fi.hpp"
+
+#include <new>
+
+namespace hlp::fi {
+
+State& state() {
+  thread_local State st;
+  return st;
+}
+
+void arm_alloc_failure(std::uint64_t at_call) {
+  State& st = state();
+  st.alloc_armed = true;
+  st.alloc_at = at_call;
+  st.alloc_count = 0;
+}
+
+void arm_cancel_at_step(std::uint64_t at_step) {
+  State& st = state();
+  st.cancel_armed = true;
+  st.cancel_at = at_step;
+  st.step_count = 0;
+}
+
+void disarm() {
+  State& st = state();
+  st.alloc_armed = false;
+  st.cancel_armed = false;
+  st.alloc_count = 0;
+  st.step_count = 0;
+}
+
+std::uint64_t alloc_checkpoints() { return state().alloc_count; }
+std::uint64_t step_checkpoints() { return state().step_count; }
+
+void alloc_checkpoint() {
+  State& st = state();
+  std::uint64_t idx = st.alloc_count++;
+  if (st.alloc_armed && idx == st.alloc_at) throw std::bad_alloc{};
+}
+
+void step_checkpoint(exec::CancelToken& tok) {
+  State& st = state();
+  std::uint64_t idx = st.step_count++;
+  if (st.cancel_armed && idx >= st.cancel_at) tok.request_cancel();
+}
+
+}  // namespace hlp::fi

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+
+#include "exec/exec.hpp"
+
+namespace hlp::fi {
+
+/// --- Deterministic fault injection ----------------------------------------
+///
+/// Test harness proving the kernels keep their invariants under resource
+/// faults. Two fault kinds, both deterministic and replayable:
+///
+///  * allocation failure: the N-th allocation checkpoint after arming
+///    throws std::bad_alloc (the checkpoint sits immediately before the
+///    real allocation, so the failure is indistinguishable from the
+///    allocator refusing);
+///  * cancellation: the N-th meter step after arming requests cancellation
+///    on the running kernel's CancelToken, which the kernel observes at
+///    that exact step.
+///
+/// Checkpoints count even while disarmed, so a sweep first runs the kernel
+/// once to learn how many injection points it passes, then replays it once
+/// per point (see tests/test_fi.cpp). All state is thread-local; production
+/// builds pay one thread-local increment per checkpoint.
+
+struct State {
+  bool alloc_armed = false;
+  std::uint64_t alloc_at = 0;
+  std::uint64_t alloc_count = 0;
+  bool cancel_armed = false;
+  std::uint64_t cancel_at = 0;
+  std::uint64_t step_count = 0;
+};
+
+State& state();
+
+/// Throw std::bad_alloc at the `at_call`-th (0-based) allocation checkpoint
+/// from now. Resets the checkpoint counter.
+void arm_alloc_failure(std::uint64_t at_call);
+/// Request cancellation at the `at_step`-th (0-based) meter step from now.
+/// Resets the step counter. The request fires on the token of whichever
+/// metered kernel reaches that step (sticky: later steps keep requesting).
+void arm_cancel_at_step(std::uint64_t at_step);
+/// Disarm both faults and reset both counters.
+void disarm();
+
+/// Checkpoints passed since the last arm/disarm — the sweep bound.
+std::uint64_t alloc_checkpoints();
+std::uint64_t step_checkpoints();
+
+inline bool alloc_armed() { return state().alloc_armed; }
+inline bool cancel_armed() { return state().cancel_armed; }
+
+/// Called by instrumented kernels immediately before an allocation that is
+/// allowed to fail. Throws std::bad_alloc when armed and at the target.
+void alloc_checkpoint();
+
+/// Called by exec::Meter::step on behalf of the running kernel.
+void step_checkpoint(exec::CancelToken& tok);
+
+}  // namespace hlp::fi

@@ -54,6 +54,8 @@ Stg parse_kiss2(std::string_view text) {
     throw std::invalid_argument("kiss2: missing .i/.o directives");
   if (n_in > 16)
     throw std::invalid_argument("kiss2: too many inputs for dense STG");
+  if (n_out > 64)
+    throw std::invalid_argument("kiss2: more than 64 outputs per word");
 
   // State table, reset first.
   std::map<std::string, StateId> id;

@@ -2,7 +2,10 @@
 
 #include <bit>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
+#include "exec/fi.hpp"
 #include "lint/lint.hpp"
 
 namespace hlp::fsm {
@@ -25,13 +28,42 @@ double MarkovAnalysis::edge_entropy() const {
   return h;
 }
 
-MarkovAnalysis analyze_markov(const Stg& stg,
-                              std::span<const double> input_probs,
-                              int iters, const lint::LintOptions& lint) {
+namespace {
+
+void validate_input_probs(std::span<const double> input_probs,
+                          std::size_t sym) {
+  if (input_probs.empty()) return;
+  if (input_probs.size() != sym)
+    throw std::invalid_argument(
+        "analyze_markov: input_probs has " +
+        std::to_string(input_probs.size()) + " entries but the STG has " +
+        std::to_string(sym) + " input symbols");
+  double sum = 0.0;
+  for (double p : input_probs) {
+    if (p < 0.0)
+      throw std::invalid_argument(
+          "analyze_markov: input_probs contains a negative probability (" +
+          std::to_string(p) + ")");
+    sum += p;
+  }
+  if (std::abs(sum - 1.0) > 1e-6)
+    throw std::invalid_argument(
+        "analyze_markov: input_probs sums to " + std::to_string(sum) +
+        ", expected 1 (within 1e-6) over " + std::to_string(sym) +
+        " symbols");
+}
+
+MarkovAnalysis analyze_markov_impl(const Stg& stg,
+                                   std::span<const double> input_probs,
+                                   int max_iters, double tol,
+                                   const lint::LintOptions& lint,
+                                   exec::Meter* meter) {
   lint::enforce_fsm(stg, lint, "analyze_markov");
   const std::size_t n = stg.num_states();
   const std::size_t sym = stg.n_symbols();
+  validate_input_probs(input_probs, sym);
   MarkovAnalysis ma;
+  fi::alloc_checkpoint();
   ma.cond.assign(n, std::vector<double>(n, 0.0));
   for (std::size_t s = 0; s < n; ++s)
     for (std::size_t a = 0; a < sym; ++a) {
@@ -40,8 +72,12 @@ MarkovAnalysis analyze_markov(const Stg& stg,
       ma.cond[s][stg.next(static_cast<StateId>(s), a)] += pa;
     }
   ma.state_prob.assign(n, 1.0 / static_cast<double>(n));
+  fi::alloc_checkpoint();
   std::vector<double> nxt(n);
-  for (int it = 0; it < iters; ++it) {
+  for (int it = 0; it < max_iters; ++it) {
+    // The probe keeps the best iterate so far on a trip: ma.state_prob is
+    // always a valid (normalized) distribution, just not yet stationary.
+    if (meter && meter->over_budget(1)) break;
     std::fill(nxt.begin(), nxt.end(), 0.0);
     for (std::size_t s = 0; s < n; ++s) {
       if (ma.state_prob[s] == 0.0) continue;
@@ -52,9 +88,43 @@ MarkovAnalysis analyze_markov(const Stg& stg,
     for (std::size_t s = 0; s < n; ++s)
       diff += std::abs(nxt[s] - ma.state_prob[s]);
     ma.state_prob.swap(nxt);
-    if (diff < 1e-12) break;
+    ma.residual = diff;
+    ma.iterations = it + 1;
+    if (diff < tol) {
+      ma.converged = true;
+      break;
+    }
   }
   return ma;
+}
+
+}  // namespace
+
+MarkovAnalysis analyze_markov(const Stg& stg,
+                              std::span<const double> input_probs,
+                              int max_iters, const lint::LintOptions& lint) {
+  return analyze_markov_impl(stg, input_probs, max_iters, 1e-12, lint,
+                             nullptr);
+}
+
+exec::Outcome<MarkovAnalysis> analyze_markov_budgeted(
+    const Stg& stg, const exec::Budget& budget,
+    std::span<const double> input_probs, int max_iters, double tol,
+    const lint::LintOptions& lint) {
+  exec::Meter meter(budget);
+  exec::Outcome<MarkovAnalysis> out;
+  out.value = analyze_markov_impl(stg, input_probs, max_iters, tol, lint,
+                                  &meter);
+  out.diag = meter.diag();
+  if (!out.value.converged && out.diag.stop == exec::StopReason::None)
+    out.diag.note = "did not converge within " + std::to_string(max_iters) +
+                    " sweeps (residual " + std::to_string(out.value.residual) +
+                    ")";
+  if (out.diag.stop != exec::StopReason::None)
+    out.diag.note = "stopped after " + std::to_string(out.value.iterations) +
+                    " sweeps (residual " + std::to_string(out.value.residual) +
+                    "); state_prob is the best iterate, not the steady state";
+  return out;
 }
 
 double expected_code_switching(const MarkovAnalysis& ma,

@@ -3,6 +3,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "fsm/stg.hpp"
 #include "lint/diagnostics.hpp"
 #include "stats/entropy.hpp"
@@ -29,17 +30,41 @@ struct MarkovAnalysis {
   std::size_t nonzero_edges() const;
   /// Entropy (bits) of the joint edge distribution p_ij — Tyagi's h(p_ij).
   double edge_entropy() const;
+
+  /// Power-iteration sweeps actually executed.
+  int iterations = 0;
+  /// Final L1 residual ||pi_k - pi_{k-1}||_1 (0 when 0 or 1 sweeps ran).
+  double residual = 0.0;
+  /// True iff the residual fell below the convergence tolerance. False
+  /// means the chain had not mixed when iteration stopped (non-mixing
+  /// chain, iteration cap, or budget trip) and `state_prob` is the best
+  /// available iterate, not the steady state.
+  bool converged = false;
 };
 
 /// `input_probs` has one probability per input symbol (must sum to ~1);
-/// empty means uniform. Power iteration runs `iters` sweeps from uniform.
+/// empty means uniform. Throws std::invalid_argument when `input_probs` is
+/// non-empty and its size differs from the STG's symbol count, when an
+/// entry is negative, or when the sum is not within 1e-6 of 1.
+///
+/// Power iteration runs until the L1 residual drops below 1e-12 or
+/// `max_iters` sweeps elapse; convergence state is reported in the result
+/// (`iterations`/`residual`/`converged`) instead of being silently assumed.
 /// `lint` optionally runs the FS-* design rules first: strict mode rejects
 /// non-ergodic chains (FS-ERGODIC), whose steady state puts zero mass on
 /// every transient state.
 MarkovAnalysis analyze_markov(const Stg& stg,
                               std::span<const double> input_probs = {},
-                              int iters = 2000,
+                              int max_iters = 2000,
                               const lint::LintOptions& lint = {});
+
+/// Budgeted power iteration: one meter step per sweep. On a budget trip the
+/// outcome carries the best iterate so far with `converged == false` and
+/// the stop reason in the diag — an honest partial result, never a hang.
+exec::Outcome<MarkovAnalysis> analyze_markov_budgeted(
+    const Stg& stg, const exec::Budget& budget,
+    std::span<const double> input_probs = {}, int max_iters = 2000,
+    double tol = 1e-12, const lint::LintOptions& lint = {});
 
 /// Expected state-register switching per cycle for an encoding:
 /// sum_{i,j} p_ij * Hamming(code_i, code_j).

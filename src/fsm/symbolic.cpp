@@ -1,6 +1,8 @@
 #include "fsm/symbolic.hpp"
 
 #include <cmath>
+#include <new>
+#include <string>
 #include <unordered_map>
 
 #include "bdd/netlist_bdd.hpp"
@@ -70,6 +72,76 @@ ReachResult symbolic_reachability(const SymbolicFsm& sym) {
   res.count = mgr.sat_fraction(reached) *
               std::pow(2.0, sym.state_bits);
   return res;
+}
+
+exec::Outcome<ReachResult> reachability_budgeted(bdd::Manager& mgr,
+                                                 const SynthesizedFsm& sf,
+                                                 const Stg& stg,
+                                                 const exec::Budget& budget) {
+  exec::Outcome<ReachResult> out;
+  exec::Meter meter(budget);
+  mgr.set_meter(&meter);
+  try {
+    SymbolicFsm sym = build_symbolic(mgr, sf);
+    out.value = symbolic_reachability(sym);
+    mgr.set_meter(nullptr);
+    out.diag = meter.diag();
+    return out;
+  } catch (const exec::BudgetExceeded&) {
+    mgr.set_meter(nullptr);
+    out.diag = meter.diag();
+  } catch (const std::bad_alloc&) {
+    mgr.set_meter(nullptr);
+    out.diag = meter.diag();
+    out.diag.stop = exec::StopReason::AllocFailure;
+  }
+
+  // Degraded path: explicit BFS over the STG (benchmark-sized, so always
+  // cheap). State 0 is the reset state — build_symbolic encodes sf.codes[0].
+  out.diag.degraded = true;
+  out.diag.degraded_from = "symbolic image iteration";
+  out.diag.degraded_to = "explicit STG breadth-first search";
+
+  ReachResult r;
+  std::vector<char> seen(stg.num_states(), 0);
+  std::vector<StateId> frontier{0};
+  seen[0] = 1;
+  std::size_t n_reached = 1;
+  while (!frontier.empty()) {
+    ++r.iterations;
+    std::vector<StateId> next;
+    for (StateId s : frontier)
+      for (std::uint64_t a = 0; a < stg.n_symbols(); ++a) {
+        StateId t = stg.next(s, a);
+        if (!seen[t]) {
+          seen[t] = 1;
+          ++n_reached;
+          next.push_back(t);
+        }
+      }
+    frontier = std::move(next);
+  }
+  r.count = static_cast<double>(n_reached);
+
+  // Rebuild the characteristic function as a union of per-code cubes over
+  // the present-state variables (inputs take vars 0..n_in-1, DFFs follow —
+  // the same assignment build_bdds makes, so code_reachable keeps working).
+  const auto n_in = static_cast<std::uint32_t>(sf.inputs.size());
+  r.reached = bdd::kFalse;
+  for (StateId s = 0; s < stg.num_states(); ++s) {
+    if (!seen[s]) continue;
+    bdd::NodeRef cube = bdd::kTrue;
+    for (int k = 0; k < sf.state_bits; ++k) {
+      std::uint32_t v = n_in + static_cast<std::uint32_t>(k);
+      bool bit = (sf.codes[s] >> k) & 1u;
+      cube = mgr.bdd_and(cube, bit ? mgr.var(v) : mgr.nvar(v));
+    }
+    r.reached = mgr.bdd_or(r.reached, cube);
+  }
+  out.value = r;
+  out.diag.note = "reached " + std::to_string(n_reached) + " of " +
+                  std::to_string(stg.num_states()) + " states explicitly";
+  return out;
 }
 
 bool code_reachable(const SymbolicFsm& sym, bdd::NodeRef reached,

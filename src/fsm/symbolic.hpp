@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "bdd/bdd.hpp"
+#include "exec/exec.hpp"
 #include "fsm/synth.hpp"
 
 namespace hlp::fsm {
@@ -45,5 +46,19 @@ ReachResult symbolic_reachability(const SymbolicFsm& sym);
 /// Check whether a specific state code is in a reachable set.
 bool code_reachable(const SymbolicFsm& sym, bdd::NodeRef reached,
                     std::uint64_t code);
+
+/// Budgeted reachability with graceful degradation. The symbolic path runs
+/// with `budget` metered on `mgr` (one step per ITE-cache miss, node cap
+/// against the unique table). If the BDD blows the budget — or allocation
+/// fails — the analysis falls back to an explicit breadth-first search of
+/// the STG and rebuilds `reached` as the union of per-code cubes over the
+/// present-state variables, so callers can keep using it with
+/// `code_reachable`. On the degraded path `iterations` is the BFS depth and
+/// `count` is the exact number of reachable codes. The manager is left with
+/// no meter attached and stays usable either way.
+exec::Outcome<ReachResult> reachability_budgeted(bdd::Manager& mgr,
+                                                 const SynthesizedFsm& sf,
+                                                 const Stg& stg,
+                                                 const exec::Budget& budget);
 
 }  // namespace hlp::fsm

@@ -99,15 +99,20 @@ ExecStats Machine::run(const Program& prog, std::uint64_t max_instructions,
     auto rs1 = static_cast<std::size_t>(in.rs1);
     auto rs2 = static_cast<std::size_t>(in.rs2);
     std::int64_t next_pc = pc + 1;
+    // Register arithmetic wraps two's-complement, like any real 64-bit
+    // machine: compute in uint64 so LCG-style workload programs (multiply
+    // by a large constant, shift negative values) stay defined behavior.
+    auto u = [](std::int64_t v) { return static_cast<std::uint64_t>(v); };
+    auto s = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
     switch (in.op) {
       case Opcode::Nop: break;
-      case Opcode::Add: R[rd] = R[rs1] + R[rs2]; break;
-      case Opcode::Sub: R[rd] = R[rs1] - R[rs2]; break;
-      case Opcode::Mul: R[rd] = R[rs1] * R[rs2]; break;
+      case Opcode::Add: R[rd] = s(u(R[rs1]) + u(R[rs2])); break;
+      case Opcode::Sub: R[rd] = s(u(R[rs1]) - u(R[rs2])); break;
+      case Opcode::Mul: R[rd] = s(u(R[rs1]) * u(R[rs2])); break;
       case Opcode::And: R[rd] = R[rs1] & R[rs2]; break;
       case Opcode::Or: R[rd] = R[rs1] | R[rs2]; break;
       case Opcode::Xor: R[rd] = R[rs1] ^ R[rs2]; break;
-      case Opcode::Shl: R[rd] = R[rs1] << (in.imm & 63); break;
+      case Opcode::Shl: R[rd] = s(u(R[rs1]) << (in.imm & 63)); break;
       case Opcode::Shr:
         R[rd] = static_cast<std::int64_t>(
             static_cast<std::uint64_t>(R[rs1]) >> (in.imm & 63));

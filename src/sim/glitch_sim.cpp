@@ -1,6 +1,9 @@
 #include "sim/glitch_sim.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "exec/fi.hpp"
 
 namespace hlp::sim {
 
@@ -8,10 +11,14 @@ using netlist::Gate;
 using netlist::GateId;
 using netlist::GateKind;
 
-GlitchResult simulate_glitches(const netlist::Netlist& nl,
-                               const stats::VectorStream& in_stream) {
+namespace {
+
+GlitchResult simulate_glitches_impl(const netlist::Netlist& nl,
+                                    const stats::VectorStream& in_stream,
+                                    exec::Meter* meter) {
   GlitchResult res;
   const std::size_t n = nl.gate_count();
+  fi::alloc_checkpoint();
   res.total_activity.assign(n, 0.0);
   res.functional_activity.assign(n, 0.0);
   if (in_stream.words.size() < 2) return res;
@@ -65,7 +72,11 @@ GlitchResult simulate_glitches(const netlist::Netlist& nl,
       by_level[static_cast<std::size_t>(level[id])].push_back(id);
 
   std::vector<std::uint8_t> settled(n, 0);
+  std::size_t cycles_done = 1;  // cycle 0 established the reference state
   for (std::size_t cyc = 1; cyc < in_stream.words.size(); ++cyc) {
+    // One step per cycle; activities over the completed prefix stay exact.
+    if (meter && meter->over_budget(1)) break;
+    cycles_done = cyc + 1;
     settled = value;  // values at the end of the previous cycle
 
     // Clock edge: DFFs sample D from settled values; then inputs change.
@@ -136,13 +147,35 @@ GlitchResult simulate_glitches(const netlist::Netlist& nl,
       if (value[id] != settled[id]) ++functional[id];
   }
 
-  res.cycles = in_stream.words.size();
-  double denom = static_cast<double>(in_stream.words.size() - 1);
+  res.cycles = cycles_done;
+  if (cycles_done < 2) return res;  // tripped before any transition cycle
+  double denom = static_cast<double>(cycles_done - 1);
   for (std::size_t g = 0; g < n; ++g) {
     res.total_activity[g] = static_cast<double>(total[g]) / denom;
     res.functional_activity[g] = static_cast<double>(functional[g]) / denom;
   }
   return res;
+}
+
+}  // namespace
+
+GlitchResult simulate_glitches(const netlist::Netlist& nl,
+                               const stats::VectorStream& in_stream) {
+  return simulate_glitches_impl(nl, in_stream, nullptr);
+}
+
+exec::Outcome<GlitchResult> simulate_glitches_budgeted(
+    const netlist::Netlist& nl, const stats::VectorStream& in_stream,
+    const exec::Budget& budget) {
+  exec::Meter meter(budget);
+  exec::Outcome<GlitchResult> out;
+  out.value = simulate_glitches_impl(nl, in_stream, &meter);
+  out.diag = meter.diag();
+  if (out.diag.stop != exec::StopReason::None)
+    out.diag.note = "simulated " + std::to_string(out.value.cycles) + " of " +
+                    std::to_string(in_stream.words.size()) +
+                    " cycles; activities are rates over that prefix";
+  return out;
 }
 
 }  // namespace hlp::sim

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "netlist/netlist.hpp"
 #include "stats/entropy.hpp"
 
@@ -19,6 +20,9 @@ namespace hlp::sim {
 struct GlitchResult {
   std::vector<double> total_activity;       ///< transitions/cycle, glitches included
   std::vector<double> functional_activity;  ///< zero-delay transitions/cycle
+  /// Cycles the activities are normalized over. Equal to the stream length
+  /// for a complete run; smaller when a budget trip cut the run short (the
+  /// activities are then per-cycle rates over the prefix simulated).
   std::size_t cycles = 0;
 
   double glitch_activity(netlist::GateId g) const {
@@ -28,5 +32,13 @@ struct GlitchResult {
 
 GlitchResult simulate_glitches(const netlist::Netlist& nl,
                                const stats::VectorStream& in_stream);
+
+/// Budgeted glitch simulation: one meter step per stream cycle. On a budget
+/// trip the outcome holds per-cycle activities over the prefix of the
+/// stream that finished (result.cycles tells how far it got) with the stop
+/// reason in the diag — a shorter but unbiased measurement.
+exec::Outcome<GlitchResult> simulate_glitches_budgeted(
+    const netlist::Netlist& nl, const stats::VectorStream& in_stream,
+    const exec::Budget& budget);
 
 }  // namespace hlp::sim

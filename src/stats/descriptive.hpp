@@ -22,6 +22,20 @@ class RunningStats {
   /// Standard error of the mean.
   double stderr_mean() const;
 
+  /// Second central moment sum (Welford's M2). Together with count()/mean()
+  /// this is the accumulator's full state, so an estimation run can be
+  /// checkpointed and resumed (exec-budgeted Monte Carlo power).
+  double m2() const { return m2_; }
+  /// Rebuild an accumulator from checkpointed state; continuing add() calls
+  /// behave exactly as if the original had never stopped.
+  static RunningStats restore(std::size_t n, double mean, double m2) {
+    RunningStats rs;
+    rs.n_ = n;
+    rs.mean_ = mean;
+    rs.m2_ = m2;
+    return rs;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

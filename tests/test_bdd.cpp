@@ -3,6 +3,7 @@
 #include "bdd/bdd.hpp"
 #include "bdd/bdd_to_netlist.hpp"
 #include "bdd/netlist_bdd.hpp"
+#include "exec/exec.hpp"
 #include "netlist/generators.hpp"
 #include "sim/simulator.hpp"
 #include "stats/rng.hpp"
@@ -164,6 +165,47 @@ TEST(BddOrdering, OrderedBuildStaysFunctionallyCorrect) {
     for (std::size_t i = 0; i < 10; ++i)
       if ((in >> i) & 1u)
         assignment |= std::uint64_t{1} << bdds.input_vars[i];
+    s.set_all_inputs(in);
+    s.eval();
+    for (std::size_t o = 0; o < mod.netlist.outputs().size(); ++o)
+      ASSERT_EQ(m.eval(bdds.output(mod.netlist, o), assignment),
+                s.value(mod.netlist.outputs()[o]));
+  }
+}
+
+TEST(BddOrdering, NodeCapTripsAdversarialOrderAndManagerSurvives) {
+  // Worst-case variable order (operands concatenated) on a wide adder: the
+  // build must trip the node cap instead of exhausting memory, and the
+  // manager must stay fully usable afterwards.
+  auto mod = hlp::netlist::adder_module(14);
+  Manager m;
+  hlp::exec::Meter meter(hlp::exec::Budget::with_node_cap(10000));
+  m.set_meter(&meter);
+  bool tripped = false;
+  try {
+    (void)build_bdds(m, mod.netlist);
+  } catch (const hlp::exec::BudgetExceeded& e) {
+    tripped = true;
+    EXPECT_EQ(e.reason(), hlp::exec::StopReason::NodeCap);
+  }
+  ASSERT_TRUE(tripped);
+  EXPECT_LE(m.total_nodes(), 10000u);  // the cap really bounded growth
+  m.set_meter(nullptr);
+
+  // Same manager, good (interleaved) order: the build succeeds and is
+  // functionally correct, proving the tables survived the mid-ITE unwind.
+  auto order = interleaved_word_order(mod.input_words);
+  auto bdds = build_bdds_ordered(m, mod.netlist, order);
+  hlp::sim::Simulator s(mod.netlist);
+  hlp::stats::Rng rng(17);
+  const int n_in = mod.total_input_bits();
+  for (int rep = 0; rep < 50; ++rep) {
+    std::uint64_t in = rng.uniform_bits(n_in);
+    std::uint64_t assignment = 0;
+    for (int i = 0; i < n_in; ++i)
+      if ((in >> i) & 1u)
+        assignment |= std::uint64_t{1}
+                      << bdds.input_vars[static_cast<std::size_t>(i)];
     s.set_all_inputs(in);
     s.eval();
     for (std::size_t o = 0; o < mod.netlist.outputs().size(); ++o)

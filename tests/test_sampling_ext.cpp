@@ -51,6 +51,27 @@ TEST(MonteCarlo, ReportsNonConvergenceAtCap) {
   EXPECT_EQ(res.pairs, 200u);
 }
 
+TEST(MonteCarlo, StopReasonDisambiguatesExhaustionFromConvergence) {
+  auto mod = netlist::adder_module(6);
+  // Unreachable epsilon, small cap: every pair is spent without converging,
+  // and the result must say so explicitly (regression: converged=false used
+  // to conflate pair exhaustion with budget trips).
+  stats::Rng r1(9);
+  auto capped = monte_carlo_power(
+      mod, [&] { return r1.uniform_bits(12); }, 1e-6, 0.95, 30, 200);
+  EXPECT_EQ(capped.stop_reason,
+            MonteCarloResult::StopReason::MaxPairsExhausted);
+  EXPECT_FALSE(capped.converged);
+  EXPECT_GT(capped.ci_halfwidth, 0.0);  // CI of the partial estimate
+  EXPECT_EQ(capped.checkpoint.count, 200u);
+
+  stats::Rng r2(9);
+  auto converged = monte_carlo_power(
+      mod, [&] { return r2.uniform_bits(12); }, 0.10);
+  EXPECT_EQ(converged.stop_reason, MonteCarloResult::StopReason::Converged);
+  EXPECT_TRUE(converged.converged);
+}
+
 TEST(Stratified, BeatsSimpleRandomOnDriftingTrace) {
   // Phased workload: quiet first half, noisy second half. Stratification
   // guarantees coverage of both phases.
