@@ -1,0 +1,25 @@
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "jobs/ledger.hpp"
+
+/// libFuzzer entry point for the campaign-ledger scanner. The contract a
+/// crash-recovery path must honor: any byte sequence — including a ledger a
+/// killed process left truncated mid-record — scans without crashing,
+/// throwing, or hanging; malformed lines are counted and skipped. Records
+/// that do parse must round-trip: serialize(parse(line)) reparses equal
+/// (the property Runner::resume relies on to serve results back
+/// bit-identically).
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  hlp::jobs::LedgerScan scan = hlp::jobs::scan_ledger_text(text);
+  for (const hlp::jobs::LedgerRecord& rec : scan.records) {
+    std::string line = rec.serialize();
+    hlp::jobs::LedgerRecord back;
+    if (!hlp::jobs::LedgerRecord::parse(line, back) || !(back == rec))
+      __builtin_trap();  // canonical form failed to round-trip
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <charconv>
 #include <string>
 
 #include "exec/fi.hpp"
@@ -12,6 +13,56 @@
 #include "stats/sampling.hpp"
 
 namespace hlp::core {
+
+namespace {
+
+void append_double(std::string& s, double v) {
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;  // shortest round-trip form of a double always fits in 64 chars
+  s.append(buf, end);
+}
+
+// Consume one token (up to whitespace) with `conv`, advancing `p`; the
+// token must parse in full.
+template <typename T>
+bool parse_field(const char*& p, const char* end, T& out) {
+  const char* tok_end = p;
+  while (tok_end != end && *tok_end != ' ') ++tok_end;
+  if (tok_end == p) return false;
+  auto [rest, ec] = std::from_chars(p, tok_end, out);
+  if (ec != std::errc{} || rest != tok_end) return false;
+  p = tok_end;
+  return true;
+}
+
+}  // namespace
+
+std::string MonteCarloCheckpoint::serialize() const {
+  std::string s = std::to_string(count);
+  s.push_back(' ');
+  append_double(s, mean);
+  s.push_back(' ');
+  append_double(s, m2);
+  return s;
+}
+
+bool MonteCarloCheckpoint::parse(std::string_view text,
+                                 MonteCarloCheckpoint& out) {
+  const char* p = text.data();
+  const char* end = p + text.size();
+  MonteCarloCheckpoint c;
+  if (!parse_field(p, end, c.count)) return false;
+  if (p == end || *p != ' ') return false;
+  ++p;
+  if (!parse_field(p, end, c.mean)) return false;
+  if (p == end || *p != ' ') return false;
+  ++p;
+  if (!parse_field(p, end, c.m2)) return false;
+  if (p != end) return false;
+  out = c;
+  return true;
+}
 
 CosimEstimate census_estimate(const ModuleCharacterization& eval_set,
                               const MacroFn& model) {

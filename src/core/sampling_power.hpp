@@ -1,6 +1,8 @@
 #pragma once
 
 #include <functional>
+#include <string>
+#include <string_view>
 
 #include "core/macromodel.hpp"
 #include "exec/exec.hpp"
@@ -80,6 +82,16 @@ struct MonteCarloCheckpoint {
   double mean = 0.0;
   double m2 = 0.0;
   bool valid() const { return count > 0; }
+
+  /// Canonical text form `"<count> <mean> <m2>"`. Doubles are rendered by
+  /// std::to_chars shortest-round-trip, so serialize → parse → serialize is
+  /// byte-identical and parse(serialize(c)) reconstructs c bit-for-bit —
+  /// the property the hlp::jobs crash-safe ledger relies on to resume an
+  /// interrupted estimate with no drift. Locale-independent.
+  std::string serialize() const;
+  /// Strict inverse: exactly three space-separated fields, fully consumed.
+  /// Returns false (leaving `out` untouched) on any malformation.
+  static bool parse(std::string_view text, MonteCarloCheckpoint& out);
 };
 
 struct MonteCarloResult {

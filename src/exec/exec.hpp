@@ -37,13 +37,26 @@ const char* to_string(StopReason r);
 
 /// Shared cooperative-cancellation handle. Copies alias one flag; any copy
 /// can request cancellation and every metered kernel holding a copy observes
-/// it at its next step. Thread-safe.
+/// it at its next step.
+///
+/// Thread-safety / memory-order contract: the flag is a single atomic bool
+/// written with release and read with acquire ordering, so a thread that
+/// observes `cancel_requested() == true` also observes every write the
+/// cancelling thread made *before* requesting cancellation (e.g. a
+/// supervisor recording *why* it cancelled — a deadline-trip flag — before
+/// tripping the token). This is the cross-thread signalling primitive the
+/// `hlp::jobs` supervisor uses to enforce per-job wall deadlines on worker
+/// threads; relaxed ordering would let the worker see the cancellation but
+/// not the reason. Copying a token concurrently with signalling it is safe
+/// (the shared_ptr control block is internally synchronized and copies are
+/// by-value); assigning *to* the same CancelToken object from two threads
+/// is not, and no code here does that.
 class CancelToken {
  public:
   CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
-  void request_cancel() { flag_->store(true, std::memory_order_relaxed); }
+  void request_cancel() { flag_->store(true, std::memory_order_release); }
   bool cancel_requested() const {
-    return flag_->load(std::memory_order_relaxed);
+    return flag_->load(std::memory_order_acquire);
   }
 
  private:

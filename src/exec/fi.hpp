@@ -23,6 +23,17 @@ namespace hlp::fi {
 /// once to learn how many injection points it passes, then replays it once
 /// per point (see tests/test_fi.cpp). All state is thread-local; production
 /// builds pay one thread-local increment per checkpoint.
+///
+/// Threading contract: arming is strictly **per-thread**. `arm_*` mutates
+/// only the calling thread's `State`, and checkpoints consult only their
+/// own thread's counters, so kernels running on other worker threads (e.g.
+/// an `hlp::jobs` pool executing under an armed sweep on the test thread)
+/// never observe the fault and never race on the counters — ThreadSanitizer
+/// sees one thread-local object per thread, no sharing. A sweep that wants
+/// to inject into pool workers must arm *on the worker* (run the arming
+/// call inside the job body). The only cross-thread effect a fired
+/// cancellation fault has is through `CancelToken`, which is atomic with
+/// acquire/release ordering (see exec.hpp).
 
 struct State {
   bool alloc_armed = false;

@@ -1,5 +1,7 @@
 #include "fsm/benchmarks.hpp"
 
+#include <stdexcept>
+
 #include "fsm/kiss.hpp"
 
 namespace hlp::fsm {
@@ -111,6 +113,16 @@ std::vector<NamedFsm> controller_benchmarks() {
   out.push_back({"dma", dma_fsm()});
   out.push_back({"elevator", elevator_fsm()});
   return out;
+}
+
+Stg controller_by_name(const std::string& name) {
+  if (name == "traffic") return traffic_light_fsm();
+  if (name == "uart-rx") return uart_rx_fsm();
+  if (name == "dma") return dma_fsm();
+  if (name == "elevator") return elevator_fsm();
+  throw std::invalid_argument(
+      "unknown controller benchmark '" + name +
+      "' (known: traffic, uart-rx, dma, elevator)");
 }
 
 }  // namespace hlp::fsm

@@ -33,4 +33,10 @@ Stg elevator_fsm();
 /// All of the above.
 std::vector<NamedFsm> controller_benchmarks();
 
+/// Lookup by benchmark name ("traffic", "uart-rx", "dma", "elevator") —
+/// the design handle used by hlp::jobs campaign specs, where a Markov job
+/// names its STG rather than constructing it. Throws std::invalid_argument
+/// listing the known names when `name` is not a benchmark.
+Stg controller_by_name(const std::string& name);
+
 }  // namespace hlp::fsm

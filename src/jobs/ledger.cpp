@@ -1,0 +1,389 @@
+#include "jobs/ledger.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace hlp::jobs {
+
+const char* to_string(RecordKind k) {
+  switch (k) {
+    case RecordKind::Enqueued: return "enqueued";
+    case RecordKind::Started: return "started";
+    case RecordKind::AttemptFailed: return "attempt-failed";
+    case RecordKind::Retried: return "retried";
+    case RecordKind::Degraded: return "degraded";
+    case RecordKind::Checkpoint: return "checkpoint";
+    case RecordKind::Completed: return "completed";
+  }
+  return "unknown";
+}
+
+bool parse_record_kind(std::string_view s, RecordKind& out) {
+  for (RecordKind k :
+       {RecordKind::Enqueued, RecordKind::Started, RecordKind::AttemptFailed,
+        RecordKind::Retried, RecordKind::Degraded, RecordKind::Checkpoint,
+        RecordKind::Completed}) {
+    if (s == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// --- writing ---------------------------------------------------------------
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_json_double(std::string& out, double v) {
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;  // shortest form of a double always fits
+  out.append(buf, end);
+}
+
+void append_field(std::string& out, const char* key, std::string_view v) {
+  out.push_back(',');
+  out += '"';
+  out += key;
+  out += "\":";
+  append_json_string(out, v);
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t v) {
+  out.push_back(',');
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+void append_field(std::string& out, const char* key, int v) {
+  append_field(out, key, static_cast<std::uint64_t>(v < 0 ? 0 : v));
+}
+
+void append_field(std::string& out, const char* key, double v) {
+  out.push_back(',');
+  out += '"';
+  out += key;
+  out += "\":";
+  append_json_double(out, v);
+}
+
+void append_field(std::string& out, const char* key, bool v) {
+  out.push_back(',');
+  out += '"';
+  out += key;
+  out += "\":";
+  out += v ? "true" : "false";
+}
+
+// --- parsing ---------------------------------------------------------------
+
+struct Cursor {
+  const char* p;
+  const char* end;
+  bool at_end() const { return p == end; }
+  bool eat(char c) {
+    if (p != end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+};
+
+bool parse_json_string(Cursor& c, std::string& out) {
+  if (!c.eat('"')) return false;
+  out.clear();
+  while (!c.at_end()) {
+    unsigned char ch = static_cast<unsigned char>(*c.p++);
+    if (ch == '"') return true;
+    if (ch < 0x20) return false;  // raw control char: malformed/truncated
+    if (ch != '\\') {
+      out.push_back(static_cast<char>(ch));
+      continue;
+    }
+    if (c.at_end()) return false;
+    char esc = *c.p++;
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (c.end - c.p < 4) return false;
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+          char h = *c.p++;
+          v <<= 4;
+          if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        // Encode as UTF-8 (surrogate pairs rejected; the writer never
+        // emits them — \u is only used for control characters).
+        if (v >= 0xD800 && v <= 0xDFFF) return false;
+        if (v < 0x80) {
+          out.push_back(static_cast<char>(v));
+        } else if (v < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (v >> 6)));
+          out.push_back(static_cast<char>(0x80 | (v & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xE0 | (v >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((v >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (v & 0x3F)));
+        }
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // unterminated
+}
+
+// The number token as raw text [p, tok_end); from_chars re-parses it with
+// the target type so "seq" rejects "1.5" while "value" accepts it.
+std::string_view number_token(Cursor& c) {
+  const char* start = c.p;
+  while (!c.at_end() &&
+         (*c.p == '-' || *c.p == '+' || *c.p == '.' || *c.p == 'e' ||
+          *c.p == 'E' || (*c.p >= '0' && *c.p <= '9')))
+    ++c.p;
+  return {start, static_cast<std::size_t>(c.p - start)};
+}
+
+template <typename T>
+bool number_as(std::string_view tok, T& out) {
+  if (tok.empty()) return false;
+  auto [rest, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  return ec == std::errc{} && rest == tok.data() + tok.size();
+}
+
+}  // namespace
+
+std::string LedgerRecord::serialize() const {
+  std::string s = "{\"rec\":";
+  append_json_string(s, to_string(kind));
+  append_field(s, "seq", seq);
+  append_field(s, "job", job);
+  switch (kind) {
+    case RecordKind::Enqueued:
+      append_field(s, "kind", job_kind);
+      append_field(s, "design", design);
+      break;
+    case RecordKind::Started:
+      append_field(s, "attempt", attempt);
+      break;
+    case RecordKind::AttemptFailed:
+      append_field(s, "attempt", attempt);
+      append_field(s, "error", error);
+      append_field(s, "detail", detail);
+      break;
+    case RecordKind::Retried:
+      append_field(s, "attempt", attempt);
+      append_field(s, "delay", delay_seconds);
+      break;
+    case RecordKind::Degraded:
+      append_field(s, "attempt", attempt);
+      append_field(s, "from", from);
+      append_field(s, "to", to);
+      break;
+    case RecordKind::Checkpoint:
+      append_field(s, "attempt", attempt);
+      append_field(s, "ckpt", checkpoint);
+      break;
+    case RecordKind::Completed:
+      append_field(s, "attempts", attempts);
+      append_field(s, "degraded", degraded);
+      append_field(s, "value", value);
+      append_field(s, "detail", detail);
+      break;
+  }
+  s.push_back('}');
+  return s;
+}
+
+bool LedgerRecord::parse(std::string_view line, LedgerRecord& out) {
+  Cursor c{line.data(), line.data() + line.size()};
+  if (!c.eat('{')) return false;
+  LedgerRecord r;
+  bool have_rec = false, have_seq = false, have_job = false;
+  std::uint32_t seen = 0;  // duplicate-key bitmap, one bit per known key
+  bool first = true;
+  while (true) {
+    if (c.eat('}')) break;
+    if (!first && !c.eat(',')) return false;
+    if (first && c.at_end()) return false;
+    first = false;
+    std::string key;
+    if (!parse_json_string(c, key)) return false;
+    if (!c.eat(':')) return false;
+
+    auto mark = [&seen](int bit) {
+      if (seen & (1u << bit)) return false;
+      seen |= 1u << bit;
+      return true;
+    };
+
+    if (key == "rec") {
+      std::string v;
+      if (!mark(0) || !parse_json_string(c, v)) return false;
+      if (!parse_record_kind(v, r.kind)) return false;
+      have_rec = true;
+    } else if (key == "seq") {
+      if (!mark(1) || !number_as(number_token(c), r.seq)) return false;
+      have_seq = true;
+    } else if (key == "job") {
+      if (!mark(2) || !parse_json_string(c, r.job)) return false;
+      have_job = true;
+    } else if (key == "kind") {
+      if (!mark(3) || !parse_json_string(c, r.job_kind)) return false;
+    } else if (key == "design") {
+      if (!mark(4) || !parse_json_string(c, r.design)) return false;
+    } else if (key == "attempt") {
+      if (!mark(5) || !number_as(number_token(c), r.attempt)) return false;
+    } else if (key == "error") {
+      if (!mark(6) || !parse_json_string(c, r.error)) return false;
+    } else if (key == "detail") {
+      if (!mark(7) || !parse_json_string(c, r.detail)) return false;
+    } else if (key == "delay") {
+      if (!mark(8) || !number_as(number_token(c), r.delay_seconds))
+        return false;
+    } else if (key == "from") {
+      if (!mark(9) || !parse_json_string(c, r.from)) return false;
+    } else if (key == "to") {
+      if (!mark(10) || !parse_json_string(c, r.to)) return false;
+    } else if (key == "ckpt") {
+      if (!mark(11) || !parse_json_string(c, r.checkpoint)) return false;
+    } else if (key == "attempts") {
+      if (!mark(12) || !number_as(number_token(c), r.attempts)) return false;
+    } else if (key == "degraded") {
+      if (!mark(13)) return false;
+      if (c.end - c.p >= 4 && std::string_view(c.p, 4) == "true") {
+        r.degraded = true;
+        c.p += 4;
+      } else if (c.end - c.p >= 5 && std::string_view(c.p, 5) == "false") {
+        r.degraded = false;
+        c.p += 5;
+      } else {
+        return false;
+      }
+    } else if (key == "value") {
+      if (!mark(14) || !number_as(number_token(c), r.value)) return false;
+    } else {
+      return false;  // unknown key: refuse to half-read a damaged line
+    }
+  }
+  // Only trailing whitespace may follow the closing brace.
+  while (!c.at_end()) {
+    if (*c.p != ' ' && *c.p != '\t' && *c.p != '\r') return false;
+    ++c.p;
+  }
+  if (!have_rec || !have_seq || !have_job) return false;
+  out = std::move(r);
+  return true;
+}
+
+LedgerWriter::LedgerWriter(const std::string& path, bool truncate) {
+  f_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (!f_)
+    throw std::runtime_error("jobs: cannot open ledger file '" + path + "'");
+}
+
+LedgerWriter::~LedgerWriter() {
+  if (f_) std::fclose(f_);
+}
+
+void LedgerWriter::append(const LedgerRecord& rec) {
+  if (!f_) return;
+  std::string line = rec.serialize();
+  line.push_back('\n');
+  // Write-ahead discipline: the record is on disk when append() returns.
+  // An I/O failure (disk full) silently closes the ledger rather than
+  // killing the campaign — the ledger is a durability optimization, and a
+  // later resume simply re-runs whatever the lost records covered.
+  if (std::fwrite(line.data(), 1, line.size(), f_) != line.size() ||
+      std::fflush(f_) != 0) {
+    std::fclose(f_);
+    f_ = nullptr;
+    return;
+  }
+  ::fsync(::fileno(f_));
+}
+
+std::uint64_t LedgerScan::max_seq() const {
+  std::uint64_t m = 0;
+  for (const auto& r : records) m = std::max(m, r.seq);
+  return m;
+}
+
+LedgerScan scan_ledger_text(std::string_view text) {
+  LedgerScan scan;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    const bool truncated = nl == std::string_view::npos;
+    std::string_view line =
+        text.substr(pos, truncated ? std::string_view::npos : nl - pos);
+    pos = truncated ? text.size() : nl + 1;
+    if (line.empty()) continue;
+    LedgerRecord rec;
+    if (LedgerRecord::parse(line, rec)) {
+      scan.records.push_back(std::move(rec));
+    } else {
+      ++scan.malformed_lines;
+      if (scan.warnings.size() < 32) {
+        std::string why = truncated ? "truncated final line (crash mid-write)"
+                                    : "malformed record";
+        scan.warnings.push_back(
+            why + ": " +
+            std::string(line.substr(0, std::min<std::size_t>(line.size(), 80))));
+      }
+    }
+  }
+  return scan;
+}
+
+LedgerScan read_ledger(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return {};
+  std::string text;
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return scan_ledger_text(text);
+}
+
+}  // namespace hlp::jobs

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "jobs/jobs.hpp"
+
+namespace hlp::jobs {
+
+/// --- Campaign spec files ---------------------------------------------------
+///
+/// A whole benchmark campaign in a small line-oriented text file, consumed
+/// by `tools/hlp_run`:
+///
+///     # campaign-wide settings (all optional)
+///     workers 4
+///     max-attempts 3
+///     base-delay 0.05
+///
+///     # one line per job: job <id> <kind> <design> [key=value ...]
+///     job add16      symbolic    adder:16
+///     job mult8      symbolic    mult:8      node-cap=20000
+///     job mc-alu     monte-carlo alu:12      epsilon=0.01 max-pairs=50000
+///     job dma-chain  markov      dma
+///     job fir-sched  schedule    fir:16
+///
+/// Per-job keys: epsilon, confidence, min-pairs, max-pairs, max-iters,
+/// deadline (budget wall seconds, metered), wall-deadline (supervisor-
+/// enforced seconds), node-cap, step-quota, memory-cap.
+
+/// Parse failure with 1-based line number, mirroring VerilogError.
+class SpecError : public std::runtime_error {
+ public:
+  SpecError(int line, const std::string& what)
+      : std::runtime_error("spec line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+struct CampaignSpec {
+  int workers = 1;
+  RetryPolicy retry;
+  std::vector<Job> jobs;
+};
+
+/// Parse spec text. Throws SpecError on any malformed line, duplicate job
+/// id, unknown kind/key, or out-of-range value. Design specs themselves
+/// are validated lazily by the kernel (an unknown design is an
+/// invalid-input job failure, not a spec error), so a campaign file can be
+/// loaded even if one job's design turns out to be bogus.
+CampaignSpec parse_campaign_spec(std::string_view text);
+
+/// Read and parse a spec file; throws std::runtime_error if unreadable.
+CampaignSpec read_campaign_spec(const std::string& path);
+
+}  // namespace hlp::jobs

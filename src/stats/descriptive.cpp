@@ -11,6 +11,21 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * (nb / n);
+  m2_ += other.m2_ + delta * delta * (na * nb / n);
+  n_ += other.n_;
+}
+
 double RunningStats::variance() const {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }

@@ -14,6 +14,15 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Fold another accumulator into this one (Chan et al. pairwise
+  /// combination of Welford states). Each worker of a parallel campaign
+  /// keeps a private accumulator and the supervisor merges them in a fixed
+  /// (job-id) order afterwards, so the merged moments are deterministic —
+  /// independent of thread schedule — and exact: merging partitions of a
+  /// stream yields the same count/mean/M2 as accumulating the stream in
+  /// one piece, up to floating-point association of the partition points.
+  void merge(const RunningStats& other);
+
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.

@@ -1,0 +1,136 @@
+// hlp_run — run a benchmark campaign from a job-spec file.
+//
+//   hlp_run campaign.jobs [--workers N] [--ledger PATH] [--resume]
+//                         [--max-attempts K] [--list]
+//
+// Exit status: 0 when every job completed, 1 when any job failed or was
+// cancelled, 2 on usage/spec errors. With --ledger, every state transition
+// is journaled crash-consistently; re-running with --resume skips jobs the
+// previous (possibly killed) process completed and restores interrupted
+// Monte Carlo estimates from their checkpoints.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "jobs/jobs.hpp"
+#include "jobs/spec.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <campaign.jobs> [--workers N] [--ledger PATH] "
+               "[--resume] [--max-attempts K] [--list]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string ledger_path;
+  int workers_override = 0;
+  int max_attempts_override = 0;
+  bool resume = false;
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hlp_run: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--workers") {
+      const char* v = next_value("--workers");
+      if (!v) return 2;
+      workers_override = std::atoi(v);
+      if (workers_override < 1) {
+        std::fprintf(stderr, "hlp_run: --workers must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--ledger") {
+      const char* v = next_value("--ledger");
+      if (!v) return 2;
+      ledger_path = v;
+    } else if (arg == "--max-attempts") {
+      const char* v = next_value("--max-attempts");
+      if (!v) return 2;
+      max_attempts_override = std::atoi(v);
+      if (max_attempts_override < 1) {
+        std::fprintf(stderr, "hlp_run: --max-attempts must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (spec_path.empty()) return usage(argv[0]);
+  if (resume && ledger_path.empty()) {
+    std::fprintf(stderr, "hlp_run: --resume requires --ledger\n");
+    return 2;
+  }
+
+  hlp::jobs::CampaignSpec spec;
+  try {
+    spec = hlp::jobs::read_campaign_spec(spec_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hlp_run: %s\n", e.what());
+    return 2;
+  }
+
+  if (list_only) {
+    for (const hlp::jobs::Job& j : spec.jobs)
+      std::printf("%-24s %-12s %s\n", j.id.c_str(),
+                  hlp::jobs::to_string(j.kind), j.design.c_str());
+    return 0;
+  }
+
+  hlp::jobs::RunnerOptions opts;
+  opts.workers = workers_override ? workers_override : spec.workers;
+  opts.retry = spec.retry;
+  if (max_attempts_override) opts.retry.max_attempts = max_attempts_override;
+  opts.ledger_path = ledger_path;
+
+  hlp::jobs::Runner runner(opts);
+  hlp::jobs::CampaignResult cr;
+  try {
+    cr = resume ? runner.resume(spec.jobs) : runner.run(spec.jobs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hlp_run: %s\n", e.what());
+    return 2;
+  }
+
+  for (const std::string& w : cr.warnings)
+    std::fprintf(stderr, "hlp_run: warning: %s\n", w.c_str());
+
+  std::printf("%-24s %-10s %-18s %8s %4s %s\n", "job", "status", "error",
+              "value", "att", "detail");
+  for (const hlp::jobs::JobResult& r : cr.results) {
+    std::printf("%-24s %-10s %-18s %8.4g %4d %s%s%s\n", r.id.c_str(),
+                hlp::jobs::to_string(r.status),
+                r.error == hlp::jobs::ErrorClass::None
+                    ? "-"
+                    : hlp::jobs::to_string(r.error),
+                r.value, r.attempts, r.degraded ? "[degraded] " : "",
+                r.from_ledger ? "[ledger] " : "", r.detail.c_str());
+  }
+  std::printf(
+      "\n%zu jobs: %zu completed (%zu degraded), %zu failed, %zu cancelled, "
+      "%zu retries; mean value %.6g\n",
+      cr.results.size(), cr.completed, cr.degraded, cr.failed, cr.cancelled,
+      cr.retries, cr.value_stats.mean());
+  return cr.all_completed() ? 0 : 1;
+}
