@@ -3,7 +3,10 @@
 // Minimal machine-readable bench output: a flat JSON writer for the
 // BENCH_*.json files that track the perf trajectory across PRs. No
 // external dependency; only the shapes our benches need (objects, arrays,
-// strings, numbers).
+// strings, numbers). String escaping is the shared canonical policy from
+// util/json.hpp (also used by the campaign ledger and the serve wire
+// protocol); doubles here use %.6g — report files trade round-trip
+// exactness for readability, unlike the ledger.
 
 #include <cstdint>
 #include <cstdio>
@@ -11,6 +14,8 @@
 #include <utility>
 #include <variant>
 #include <vector>
+
+#include "util/json.hpp"
 
 namespace hlp::benchjson {
 
@@ -37,12 +42,9 @@ inline void write_indent(std::FILE* f, int n) {
 }
 
 inline void write_string(std::FILE* f, const std::string& s) {
-  std::fputc('"', f);
-  for (char c : s) {
-    if (c == '"' || c == '\\') std::fputc('\\', f);
-    std::fputc(c, f);
-  }
-  std::fputc('"', f);
+  std::string quoted;
+  util::append_json_string(quoted, s);
+  std::fwrite(quoted.data(), 1, quoted.size(), f);
 }
 
 inline void write_object(std::FILE* f, const Object& o, int indent) {

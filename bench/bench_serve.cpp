@@ -1,0 +1,266 @@
+// E-SERVE — Cost and benefit of the estimation service (src/serve).
+//
+// Two questions decide whether serving estimates through a daemon makes
+// sense at all:
+//
+//  1. Cold vs hot: how much does the content-addressed result cache buy on
+//     a repeated request? Cold = distinct cache keys (every request runs
+//     the symbolic kernel); hot = one key asked again and again. The
+//     acceptance bar is hot >= 5x cold throughput for symbolic adder:16 —
+//     in practice the gap is orders of magnitude, since a hit is a map
+//     probe plus one TCP round trip.
+//
+//  2. Concurrency: requests/sec for a hot workload at 1/2/4/8 client
+//     connections. The cache is sharded and the server is
+//     thread-per-connection, so hot throughput should scale until
+//     loopback syscalls dominate.
+//
+// Results go to BENCH_serve.json (cwd, or argv[1] after the
+// google-benchmark flags).
+
+#include <benchmark/benchmark.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace hlp;
+using clock_type = std::chrono::steady_clock;
+
+/// Minimal blocking line client (loopback only).
+class LineClient {
+ public:
+  bool connect_to(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+           0;
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool roundtrip(const std::string& line, std::string& resp) {
+    std::string framed = line;
+    framed.push_back('\n');
+    const char* p = framed.data();
+    std::size_t left = framed.size();
+    while (left > 0) {
+      const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    while (true) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        resp = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+std::string symbolic_line(std::uint64_t seed) {
+  serve::Request rq;
+  rq.op = serve::Op::Estimate;
+  rq.kind = jobs::JobKind::Symbolic;
+  rq.design = "adder:16";
+  rq.has_seed = true;
+  rq.seed = seed;
+  return rq.serialize();
+}
+
+/// In-process hot path (no sockets): what one cached handle_line costs.
+void BM_HotHandleLine(benchmark::State& st) {
+  serve::Service service;
+  const std::string line = symbolic_line(1);
+  benchmark::DoNotOptimize(service.handle_line(line));  // warm the cache
+  for (auto _ : st) {
+    benchmark::DoNotOptimize(service.handle_line(line));
+  }
+}
+
+void write_report(const std::string& path) {
+  std::printf("\n--- BENCH_serve report ---\n");
+
+  serve::ServerOptions sopts;
+  serve::Server server(sopts);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  // --- Cold vs hot latency over TCP, symbolic adder:16 -------------------
+  // Distinct seeds give distinct cache keys, so every cold request runs
+  // the full BDD kernel; the hot line reuses one key.
+  constexpr int kColdReps = 3;
+  double cold_total = 0.0;
+  {
+    LineClient c;
+    if (!c.connect_to(port)) {
+      std::fprintf(stderr, "bench_serve: connect failed\n");
+      return;
+    }
+    std::string resp;
+    for (int i = 0; i < kColdReps; ++i) {
+      const auto t0 = clock_type::now();
+      if (!c.roundtrip(symbolic_line(1000 + static_cast<std::uint64_t>(i)),
+                       resp)) {
+        std::fprintf(stderr, "bench_serve: cold request failed\n");
+        return;
+      }
+      cold_total +=
+          std::chrono::duration<double>(clock_type::now() - t0).count();
+    }
+  }
+  const double cold_latency = cold_total / kColdReps;
+  const double cold_rps = 1.0 / cold_latency;
+
+  constexpr int kHotReps = 2000;
+  double hot_total = 0.0;
+  {
+    LineClient c;
+    if (!c.connect_to(port)) return;
+    std::string resp;
+    c.roundtrip(symbolic_line(1), resp);  // fill the cache line
+    const auto t0 = clock_type::now();
+    for (int i = 0; i < kHotReps; ++i) {
+      if (!c.roundtrip(symbolic_line(1), resp)) return;
+    }
+    hot_total = std::chrono::duration<double>(clock_type::now() - t0).count();
+  }
+  const double hot_latency = hot_total / kHotReps;
+  const double hot_rps = 1.0 / hot_latency;
+  const double ratio = hot_rps / cold_rps;
+
+  std::printf("cold (symbolic adder:16, unique keys): %8.2f ms/req "
+              "(%6.2f req/s)\n",
+              cold_latency * 1e3, cold_rps);
+  std::printf("hot  (same key, cache hit):            %8.4f ms/req "
+              "(%6.0f req/s)\n",
+              hot_latency * 1e3, hot_rps);
+  std::printf("hot/cold throughput ratio: %.0fx %s\n", ratio,
+              ratio >= 5.0 ? "(>= 5x bar met)" : "(BELOW 5x bar)");
+
+  // --- Hot throughput vs connection count --------------------------------
+  constexpr int kPerConn = 500;
+  benchjson::Array scaling;
+  double serial_rps = 0.0;
+  std::printf("hot throughput vs connections (%d req/conn):\n", kPerConn);
+  for (int conns : {1, 2, 4, 8}) {
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    const auto t0 = clock_type::now();
+    for (int t = 0; t < conns; ++t) {
+      threads.emplace_back([&] {
+        LineClient c;
+        if (!c.connect_to(port)) {
+          failures.fetch_add(1);
+          return;
+        }
+        std::string resp;
+        for (int i = 0; i < kPerConn; ++i) {
+          if (!c.roundtrip(symbolic_line(1), resp)) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const double secs =
+        std::chrono::duration<double>(clock_type::now() - t0).count();
+    const double rps = failures.load() == 0
+                           ? static_cast<double>(conns * kPerConn) / secs
+                           : 0.0;
+    if (conns == 1) serial_rps = rps;
+    std::printf("  connections %d: %8.0f req/s (speedup %.2fx)\n", conns, rps,
+                serial_rps > 0.0 ? rps / serial_rps : 0.0);
+    scaling.push_back(benchjson::Object{
+        {"connections", conns},
+        {"requests_per_sec", rps},
+        {"speedup", serial_rps > 0.0 ? rps / serial_rps : 0.0},
+    });
+  }
+
+  const serve::ServiceMetrics m = server.service().metrics();
+  server.shutdown();
+
+  benchjson::Object root{
+      {"bench", "serve"},
+      {"design", "adder:16"},
+      {"kind", "symbolic"},
+      {"cold",
+       benchjson::Object{
+           {"reps", kColdReps},
+           {"latency_seconds", cold_latency},
+           {"requests_per_sec", cold_rps},
+       }},
+      {"hot",
+       benchjson::Object{
+           {"reps", kHotReps},
+           {"latency_seconds", hot_latency},
+           {"requests_per_sec", hot_rps},
+       }},
+      {"hot_over_cold_throughput", ratio},
+      {"meets_5x_bar", ratio >= 5.0},
+      {"connection_scaling", std::move(scaling)},
+      {"server_metrics",
+       benchjson::Object{
+           {"hits", m.hits},
+           {"misses", m.misses},
+           {"coalesced", m.coalesced},
+           {"shed", m.shed},
+       }},
+  };
+  if (benchjson::save(path, root))
+    std::printf("\nwrote %s\n", path.c_str());
+  else
+    std::printf("\nfailed to write %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RegisterBenchmark("BM_HotHandleLine", BM_HotHandleLine)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RunSpecifiedBenchmarks();
+  const char* path = "BENCH_serve.json";
+  if (argc > 1 && argv[1][0] != '-') path = argv[1];
+  write_report(path);
+  return 0;
+}

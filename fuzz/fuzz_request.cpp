@@ -1,0 +1,34 @@
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+
+/// libFuzzer entry point for the serve wire protocol. The contract the TCP
+/// front end relies on: any byte sequence a peer sends — malformed JSON,
+/// truncated frames, oversized fields, raw binary — parses without
+/// crashing, throwing, or hanging. A line that does parse must round-trip:
+/// serialize(parse(line)) is canonical and reparses equal (the fixed-point
+/// property the result cache's byte-identity guarantee builds on). The
+/// tolerant response parser must be equally total, since clients feed it
+/// whatever the network delivered.
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string_view line(reinterpret_cast<const char*>(data), size);
+
+  hlp::serve::Request rq;
+  std::string error;
+  if (hlp::serve::Request::parse(line, rq, error)) {
+    const std::string canonical = rq.serialize();
+    hlp::serve::Request back;
+    if (!hlp::serve::Request::parse(canonical, back, error) || !(back == rq))
+      __builtin_trap();  // canonical form failed to round-trip
+    if (back.serialize() != canonical)
+      __builtin_trap();  // serialize must be a fixed point
+  }
+
+  hlp::serve::ResponseView view;
+  (void)hlp::serve::parse_response(line, view);
+  return 0;
+}

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/hash.hpp"
+
 namespace hlp::cdfg {
 
 OpId Cdfg::add_op(OpKind kind, std::span<const OpId> preds,
@@ -222,6 +224,21 @@ Lifetimes lifetimes(const Cdfg& g, const Schedule& s, const OpDelays& d) {
     for (OpId p : g.op(id).preds)
       lt.last_use[p] = std::max(lt.last_use[p], s.start[id]);
   return lt;
+}
+
+std::uint64_t structural_hash(const Cdfg& g) {
+  util::Fnv1a64 h;
+  h.u64(g.size());
+  for (OpId id = 0; id < g.size(); ++id) {
+    const Op& op = g.op(id);
+    h.u32(static_cast<std::uint32_t>(op.kind));
+    h.u64(op.preds.size());
+    for (OpId p : op.preds) h.u32(p);
+    h.u32(static_cast<std::uint32_t>(op.width));
+  }
+  h.u64(g.outputs().size());
+  for (OpId o : g.outputs()) h.u32(o);
+  return h.digest();
 }
 
 }  // namespace hlp::cdfg

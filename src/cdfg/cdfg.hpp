@@ -69,6 +69,13 @@ class Cdfg {
   std::vector<OpId> outputs_;
 };
 
+/// Canonical structural fingerprint: FNV-1a (splitmix-finalized) over op
+/// kinds, predecessor edges, widths, and the output interface, in op-id
+/// order. Diagnostic names are excluded, so the fingerprint identifies
+/// content — the key basis for the serve layer's result cache (DESIGN.md
+/// §9).
+std::uint64_t structural_hash(const Cdfg& g);
+
 /// Per-kind execution delays in control steps.
 struct OpDelays {
   int of(OpKind k) const;

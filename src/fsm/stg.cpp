@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "stats/rng.hpp"
+#include "util/hash.hpp"
 
 namespace hlp::fsm {
 
@@ -133,6 +134,19 @@ Stg random_fsm(std::size_t n_states, int n_inputs, int n_outputs,
                        rng.uniform_bits(std::min(n_outputs, 63)) & out_mask);
   }
   return stg;
+}
+
+std::uint64_t structural_hash(const Stg& stg) {
+  util::Fnv1a64 h;
+  h.u32(static_cast<std::uint32_t>(stg.n_inputs()));
+  h.u32(static_cast<std::uint32_t>(stg.n_outputs()));
+  h.u64(stg.num_states());
+  for (StateId s = 0; s < stg.num_states(); ++s)
+    for (std::uint64_t in = 0; in < stg.n_symbols(); ++in) {
+      h.u32(stg.next(s, in));
+      h.u64(stg.output(s, in));
+    }
+  return h.digest();
 }
 
 }  // namespace hlp::fsm

@@ -53,6 +53,12 @@ class Stg {
   std::vector<std::string> names_;
 };
 
+/// Canonical structural fingerprint: FNV-1a (splitmix-finalized) over the
+/// alphabet sizes and the full transition/output tables in state order.
+/// State names are excluded, so the fingerprint identifies machine content
+/// — the key basis for the serve layer's result cache (DESIGN.md §9).
+std::uint64_t structural_hash(const Stg& stg);
+
 /// --- Benchmark FSM generators ------------------------------------------
 
 /// Modulo-2^bits up/hold counter: input bit 0 = enable; outputs = count.

@@ -88,6 +88,38 @@ double RetryPolicy::delay_seconds(std::string_view job_id,
   return d > 0.0 ? d : 0.0;
 }
 
+/// Atomic counter cells behind RunnerCounters. Relaxed ordering throughout:
+/// each cell is an independent monotone event count, and a reader wants
+/// exact per-cell values, not a consistent cross-cell cut.
+struct RunnerCounterCells {
+  std::atomic<std::size_t> enqueued{0};
+  std::atomic<std::size_t> attempts_started{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> cancelled{0};
+  std::atomic<std::size_t> retried{0};
+  std::atomic<std::size_t> degraded{0};
+  std::atomic<std::size_t> served_from_ledger{0};
+
+  void bump(std::atomic<std::size_t>& cell) {
+    cell.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+RunnerCounters Runner::counters() const {
+  const RunnerCounterCells& c = *cells_;
+  RunnerCounters out;
+  out.enqueued = c.enqueued.load(std::memory_order_relaxed);
+  out.attempts_started = c.attempts_started.load(std::memory_order_relaxed);
+  out.completed = c.completed.load(std::memory_order_relaxed);
+  out.failed = c.failed.load(std::memory_order_relaxed);
+  out.cancelled = c.cancelled.load(std::memory_order_relaxed);
+  out.retried = c.retried.load(std::memory_order_relaxed);
+  out.degraded = c.degraded.load(std::memory_order_relaxed);
+  out.served_from_ledger = c.served_from_ledger.load(std::memory_order_relaxed);
+  return out;
+}
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -110,6 +142,7 @@ struct Shared {
   std::uint64_t seq = 0;
   std::vector<Inflight> inflight;
   exec::CancelToken campaign;
+  RunnerCounterCells* counters = nullptr;
   bool stop_supervisor = false;
   std::condition_variable cv;
 
@@ -154,9 +187,11 @@ void execute_job(const Job& job, Slot& slot, Shared& sh,
       r.error = ErrorClass::Cancelled;
       r.attempts = attempt;
       r.detail = "campaign cancelled before attempt";
+      sh.counters->bump(sh.counters->cancelled);
       return;
     }
     ++attempt;
+    sh.counters->bump(sh.counters->attempts_started);
     {
       LedgerRecord rec = make_record(RecordKind::Started, job.id);
       rec.attempt = attempt;
@@ -242,6 +277,7 @@ void execute_job(const Job& job, Slot& slot, Shared& sh,
       r.degraded = ao.out.degraded;
       r.value = ao.out.value;
       r.detail = ao.out.detail;
+      sh.counters->bump(sh.counters->completed);
       return;
     }
 
@@ -268,6 +304,7 @@ void execute_job(const Job& job, Slot& slot, Shared& sh,
       r.error = ErrorClass::Cancelled;
       r.attempts = attempt;
       r.detail = fail_detail;
+      sh.counters->bump(sh.counters->cancelled);
       return;
     }
     const bool out_of_attempts =
@@ -277,6 +314,7 @@ void execute_job(const Job& job, Slot& slot, Shared& sh,
       r.error = err;
       r.attempts = attempt;
       r.detail = fail_detail;
+      sh.counters->bump(sh.counters->failed);
       return;
     }
 
@@ -296,15 +334,19 @@ void execute_job(const Job& job, Slot& slot, Shared& sh,
       rec.from = job.kind == JobKind::Symbolic ? "bdd-sat-fraction" : "primary";
       rec.to = job.kind == JobKind::Symbolic ? "monte-carlo" : "fallback";
       sh.append(rec);
+      sh.counters->bump(sh.counters->degraded);
     }
     ++slot.retries;
+    sh.counters->bump(sh.counters->retried);
     if (delay > 0.0) opts.sleep_fn(delay);
   }
 }
 
 }  // namespace
 
-Runner::Runner(RunnerOptions opts) : opts_(std::move(opts)) {
+Runner::Runner(RunnerOptions opts)
+    : opts_(std::move(opts)),
+      cells_(std::make_shared<RunnerCounterCells>()) {
   if (opts_.workers < 1) opts_.workers = 1;
   if (!opts_.sleep_fn)
     opts_.sleep_fn = [](double seconds) {
@@ -365,6 +407,7 @@ CampaignResult Runner::run_impl(const std::vector<Job>& jobs, bool resuming) {
     Slot& slot = slots[it->second];
     switch (rec.kind) {
       case RecordKind::Completed:
+        if (!slot.done) cells_->bump(cells_->served_from_ledger);
         slot.done = true;
         slot.result.id = rec.job;
         slot.result.status = JobStatus::Completed;
@@ -413,6 +456,7 @@ CampaignResult Runner::run_impl(const std::vector<Job>& jobs, bool resuming) {
   sh.ledger = writer.get();
   sh.seq = scan.max_seq();
   sh.campaign = opts_.campaign_cancel;
+  sh.counters = cells_.get();
   sh.inflight.resize(static_cast<std::size_t>(workers));
 
   for (std::size_t i : pending) {
@@ -420,6 +464,7 @@ CampaignResult Runner::run_impl(const std::vector<Job>& jobs, bool resuming) {
     rec.job_kind = to_string(jobs[i].kind);
     rec.design = jobs[i].design;
     sh.append(rec);
+    sh.counters->bump(sh.counters->enqueued);
   }
 
   // Supervisor: enforces per-attempt wall deadlines and fans campaign
@@ -457,6 +502,7 @@ CampaignResult Runner::run_impl(const std::vector<Job>& jobs, bool resuming) {
         slot.result.error = ErrorClass::Cancelled;
         slot.result.attempts = slot.prior_attempts;
         slot.result.detail = "campaign cancelled before attempt";
+        sh.counters->bump(sh.counters->cancelled);
         continue;
       }
       execute_job(*slot.job, slot, sh, opts_, w);

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -154,6 +155,26 @@ struct CampaignResult {
   bool all_completed() const { return completed == results.size(); }
 };
 
+/// Lifecycle transition counters, monotone over a Runner's lifetime and
+/// queryable at any moment — including from another thread while
+/// run()/resume() is executing (each cell is an independent atomic, so a
+/// mid-campaign snapshot may be momentarily inconsistent across cells but
+/// every cell is exact). Counts *transitions*, mirroring the ledger record
+/// kinds: `retried` counts retry transitions, `degraded` counts
+/// symbolic→sampled downgrades, `completed`/`failed`/`cancelled` count
+/// terminal outcomes reached by this process, and `served_from_ledger`
+/// counts resume-skips whose value was read back instead of recomputed.
+struct RunnerCounters {
+  std::size_t enqueued = 0;
+  std::size_t attempts_started = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t retried = 0;
+  std::size_t degraded = 0;
+  std::size_t served_from_ledger = 0;
+};
+
 /// Supervised campaign executor. One Runner per campaign invocation.
 class Runner {
  public:
@@ -171,9 +192,13 @@ class Runner {
   /// configured (or none on disk) this is identical to run().
   CampaignResult resume(const std::vector<Job>& jobs);
 
+  /// Snapshot of the lifecycle counters (thread-safe; see RunnerCounters).
+  RunnerCounters counters() const;
+
  private:
   CampaignResult run_impl(const std::vector<Job>& jobs, bool resuming);
   RunnerOptions opts_;
+  std::shared_ptr<struct RunnerCounterCells> cells_;  ///< atomic cells
 };
 
 }  // namespace hlp::jobs

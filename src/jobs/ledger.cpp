@@ -3,8 +3,9 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <charconv>
 #include <stdexcept>
+
+#include "util/json.hpp"
 
 namespace hlp::jobs {
 
@@ -34,163 +35,17 @@ bool parse_record_kind(std::string_view s, RecordKind& out) {
   return false;
 }
 
-namespace {
+// JSON writing/escaping and the strict line-parsing primitives live in
+// util/json.hpp, shared with the bench reports and the serve wire protocol.
+// The canonical-form guarantee (serialize∘parse byte-identical) is theirs;
+// this file owns only the ledger's field vocabulary and per-kind ordering.
+using util::append_field;
+using util::append_json_string;
+using util::number_as;
+using util::number_token;
+using util::parse_json_string;
 
-// --- writing ---------------------------------------------------------------
-
-void append_json_string(std::string& out, std::string_view s) {
-  out.push_back('"');
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(static_cast<char>(c));
-        }
-    }
-  }
-  out.push_back('"');
-}
-
-void append_json_double(std::string& out, double v) {
-  char buf[64];
-  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
-  (void)ec;  // shortest form of a double always fits
-  out.append(buf, end);
-}
-
-void append_field(std::string& out, const char* key, std::string_view v) {
-  out.push_back(',');
-  out += '"';
-  out += key;
-  out += "\":";
-  append_json_string(out, v);
-}
-
-void append_field(std::string& out, const char* key, std::uint64_t v) {
-  out.push_back(',');
-  out += '"';
-  out += key;
-  out += "\":";
-  out += std::to_string(v);
-}
-
-void append_field(std::string& out, const char* key, int v) {
-  append_field(out, key, static_cast<std::uint64_t>(v < 0 ? 0 : v));
-}
-
-void append_field(std::string& out, const char* key, double v) {
-  out.push_back(',');
-  out += '"';
-  out += key;
-  out += "\":";
-  append_json_double(out, v);
-}
-
-void append_field(std::string& out, const char* key, bool v) {
-  out.push_back(',');
-  out += '"';
-  out += key;
-  out += "\":";
-  out += v ? "true" : "false";
-}
-
-// --- parsing ---------------------------------------------------------------
-
-struct Cursor {
-  const char* p;
-  const char* end;
-  bool at_end() const { return p == end; }
-  bool eat(char c) {
-    if (p != end && *p == c) {
-      ++p;
-      return true;
-    }
-    return false;
-  }
-};
-
-bool parse_json_string(Cursor& c, std::string& out) {
-  if (!c.eat('"')) return false;
-  out.clear();
-  while (!c.at_end()) {
-    unsigned char ch = static_cast<unsigned char>(*c.p++);
-    if (ch == '"') return true;
-    if (ch < 0x20) return false;  // raw control char: malformed/truncated
-    if (ch != '\\') {
-      out.push_back(static_cast<char>(ch));
-      continue;
-    }
-    if (c.at_end()) return false;
-    char esc = *c.p++;
-    switch (esc) {
-      case '"': out.push_back('"'); break;
-      case '\\': out.push_back('\\'); break;
-      case '/': out.push_back('/'); break;
-      case 'b': out.push_back('\b'); break;
-      case 'f': out.push_back('\f'); break;
-      case 'n': out.push_back('\n'); break;
-      case 'r': out.push_back('\r'); break;
-      case 't': out.push_back('\t'); break;
-      case 'u': {
-        if (c.end - c.p < 4) return false;
-        unsigned v = 0;
-        for (int i = 0; i < 4; ++i) {
-          char h = *c.p++;
-          v <<= 4;
-          if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
-          else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
-          else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
-          else return false;
-        }
-        // Encode as UTF-8 (surrogate pairs rejected; the writer never
-        // emits them — \u is only used for control characters).
-        if (v >= 0xD800 && v <= 0xDFFF) return false;
-        if (v < 0x80) {
-          out.push_back(static_cast<char>(v));
-        } else if (v < 0x800) {
-          out.push_back(static_cast<char>(0xC0 | (v >> 6)));
-          out.push_back(static_cast<char>(0x80 | (v & 0x3F)));
-        } else {
-          out.push_back(static_cast<char>(0xE0 | (v >> 12)));
-          out.push_back(static_cast<char>(0x80 | ((v >> 6) & 0x3F)));
-          out.push_back(static_cast<char>(0x80 | (v & 0x3F)));
-        }
-        break;
-      }
-      default: return false;
-    }
-  }
-  return false;  // unterminated
-}
-
-// The number token as raw text [p, tok_end); from_chars re-parses it with
-// the target type so "seq" rejects "1.5" while "value" accepts it.
-std::string_view number_token(Cursor& c) {
-  const char* start = c.p;
-  while (!c.at_end() &&
-         (*c.p == '-' || *c.p == '+' || *c.p == '.' || *c.p == 'e' ||
-          *c.p == 'E' || (*c.p >= '0' && *c.p <= '9')))
-    ++c.p;
-  return {start, static_cast<std::size_t>(c.p - start)};
-}
-
-template <typename T>
-bool number_as(std::string_view tok, T& out) {
-  if (tok.empty()) return false;
-  auto [rest, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), out);
-  return ec == std::errc{} && rest == tok.data() + tok.size();
-}
-
-}  // namespace
+using Cursor = util::JsonCursor;
 
 std::string LedgerRecord::serialize() const {
   std::string s = "{\"rec\":";
@@ -289,16 +144,7 @@ bool LedgerRecord::parse(std::string_view line, LedgerRecord& out) {
     } else if (key == "attempts") {
       if (!mark(12) || !number_as(number_token(c), r.attempts)) return false;
     } else if (key == "degraded") {
-      if (!mark(13)) return false;
-      if (c.end - c.p >= 4 && std::string_view(c.p, 4) == "true") {
-        r.degraded = true;
-        c.p += 4;
-      } else if (c.end - c.p >= 5 && std::string_view(c.p, 5) == "false") {
-        r.degraded = false;
-        c.p += 5;
-      } else {
-        return false;
-      }
+      if (!mark(13) || !util::parse_json_bool(c, r.degraded)) return false;
     } else if (key == "value") {
       if (!mark(14) || !number_as(number_token(c), r.value)) return false;
     } else {
@@ -306,10 +152,7 @@ bool LedgerRecord::parse(std::string_view line, LedgerRecord& out) {
     }
   }
   // Only trailing whitespace may follow the closing brace.
-  while (!c.at_end()) {
-    if (*c.p != ' ' && *c.p != '\t' && *c.p != '\r') return false;
-    ++c.p;
-  }
+  if (!util::only_trailing_ws(c)) return false;
   if (!have_rec || !have_seq || !have_job) return false;
   out = std::move(r);
   return true;

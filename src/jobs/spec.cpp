@@ -1,7 +1,9 @@
 #include "jobs/spec.hpp"
 
+#include <cerrno>
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <unordered_set>
 
 namespace hlp::jobs {
@@ -135,8 +137,14 @@ CampaignSpec parse_campaign_spec(std::string_view text) {
 
 CampaignSpec read_campaign_spec(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f)
-    throw std::runtime_error("jobs: cannot read campaign spec '" + path + "'");
+  if (!f) {
+    // The errno text turns "cannot read" into an actionable message — a
+    // missing file, a permission problem, and a directory-as-file all read
+    // identically without it.
+    const int err = errno;
+    throw std::runtime_error("jobs: cannot read campaign spec '" + path +
+                             "': " + std::strerror(err));
+  }
   std::string text;
   char buf[65536];
   std::size_t n;

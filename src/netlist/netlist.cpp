@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/hash.hpp"
+
 namespace hlp::netlist {
 
 bool is_logic(GateKind k) {
@@ -248,6 +250,28 @@ int Netlist::depth() const {
     best = std::max(best, d[id]);
   }
   return best;
+}
+
+std::uint64_t structural_hash(const Netlist& nl) {
+  util::Fnv1a64 h;
+  h.u64(nl.gate_count());
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    const Gate& gate = nl.gate(g);
+    h.u32(static_cast<std::uint32_t>(gate.kind));
+    h.u64(gate.fanins.size());
+    for (GateId f : gate.fanins) h.u32(f);
+    h.f64(gate.extra_cap);
+  }
+  h.u64(nl.inputs().size());
+  for (GateId g : nl.inputs()) h.u32(g);
+  h.u64(nl.outputs().size());
+  for (GateId g : nl.outputs()) h.u32(g);
+  h.u64(nl.dffs().size());
+  for (GateId g : nl.dffs()) {
+    h.u32(g);
+    h.u32(nl.dff_init(g) ? 1u : 0u);
+  }
+  return h.digest();
 }
 
 }  // namespace hlp::netlist

@@ -137,6 +137,14 @@ class Netlist {
   mutable bool topo_valid_ = false;
 };
 
+/// Canonical structural fingerprint: FNV-1a (splitmix-finalized) over gate
+/// kinds, fanins, extra loads, and the input/output/DFF interface, in
+/// gate-id order. Diagnostic names are excluded — two netlists differing
+/// only in names hash identically — so the fingerprint identifies
+/// *content*, which is what the serve layer's content-addressed result
+/// cache keys on (DESIGN.md §9).
+std::uint64_t structural_hash(const Netlist& nl);
+
 /// True if the kind has a defined boolean evaluation (everything but Input).
 bool is_logic(GateKind k);
 

@@ -1,0 +1,82 @@
+#include "serve/cache.hpp"
+
+#include "util/hash.hpp"
+
+namespace hlp::serve {
+
+namespace {
+
+std::size_t entry_bytes(std::string_view key, std::string_view value) {
+  return key.size() + value.size() + ResultCache::kEntryOverhead;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity_bytes, std::size_t shards)
+    : n_shards_(shards == 0 ? 1 : shards) {
+  shard_cap_ = capacity_bytes / n_shards_;
+  shards_ = std::make_unique<Shard[]>(n_shards_);
+}
+
+ResultCache::Shard& ResultCache::shard_for(std::string_view key) {
+  util::Fnv1a64 h;
+  h.bytes(key.data(), key.size());
+  return shards_[h.digest() % n_shards_];
+}
+
+bool ResultCache::lookup(std::string_view key, std::string& value_out) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return false;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  value_out = it->second->value;
+  ++s.hits;
+  return true;
+}
+
+void ResultCache::insert(std::string_view key, std::string value) {
+  const std::size_t cost = entry_bytes(key, value);
+  if (cost > shard_cap_) return;  // would thrash the whole shard; refuse
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    s.bytes -= entry_bytes(it->second->key, it->second->value);
+    it->second->value = std::move(value);
+    s.bytes += entry_bytes(it->second->key, it->second->value);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  while (s.bytes + cost > shard_cap_ && !s.lru.empty()) {
+    const Entry& victim = s.lru.back();
+    s.bytes -= entry_bytes(victim.key, victim.value);
+    s.index.erase(std::string_view(victim.key));
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+  s.lru.push_front(Entry{std::string(key), std::move(value)});
+  s.index.emplace(std::string_view(s.lru.front().key), s.lru.begin());
+  s.bytes += cost;
+  ++s.insertions;
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats out;
+  for (std::size_t i = 0; i < n_shards_; ++i) {
+    const Shard& s = shards_[i];
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.insertions += s.insertions;
+    out.evictions += s.evictions;
+    out.entries += s.lru.size();
+    out.bytes += s.bytes;
+  }
+  return out;
+}
+
+}  // namespace hlp::serve

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace hlp::serve {
+
+/// Aggregate cache counters (monotone except entries/bytes, which track the
+/// current working set).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+};
+
+/// Sharded, byte-accounted LRU map from canonical cache keys to serialized
+/// response bodies.
+///
+/// Keys are opaque strings (the service derives them from content
+/// fingerprints — see DESIGN.md §9); the full key string is stored and
+/// compared on lookup, the FNV hash only picks the shard, so hash
+/// collisions cost a probe, never a wrong answer.
+///
+/// The byte budget is split evenly across shards and charged per entry as
+/// key + value + a fixed bookkeeping overhead. Inserting over a full shard
+/// evicts that shard's least-recently-used entries; an entry larger than a
+/// whole shard is refused rather than thrashing the shard empty.
+class ResultCache {
+ public:
+  /// `capacity_bytes` = 0 disables caching (every lookup misses, inserts
+  /// are dropped). `shards` is clamped to at least 1.
+  explicit ResultCache(std::size_t capacity_bytes, std::size_t shards = 8);
+
+  /// On hit, copies the cached value into `value_out`, promotes the entry
+  /// to most-recently-used, and returns true.
+  bool lookup(std::string_view key, std::string& value_out);
+
+  /// Inserts or refreshes `key`. A racing duplicate insert (two
+  /// single-flight generations of the same key) just overwrites with an
+  /// identical value.
+  void insert(std::string_view key, std::string value);
+
+  CacheStats stats() const;
+
+  /// Accounting charge per entry beyond the key/value payload (list + map
+  /// node bookkeeping, amortized). Exposed so tests can size byte caps.
+  static constexpr std::size_t kEntryOverhead = 64;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(std::string_view key);
+
+  std::size_t shard_cap_;
+  std::unique_ptr<Shard[]> shards_;
+  std::size_t n_shards_;
+};
+
+}  // namespace hlp::serve

@@ -1,0 +1,274 @@
+#include "serve/protocol.hpp"
+
+#include "util/json.hpp"
+
+namespace hlp::serve {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::Estimate: return "estimate";
+    case Op::Metrics: return "metrics";
+    case Op::Ping: return "ping";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool parse_op(std::string_view s, Op& out) {
+  for (Op op : {Op::Estimate, Op::Metrics, Op::Ping}) {
+    if (s == to_string(op)) {
+      out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Defaults against which serialize() omits fields (one source of truth
+/// for both directions).
+const Request kDefaults{};
+
+}  // namespace
+
+std::string Request::serialize() const {
+  std::string s = "{\"op\":";
+  util::append_json_string(s, to_string(op));
+  if (!id.empty()) util::append_field(s, "id", id);
+  if (op == Op::Estimate) {
+    util::append_field(s, "kind", jobs::to_string(kind));
+    util::append_field(s, "design", design);
+    if (has_seed) util::append_field(s, "seed", seed);
+    if (epsilon != kDefaults.epsilon)
+      util::append_field(s, "epsilon", epsilon);
+    if (confidence != kDefaults.confidence)
+      util::append_field(s, "confidence", confidence);
+    if (min_pairs != kDefaults.min_pairs)
+      util::append_field(s, "min-pairs",
+                         static_cast<std::uint64_t>(min_pairs));
+    if (max_pairs != kDefaults.max_pairs)
+      util::append_field(s, "max-pairs",
+                         static_cast<std::uint64_t>(max_pairs));
+    if (max_iters != kDefaults.max_iters)
+      util::append_field(s, "max-iters", max_iters);
+    if (deadline_seconds != 0.0)
+      util::append_field(s, "deadline", deadline_seconds);
+    if (node_cap != 0)
+      util::append_field(s, "node-cap", static_cast<std::uint64_t>(node_cap));
+    if (step_quota != 0)
+      util::append_field(s, "step-quota",
+                         static_cast<std::uint64_t>(step_quota));
+    if (memory_cap_bytes != 0)
+      util::append_field(s, "memory-cap",
+                         static_cast<std::uint64_t>(memory_cap_bytes));
+    if (!use_cache) util::append_field(s, "cache", false);
+  }
+  s.push_back('}');
+  return s;
+}
+
+bool Request::parse(std::string_view line, Request& out, std::string& error) {
+  if (line.size() > kMaxLineBytes) {
+    error = "line exceeds " + std::to_string(kMaxLineBytes) + " bytes";
+    return false;
+  }
+  util::JsonCursor c{line.data(), line.data() + line.size()};
+  if (!c.eat('{')) {
+    error = "not a JSON object";
+    return false;
+  }
+  Request r;
+  bool have_op = false;
+  // Which estimate-only keys appeared, so metrics/ping can reject them.
+  bool estimate_keys = false;
+  std::uint32_t seen = 0;
+  auto mark = [&seen](int bit) {
+    if (seen & (1u << bit)) return false;
+    seen |= 1u << bit;
+    return true;
+  };
+  auto fail = [&error](const char* what) {
+    error = what;
+    return false;
+  };
+
+  bool first = true;
+  while (true) {
+    if (c.eat('}')) break;
+    if (!first && !c.eat(',')) return fail("expected ',' or '}'");
+    if (first && c.at_end()) return fail("unterminated object");
+    first = false;
+    std::string key;
+    if (!util::parse_json_string(c, key)) return fail("bad key string");
+    if (!c.eat(':')) return fail("expected ':'");
+
+    if (key == "op") {
+      std::string v;
+      if (!mark(0) || !util::parse_json_string(c, v))
+        return fail("bad op value");
+      if (!parse_op(v, r.op)) return fail("unknown op");
+      have_op = true;
+    } else if (key == "id") {
+      if (!mark(1) || !util::parse_json_string(c, r.id))
+        return fail("bad id value");
+    } else if (key == "kind") {
+      std::string v;
+      if (!mark(2) || !util::parse_json_string(c, v))
+        return fail("bad kind value");
+      if (!jobs::parse_job_kind(v, r.kind) || r.kind == jobs::JobKind::Custom)
+        return fail("unknown kind (symbolic, monte-carlo, markov, schedule)");
+      estimate_keys = true;
+    } else if (key == "design") {
+      if (!mark(3) || !util::parse_json_string(c, r.design))
+        return fail("bad design value");
+      estimate_keys = true;
+    } else if (key == "seed") {
+      if (!mark(4) || !util::number_as(util::number_token(c), r.seed))
+        return fail("bad seed value");
+      r.has_seed = true;
+      estimate_keys = true;
+    } else if (key == "epsilon") {
+      if (!mark(5) || !util::number_as(util::number_token(c), r.epsilon))
+        return fail("bad epsilon value");
+      if (!(r.epsilon > 0.0 && r.epsilon <= 1.0))
+        return fail("epsilon must be in (0, 1]");
+      estimate_keys = true;
+    } else if (key == "confidence") {
+      if (!mark(6) || !util::number_as(util::number_token(c), r.confidence))
+        return fail("bad confidence value");
+      if (!(r.confidence > 0.0 && r.confidence < 1.0))
+        return fail("confidence must be in (0, 1)");
+      estimate_keys = true;
+    } else if (key == "min-pairs") {
+      if (!mark(7) || !util::number_as(util::number_token(c), r.min_pairs))
+        return fail("bad min-pairs value");
+      estimate_keys = true;
+    } else if (key == "max-pairs") {
+      if (!mark(8) || !util::number_as(util::number_token(c), r.max_pairs))
+        return fail("bad max-pairs value");
+      estimate_keys = true;
+    } else if (key == "max-iters") {
+      if (!mark(9) || !util::number_as(util::number_token(c), r.max_iters))
+        return fail("bad max-iters value");
+      if (r.max_iters < 1) return fail("max-iters must be >= 1");
+      estimate_keys = true;
+    } else if (key == "deadline") {
+      if (!mark(10) ||
+          !util::number_as(util::number_token(c), r.deadline_seconds))
+        return fail("bad deadline value");
+      if (!(r.deadline_seconds >= 0.0))
+        return fail("deadline must be non-negative");
+      estimate_keys = true;
+    } else if (key == "node-cap") {
+      if (!mark(11) || !util::number_as(util::number_token(c), r.node_cap))
+        return fail("bad node-cap value");
+      estimate_keys = true;
+    } else if (key == "step-quota") {
+      if (!mark(12) || !util::number_as(util::number_token(c), r.step_quota))
+        return fail("bad step-quota value");
+      estimate_keys = true;
+    } else if (key == "memory-cap") {
+      if (!mark(13) ||
+          !util::number_as(util::number_token(c), r.memory_cap_bytes))
+        return fail("bad memory-cap value");
+      estimate_keys = true;
+    } else if (key == "cache") {
+      if (!mark(14) || !util::parse_json_bool(c, r.use_cache))
+        return fail("bad cache value");
+      estimate_keys = true;
+    } else {
+      return fail("unknown key");  // refuse to half-read a damaged line
+    }
+  }
+  if (!util::only_trailing_ws(c)) return fail("trailing garbage");
+  if (!have_op) return fail("missing op");
+  if (r.op == Op::Estimate) {
+    if (r.design.empty()) return fail("estimate needs a design");
+  } else if (estimate_keys) {
+    return fail("estimate-only key on a non-estimate request");
+  }
+  out = std::move(r);
+  return true;
+}
+
+std::string make_value_response(std::string_view id, double value,
+                                std::string_view detail, bool degraded) {
+  std::string s = "{\"ok\":true";
+  if (!id.empty()) util::append_field(s, "id", id);
+  util::append_field(s, "value", value);
+  util::append_field(s, "detail", detail);
+  util::append_field(s, "degraded", degraded);
+  s.push_back('}');
+  return s;
+}
+
+std::string make_error_response(std::string_view id, std::string_view error,
+                                std::string_view detail) {
+  std::string s = "{\"ok\":false";
+  if (!id.empty()) util::append_field(s, "id", id);
+  util::append_field(s, "error", error);
+  util::append_field(s, "detail", detail);
+  s.push_back('}');
+  return s;
+}
+
+std::string make_ping_response() { return "{\"ok\":true,\"op\":\"ping\"}"; }
+
+bool parse_response(std::string_view line, ResponseView& out) {
+  if (line.size() > kMaxLineBytes) return false;
+  util::JsonCursor c{line.data(), line.data() + line.size()};
+  if (!c.eat('{')) return false;
+  ResponseView r;
+  bool have_ok = false;
+  bool first = true;
+  while (true) {
+    if (c.eat('}')) break;
+    if (!first && !c.eat(',')) return false;
+    if (first && c.at_end()) return false;
+    first = false;
+    std::string key;
+    if (!util::parse_json_string(c, key)) return false;
+    if (!c.eat(':')) return false;
+
+    if (key == "ok") {
+      if (!util::parse_json_bool(c, r.ok)) return false;
+      have_ok = true;
+    } else if (key == "id") {
+      if (!util::parse_json_string(c, r.id)) return false;
+    } else if (key == "error") {
+      if (!util::parse_json_string(c, r.error)) return false;
+    } else if (key == "detail") {
+      if (!util::parse_json_string(c, r.detail)) return false;
+    } else if (key == "value") {
+      if (!util::number_as(util::number_token(c), r.value)) return false;
+      r.has_value = true;
+    } else if (key == "degraded") {
+      if (!util::parse_json_bool(c, r.degraded)) return false;
+    } else if (key == "hits") {
+      if (!util::number_as(util::number_token(c), r.hits)) return false;
+    } else if (key == "misses") {
+      if (!util::number_as(util::number_token(c), r.misses)) return false;
+    } else if (key == "coalesced") {
+      if (!util::number_as(util::number_token(c), r.coalesced)) return false;
+    } else if (key == "shed") {
+      if (!util::number_as(util::number_token(c), r.shed)) return false;
+    } else {
+      // Tolerant: skip an unknown key's value, whatever its shape.
+      if (!c.at_end() && *c.p == '"') {
+        std::string dummy;
+        if (!util::parse_json_string(c, dummy)) return false;
+      } else if (!c.at_end() && (*c.p == 't' || *c.p == 'f')) {
+        bool dummy;
+        if (!util::parse_json_bool(c, dummy)) return false;
+      } else {
+        if (util::number_token(c).empty()) return false;
+      }
+    }
+  }
+  if (!util::only_trailing_ws(c)) return false;
+  if (!have_ok) return false;
+  out = std::move(r);
+  return true;
+}
+
+}  // namespace hlp::serve

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "jobs/kernels.hpp"
+
+namespace hlp::serve {
+
+/// --- Wire protocol ---------------------------------------------------------
+///
+/// Line-delimited JSON over a byte stream: one flat JSON object per line in
+/// each direction, every request answered by exactly one response on the
+/// same connection, in order. The grammar (DESIGN.md §9) deliberately
+/// mirrors the campaign ledger: flat objects, known keys only, duplicate
+/// keys rejected, canonical field order on the writing side, shortest
+/// round-trip doubles — so `serialize(parse(line))` is a fixed point and
+/// the fuzz harness can assert it.
+///
+/// Requests:
+///   {"op":"estimate","kind":"symbolic","design":"adder:16", ...options}
+///   {"op":"metrics"}
+///   {"op":"ping"}
+///
+/// Estimate options (all optional): "id" (opaque client tag, echoed),
+/// "seed", "epsilon", "confidence", "min-pairs", "max-pairs", "max-iters",
+/// "deadline", "node-cap", "step-quota", "memory-cap", "cache" (false
+/// bypasses the result cache for this request).
+///
+/// Responses:
+///   {"ok":true,...,"value":V,"detail":"...","degraded":false}
+///   {"ok":false,...,"error":"<class>","detail":"..."}
+/// with "id" echoed right after "ok" when the request carried one. Error
+/// classes: "malformed", "invalid-input", "budget-exhausted", "internal",
+/// "shed" (admission control refused the request), "draining" (server is
+/// shutting down). Cache hits are deliberately indistinguishable from
+/// fresh computations in the response body (PR 4's determinism guarantee
+/// makes them bit-identical); provenance is visible only in the metrics.
+
+/// Hard ceiling on one wire line (request or response), newline excluded.
+/// A peer that exceeds it is answered with "malformed" and disconnected —
+/// past the limit there is no way to tell where the next record starts.
+inline constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+enum class Op : std::uint8_t { Estimate, Metrics, Ping };
+
+const char* to_string(Op op);
+
+struct Request {
+  Op op = Op::Estimate;
+  std::string id;  ///< opaque client tag, echoed in the response ("" = none)
+
+  // Estimate fields (defaults match jobs::KernelRequest).
+  jobs::JobKind kind = jobs::JobKind::MonteCarlo;
+  std::string design;
+  bool has_seed = false;     ///< false: seed derives from the content key
+  std::uint64_t seed = 0;
+  double epsilon = 0.02;
+  double confidence = 0.95;
+  std::size_t min_pairs = 30;
+  std::size_t max_pairs = 20000;
+  int max_iters = 2000;
+  /// Per-request budget; 0 = unlimited, clamped to the service ceiling.
+  double deadline_seconds = 0.0;
+  std::size_t node_cap = 0;
+  std::size_t step_quota = 0;
+  std::size_t memory_cap_bytes = 0;
+  bool use_cache = true;
+
+  /// Canonical single-line JSON (no trailing newline): fixed field order,
+  /// defaulted fields omitted.
+  std::string serialize() const;
+
+  /// Strict parse of one request line. Accepts known keys in any order;
+  /// rejects unknown keys, duplicates, malformed values, and lines longer
+  /// than kMaxLineBytes. On failure returns false with a diagnostic in
+  /// `error` and leaves `out` untouched.
+  static bool parse(std::string_view line, Request& out, std::string& error);
+
+  bool operator==(const Request&) const = default;
+};
+
+/// Response writers (one line, no trailing newline). `id` is echoed when
+/// non-empty.
+std::string make_value_response(std::string_view id, double value,
+                                std::string_view detail, bool degraded);
+std::string make_error_response(std::string_view id, std::string_view error,
+                                std::string_view detail);
+std::string make_ping_response();
+
+/// Client-side view of a response line: the union of the fields any
+/// response kind can carry (absent numeric fields read 0).
+struct ResponseView {
+  bool ok = false;
+  std::string id;
+  std::string error;
+  std::string detail;
+  bool has_value = false;
+  double value = 0.0;
+  bool degraded = false;
+  /// Metrics-response counters, in wire order (see Metrics::serialize).
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t shed = 0;
+};
+
+/// Tolerant parse for clients: accepts any flat JSON object the server
+/// emits (unknown keys are skipped, not rejected — a newer server may add
+/// metrics fields an older client does not know).
+bool parse_response(std::string_view line, ResponseView& out);
+
+}  // namespace hlp::serve

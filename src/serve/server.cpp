@@ -1,0 +1,217 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace hlp::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* call) {
+  const int err = errno;
+  throw std::runtime_error(std::string("serve: ") + call + " failed: " +
+                           std::strerror(err));
+}
+
+/// Write the whole buffer, tolerating short writes and EINTR. Returns
+/// false when the peer is gone (EPIPE/ECONNRESET).
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_line(int fd, std::string line) {
+  line.push_back('\n');
+  return write_all(fd, line.data(), line.size());
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), service_(opts_.service) {}
+
+Server::~Server() { shutdown(); }
+
+void Server::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: bad bind address '" + opts_.bind_address +
+                             "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("serve: bind failed: ") +
+                             std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("serve: listen failed: ") +
+                             std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::reap_finished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (std::uint64_t id : finished_) {
+      auto it = conns_.find(id);
+      if (it != conns_.end()) {
+        done.push_back(std::move(it->second));
+        conns_.erase(it);
+      }
+    }
+    finished_.clear();
+  }
+  for (auto& t : done) t.join();
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0 && errno != EINTR) break;
+    reap_finished();
+    if (rc <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    if (opts_.max_connections > 0 &&
+        active_conns_.load(std::memory_order_acquire) >=
+            opts_.max_connections) {
+      // Admission control at the connection level: answer once, close.
+      write_line(fd, make_error_response({}, "shed",
+                                         "connection limit reached"));
+      ::close(fd);
+      continue;
+    }
+    active_conns_.fetch_add(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    const std::uint64_t id = next_conn_id_++;
+    conns_.emplace(id,
+                   std::thread([this, fd, id] { connection_loop(fd, id); }));
+  }
+}
+
+void Server::connection_loop(int fd, std::uint64_t conn_id) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string buf;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    // Serve every complete line already buffered, then poll for more.
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = buf.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string_view line(buf.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      start = nl + 1;
+      if (!write_line(fd, service_.handle_line(line))) {
+        open = false;
+        break;
+      }
+    }
+    buf.erase(0, start);
+    if (!open) break;
+
+    if (buf.size() > kMaxLineBytes) {
+      // No newline within the frame limit: there is no way to find the
+      // next record boundary, so answer once and hang up.
+      write_line(fd, make_error_response({}, "malformed",
+                                         "line exceeds frame limit"));
+      break;
+    }
+    if (service_.draining()) break;  // all buffered requests are answered
+
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 50);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;  // timeout: re-check the drain flag
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  active_conns_.fetch_sub(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  finished_.push_back(conn_id);
+}
+
+void Server::shutdown() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  service_.begin_drain();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Join every connection thread: each one finishes the request it is
+  // processing (and any already-buffered lines), flushes responses, and
+  // exits at its next drain-flag check.
+  while (true) {
+    std::unordered_map<std::uint64_t, std::thread> conns;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conns.swap(conns_);
+      finished_.clear();
+    }
+    if (conns.empty()) break;
+    for (auto& [id, t] : conns) {
+      if (t.joinable()) t.join();
+    }
+  }
+}
+
+}  // namespace hlp::serve

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace hlp::serve {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via Server::port()
+  /// Concurrent connections admitted; beyond it the accept loop answers one
+  /// "shed" line and closes. 0 = unlimited.
+  int max_connections = 64;
+  ServiceOptions service;
+};
+
+/// Blocking-socket TCP front end for Service: one OS thread per admitted
+/// connection, line-delimited JSON in both directions, one response per
+/// request in order.
+///
+/// All reads run under short poll() timeouts so every thread observes the
+/// drain flag within ~50 ms. shutdown() is the graceful path: close the
+/// listener (new connections refused), mark the service draining (new
+/// estimates answered "draining"), let requests already being processed
+/// finish and their responses flush, then join every connection thread.
+class Server {
+ public:
+  explicit Server(ServerOptions opts = {});
+  ~Server();
+
+  /// Bind + listen + spawn the accept thread. Throws std::runtime_error
+  /// with the socket-call name and errno text on failure.
+  void start();
+
+  /// Graceful drain as described above. Idempotent.
+  void shutdown();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const { return port_; }
+  Service& service() { return service_; }
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd, std::uint64_t conn_id);
+  void reap_finished();
+
+  ServerOptions opts_;
+  Service service_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::unordered_map<std::uint64_t, std::thread> conns_;
+  std::vector<std::uint64_t> finished_;
+  std::uint64_t next_conn_id_ = 0;
+  std::atomic<int> active_conns_{0};
+};
+
+}  // namespace hlp::serve

@@ -1,0 +1,342 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <charconv>
+#include <stdexcept>
+#include <utility>
+
+#include "fsm/benchmarks.hpp"
+#include "fsm/stg.hpp"
+#include "util/json.hpp"
+
+namespace hlp::serve {
+
+namespace {
+
+void append_hex16(std::string& out, std::uint64_t v) {
+  char buf[16];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = "0123456789abcdef"[v & 0xf];
+    v >>= 4;
+  }
+  out.append(buf, 16);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[20];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(p - buf));
+}
+
+/// Splice the caller's id into an id-less response body. Response writers
+/// put "id" immediately after the "ok" field, so the insertion point is
+/// fixed by whether the body starts {"ok":true or {"ok":false.
+std::string attach_id(const std::string& idless, std::string_view id) {
+  if (id.empty()) return idless;
+  const std::size_t split = idless.compare(0, 10, "{\"ok\":true") == 0 ? 10 : 11;
+  std::string out = idless.substr(0, split);
+  util::append_field(out, "id", id);
+  out.append(idless, split, std::string::npos);
+  return out;
+}
+
+std::size_t clamp_cap(std::size_t requested, std::size_t ceiling) {
+  if (ceiling == 0) return requested;
+  if (requested == 0) return ceiling;
+  return std::min(requested, ceiling);
+}
+
+}  // namespace
+
+void LatencyHistogram::record(std::uint64_t us) {
+  int idx = std::bit_width(us);
+  if (idx >= kBuckets) idx = kBuckets - 1;
+  buckets_[static_cast<std::size_t>(idx)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::percentile(double p) const {
+  std::array<std::uint64_t, kBuckets> snap;
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    snap[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += snap[static_cast<std::size_t>(i)];
+  }
+  if (total == 0) return 0;
+  const double target = p * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += snap[static_cast<std::size_t>(i)];
+    if (static_cast<double>(seen) >= target) {
+      // Upper bound of bucket i: largest value with bit width i.
+      return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+    }
+  }
+  return (std::uint64_t{1} << (kBuckets - 1)) - 1;
+}
+
+std::string serialize_metrics(const ServiceMetrics& m) {
+  std::string s = "{\"ok\":true,\"op\":\"metrics\"";
+  util::append_field(s, "hits", m.hits);
+  util::append_field(s, "misses", m.misses);
+  util::append_field(s, "coalesced", m.coalesced);
+  util::append_field(s, "shed", m.shed);
+  util::append_field(s, "requests", m.requests);
+  util::append_field(s, "estimates", m.estimates);
+  util::append_field(s, "refused", m.refused);
+  util::append_field(s, "errors", m.errors);
+  util::append_field(s, "inflight",
+                     static_cast<std::uint64_t>(m.inflight < 0 ? 0 : m.inflight));
+  util::append_field(s, "draining", m.draining);
+  util::append_field(s, "cache-entries",
+                     static_cast<std::uint64_t>(m.cache.entries));
+  util::append_field(s, "cache-bytes",
+                     static_cast<std::uint64_t>(m.cache.bytes));
+  util::append_field(s, "cache-evictions", m.cache.evictions);
+  util::append_field(s, "p50-us", m.p50_us);
+  util::append_field(s, "p90-us", m.p90_us);
+  util::append_field(s, "p99-us", m.p99_us);
+  s.push_back('}');
+  return s;
+}
+
+Service::Service(ServiceOptions opts)
+    : opts_(std::move(opts)),
+      cache_(opts_.cache_bytes, opts_.cache_shards) {
+  if (!opts_.executor) {
+    opts_.executor = [](const jobs::KernelRequest& rq,
+                        const exec::Budget& budget) {
+      return jobs::run_kernel(rq, budget);
+    };
+  }
+}
+
+std::uint64_t Service::fingerprint(jobs::JobKind kind,
+                                   const std::string& design) {
+  // One memo entry per (design *class*, spec): symbolic and monte-carlo
+  // both build netlists, so they share a fingerprint.
+  const char* cls = kind == jobs::JobKind::Markov    ? "fsm"
+                    : kind == jobs::JobKind::Schedule ? "cdfg"
+                                                      : "net";
+  std::string memo_key = cls;
+  memo_key += '|';
+  memo_key += design;
+  {
+    std::lock_guard<std::mutex> lock(fp_mu_);
+    auto it = fp_memo_.find(memo_key);
+    if (it != fp_memo_.end()) return it->second;
+  }
+  std::uint64_t fp = 0;
+  switch (kind) {
+    case jobs::JobKind::Markov:
+      fp = fsm::structural_hash(fsm::controller_by_name(design));
+      break;
+    case jobs::JobKind::Schedule:
+      fp = cdfg::structural_hash(jobs::make_cdfg(design));
+      break;
+    default:
+      fp = netlist::structural_hash(jobs::make_module(design).netlist);
+      break;
+  }
+  std::lock_guard<std::mutex> lock(fp_mu_);
+  fp_memo_.emplace(std::move(memo_key), fp);
+  return fp;
+}
+
+Service::Keys Service::keys(const Request& rq) {
+  Keys k;
+  // Base key: kind | content fingerprint | budget-irrelevant parameters.
+  std::string base = jobs::to_string(rq.kind);
+  base += '|';
+  append_hex16(base, fingerprint(rq.kind, rq.design));
+  switch (rq.kind) {
+    case jobs::JobKind::MonteCarlo:
+      base += "|eps=";
+      util::append_json_double(base, rq.epsilon);
+      base += "|conf=";
+      util::append_json_double(base, rq.confidence);
+      base += "|pairs=";
+      append_u64(base, rq.min_pairs);
+      base += ':';
+      append_u64(base, rq.max_pairs);
+      break;
+    case jobs::JobKind::Markov:
+      base += "|iters=";
+      append_u64(base, static_cast<std::uint64_t>(rq.max_iters));
+      break;
+    default:
+      break;  // symbolic / schedule results depend only on the design
+  }
+  // Content-addressed default seed: requests that omit the seed agree on
+  // one derived from the content key, so they hit the same cache line.
+  k.seed = rq.has_seed ? rq.seed : jobs::job_seed(base);
+  k.cache_key = base;
+  k.cache_key += "|seed=";
+  append_u64(k.cache_key, k.seed);
+  // Flight key adds the budget fields (and the cache opt-out): only
+  // requests that would do byte-identical work under the same limits may
+  // share one execution.
+  k.flight_key = k.cache_key;
+  k.flight_key += "|b=";
+  util::append_json_double(k.flight_key, rq.deadline_seconds);
+  k.flight_key += ':';
+  append_u64(k.flight_key, rq.node_cap);
+  k.flight_key += ':';
+  append_u64(k.flight_key, rq.step_quota);
+  k.flight_key += ':';
+  append_u64(k.flight_key, rq.memory_cap_bytes);
+  if (!rq.use_cache) k.flight_key += ":nocache";
+  return k;
+}
+
+exec::Budget Service::budget_for(const Request& rq) const {
+  exec::Budget b;
+  b.deadline_seconds = rq.deadline_seconds;
+  if (opts_.ceiling_deadline_seconds > 0.0) {
+    b.deadline_seconds = b.deadline_seconds > 0.0
+                             ? std::min(b.deadline_seconds,
+                                        opts_.ceiling_deadline_seconds)
+                             : opts_.ceiling_deadline_seconds;
+  }
+  b.node_cap = clamp_cap(rq.node_cap, opts_.ceiling_node_cap);
+  b.step_quota = clamp_cap(rq.step_quota, opts_.ceiling_step_quota);
+  b.memory_cap_bytes =
+      clamp_cap(rq.memory_cap_bytes, opts_.ceiling_memory_cap_bytes);
+  return b;
+}
+
+std::string Service::compute_response(const Request& rq, std::uint64_t seed) {
+  jobs::KernelRequest krq;
+  krq.kind = rq.kind;
+  krq.design = rq.design;
+  krq.seed = seed;
+  krq.epsilon = rq.epsilon;
+  krq.confidence = rq.confidence;
+  krq.min_pairs = rq.min_pairs;
+  krq.max_pairs = rq.max_pairs;
+  krq.max_iters = rq.max_iters;
+  try {
+    jobs::AttemptOutcome out = opts_.executor(krq, budget_for(rq));
+    if (!out.ok) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return make_error_response({}, "budget-exhausted", out.detail);
+    }
+    return make_value_response({}, out.out.value, out.out.detail,
+                               out.out.degraded);
+  } catch (const exec::BudgetExceeded& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return make_error_response({}, "budget-exhausted", e.what());
+  } catch (const std::invalid_argument& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return make_error_response({}, "invalid-input", e.what());
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return make_error_response({}, "internal", e.what());
+  }
+}
+
+std::string Service::handle_estimate(const Request& rq) {
+  if (draining()) {
+    refused_.fetch_add(1, std::memory_order_relaxed);
+    return make_error_response(rq.id, "draining",
+                               "service is shutting down");
+  }
+  if (opts_.max_inflight > 0) {
+    int now = inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (now > opts_.max_inflight) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return make_error_response(rq.id, "shed",
+                                 "admission control: too many in-flight "
+                                 "requests");
+    }
+  } else {
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  struct InflightGuard {
+    std::atomic<int>& n;
+    ~InflightGuard() { n.fetch_sub(1, std::memory_order_acq_rel); }
+  } guard{inflight_};
+
+  estimates_.fetch_add(1, std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  Keys k;
+  try {
+    k = keys(rq);
+  } catch (const std::invalid_argument& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return make_error_response(rq.id, "invalid-input", e.what());
+  }
+
+  std::string body;
+  if (rq.use_cache && cache_.lookup(k.cache_key, body)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    SingleFlight::Result fr = flights_.run(k.flight_key, [&] {
+      std::string computed = compute_response(rq, k.seed);
+      // Only complete, non-degraded values are cached: anything a budget
+      // touched depends on the budget, which the cache key excludes.
+      if (rq.use_cache && opts_.cache_bytes > 0) {
+        ResponseView v;
+        if (parse_response(computed, v) && v.ok && v.has_value &&
+            !v.degraded) {
+          cache_.insert(k.cache_key, computed);
+        }
+      }
+      return computed;
+    });
+    body = std::move(fr.value);
+    (fr.leader ? misses_ : coalesced_).fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  latency_.record(static_cast<std::uint64_t>(us < 0 ? 0 : us));
+  return attach_id(body, rq.id);
+}
+
+std::string Service::handle_line(std::string_view line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Request rq;
+  std::string error;
+  if (!Request::parse(line, rq, error)) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return make_error_response({}, "malformed", error);
+  }
+  switch (rq.op) {
+    case Op::Ping:
+      return attach_id(make_ping_response(), rq.id);
+    case Op::Metrics:
+      return attach_id(serialize_metrics(metrics()), rq.id);
+    case Op::Estimate:
+      return handle_estimate(rq);
+  }
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return make_error_response(rq.id, "internal", "unhandled op");
+}
+
+ServiceMetrics Service::metrics() const {
+  ServiceMetrics m;
+  m.requests = requests_.load(std::memory_order_relaxed);
+  m.estimates = estimates_.load(std::memory_order_relaxed);
+  m.hits = hits_.load(std::memory_order_relaxed);
+  m.misses = misses_.load(std::memory_order_relaxed);
+  m.coalesced = coalesced_.load(std::memory_order_relaxed);
+  m.shed = shed_.load(std::memory_order_relaxed);
+  m.refused = refused_.load(std::memory_order_relaxed);
+  m.errors = errors_.load(std::memory_order_relaxed);
+  m.inflight = inflight_.load(std::memory_order_relaxed);
+  m.draining = draining();
+  m.cache = cache_.stats();
+  m.p50_us = latency_.percentile(0.50);
+  m.p90_us = latency_.percentile(0.90);
+  m.p99_us = latency_.percentile(0.99);
+  return m;
+}
+
+}  // namespace hlp::serve

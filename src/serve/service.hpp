@@ -1,0 +1,145 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "exec/exec.hpp"
+#include "jobs/kernels.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/singleflight.hpp"
+
+namespace hlp::serve {
+
+/// Kernel execution hook. Defaults to jobs::run_kernel; tests substitute a
+/// counting or blocking kernel to observe single-flight and shed behavior.
+using Executor = std::function<jobs::AttemptOutcome(const jobs::KernelRequest&,
+                                                    const exec::Budget&)>;
+
+struct ServiceOptions {
+  std::size_t cache_bytes = 8u << 20;  ///< 0 disables the result cache
+  std::size_t cache_shards = 8;
+  /// Maximum estimate requests executing at once across all connections;
+  /// beyond it requests are answered "shed" immediately. 0 = unlimited.
+  int max_inflight = 0;
+  /// Service-wide budget ceilings; a request's own budget fields are
+  /// clamped to these. 0 = no ceiling.
+  double ceiling_deadline_seconds = 0.0;
+  std::size_t ceiling_node_cap = 0;
+  std::size_t ceiling_step_quota = 0;
+  std::size_t ceiling_memory_cap_bytes = 0;
+  Executor executor;  ///< empty = jobs::run_kernel
+};
+
+/// Point-in-time service counters (monotone except inflight/draining and
+/// the cache working-set fields).
+struct ServiceMetrics {
+  std::uint64_t requests = 0;   ///< lines received (any op, incl. malformed)
+  std::uint64_t estimates = 0;  ///< estimate requests admitted past shed/drain
+  std::uint64_t hits = 0;       ///< served from the result cache
+  std::uint64_t misses = 0;     ///< kernel executions led by this request
+  std::uint64_t coalesced = 0;  ///< waited on another request's execution
+  std::uint64_t shed = 0;       ///< refused by admission control
+  std::uint64_t refused = 0;    ///< refused because the service is draining
+  std::uint64_t errors = 0;     ///< malformed / invalid-input / kernel errors
+  int inflight = 0;
+  bool draining = false;
+  CacheStats cache;
+  std::uint64_t p50_us = 0;  ///< estimate-latency percentiles (log buckets)
+  std::uint64_t p90_us = 0;
+  std::uint64_t p99_us = 0;
+};
+
+/// Metrics wire form: {"ok":true,"op":"metrics",...} — counters first
+/// (hits/misses/coalesced/shed are what parse_response surfaces), then
+/// cache and latency detail.
+std::string serialize_metrics(const ServiceMetrics& m);
+
+/// Lock-free log-scale latency histogram: bucket i holds samples whose
+/// microsecond count has bit width i, so percentiles are exact to a factor
+/// of two — enough to tell a cache hit from a kernel run.
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t us);
+  /// p in [0,1]; returns the upper bound of the bucket containing the
+  /// p-quantile (0 when empty).
+  std::uint64_t percentile(double p) const;
+
+ private:
+  static constexpr int kBuckets = 40;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// The estimation service: protocol handling, content-addressed result
+/// cache, single-flight deduplication, admission control, drain.
+///
+/// Thread-safe: handle_line may be called concurrently from any number of
+/// connection threads. Everything transport-level (framing, sockets) lives
+/// in Server; Service maps one request line to one response line.
+///
+/// Cache key (DESIGN.md §9): kind | structural fingerprint of the built
+/// design | seed | budget-*irrelevant* kernel parameters. Budget fields
+/// are deliberately excluded — a completed, non-degraded result is
+/// budget-invariant (a budget trip surfaces as ok=false or degraded=true,
+/// and only ok && !degraded results are cached). The single-flight key
+/// appends the budget fields, so concurrent requests share one execution
+/// only when they would do byte-identical work.
+class Service {
+ public:
+  explicit Service(ServiceOptions opts = {});
+
+  /// One request line (newline excluded) -> one response line (newline
+  /// excluded). Never throws; protocol and kernel failures become
+  /// {"ok":false,...} responses.
+  std::string handle_line(std::string_view line);
+
+  ServiceMetrics metrics() const;
+
+  /// After begin_drain(), estimate requests are answered "draining";
+  /// metrics and ping still work so shutdown can be observed.
+  void begin_drain() { draining_.store(true, std::memory_order_relaxed); }
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Derived request identity, exposed for tests and tooling.
+  struct Keys {
+    std::string cache_key;
+    std::string flight_key;
+    std::uint64_t seed = 0;  ///< effective seed (derived when not given)
+  };
+  /// Throws std::invalid_argument for an unbuildable design.
+  Keys keys(const Request& rq);
+
+ private:
+  std::string handle_estimate(const Request& rq);
+  /// Id-less response body for the request; runs under single-flight.
+  std::string compute_response(const Request& rq, std::uint64_t seed);
+  std::uint64_t fingerprint(jobs::JobKind kind, const std::string& design);
+  exec::Budget budget_for(const Request& rq) const;
+
+  ServiceOptions opts_;
+  ResultCache cache_;
+  SingleFlight flights_;
+  LatencyHistogram latency_;
+
+  std::mutex fp_mu_;
+  std::unordered_map<std::string, std::uint64_t> fp_memo_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<int> inflight_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> estimates_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace hlp::serve

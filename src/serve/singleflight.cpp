@@ -1,0 +1,50 @@
+#include "serve/singleflight.hpp"
+
+#include <utility>
+
+namespace hlp::serve {
+
+SingleFlight::Result SingleFlight::run(const std::string& key,
+                                       const std::function<std::string()>& fn) {
+  std::shared_ptr<Call> call;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = calls_.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<Call>();
+      leader = true;
+    }
+    call = it->second;
+  }
+
+  if (leader) {
+    try {
+      std::string value = fn();
+      std::lock_guard<std::mutex> lock(call->mu);
+      call->value = std::move(value);
+      call->done = true;
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(call->mu);
+      call->error = std::current_exception();
+      call->done = true;
+    }
+    {
+      // Retire the generation before waking waiters: a caller arriving
+      // after this point starts a fresh flight.
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = calls_.find(key);
+      if (it != calls_.end() && it->second == call) calls_.erase(it);
+    }
+    call->cv.notify_all();
+    if (call->error) std::rethrow_exception(call->error);
+    return Result{call->value, true};
+  }
+
+  std::unique_lock<std::mutex> lock(call->mu);
+  call->cv.wait(lock, [&] { return call->done; });
+  if (call->error) std::rethrow_exception(call->error);
+  return Result{call->value, false};
+}
+
+}  // namespace hlp::serve

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace hlp::serve {
+
+/// Duplicate-suppression for concurrent identical work.
+///
+/// `run(key, fn)` executes `fn` at most once per key *generation*: the
+/// first caller (the leader) runs it while any concurrent caller with the
+/// same key blocks and receives the leader's result — including a thrown
+/// exception, which is rethrown in every waiter. Once a generation
+/// completes its key is retired, so a later call starts a fresh flight
+/// (the result cache, not the flight table, provides memoization).
+///
+/// Keys are opaque; the service keys flights on cache key + budget fields,
+/// so only requests that would do byte-identical work coalesce
+/// (DESIGN.md §9).
+class SingleFlight {
+ public:
+  struct Result {
+    std::string value;
+    bool leader = false;  ///< true: this caller executed fn
+  };
+
+  Result run(const std::string& key, const std::function<std::string()>& fn);
+
+ private:
+  struct Call {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::string value;
+    std::exception_ptr error;
+  };
+
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Call>> calls_;
+};
+
+}  // namespace hlp::serve

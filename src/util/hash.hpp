@@ -1,0 +1,47 @@
+#pragma once
+
+// Streaming FNV-1a 64 with a splitmix64 finalizer — the hash behind every
+// canonical structural fingerprint (netlist / CDFG / STG). Deterministic
+// across processes and platforms; not cryptographic. Keyed surfaces that
+// need collision *safety* (the serve result cache) therefore store and
+// compare the full canonical key string and use the hash only to pick a
+// shard / bucket.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace hlp::util {
+
+class Fnv1a64 {
+ public:
+  void bytes(const void* p, std::size_t n) {
+    const unsigned char* c = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= c[i];
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= v & 0xff;
+      h_ *= 0x100000001b3ull;
+      v >>= 8;
+    }
+  }
+  void u32(std::uint32_t v) { u64(v); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  /// Finalized digest (splitmix64 avalanche over the running FNV state).
+  std::uint64_t digest() const {
+    std::uint64_t h = h_ + 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return h ^ (h >> 31);
+  }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace hlp::util

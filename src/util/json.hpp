@@ -1,0 +1,218 @@
+#pragma once
+
+// Canonical flat-JSON primitives shared by every line-oriented JSON surface
+// in the toolkit: the campaign ledger (src/jobs/ledger.cpp), the BENCH_*.json
+// reports (bench/bench_json.hpp), and the estimation-service wire protocol
+// (src/serve/protocol.cpp). One escaping/formatting policy lives here so the
+// round-trip guarantees those surfaces advertise — serialize(parse(line))
+// byte-identical — rest on a single implementation:
+//
+//  - strings escape `"` `\` and all control characters (`\n` `\t` `\r`
+//    named, the rest as `\u00XX`); parsing accepts the full JSON escape set
+//    including `\uXXXX` basic-plane code points (encoded back as UTF-8,
+//    surrogates rejected);
+//  - doubles use shortest-round-trip `to_chars` formatting;
+//  - numbers re-parse through `from_chars` with the *target* type, so an
+//    integer field rejects "1.5" while a double field accepts it.
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace hlp::util {
+
+/// Append `s` as a quoted, escaped JSON string.
+inline void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Append a double in shortest form that round-trips exactly.
+inline void append_json_double(std::string& out, double v) {
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;  // shortest form of a double always fits
+  out.append(buf, end);
+}
+
+/// `,"key":<value>` appenders for building flat objects field by field.
+/// Callers open the object with its first field themselves (no comma).
+inline void append_field(std::string& out, const char* key,
+                         std::string_view v) {
+  out.push_back(',');
+  out += '"';
+  out += key;
+  out += "\":";
+  append_json_string(out, v);
+}
+
+inline void append_field(std::string& out, const char* key, std::uint64_t v) {
+  out.push_back(',');
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+inline void append_field(std::string& out, const char* key, int v) {
+  append_field(out, key, static_cast<std::uint64_t>(v < 0 ? 0 : v));
+}
+
+inline void append_field(std::string& out, const char* key, double v) {
+  out.push_back(',');
+  out += '"';
+  out += key;
+  out += "\":";
+  append_json_double(out, v);
+}
+
+inline void append_field(std::string& out, const char* key, bool v) {
+  out.push_back(',');
+  out += '"';
+  out += key;
+  out += "\":";
+  out += v ? "true" : "false";
+}
+
+/// A C-string value would otherwise overload-resolve to bool (a standard
+/// conversion beats the user-defined one to string_view); route it to the
+/// string appender explicitly.
+inline void append_field(std::string& out, const char* key, const char* v) {
+  append_field(out, key, std::string_view(v));
+}
+
+// --- parsing ---------------------------------------------------------------
+
+/// Byte cursor over one line of flat JSON.
+struct JsonCursor {
+  const char* p;
+  const char* end;
+  bool at_end() const { return p == end; }
+  bool eat(char c) {
+    if (p != end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Parse a quoted JSON string into `out`. Returns false on any
+/// malformation: unterminated, raw control character (a truncated line cut
+/// mid-escape), bad escape, or a surrogate code point (the writer never
+/// emits one — `\u` is only used for control characters).
+inline bool parse_json_string(JsonCursor& c, std::string& out) {
+  if (!c.eat('"')) return false;
+  out.clear();
+  while (!c.at_end()) {
+    unsigned char ch = static_cast<unsigned char>(*c.p++);
+    if (ch == '"') return true;
+    if (ch < 0x20) return false;  // raw control char: malformed/truncated
+    if (ch != '\\') {
+      out.push_back(static_cast<char>(ch));
+      continue;
+    }
+    if (c.at_end()) return false;
+    char esc = *c.p++;
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (c.end - c.p < 4) return false;
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+          char h = *c.p++;
+          v <<= 4;
+          if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        if (v >= 0xD800 && v <= 0xDFFF) return false;
+        if (v < 0x80) {
+          out.push_back(static_cast<char>(v));
+        } else if (v < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (v >> 6)));
+          out.push_back(static_cast<char>(0x80 | (v & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xE0 | (v >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((v >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (v & 0x3F)));
+        }
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // unterminated
+}
+
+/// The raw text of a number token; re-parse it with `number_as` so the
+/// target type decides what is acceptable.
+inline std::string_view number_token(JsonCursor& c) {
+  const char* start = c.p;
+  while (!c.at_end() &&
+         (*c.p == '-' || *c.p == '+' || *c.p == '.' || *c.p == 'e' ||
+          *c.p == 'E' || (*c.p >= '0' && *c.p <= '9')))
+    ++c.p;
+  return {start, static_cast<std::size_t>(c.p - start)};
+}
+
+template <typename T>
+bool number_as(std::string_view tok, T& out) {
+  if (tok.empty()) return false;
+  auto [rest, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  return ec == std::errc{} && rest == tok.data() + tok.size();
+}
+
+/// Parse a literal `true`/`false`.
+inline bool parse_json_bool(JsonCursor& c, bool& out) {
+  if (c.end - c.p >= 4 && std::string_view(c.p, 4) == "true") {
+    out = true;
+    c.p += 4;
+    return true;
+  }
+  if (c.end - c.p >= 5 && std::string_view(c.p, 5) == "false") {
+    out = false;
+    c.p += 5;
+    return true;
+  }
+  return false;
+}
+
+/// True when only trailing whitespace remains — the tail check every
+/// strict line parser performs after the closing brace.
+inline bool only_trailing_ws(JsonCursor& c) {
+  while (!c.at_end()) {
+    if (*c.p != ' ' && *c.p != '\t' && *c.p != '\r') return false;
+    ++c.p;
+  }
+  return true;
+}
+
+}  // namespace hlp::util

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -831,6 +833,80 @@ TEST(RunningStats, MergeCombinesArbitraryHalves) {
   empty2.merge(whole);
   EXPECT_EQ(empty2.count(), whole.count());
   EXPECT_EQ(empty2.mean(), whole.mean());
+}
+
+
+// --- Satellite: spec read errors carry the path and errno text --------------
+
+TEST(Spec, ReadErrorIncludesPathAndErrnoText) {
+  const std::string path = "/nonexistent-dir/campaign.jobs";
+  try {
+    jobs::read_campaign_spec(path);
+    FAIL() << "expected a read failure";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find(std::strerror(ENOENT)), std::string::npos) << what;
+  }
+}
+
+// --- Satellite: runner lifecycle counters -----------------------------------
+
+TEST(Runner, CountersTrackMixedOutcomeCampaign) {
+  Runner runner;
+  jobs::CampaignResult cr = runner.run(
+      {mc_job("good-a", "adder:6"), mc_job("good-b", "parity:8"),
+       mc_job("bad", "nosuch:3")});
+  EXPECT_EQ(cr.completed, 2u);
+  EXPECT_EQ(cr.failed, 1u);
+  const jobs::RunnerCounters c = runner.counters();
+  EXPECT_EQ(c.enqueued, 3u);
+  EXPECT_EQ(c.attempts_started, 3u);
+  EXPECT_EQ(c.completed, 2u);
+  EXPECT_EQ(c.failed, 1u);
+  EXPECT_EQ(c.cancelled, 0u);
+  EXPECT_EQ(c.retried, 0u);
+  EXPECT_EQ(c.degraded, 0u);
+  EXPECT_EQ(c.served_from_ledger, 0u);
+}
+
+TEST(Runner, CountersTrackRetriesAndResumeSkips) {
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  Job flaky;
+  flaky.id = "flaky";
+  flaky.kind = JobKind::Custom;
+  flaky.custom = [calls](const exec::Budget&, bool,
+                         const core::MonteCarloCheckpoint*)
+      -> jobs::AttemptOutcome {
+    if (calls->fetch_add(1) == 0) throw std::runtime_error("transient");
+    jobs::AttemptOutcome ao;
+    ao.ok = true;
+    ao.out.value = 2.5;
+    return ao;
+  };
+  RunnerOptions opts;
+  opts.retry.base_delay_seconds = 0.0;
+  Runner runner(opts);
+  ASSERT_TRUE(runner.run({flaky}).all_completed());
+  const jobs::RunnerCounters c = runner.counters();
+  EXPECT_EQ(c.attempts_started, 2u);
+  EXPECT_EQ(c.retried, 1u);
+  EXPECT_EQ(c.completed, 1u);
+
+  // A resumed campaign that finds every job completed in the ledger counts
+  // them as served_from_ledger and executes nothing.
+  const std::string path = tmp_path("counters_resume.ledger");
+  RunnerOptions lopts;
+  lopts.ledger_path = path;
+  Runner(lopts).run({mc_job("r1", "adder:6"), mc_job("r2", "adder:4")});
+  Runner resumed(lopts);
+  jobs::CampaignResult cr =
+      resumed.resume({mc_job("r1", "adder:6"), mc_job("r2", "adder:4")});
+  EXPECT_TRUE(cr.all_completed());
+  const jobs::RunnerCounters rc = resumed.counters();
+  EXPECT_EQ(rc.served_from_ledger, 2u);
+  EXPECT_EQ(rc.attempts_started, 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

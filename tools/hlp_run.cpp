@@ -132,5 +132,18 @@ int main(int argc, char** argv) {
       "%zu retries; mean value %.6g\n",
       cr.results.size(), cr.completed, cr.degraded, cr.failed, cr.cancelled,
       cr.retries, cr.value_stats.mean());
+
+  // Lifecycle transition counts, straight from the runner's live counters
+  // (the same surface a monitoring thread would poll mid-campaign).
+  const hlp::jobs::RunnerCounters ct = runner.counters();
+  std::printf("\nlifecycle counters\n");
+  std::printf("  %-22s %6zu\n", "enqueued", ct.enqueued);
+  std::printf("  %-22s %6zu\n", "attempts started", ct.attempts_started);
+  std::printf("  %-22s %6zu\n", "retried", ct.retried);
+  std::printf("  %-22s %6zu\n", "degraded", ct.degraded);
+  std::printf("  %-22s %6zu\n", "completed", ct.completed);
+  std::printf("  %-22s %6zu\n", "failed", ct.failed);
+  std::printf("  %-22s %6zu\n", "cancelled", ct.cancelled);
+  std::printf("  %-22s %6zu\n", "served from ledger", ct.served_from_ledger);
   return cr.all_completed() ? 0 : 1;
 }

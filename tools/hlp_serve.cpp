@@ -1,0 +1,337 @@
+// hlp_serve — estimation service daemon and line-protocol client.
+//
+// Daemon:
+//   hlp_serve --listen [ADDR:]PORT [--cache-bytes N] [--shards N]
+//             [--max-inflight N] [--max-connections N]
+//             [--deadline-ceiling SECONDS]
+//
+//   Serves line-delimited JSON estimate requests (DESIGN.md §9) until
+//   SIGTERM/SIGINT, then drains gracefully: new connections are refused,
+//   requests already being processed complete, and a metrics summary is
+//   printed before a clean exit 0. With port 0 the kernel picks a port;
+//   the daemon always prints "listening on ADDR:PORT" once ready.
+//
+// Client:
+//   hlp_serve --connect [ADDR:]PORT [--kind K] [--design SPEC] [--seed N]
+//             [--repeat N] [--unique] [--no-cache] [--metrics] [--ping]
+//
+//   Sends --repeat copies of one estimate request (--unique gives each a
+//   distinct seed so none coalesce or hit), then optional metrics/ping
+//   probes; prints every response line to stdout. Exit 0 iff every
+//   response has ok:true.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <csignal>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --listen [ADDR:]PORT [--cache-bytes N] [--shards N]\n"
+      "          [--max-inflight N] [--max-connections N]\n"
+      "          [--deadline-ceiling SECONDS]\n"
+      "   or: %s --connect [ADDR:]PORT [--kind K] [--design SPEC] [--seed N]\n"
+      "          [--repeat N] [--unique] [--no-cache] [--metrics] [--ping]\n",
+      argv0, argv0);
+  return 2;
+}
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  int port = -1;
+};
+
+bool parse_endpoint(const std::string& s, Endpoint& out) {
+  std::string port_part = s;
+  const std::size_t colon = s.rfind(':');
+  if (colon != std::string::npos) {
+    out.host = s.substr(0, colon);
+    port_part = s.substr(colon + 1);
+  }
+  char* end = nullptr;
+  const long p = std::strtol(port_part.c_str(), &end, 10);
+  if (end == port_part.c_str() || *end != '\0' || p < 0 || p > 65535)
+    return false;
+  out.port = static_cast<int>(p);
+  return true;
+}
+
+int run_daemon(const Endpoint& ep, hlp::serve::ServerOptions opts) {
+  opts.bind_address = ep.host;
+  opts.port = static_cast<std::uint16_t>(ep.port);
+  hlp::serve::Server server(opts);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hlp_serve: %s\n", e.what());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", ep.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.shutdown();
+
+  const hlp::serve::ServiceMetrics m = server.service().metrics();
+  std::printf("served %llu requests (%llu estimates)\n",
+              static_cast<unsigned long long>(m.requests),
+              static_cast<unsigned long long>(m.estimates));
+  std::printf("  %-12s %8llu\n", "hits", static_cast<unsigned long long>(m.hits));
+  std::printf("  %-12s %8llu\n", "misses",
+              static_cast<unsigned long long>(m.misses));
+  std::printf("  %-12s %8llu\n", "coalesced",
+              static_cast<unsigned long long>(m.coalesced));
+  std::printf("  %-12s %8llu\n", "shed", static_cast<unsigned long long>(m.shed));
+  std::printf("  %-12s %8llu\n", "errors",
+              static_cast<unsigned long long>(m.errors));
+  std::printf("  %-12s %8llu us\n", "p50",
+              static_cast<unsigned long long>(m.p50_us));
+  std::printf("  %-12s %8llu us\n", "p99",
+              static_cast<unsigned long long>(m.p99_us));
+  const std::uint64_t lookups = m.hits + m.misses + m.coalesced;
+  if (lookups > 0) {
+    std::printf("  %-12s %8.2f\n", "hit-ratio",
+                static_cast<double>(m.hits) / static_cast<double>(lookups));
+  }
+  return 0;
+}
+
+/// Minimal blocking line client used by client mode and the CI smoke job.
+class Client {
+ public:
+  bool connect(const Endpoint& ep) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1)
+      return false;
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+           0;
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool send_line(std::string line) {
+    line.push_back('\n');
+    const char* p = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+      const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool recv_line(std::string& out) {
+    while (true) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        out = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) return false;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+struct ClientConfig {
+  std::string kind = "symbolic";
+  std::string design;
+  bool has_seed = false;
+  std::uint64_t seed = 0;
+  int repeat = 1;
+  bool unique = false;
+  bool no_cache = false;
+  bool metrics = false;
+  bool ping = false;
+};
+
+int run_client(const Endpoint& ep, const ClientConfig& cfg) {
+  Client client;
+  if (!client.connect(ep)) {
+    std::fprintf(stderr, "hlp_serve: cannot connect to %s:%d\n",
+                 ep.host.c_str(), ep.port);
+    return 1;
+  }
+  bool all_ok = true;
+  auto roundtrip = [&](const std::string& line) {
+    if (!client.send_line(line)) return false;
+    std::string resp;
+    if (!client.recv_line(resp)) return false;
+    std::printf("%s\n", resp.c_str());
+    hlp::serve::ResponseView v;
+    if (!hlp::serve::parse_response(resp, v) || !v.ok) all_ok = false;
+    return true;
+  };
+
+  if (!cfg.design.empty()) {
+    hlp::serve::Request rq;
+    rq.op = hlp::serve::Op::Estimate;
+    if (!hlp::jobs::parse_job_kind(cfg.kind, rq.kind)) {
+      std::fprintf(stderr, "hlp_serve: unknown kind '%s'\n", cfg.kind.c_str());
+      return 2;
+    }
+    rq.design = cfg.design;
+    rq.has_seed = cfg.has_seed;
+    rq.seed = cfg.seed;
+    rq.use_cache = !cfg.no_cache;
+    for (int i = 0; i < cfg.repeat; ++i) {
+      if (cfg.unique) {
+        rq.has_seed = true;
+        rq.seed = cfg.seed + static_cast<std::uint64_t>(i) + 1;
+      }
+      if (!roundtrip(rq.serialize())) {
+        std::fprintf(stderr, "hlp_serve: connection lost\n");
+        return 1;
+      }
+    }
+  }
+  if (cfg.metrics && !roundtrip("{\"op\":\"metrics\"}")) {
+    std::fprintf(stderr, "hlp_serve: connection lost\n");
+    return 1;
+  }
+  if (cfg.ping && !roundtrip("{\"op\":\"ping\"}")) {
+    std::fprintf(stderr, "hlp_serve: connection lost\n");
+    return 1;
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen_at;
+  std::string connect_to;
+  hlp::serve::ServerOptions sopts;
+  ClientConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hlp_serve: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--listen") {
+      const char* v = next_value("--listen");
+      if (!v) return 2;
+      listen_at = v;
+    } else if (arg == "--connect") {
+      const char* v = next_value("--connect");
+      if (!v) return 2;
+      connect_to = v;
+    } else if (arg == "--cache-bytes") {
+      const char* v = next_value("--cache-bytes");
+      if (!v) return 2;
+      sopts.service.cache_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--shards") {
+      const char* v = next_value("--shards");
+      if (!v) return 2;
+      sopts.service.cache_shards = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-inflight") {
+      const char* v = next_value("--max-inflight");
+      if (!v) return 2;
+      sopts.service.max_inflight = std::atoi(v);
+    } else if (arg == "--max-connections") {
+      const char* v = next_value("--max-connections");
+      if (!v) return 2;
+      sopts.max_connections = std::atoi(v);
+    } else if (arg == "--deadline-ceiling") {
+      const char* v = next_value("--deadline-ceiling");
+      if (!v) return 2;
+      sopts.service.ceiling_deadline_seconds = std::atof(v);
+    } else if (arg == "--kind") {
+      const char* v = next_value("--kind");
+      if (!v) return 2;
+      cfg.kind = v;
+    } else if (arg == "--design") {
+      const char* v = next_value("--design");
+      if (!v) return 2;
+      cfg.design = v;
+    } else if (arg == "--seed") {
+      const char* v = next_value("--seed");
+      if (!v) return 2;
+      cfg.has_seed = true;
+      cfg.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--repeat") {
+      const char* v = next_value("--repeat");
+      if (!v) return 2;
+      cfg.repeat = std::atoi(v);
+      if (cfg.repeat < 1) {
+        std::fprintf(stderr, "hlp_serve: --repeat must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--unique") {
+      cfg.unique = true;
+    } else if (arg == "--no-cache") {
+      cfg.no_cache = true;
+    } else if (arg == "--metrics") {
+      cfg.metrics = true;
+    } else if (arg == "--ping") {
+      cfg.ping = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (listen_at.empty() == connect_to.empty()) return usage(argv[0]);
+
+  Endpoint ep;
+  if (!parse_endpoint(listen_at.empty() ? connect_to : listen_at, ep)) {
+    std::fprintf(stderr, "hlp_serve: bad endpoint '%s'\n",
+                 (listen_at.empty() ? connect_to : listen_at).c_str());
+    return 2;
+  }
+  if (!listen_at.empty()) return run_daemon(ep, sopts);
+  return run_client(ep, cfg);
+}
