@@ -121,8 +121,18 @@ void write_report(const std::string& path) {
   double journaled = best_seconds(1, ledger, reps);
   double overhead_pct = 100.0 * (journaled - plain) / plain;
   std::printf("ledger overhead (serial): %.3fs -> %.3fs  (+%.1f%%, "
-              "fsync per record)\n",
+              "group-committed fsync)\n",
               plain, journaled, overhead_pct);
+
+  // Concurrent variant: with several workers completing records at once
+  // the group commit should fold their fsyncs together, so the journaled
+  // penalty must not grow with the worker count.
+  const int cworkers = 4;
+  double cplain = best_seconds(cworkers, "", reps);
+  double cjournaled = best_seconds(cworkers, ledger, reps);
+  double coverhead_pct = 100.0 * (cjournaled - cplain) / cplain;
+  std::printf("ledger overhead (workers %d): %.3fs -> %.3fs  (+%.1f%%)\n",
+              cworkers, cplain, cjournaled, coverhead_pct);
 
   // Resume latency: the ledger now holds a finished campaign; resuming it
   // recomputes nothing and just serves recorded values back.
@@ -144,6 +154,13 @@ void write_report(const std::string& path) {
            {"plain_seconds", plain},
            {"journaled_seconds", journaled},
            {"overhead_percent", overhead_pct},
+       }},
+      {"ledger_overhead_concurrent",
+       benchjson::Object{
+           {"workers", cworkers},
+           {"plain_seconds", cplain},
+           {"journaled_seconds", cjournaled},
+           {"overhead_percent", coverhead_pct},
        }},
       {"resume",
        benchjson::Object{

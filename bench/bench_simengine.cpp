@@ -1,10 +1,12 @@
-// E-SIM — Scalar vs packed (64-lane bit-parallel) simulation throughput.
+// E-SIM — Scalar vs packed vs block-wide simulation throughput.
 //
 // The packed backend evaluates 64 input patterns per gate operation with
-// bitwise ops on uint64_t lanes (PPSFP-style), which is the classic software
-// answer to the gate-level simulation bottleneck under every estimator in
-// this repo. Target: >= 10x gate-evals/sec over the scalar engine on the
-// array multiplier and random-DAG sweeps.
+// bitwise ops on uint64_t lanes (PPSFP-style); the block engine widens that
+// to N×64 lanes streamed through runtime-dispatched SIMD kernels (portable /
+// AVX2 / AVX-512). Targets: >= 10x gate-evals/sec scalar -> packed, and
+// >= 5x single-word packed -> block-wide on the random-DAG sweep, all
+// bit-identical. A sharded Monte Carlo section reports pairs/sec per
+// lane-shard thread count (bit-identical across counts by construction).
 //
 // Results go to BENCH_simengine.json (cwd, or argv[1] after the
 // google-benchmark flags) so future PRs can track the trajectory.
@@ -13,11 +15,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bench_json.hpp"
+#include "core/sampling_power.hpp"
 #include "netlist/generators.hpp"
+#include "sim/block_simulator.hpp"
 #include "sim/simulator.hpp"
 #include "sim/streams.hpp"
 #include "stats/rng.hpp"
@@ -49,9 +54,11 @@ std::vector<Workload>& workloads() {
   return w;
 }
 
-double run_activities(const Workload& w, sim::EngineKind engine) {
-  auto acts = sim::simulate_activities(w.mod.netlist, w.in, nullptr,
-                                       sim::SimOptions{engine});
+double run_activities(const Workload& w, sim::EngineKind engine,
+                      int block_words = 0) {
+  sim::SimOptions opts{engine};
+  opts.block_words = block_words;
+  auto acts = sim::simulate_activities(w.mod.netlist, w.in, nullptr, opts);
   double sum = 0.0;
   for (double a : acts) sum += a;
   return sum;
@@ -71,15 +78,52 @@ void BM_Sweep(benchmark::State& state, const Workload& w,
 /// Wall-clock gate-evals/sec for one engine, repeated and best-of to damp
 /// scheduler noise.
 double measure_evals_per_sec(const Workload& w, sim::EngineKind engine,
-                             int reps) {
+                             int reps, int block_words = 0) {
   using clock = std::chrono::steady_clock;
   const double gate_evals = static_cast<double>(
       w.mod.netlist.logic_gate_count() * w.in.words.size());
   double best = 0.0;
   for (int r = 0; r < reps; ++r) {
     auto t0 = clock::now();
-    benchmark::DoNotOptimize(run_activities(w, engine));
+    benchmark::DoNotOptimize(run_activities(w, engine, block_words));
     auto t1 = clock::now();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (secs > 0.0) best = std::max(best, gate_evals / secs);
+  }
+  return best;
+}
+
+/// Kernel a width actually selects under the current CPU/env caps.
+const char* width_dispatch(const netlist::Netlist& nl, int words) {
+  sim::BlockSimulator bs(nl, words);
+  return sim::to_string(bs.dispatch());
+}
+
+/// Pure gate-eval kernel throughput at a given width: repeatedly propagate
+/// fresh input blocks through the combinational logic, no activity
+/// counting or output transposition. This isolates what the SIMD kernels
+/// buy; the sweep rows above include the (width-invariant) per-cycle
+/// bookkeeping of a full activity run.
+double measure_kernel_evals_per_sec(const Workload& w, int words, int reps) {
+  using clock = std::chrono::steady_clock;
+  sim::BlockSimulator bs(w.mod.netlist, words);
+  const std::size_t lanes = static_cast<std::size_t>(bs.lane_count());
+  const std::size_t blocks = (w.in.words.size() + lanes - 1) / lanes;
+  const double gate_evals =
+      static_cast<double>(w.mod.netlist.logic_gate_count()) *
+      static_cast<double>(blocks) * static_cast<double>(lanes);
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = clock::now();
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t base = b * lanes;
+      const std::size_t n = std::min(lanes, w.in.words.size() - base);
+      bs.set_inputs_from_cycles(
+          std::span(w.in.words.data() + base, n));
+      bs.eval();
+    }
+    auto t1 = clock::now();
+    benchmark::DoNotOptimize(bs.lane_words(0));
     double secs = std::chrono::duration<double>(t1 - t0).count();
     if (secs > 0.0) best = std::max(best, gate_evals / secs);
   }
@@ -88,31 +132,115 @@ double measure_evals_per_sec(const Workload& w, sim::EngineKind engine,
 
 void write_report(const std::string& path) {
   benchjson::Array circuits;
-  std::printf("\nE-SIM — scalar vs packed sweep throughput "
+  std::printf("\nE-SIM — scalar vs packed vs block sweep throughput "
               "(gate-evals/sec)\n\n");
-  std::printf("%14s %8s %8s %14s %14s %9s\n", "circuit", "gates", "cycles",
-              "scalar", "packed", "speedup");
+  std::printf("%14s %8s %8s %14s %14s %14s %9s %9s\n", "circuit", "gates",
+              "cycles", "scalar", "packed_w1", "block", "pk/sc",
+              "blk/pk");
+  const int block_w = sim::default_block_words();
   for (const auto& w : workloads()) {
     double scalar = measure_evals_per_sec(w, sim::EngineKind::Scalar, 5);
-    double packed = measure_evals_per_sec(w, sim::EngineKind::Packed, 5);
-    double speedup = scalar > 0.0 ? packed / scalar : 0.0;
-    std::printf("%14s %8zu %8zu %14.3e %14.3e %8.1fx\n", w.name.c_str(),
-                w.mod.netlist.logic_gate_count(), w.in.words.size(), scalar,
-                packed, speedup);
+    // W=1 is the historical single-word packed engine (portable kernel by
+    // construction: one word is not SIMD-divisible).
+    double packed1 =
+        measure_evals_per_sec(w, sim::EngineKind::Packed, 5, /*words=*/1);
+    double block =
+        measure_evals_per_sec(w, sim::EngineKind::Packed, 5, block_w);
+    double speedup = scalar > 0.0 ? packed1 / scalar : 0.0;
+    double widening = packed1 > 0.0 ? block / packed1 : 0.0;
+    std::printf("%14s %8zu %8zu %14.3e %14.3e %14.3e %8.1fx %8.1fx\n",
+                w.name.c_str(), w.mod.netlist.logic_gate_count(),
+                w.in.words.size(), scalar, packed1, block, speedup, widening);
     circuits.push_back(benchjson::Object{
         {"name", w.name},
         {"gates", w.mod.netlist.logic_gate_count()},
         {"cycles", w.in.words.size()},
         {"scalar_gate_evals_per_sec", scalar},
-        {"packed_gate_evals_per_sec", packed},
+        {"packed_gate_evals_per_sec", packed1},
+        {"block_gate_evals_per_sec", block},
+        {"block_words", block_w},
         {"speedup", speedup},
+        {"block_over_packed", widening},
     });
   }
+
+  // Width sweep on the random DAG: same bits at every width, different
+  // kernels (the dispatch column records which one each width is eligible
+  // for on this host).
+  benchjson::Array widths;
+  const Workload& dag = workloads()[1];
+  std::printf("\nblock width sweep (%s, dispatch cap: %s)\n",
+              dag.name.c_str(), sim::to_string(sim::active_dispatch()));
+  double kernel_w1 = 0.0, kernel_best = 0.0;
+  for (int wds : {1, 2, 4, 8, 16, 32}) {
+    double evals =
+        measure_evals_per_sec(dag, sim::EngineKind::Packed, 5, wds);
+    double kernel = measure_kernel_evals_per_sec(dag, wds, 5);
+    const char* disp = width_dispatch(dag.mod.netlist, wds);
+    if (wds == 1) kernel_w1 = kernel;
+    kernel_best = std::max(kernel_best, kernel);
+    std::printf("  W=%-3d (%8s): %14.3e activity  %14.3e kernel-only "
+                "gate-evals/sec\n",
+                wds, disp, evals, kernel);
+    widths.push_back(benchjson::Object{
+        {"words", wds},
+        {"dispatch", disp},
+        {"gate_evals_per_sec", evals},
+        {"kernel_gate_evals_per_sec", kernel},
+    });
+  }
+  const double kernel_widening = kernel_w1 > 0.0 ? kernel_best / kernel_w1
+                                                 : 0.0;
+  std::printf("  kernel-only widening (best width / W=1): %.1fx\n",
+              kernel_widening);
+
+  // Sharded Monte Carlo: pairs/sec per lane-shard thread count. Results
+  // are bit-identical across rows (chunked claim order + per-chunk seeds);
+  // only throughput may differ, and on a single-core host it will not.
+  benchjson::Array shards;
+  {
+    auto mod = netlist::multiplier_module(8);
+    core::ShardedMcOptions so;
+    so.total_pairs = 200000;
+    so.chunk_pairs = 4096;
+    so.epsilon = 0.0;  // exhaustive: fixed work per row
+    std::printf("\nsharded Monte Carlo (%s, %zu pairs)\n", "multiplier8",
+                so.total_pairs);
+    using clock = std::chrono::steady_clock;
+    for (int threads : {1, 2, 4, 8}) {
+      so.threads = threads;
+      double best = 0.0;
+      double mean = 0.0;
+      for (int r = 0; r < 3; ++r) {
+        auto t0 = clock::now();
+        auto out = core::monte_carlo_power_sharded(mod, 7, so);
+        auto t1 = clock::now();
+        double secs = std::chrono::duration<double>(t1 - t0).count();
+        if (secs > 0.0)
+          best = std::max(best,
+                          static_cast<double>(out->pairs) / secs);
+        mean = out->mean_energy;
+      }
+      std::printf("  threads %d: %12.3e pairs/sec (mean %.6g)\n", threads,
+                  best, mean);
+      shards.push_back(benchjson::Object{
+          {"threads", threads},
+          {"pairs_per_sec", best},
+          {"mean_energy", mean},
+      });
+    }
+  }
+
   benchjson::Object root{
       {"bench", "simengine"},
       {"metric", "gate_evals_per_sec"},
-      {"engines", benchjson::Array{"scalar", "packed"}},
+      {"engines", benchjson::Array{"scalar", "packed", "block"}},
+      {"dispatch", sim::to_string(sim::active_dispatch())},
+      {"default_block_words", block_w},
       {"circuits", std::move(circuits)},
+      {"block_widths", std::move(widths)},
+      {"kernel_widening", kernel_widening},
+      {"sharded_monte_carlo", std::move(shards)},
   };
   if (benchjson::save(path, root))
     std::printf("\nwrote %s\n", path.c_str());

@@ -5,7 +5,7 @@
 #include <cmath>
 
 #include "lint/lint.hpp"
-#include "sim/packed_simulator.hpp"
+#include "sim/block_simulator.hpp"
 #include "sim/simulator.hpp"
 #include "stats/descriptive.hpp"
 
@@ -42,46 +42,57 @@ void push_transition(ModuleCharacterization& chr,
   chr.prev_word.push_back(prev);
 }
 
-/// Packed characterization sweep (combinational modules): lane k of a block
-/// carries cycle base+k; per-gate toggle words are scattered into the 64
-/// per-transition energies in ascending gate order, which reproduces the
-/// scalar per-cycle load summation bit-exactly.
+/// Packed characterization sweep (combinational modules): lane w·64+k of a
+/// block carries cycle base+w·64+k; per-gate toggle words are scattered
+/// into the per-transition energies in ascending gate order, which
+/// reproduces the scalar per-cycle load summation bit-exactly at every
+/// block width.
 ModuleCharacterization characterize_packed(
     ModuleCharacterization chr, const netlist::Netlist& nl,
-    const stats::VectorStream& input, const netlist::CapacitanceModel& cap) {
+    const stats::VectorStream& input, const netlist::CapacitanceModel& cap,
+    int block_words) {
   auto loads = nl.loads(cap);
-  sim::PackedSimulator ps(nl);
+  sim::BlockSimulator bs(nl, block_words);
+  const auto lanes = static_cast<std::size_t>(bs.lane_count());
   const std::size_t n = nl.gate_count();
   const std::size_t total = input.words.size();
   std::vector<std::uint8_t> last(n, 0);
   std::uint64_t prev_out = 0;
-  double e_buf[64];
-  std::uint64_t ob[64];
+  std::vector<double> e_buf(lanes);
+  std::vector<std::uint64_t> ob(lanes);
 
-  for (std::size_t base = 0; base < total; base += 64) {
-    const int count =
-        static_cast<int>(std::min<std::size_t>(64, total - base));
-    ps.set_inputs_from_cycles(
-        std::span(input.words).subspan(base, static_cast<std::size_t>(count)));
-    ps.eval();
-    const std::uint64_t mask =
-        count == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << count) - 1);
-    std::fill(e_buf, e_buf + count, 0.0);
+  for (std::size_t base = 0; base < total; base += lanes) {
+    const std::size_t count = std::min(lanes, total - base);
+    bs.set_inputs_from_cycles(std::span(input.words).subspan(base, count));
+    bs.eval();
+    const std::size_t sub_words = (count + 63) / 64;
+    std::fill(e_buf.begin(), e_buf.begin() + static_cast<std::ptrdiff_t>(count),
+              0.0);
     for (netlist::GateId g = 0; g < n; ++g) {
-      const std::uint64_t x = ps.lanes(g) & mask;
-      // Bit k of d = toggle on the transition into cycle base+k.
-      std::uint64_t d =
-          (x ^ ((x << 1) | static_cast<std::uint64_t>(last[g]))) & mask;
-      if (base == 0) d &= ~std::uint64_t{1};  // no transition into cycle 0
-      while (d) {
-        e_buf[std::countr_zero(d)] += loads[g];
-        d &= d - 1;
+      const auto lw = bs.lane_words(g);
+      std::uint8_t lg = last[g];
+      for (std::size_t w = 0; w < sub_words; ++w) {
+        const std::size_t c = std::min<std::size_t>(64, count - w * 64);
+        const std::uint64_t mask =
+            c == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << c) - 1);
+        const std::uint64_t x = lw[w] & mask;
+        // Bit k of d = toggle on the transition into cycle base+w*64+k.
+        std::uint64_t d =
+            (x ^ ((x << 1) | static_cast<std::uint64_t>(lg))) & mask;
+        if (base == 0 && w == 0)
+          d &= ~std::uint64_t{1};  // no transition into cycle 0
+        while (d) {
+          e_buf[w * 64 + static_cast<std::size_t>(std::countr_zero(d))] +=
+              loads[g];
+          d &= d - 1;
+        }
+        lg = static_cast<std::uint8_t>((x >> (c - 1)) & 1u);
       }
-      last[g] = static_cast<std::uint8_t>((x >> (count - 1)) & 1u);
+      last[g] = lg;
     }
-    ps.outputs_to_cycles(ob);
-    for (int k = 0; k < count; ++k) {
-      const std::size_t t = base + static_cast<std::size_t>(k);
+    bs.outputs_to_cycles(std::span(ob).first(count));
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t t = base + k;
       if (t > 0)
         push_transition(chr, input, t, e_buf[k], ob[k],
                         k > 0 ? ob[k - 1] : prev_out);
@@ -105,7 +116,8 @@ ModuleCharacterization characterize(const netlist::Module& mod,
 
   const auto& nl = mod.netlist;
   if (sim::resolve_engine(nl, opts.engine) == sim::EngineKind::Packed)
-    return characterize_packed(std::move(chr), nl, input, cap);
+    return characterize_packed(std::move(chr), nl, input, cap,
+                               opts.block_words);
   auto loads = nl.loads(cap);
   sim::Simulator s(nl);
   std::vector<std::uint8_t> prev_vals(nl.gate_count(), 0);

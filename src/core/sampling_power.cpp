@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <bit>
 #include <charconv>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "exec/fi.hpp"
 #include "lint/lint.hpp"
-#include "sim/packed_simulator.hpp"
+#include "sim/block_simulator.hpp"
 #include "sim/simulator.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/sampling.hpp"
@@ -159,26 +163,69 @@ void finish_monte_carlo(MonteCarloResult& res, const stats::RunningStats& rs,
   res.checkpoint = {rs.count(), rs.mean(), rs.m2()};
 }
 
-/// 64 independent vector pairs per step: pair k occupies bit lane k, drawn
-/// in the same interleaved order (v1_k, v2_k) the scalar loop uses. Lane
-/// energies are drained into the running stats in draw order, so the
-/// sequential stop rule fires at exactly the same pair as the scalar path,
-/// and a step-quota/cancellation budget trip also lands on the same pair.
+/// Simulate one block of `count` vector pairs (pair k in bit lane k of the
+/// block) and scatter per-pair switched-cap energies into e_lane[0..count).
+/// Fanout buffers are caller-owned so campaign loops don't reallocate.
+/// Ascending gate order per lane keeps the floating-point summation order
+/// identical to the scalar per-pair loop, at every width and dispatch.
+void simulate_pair_block(sim::BlockSimulator& bs,
+                         std::span<const double> loads,
+                         std::span<const std::uint64_t> w1,
+                         std::span<const std::uint64_t> w2,
+                         std::vector<std::uint64_t>& prev, double* e_lane) {
+  const std::size_t n = bs.netlist().gate_count();
+  const auto W = static_cast<std::size_t>(bs.words());
+  const std::size_t count = w1.size();
+  bs.set_inputs_from_cycles(w1);
+  bs.eval();
+  for (netlist::GateId g = 0; g < n; ++g) {
+    const auto lw = bs.lane_words(g);
+    for (std::size_t w = 0; w < W; ++w) prev[std::size_t{g} * W + w] = lw[w];
+  }
+  bs.set_inputs_from_cycles(w2);
+  bs.eval();
+  std::fill(e_lane, e_lane + count, 0.0);
+  const std::size_t sub_words = (count + 63) / 64;
+  for (netlist::GateId g = 0; g < n; ++g) {
+    const auto lw = bs.lane_words(g);
+    for (std::size_t w = 0; w < sub_words; ++w) {
+      const std::size_t c = std::min<std::size_t>(64, count - w * 64);
+      const std::uint64_t mask =
+          c == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << c) - 1);
+      std::uint64_t d = (prev[std::size_t{g} * W + w] ^ lw[w]) & mask;
+      while (d) {
+        e_lane[w * 64 + static_cast<std::size_t>(std::countr_zero(d))] +=
+            loads[g];
+        d &= d - 1;
+      }
+    }
+  }
+}
+
+/// 64·W independent vector pairs per block step: pair k occupies bit lane
+/// k, drawn in the same interleaved order (v1_k, v2_k) the scalar loop
+/// uses. Lane energies are drained into the running stats in draw order, so
+/// the sequential stop rule fires at exactly the same pair as the scalar
+/// path. The meter is charged the whole block's pair count in one probe
+/// *before* the block is drawn — budget accounting is O(1) per block, and a
+/// quota-stopped run leaves the generator exactly where the scalar engine
+/// would (the batch never exceeds the remaining quota).
 MonteCarloResult monte_carlo_power_packed(
     const netlist::Netlist& nl,
     const std::function<std::uint64_t()>& vector_gen, double epsilon,
     double confidence, std::size_t min_pairs, std::size_t max_pairs,
     const netlist::CapacitanceModel& cap, exec::Meter* meter,
-    const MonteCarloCheckpoint& resume) {
+    const MonteCarloCheckpoint& resume, int block_words) {
   MonteCarloResult res;
   auto loads = nl.loads(cap);
   fi::alloc_checkpoint();
-  sim::PackedSimulator ps(nl);
+  sim::BlockSimulator bs(nl, block_words);
   const std::size_t n = nl.gate_count();
+  const auto lanes = static_cast<std::size_t>(bs.lane_count());
   fi::alloc_checkpoint();
-  std::vector<std::uint64_t> prev(n, 0);
-  std::uint64_t w1[64], w2[64];
-  double e_lane[64];
+  std::vector<std::uint64_t> prev(n * static_cast<std::size_t>(bs.words()), 0);
+  std::vector<std::uint64_t> w1(lanes), w2(lanes);
+  std::vector<double> e_lane(lanes);
   stats::RunningStats rs =
       stats::RunningStats::restore(resume.count, resume.mean, resume.m2);
 
@@ -187,43 +234,26 @@ MonteCarloResult monte_carlo_power_packed(
     // Never draw past a step quota: a quota-stopped run must leave the
     // shared generator at the same position as the scalar engine, or a
     // resumed run would diverge from an uninterrupted one.
-    std::size_t batch = std::min<std::size_t>(64, max_pairs - rs.count());
+    std::size_t batch = std::min(lanes, max_pairs - rs.count());
     if (meter) batch = std::min(batch, meter->steps_remaining());
     if (batch == 0) {  // quota exactly spent: the next pair's probe trips
       budget_stop = meter->over_budget(1);
       break;
     }
-    const int count = static_cast<int>(batch);
-    for (int k = 0; k < count; ++k) {
+    // One probe pays for the whole block up front; a deadline/cancel trip
+    // here costs nothing (the generator has not been advanced for this
+    // block) and a quota trip is impossible (batch <= steps_remaining).
+    if (meter && meter->over_budget(batch)) {
+      budget_stop = true;
+      break;
+    }
+    for (std::size_t k = 0; k < batch; ++k) {
       w1[k] = vector_gen();
       w2[k] = vector_gen();
     }
-    ps.set_inputs_from_cycles(std::span(w1, static_cast<std::size_t>(count)));
-    ps.eval();
-    for (netlist::GateId g = 0; g < n; ++g) prev[g] = ps.lanes(g);
-    ps.set_inputs_from_cycles(std::span(w2, static_cast<std::size_t>(count)));
-    ps.eval();
-    const std::uint64_t mask =
-        count == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << count) - 1);
-    std::fill(e_lane, e_lane + count, 0.0);
-    // Ascending gate order per lane keeps the floating-point summation
-    // order identical to the scalar per-pair loop.
-    for (netlist::GateId g = 0; g < n; ++g) {
-      std::uint64_t d = (prev[g] ^ ps.lanes(g)) & mask;
-      while (d) {
-        e_lane[std::countr_zero(d)] += loads[g];
-        d &= d - 1;
-      }
-    }
-    for (int k = 0; k < count; ++k) {
-      // One step per pair; a tripped pair is not counted, so the stats only
-      // ever contain fully-paid-for samples (the generator may have been
-      // drawn up to one batch ahead — see the header contract).
-      if (meter && meter->over_budget(1)) {
-        stopped = true;
-        budget_stop = true;
-        break;
-      }
+    simulate_pair_block(bs, loads, std::span(w1).first(batch),
+                        std::span(w2).first(batch), prev, e_lane.data());
+    for (std::size_t k = 0; k < batch; ++k) {
       rs.add(e_lane[k]);
       if (rs.count() >= min_pairs) {
         double hw = stats::ci_halfwidth(rs, confidence);
@@ -295,7 +325,8 @@ MonteCarloResult monte_carlo_power_impl(
   const auto& nl = mod.netlist;
   if (sim::resolve_engine(nl, opts.engine) == sim::EngineKind::Packed)
     return monte_carlo_power_packed(nl, vector_gen, epsilon, confidence,
-                                    min_pairs, max_pairs, cap, meter, resume);
+                                    min_pairs, max_pairs, cap, meter, resume,
+                                    opts.block_words);
   return monte_carlo_power_scalar(nl, vector_gen, epsilon, confidence,
                                   min_pairs, max_pairs, cap, meter, resume);
 }
@@ -327,6 +358,146 @@ exec::Outcome<MonteCarloResult> monte_carlo_power_budgeted(
   if (out.value.stop_reason == MonteCarloResult::StopReason::BudgetExhausted)
     out.diag.note = "partial estimate over " +
                     std::to_string(out.value.pairs) +
+                    " pairs; resume via result.checkpoint";
+  return out;
+}
+
+exec::Outcome<MonteCarloResult> monte_carlo_power_sharded(
+    const netlist::Module& mod, std::uint64_t seed,
+    const ShardedMcOptions& opts, const exec::Budget& budget,
+    const netlist::CapacitanceModel& cap, const MonteCarloCheckpoint& resume) {
+  lint::enforce_module(mod, opts.sim.lint, "monte_carlo_power_sharded");
+  const auto& nl = mod.netlist;
+  const sim::EngineKind engine = sim::resolve_engine(nl, opts.sim.engine);
+  const int n_in = mod.total_input_bits();
+  const std::size_t chunk = opts.chunk_pairs ? opts.chunk_pairs : 4096;
+  const std::size_t total = opts.total_pairs;
+  const std::size_t n_chunks = (total + chunk - 1) / chunk;
+  fi::alloc_checkpoint();
+  auto loads = nl.loads(cap);
+  fi::alloc_checkpoint();
+
+  exec::Meter meter(budget);
+
+  // Chunk scheduler state. Chunks are claimed strictly in index order and
+  // the meter is charged a chunk's full pair count at claim time, so the
+  // set of simulated chunks depends only on (quota, convergence) — never on
+  // the thread schedule. Completed chunks merge in chunk order; together
+  // with per-chunk seeds this makes every (threads, resume) configuration
+  // bit-identical.
+  std::mutex mu;
+  std::size_t next_chunk = resume.count / chunk;
+  std::size_t merged_upto = next_chunk;
+  std::vector<std::optional<stats::RunningStats>> done(n_chunks);
+  stats::RunningStats rs =
+      stats::RunningStats::restore(resume.count, resume.mean, resume.m2);
+  bool converged = false, budget_stop = false;
+  double conv_hw = 0.0;
+
+  auto claim = [&](std::size_t& c, std::size_t& pairs_c) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (converged || budget_stop || next_chunk >= n_chunks) return false;
+    const std::size_t begin = next_chunk * chunk;
+    pairs_c = std::min(chunk, total - begin);
+    if (meter.over_budget(pairs_c)) {
+      budget_stop = true;  // chunk unpaid: stop before its generator exists
+      return false;
+    }
+    c = next_chunk++;
+    return true;
+  };
+
+  auto commit = [&](std::size_t c, const stats::RunningStats& rc) {
+    std::lock_guard<std::mutex> lk(mu);
+    done[c] = rc;
+    while (merged_upto < n_chunks && done[merged_upto] && !converged) {
+      rs.merge(*done[merged_upto]);
+      ++merged_upto;
+      if (opts.epsilon > 0.0 && rs.count() >= opts.min_pairs) {
+        double hw = stats::ci_halfwidth(rs, opts.confidence);
+        if (rs.mean() > 0.0 && hw <= opts.epsilon * rs.mean()) {
+          converged = true;  // chunks past this prefix are discarded
+          conv_hw = hw;
+        }
+      }
+    }
+  };
+
+  auto worker = [&] {
+    std::size_t c = 0, pairs_c = 0;
+    if (engine == sim::EngineKind::Packed) {
+      sim::BlockSimulator bs(nl, opts.sim.block_words);
+      const auto lanes = static_cast<std::size_t>(bs.lane_count());
+      std::vector<std::uint64_t> prev(
+          nl.gate_count() * static_cast<std::size_t>(bs.words()), 0);
+      std::vector<std::uint64_t> w1(lanes), w2(lanes);
+      std::vector<double> e_lane(lanes);
+      while (claim(c, pairs_c)) {
+        stats::Rng rng(stats::shard_seed(seed, c));
+        stats::RunningStats rc;
+        for (std::size_t p = 0; p < pairs_c;) {
+          const std::size_t batch = std::min(lanes, pairs_c - p);
+          for (std::size_t k = 0; k < batch; ++k) {
+            w1[k] = rng.uniform_bits(n_in);
+            w2[k] = rng.uniform_bits(n_in);
+          }
+          simulate_pair_block(bs, loads, std::span(w1).first(batch),
+                              std::span(w2).first(batch), prev,
+                              e_lane.data());
+          for (std::size_t k = 0; k < batch; ++k) rc.add(e_lane[k]);
+          p += batch;
+        }
+        commit(c, rc);
+      }
+    } else {
+      sim::Simulator s(nl);
+      std::vector<std::uint8_t> prev(nl.gate_count(), 0);
+      while (claim(c, pairs_c)) {
+        stats::Rng rng(stats::shard_seed(seed, c));
+        stats::RunningStats rc;
+        for (std::size_t p = 0; p < pairs_c; ++p) {
+          s.set_all_inputs(rng.uniform_bits(n_in));
+          s.eval();
+          for (netlist::GateId g = 0; g < nl.gate_count(); ++g)
+            prev[g] = s.value(g) ? 1 : 0;
+          s.set_all_inputs(rng.uniform_bits(n_in));
+          s.eval();
+          double e = 0.0;
+          for (netlist::GateId g = 0; g < nl.gate_count(); ++g)
+            if ((s.value(g) ? 1 : 0) != prev[g]) e += loads[g];
+          rc.add(e);
+        }
+        commit(c, rc);
+      }
+    }
+  };
+
+  int threads = opts.threads;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw ? static_cast<int>(hw) : 1;
+  }
+  const std::size_t open_chunks = n_chunks - std::min(next_chunk, n_chunks);
+  if (open_chunks < static_cast<std::size_t>(threads))
+    threads = open_chunks ? static_cast<int>(open_chunks) : 1;
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  MonteCarloResult res;
+  res.converged = converged;
+  if (converged) res.ci_halfwidth = conv_hw;
+  finish_monte_carlo(res, rs, opts.confidence, budget_stop);
+  exec::Outcome<MonteCarloResult> out;
+  out.value = res;
+  out.diag = meter.diag();
+  if (res.stop_reason == MonteCarloResult::StopReason::BudgetExhausted)
+    out.diag.note = "partial estimate over " + std::to_string(res.pairs) +
                     " pairs; resume via result.checkpoint";
   return out;
 }

@@ -65,14 +65,16 @@ double gate_level_mean(const ModuleCharacterization& eval_set);
 /// half-width of mean switched cap falls below `epsilon`.
 ///
 /// Engine-generic: under the default Auto engine, combinational modules
-/// simulate 64 independent vector pairs per packed step (one pair per bit
-/// lane); the sequential-sampling stop rule is evaluated per pair in draw
-/// order, so the estimate, pair count, and CI are bit-identical to the
-/// scalar engine. The only observable difference is that `vector_gen` may
-/// be drawn up to one 64-pair batch ahead of a convergence or deadline/
-/// cancellation stopping point; a *step-quota* stop never over-draws (the
-/// batch size is capped by the remaining quota), so quota-stopped runs can
-/// be resumed against the same generator with no divergence.
+/// simulate 64·W independent vector pairs per block step (one pair per bit
+/// lane of a W-word block, W = SimOptions::block_words); the
+/// sequential-sampling stop rule is evaluated per pair in draw order, so
+/// the estimate, pair count, and CI are bit-identical to the scalar engine
+/// at every width and dispatch level. The only observable difference is
+/// that `vector_gen` may be drawn up to one block (<= 64·W pairs) ahead of
+/// a convergence stopping point; a *step-quota* stop never over-draws (the
+/// batch size is capped by the remaining quota and the meter is charged
+/// before the block is drawn), so quota-stopped runs can be resumed
+/// against the same generator with no divergence.
 /// Resume token: the full Welford state of the running estimate. A stopped
 /// run's checkpoint, fed back into monte_carlo_power_budgeted together with
 /// the *same, un-rewound* vector generator, continues the estimate exactly
@@ -120,13 +122,19 @@ MonteCarloResult monte_carlo_power(
     const netlist::CapacitanceModel& cap = {},
     const sim::SimOptions& opts = {});
 
-/// Budgeted Monte Carlo power: one meter step per vector pair. When the
-/// budget trips mid-run the outcome carries the partial estimate (mean, CI
-/// over the pairs actually simulated) with stop_reason = BudgetExhausted
-/// and a resume checkpoint — exhausted budgets return resumable partial
-/// estimates instead of hanging or pretending to have converged. Pass a
-/// previous run's `resume` checkpoint (and keep drawing from the same
-/// generator sequence) to continue; `max_pairs` counts resumed pairs too.
+/// Budgeted Monte Carlo power: one meter step per vector pair, charged in
+/// block-sized batches on the packed engine (the whole block's pair count
+/// in one `Meter` probe, before the block is drawn) so budget accounting
+/// costs O(1) per 64·W pairs instead of per pair. Deadline and cancel
+/// responsiveness is therefore one block, and a step-quota trip still lands
+/// on exactly the same pair as the scalar engine (the batch never exceeds
+/// the remaining quota). When the budget trips mid-run the outcome carries
+/// the partial estimate (mean, CI over the pairs actually simulated) with
+/// stop_reason = BudgetExhausted and a resume checkpoint — exhausted
+/// budgets return resumable partial estimates instead of hanging or
+/// pretending to have converged. Pass a previous run's `resume` checkpoint
+/// (and keep drawing from the same generator sequence) to continue;
+/// `max_pairs` counts resumed pairs too.
 exec::Outcome<MonteCarloResult> monte_carlo_power_budgeted(
     const netlist::Module& mod,
     const std::function<std::uint64_t()>& vector_gen,
@@ -134,6 +142,42 @@ exec::Outcome<MonteCarloResult> monte_carlo_power_budgeted(
     std::size_t min_pairs = 30, std::size_t max_pairs = 100000,
     const netlist::CapacitanceModel& cap = {},
     const sim::SimOptions& opts = {},
+    const MonteCarloCheckpoint& resume = {});
+
+/// Sharded Monte Carlo: the pair stream is decomposed into fixed-size
+/// *chunks* that are independent of the thread count — chunk c draws its
+/// pairs from `Rng(stats::shard_seed(seed, c))` — so every (threads,
+/// resume-point) configuration simulates exactly the same pairs. Workers
+/// claim chunks in index order and the supervisor merges completed chunks
+/// strictly in chunk order with `RunningStats::merge`, which makes the
+/// merged moments deterministic: serial, threaded, and resumed runs return
+/// bit-identical mean/M2/CI.
+struct ShardedMcOptions {
+  std::size_t total_pairs = 100000;  ///< campaign size (upper bound on pairs)
+  std::size_t chunk_pairs = 4096;    ///< pairs per chunk (determinism unit)
+  int threads = 1;                   ///< worker count; <= 0 -> hw concurrency
+  /// Relative CI target evaluated on the merged chunk-order prefix after
+  /// each chunk completes; 0 disables early stopping (run all pairs).
+  double epsilon = 0.0;
+  double confidence = 0.95;
+  std::size_t min_pairs = 30;
+  sim::SimOptions sim;
+};
+
+/// Budgeted sharded Monte Carlo. The meter is charged a chunk's whole pair
+/// count at claim time (under the scheduler lock, in chunk order), so a
+/// step-quota stop cuts the campaign at a chunk boundary that depends only
+/// on the quota — not on the thread schedule — and the partial result is
+/// bit-identical across thread counts. The returned checkpoint covers the
+/// contiguous prefix of completed chunks (checkpoint.count is a multiple of
+/// chunk_pairs unless total_pairs cuts the last chunk short); pass it back
+/// as `resume` with the same seed/chunk_pairs to continue. Chunks after a
+/// convergence point are discarded, so the converged statistics match a
+/// serial chunk-order run exactly.
+exec::Outcome<MonteCarloResult> monte_carlo_power_sharded(
+    const netlist::Module& mod, std::uint64_t seed,
+    const ShardedMcOptions& opts = {}, const exec::Budget& budget = {},
+    const netlist::CapacitanceModel& cap = {},
     const MonteCarloCheckpoint& resume = {});
 
 }  // namespace hlp::core

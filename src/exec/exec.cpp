@@ -67,7 +67,7 @@ StopReason Meter::poll() {
 void Meter::step(std::size_t n) {
   steps_ += n;
   ticks_ += n ? n : 1;
-  fi::step_checkpoint(budget_.cancel);
+  fi::step_checkpoint(budget_.cancel, n ? n : 1);
   StopReason r = poll();
   if (r != StopReason::None)
     trip(r, "after " + std::to_string(steps_) + " steps");
@@ -76,7 +76,7 @@ void Meter::step(std::size_t n) {
 bool Meter::over_budget(std::size_t charge_steps) {
   if (charge_steps) {
     steps_ += charge_steps;
-    fi::step_checkpoint(budget_.cancel);
+    fi::step_checkpoint(budget_.cancel, charge_steps);
   }
   ticks_ += charge_steps ? charge_steps : 1;
   if (tripped_ != StopReason::None) return true;

@@ -144,11 +144,15 @@ struct Outcome {
 /// Cost model: step() is one thread-local increment, two compares, and one
 /// relaxed atomic load; the wall clock is polled on an adaptive tick grid
 /// that aims for roughly one clock read per `kClockPollTargetNs` of work —
-/// a packed-engine loop metering millions of pairs per second settles on a
+/// a loop metering millions of steps per second settles on a
 /// multi-thousand-step stride while a seconds-per-iteration sweep stays at
 /// stride 1 — so metering a hot loop at step granularity stays well under
 /// the 2% overhead target (see bench/bench_exec.cpp) and a deadline is
-/// still observed within a few milliseconds.
+/// still observed within a few milliseconds. Batched kernels go one step
+/// further and charge a whole batch in a single over_budget(n) probe (the
+/// packed Monte Carlo engine pays one probe per 64·W-pair block), which
+/// makes metering cost independent of the per-item rate at the price of
+/// batch-granular deadline/cancel responsiveness.
 class Meter {
  public:
   Meter() : Meter(Budget{}) {}

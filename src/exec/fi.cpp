@@ -40,10 +40,12 @@ void alloc_checkpoint() {
   if (st.alloc_armed && idx == st.alloc_at) throw std::bad_alloc{};
 }
 
-void step_checkpoint(exec::CancelToken& tok) {
+void step_checkpoint(exec::CancelToken& tok, std::uint64_t n) {
   State& st = state();
-  std::uint64_t idx = st.step_count++;
-  if (st.cancel_armed && idx >= st.cancel_at) tok.request_cancel();
+  st.step_count += n;
+  // Fires once the counter has passed the armed step, i.e. when the probe's
+  // charge range [count, count+n) covers it. Sticky by construction.
+  if (st.cancel_armed && st.step_count > st.cancel_at) tok.request_cancel();
 }
 
 }  // namespace hlp::fi

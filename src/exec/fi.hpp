@@ -52,6 +52,9 @@ void arm_alloc_failure(std::uint64_t at_call);
 /// Request cancellation at the `at_step`-th (0-based) meter step from now.
 /// Resets the step counter. The request fires on the token of whichever
 /// metered kernel reaches that step (sticky: later steps keep requesting).
+/// Batched kernels charge many steps per meter probe; the fault fires on
+/// the probe whose charge range covers `at_step`, so the observable
+/// cancellation granularity is the kernel's batch size.
 void arm_cancel_at_step(std::uint64_t at_step);
 /// Disarm both faults and reset both counters.
 void disarm();
@@ -67,7 +70,9 @@ inline bool cancel_armed() { return state().cancel_armed; }
 /// allowed to fail. Throws std::bad_alloc when armed and at the target.
 void alloc_checkpoint();
 
-/// Called by exec::Meter::step on behalf of the running kernel.
-void step_checkpoint(exec::CancelToken& tok);
+/// Called by exec::Meter::step / over_budget on behalf of the running
+/// kernel; `n` is the number of steps the probe charges (the step counter
+/// advances by n, and an armed fault inside [count, count+n) fires).
+void step_checkpoint(exec::CancelToken& tok, std::uint64_t n = 1);
 
 }  // namespace hlp::fi

@@ -146,11 +146,28 @@ struct Shared {
   bool stop_supervisor = false;
   std::condition_variable cv;
 
-  /// Write-ahead append: sequence-stamped, durable before returning.
+  /// Write-ahead append: sequence-stamped, durable before returning. The
+  /// sequence is stamped under `mu` but the durable write happens outside
+  /// it, so workers completing records concurrently share fsyncs through
+  /// the ledger's group commit instead of serializing on this mutex.
+  /// (`ledger` is set once before workers start and LedgerWriter is itself
+  /// thread-safe, so the unlocked call is safe.)
   void append(LedgerRecord rec) {
-    std::lock_guard<std::mutex> lk(mu);
-    rec.seq = ++seq;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      rec.seq = ++seq;
+    }
     if (ledger) ledger->append(rec);
+  }
+
+  /// Batch variant for bursts (campaign enqueue): stamps each record, then
+  /// retires the whole burst with a single group-committed fsync.
+  void append_batch(std::vector<LedgerRecord>& recs) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      for (LedgerRecord& rec : recs) rec.seq = ++seq;
+    }
+    if (ledger) ledger->append_batch(recs);
   }
 };
 
@@ -238,6 +255,8 @@ void execute_job(const Job& job, Slot& slot, Shared& sh,
         rq.confidence = job.confidence;
         rq.min_pairs = job.min_pairs;
         rq.max_pairs = job.max_pairs;
+        rq.mc_threads = job.mc_threads;
+        rq.mc_chunk_pairs = job.mc_chunk_pairs;
         rq.max_iters = job.max_iters;
         rq.resume = slot.have_ckpt ? &slot.ckpt : nullptr;
         ao = run_kernel(rq, budget);
@@ -459,12 +478,17 @@ CampaignResult Runner::run_impl(const std::vector<Job>& jobs, bool resuming) {
   sh.counters = cells_.get();
   sh.inflight.resize(static_cast<std::size_t>(workers));
 
-  for (std::size_t i : pending) {
-    LedgerRecord rec = make_record(RecordKind::Enqueued, jobs[i].id);
-    rec.job_kind = to_string(jobs[i].kind);
-    rec.design = jobs[i].design;
-    sh.append(rec);
-    sh.counters->bump(sh.counters->enqueued);
+  {
+    std::vector<LedgerRecord> burst;
+    burst.reserve(pending.size());
+    for (std::size_t i : pending) {
+      LedgerRecord rec = make_record(RecordKind::Enqueued, jobs[i].id);
+      rec.job_kind = to_string(jobs[i].kind);
+      rec.design = jobs[i].design;
+      burst.push_back(std::move(rec));
+      sh.counters->bump(sh.counters->enqueued);
+    }
+    sh.append_batch(burst);
   }
 
   // Supervisor: enforces per-attempt wall deadlines and fans campaign

@@ -70,6 +70,13 @@ struct Job {
   double confidence = 0.95;
   std::size_t min_pairs = 30;
   std::size_t max_pairs = 20000;
+  /// Sharded Monte Carlo: mc_threads > 0 runs the kernel on the
+  /// chunk-sharded estimator with that many lane-shard threads (results are
+  /// bit-identical across thread counts and resumes; see
+  /// core::monte_carlo_power_sharded). 0 keeps the sequential estimator,
+  /// preserving the historical per-job values exactly.
+  int mc_threads = 0;
+  std::size_t mc_chunk_pairs = 4096;  ///< determinism unit when sharded
   /// Markov parameters.
   int max_iters = 2000;
 

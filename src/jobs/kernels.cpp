@@ -201,22 +201,41 @@ AttemptOutcome sampled_power(const KernelRequest& rq,
                              const exec::Budget& budget) {
   netlist::Module mod = make_module(rq.design);
   const int width = mod.total_input_bits();
-  stats::Rng rng(rq.seed);
   core::MonteCarloCheckpoint resume;
-  if (rq.resume && rq.resume->valid()) {
-    resume = *rq.resume;
-    // The estimator draws exactly two vectors per pair, in pair order (the
-    // packed engine interleaves identically — see sampling_power.cpp), so
-    // fast-forwarding a fresh generator by 2*count draws re-creates the
-    // exact stream position the checkpointed run would have continued
-    // from. Over-draws past a cancellation stop don't matter: they were
-    // never folded into the Welford state the checkpoint captured.
-    rng.engine().discard(2 * static_cast<unsigned long long>(resume.count));
+  if (rq.resume && rq.resume->valid()) resume = *rq.resume;
+  exec::Outcome<core::MonteCarloResult> out;
+  if (rq.mc_threads > 0) {
+    // Chunk-sharded estimator: per-chunk seeds derive from the job seed, so
+    // the sampled pairs — and therefore the estimate — depend only on
+    // (seed, chunk_pairs), not on mc_threads or where a resume cut the
+    // campaign. Checkpoints resume at chunk granularity with no generator
+    // fast-forwarding (each chunk owns its own generator).
+    core::ShardedMcOptions so;
+    so.total_pairs = rq.max_pairs;
+    so.chunk_pairs = rq.mc_chunk_pairs ? rq.mc_chunk_pairs : 4096;
+    so.threads = rq.mc_threads;
+    so.epsilon = rq.epsilon;
+    so.confidence = rq.confidence;
+    so.min_pairs = rq.min_pairs;
+    out = core::monte_carlo_power_sharded(mod, rq.seed, so, budget, {},
+                                          resume);
+  } else {
+    stats::Rng rng(rq.seed);
+    if (resume.valid()) {
+      // The estimator draws exactly two vectors per pair, in pair order
+      // (the packed engine interleaves identically — see
+      // sampling_power.cpp), so fast-forwarding a fresh generator by
+      // 2*count draws re-creates the exact stream position the
+      // checkpointed run would have continued from. Over-draws past a
+      // cancellation stop don't matter: they were never folded into the
+      // Welford state the checkpoint captured.
+      rng.engine().discard(2 * static_cast<unsigned long long>(resume.count));
+    }
+    auto gen = [&rng, width] { return rng.uniform_bits(width); };
+    out = core::monte_carlo_power_budgeted(mod, gen, budget, rq.epsilon,
+                                           rq.confidence, rq.min_pairs,
+                                           rq.max_pairs, {}, {}, resume);
   }
-  auto gen = [&rng, width] { return rng.uniform_bits(width); };
-  exec::Outcome<core::MonteCarloResult> out = core::monte_carlo_power_budgeted(
-      mod, gen, budget, rq.epsilon, rq.confidence, rq.min_pairs, rq.max_pairs,
-      {}, {}, resume);
 
   AttemptOutcome ao;
   ao.out.has_checkpoint = out.value.checkpoint.valid();

@@ -65,6 +65,10 @@ struct KernelRequest {
   double confidence = 0.95;
   std::size_t min_pairs = 30;
   std::size_t max_pairs = 20000;
+  /// mc_threads > 0 selects the chunk-sharded estimator (bit-identical
+  /// across thread counts); 0 keeps the sequential path and its values.
+  int mc_threads = 0;
+  std::size_t mc_chunk_pairs = 4096;
   /// Markov parameters.
   int max_iters = 2000;
   /// Resume state from a previous attempt's checkpoint (nullptr = fresh).

@@ -165,24 +165,87 @@ LedgerWriter::LedgerWriter(const std::string& path, bool truncate) {
 }
 
 LedgerWriter::~LedgerWriter() {
+  // Well-behaved use never destroys the writer with appenders in flight
+  // (every append blocks until its records are durable), so pending_ is
+  // empty here unless a failure already closed the file.
+  std::lock_guard<std::mutex> lk(mu_);
   if (f_) std::fclose(f_);
+  f_ = nullptr;
+}
+
+bool LedgerWriter::open() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return f_ != nullptr;
+}
+
+std::uint64_t LedgerWriter::records_committed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return durable_;
+}
+
+std::uint64_t LedgerWriter::flush_batches() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return flushes_;
 }
 
 void LedgerWriter::append(const LedgerRecord& rec) {
-  if (!f_) return;
   std::string line = rec.serialize();
   line.push_back('\n');
-  // Write-ahead discipline: the record is on disk when append() returns.
-  // An I/O failure (disk full) silently closes the ledger rather than
-  // killing the campaign — the ledger is a durability optimization, and a
-  // later resume simply re-runs whatever the lost records covered.
-  if (std::fwrite(line.data(), 1, line.size(), f_) != line.size() ||
-      std::fflush(f_) != 0) {
-    std::fclose(f_);
-    f_ = nullptr;
-    return;
+  commit_lines(std::move(line), 1);
+}
+
+void LedgerWriter::append_batch(std::span<const LedgerRecord> recs) {
+  if (recs.empty()) return;
+  std::string text;
+  for (const LedgerRecord& rec : recs) {
+    text += rec.serialize();
+    text.push_back('\n');
   }
-  ::fsync(::fileno(f_));
+  commit_lines(std::move(text), recs.size());
+}
+
+void LedgerWriter::commit_lines(std::string&& text, std::uint64_t n) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!f_) return;
+  pending_ += text;
+  const std::uint64_t my_horizon = enqueued_ + n;
+  enqueued_ = my_horizon;
+  // Leader-flush group commit: whoever finds the flush slot free takes the
+  // whole pending buffer to disk; everyone else sleeps until a leader's
+  // durable horizon covers their records. Write-ahead discipline holds —
+  // the caller returns only once its records are fsync'd (or the writer
+  // has failed).
+  while (durable_ < my_horizon && f_) {
+    if (!flushing_) {
+      flushing_ = true;
+      std::string buf;
+      buf.swap(pending_);
+      const std::uint64_t upto = enqueued_;
+      std::FILE* f = f_;
+      lk.unlock();
+      // An I/O failure (disk full) silently closes the ledger rather than
+      // killing the campaign — the ledger is a durability optimization,
+      // and a later resume simply re-runs whatever the lost records
+      // covered. fsync errors are ignored, matching the historical
+      // per-record writer.
+      const bool ok =
+          std::fwrite(buf.data(), 1, buf.size(), f) == buf.size() &&
+          std::fflush(f) == 0;
+      if (ok) ::fsync(::fileno(f));
+      lk.lock();
+      flushing_ = false;
+      if (ok) {
+        durable_ = upto;
+        ++flushes_;
+      } else {
+        std::fclose(f_);
+        f_ = nullptr;
+      }
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk);
+    }
+  }
 }
 
 std::uint64_t LedgerScan::max_seq() const {

@@ -65,6 +65,10 @@ void apply_job_key(Job& job, std::string_view key, std::string_view val,
   } else if (key == "memory-cap") {
     job.budget.memory_cap_bytes =
         parse_num<std::size_t>(val, line, "memory-cap");
+  } else if (key == "mc-threads") {
+    job.mc_threads = parse_num<int>(val, line, "mc-threads");
+    if (job.mc_threads < 0)
+      throw SpecError(line, "mc-threads must be >= 0");
   } else {
     throw SpecError(line, "unknown job key '" + std::string(key) + "'");
   }

@@ -28,7 +28,9 @@ namespace hlp::jobs {
 ///
 /// Per-job keys: epsilon, confidence, min-pairs, max-pairs, max-iters,
 /// deadline (budget wall seconds, metered), wall-deadline (supervisor-
-/// enforced seconds), node-cap, step-quota, memory-cap.
+/// enforced seconds), node-cap, step-quota, memory-cap, mc-threads
+/// (monte-carlo only: >0 runs the chunk-sharded estimator on that many
+/// lane-shard threads; the value never changes the result bits).
 
 /// Parse failure with 1-based line number, mirroring VerilogError.
 class SpecError : public std::runtime_error {

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/block_kernels.hpp"
+
+// Included by exactly one translation unit per dispatch level, each compiled
+// with its own -m flags; the V traits parameter supplies the register type
+// and bitwise ops, so the gate semantics below are written once.
+
+namespace hlp::sim::detail {
+
+/// Evaluate all ops over W-word blocks with vector traits V. V::kWords must
+/// divide `words`. Word loop inside the fanin reduction keeps the whole
+/// reduction in one register per stripe.
+template <class V>
+void eval_ops(std::uint64_t* lanes, int words, const BlockOp* ops,
+              std::size_t n_ops, const netlist::GateId* fanins) {
+  using netlist::GateKind;
+  const auto W = static_cast<std::size_t>(words);
+  for (std::size_t o = 0; o < n_ops; ++o) {
+    const BlockOp& op = ops[o];
+    const netlist::GateId* f = fanins + op.fanin_begin;
+    const std::uint32_t n = op.fanin_end - op.fanin_begin;
+    std::uint64_t* dst = lanes + std::size_t{op.gate} * W;
+    switch (op.kind) {
+      case GateKind::Buf: {
+        const std::uint64_t* a = lanes + std::size_t{f[0]} * W;
+        for (int w = 0; w < words; w += V::kWords)
+          V::store(dst + w, V::load(a + w));
+        break;
+      }
+      case GateKind::Not: {
+        const std::uint64_t* a = lanes + std::size_t{f[0]} * W;
+        for (int w = 0; w < words; w += V::kWords)
+          V::store(dst + w, V::not_(V::load(a + w)));
+        break;
+      }
+      case GateKind::And:
+      case GateKind::Nand: {
+        for (int w = 0; w < words; w += V::kWords) {
+          auto v = V::ones();
+          for (std::uint32_t i = 0; i < n; ++i)
+            v = V::and_(v, V::load(lanes + std::size_t{f[i]} * W + w));
+          if (op.kind == GateKind::Nand) v = V::not_(v);
+          V::store(dst + w, v);
+        }
+        break;
+      }
+      case GateKind::Or:
+      case GateKind::Nor: {
+        for (int w = 0; w < words; w += V::kWords) {
+          auto v = V::zero();
+          for (std::uint32_t i = 0; i < n; ++i)
+            v = V::or_(v, V::load(lanes + std::size_t{f[i]} * W + w));
+          if (op.kind == GateKind::Nor) v = V::not_(v);
+          V::store(dst + w, v);
+        }
+        break;
+      }
+      case GateKind::Xor:
+      case GateKind::Xnor: {
+        for (int w = 0; w < words; w += V::kWords) {
+          auto v = V::zero();
+          for (std::uint32_t i = 0; i < n; ++i)
+            v = V::xor_(v, V::load(lanes + std::size_t{f[i]} * W + w));
+          if (op.kind == GateKind::Xnor) v = V::not_(v);
+          V::store(dst + w, v);
+        }
+        break;
+      }
+      case GateKind::Mux: {
+        // Fanins {sel, d0, d1}: out = (sel & d1) | (~sel & d0).
+        const std::uint64_t* s = lanes + std::size_t{f[0]} * W;
+        const std::uint64_t* d0 = lanes + std::size_t{f[1]} * W;
+        const std::uint64_t* d1 = lanes + std::size_t{f[2]} * W;
+        for (int w = 0; w < words; w += V::kWords) {
+          auto sv = V::load(s + w);
+          V::store(dst + w, V::or_(V::and_(sv, V::load(d1 + w)),
+                                   V::andnot(sv, V::load(d0 + w))));
+        }
+        break;
+      }
+      default:  // Input/Const/Dff never appear in ops.
+        break;
+    }
+  }
+}
+
+}  // namespace hlp::sim::detail

@@ -1,0 +1,136 @@
+#include "sim/block_simulator.hpp"
+
+#include <stdexcept>
+
+namespace hlp::sim {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateKind;
+
+namespace {
+
+struct KernelChoice {
+  detail::EvalKernelFn fn;
+  SimDispatch dispatch;
+};
+
+KernelChoice select_kernel(int words) {
+  const SimDispatch cap = active_dispatch();
+#if defined(HLP_SIM_HAVE_AVX512)
+  if (cap >= SimDispatch::Avx512 && words % 8 == 0)
+    return {detail::avx512_kernel(), SimDispatch::Avx512};
+#endif
+#if defined(HLP_SIM_HAVE_AVX2)
+  if (cap >= SimDispatch::Avx2 && words % 4 == 0)
+    return {detail::avx2_kernel(), SimDispatch::Avx2};
+#endif
+  (void)cap;
+  return {detail::portable_kernel(), SimDispatch::Portable};
+}
+
+}  // namespace
+
+BlockSimulator::BlockSimulator(const netlist::Netlist& nl, int words)
+    : nl_(&nl), words_(resolve_block_words(words)) {
+  const KernelChoice kc = select_kernel(words_);
+  kernel_ = kc.fn;
+  dispatch_ = kc.dispatch;
+  for (GateId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    if (!netlist::is_logic(g.kind)) continue;
+    detail::BlockOp op;
+    op.kind = g.kind;
+    op.gate = id;
+    op.fanin_begin = static_cast<std::uint32_t>(flat_fanins_.size());
+    flat_fanins_.insert(flat_fanins_.end(), g.fanins.begin(), g.fanins.end());
+    op.fanin_end = static_cast<std::uint32_t>(flat_fanins_.size());
+    ops_.push_back(op);
+  }
+  reset();
+}
+
+void BlockSimulator::reset() {
+  const auto W = static_cast<std::size_t>(words_);
+  lanes_.assign(nl_->gate_count() * W, 0);
+  for (GateId g = 0; g < nl_->gate_count(); ++g)
+    if (nl_->gate(g).kind == GateKind::Const1)
+      for (std::size_t w = 0; w < W; ++w)
+        lanes_[std::size_t{g} * W + w] = ~std::uint64_t{0};
+  for (GateId d : nl_->dffs()) {
+    const std::uint64_t v = nl_->dff_init(d) ? ~std::uint64_t{0} : 0;
+    for (std::size_t w = 0; w < W; ++w) lanes_[std::size_t{d} * W + w] = v;
+  }
+}
+
+void BlockSimulator::set_input_lanes(GateId input,
+                                     std::span<const std::uint64_t> w) {
+  if (w.size() != static_cast<std::size_t>(words_))
+    throw std::invalid_argument(
+        "BlockSimulator::set_input_lanes: span size must equal words()");
+  const auto W = static_cast<std::size_t>(words_);
+  for (std::size_t i = 0; i < W; ++i) lanes_[std::size_t{input} * W + i] = w[i];
+}
+
+void BlockSimulator::set_inputs_from_cycles(
+    std::span<const std::uint64_t> cycle_words) {
+  auto ins = nl_->inputs();
+  if (ins.size() > 64)
+    throw std::out_of_range(
+        "BlockSimulator::set_inputs_from_cycles: more than 64 inputs");
+  const auto W = static_cast<std::size_t>(words_);
+  for (std::size_t w = 0; w < W; ++w) {
+    // Sub-word w carries cycles [w*64, w*64+64) of the block.
+    std::uint64_t m[64] = {};
+    const std::size_t base = w * 64;
+    const std::size_t count =
+        cycle_words.size() > base
+            ? (cycle_words.size() - base < 64 ? cycle_words.size() - base : 64)
+            : 0;
+    for (std::size_t k = 0; k < count; ++k) m[k] = cycle_words[base + k];
+    transpose64(m);
+    for (std::size_t i = 0; i < ins.size(); ++i)
+      lanes_[std::size_t{ins[i]} * W + w] = m[i];
+  }
+}
+
+void BlockSimulator::eval() {
+  kernel_(lanes_.data(), words_, ops_.data(), ops_.size(),
+          flat_fanins_.data());
+}
+
+void BlockSimulator::tick() {
+  const auto W = static_cast<std::size_t>(words_);
+  dff_next_.clear();
+  for (GateId d : nl_->dffs()) {
+    const Gate& g = nl_->gate(d);
+    const GateId src = g.fanins.empty() ? d : g.fanins[0];
+    for (std::size_t w = 0; w < W; ++w)
+      dff_next_.push_back(lanes_[std::size_t{src} * W + w]);
+  }
+  std::size_t i = 0;
+  for (GateId d : nl_->dffs())
+    for (std::size_t w = 0; w < W; ++w)
+      lanes_[std::size_t{d} * W + w] = dff_next_[i++];
+}
+
+void BlockSimulator::outputs_to_cycles(std::span<std::uint64_t> out) const {
+  auto outs = nl_->outputs();
+  if (outs.size() > 64)
+    throw std::out_of_range(
+        "BlockSimulator::outputs_to_cycles: more than 64 outputs");
+  const auto W = static_cast<std::size_t>(words_);
+  for (std::size_t w = 0; w < W; ++w) {
+    const std::size_t base = w * 64;
+    if (out.size() <= base) break;
+    std::uint64_t m[64] = {};
+    for (std::size_t i = 0; i < outs.size(); ++i)
+      m[i] = lanes_[std::size_t{outs[i]} * W + w];
+    transpose64(m);
+    const std::size_t count =
+        out.size() - base < 64 ? out.size() - base : 64;
+    for (std::size_t k = 0; k < count; ++k) out[base + k] = m[k];
+  }
+}
+
+}  // namespace hlp::sim

@@ -15,13 +15,18 @@ namespace hlp::sim {
 ///
 ///  * `Simulator` (scalar): one input pattern per eval; the reference
 ///    semantics.
-///  * `PackedSimulator` (packed): 64 patterns per eval, one per bit lane of
-///    a `uint64_t` word per gate (PPSFP-style bit parallelism). Logic gates
-///    vectorize into bitwise ops and toggle counting into popcounts.
+///  * `BlockSimulator` (packed): N×64 patterns per eval, one per bit lane
+///    of an N-word block of `uint64_t`s per gate (PPSFP-style bit
+///    parallelism, widened to SIMD registers). Logic gates vectorize into
+///    bitwise ops — AVX-512/AVX2 where the CPU has them, a portable
+///    `uint64_t` loop otherwise — and toggle counting into popcounts.
+///    `PackedSimulator` is the historical single-word (64-lane) form,
+///    retained for replica-lane consumers.
 ///
 /// The equivalence contract is exact: for the same seed and input stream,
-/// both backends must produce bit-identical activities, toggle counts, and
-/// power reports (tests/test_simengine.cpp enforces this differentially).
+/// every backend, block width, and dispatch path must produce bit-identical
+/// activities, toggle counts, and power reports (tests/test_simengine.cpp
+/// and tests/test_blockengine.cpp enforce this differentially).
 /// Temporal lane packing — lane k carries cycle base+k — is therefore only
 /// legal for combinational netlists: a DFF's next state depends on the
 /// previous cycle's settled values, which serializes consecutive cycles.
@@ -32,12 +37,42 @@ namespace hlp::sim {
 enum class EngineKind : std::uint8_t {
   Auto,    ///< packed where bit-exactly legal, scalar otherwise
   Scalar,  ///< force the scalar `Simulator` backend
-  Packed,  ///< force the 64-lane `PackedSimulator` backend
+  Packed,  ///< force the bit-parallel block backend
 };
+
+/// Gate-eval kernel instruction sets, ordered by capability. The dispatch
+/// level never changes results — every kernel computes the same bitwise
+/// values — only how many lane words one instruction carries.
+enum class SimDispatch : std::uint8_t {
+  Portable,  ///< plain uint64_t loop (always available)
+  Avx2,      ///< 4 words / 256-bit op (block width a multiple of 4)
+  Avx512,    ///< 8 words / 512-bit op (block width a multiple of 8)
+};
+
+const char* to_string(SimDispatch d);
+
+/// Best dispatch level the running CPU supports, capped by
+/// `set_dispatch_cap` or the `HLP_SIM_DISPATCH` environment variable
+/// (`portable` | `avx2` | `avx512`, read once at first use; unknown values
+/// are ignored). CI pins this to keep the portable kernels tested on
+/// AVX-capable runners.
+SimDispatch active_dispatch();
+
+/// Programmatic cap (tests/benches): lowers the level reported by
+/// `active_dispatch` for the whole process. Passing Avx512 restores the
+/// CPU/env default. Not thread-safe against concurrently *running* block
+/// evals; call it between simulations.
+void set_dispatch_cap(SimDispatch cap);
 
 /// Engine selection threaded through the estimator APIs. Defaults preserve
 /// the historical (scalar-era) results exactly while picking the fast
 /// backend automatically.
+///
+/// `block_words` is the number of 64-bit lane words per gate in the packed
+/// backend (lane count = 64 × block_words). 0 picks the widest profitable
+/// block for the active dispatch level (`default_block_words`). Any value
+/// in [1, 64] is legal and bit-identical; widths that are multiples of 8
+/// (resp. 4) ride the AVX-512 (resp. AVX2) kernels when available.
 ///
 /// `lint` runs the hlp::lint static pass over the input IR before any
 /// simulation cycles are spent (see lint/lint.hpp). Off by default (zero
@@ -46,7 +81,16 @@ enum class EngineKind : std::uint8_t {
 struct SimOptions {
   EngineKind engine = EngineKind::Auto;
   lint::LintOptions lint;
+  int block_words = 0;  ///< words per lane block; 0 = auto, 1 = legacy 64-lane
 };
+
+/// Widest profitable block for the active dispatch level (16 words under
+/// AVX-512, 8 under AVX2, 4 portable — tuned by bench_simengine).
+int default_block_words();
+
+/// Map a requested `SimOptions::block_words` to the width actually used:
+/// 0 -> default_block_words(), otherwise clamped to [1, 64].
+int resolve_block_words(int requested);
 
 /// Resolve `Auto` against the netlist structure: packed iff the netlist is
 /// combinational and its primary inputs/outputs fit one 64-bit stream word.

@@ -6,7 +6,7 @@
 #include <stdexcept>
 
 #include "lint/lint.hpp"
-#include "sim/packed_simulator.hpp"
+#include "sim/block_simulator.hpp"
 
 namespace hlp::sim {
 
@@ -137,47 +137,59 @@ std::vector<double> ActivityCollector::activities() const {
 
 namespace {
 
-/// Temporal-lane packed sweep over a combinational netlist: lane k of block
-/// `base` carries cycle base+k. Within a block, consecutive-cycle toggles
-/// are popcount(x ^ (x >> 1)); the block boundary compares lane 0 against
-/// the previous block's last lane. Exactly reproduces the scalar
-/// record-per-cycle toggle counts.
+/// Temporal-lane packed sweep over a combinational netlist: lane w·64+k of
+/// a block carries cycle base+w·64+k. Within each 64-lane sub-word,
+/// consecutive-cycle toggles are popcount(x ^ (x >> 1)); sub-word and block
+/// boundaries compare lane 0 against the previous sub-word's last lane.
+/// Exactly reproduces the scalar record-per-cycle toggle counts for every
+/// block width.
 std::vector<double> packed_activities(const netlist::Netlist& nl,
                                       const stats::VectorStream& in_stream,
-                                      stats::VectorStream* out_stream) {
-  PackedSimulator ps(nl);
+                                      stats::VectorStream* out_stream,
+                                      int block_words) {
+  BlockSimulator bs(nl, block_words);
+  const std::size_t lanes = static_cast<std::size_t>(bs.lane_count());
   const std::size_t n = nl.gate_count();
   const std::size_t total = in_stream.words.size();
   std::vector<std::uint64_t> toggles(n, 0);
   std::vector<std::uint8_t> last(n, 0);
+  std::vector<std::uint64_t> ob;
   if (out_stream) {
     out_stream->width = static_cast<int>(nl.outputs().size());
     out_stream->words.clear();
     out_stream->words.reserve(total);
+    ob.resize(lanes);
   }
-  bool first_block = true;
-  for (std::size_t base = 0; base < total; base += 64) {
-    const int count = static_cast<int>(std::min<std::size_t>(64, total - base));
-    ps.set_inputs_from_cycles(
-        std::span(in_stream.words).subspan(base, static_cast<std::size_t>(count)));
-    ps.eval();
-    const std::uint64_t mask =
-        count == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << count) - 1);
-    const std::uint64_t inner = mask >> 1;  // pairs (k, k+1) inside the block
+  bool first_subword = true;
+  for (std::size_t base = 0; base < total; base += lanes) {
+    const std::size_t count = std::min(lanes, total - base);
+    bs.set_inputs_from_cycles(std::span(in_stream.words).subspan(base, count));
+    bs.eval();
+    const int sub_words = static_cast<int>((count + 63) / 64);
     for (GateId g = 0; g < n; ++g) {
-      const std::uint64_t x = ps.lanes(g) & mask;
-      std::uint64_t t =
-          static_cast<std::uint64_t>(std::popcount((x ^ (x >> 1)) & inner));
-      if (!first_block) t += ((x & 1u) != last[g]) ? 1u : 0u;
+      const auto lw = bs.lane_words(g);
+      std::uint64_t t = 0;
+      std::uint8_t lg = last[g];
+      for (int w = 0; w < sub_words; ++w) {
+        const int c = static_cast<int>(
+            std::min<std::size_t>(64, count - static_cast<std::size_t>(w) * 64));
+        const std::uint64_t mask =
+            c == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << c) - 1);
+        const std::uint64_t x = lw[w] & mask;
+        t += static_cast<std::uint64_t>(
+            std::popcount((x ^ (x >> 1)) & (mask >> 1)));
+        if (!(first_subword && w == 0)) t += ((x & 1u) != lg) ? 1u : 0u;
+        lg = static_cast<std::uint8_t>((x >> (c - 1)) & 1u);
+      }
       toggles[g] += t;
-      last[g] = static_cast<std::uint8_t>((x >> (count - 1)) & 1u);
+      last[g] = lg;
     }
     if (out_stream) {
-      std::uint64_t ob[64];
-      ps.outputs_to_cycles(ob);
-      for (int k = 0; k < count; ++k) out_stream->words.push_back(ob[k]);
+      bs.outputs_to_cycles(std::span(ob).first(count));
+      for (std::size_t k = 0; k < count; ++k)
+        out_stream->words.push_back(ob[k]);
     }
-    first_block = false;
+    first_subword = false;
   }
   std::vector<double> e(n, 0.0);
   if (total >= 2) {
@@ -196,7 +208,7 @@ std::vector<double> simulate_activities(const netlist::Netlist& nl,
                                         const SimOptions& opts) {
   lint::enforce_netlist(nl, opts.lint, "simulate_activities");
   if (resolve_engine(nl, opts.engine) == EngineKind::Packed)
-    return packed_activities(nl, in_stream, out_stream);
+    return packed_activities(nl, in_stream, out_stream, opts.block_words);
   Simulator sim(nl);
   ActivityCollector col(nl);
   if (out_stream) {
@@ -219,16 +231,17 @@ stats::VectorStream simulate_outputs(const netlist::Netlist& nl,
   lint::enforce_netlist(nl, opts.lint, "simulate_outputs");
   stats::VectorStream out;
   if (resolve_engine(nl, opts.engine) == EngineKind::Packed) {
-    PackedSimulator ps(nl);
+    BlockSimulator bs(nl, opts.block_words);
+    const std::size_t lanes = static_cast<std::size_t>(bs.lane_count());
     const std::size_t total = in_stream.words.size();
     out.width = static_cast<int>(nl.outputs().size());
     out.words.reserve(total);
-    for (std::size_t base = 0; base < total; base += 64) {
-      const std::size_t count = std::min<std::size_t>(64, total - base);
-      ps.set_inputs_from_cycles(std::span(in_stream.words).subspan(base, count));
-      ps.eval();
-      std::uint64_t ob[64];
-      ps.outputs_to_cycles(ob);
+    std::vector<std::uint64_t> ob(lanes);
+    for (std::size_t base = 0; base < total; base += lanes) {
+      const std::size_t count = std::min(lanes, total - base);
+      bs.set_inputs_from_cycles(std::span(in_stream.words).subspan(base, count));
+      bs.eval();
+      bs.outputs_to_cycles(std::span(ob).first(count));
       for (std::size_t k = 0; k < count; ++k) out.words.push_back(ob[k]);
     }
     return out;

@@ -72,4 +72,16 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// Decorrelated per-shard seed for a parallel campaign: shard k of a run
+/// seeded `base` uses Rng(shard_seed(base, k)). The splitmix64 finalizer
+/// over a golden-ratio stride gives well-mixed, collision-resistant seeds
+/// that depend only on (base, shard) — never on thread count or schedule —
+/// so sharded runs are reproducible under any decomposition.
+inline std::uint64_t shard_seed(std::uint64_t base, std::uint64_t shard) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (shard + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace hlp::stats

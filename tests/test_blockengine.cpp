@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/macromodel.hpp"
+#include "core/sampling_power.hpp"
+#include "jobs/kernels.hpp"
+#include "netlist/generators.hpp"
+#include "sim/block_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/streams.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace hlp;
+using netlist::GateKind;
+using netlist::Netlist;
+
+/// Every test leaves the programmatic dispatch cap wide open even on
+/// failure (Avx512 = "no cap"; the hardware/env caps still apply).
+struct DispatchGuard {
+  ~DispatchGuard() { sim::set_dispatch_cap(sim::SimDispatch::Avx512); }
+};
+
+// --- width resolution and dispatch plumbing -------------------------------
+
+TEST(BlockDispatch, ResolveBlockWordsClampsAndDefaults) {
+  EXPECT_EQ(sim::resolve_block_words(0), sim::default_block_words());
+  EXPECT_EQ(sim::resolve_block_words(-5), sim::default_block_words());
+  EXPECT_EQ(sim::resolve_block_words(5), 5);
+  EXPECT_EQ(sim::resolve_block_words(64), 64);
+  EXPECT_EQ(sim::resolve_block_words(1000), 64);
+  EXPECT_GE(sim::default_block_words(), 1);
+  EXPECT_LE(sim::default_block_words(), 64);
+}
+
+TEST(BlockDispatch, CapIsMonotoneAndNamed) {
+  DispatchGuard guard;
+  EXPECT_STREQ(sim::to_string(sim::SimDispatch::Portable), "portable");
+  EXPECT_STREQ(sim::to_string(sim::SimDispatch::Avx2), "avx2");
+  EXPECT_STREQ(sim::to_string(sim::SimDispatch::Avx512), "avx512");
+  sim::set_dispatch_cap(sim::SimDispatch::Portable);
+  EXPECT_EQ(sim::active_dispatch(), sim::SimDispatch::Portable);
+  sim::set_dispatch_cap(sim::SimDispatch::Avx512);
+  // Whatever the host supports, the cap no longer constrains it.
+  const sim::SimDispatch best = sim::active_dispatch();
+  sim::set_dispatch_cap(best);
+  EXPECT_EQ(sim::active_dispatch(), best);
+}
+
+TEST(BlockDispatch, KernelSelectionHonoursWidthDivisibility) {
+  DispatchGuard guard;
+  auto mod = netlist::adder_module(8);
+  // W=1 can never use a 256/512-bit kernel; W=8 uses the best available.
+  sim::BlockSimulator narrow(mod.netlist, 1);
+  EXPECT_EQ(narrow.dispatch(), sim::SimDispatch::Portable);
+  sim::set_dispatch_cap(sim::SimDispatch::Portable);
+  sim::BlockSimulator capped(mod.netlist, 8);
+  EXPECT_EQ(capped.dispatch(), sim::SimDispatch::Portable);
+}
+
+// --- forced-dispatch identity: every kernel computes the same bits --------
+
+TEST(BlockDispatch, PortableAndBestKernelsAreBitIdentical) {
+  DispatchGuard guard;
+  auto mod = netlist::random_logic_module(16, 120, 8, 3);
+  stats::Rng rng(17);
+  auto in = sim::random_stream(mod.total_input_bits(), 300, 0.5, rng);
+
+  sim::SimOptions packed{sim::EngineKind::Packed};
+  packed.block_words = 8;  // divisible by 4 and 8: widest kernel eligible
+
+  auto best_out = sim::simulate_outputs(mod.netlist, in, packed);
+  auto best_act = sim::simulate_activities(mod.netlist, in, nullptr, packed);
+
+  sim::set_dispatch_cap(sim::SimDispatch::Portable);
+  auto port_out = sim::simulate_outputs(mod.netlist, in, packed);
+  auto port_act = sim::simulate_activities(mod.netlist, in, nullptr, packed);
+
+  EXPECT_EQ(best_out.words, port_out.words);
+  ASSERT_EQ(best_act.size(), port_act.size());
+  for (std::size_t g = 0; g < best_act.size(); ++g)
+    EXPECT_EQ(best_act[g], port_act[g]) << "gate " << g;
+}
+
+// --- block width differential: scalar vs packed at W in {1,2,4,8} ---------
+
+void expect_width_equivalence(const Netlist& nl, int n_in, std::size_t cycles,
+                              std::uint64_t seed) {
+  stats::Rng rng(seed);
+  auto in = sim::random_stream(n_in, cycles, 0.5, rng);
+
+  stats::VectorStream out_s;
+  auto act_s = sim::simulate_activities(
+      nl, in, &out_s, sim::SimOptions{sim::EngineKind::Scalar});
+
+  for (int w : {1, 2, 4, 8}) {
+    sim::SimOptions packed{sim::EngineKind::Packed};
+    packed.block_words = w;
+    stats::VectorStream out_p;
+    auto act_p = sim::simulate_activities(nl, in, &out_p, packed);
+    ASSERT_EQ(act_s.size(), act_p.size());
+    for (std::size_t g = 0; g < act_s.size(); ++g)
+      EXPECT_EQ(act_s[g], act_p[g]) << "W=" << w << " gate " << g;
+    EXPECT_EQ(out_s.words, out_p.words) << "W=" << w;
+    auto po = sim::simulate_outputs(nl, in, packed);
+    EXPECT_EQ(out_s.words, po.words) << "W=" << w;
+  }
+}
+
+TEST(BlockDifferential, RandomDagsAcrossWidths) {
+  for (std::uint64_t seed : {1u, 42u}) {
+    auto mod = netlist::random_logic_module(16, 120, 8, seed);
+    // 700 cycles spans a full 8-word block plus a partial second one.
+    expect_width_equivalence(mod.netlist, mod.total_input_bits(), 700,
+                             seed + 100);
+  }
+}
+
+TEST(BlockDifferential, ArithmeticAcrossWidths) {
+  auto add = netlist::adder_module(12);
+  expect_width_equivalence(add.netlist, add.total_input_bits(), 500, 3);
+  auto mul = netlist::multiplier_module(5);
+  expect_width_equivalence(mul.netlist, mul.total_input_bits(), 300, 5);
+}
+
+TEST(BlockDifferential, PartialBlockBoundaries) {
+  auto mod = netlist::alu_module(6);
+  // Lengths straddling sub-word and block boundaries of a W=2..8 block.
+  for (std::size_t cycles :
+       {std::size_t{1}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{128}, std::size_t{129}, std::size_t{512},
+        std::size_t{513}}) {
+    expect_width_equivalence(mod.netlist, mod.total_input_bits(), cycles, 7);
+  }
+}
+
+TEST(BlockDifferential, CharacterizeAcrossWidths) {
+  auto mod = netlist::multiplier_module(4);
+  stats::Rng rng(31);
+  auto in = sim::random_stream(mod.total_input_bits(), 520, 0.5, rng);
+  auto cs =
+      core::characterize(mod, in, {}, sim::SimOptions{sim::EngineKind::Scalar});
+  for (int w : {1, 2, 4, 8}) {
+    sim::SimOptions packed{sim::EngineKind::Packed};
+    packed.block_words = w;
+    auto cp = core::characterize(mod, in, {}, packed);
+    ASSERT_EQ(cs.transitions(), cp.transitions()) << "W=" << w;
+    EXPECT_EQ(cs.total_cap, cp.total_cap);
+    for (std::size_t t = 0; t < cs.transitions(); ++t) {
+      EXPECT_EQ(cs.energy[t], cp.energy[t]) << "W=" << w << " t=" << t;
+      EXPECT_EQ(cs.cur_word[t], cp.cur_word[t]) << "W=" << w << " t=" << t;
+      EXPECT_EQ(cs.prev_word[t], cp.prev_word[t]) << "W=" << w << " t=" << t;
+      EXPECT_EQ(cs.pin_toggle[t], cp.pin_toggle[t]) << "W=" << w;
+    }
+  }
+}
+
+// --- replica lanes on the block simulator (sequential, W > 1) -------------
+
+TEST(BlockReplicaLanes, SequentialFsmMatches128ScalarRuns) {
+  // Serial-in parity accumulator: q' = q xor in; y = q or in.
+  Netlist nl;
+  auto in = nl.add_input("in");
+  auto q = nl.add_dff();
+  auto x = nl.add_binary(GateKind::Xor, q, in);
+  nl.set_dff_input(q, x);
+  auto y = nl.add_binary(GateKind::Or, q, in);
+  nl.mark_output(y);
+
+  const int W = 2;  // 128 replica lanes
+  const std::size_t cycles = 40;
+  stats::Rng rng(77);
+  std::vector<std::vector<std::uint64_t>> lane_words(cycles);
+  for (auto& w : lane_words) {
+    w.resize(W);
+    for (auto& word : w) word = rng.uniform_bits(64);
+  }
+
+  sim::BlockSimulator bs(nl, W);
+  std::vector<std::vector<std::uint64_t>> block_y(cycles);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    bs.set_input_lanes(in, lane_words[c]);
+    bs.eval();
+    auto lw = bs.lane_words(y);
+    block_y[c].assign(lw.begin(), lw.end());
+    bs.tick();
+  }
+
+  for (int lane = 0; lane < 64 * W; ++lane) {
+    const int w = lane / 64, k = lane % 64;
+    sim::Simulator s(nl);
+    for (std::size_t c = 0; c < cycles; ++c) {
+      s.set_input(in, (lane_words[c][w] >> k) & 1u);
+      s.eval();
+      EXPECT_EQ(static_cast<std::uint64_t>(s.value(y)),
+                (block_y[c][w] >> k) & 1u)
+          << "lane " << lane << " cycle " << c;
+      s.tick();
+    }
+  }
+}
+
+// --- Monte Carlo: widths bit-identical, quota trips on the same pair ------
+
+TEST(BlockMonteCarlo, WidthsBitIdenticalToScalar) {
+  auto mod = netlist::multiplier_module(4);
+  const int n_in = mod.total_input_bits();
+  stats::Rng rng_s(9);
+  auto rs = core::monte_carlo_power(
+      mod, [&] { return rng_s.uniform_bits(n_in); }, 0.05, 0.95, 30, 4000, {},
+      sim::SimOptions{sim::EngineKind::Scalar});
+  for (int w : {1, 2, 4, 8}) {
+    stats::Rng rng_p(9);
+    sim::SimOptions packed{sim::EngineKind::Packed};
+    packed.block_words = w;
+    auto rp = core::monte_carlo_power(
+        mod, [&] { return rng_p.uniform_bits(n_in); }, 0.05, 0.95, 30, 4000,
+        {}, packed);
+    EXPECT_EQ(rs.mean_energy, rp.mean_energy) << "W=" << w;
+    EXPECT_EQ(rs.pairs, rp.pairs) << "W=" << w;
+    EXPECT_EQ(rs.ci_halfwidth, rp.ci_halfwidth) << "W=" << w;
+    EXPECT_EQ(rs.converged, rp.converged) << "W=" << w;
+  }
+}
+
+TEST(BlockMonteCarlo, QuotaTripsOnTheSamePairAcrossWidths) {
+  auto mod = netlist::adder_module(6);
+  const int n_in = mod.total_input_bits();
+  // 97 is mid-block for every width: the final block must be clipped to
+  // the remaining quota, never charged past it.
+  const std::size_t quota = 97;
+  stats::Rng rng_s(4);
+  auto bs = exec::Budget::with_step_quota(quota);
+  auto out_s = core::monte_carlo_power_budgeted(
+      mod, [&] { return rng_s.uniform_bits(n_in); }, bs, 1e-9, 0.95, 30, 4000,
+      {}, sim::SimOptions{sim::EngineKind::Scalar});
+  EXPECT_EQ(out_s->pairs, quota);
+  for (int w : {1, 2, 4, 8}) {
+    stats::Rng rng_p(4);
+    sim::SimOptions packed{sim::EngineKind::Packed};
+    packed.block_words = w;
+    auto bp = exec::Budget::with_step_quota(quota);
+    auto out_p = core::monte_carlo_power_budgeted(
+        mod, [&] { return rng_p.uniform_bits(n_in); }, bp, 1e-9, 0.95, 30,
+        4000, {}, packed);
+    EXPECT_EQ(out_p->pairs, quota) << "W=" << w;
+    EXPECT_EQ(out_p->mean_energy, out_s->mean_energy) << "W=" << w;
+    EXPECT_EQ(out_p->checkpoint.count, out_s->checkpoint.count) << "W=" << w;
+    EXPECT_EQ(out_p->stop_reason,
+              core::MonteCarloResult::StopReason::BudgetExhausted);
+  }
+}
+
+// --- sharded Monte Carlo: thread counts and resume are bit-identical ------
+
+TEST(ShardedMonteCarlo, ThreadCountsBitIdentical) {
+  auto mod = netlist::multiplier_module(4);
+  core::ShardedMcOptions opts;
+  opts.total_pairs = 2000;
+  opts.chunk_pairs = 256;
+  opts.epsilon = 0.0;  // exhaustive: every chunk must be simulated
+  auto ref = core::monte_carlo_power_sharded(mod, 11, opts);
+  EXPECT_EQ(ref->pairs, 2000u);
+  for (int threads : {2, 8}) {
+    core::ShardedMcOptions o = opts;
+    o.threads = threads;
+    auto r = core::monte_carlo_power_sharded(mod, 11, o);
+    EXPECT_EQ(ref->mean_energy, r->mean_energy) << "threads " << threads;
+    EXPECT_EQ(ref->pairs, r->pairs) << "threads " << threads;
+    EXPECT_EQ(ref->ci_halfwidth, r->ci_halfwidth) << "threads " << threads;
+  }
+}
+
+TEST(ShardedMonteCarlo, ConvergenceIndependentOfThreadSchedule) {
+  auto mod = netlist::adder_module(10);
+  core::ShardedMcOptions opts;
+  opts.total_pairs = 50000;
+  opts.chunk_pairs = 512;
+  opts.epsilon = 0.03;  // realistic CI stop: lands mid-campaign
+  auto ref = core::monte_carlo_power_sharded(mod, 5, opts);
+  ASSERT_TRUE(ref->converged);
+  ASSERT_LT(ref->pairs, opts.total_pairs);
+  for (int threads : {2, 8}) {
+    core::ShardedMcOptions o = opts;
+    o.threads = threads;
+    auto r = core::monte_carlo_power_sharded(mod, 5, o);
+    EXPECT_TRUE(r->converged) << "threads " << threads;
+    EXPECT_EQ(ref->pairs, r->pairs) << "threads " << threads;
+    EXPECT_EQ(ref->mean_energy, r->mean_energy) << "threads " << threads;
+  }
+}
+
+TEST(ShardedMonteCarlo, ScalarEngineShardsIdentically) {
+  auto mod = netlist::adder_module(8);
+  core::ShardedMcOptions opts;
+  opts.total_pairs = 1024;
+  opts.chunk_pairs = 128;
+  opts.epsilon = 0.0;
+  opts.sim.engine = sim::EngineKind::Scalar;
+  auto ref = core::monte_carlo_power_sharded(mod, 21, opts);
+  opts.threads = 4;
+  auto r = core::monte_carlo_power_sharded(mod, 21, opts);
+  EXPECT_EQ(ref->mean_energy, r->mean_energy);
+  EXPECT_EQ(ref->pairs, r->pairs);
+  // Scalar and packed shards draw identical per-chunk streams, so the
+  // engines agree bit-for-bit too.
+  core::ShardedMcOptions popts = opts;
+  popts.sim.engine = sim::EngineKind::Packed;
+  auto rp = core::monte_carlo_power_sharded(mod, 21, popts);
+  EXPECT_EQ(ref->mean_energy, rp->mean_energy);
+  EXPECT_EQ(ref->ci_halfwidth, rp->ci_halfwidth);
+}
+
+TEST(ShardedMonteCarlo, ResumeMidCampaignBitIdentical) {
+  auto mod = netlist::multiplier_module(4);
+  core::ShardedMcOptions opts;
+  opts.total_pairs = 2048;
+  opts.chunk_pairs = 256;
+  opts.epsilon = 0.0;
+  opts.threads = 2;
+  auto full = core::monte_carlo_power_sharded(mod, 33, opts);
+  ASSERT_EQ(full->pairs, 2048u);
+
+  // Quota pays for exactly three chunks; the fourth claim trips.
+  auto b = exec::Budget::with_step_quota(3 * 256);
+  auto part = core::monte_carlo_power_sharded(mod, 33, opts, b);
+  EXPECT_EQ(part->pairs, 768u);
+  EXPECT_EQ(part->stop_reason,
+            core::MonteCarloResult::StopReason::BudgetExhausted);
+
+  for (int threads : {1, 8}) {
+    core::ShardedMcOptions o = opts;
+    o.threads = threads;
+    auto resumed = core::monte_carlo_power_sharded(mod, 33, o, {}, {},
+                                                   part->checkpoint);
+    EXPECT_EQ(full->pairs, resumed->pairs) << "threads " << threads;
+    EXPECT_EQ(full->mean_energy, resumed->mean_energy) << "threads "
+                                                       << threads;
+    EXPECT_EQ(full->ci_halfwidth, resumed->ci_halfwidth) << "threads "
+                                                         << threads;
+  }
+}
+
+// --- jobs kernel: shard-count identity ------------------------------------
+
+TEST(ShardedMonteCarlo, JobsKernelValueIndependentOfThreadCount) {
+  jobs::KernelRequest rq;
+  rq.kind = jobs::JobKind::MonteCarlo;
+  rq.design = "adder:12";
+  rq.seed = jobs::job_seed("shard-identity");
+  rq.epsilon = 0.02;
+  rq.max_pairs = 20000;
+  rq.mc_chunk_pairs = 512;
+  rq.mc_threads = 1;
+  auto a = jobs::run_kernel(rq, exec::Budget{});
+  ASSERT_TRUE(a.ok);
+  for (int threads : {2, 4}) {
+    rq.mc_threads = threads;
+    auto b2 = jobs::run_kernel(rq, exec::Budget{});
+    ASSERT_TRUE(b2.ok) << "threads " << threads;
+    EXPECT_EQ(a.out.value, b2.out.value) << "threads " << threads;
+  }
+}
+
+}  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -163,6 +164,76 @@ TEST(Ledger, WriterAppendsDurableRecordsReadBackEqual) {
   ASSERT_EQ(scan.records.size(), recs.size());
   for (std::size_t i = 0; i < recs.size(); ++i)
     EXPECT_EQ(scan.records[i], recs[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Ledger, AppendBatchCommitsAllRecordsWithOneFlush) {
+  const std::string path = tmp_path("batch.ledger");
+  std::vector<LedgerRecord> recs;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    LedgerRecord r = sample_record(RecordKind::Enqueued);
+    r.seq = i + 1;
+    r.job = "job-" + std::to_string(i);
+    recs.push_back(std::move(r));
+  }
+  {
+    jobs::LedgerWriter w(path, /*truncate=*/true);
+    w.append_batch(recs);
+    EXPECT_EQ(w.records_committed(), 32u);
+    EXPECT_EQ(w.flush_batches(), 1u);  // the burst costs exactly one fsync
+    w.append_batch({});                // empty batch is a no-op
+    EXPECT_EQ(w.flush_batches(), 1u);
+  }
+  jobs::LedgerScan scan = jobs::read_ledger(path);
+  EXPECT_EQ(scan.malformed_lines, 0u);
+  ASSERT_EQ(scan.records.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i)
+    EXPECT_EQ(scan.records[i], recs[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Ledger, ConcurrentAppendsGroupCommitLoseNothing) {
+  const std::string path = tmp_path("group.ledger");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50;
+  {
+    jobs::LedgerWriter w(path, /*truncate=*/true);
+    std::atomic<std::uint64_t> next_seq{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&w, &next_seq, t] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          LedgerRecord r = sample_record(RecordKind::Started);
+          r.seq = next_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+          r.job = "t" + std::to_string(t) + "-" + std::to_string(i);
+          r.attempt = static_cast<int>(i) + 1;
+          w.append(r);  // durable when this returns
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    EXPECT_EQ(w.records_committed(), kThreads * kPerThread);
+    // Group commit is opportunistic: the fsync count can be anywhere from
+    // 1 to one-per-record, but never more than the records retired.
+    EXPECT_GE(w.flush_batches(), 1u);
+    EXPECT_LE(w.flush_batches(), w.records_committed());
+  }
+  jobs::LedgerScan scan = jobs::read_ledger(path);
+  EXPECT_EQ(scan.malformed_lines, 0u);
+  ASSERT_EQ(scan.records.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  // Every record survives exactly once, regardless of interleaving.
+  std::vector<std::string> jobs_seen;
+  for (const auto& r : scan.records) {
+    EXPECT_EQ(r.kind, RecordKind::Started);
+    jobs_seen.push_back(r.job);
+  }
+  std::sort(jobs_seen.begin(), jobs_seen.end());
+  EXPECT_EQ(std::unique(jobs_seen.begin(), jobs_seen.end()),
+            jobs_seen.end());
+  // Sequence numbers are a permutation of 1..N even though file order may
+  // interleave (seq is campaign-monotone, not file-order-monotone).
+  EXPECT_EQ(scan.max_seq(), kThreads * kPerThread);
   std::remove(path.c_str());
 }
 
@@ -722,7 +793,8 @@ TEST(Spec, ParsesDirectivesAndJobLines) {
       "base-delay 0.01\n"
       "\n"
       "job add16   symbolic    adder:16  node-cap=20000\n"
-      "job mc-alu  monte-carlo alu:12    epsilon=0.01 max-pairs=5000\n"
+      "job mc-alu  monte-carlo alu:12    epsilon=0.01 max-pairs=5000 "
+      "mc-threads=4\n"
       "job dma     markov      dma       max-iters=500\n"
       "job sched   schedule    fir:16    wall-deadline=1.5\n");
   EXPECT_EQ(spec.workers, 4);
@@ -733,6 +805,7 @@ TEST(Spec, ParsesDirectivesAndJobLines) {
   EXPECT_EQ(spec.jobs[0].budget.node_cap, 20000u);
   EXPECT_EQ(spec.jobs[1].epsilon, 0.01);
   EXPECT_EQ(spec.jobs[1].max_pairs, 5000u);
+  EXPECT_EQ(spec.jobs[1].mc_threads, 4);
   EXPECT_EQ(spec.jobs[2].max_iters, 500);
   EXPECT_EQ(spec.jobs[3].attempt_deadline_seconds, 1.5);
 }
@@ -751,6 +824,7 @@ TEST(Spec, RejectsMalformedLinesWithLineNumbers) {
       {"job a monte-carlo adder:4 bogus=1\n", 1},
       {"job a monte-carlo adder:4 epsilon=zero\n", 1},
       {"job a monte-carlo adder:4 confidence=1.5\n", 1},
+      {"job a monte-carlo adder:4 mc-threads=-1\n", 1},
       {"job a monte-carlo adder:4\njob a markov dma\n", 2},  // duplicate id
   };
   for (const Case& c : cases) {
