@@ -1,0 +1,405 @@
+#include "analysis/activity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+
+namespace hlp::analysis {
+
+namespace {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::Netlist;
+
+constexpr std::uint32_t kNotInput = 0xffffffffu;
+
+double clamp01(double x) { return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x); }
+
+/// Output joint of a 2-input gate under spatial independence of its fanins:
+/// exact 16-term enumeration of both time points.
+template <class F>
+PairDist combine2(const PairDist& a, const PairDist& b, F f) {
+  const double pa[2][2] = {{a.p00, a.p01}, {a.p10, a.p11}};
+  const double pb[2][2] = {{b.p00, b.p01}, {b.p10, b.p11}};
+  double out[2][2] = {{0, 0}, {0, 0}};
+  for (int ap = 0; ap < 2; ++ap)
+    for (int ac = 0; ac < 2; ++ac)
+      for (int bp = 0; bp < 2; ++bp)
+        for (int bc = 0; bc < 2; ++bc)
+          out[f(ap, bp)][f(ac, bc)] += pa[ap][ac] * pb[bp][bc];
+  return {out[0][0], out[0][1], out[1][0], out[1][1]};
+}
+
+PairDist invert(const PairDist& a) { return {a.p11, a.p10, a.p01, a.p00}; }
+
+/// Mux needs direct 3-input enumeration: folding it as (s&d1)|(~s&d0)
+/// would use the select twice and double-count its distribution.
+PairDist mux3(const PairDist& s, const PairDist& d0, const PairDist& d1) {
+  const double ps[2][2] = {{s.p00, s.p01}, {s.p10, s.p11}};
+  const double pa[2][2] = {{d0.p00, d0.p01}, {d0.p10, d0.p11}};
+  const double pb[2][2] = {{d1.p00, d1.p01}, {d1.p10, d1.p11}};
+  double out[2][2] = {{0, 0}, {0, 0}};
+  for (int sp = 0; sp < 2; ++sp)
+    for (int sc = 0; sc < 2; ++sc)
+      for (int ap = 0; ap < 2; ++ap)
+        for (int ac = 0; ac < 2; ++ac)
+          for (int bp = 0; bp < 2; ++bp)
+            for (int bc = 0; bc < 2; ++bc)
+              out[sp != 0 ? bp : ap][sc != 0 ? bc : ac] +=
+                  ps[sp][sc] * pa[ap][ac] * pb[bp][bc];
+  return {out[0][0], out[0][1], out[1][0], out[1][1]};
+}
+
+struct ActivityDomain {
+  using Value = PairDist;
+
+  const InputModel* model;
+  const std::vector<std::uint32_t>* input_pos;
+  /// When set, transfer(g) returns pinned[g] for masked gates — used to
+  /// hold BDD-exact joints fixed while the decorrelated values downstream
+  /// of them re-propagate.
+  const std::vector<PairDist>* pinned = nullptr;
+  const std::vector<std::uint8_t>* pin_mask = nullptr;
+  double tol = 1e-12;
+
+  PairDist fanin(const std::vector<PairDist>& values, GateId f) const {
+    if (f == netlist::kNullGate || f >= values.size())
+      return PairDist::constant(false);
+    return values[f];
+  }
+
+  Value initial(const Netlist& nl, GateId g) const {
+    if (pin_mask && (*pin_mask)[g]) return (*pinned)[g];
+    const Gate& gate = nl.gate(g);
+    switch (gate.kind) {
+      case GateKind::Input:
+        return model->dist((*input_pos)[g]);
+      case GateKind::Const0:
+        return PairDist::constant(false);
+      case GateKind::Const1:
+        return PairDist::constant(true);
+      case GateKind::Dff:
+        return PairDist::constant(nl.dff_init(g));
+      default:
+        return PairDist::constant(false);  // overwritten by first transfer
+    }
+  }
+
+  Value transfer(const Netlist& nl, GateId g,
+                 const std::vector<PairDist>& values) const {
+    if (pin_mask && (*pin_mask)[g]) return (*pinned)[g];
+    const Gate& gate = nl.gate(g);
+    switch (gate.kind) {
+      case GateKind::Input:
+      case GateKind::Const0:
+      case GateKind::Const1:
+        return values[g];  // sources hold their model
+      case GateKind::Dff: {
+        // Consumer view: prev = the init value (pre-update state), cur = the
+        // registered D marginal; the components decorrelate across the state
+        // update boundary.
+        const double pi = nl.dff_init(g) ? 1.0 : 0.0;
+        const double pd = gate.fanins.empty()
+                              ? pi
+                              : fanin(values, gate.fanins[0]).p();
+        return {(1 - pi) * (1 - pd), (1 - pi) * pd, pi * (1 - pd), pi * pd};
+      }
+      case GateKind::Buf:
+        return gate.fanins.empty() ? values[g] : fanin(values, gate.fanins[0]);
+      case GateKind::Not:
+        return gate.fanins.empty() ? values[g]
+                                   : invert(fanin(values, gate.fanins[0]));
+      case GateKind::And:
+      case GateKind::Nand:
+      case GateKind::Or:
+      case GateKind::Nor:
+      case GateKind::Xor:
+      case GateKind::Xnor: {
+        const bool is_or =
+            gate.kind == GateKind::Or || gate.kind == GateKind::Nor;
+        const bool is_xor =
+            gate.kind == GateKind::Xor || gate.kind == GateKind::Xnor;
+        const bool neg = gate.kind == GateKind::Nand ||
+                         gate.kind == GateKind::Nor ||
+                         gate.kind == GateKind::Xnor;
+        PairDist acc = PairDist::constant(!is_or && !is_xor);
+        bool first = true;
+        for (GateId f : gate.fanins) {
+          PairDist v = fanin(values, f);
+          if (first) {
+            acc = v;
+            first = false;
+          } else if (is_xor) {
+            acc = combine2(acc, v, [](int a, int b) { return a ^ b; });
+          } else if (is_or) {
+            acc = combine2(acc, v, [](int a, int b) { return a | b; });
+          } else {
+            acc = combine2(acc, v, [](int a, int b) { return a & b; });
+          }
+        }
+        return neg ? invert(acc) : acc;
+      }
+      case GateKind::Mux: {
+        if (gate.fanins.size() < 3) return values[g];
+        return mux3(fanin(values, gate.fanins[0]),
+                    fanin(values, gate.fanins[1]),
+                    fanin(values, gate.fanins[2]));
+      }
+    }
+    return values[g];
+  }
+
+  bool changed(const PairDist& a, const PairDist& b) const {
+    return std::fabs(a.p00 - b.p00) > tol || std::fabs(a.p01 - b.p01) > tol ||
+           std::fabs(a.p10 - b.p10) > tol || std::fabs(a.p11 - b.p11) > tol;
+  }
+};
+
+/// Weighted model counting over doubled-variable BDDs. Variable 2k is
+/// input k at the previous time point, 2k+1 at the current one; the pair
+/// is adjacent in the order, so one recursion step consumes both and
+/// applies the input's lag-one joint as the weight. Distinct input pairs
+/// are mutually independent, which is what makes the per-node memo valid.
+class PairCounter {
+ public:
+  PairCounter(bdd::Manager& mgr, const std::vector<PairDist>& input_dist)
+      : mgr_(mgr), dist_(input_dist) {}
+
+  double count(bdd::NodeRef f) {
+    if (f == bdd::kFalse) return 0.0;
+    if (f == bdd::kTrue) return 1.0;
+    auto it = memo_.find(f);
+    if (it != memo_.end()) return it->second;
+    const std::uint32_t v = mgr_.node_var(f);
+    const std::uint32_t k = v >> 1;
+    const PairDist& d = dist_[k];
+    double r;
+    if ((v & 1u) != 0) {
+      // Top var is cur_k with no prev_k above it; ordered BDDs place prev_k
+      // (the smaller var) only above, so f is independent of prev_k and the
+      // marginal P(cur_k = 1) is the right weight.
+      r = d.p() * count(mgr_.node_hi(f)) +
+          (1.0 - d.p()) * count(mgr_.node_lo(f));
+    } else {
+      const double joint[2][2] = {{d.p00, d.p01}, {d.p10, d.p11}};
+      r = 0.0;
+      for (int a = 0; a < 2; ++a) {
+        bdd::NodeRef fa = a != 0 ? mgr_.node_hi(f) : mgr_.node_lo(f);
+        bdd::NodeRef fb[2] = {fa, fa};
+        if (!mgr_.is_terminal(fa) && mgr_.node_var(fa) == v + 1) {
+          fb[0] = mgr_.node_lo(fa);
+          fb[1] = mgr_.node_hi(fa);
+        }
+        r += joint[a][0] * count(fb[0]) + joint[a][1] * count(fb[1]);
+      }
+    }
+    memo_.emplace(f, r);
+    return r;
+  }
+
+ private:
+  bdd::Manager& mgr_;
+  const std::vector<PairDist>& dist_;
+  std::unordered_map<bdd::NodeRef, double> memo_;
+};
+
+}  // namespace
+
+PairDist PairDist::from_marginals(double p, double t) {
+  p = clamp01(p);
+  // The joint must be a distribution: t/2 <= min(p, 1-p).
+  t = std::min(clamp01(t), 2.0 * std::min(p, 1.0 - p));
+  const double h = t / 2.0;
+  return {1.0 - p - h, h, h, p - h};
+}
+
+PairDist InputModel::dist(std::size_t input_index) const {
+  const double pi =
+      input_index < p.size() ? clamp01(p[input_index]) : clamp01(default_p);
+  if (pair_mode) {
+    // Two independent draws: joint = product of identical marginals.
+    return {(1 - pi) * (1 - pi), (1 - pi) * pi, pi * (1 - pi), pi * pi};
+  }
+  const double ti = input_index < t.size() ? t[input_index] : default_t;
+  return PairDist::from_marginals(pi, ti);
+}
+
+std::vector<std::uint8_t> sequential_taint(const netlist::Netlist& nl,
+                                           const netlist::NetlistIndex& ix) {
+  const std::size_t n = nl.gate_count();
+  std::vector<std::uint8_t> seq(n, 0);
+  for (GateId g = 0; g < n; ++g)
+    if (nl.gate(g).kind == GateKind::Dff) seq[g] = 1;
+  for (GateId g : ix.topo) {
+    const Gate& gate = nl.gate(g);
+    if (!netlist::is_logic(gate.kind)) continue;
+    for (GateId f : gate.fanins)
+      if (f != netlist::kNullGate && f < n && seq[f] != 0) {
+        seq[g] = 1;
+        break;
+      }
+  }
+  // Gates on combinational cycles never enter the topo order; taint them so
+  // no caller treats their pair statistics as independent.
+  for (GateId g = 0; g < n; ++g)
+    if (ix.topo_rank[g] == netlist::NetlistIndex::kNoRank) seq[g] = 1;
+  return seq;
+}
+
+ActivityResult run_activity(const netlist::Netlist& nl,
+                            const netlist::NetlistIndex& ix,
+                            const ActivityOptions& opts, exec::Meter* meter) {
+  const std::size_t n = nl.gate_count();
+  ActivityResult res;
+
+  std::vector<std::uint32_t> input_pos(n, kNotInput);
+  std::vector<PairDist> input_dist(nl.inputs().size());
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    input_pos[nl.inputs()[i]] = static_cast<std::uint32_t>(i);
+    input_dist[i] = opts.inputs.dist(i);
+  }
+
+  ActivityDomain dom{&opts.inputs, &input_pos};
+  res.stats = run_fixpoint(nl, ix, dom, res.dist, opts.fixpoint, meter);
+  res.sequential = sequential_taint(nl, ix);
+  res.refined.assign(n, 0);
+  if (opts.refine_node_budget == 0 || res.stats.stop != exec::StopReason::None)
+    return res;
+
+  // --- Exact mode: rebuild DFF-free cones as doubled-variable BDDs -------
+  // Deterministic: topo prefix, fixed node budget, no wall-clock influence
+  // on which gates get refined. A 4x backstop meter guards against a single
+  // ITE blowing far past the budget between checks.
+  bdd::Manager mgr;
+  exec::Budget backstop_budget;
+  backstop_budget.node_cap = 4 * opts.refine_node_budget + 1024;
+  exec::Meter backstop(backstop_budget);
+  mgr.set_meter(&backstop);
+  std::vector<bdd::NodeRef> fprev(n, bdd::kFalse), fcur(n, bdd::kFalse);
+  std::vector<std::uint8_t> built(n, 0);
+  PairCounter counter(mgr, input_dist);
+
+  for (GateId g : ix.topo) {
+    if (res.sequential[g] != 0) continue;
+    if (meter && meter->over_budget(1)) {
+      res.refine_budget_hit = true;
+      break;
+    }
+    const Gate& gate = nl.gate(g);
+    bool ok = true;
+    for (GateId f : gate.fanins)
+      ok = ok && f != netlist::kNullGate && f < n && built[f] != 0;
+    if (!ok) continue;
+    try {
+      bdd::NodeRef pcur = bdd::kFalse;
+      bdd::NodeRef pprev = bdd::kFalse;
+      switch (gate.kind) {
+        case GateKind::Input: {
+          const std::uint32_t i = input_pos[g];
+          pprev = mgr.var(2 * i);
+          pcur = mgr.var(2 * i + 1);
+          break;
+        }
+        case GateKind::Const0:
+          break;
+        case GateKind::Const1:
+          pprev = pcur = bdd::kTrue;
+          break;
+        case GateKind::Buf:
+        case GateKind::Not: {
+          if (gate.fanins.empty()) continue;
+          pprev = fprev[gate.fanins[0]];
+          pcur = fcur[gate.fanins[0]];
+          if (gate.kind == GateKind::Not) {
+            pprev = mgr.bdd_not(pprev);
+            pcur = mgr.bdd_not(pcur);
+          }
+          break;
+        }
+        case GateKind::And:
+        case GateKind::Nand:
+        case GateKind::Or:
+        case GateKind::Nor:
+        case GateKind::Xor:
+        case GateKind::Xnor: {
+          if (gate.fanins.empty()) continue;
+          const bool is_or =
+              gate.kind == GateKind::Or || gate.kind == GateKind::Nor;
+          const bool is_xor =
+              gate.kind == GateKind::Xor || gate.kind == GateKind::Xnor;
+          const bool neg = gate.kind == GateKind::Nand ||
+                           gate.kind == GateKind::Nor ||
+                           gate.kind == GateKind::Xnor;
+          pprev = fprev[gate.fanins[0]];
+          pcur = fcur[gate.fanins[0]];
+          for (std::size_t i = 1; i < gate.fanins.size(); ++i) {
+            const GateId f = gate.fanins[i];
+            if (is_xor) {
+              pprev = mgr.bdd_xor(pprev, fprev[f]);
+              pcur = mgr.bdd_xor(pcur, fcur[f]);
+            } else if (is_or) {
+              pprev = mgr.bdd_or(pprev, fprev[f]);
+              pcur = mgr.bdd_or(pcur, fcur[f]);
+            } else {
+              pprev = mgr.bdd_and(pprev, fprev[f]);
+              pcur = mgr.bdd_and(pcur, fcur[f]);
+            }
+          }
+          if (neg) {
+            pprev = mgr.bdd_not(pprev);
+            pcur = mgr.bdd_not(pcur);
+          }
+          break;
+        }
+        case GateKind::Mux: {
+          if (gate.fanins.size() < 3) continue;
+          pprev = mgr.ite(fprev[gate.fanins[0]], fprev[gate.fanins[2]],
+                          fprev[gate.fanins[1]]);
+          pcur = mgr.ite(fcur[gate.fanins[0]], fcur[gate.fanins[2]],
+                         fcur[gate.fanins[1]]);
+          break;
+        }
+        case GateKind::Dff:
+          continue;  // sequential; never reached (taint), kept for the enum
+      }
+      fprev[g] = pprev;
+      fcur[g] = pcur;
+      built[g] = 1;
+      if (netlist::is_logic(gate.kind)) {
+        const double pp = counter.count(pprev);
+        const double pc = counter.count(pcur);
+        const double p11 = counter.count(mgr.bdd_and(pprev, pcur));
+        res.dist[g] = {clamp01(1.0 - pp - pc + p11), clamp01(pc - p11),
+                       clamp01(pp - p11), clamp01(p11)};
+        res.refined[g] = 1;
+        ++res.refined_gates;
+      }
+    } catch (const exec::BudgetExceeded&) {
+      res.refine_budget_hit = true;
+      break;
+    }
+    if (mgr.total_nodes() > opts.refine_node_budget) {
+      res.refine_budget_hit = true;
+      break;
+    }
+  }
+  res.bdd_nodes = mgr.total_nodes();
+
+  // Re-propagate so decorrelated gates downstream of refined ones see the
+  // corrected joints; refined gates stay pinned to their exact values.
+  if (res.refined_gates > 0) {
+    std::vector<PairDist> pins = res.dist;
+    ActivityDomain dom2 = dom;
+    dom2.pinned = &pins;
+    dom2.pin_mask = &res.refined;
+    res.repropagate_stats =
+        run_fixpoint(nl, ix, dom2, res.dist, opts.fixpoint, meter);
+  }
+  return res;
+}
+
+}  // namespace hlp::analysis

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/fixpoint.hpp"
+#include "exec/exec.hpp"
+#include "netlist/index.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hlp::analysis {
+
+/// --- Signal probability + transition density (point estimates) -------------
+///
+/// Each net carries the joint distribution of its value at two consecutive
+/// observation points — the lag-one temporal correlation model from the
+/// paper: a signal is not just P(v=1) but the 2x2 joint
+/// P(prev=a, cur=b), from which both the signal probability
+/// p = P(cur=1) and the transition density t = P(prev != cur) fall out.
+struct PairDist {
+  double p00 = 1.0, p01 = 0.0, p10 = 0.0, p11 = 0.0;
+
+  double p() const { return p01 + p11; }       ///< P(cur = 1)
+  double p_prev() const { return p10 + p11; }  ///< P(prev = 1)
+  double t() const { return p01 + p10; }       ///< toggle probability
+
+  /// Marginals-only joint under the lag-one model: P(0->1)=P(1->0)=t/2.
+  static PairDist from_marginals(double p, double t);
+  static PairDist constant(bool v) {
+    return v ? PairDist{0, 0, 0, 1} : PairDist{1, 0, 0, 0};
+  }
+};
+
+/// Primary-input statistics. The default (`pair_mode`) matches the packed
+/// Monte Carlo and symbolic estimators exactly: each evaluation pair draws
+/// two *independent* uniform vectors, so every input has p = 0.5 and
+/// t = 2p(1-p) = 0.5 with prev and cur independent. Turning pair_mode off
+/// admits arbitrary per-input (p, t) lag-one streams.
+struct InputModel {
+  bool pair_mode = true;
+  double default_p = 0.5;
+  double default_t = 0.5;        ///< ignored in pair_mode (t = 2p(1-p))
+  std::vector<double> p;         ///< optional per-input override (by position
+                                 ///< in Netlist::inputs())
+  std::vector<double> t;         ///< per-input toggle override (!pair_mode)
+
+  PairDist dist(std::size_t input_index) const;
+};
+
+struct ActivityOptions {
+  InputModel inputs;
+  FixpointOptions fixpoint;
+  /// Exact-mode budget: total BDD nodes the refinement pass may allocate
+  /// before it stops (0 disables exact mode). Deliberately a fixed
+  /// analysis-level knob, NOT derived from any request budget, so a given
+  /// (netlist, options) pair always produces the same values — the serve
+  /// cache depends on that.
+  std::size_t refine_node_budget = 20000;
+};
+
+struct ActivityResult {
+  std::vector<PairDist> dist;  ///< per gate; DFF entries are the
+                               ///< consumer-facing view (prev = init value,
+                               ///< cur = D's marginal); the DFF's *own*
+                               ///< toggle is its D fanin's t()
+  /// Gate's cone reaches a DFF: its two evaluations are correlated through
+  /// the state update, so pair-mode independence does not apply.
+  std::vector<std::uint8_t> sequential;
+  /// Exact (BDD-computed) joint replaced the decorrelated estimate.
+  std::vector<std::uint8_t> refined;
+  std::size_t refined_gates = 0;
+  std::size_t bdd_nodes = 0;        ///< nodes the refinement actually built
+  bool refine_budget_hit = false;   ///< stopped early at refine_node_budget
+  FixpointStats stats;              ///< decorrelated propagation
+  FixpointStats repropagate_stats;  ///< post-refinement re-propagation
+};
+
+/// Propagate pair distributions to fixpoint (fast decorrelated mode:
+/// fanins treated as spatially independent, exact otherwise), then — under
+/// `refine_node_budget` — rebuild a topological prefix of DFF-free cones as
+/// BDDs over doubled variables (prev_i = 2i, cur_i = 2i+1) and replace
+/// those gates' joints with exact weighted model counts, which repairs
+/// reconvergent-fanout correlation error. Results for refined gates are
+/// exact under the input model; unrefined tree-shaped (non-reconvergent)
+/// gates are exact already by independence.
+ActivityResult run_activity(const netlist::Netlist& nl,
+                            const netlist::NetlistIndex& ix,
+                            const ActivityOptions& opts = {},
+                            exec::Meter* meter = nullptr);
+
+/// Cone-reaches-a-DFF taint, one topo pass (exposed for the bounds
+/// analysis, which needs the same flag).
+std::vector<std::uint8_t> sequential_taint(const netlist::Netlist& nl,
+                                           const netlist::NetlistIndex& ix);
+
+}  // namespace hlp::analysis

@@ -1,0 +1,86 @@
+#include "analysis/arrival.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hlp::analysis {
+
+namespace {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::Netlist;
+
+constexpr std::uint32_t kTransitionCap = 1u << 20;
+
+std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) {
+  const std::uint64_t s = std::uint64_t{a} + b;
+  return s > kTransitionCap ? kTransitionCap : static_cast<std::uint32_t>(s);
+}
+
+struct ArrivalDomain {
+  using Value = ArrivalWindow;
+
+  Value fanin(const std::vector<Value>& values, GateId f) const {
+    if (f == netlist::kNullGate || f >= values.size()) return {};
+    return values[f];
+  }
+
+  Value initial(const Netlist& nl, GateId g) const {
+    switch (nl.gate(g).kind) {
+      case GateKind::Const0:
+      case GateKind::Const1:
+        return {0, 0, 0};  // constants never transition
+      default:
+        return {0, 0, 1};  // inputs and register outputs: settled at t=0,
+                           // at most the single functional transition
+    }
+  }
+
+  Value transfer(const Netlist& nl, GateId g,
+                 const std::vector<Value>& values) const {
+    const Gate& gate = nl.gate(g);
+    if (!netlist::is_logic(gate.kind) || gate.fanins.empty())
+      return values[g];  // sources hold their initial window
+    ArrivalWindow w;
+    w.lo = std::numeric_limits<std::int32_t>::max();
+    w.hi = 0;
+    std::uint32_t sum = 0;
+    for (GateId f : gate.fanins) {
+      const ArrivalWindow fw = fanin(values, f);
+      w.lo = std::min(w.lo, fw.lo);
+      w.hi = std::max(w.hi, fw.hi);
+      sum = sat_add(sum, fw.max_transitions);
+    }
+    w.lo = std::min(w.lo + 1, static_cast<std::int32_t>(kTransitionCap));
+    w.hi = std::min(w.hi + 1, static_cast<std::int32_t>(kTransitionCap));
+    // Two independent ceilings: changes must arrive from some fanin change,
+    // and land on distinct unit-delay slots inside the window.
+    w.max_transitions =
+        std::min(sum, static_cast<std::uint32_t>(w.width()) + 1);
+    return w;
+  }
+
+  bool changed(const ArrivalWindow& a, const ArrivalWindow& b) const {
+    return a.lo != b.lo || a.hi != b.hi ||
+           a.max_transitions != b.max_transitions;
+  }
+};
+
+}  // namespace
+
+ArrivalResult run_arrival(const netlist::Netlist& nl,
+                          const netlist::NetlistIndex& ix,
+                          const FixpointOptions& opts, exec::Meter* meter) {
+  // Windows are only meaningful on an acyclic netlist; on a cyclic one the
+  // clamped iteration still terminates (value growth is capped and
+  // max_passes bounds the passes) but stats.converged reports false and
+  // callers must not trust windows of gates on the cycle.
+  ArrivalResult res;
+  ArrivalDomain dom;
+  res.stats = run_fixpoint(nl, ix, dom, res.window, opts, meter);
+  return res;
+}
+
+}  // namespace hlp::analysis

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/fixpoint.hpp"
+#include "exec/exec.hpp"
+#include "netlist/index.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hlp::analysis {
+
+/// --- Arrival-window / glitch-activity bound --------------------------------
+///
+/// Unit-delay timing abstraction: each net settles somewhere in an arrival
+/// window [lo, hi] (gate delays = 1, sources and register outputs arrive at
+/// 0). The window width bounds how many times the net can change per cycle:
+/// a zero-width window means at most the single functional transition; every
+/// extra slot is glitch headroom. `max_transitions` combines the two sound
+/// bounds — a gate's output can only change when an input change reaches it
+/// (sum of fanin bounds) and only at distinct arrival times within its
+/// window — so it is a guaranteed per-cycle transition ceiling under unit
+/// delay.
+struct ArrivalWindow {
+  std::int32_t lo = 0;
+  std::int32_t hi = 0;
+  std::uint32_t max_transitions = 1;
+
+  std::int32_t width() const { return hi - lo; }
+};
+
+struct ArrivalResult {
+  std::vector<ArrivalWindow> window;
+  FixpointStats stats;
+};
+
+ArrivalResult run_arrival(const netlist::Netlist& nl,
+                          const netlist::NetlistIndex& ix,
+                          const FixpointOptions& opts = {},
+                          exec::Meter* meter = nullptr);
+
+}  // namespace hlp::analysis

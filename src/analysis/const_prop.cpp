@@ -1,0 +1,124 @@
+#include "analysis/const_prop.hpp"
+
+namespace hlp::analysis {
+
+namespace {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::Netlist;
+
+ConstValue join(ConstValue a, ConstValue b) {
+  return a == b ? a : ConstValue::Varying;
+}
+
+struct ConstDomain {
+  using Value = ConstValue;
+
+  Value fanin(const std::vector<Value>& values, GateId f) const {
+    if (f == netlist::kNullGate || f >= values.size())
+      return ConstValue::Varying;
+    return values[f];
+  }
+
+  Value initial(const Netlist& nl, GateId g) const {
+    switch (nl.gate(g).kind) {
+      case GateKind::Const0:
+        return ConstValue::Zero;
+      case GateKind::Const1:
+        return ConstValue::One;
+      case GateKind::Dff:
+        // Optimistic: stays at init unless D can disagree (least fixpoint).
+        return nl.dff_init(g) ? ConstValue::One : ConstValue::Zero;
+      case GateKind::Input:
+        return ConstValue::Varying;
+      default:
+        return ConstValue::Varying;  // pessimistic seed; first transfer
+                                     // recomputes from fanins
+    }
+  }
+
+  Value transfer(const Netlist& nl, GateId g,
+                 const std::vector<Value>& values) const {
+    const Gate& gate = nl.gate(g);
+    switch (gate.kind) {
+      case GateKind::Input:
+      case GateKind::Const0:
+      case GateKind::Const1:
+        return values[g];
+      case GateKind::Dff: {
+        const ConstValue init =
+            nl.dff_init(g) ? ConstValue::One : ConstValue::Zero;
+        if (gate.fanins.empty() || gate.fanins[0] == netlist::kNullGate)
+          return init;
+        return join(init, fanin(values, gate.fanins[0]));
+      }
+      default:
+        break;
+    }
+    // Ternary evaluation: exact when all fanins are constant, absorbing
+    // shortcuts otherwise (And with a 0, Or with a 1, Mux with constant
+    // select), Varying where a Varying fanin can influence the output.
+    bool all_const = true;
+    for (GateId f : gate.fanins)
+      all_const = all_const && fanin(values, f) != ConstValue::Varying;
+    if (all_const && !gate.fanins.empty()) {
+      std::vector<std::uint8_t> bits(gate.fanins.size());
+      for (std::size_t i = 0; i < gate.fanins.size(); ++i)
+        bits[i] =
+            fanin(values, gate.fanins[i]) == ConstValue::One ? 1 : 0;
+      return netlist::eval_gate(gate.kind, bits) ? ConstValue::One
+                                                 : ConstValue::Zero;
+    }
+    switch (gate.kind) {
+      case GateKind::And:
+      case GateKind::Nand: {
+        for (GateId f : gate.fanins)
+          if (fanin(values, f) == ConstValue::Zero)
+            return gate.kind == GateKind::And ? ConstValue::Zero
+                                              : ConstValue::One;
+        return ConstValue::Varying;
+      }
+      case GateKind::Or:
+      case GateKind::Nor: {
+        for (GateId f : gate.fanins)
+          if (fanin(values, f) == ConstValue::One)
+            return gate.kind == GateKind::Or ? ConstValue::One
+                                             : ConstValue::Zero;
+        return ConstValue::Varying;
+      }
+      case GateKind::Mux: {
+        if (gate.fanins.size() < 3) return ConstValue::Varying;
+        const ConstValue sel = fanin(values, gate.fanins[0]);
+        const ConstValue d0 = fanin(values, gate.fanins[1]);
+        const ConstValue d1 = fanin(values, gate.fanins[2]);
+        if (sel == ConstValue::Zero) return d0;
+        if (sel == ConstValue::One) return d1;
+        return join(d0, d1);  // constant only if both branches agree
+      }
+      default:
+        return ConstValue::Varying;  // Buf/Not/Xor/Xnor with a Varying fanin
+    }
+  }
+
+  bool changed(ConstValue a, ConstValue b) const { return a != b; }
+};
+
+}  // namespace
+
+ConstResult run_const_prop(const netlist::Netlist& nl,
+                           const netlist::NetlistIndex& ix,
+                           const FixpointOptions& opts, exec::Meter* meter) {
+  ConstResult res;
+  ConstDomain dom;
+  res.stats = run_fixpoint(nl, ix, dom, res.value, opts, meter);
+  for (netlist::GateId g = 0; g < nl.gate_count(); ++g) {
+    const GateKind k = nl.gate(g).kind;
+    const bool reducible = netlist::is_logic(k) || k == GateKind::Dff;
+    if (reducible && res.value[g] != ConstValue::Varying) ++res.constant_gates;
+  }
+  return res;
+}
+
+}  // namespace hlp::analysis

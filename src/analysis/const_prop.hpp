@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/fixpoint.hpp"
+#include "exec/exec.hpp"
+#include "netlist/index.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hlp::analysis {
+
+/// --- Constant / dead-logic propagation -------------------------------------
+///
+/// Ternary lattice Zero < Varying, One < Varying. Inputs start Varying,
+/// constants at their value, DFFs optimistically at their init value (a
+/// register is constant iff its D input can never disagree with the init —
+/// the least fixpoint of the joined iteration proves exactly that).
+enum class ConstValue : std::uint8_t { Zero = 0, One = 1, Varying = 2 };
+
+struct ConstResult {
+  std::vector<ConstValue> value;
+  std::size_t constant_gates = 0;  ///< logic/DFF gates proven constant
+  FixpointStats stats;
+};
+
+ConstResult run_const_prop(const netlist::Netlist& nl,
+                           const netlist::NetlistIndex& ix,
+                           const FixpointOptions& opts = {},
+                           exec::Meter* meter = nullptr);
+
+}  // namespace hlp::analysis

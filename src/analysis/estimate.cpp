@@ -1,0 +1,103 @@
+#include "analysis/estimate.hpp"
+
+#include <algorithm>
+
+namespace hlp::analysis {
+
+namespace {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::Netlist;
+
+exec::StopReason first_stop(exec::StopReason a, exec::StopReason b) {
+  return a != exec::StopReason::None ? a : b;
+}
+
+}  // namespace
+
+StaticEstimate static_estimate(const netlist::Netlist& nl,
+                               const netlist::NetlistIndex& ix,
+                               const StaticOptions& opts, exec::Meter* meter) {
+  const std::size_t n = nl.gate_count();
+  StaticEstimate est;
+
+  est.constants = run_const_prop(nl, ix, opts.fixpoint, meter);
+  est.arrival = run_arrival(nl, ix, opts.fixpoint, meter);
+  ActivityOptions aopts;
+  aopts.inputs = opts.inputs;
+  aopts.fixpoint = opts.fixpoint;
+  aopts.refine_node_budget = opts.refine_node_budget;
+  est.activity = run_activity(nl, ix, aopts, meter);
+  BoundsOptions bopts;
+  bopts.inputs = opts.inputs;
+  bopts.fixpoint = opts.fixpoint;
+  bopts.exact = &est.activity;
+  est.bounds = run_bounds(nl, ix, bopts, meter);
+
+  // Constant collapse: a proven-constant net has exact probability and zero
+  // toggle; fold that into the activity/bounds/arrival views so every
+  // consumer (energy sums below, lint annotations) sees it.
+  for (GateId g = 0; g < n; ++g) {
+    const ConstValue cv = est.constants.value[g];
+    if (cv == ConstValue::Varying) continue;
+    const bool one = cv == ConstValue::One;
+    est.activity.dist[g] = PairDist::constant(one);
+    est.bounds.value[g] = {one ? 1.0 : 0.0, one ? 1.0 : 0.0, 0.0, 0.0, true};
+    est.arrival.window[g].max_transitions = 0;
+  }
+
+  est.gate_point.assign(n, 0.0);
+  est.gate_lower.assign(n, 0.0);
+  est.gate_upper.assign(n, 0.0);
+  const bool windows_valid = ix.acyclic && est.arrival.stats.converged;
+  for (GateId g = 0; g < n; ++g) {
+    const Gate& gate = nl.gate(g);
+    double tp = 0.0, t_lo = 0.0, t_hi = 0.0;
+    if (est.constants.value[g] != ConstValue::Varying) {
+      // stays zero
+    } else if (gate.kind == GateKind::Dff) {
+      // The register's own dissipation toggle is state(1) vs state(2) —
+      // exactly its D net's value across the two evaluations.
+      if (!gate.fanins.empty() && gate.fanins[0] != netlist::kNullGate) {
+        const GateId d = gate.fanins[0];
+        tp = est.activity.dist[d].t();
+        t_lo = est.bounds.value[d].t_lo;
+        t_hi = est.bounds.value[d].t_hi;
+      }
+    } else {
+      tp = est.activity.dist[g].t();
+      t_lo = est.bounds.value[g].t_lo;
+      t_hi = est.bounds.value[g].t_hi;
+    }
+    const double load = ix.load[g];
+    est.gate_point[g] = load * tp;
+    est.gate_lower[g] = load * t_lo;
+    est.gate_upper[g] = load * t_hi;
+    est.point += est.gate_point[g];
+    est.lower += est.gate_lower[g];
+    est.upper += est.gate_upper[g];
+    // Unit-delay ceiling: every transition slot the arrival window admits,
+    // at full load. Falls back to the zero-delay bound when windows are
+    // unavailable (cyclic netlist).
+    const double slots =
+        windows_valid
+            ? static_cast<double>(est.arrival.window[g].max_transitions)
+            : t_hi;
+    est.glitch_upper += load * std::max(slots, t_hi);
+  }
+
+  est.stop = first_stop(
+      est.constants.stats.stop,
+      first_stop(est.arrival.stats.stop,
+                 first_stop(est.activity.stats.stop,
+                            first_stop(est.activity.repropagate_stats.stop,
+                                       est.bounds.stats.stop))));
+  est.complete = est.stop == exec::StopReason::None &&
+                 est.constants.stats.converged && est.activity.stats.converged &&
+                 est.bounds.stats.converged;
+  return est;
+}
+
+}  // namespace hlp::analysis

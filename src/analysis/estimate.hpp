@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/activity.hpp"
+#include "analysis/arrival.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/const_prop.hpp"
+#include "exec/exec.hpp"
+#include "netlist/index.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hlp::analysis {
+
+/// --- Static switched-capacitance estimator ----------------------------------
+///
+/// Composes the four dataflow analyses into the same quantity the
+/// simulation/symbolic kernels report — expected switched capacitance per
+/// evaluation pair, sum over all gates of load(g) * P(g toggles) — but with
+/// zero simulation:
+///
+///   point  : decorrelated/BDD-exact transition densities (activity.hpp)
+///   bounds : guaranteed [lower, upper] from Fréchet intervals (bounds.hpp);
+///            for any input distribution matching the model, the true
+///            expectation — and hence the symbolic kernel's value and the
+///            packed Monte Carlo estimate's mean — lies inside
+///   glitch_upper : worst-case unit-delay transition ceiling (arrival.hpp),
+///            an upper bound on real-hardware glitching the zero-delay
+///            kernels cannot see
+///
+/// Constant-proven gates (const_prop.hpp) collapse to zero activity exactly,
+/// tightening every figure. Bound tightness degrades with reconvergent
+/// fanout outside the BDD refinement prefix and across register boundaries
+/// (pair-independence is lost there; only the union bound survives).
+struct StaticOptions {
+  InputModel inputs;
+  FixpointOptions fixpoint;
+  /// BDD node budget for the exact refinement prefix (see ActivityOptions);
+  /// fixed per options, never derived from a request budget.
+  std::size_t refine_node_budget = 20000;
+  netlist::CapacitanceModel cap{};
+};
+
+struct StaticEstimate {
+  double point = 0.0;   ///< expected switched cap per evaluation pair
+  double lower = 0.0;   ///< guaranteed bounds bracketing the true mean
+  double upper = 0.0;
+  double glitch_upper = 0.0;  ///< unit-delay worst-case (glitch) ceiling
+
+  std::vector<double> gate_point;  ///< load(g) * t_point(g)
+  std::vector<double> gate_lower;
+  std::vector<double> gate_upper;
+
+  ConstResult constants;  ///< post-collapse views of the sub-analyses
+  ArrivalResult arrival;
+  ActivityResult activity;
+  BoundsResult bounds;
+
+  bool complete = true;  ///< all fixpoints converged, no budget trip
+  exec::StopReason stop = exec::StopReason::None;
+
+  /// Relative bound spread (upper-lower)/point; 0 when point is 0.
+  double spread() const {
+    return point > 0.0 ? (upper - lower) / point : 0.0;
+  }
+};
+
+StaticEstimate static_estimate(const netlist::Netlist& nl,
+                               const netlist::NetlistIndex& ix,
+                               const StaticOptions& opts = {},
+                               exec::Meter* meter = nullptr);
+
+}  // namespace hlp::analysis

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "netlist/index.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hlp::analysis {
+
+/// --- Worklist fixpoint engine over the netlist IR --------------------------
+///
+/// Every static analysis in this directory (constant propagation, arrival
+/// windows, activity point estimates, probability bounds) is a dataflow
+/// problem: a value per net from some lattice, a transfer function per gate,
+/// iterate until nothing changes. This engine factors the iteration out so a
+/// new analysis is just a Domain:
+///
+///   struct Domain {
+///     using Value = ...;
+///     /// Value a gate starts from (sources carry their model here; logic
+///     /// gates may return anything — their first transfer overwrites it).
+///     Value initial(const netlist::Netlist&, netlist::GateId) const;
+///     /// Pure function of the current value vector (reads its fanins, and
+///     /// for sequential nodes its own current value). Must be monotone in
+///     /// the domain's lattice order for the fixpoint to be unique.
+///     Value transfer(const netlist::Netlist&, netlist::GateId,
+///                    const std::vector<Value>& values) const;
+///     /// Convergence test; returning false stops re-propagation from g.
+///     bool changed(const Value& before, const Value& after) const;
+///   };
+///
+/// Iteration is chaotic-but-fair: gates are visited in a fixed order per
+/// pass, any gate whose value changed marks all its fanouts (including
+/// sequential D-pin sinks, so DFF feedback loops propagate) dirty for the
+/// next pass, and the run ends at quiescence — every gate satisfies
+/// v_g == transfer(g). On a DAG that fixpoint is unique (induction over
+/// topological order), so the result is independent of visit order; with
+/// sequential feedback, monotone transfer functions make every fair order
+/// converge to the same extremal fixpoint (Kleene/chaotic iteration). The
+/// default visit order is topological — one pass suffices for the
+/// combinational part — and `worklist_salt` applies a deterministic
+/// permutation on top, existing so tests can *prove* order-independence
+/// rather than assume it.
+struct FixpointOptions {
+  /// Hard cap on full passes; hitting it is reported, not thrown, because
+  /// every intermediate iterate of a monotone narrowing is already sound
+  /// (just looser than the fixpoint). Sized so that even a fully permuted
+  /// visit order — which may move values only one logic level per pass —
+  /// quiesces on realistic depths; topological order rarely needs more
+  /// than a handful of passes.
+  std::size_t max_passes = 512;
+  /// 0: pure topological visit order. Nonzero: deterministic pseudo-random
+  /// permutation of that order (splitmix64-driven Fisher-Yates).
+  std::uint64_t worklist_salt = 0;
+};
+
+struct FixpointStats {
+  std::size_t node_evals = 0;  ///< transfer applications (meter steps)
+  std::size_t passes = 0;
+  bool converged = false;  ///< quiescent before max_passes / budget trip
+  exec::StopReason stop = exec::StopReason::None;
+};
+
+namespace detail {
+
+inline std::uint64_t splitmix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Visit order: topological, with gates a cycle kept out of the topo order
+/// appended in id order (so even malformed netlists get fair iteration),
+/// then salt-permuted.
+inline std::vector<netlist::GateId> visit_order(
+    const netlist::NetlistIndex& ix, std::size_t n, std::uint64_t salt) {
+  std::vector<netlist::GateId> order = ix.topo;
+  if (order.size() < n) {
+    for (netlist::GateId g = 0; g < n; ++g)
+      if (ix.topo_rank[g] == netlist::NetlistIndex::kNoRank)
+        order.push_back(g);
+  }
+  if (salt != 0) {
+    std::uint64_t s = salt;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(splitmix64(s) % i);
+      std::swap(order[i - 1], order[j]);
+    }
+  }
+  return order;
+}
+
+}  // namespace detail
+
+/// Run `dom` to fixpoint. `values` is resized and overwritten; on a budget
+/// trip (recorded in stats.stop, never thrown) the values present are a
+/// sound intermediate iterate. One meter step is charged per transfer
+/// application, so runaway iteration trips deadlines/quotas like any other
+/// kernel.
+template <class Domain>
+FixpointStats run_fixpoint(const netlist::Netlist& nl,
+                           const netlist::NetlistIndex& ix, const Domain& dom,
+                           std::vector<typename Domain::Value>& values,
+                           const FixpointOptions& opts = {},
+                           exec::Meter* meter = nullptr) {
+  const std::size_t n = nl.gate_count();
+  FixpointStats stats;
+  values.resize(n);
+  for (netlist::GateId g = 0; g < n; ++g) values[g] = dom.initial(nl, g);
+
+  const std::vector<netlist::GateId> order =
+      detail::visit_order(ix, n, opts.worklist_salt);
+  std::vector<std::uint8_t> dirty(n, 1);
+  std::size_t dirty_count = n;
+
+  while (dirty_count > 0 && stats.passes < opts.max_passes) {
+    ++stats.passes;
+    for (netlist::GateId g : order) {
+      if (!dirty[g]) continue;
+      dirty[g] = 0;
+      --dirty_count;
+      if (meter && meter->over_budget(1)) {
+        stats.stop = meter->tripped();
+        return stats;
+      }
+      typename Domain::Value next = dom.transfer(nl, g, values);
+      ++stats.node_evals;
+      if (!dom.changed(values[g], next)) continue;
+      values[g] = next;
+      for (netlist::GateId s : ix.fanouts(g)) {
+        if (!dirty[s]) {
+          dirty[s] = 1;
+          ++dirty_count;
+        }
+      }
+    }
+  }
+  stats.converged = dirty_count == 0;
+  return stats;
+}
+
+}  // namespace hlp::analysis

@@ -5,8 +5,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "analysis/estimate.hpp"
 #include "bdd/bdd.hpp"
 #include "bdd/netlist_bdd.hpp"
+#include "netlist/index.hpp"
 #include "cdfg/generators.hpp"
 #include "core/scheduling_power.hpp"
 #include "fsm/benchmarks.hpp"
@@ -21,6 +23,7 @@ const char* to_string(JobKind k) {
     case JobKind::MonteCarlo: return "monte-carlo";
     case JobKind::Markov: return "markov";
     case JobKind::Schedule: return "schedule";
+    case JobKind::Static: return "static";
     case JobKind::Custom: return "custom";
   }
   return "unknown";
@@ -28,7 +31,7 @@ const char* to_string(JobKind k) {
 
 bool parse_job_kind(std::string_view s, JobKind& out) {
   for (JobKind k : {JobKind::Symbolic, JobKind::MonteCarlo, JobKind::Markov,
-                    JobKind::Schedule, JobKind::Custom}) {
+                    JobKind::Schedule, JobKind::Static, JobKind::Custom}) {
     if (s == to_string(k)) {
       out = k;
       return true;
@@ -293,6 +296,61 @@ AttemptOutcome symbolic_power(const KernelRequest& rq,
   return ao;
 }
 
+AttemptOutcome static_power(const KernelRequest& rq,
+                            const exec::Budget& budget) {
+  if (rq.degraded) {
+    AttemptOutcome ao = sampled_power(rq, budget);
+    ao.out.degraded = true;
+    ao.out.degraded_from = "static-bounds";
+    ao.out.degraded_to = "monte-carlo";
+    return ao;
+  }
+  netlist::Module mod = make_module(rq.design);
+  exec::Meter meter(budget);
+  const netlist::NetlistIndex ix = netlist::build_index(mod.netlist);
+  // Default StaticOptions on purpose: the BDD refinement budget is an
+  // analysis constant, never derived from the request budget, so the value
+  // for a given (design, epsilon) is budget-invariant — the property the
+  // serve result cache requires of everything it stores.
+  const analysis::StaticEstimate est =
+      analysis::static_estimate(mod.netlist, ix, {}, &meter);
+  if (est.stop != exec::StopReason::None) {
+    AttemptOutcome ao;
+    ao.ok = false;
+    ao.stop = est.stop;
+    ao.detail = std::string("static analysis stopped (") +
+                exec::to_string(est.stop) + ")";
+    return ao;
+  }
+  const double half = (est.upper - est.lower) / 2.0;
+  const double tol = rq.epsilon * std::max(est.point, 1e-12);
+  if (half <= tol) {
+    AttemptOutcome ao;
+    ao.ok = true;
+    ao.out.value = est.point;
+    std::string d = "static-tier0, bounds [";
+    d += std::to_string(est.lower);
+    d += ", ";
+    d += std::to_string(est.upper);
+    d += "], ";
+    d += std::to_string(est.activity.refined_gates);
+    d += " gates bdd-exact";
+    ao.detail = ao.out.detail = d;
+    return ao;
+  }
+  // Bounds too loose for the requested accuracy: escalate to the packed
+  // Monte Carlo kernel under the same budget/seed. This is the tiered
+  // contract working as designed, not a degradation — the result is as
+  // cacheable as a direct monte-carlo answer.
+  AttemptOutcome ao = sampled_power(rq, budget);
+  std::string prefix = "static-escalated (spread ";
+  prefix += std::to_string(est.upper - est.lower);
+  prefix += " > eps), ";
+  ao.detail = prefix + ao.detail;
+  ao.out.detail = ao.detail;
+  return ao;
+}
+
 AttemptOutcome markov_power(const KernelRequest& rq,
                             const exec::Budget& budget) {
   fsm::Stg stg = fsm::controller_by_name(rq.design);
@@ -350,6 +408,7 @@ AttemptOutcome run_kernel(const KernelRequest& rq, const exec::Budget& budget) {
     case JobKind::MonteCarlo: return sampled_power(rq, budget);
     case JobKind::Markov: return markov_power(rq, budget);
     case JobKind::Schedule: return schedule_power(rq, budget);
+    case JobKind::Static: return static_power(rq, budget);
     case JobKind::Custom:
       throw std::invalid_argument(
           "jobs: custom kernels carry their own callable; run_kernel has "

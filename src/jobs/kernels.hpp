@@ -24,6 +24,9 @@ enum class JobKind : std::uint8_t {
   MonteCarlo,  ///< Burch-style sampled power with CI stopping (resumable)
   Markov,      ///< STG steady-state power iteration (edge entropy)
   Schedule,    ///< activity-driven list scheduling (latency)
+  Static,      ///< zero-simulation dataflow estimate with guaranteed bounds
+               ///< (hlp::analysis); escalates to MonteCarlo when the bound
+               ///< spread exceeds the requested epsilon
   Custom,      ///< caller-supplied kernel (tests / embedders); not in specs
 };
 

@@ -45,6 +45,14 @@ struct Diagnostic {
   Severity severity = Severity::Error;
   Location loc;
   std::string message;
+  /// Quantitative severity: estimated switched capacitance wasted per cycle
+  /// (or savable, for optimization hints like PW-GATE), in the same
+  /// C·activity units the estimators report. Computed from the static
+  /// activity/arrival analyses (src/analysis) when they are available for
+  /// the input; 0 when the rule has no quantitative model or the analyses
+  /// could not run. Power-tier diagnostics are ranked by this field,
+  /// largest first.
+  double waste = 0.0;
 };
 
 /// Result of one lint run.
@@ -98,6 +106,18 @@ struct LintOptions {
   /// PW-HOTCAP: flag gates carrying at least this fraction of the total
   /// netlist capacitance.
   double hot_load_fraction = 0.05;
+  /// PW-BOUND: flag gates whose arrival-window analysis proves they can
+  /// transition more than this many times per cycle under unit delay (the
+  /// guaranteed glitch ceiling from analysis::run_arrival). <= 0 disables.
+  int transition_bound = 8;
+  /// Run the activity + arrival dataflow analyses and attach quantitative
+  /// estimated-waste figures to the power-tier diagnostics (and enable
+  /// PW-BOUND, which is an arrival-analysis product). Off: power rules
+  /// still fire structurally but report waste = 0 — the cheap
+  /// configuration for hot estimator entry points that only need
+  /// pass/fail. NL-CONST only needs const-propagation and stays on either
+  /// way.
+  bool quantify = true;
   /// Rule ids to skip.
   std::vector<std::string> disabled;
   /// Warn-mode destination; when null, diagnostics go to stderr.

@@ -11,7 +11,7 @@ namespace {
 
 /// The built-in catalog. Kept in one table so DESIGN.md §6, the registry,
 /// and the checkers cannot disagree about id or severity.
-constexpr std::array<RuleInfo, 23> kRules{{
+constexpr std::array<RuleInfo, 25> kRules{{
     // Netlist structural rules.
     {"NL-CYCLE", Ir::Netlist, Severity::Error,
      "combinational cycle (reported as the cycle path)"},
@@ -31,6 +31,9 @@ constexpr std::array<RuleInfo, 23> kRules{{
      "fanout exceeds the configured cap under the wire-load model"},
     {"NL-PORT", Ir::Netlist, Severity::Error,
      "module port word malformed (non-input bit or multiply-driven bit)"},
+    {"NL-CONST", Ir::Netlist, Severity::Warning,
+     "gate provably constant under const-propagation; fold it and let its "
+     "fanin cone go dead"},
     // Netlist power-lint tier.
     {"PW-GLITCH", Ir::Netlist, Severity::Power,
      "reconvergent fanin with unequal path depths (glitch-prone)"},
@@ -38,6 +41,9 @@ constexpr std::array<RuleInfo, 23> kRules{{
      "hold-mux register feedback: clock-gating candidate (Section III)"},
     {"PW-HOTCAP", Ir::Netlist, Severity::Power,
      "net carries a dominating share of total capacitance"},
+    {"PW-BOUND", Ir::Netlist, Severity::Power,
+     "static arrival-window transition bound exceeds the configured "
+     "per-cycle budget (guaranteed glitch headroom)"},
     // FSM / STG rules.
     {"FS-RANGE", Ir::Fsm, Severity::Error,
      "transition target out of range (ill-formed transition relation)"},
@@ -121,6 +127,11 @@ std::string Report::to_string() const {
     }
     out += ": ";
     out += d.message;
+    if (d.waste > 0.0) {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, " [est waste %.4g]", d.waste);
+      out += buf;
+    }
     out += '\n';
   }
   return out;

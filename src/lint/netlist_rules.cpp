@@ -1,8 +1,13 @@
 #include <algorithm>
+#include <charconv>
 #include <string>
 #include <vector>
 
+#include "analysis/activity.hpp"
+#include "analysis/arrival.hpp"
+#include "analysis/const_prop.hpp"
 #include "lint/lint.hpp"
+#include "netlist/index.hpp"
 
 namespace hlp::lint {
 
@@ -19,41 +24,126 @@ class NetlistLinter {
       : nl_(nl), opts_(opts), n_(static_cast<GateId>(nl.gate_count())) {}
 
   Report run() {
-    if (!check_refs_and_arity()) return std::move(rep_);
-    build_fanouts();
+    if (!check_refs_and_arity()) return finish();
+    // One shared structural index for every rule below: CSR fanouts,
+    // cycle-tolerant topo order, logic levels, and capacitive loads, built
+    // once in O(V + E). The rules used to each rebuild their own slice of
+    // this (three separate fanout walks per run), which is where the
+    // bench_lint throughput sweep lost linearity.
+    ix_ = netlist::build_index(nl_);
     const bool acyclic = check_cycles();
     check_outputs();
     check_liveness();
     check_fanout_cap();
+    // The dataflow analyses only pay their way when some enabled rule
+    // consumes them: activity + arrival back the quantitative power tier
+    // (opts.quantify), const-propagation backs NL-CONST.
+    const bool need_quant =
+        opts_.quantify && opts_.power_rules &&
+        (opts_.enabled("PW-BOUND") || opts_.enabled("PW-GLITCH") ||
+         opts_.enabled("PW-GATE") || opts_.enabled("PW-HOTCAP"));
+    if (arity_ok_ && acyclic)
+      run_analyses(need_quant, opts_.enabled("NL-CONST"));
+    if (have_const_) {
+      // The quantitative tiers can emit one diagnostic per gate; an exact
+      // string-free pre-count makes the report vector grow once instead of
+      // through repeated reallocation-and-move of every diagnostic.
+      rep_.diags.reserve(rep_.diags.size() + quant_candidates());
+      check_const();
+    }
     if (opts_.power_rules && acyclic) power_rules();
-    return std::move(rep_);
+    return finish();
   }
 
  private:
-  void emit(std::string_view rule, GateId g, std::string message) {
+  /// Rank the power tier: move Power diagnostics after the functional ones
+  /// and order them by estimated waste, largest first, so consumers (CLI,
+  /// serve) read them as a prioritized optimization worklist. Sorts an
+  /// index permutation and moves each Diagnostic exactly once — sorting the
+  /// ~150-byte structs directly costs n log n moves, which dominated lint
+  /// time on diag-heavy netlists.
+  Report finish() {
+    std::vector<Diagnostic>& diags = rep_.diags;
+    std::size_t n_power = 0;
+    for (const Diagnostic& d : diags)
+      if (d.severity == Severity::Power) ++n_power;
+    std::vector<Diagnostic> power;
+    power.reserve(n_power);
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+      if (diags[i].severity == Severity::Power)
+        power.push_back(std::move(diags[i]));
+      else if (w++ != i)
+        diags[w - 1] = std::move(diags[i]);
+    }
+    diags.resize(w);
+    std::vector<std::uint32_t> ord(power.size());
+    for (std::uint32_t i = 0; i < ord.size(); ++i) ord[i] = i;
+    std::stable_sort(ord.begin(), ord.end(),
+                     [&power](std::uint32_t a, std::uint32_t b) {
+                       return power[a].waste > power[b].waste;
+                     });
+    for (std::uint32_t i : ord) diags.push_back(std::move(power[i]));
+    return std::move(rep_);
+  }
+
+  void emit(std::string_view rule, GateId g, std::string message,
+            double waste = 0.0) {
     if (!opts_.enabled(rule)) return;
-    Diagnostic d;
-    d.rule_id = std::string(rule);
-    d.severity = RuleRegistry::global().severity(rule);
+    // Rules emit in runs (one rule, many gates), so a one-entry memo on the
+    // id pointer avoids a registry scan per diagnostic — measurable when a
+    // large netlist produces tens of thousands of them.
+    if (rule.data() != memo_rule_) {
+      memo_rule_ = rule.data();
+      memo_severity_ = RuleRegistry::global().severity(rule);
+    }
+    Diagnostic& d = rep_.diags.emplace_back();
+    d.rule_id.assign(rule.data(), rule.size());
+    d.severity = memo_severity_;
     d.loc.ir = Ir::Netlist;
     d.loc.object = g;
     if (g != netlist::kNullGate && g < n_) d.loc.name = nl_.gate(g).name;
     d.message = std::move(message);
-    rep_.diags.push_back(std::move(d));
+    d.waste = waste;
+  }
+
+  /// Append a decimal integer via to_chars (snprintf's locale machinery is
+  /// measurable at tens of thousands of diagnostics per run).
+  template <typename Int>
+  static void num_to(std::string& out, Int v) {
+    char buf[24];
+    char* end = std::to_chars(buf, buf + sizeof buf, v).ptr;
+    out.append(buf, end);
+  }
+
+  /// Append "n<id>(<kind> <name>)" to `out` without intermediate strings
+  /// (diagnostic formatting dominates lint time on diag-heavy netlists).
+  void net_label_to(std::string& out, GateId g) const {
+    const Gate& gate = nl_.gate(g);
+    out += 'n';
+    num_to(out, g);
+    out += '(';
+    out += netlist::kind_name(gate.kind);
+    if (!gate.name.empty()) {
+      out += ' ';
+      out += gate.name;
+    }
+    out += ')';
   }
 
   std::string net_label(GateId g) const {
-    const Gate& gate = nl_.gate(g);
-    std::string s = "n";
-    s += std::to_string(g);
-    s += '(';
-    s += netlist::kind_name(gate.kind);
-    if (!gate.name.empty()) {
-      s += ' ';
-      s += gate.name;
-    }
-    s += ')';
+    std::string s;
+    net_label_to(s, g);
     return s;
+  }
+
+  /// Reusable message buffer: `msg()` clears and returns it; pass the
+  /// result to emit() via std::move (the moved-from string keeps its
+  /// capacity heuristically on most implementations, but correctness never
+  /// depends on that).
+  std::string& msg() {
+    msg_.clear();
+    return msg_;
   }
 
   /// NL-REF, NL-ARITY, NL-DFF-D. Returns false when any fanin reference is
@@ -76,56 +166,52 @@ class NetlistLinter {
         case GateKind::Input:
         case GateKind::Const0:
         case GateKind::Const1:
-          if (k != 0)
+          if (k != 0) {
             emit("NL-ARITY", id, net_label(id) + " must have no fanins");
+            arity_ok_ = false;
+          }
           break;
         case GateKind::Buf:
         case GateKind::Not:
-          if (k != 1)
+          if (k != 1) {
             emit("NL-ARITY", id,
                  net_label(id) + " needs exactly 1 fanin, has " +
                      std::to_string(k));
+            arity_ok_ = false;
+          }
           break;
         case GateKind::Mux:
-          if (k != 3)
+          if (k != 3) {
             emit("NL-ARITY", id,
                  net_label(id) + " needs {sel, d0, d1}, has " +
                      std::to_string(k) + " fanins");
+            arity_ok_ = false;
+          }
           break;
         case GateKind::Dff:
-          if (k == 0)
+          if (k == 0) {
             emit("NL-DFF-D", id,
                  net_label(id) + " has no D input; its state can never "
                                  "change from the init value");
-          else if (k > 1)
+            arity_ok_ = false;
+          } else if (k > 1) {
             emit("NL-ARITY", id,
                  net_label(id) + " takes one D input, has " +
                      std::to_string(k));
+            arity_ok_ = false;
+          }
           break;
         default:  // And/Or/Nand/Nor/Xor/Xnor
-          if (k < 2)
+          if (k < 2) {
             emit("NL-ARITY", id,
                  net_label(id) + " needs at least 2 fanins, has " +
                      std::to_string(k));
+            arity_ok_ = false;
+          }
           break;
       }
     }
     return refs_ok;
-  }
-
-  /// Combinational fanout adjacency: edges f -> u for logic consumers u
-  /// only (a DFF's D pin is a sequential sink, not a combinational edge —
-  /// the same edge set topo_order() uses).
-  void build_fanouts() {
-    comb_fo_.assign(n_, {});
-    fanout_count_.assign(n_, 0);
-    for (GateId id = 0; id < n_; ++id) {
-      const Gate& g = nl_.gate(id);
-      for (GateId f : g.fanins) {
-        ++fanout_count_[f];
-        if (netlist::is_logic(g.kind)) comb_fo_[f].push_back(id);
-      }
-    }
   }
 
   /// NL-CYCLE via iterative Tarjan SCC over the combinational edges. Every
@@ -133,12 +219,12 @@ class NetlistLinter {
   /// the diagnostic topo_order() cannot give when it bails out.
   /// Returns true when the combinational graph is acyclic.
   bool check_cycles() {
+    if (ix_.acyclic) return true;  // Kahn already proved it; skip the SCC pass
     constexpr std::uint32_t kUnvisited = 0xffffffffu;
     std::vector<std::uint32_t> index(n_, kUnvisited), low(n_, 0);
     std::vector<bool> on_stack(n_, false);
     std::vector<GateId> stack;
-    std::vector<std::uint32_t> comp(n_, kUnvisited);
-    std::uint32_t next_index = 0, n_comps = 0;
+    std::uint32_t next_index = 0;
     std::vector<std::vector<GateId>> cyclic_sccs;
 
     struct Frame {
@@ -157,8 +243,9 @@ class NetlistLinter {
           stack.push_back(v);
           on_stack[v] = true;
         }
-        if (fr.edge < comb_fo_[v].size()) {
-          GateId w = comb_fo_[v][fr.edge++];
+        const auto succs = ix_.comb_fanouts(v);
+        if (fr.edge < succs.size()) {
+          GateId w = succs[fr.edge++];
           if (index[w] == kUnvisited) {
             dfs.push_back({w, 0});
           } else if (on_stack[w]) {
@@ -172,12 +259,10 @@ class NetlistLinter {
               w = stack.back();
               stack.pop_back();
               on_stack[w] = false;
-              comp[w] = n_comps;
               scc.push_back(w);
             } while (w != v);
-            ++n_comps;
             bool self_loop = false;
-            for (GateId u : comb_fo_[v])
+            for (GateId u : ix_.comb_fanouts(v))
               if (u == v) self_loop = true;
             if (scc.size() > 1 || self_loop)
               cyclic_sccs.push_back(std::move(scc));
@@ -201,7 +286,7 @@ class NetlistLinter {
       while (!seen[cur]) {
         seen[cur] = true;
         path.push_back(cur);
-        for (GateId w : comb_fo_[cur]) {
+        for (GateId w : ix_.comb_fanouts(cur)) {
           if (in_scc[w]) {
             cur = w;
             break;
@@ -264,13 +349,16 @@ class NetlistLinter {
           g.kind == GateKind::Const1)
         continue;  // unused inputs/constants are a module-port concern
       if (live[id]) continue;
-      if (fanout_count_[id] == 0)
-        emit("NL-FLOAT", id,
-             net_label(id) + " drives nothing and is not a primary output");
-      else
-        emit("NL-DEAD", id,
-             net_label(id) + " cannot reach any primary output or DFF "
-                             "(dead logic still switches)");
+      std::string& m = msg();
+      net_label_to(m, id);
+      if (ix_.fanout_count[id] == 0) {
+        m += " drives nothing and is not a primary output";
+        emit("NL-FLOAT", id, std::move(m));
+      } else {
+        m += " cannot reach any primary output or DFF "
+             "(dead logic still switches)";
+        emit("NL-DEAD", id, std::move(m));
+      }
     }
   }
 
@@ -279,30 +367,123 @@ class NetlistLinter {
     if (opts_.fanout_cap <= 0) return;
     const auto cap = static_cast<std::uint32_t>(opts_.fanout_cap);
     for (GateId id = 0; id < n_; ++id)
-      if (fanout_count_[id] > cap)
-        emit("NL-FANOUT", id,
-             net_label(id) + " has fanout " +
-                 std::to_string(fanout_count_[id]) + " (cap " +
-                 std::to_string(cap) +
-                 "); wire load grows linearly with fanout");
+      if (ix_.fanout_count[id] > cap) {
+        std::string& m = msg();
+        net_label_to(m, id);
+        m += " has fanout ";
+        num_to(m, ix_.fanout_count[id]);
+        m += " (cap ";
+        num_to(m, cap);
+        m += "); wire load grows linearly with fanout";
+        emit("NL-FANOUT", id, std::move(m));
+      }
   }
 
-  /// The power-lint tier: PW-GLITCH, PW-GATE, PW-HOTCAP. Requires an
-  /// acyclic combinational graph (depths are defined).
-  void power_rules() {
-    // Arrival depth per net, as in Netlist::depth().
-    std::vector<int> depth(n_, 0);
-    for (GateId id : nl_.topo_order()) {
+  /// Exact count of diagnostics the analysis-backed rules (NL-CONST,
+  /// PW-GLITCH, PW-BOUND) will emit — the same predicates, minus the
+  /// message formatting. PW-GATE/PW-HOTCAP counts are small; they ride on
+  /// the vector's slack.
+  std::size_t quant_candidates() const {
+    std::size_t c = 0;
+    const bool glitch = have_analyses_ && opts_.power_rules &&
+                        opts_.glitch_depth_spread > 0;
+    const bool bounds = have_analyses_ && opts_.power_rules &&
+                        opts_.transition_bound > 0;
+    const auto bound = static_cast<std::uint32_t>(
+        opts_.transition_bound > 0 ? opts_.transition_bound : 0);
+    for (GateId id = 0; id < n_; ++id) {
       const Gate& g = nl_.gate(id);
-      if (!netlist::is_logic(g.kind)) continue;
-      int m = 0;
-      for (GateId f : g.fanins) m = std::max(m, depth[f]);
-      depth[id] = m + 1;
+      const bool logic = netlist::is_logic(g.kind);
+      if ((logic || g.kind == GateKind::Dff) &&
+          cst_.value[id] != analysis::ConstValue::Varying)
+        ++c;
+      if (!logic) continue;
+      if (bounds && arr_.window[id].max_transitions > bound) ++c;
+      if (glitch && g.fanins.size() >= 2) {
+        int lo = ix_.level[g.fanins[0]], hi = lo;
+        for (GateId f : g.fanins) {
+          lo = std::min(lo, ix_.level[f]);
+          hi = std::max(hi, ix_.level[f]);
+        }
+        if (hi - lo >= opts_.glitch_depth_spread) ++c;
+      }
     }
+    return c;
+  }
+
+  /// Static analyses backing the quantitative rules: decorrelated activity
+  /// (no BDD refinement — lint stays O(V + E)), arrival windows, and
+  /// const-propagation. Only run on well-formed acyclic input; elsewhere
+  /// the rules fall back to waste = 0.
+  void run_analyses(bool quant, bool want_const) {
+    if (quant) {
+      analysis::ActivityOptions ao;
+      ao.refine_node_budget = 0;
+      act_ = analysis::run_activity(nl_, ix_, ao);
+      arr_ = analysis::run_arrival(nl_, ix_);
+      have_analyses_ = act_.stats.converged && arr_.stats.converged;
+    }
+    if (quant || want_const) {
+      cst_ = analysis::run_const_prop(nl_, ix_);
+      have_const_ = want_const && cst_.stats.converged;
+      have_analyses_ = have_analyses_ && cst_.stats.converged;
+    }
+  }
+
+  /// Toggle-probability point estimate for the switching at g's *output*:
+  /// a DFF's own switching is its D fanin's consumer-facing toggle.
+  double toggle_of(GateId g) const {
+    const Gate& gate = nl_.gate(g);
+    if (gate.kind == GateKind::Dff && !gate.fanins.empty())
+      return act_.dist[gate.fanins[0]].t();
+    return act_.dist[g].t();
+  }
+
+  /// NL-CONST: logic or state proven constant by const-propagation. The
+  /// waste estimate charges the switched capacitance its fanins deliver
+  /// into a net that can never change (per-sink share of each fanin's
+  /// load), which is exactly what folding the gate to a constant reclaims.
+  void check_const() {
+    for (GateId id = 0; id < n_; ++id) {
+      const Gate& g = nl_.gate(id);
+      const bool foldable = netlist::is_logic(g.kind) ||
+                            g.kind == GateKind::Dff;
+      if (!foldable || cst_.value[id] == analysis::ConstValue::Varying)
+        continue;
+      double waste = 0.0;
+      if (have_analyses_)
+        for (GateId f : g.fanins)
+          if (ix_.fanout_count[f] > 0)
+            waste += ix_.load[f] / ix_.fanout_count[f] * toggle_of(f);
+      const char* v = cst_.value[id] == analysis::ConstValue::One ? "1" : "0";
+      std::string& m = msg();
+      net_label_to(m, id);
+      if (g.kind == GateKind::Dff) {
+        m += " register provably holds ";
+        m += v;
+        m += " every cycle";
+      } else {
+        m += " always evaluates to ";
+        m += v;
+      }
+      m += "; fold to a constant and let its fanin cone go dead";
+      emit("NL-CONST", id, std::move(m), waste);
+    }
+  }
+
+  /// The power-lint tier: PW-GLITCH, PW-GATE, PW-HOTCAP, PW-BOUND.
+  /// Requires an acyclic combinational graph (levels and arrival windows
+  /// are defined). Each diagnostic carries an estimated-waste figure in
+  /// switched-capacitance units so the report doubles as a ranked
+  /// optimization worklist.
+  void power_rules() {
+    const std::vector<int>& depth = ix_.level;
 
     // PW-GLITCH: unequal reconverging path depths at one gate generate
     // spurious transitions before the late input settles (the glitch power
     // the zero-delay model cannot see; cross-check with sim/glitch_sim).
+    // Waste: the gate's load times its activity times the extra transition
+    // slots the arrival window proves possible beyond the functional one.
     if (opts_.glitch_depth_spread > 0) {
       for (GateId id = 0; id < n_; ++id) {
         const Gate& g = nl_.gate(id);
@@ -312,17 +493,32 @@ class NetlistLinter {
           lo = std::min(lo, depth[f]);
           hi = std::max(hi, depth[f]);
         }
-        if (hi - lo >= opts_.glitch_depth_spread)
-          emit("PW-GLITCH", id,
-               net_label(id) + " merges paths of depth " +
-                   std::to_string(lo) + " and " + std::to_string(hi) +
-                   "; unequal arrivals make it glitch-prone");
+        if (hi - lo >= opts_.glitch_depth_spread) {
+          double waste = 0.0;
+          if (have_analyses_) {
+            const double slots = arr_.window[id].max_transitions > 1
+                                     ? arr_.window[id].max_transitions - 1.0
+                                     : 0.0;
+            waste = ix_.load[id] * toggle_of(id) * slots;
+          }
+          std::string& m = msg();
+          net_label_to(m, id);
+          m += " merges paths of depth ";
+          num_to(m, lo);
+          m += " and ";
+          num_to(m, hi);
+          m += "; unequal arrivals make it glitch-prone";
+          emit("PW-GLITCH", id, std::move(m), waste);
+        }
       }
     }
 
     // PW-GATE: DFF fed by a hold mux that recirculates its own output —
     // the textbook clock-gating candidate (Section III-G): gate the clock
     // with the select instead of re-clocking the held value every cycle.
+    // Savings proxy: the hold-branch probability (from the activity
+    // analysis) times the register's load — the recapture energy spent on
+    // cycles where the state provably does not change.
     for (GateId dff : nl_.dffs()) {
       const Gate& g = nl_.gate(dff);
       if (g.fanins.empty()) continue;
@@ -330,25 +526,63 @@ class NetlistLinter {
       if (d >= n_) continue;
       const Gate& m = nl_.gate(d);
       if (m.kind == GateKind::Mux && m.fanins.size() == 3 &&
-          (m.fanins[1] == dff || m.fanins[2] == dff))
+          (m.fanins[1] == dff || m.fanins[2] == dff)) {
+        double waste = 0.0;
+        if (have_analyses_) {
+          const double p_sel = act_.dist[m.fanins[0]].p();
+          const double hold_p = m.fanins[1] == dff ? 1.0 - p_sel : p_sel;
+          waste = hold_p * (ix_.load[dff] + ix_.load[d]);
+        }
         emit("PW-GATE", dff,
              net_label(dff) + " recirculates through hold mux " +
-                 net_label(d) + ": clock-gating candidate");
+                 net_label(d) + ": clock-gating candidate",
+             waste);
+      }
     }
 
     // PW-HOTCAP: nets carrying a dominating share of total capacitance —
-    // where any activity reduction buys the most sum(C_i * E_i).
-    if (opts_.hot_load_fraction > 0.0) {
-      auto loads = nl_.loads();
-      double total = 0.0;
-      for (double l : loads) total += l;
-      if (total > 0.0) {
-        for (GateId id = 0; id < n_; ++id)
-          if (loads[id] >= opts_.hot_load_fraction * total)
-            emit("PW-HOTCAP", id,
-                 net_label(id) + " carries " +
-                     std::to_string(100.0 * loads[id] / total) +
-                     "% of total capacitance");
+    // where any activity reduction buys the most sum(C_i * E_i). Waste:
+    // the switched capacitance actually estimated on the net, C_g * t_g.
+    if (opts_.hot_load_fraction > 0.0 && ix_.total_load > 0.0) {
+      for (GateId id = 0; id < n_; ++id)
+        if (ix_.load[id] >= opts_.hot_load_fraction * ix_.total_load) {
+          const double waste =
+              have_analyses_ ? ix_.load[id] * toggle_of(id) : 0.0;
+          std::string& m = msg();
+          net_label_to(m, id);
+          char buf[64];
+          std::snprintf(buf, sizeof buf,
+                        " carries %.4f%% of total capacitance",
+                        100.0 * ix_.load[id] / ix_.total_load);
+          m += buf;
+          emit("PW-HOTCAP", id, std::move(m), waste);
+        }
+    }
+
+    // PW-BOUND: the arrival-window analysis proves the net can transition
+    // more than the configured budget per cycle — guaranteed glitch
+    // headroom that path balancing or retiming would remove. Waste: the
+    // worst-case extra transitions times the net's load.
+    if (have_analyses_ && opts_.transition_bound > 0) {
+      const auto bound =
+          static_cast<std::uint32_t>(opts_.transition_bound);
+      for (GateId id = 0; id < n_; ++id) {
+        if (!netlist::is_logic(nl_.gate(id).kind)) continue;
+        const analysis::ArrivalWindow& w = arr_.window[id];
+        if (w.max_transitions <= bound) continue;
+        std::string& m = msg();
+        net_label_to(m, id);
+        m += " can transition up to ";
+        num_to(m, w.max_transitions);
+        m += " times per cycle (budget ";
+        num_to(m, bound);
+        m += "; arrival window [";
+        num_to(m, w.lo);
+        m += ", ";
+        num_to(m, w.hi);
+        m += "])";
+        emit("PW-BOUND", id, std::move(m),
+             ix_.load[id] * (w.max_transitions - 1.0));
       }
     }
   }
@@ -357,8 +591,17 @@ class NetlistLinter {
   const LintOptions& opts_;
   const GateId n_;
   Report rep_;
-  std::vector<std::vector<GateId>> comb_fo_;
-  std::vector<std::uint32_t> fanout_count_;
+  netlist::NetlistIndex ix_;
+  analysis::ActivityResult act_;
+  analysis::ArrivalResult arr_;
+  analysis::ConstResult cst_;
+  bool arity_ok_ = true;
+  bool have_analyses_ = false;  ///< activity + arrival + const-prop valid
+  bool have_const_ = false;     ///< const-prop valid and NL-CONST enabled
+  const char* memo_rule_ = nullptr;  ///< emit() severity memo key
+  Severity memo_severity_ = Severity::Error;
+  std::string msg_;  ///< reusable diagnostic message buffer
+
 };
 
 }  // namespace

@@ -21,8 +21,18 @@ namespace hlp::serve {
 ///
 /// Requests:
 ///   {"op":"estimate","kind":"symbolic","design":"adder:16", ...options}
+///   {"op":"estimate","kind":"static","design":"mult:8","epsilon":0.05}
 ///   {"op":"metrics"}
 ///   {"op":"ping"}
+///
+/// "kind":"static" is the tier-0 path: the zero-simulation dataflow
+/// estimate (src/analysis) answers in microseconds when its guaranteed
+/// upper/lower bounds already meet the requested "epsilon"; otherwise the
+/// service escalates to packed Monte Carlo under the same budgets and the
+/// response "detail" says which happened ("static-tier0, bounds [lo, hi]"
+/// vs a "static-escalated (spread ...)" prefix). Escalated answers are not
+/// degraded — they met the accuracy target — so they cache like any other
+/// estimate.
 ///
 /// Estimate options (all optional): "id" (opaque client tag, echoed),
 /// "seed", "epsilon", "confidence", "min-pairs", "max-pairs", "max-iters",

@@ -153,6 +153,10 @@ Service::Keys Service::keys(const Request& rq) {
   base += '|';
   append_hex16(base, fingerprint(rq.kind, rq.design));
   switch (rq.kind) {
+    // Static estimates carry the Monte Carlo accuracy knobs too: epsilon
+    // decides tier-0 vs escalation and the remaining fields shape the
+    // escalated sampling run, so they are all value-relevant.
+    case jobs::JobKind::Static:
     case jobs::JobKind::MonteCarlo:
       base += "|eps=";
       util::append_json_double(base, rq.epsilon);

@@ -238,6 +238,78 @@ TEST(LintPower, PowerRulesCanBeDisabled) {
   EXPECT_FALSE(lint::run_netlist(nl, o).has("PW-GATE"));
 }
 
+TEST(LintConst, ProvablyConstantGateIsReportedWithWaste) {
+  Netlist nl;
+  GateId a = nl.add_input("a");
+  GateId zero = nl.add_const(false);
+  GateId g = nl.add_binary(GateKind::And, a, zero, "stuck0");
+  GateId out = nl.add_binary(GateKind::Or, g, a, "out");
+  nl.mark_output(out);
+  lint::Report r = lint::run_netlist(nl, warn_all());
+  ASSERT_TRUE(r.has("NL-CONST")) << r.to_string();
+  const lint::Diagnostic* d = r.find("NL-CONST");
+  EXPECT_EQ(d->loc.object, g);
+  EXPECT_EQ(d->severity, lint::Severity::Warning);
+  // The stuck gate's live fanin (a) still delivers switched capacitance
+  // into it: that is the reclaimable waste.
+  EXPECT_GT(d->waste, 0.0) << r.to_string();
+}
+
+TEST(LintConst, ConstantRegisterIsReported) {
+  Netlist nl;
+  GateId q = nl.add_dff(netlist::kNullGate, false, "q");
+  GateId zero = nl.add_const(false);
+  GateId d = nl.add_binary(GateKind::And, q, zero, "feedback_and");
+  nl.set_dff_input(q, d);
+  nl.mark_output(q);
+  lint::Report r = lint::run_netlist(nl, warn_all());
+  // Both the AND (always 0) and the register (init 0, D provably 0) fold.
+  EXPECT_GE(r.count("NL-CONST"), 2u) << r.to_string();
+}
+
+TEST(LintPower, TransitionBoundViolation) {
+  // An unbalanced XOR chain reusing one early input: gate i merges a
+  // depth-i path with a depth-0 path, so its arrival window widens with i
+  // and the provable per-cycle transition bound grows past any fixed
+  // budget.
+  Netlist nl;
+  GateId a = nl.add_input("a");
+  GateId b = nl.add_input("b");
+  GateId chain = b;
+  for (int i = 0; i < 14; ++i) chain = nl.add_binary(GateKind::Xor, chain, a);
+  nl.mark_output(chain);
+  lint::LintOptions o = warn_all();
+  o.transition_bound = 8;
+  lint::Report r = lint::run_netlist(nl, o);
+  ASSERT_TRUE(r.has("PW-BOUND")) << r.to_string();
+  EXPECT_EQ(r.find("PW-BOUND")->severity, lint::Severity::Power);
+  EXPECT_GT(r.find("PW-BOUND")->waste, 0.0);
+  o.transition_bound = 0;
+  EXPECT_FALSE(lint::run_netlist(nl, o).has("PW-BOUND"));
+}
+
+TEST(LintPower, PowerTierIsRankedByEstimatedWaste) {
+  const netlist::Module m = netlist::multiplier_module(8);
+  lint::Report r = lint::run_module(m, warn_all());
+  double prev = -1.0;
+  std::size_t power_seen = 0;
+  bool in_power_tail = false;
+  for (const lint::Diagnostic& d : r.diags) {
+    if (d.severity == lint::Severity::Power) {
+      if (in_power_tail && prev >= 0.0)
+        EXPECT_LE(d.waste, prev) << "power diagnostics must be ranked "
+                                    "largest estimated waste first";
+      in_power_tail = true;
+      prev = d.waste;
+      ++power_seen;
+    } else {
+      EXPECT_FALSE(in_power_tail)
+          << "power diagnostics must come after the functional tiers";
+    }
+  }
+  ASSERT_GT(power_seen, 0u);
+}
+
 TEST(LintFsm, RangeTrapUnreachableErgodic) {
   // Transition out of range.
   fsm::Stg bad(1, 1);

@@ -50,7 +50,8 @@ int usage(const char* argv0) {
       "          [--max-inflight N] [--max-connections N]\n"
       "          [--deadline-ceiling SECONDS]\n"
       "   or: %s --connect [ADDR:]PORT [--kind K] [--design SPEC] [--seed N]\n"
-      "          [--repeat N] [--unique] [--no-cache] [--metrics] [--ping]\n",
+      "          [--epsilon E] [--repeat N] [--unique] [--no-cache]\n"
+      "          [--metrics] [--ping]\n",
       argv0, argv0);
   return 2;
 }
@@ -185,6 +186,7 @@ class Client {
 struct ClientConfig {
   std::string kind = "symbolic";
   std::string design;
+  double epsilon = 0.0;  ///< 0: keep the protocol default
   bool has_seed = false;
   std::uint64_t seed = 0;
   int repeat = 1;
@@ -220,6 +222,7 @@ int run_client(const Endpoint& ep, const ClientConfig& cfg) {
       return 2;
     }
     rq.design = cfg.design;
+    if (cfg.epsilon > 0.0) rq.epsilon = cfg.epsilon;
     rq.has_seed = cfg.has_seed;
     rq.seed = cfg.seed;
     rq.use_cache = !cfg.no_cache;
@@ -298,6 +301,10 @@ int main(int argc, char** argv) {
       const char* v = next_value("--design");
       if (!v) return 2;
       cfg.design = v;
+    } else if (arg == "--epsilon") {
+      const char* v = next_value("--epsilon");
+      if (!v) return 2;
+      cfg.epsilon = std::atof(v);
     } else if (arg == "--seed") {
       const char* v = next_value("--seed");
       if (!v) return 2;
