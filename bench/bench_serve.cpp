@@ -15,6 +15,18 @@
 //     thread-per-connection, so hot throughput should scale until
 //     loopback syscalls dominate.
 //
+// Two more decide whether the fault-tolerance layer earns its keep:
+//
+//  3. Warm restart: with --cache-file persistence, a restarted server's
+//     first request for a previously-cached design must be a cache hit —
+//     byte-identical to the pre-restart response and orders of magnitude
+//     faster than the cold computation it replaces.
+//
+//  4. Overload: at 4x the worker pool's closed-loop capacity, admission
+//     control must shed the excess with a retry-after-ms hint while the
+//     p99 latency of *admitted* requests stays within 2x of the unloaded
+//     p99 (bounded queueing, not collapse).
+//
 // Results go to BENCH_serve.json (cwd, or argv[1] after the
 // google-benchmark flags).
 
@@ -25,6 +37,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -219,6 +232,169 @@ void write_report(const std::string& path) {
   const serve::ServiceMetrics m = server.service().metrics();
   server.shutdown();
 
+  // --- Warm restart via the persistent segment file ----------------------
+  // Cold-compute once with --cache-file persistence, tear the server down,
+  // start a fresh one on the same file: the first request must hit warm.
+  const std::string seg =
+      "/tmp/hlp_bench_seg_" + std::to_string(::getpid()) + ".bin";
+  std::remove(seg.c_str());
+  const std::string warm_line = symbolic_line(4242);
+  double warm_cold_s = 0.0;
+  double warm_first_s = 0.0;
+  bool warm_identical = false;
+  std::uint64_t warm_entries = 0;
+  {
+    serve::ServerOptions cold_opts;
+    cold_opts.service.cache_path = seg;
+    serve::Server cold_srv(cold_opts);
+    cold_srv.start();
+    LineClient c;
+    std::string resp;
+    if (c.connect_to(cold_srv.port())) {
+      const auto t0 = clock_type::now();
+      c.roundtrip(warm_line, resp);
+      warm_cold_s =
+          std::chrono::duration<double>(clock_type::now() - t0).count();
+    }
+    cold_srv.shutdown();
+
+    serve::ServerOptions warm_opts;
+    warm_opts.service.cache_path = seg;
+    serve::Server warm_srv(warm_opts);
+    warm_srv.start();
+    warm_entries = warm_srv.service().metrics().warm_entries;
+    LineClient w;
+    std::string warm_resp;
+    if (w.connect_to(warm_srv.port())) {
+      const auto t0 = clock_type::now();
+      w.roundtrip(warm_line, warm_resp);
+      warm_first_s =
+          std::chrono::duration<double>(clock_type::now() - t0).count();
+    }
+    warm_identical = !warm_resp.empty() && warm_resp == resp;
+    warm_srv.shutdown();
+  }
+  std::remove(seg.c_str());
+  std::printf("warm restart (segment file): cold %8.2f ms -> first warm "
+              "request %8.4f ms, byte-identical: %s\n",
+              warm_cold_s * 1e3, warm_first_s * 1e3,
+              warm_identical ? "yes" : "NO");
+
+  // --- Overload: 4x the pool's closed-loop capacity ----------------------
+  // Paced fake kernel (fixed service time) so the row measures admission
+  // control, not kernel variance. 16 closed-loop connections against 4
+  // workers = 4x overload; queue_limit bounds the latency of whatever is
+  // admitted and everything else sheds with a retry hint.
+  constexpr double kServiceSeconds = 0.005;
+  constexpr int kWorkers = 4;
+  constexpr int kOverloadConns = 16;
+  constexpr int kOverloadPerConn = 120;
+  serve::ServerOptions oopts;
+  oopts.service.workers = kWorkers;
+  oopts.service.queue_limit = 2;
+  oopts.service.executor = [&](const jobs::KernelRequest& krq,
+                               const exec::Budget&) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kServiceSeconds));
+    jobs::AttemptOutcome ao;
+    ao.ok = true;
+    ao.out.value = static_cast<double>(krq.seed % 97);
+    ao.out.detail = "paced";
+    return ao;
+  };
+  serve::Server oserver(oopts);
+  oserver.start();
+  const std::uint16_t oport = oserver.port();
+
+  auto nocache_line = [](std::uint64_t seed) {
+    serve::Request rq;
+    rq.op = serve::Op::Estimate;
+    rq.kind = jobs::JobKind::Symbolic;
+    rq.design = "adder:16";
+    rq.has_seed = true;
+    rq.seed = seed;
+    rq.use_cache = false;
+    return rq.serialize();
+  };
+  auto p99_of = [](std::vector<double>& xs) {
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    return xs[std::min(xs.size() - 1,
+                       static_cast<std::size_t>(
+                           static_cast<double>(xs.size()) * 0.99))];
+  };
+
+  std::vector<double> unloaded;
+  {
+    LineClient c;
+    std::string resp;
+    if (c.connect_to(oport)) {
+      for (int i = 0; i < 200; ++i) {
+        const auto t0 = clock_type::now();
+        if (!c.roundtrip(nocache_line(static_cast<std::uint64_t>(i)), resp))
+          break;
+        unloaded.push_back(
+            std::chrono::duration<double>(clock_type::now() - t0).count());
+      }
+    }
+  }
+  const double p99_unloaded = p99_of(unloaded);
+
+  std::vector<std::vector<double>> admitted_lat(kOverloadConns);
+  std::atomic<std::uint64_t> shed_count{0};
+  std::atomic<std::uint64_t> admitted_count{0};
+  std::atomic<std::uint64_t> hints_present{0};
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kOverloadConns; ++t) {
+      threads.emplace_back([&, t] {
+        LineClient c;
+        if (!c.connect_to(oport)) return;
+        std::string resp;
+        for (int i = 0; i < kOverloadPerConn; ++i) {
+          const std::uint64_t seed =
+              1000000ull + static_cast<std::uint64_t>(t) * 100000ull +
+              static_cast<std::uint64_t>(i);
+          const auto t0 = clock_type::now();
+          if (!c.roundtrip(nocache_line(seed), resp)) return;
+          const double secs =
+              std::chrono::duration<double>(clock_type::now() - t0).count();
+          serve::ResponseView v;
+          if (!serve::parse_response(resp, v)) continue;
+          if (!v.ok && v.error == "shed") {
+            shed_count.fetch_add(1);
+            if (v.retry_after_ms > 0) hints_present.fetch_add(1);
+          } else if (v.ok) {
+            admitted_count.fetch_add(1);
+            admitted_lat[static_cast<std::size_t>(t)].push_back(secs);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  oserver.shutdown();
+
+  std::vector<double> admitted_all;
+  for (auto& v : admitted_lat)
+    admitted_all.insert(admitted_all.end(), v.begin(), v.end());
+  const double p99_admitted = p99_of(admitted_all);
+  const double total_offered =
+      static_cast<double>(kOverloadConns) * kOverloadPerConn;
+  const double shed_rate =
+      static_cast<double>(shed_count.load()) / total_offered;
+  const double p99_ratio =
+      p99_unloaded > 0.0 ? p99_admitted / p99_unloaded : 0.0;
+  std::printf("overload %dx (%d conns vs %d workers): shed %.0f%% with "
+              "retry-after on %llu/%llu, admitted p99 %.2f ms vs unloaded "
+              "p99 %.2f ms (%.2fx %s)\n",
+              kOverloadConns / kWorkers, kOverloadConns, kWorkers,
+              shed_rate * 100.0,
+              static_cast<unsigned long long>(hints_present.load()),
+              static_cast<unsigned long long>(shed_count.load()),
+              p99_admitted * 1e3, p99_unloaded * 1e3, p99_ratio,
+              p99_ratio <= 2.0 ? "(<= 2x bar met)" : "(ABOVE 2x bar)");
+
   benchjson::Object root{
       {"bench", "serve"},
       {"design", "adder:16"},
@@ -244,6 +420,31 @@ void write_report(const std::string& path) {
            {"misses", m.misses},
            {"coalesced", m.coalesced},
            {"shed", m.shed},
+       }},
+      {"warm_restart",
+       benchjson::Object{
+           {"cold_first_request_seconds", warm_cold_s},
+           {"warm_first_request_seconds", warm_first_s},
+           {"byte_identical", warm_identical},
+           {"warm_entries", warm_entries},
+           {"speedup", warm_first_s > 0.0 ? warm_cold_s / warm_first_s : 0.0},
+           {"warm_under_1ms", warm_first_s > 0.0 && warm_first_s < 1e-3},
+       }},
+      {"overload_4x",
+       benchjson::Object{
+           {"workers", kWorkers},
+           {"queue_limit", 2},
+           {"connections", kOverloadConns},
+           {"service_seconds", kServiceSeconds},
+           {"offered", total_offered},
+           {"admitted", admitted_count.load()},
+           {"shed", shed_count.load()},
+           {"shed_rate", shed_rate},
+           {"retry_after_hints", hints_present.load()},
+           {"p99_unloaded_seconds", p99_unloaded},
+           {"p99_admitted_seconds", p99_admitted},
+           {"p99_admitted_over_unloaded", p99_ratio},
+           {"meets_2x_bar", p99_ratio > 0.0 && p99_ratio <= 2.0},
        }},
   };
   if (benchjson::save(path, root))

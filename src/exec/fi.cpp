@@ -1,5 +1,7 @@
 #include "exec/fi.hpp"
 
+#include <array>
+#include <atomic>
 #include <new>
 
 namespace hlp::fi {
@@ -46,6 +48,62 @@ void step_checkpoint(exec::CancelToken& tok, std::uint64_t n) {
   // Fires once the counter has passed the armed step, i.e. when the probe's
   // charge range [count, count+n) covers it. Sticky by construction.
   if (st.cancel_armed && st.step_count > st.cancel_at) tok.request_cancel();
+}
+
+namespace {
+
+/// One process-global slot per ServeFault. `armed` is written last with
+/// release ordering on arm, so a checkpoint that acquires it also sees the
+/// target index and param written before it.
+struct ServeSlot {
+  std::atomic<bool> armed{false};
+  std::atomic<std::uint64_t> at{0};
+  std::atomic<std::uint64_t> param{0};
+  std::atomic<std::uint64_t> hits{0};
+};
+
+std::array<ServeSlot, kServeFaultCount>& serve_slots() {
+  static std::array<ServeSlot, kServeFaultCount> slots;
+  return slots;
+}
+
+ServeSlot& slot(ServeFault f) {
+  return serve_slots()[static_cast<std::size_t>(f)];
+}
+
+}  // namespace
+
+void arm_serve_fault(ServeFault f, std::uint64_t at_hit, std::uint64_t param) {
+  ServeSlot& s = slot(f);
+  s.armed.store(false, std::memory_order_release);
+  s.at.store(at_hit, std::memory_order_relaxed);
+  s.param.store(param, std::memory_order_relaxed);
+  s.hits.store(0, std::memory_order_relaxed);
+  s.armed.store(true, std::memory_order_release);
+}
+
+void disarm_serve_faults() {
+  for (int i = 0; i < kServeFaultCount; ++i) {
+    ServeSlot& s = serve_slots()[static_cast<std::size_t>(i)];
+    s.armed.store(false, std::memory_order_release);
+    s.hits.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t serve_fault_hits(ServeFault f) {
+  return slot(f).hits.load(std::memory_order_relaxed);
+}
+
+bool serve_fault_checkpoint(ServeFault f, std::uint64_t* param_out) {
+  ServeSlot& s = slot(f);
+  const std::uint64_t idx = s.hits.fetch_add(1, std::memory_order_acq_rel);
+  if (!s.armed.load(std::memory_order_acquire)) return false;
+  if (idx != s.at.load(std::memory_order_relaxed)) return false;
+  // Claim the one-shot: only the thread whose exchange observes true fires,
+  // even if two checkpoints race on the same index after a re-arm.
+  if (!s.armed.exchange(false, std::memory_order_acq_rel)) return false;
+  if (param_out) *param_out = s.param.load(std::memory_order_relaxed);
+  return true;
 }
 
 }  // namespace hlp::fi

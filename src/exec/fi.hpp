@@ -75,4 +75,41 @@ void alloc_checkpoint();
 /// advances by n, and an armed fault inside [count, count+n) fires).
 void step_checkpoint(exec::CancelToken& tok, std::uint64_t n = 1);
 
+/// --- Serve-path fault schedule (process-global) ---------------------------
+///
+/// The per-thread faults above cannot reach the serve tier: its kernels run
+/// on pool worker threads the arming test thread never executes on. These
+/// faults are therefore armed **process-globally** with atomic counters, so
+/// a chaos schedule armed on the test thread fires inside whichever worker
+/// happens to reach the target checkpoint — exactly the nondeterminism a
+/// production fault has, while the (fault, hit-index) pair keeps the
+/// schedule itself replayable.
+///
+/// Each fault is one-shot: it fires at the `at_hit`-th (0-based) checkpoint
+/// after arming and disarms itself, so exactly one request in a schedule
+/// takes the hit. Hit counters advance even while disarmed (and reset on
+/// arm), so a sweep can first count a fault's checkpoints, then replay once
+/// per index — the same protocol as the thread-local faults.
+enum class ServeFault : std::uint8_t {
+  WorkerThrow = 0,  ///< worker "crash": throw before the kernel runs
+  WorkerAlloc,      ///< allocation failure under load: throw std::bad_alloc
+  KernelStall,      ///< kernel stuck between meter steps (param = max ms)
+  CacheTornWrite,   ///< persist only a record prefix, then wedge the file
+};
+inline constexpr int kServeFaultCount = 4;
+
+/// Arm `f` to fire at its `at_hit`-th checkpoint from now; `param` is
+/// fault-specific (stall duration in ms, torn-write cut in bytes).
+void arm_serve_fault(ServeFault f, std::uint64_t at_hit,
+                     std::uint64_t param = 0);
+/// Disarm every serve fault and reset every hit counter.
+void disarm_serve_faults();
+/// Checkpoints passed for `f` since the last arm/disarm — the sweep bound.
+std::uint64_t serve_fault_hits(ServeFault f);
+
+/// Called by serve-layer instrumentation at each injection point. Returns
+/// true when the armed target is reached (claiming the one-shot), with the
+/// armed `param` stored through `param_out` when non-null.
+bool serve_fault_checkpoint(ServeFault f, std::uint64_t* param_out = nullptr);
+
 }  // namespace hlp::fi

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace hlp::serve {
+
+/// Point-in-time segment-file counters. `torn_bytes` / `superseded` are
+/// set once by load(); `appends` grows per durable record.
+struct SegmentStats {
+  std::uint64_t loaded = 0;      ///< live records handed to the load callback
+  std::uint64_t superseded = 0;  ///< duplicate-key records dropped at load
+  std::uint64_t appends = 0;     ///< records made durable since load
+  std::uint64_t torn_bytes = 0;  ///< trailing bytes truncated by recovery
+  std::uint64_t compactions = 0;
+  bool wedged = false;  ///< persistence stopped (I/O error or injected fault)
+};
+
+/// Append-only, fsync'd, CRC-framed spill file for the serve result cache —
+/// the same crash-consistency discipline as the jobs ledger, in binary
+/// framing (DESIGN.md §9):
+///
+///   file   := magic "HLPCACH1" record*
+///   record := klen:u32le vlen:u32le key[klen] value[vlen] crc:u32le
+///
+/// where crc is CRC-32 (IEEE) over the lengths and both payloads. Every
+/// append is written in one buffer, then fsync'd, so after a crash the file
+/// is a valid prefix plus at most one torn record; load() verifies frames
+/// in order, truncates the file at the first bad one (torn-write recovery),
+/// and replays the survivors last-write-wins. When superseded duplicates
+/// outweigh live data, load() compacts by rewriting live records to a temp
+/// file and renaming it into place.
+///
+/// Thread-safe for concurrent append(); load() must complete first (the
+/// service calls it from its constructor).
+class CacheSegmentFile {
+ public:
+  using LoadCallback = std::function<void(std::string&&, std::string&&)>;
+
+  explicit CacheSegmentFile(std::string path);
+  ~CacheSegmentFile();
+
+  CacheSegmentFile(const CacheSegmentFile&) = delete;
+  CacheSegmentFile& operator=(const CacheSegmentFile&) = delete;
+
+  /// Scan + recover + replay as described above, invoking `cb` once per
+  /// live record in append order, then open the file for appending. A
+  /// missing or unrecognizable file starts a fresh segment. Never throws on
+  /// I/O failure — persistence is best-effort by design; `stats().wedged`
+  /// records that it stopped.
+  void load(const LoadCallback& cb);
+
+  /// Durably append one record (single write + fsync under a mutex). Does
+  /// nothing once wedged or before load().
+  void append(std::string_view key, std::string_view value);
+
+  SegmentStats stats() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  void open_fresh();  // truncate + magic header + fsync (under mu_)
+
+  std::string path_;
+  int fd_ = -1;
+  mutable std::mutex mu_;
+  SegmentStats stats_;
+};
+
+}  // namespace hlp::serve

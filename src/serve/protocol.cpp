@@ -203,11 +203,14 @@ std::string make_value_response(std::string_view id, double value,
 }
 
 std::string make_error_response(std::string_view id, std::string_view error,
-                                std::string_view detail) {
+                                std::string_view detail,
+                                std::uint64_t retry_after_ms) {
   std::string s = "{\"ok\":false";
   if (!id.empty()) util::append_field(s, "id", id);
   util::append_field(s, "error", error);
   util::append_field(s, "detail", detail);
+  if (retry_after_ms > 0)
+    util::append_field(s, "retry-after-ms", retry_after_ms);
   s.push_back('}');
   return s;
 }
@@ -244,6 +247,9 @@ bool parse_response(std::string_view line, ResponseView& out) {
       r.has_value = true;
     } else if (key == "degraded") {
       if (!util::parse_json_bool(c, r.degraded)) return false;
+    } else if (key == "retry-after-ms") {
+      if (!util::number_as(util::number_token(c), r.retry_after_ms))
+        return false;
     } else if (key == "hits") {
       if (!util::number_as(util::number_token(c), r.hits)) return false;
     } else if (key == "misses") {

@@ -41,13 +41,19 @@ namespace hlp::serve {
 ///
 /// Responses:
 ///   {"ok":true,...,"value":V,"detail":"...","degraded":false}
-///   {"ok":false,...,"error":"<class>","detail":"..."}
+///   {"ok":false,...,"error":"<class>","detail":"..."[,"retry-after-ms":N]}
 /// with "id" echoed right after "ok" when the request carried one. Error
 /// classes: "malformed", "invalid-input", "budget-exhausted", "internal",
 /// "shed" (admission control refused the request), "draining" (server is
-/// shutting down). Cache hits are deliberately indistinguishable from
-/// fresh computations in the response body (PR 4's determinism guarantee
-/// makes them bit-identical); provenance is visible only in the metrics.
+/// shutting down), "deadline-exceeded" (the request's wall-clock deadline
+/// tripped before the kernel finished), "cancelled" (a drain cancelled the
+/// in-flight kernel). "shed" responses carry "retry-after-ms", a hint
+/// computed from queue depth and observed service time; a well-behaved
+/// client backs off at least that long before retrying (the hlp_serve
+/// client combines it with exponential backoff + jitter). Cache hits are
+/// deliberately indistinguishable from fresh computations in the response
+/// body (PR 4's determinism guarantee makes them bit-identical);
+/// provenance is visible only in the metrics.
 
 /// Hard ceiling on one wire line (request or response), newline excluded.
 /// A peer that exceeds it is answered with "malformed" and disconnected —
@@ -96,8 +102,10 @@ struct Request {
 /// non-empty.
 std::string make_value_response(std::string_view id, double value,
                                 std::string_view detail, bool degraded);
+/// `retry_after_ms` > 0 appends the backoff hint (shed/overload responses).
 std::string make_error_response(std::string_view id, std::string_view error,
-                                std::string_view detail);
+                                std::string_view detail,
+                                std::uint64_t retry_after_ms = 0);
 std::string make_ping_response();
 
 /// Client-side view of a response line: the union of the fields any
@@ -110,6 +118,8 @@ struct ResponseView {
   bool has_value = false;
   double value = 0.0;
   bool degraded = false;
+  /// Backoff hint on shed/overload errors (0 = none given).
+  std::uint64_t retry_after_ms = 0;
   /// Metrics-response counters, in wire order (see Metrics::serialize).
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;

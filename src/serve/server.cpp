@@ -8,8 +8,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "serve/protocol.hpp"
@@ -132,6 +134,7 @@ void Server::accept_loop() {
     active_conns_.fetch_add(1, std::memory_order_acq_rel);
     std::lock_guard<std::mutex> lock(conn_mu_);
     const std::uint64_t id = next_conn_id_++;
+    conn_fds_.emplace(id, fd);
     conns_.emplace(id,
                    std::thread([this, fd, id] { connection_loop(fd, id); }));
   }
@@ -182,20 +185,53 @@ void Server::connection_loop(int fd, std::uint64_t conn_id) {
     }
     buf.append(chunk, static_cast<std::size_t>(n));
   }
-  ::close(fd);
+  {
+    // Close under conn_mu_ and drop the registry entry in the same step:
+    // once the fd number is back in the kernel's pool, no force-close can
+    // reach it through a stale registry.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(conn_id);
+    ::close(fd);
+    finished_.push_back(conn_id);
+  }
   active_conns_.fetch_sub(1, std::memory_order_acq_rel);
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  finished_.push_back(conn_id);
 }
 
 void Server::shutdown() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stopping_.store(true, std::memory_order_release);
   service_.begin_drain();
+  const double grace = opts_.drain_deadline_seconds;
+  if (grace > 0.0) {
+    // Bounded drain: ask every in-flight kernel to stop now, so
+    // well-behaved ones answer "cancelled" well inside the grace period.
+    service_.cancel_inflight();
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  if (grace > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(grace));
+    while (active_conns_.load(std::memory_order_acquire) > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (active_conns_.load(std::memory_order_acquire) > 0) {
+      // Escalate: abandon the remaining kernel waits ("cancelled"
+      // responses), give those responses a moment to flush, then cut the
+      // sockets of whatever still refuses to exit. The connection threads
+      // see recv() fail and leave; orphaned workers finish against the
+      // still-alive Service and are discarded.
+      service_.abort_pending();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      for (auto& [id, fd] : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
   }
   // Join every connection thread: each one finishes the request it is
   // processing (and any already-buffered lines), flushes responses, and

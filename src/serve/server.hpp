@@ -18,6 +18,12 @@ struct ServerOptions {
   /// Concurrent connections admitted; beyond it the accept loop answers one
   /// "shed" line and closes. 0 = unlimited.
   int max_connections = 64;
+  /// Bound on shutdown(): after this many seconds of graceful drain the
+  /// server escalates — in-flight kernels are cancelled through their
+  /// CancelTokens, waiters abandoned with "cancelled" responses, and any
+  /// connection that still will not exit is force-closed. 0 preserves the
+  /// legacy unbounded graceful drain (every in-flight request completes).
+  double drain_deadline_seconds = 0.0;
   ServiceOptions service;
 };
 
@@ -30,6 +36,11 @@ struct ServerOptions {
 /// listener (new connections refused), mark the service draining (new
 /// estimates answered "draining"), let requests already being processed
 /// finish and their responses flush, then join every connection thread.
+/// With drain_deadline_seconds > 0 the drain is bounded (DESIGN.md §9):
+/// cancel in-flight kernels cooperatively up front, and on expiry abort
+/// the remaining waiters ("cancelled" responses) and force-close the
+/// sockets of any connection still stuck, so shutdown() returns even when
+/// a kernel ignores its CancelToken.
 class Server {
  public:
   explicit Server(ServerOptions opts = {});
@@ -61,6 +72,10 @@ class Server {
 
   std::mutex conn_mu_;
   std::unordered_map<std::uint64_t, std::thread> conns_;
+  /// Live sockets by connection id; a connection thread removes (and
+  /// closes) its own entry on exit, so a force-close during escalated
+  /// shutdown can never hit a recycled fd number.
+  std::unordered_map<std::uint64_t, int> conn_fds_;
   std::vector<std::uint64_t> finished_;
   std::uint64_t next_conn_id_ = 0;
   std::atomic<int> active_conns_{0};

@@ -4,11 +4,16 @@
 #include <bit>
 #include <chrono>
 #include <charconv>
+#include <new>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "analysis/estimate.hpp"
+#include "exec/fi.hpp"
 #include "fsm/benchmarks.hpp"
 #include "fsm/stg.hpp"
+#include "netlist/index.hpp"
 #include "util/json.hpp"
 
 namespace hlp::serve {
@@ -46,6 +51,22 @@ std::size_t clamp_cap(std::size_t requested, std::size_t ceiling) {
   if (ceiling == 0) return requested;
   if (requested == 0) return ceiling;
   return std::min(requested, ceiling);
+}
+
+/// Kinds whose design spec elaborates to a netlist — the ones the tier-0
+/// static bound can stand in for on a deadline trip.
+bool netlist_backed(jobs::JobKind kind) {
+  return kind == jobs::JobKind::Symbolic ||
+         kind == jobs::JobKind::MonteCarlo || kind == jobs::JobKind::Static;
+}
+
+/// How long the waiter lets the wall clock run past the cooperative
+/// deadline before abandoning the kernel: enough slack that a well-behaved
+/// kernel's own meter trips first (typed by *its* stop reason), while a
+/// kernel stuck between meter steps is still bounded.
+double wall_limit_for(double cooperative_deadline) {
+  if (cooperative_deadline <= 0.0) return 0.0;
+  return cooperative_deadline * 1.25 + 0.05;
 }
 
 }  // namespace
@@ -88,9 +109,21 @@ std::string serialize_metrics(const ServiceMetrics& m) {
   util::append_field(s, "estimates", m.estimates);
   util::append_field(s, "refused", m.refused);
   util::append_field(s, "errors", m.errors);
+  util::append_field(s, "deadline-exceeded", m.deadline_exceeded);
+  util::append_field(s, "cancelled", m.cancelled);
+  util::append_field(s, "degraded-deadline", m.degraded_deadline);
   util::append_field(s, "inflight",
                      static_cast<std::uint64_t>(m.inflight < 0 ? 0 : m.inflight));
   util::append_field(s, "draining", m.draining);
+  util::append_field(s, "queue-depth",
+                     static_cast<std::uint64_t>(m.queue_depth));
+  util::append_field(
+      s, "busy-workers",
+      static_cast<std::uint64_t>(m.busy_workers < 0 ? 0 : m.busy_workers));
+  util::append_field(s, "warm-entries", m.warm_entries);
+  util::append_field(s, "persist-appends", m.persist_appends);
+  util::append_field(s, "persist-torn-bytes", m.persist_torn_bytes);
+  util::append_field(s, "ewma-service-us", m.ewma_service_us);
   util::append_field(s, "cache-entries",
                      static_cast<std::uint64_t>(m.cache.entries));
   util::append_field(s, "cache-bytes",
@@ -111,6 +144,18 @@ Service::Service(ServiceOptions opts)
                         const exec::Budget& budget) {
       return jobs::run_kernel(rq, budget);
     };
+  }
+  if (!opts_.cache_path.empty() && opts_.cache_bytes > 0) {
+    segment_ = std::make_unique<CacheSegmentFile>(opts_.cache_path);
+    std::uint64_t warm = 0;
+    segment_->load([&](std::string&& key, std::string&& value) {
+      cache_.insert(key, std::move(value));
+      ++warm;
+    });
+    warm_entries_.store(warm, std::memory_order_relaxed);
+  }
+  if (opts_.workers > 0) {
+    pool_ = std::make_unique<WorkerPool>(opts_.workers, opts_.queue_limit);
   }
 }
 
@@ -199,6 +244,8 @@ Service::Keys Service::keys(const Request& rq) {
 exec::Budget Service::budget_for(const Request& rq) const {
   exec::Budget b;
   b.deadline_seconds = rq.deadline_seconds;
+  if (b.deadline_seconds <= 0.0 && opts_.default_deadline_seconds > 0.0)
+    b.deadline_seconds = opts_.default_deadline_seconds;
   if (opts_.ceiling_deadline_seconds > 0.0) {
     b.deadline_seconds = b.deadline_seconds > 0.0
                              ? std::min(b.deadline_seconds,
@@ -212,7 +259,58 @@ exec::Budget Service::budget_for(const Request& rq) const {
   return b;
 }
 
-std::string Service::compute_response(const Request& rq, std::uint64_t seed) {
+void Service::note_service_time(std::uint64_t us) {
+  // EWMA with alpha = 1/8, seeded by the first sample. The load/store pair
+  // is deliberately not a CAS loop: a lost update under contention just
+  // delays the smoothing of a *hint*.
+  const std::uint64_t prev = ewma_us_.load(std::memory_order_relaxed);
+  std::uint64_t next = prev == 0 ? us : prev - prev / 8 + us / 8;
+  if (next == 0) next = 1;
+  ewma_us_.store(next, std::memory_order_relaxed);
+}
+
+std::uint64_t Service::retry_after_ms() const {
+  std::uint64_t us = ewma_us_.load(std::memory_order_relaxed);
+  if (us == 0) us = 1000;  // no observation yet: assume ~1ms kernels
+  std::uint64_t waiting = 1;  // the retry itself
+  int width = 1;
+  if (pool_) {
+    waiting += pool_->queue_depth() +
+               static_cast<std::uint64_t>(std::max(0, pool_->busy()));
+    width = std::max(1, pool_->workers());
+  } else {
+    const int inflight = inflight_.load(std::memory_order_relaxed);
+    waiting += static_cast<std::uint64_t>(std::max(0, inflight));
+  }
+  const std::uint64_t ms =
+      waiting * (us / 1000 + 1) / static_cast<std::uint64_t>(width);
+  return std::clamp<std::uint64_t>(ms, 1, 30000);
+}
+
+std::string Service::response_for_current_exception() {
+  try {
+    throw;
+  } catch (const exec::BudgetExceeded& e) {
+    if (e.reason() == exec::StopReason::Cancelled) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      return make_error_response({}, "cancelled", e.what());
+    }
+    if (e.reason() == exec::StopReason::Deadline)
+      return make_error_response({}, "deadline-exceeded", e.what());
+    return make_error_response({}, "budget-exhausted", e.what());
+  } catch (const std::bad_alloc&) {
+    return make_error_response({}, "internal", "allocation failure");
+  } catch (const std::invalid_argument& e) {
+    return make_error_response({}, "invalid-input", e.what());
+  } catch (const std::exception& e) {
+    return make_error_response({}, "internal", e.what());
+  } catch (...) {
+    return make_error_response({}, "internal", "unknown exception");
+  }
+}
+
+std::string Service::compute_response(const Request& rq, std::uint64_t seed,
+                                      const exec::CancelToken& cancel) {
   jobs::KernelRequest krq;
   krq.kind = rq.kind;
   krq.design = rq.design;
@@ -222,24 +320,199 @@ std::string Service::compute_response(const Request& rq, std::uint64_t seed) {
   krq.min_pairs = rq.min_pairs;
   krq.max_pairs = rq.max_pairs;
   krq.max_iters = rq.max_iters;
+  exec::Budget budget = budget_for(rq);
+  budget.cancel = cancel;
+
+  // Chaos injection: a kernel stuck between meter steps. Cancellable (the
+  // waiter's deadline/drain path), but capped so a faulted request on an
+  // unlimited budget cannot wedge a worker forever.
+  std::uint64_t stall_ms = 0;
+  if (fi::serve_fault_checkpoint(fi::ServeFault::KernelStall, &stall_ms)) {
+    const auto cap = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(stall_ms > 0 ? stall_ms : 10000);
+    while (!budget.cancel.cancel_requested() &&
+           std::chrono::steady_clock::now() < cap) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
   try {
-    jobs::AttemptOutcome out = opts_.executor(krq, budget_for(rq));
+    jobs::AttemptOutcome out = opts_.executor(krq, budget);
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    note_service_time(static_cast<std::uint64_t>(us < 0 ? 0 : us));
     if (!out.ok) {
       errors_.fetch_add(1, std::memory_order_relaxed);
+      if (out.stop == exec::StopReason::Cancelled) {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        return make_error_response({}, "cancelled", out.detail);
+      }
+      if (out.stop == exec::StopReason::Deadline)
+        return make_error_response({}, "deadline-exceeded", out.detail);
       return make_error_response({}, "budget-exhausted", out.detail);
     }
     return make_value_response({}, out.out.value, out.out.detail,
                                out.out.degraded);
-  } catch (const exec::BudgetExceeded& e) {
+  } catch (...) {
     errors_.fetch_add(1, std::memory_order_relaxed);
-    return make_error_response({}, "budget-exhausted", e.what());
-  } catch (const std::invalid_argument& e) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    return make_error_response({}, "invalid-input", e.what());
-  } catch (const std::exception& e) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    return make_error_response({}, "internal", e.what());
+    return response_for_current_exception();
   }
+}
+
+std::string Service::deadline_response(const Request& rq,
+                                       double limit_seconds) {
+  std::string what = "wall deadline exceeded (";
+  util::append_json_double(what, limit_seconds);
+  what += "s); kernel cancelled";
+  if (opts_.degrade_on_deadline && netlist_backed(rq.kind)) {
+    try {
+      // Tier-0 fallback (PR 7): the zero-simulation static estimate with
+      // guaranteed bounds, under its own small budget so the fallback is
+      // never the thing that hangs. Degraded answers are never cached.
+      netlist::Module mod = jobs::make_module(rq.design);
+      const netlist::NetlistIndex ix = netlist::build_index(mod.netlist);
+      exec::Meter meter(exec::Budget::with_deadline(0.25));
+      const analysis::StaticEstimate est =
+          analysis::static_estimate(mod.netlist, ix, {}, &meter);
+      if (est.stop == exec::StopReason::None) {
+        degraded_deadline_.fetch_add(1, std::memory_order_relaxed);
+        std::string detail = "deadline-degraded to static bounds [";
+        util::append_json_double(detail, est.lower);
+        detail += ", ";
+        util::append_json_double(detail, est.upper);
+        detail += "]";
+        return make_value_response({}, est.point, detail, /*degraded=*/true);
+      }
+    } catch (...) {
+      // Fall through to the typed error; degradation is best-effort.
+    }
+  }
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return make_error_response({}, "deadline-exceeded", what);
+}
+
+std::uint64_t Service::register_task(const std::shared_ptr<Task>& task) {
+  std::lock_guard<std::mutex> lock(task_mu_);
+  const std::uint64_t id = next_task_id_++;
+  active_tasks_.emplace(id, task);
+  return id;
+}
+
+void Service::unregister_task(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(task_mu_);
+  active_tasks_.erase(id);
+}
+
+void Service::cancel_inflight() {
+  std::lock_guard<std::mutex> lock(task_mu_);
+  for (auto& [id, task] : active_tasks_) task->cancel.request_cancel();
+}
+
+void Service::abort_pending() {
+  abort_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(task_mu_);
+  for (auto& [id, task] : active_tasks_) {
+    task->cancel.request_cancel();
+    task->cv.notify_all();  // wake waiters so they observe the flag now
+  }
+}
+
+std::string Service::lead_execute(const Request& rq, const Keys& k) {
+  // fi injection point (thread-local, like the kernel-layer ones): the
+  // allocation that publishes a fresh result. The regression surface for
+  // the single-flight waiter-wake satellite — a throw here used to escape
+  // through the flight into the connection loop.
+  fi::alloc_checkpoint();
+
+  auto task = std::make_shared<Task>();
+  const std::uint64_t task_id = register_task(task);
+
+  if (!pool_) {
+    // Inline execution (workers = 0): the PR 5 behavior, still registered
+    // so drain can cancel it cooperatively.
+    struct Unregister {
+      Service* s;
+      std::uint64_t id;
+      ~Unregister() { s->unregister_task(id); }
+    } guard{this, task_id};
+    std::string body = compute_response(rq, k.seed, task->cancel);
+    maybe_cache(rq, k, body);
+    return body;
+  }
+
+  const bool submitted =
+      pool_->try_submit([this, task, task_id, rq, k]() {
+        std::string body;
+        try {
+          if (fi::serve_fault_checkpoint(fi::ServeFault::WorkerThrow))
+            throw std::runtime_error("fi: injected worker crash mid-kernel");
+          if (fi::serve_fault_checkpoint(fi::ServeFault::WorkerAlloc))
+            throw std::bad_alloc{};
+          body = compute_response(rq, k.seed, task->cancel);
+          maybe_cache(rq, k, body);
+        } catch (...) {
+          // compute_response catches everything itself; this guards the
+          // injected faults and the response plumbing. A worker must never
+          // rethrow — that would terminate the process.
+          errors_.fetch_add(1, std::memory_order_relaxed);
+          body = response_for_current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> lock(task->mu);
+          task->body = std::move(body);
+          task->done = true;
+        }
+        task->cv.notify_all();
+        unregister_task(task_id);
+      });
+  if (!submitted) {
+    unregister_task(task_id);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return make_error_response({}, "shed",
+                               "admission control: kernel queue is full",
+                               retry_after_ms());
+  }
+
+  const double cooperative = budget_for(rq).deadline_seconds;
+  const double wall = wall_limit_for(cooperative);
+  const auto wall_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(wall));
+
+  std::unique_lock<std::mutex> lock(task->mu);
+  for (;;) {
+    if (task->done) return std::move(task->body);
+    if (abort_.load(std::memory_order_acquire)) {
+      task->cancel.request_cancel();
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return make_error_response({}, "cancelled",
+                                 "drain deadline abandoned the request");
+    }
+    if (wall > 0.0 && std::chrono::steady_clock::now() >= wall_deadline) {
+      // Abandon: cancel the kernel and answer without it. The worker still
+      // publishes a completed result to the cache when it finishes.
+      task->cancel.request_cancel();
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      return deadline_response(rq, cooperative);
+    }
+    task->cv.wait_for(lock, std::chrono::milliseconds(20));
+  }
+}
+
+void Service::maybe_cache(const Request& rq, const Keys& k,
+                          const std::string& body) {
+  if (!rq.use_cache || opts_.cache_bytes == 0) return;
+  // Only complete, non-degraded values are cached: anything a budget
+  // touched depends on the budget, which the cache key excludes.
+  ResponseView v;
+  if (!(parse_response(body, v) && v.ok && v.has_value && !v.degraded)) return;
+  cache_.insert(k.cache_key, body);
+  if (segment_) segment_->append(k.cache_key, body);
 }
 
 std::string Service::handle_estimate(const Request& rq) {
@@ -255,7 +528,8 @@ std::string Service::handle_estimate(const Request& rq) {
       shed_.fetch_add(1, std::memory_order_relaxed);
       return make_error_response(rq.id, "shed",
                                  "admission control: too many in-flight "
-                                 "requests");
+                                 "requests",
+                                 retry_after_ms());
     }
   } else {
     inflight_.fetch_add(1, std::memory_order_acq_rel);
@@ -280,21 +554,20 @@ std::string Service::handle_estimate(const Request& rq) {
   if (rq.use_cache && cache_.lookup(k.cache_key, body)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    SingleFlight::Result fr = flights_.run(k.flight_key, [&] {
-      std::string computed = compute_response(rq, k.seed);
-      // Only complete, non-degraded values are cached: anything a budget
-      // touched depends on the budget, which the cache key excludes.
-      if (rq.use_cache && opts_.cache_bytes > 0) {
-        ResponseView v;
-        if (parse_response(computed, v) && v.ok && v.has_value &&
-            !v.degraded) {
-          cache_.insert(k.cache_key, computed);
-        }
-      }
-      return computed;
-    });
-    body = std::move(fr.value);
-    (fr.leader ? misses_ : coalesced_).fetch_add(1, std::memory_order_relaxed);
+    try {
+      SingleFlight::Result fr =
+          flights_.run(k.flight_key, [&] { return lead_execute(rq, k); });
+      body = std::move(fr.value);
+      (fr.leader ? misses_ : coalesced_)
+          .fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      // Whatever escaped the flight — the leader's publication failing
+      // (fi alloc injection) or the rethrow a waiter received — becomes a
+      // typed error response. Waiters are *woken with the error class*,
+      // never left blocking (satellite: single-flight waiter leak).
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      body = response_for_current_exception();
+    }
   }
 
   const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -334,8 +607,22 @@ ServiceMetrics Service::metrics() const {
   m.shed = shed_.load(std::memory_order_relaxed);
   m.refused = refused_.load(std::memory_order_relaxed);
   m.errors = errors_.load(std::memory_order_relaxed);
+  m.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  m.cancelled = cancelled_.load(std::memory_order_relaxed);
+  m.degraded_deadline = degraded_deadline_.load(std::memory_order_relaxed);
   m.inflight = inflight_.load(std::memory_order_relaxed);
   m.draining = draining();
+  if (pool_) {
+    m.queue_depth = pool_->queue_depth();
+    m.busy_workers = pool_->busy();
+  }
+  m.warm_entries = warm_entries_.load(std::memory_order_relaxed);
+  if (segment_) {
+    const SegmentStats ss = segment_->stats();
+    m.persist_appends = ss.appends;
+    m.persist_torn_bytes = ss.torn_bytes;
+  }
+  m.ewma_service_us = ewma_us_.load(std::memory_order_relaxed);
   m.cache = cache_.stats();
   m.p50_us = latency_.percentile(0.50);
   m.p90_us = latency_.percentile(0.90);

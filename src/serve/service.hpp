@@ -2,8 +2,10 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -12,13 +14,19 @@
 #include "exec/exec.hpp"
 #include "jobs/kernels.hpp"
 #include "serve/cache.hpp"
+#include "serve/cachefile.hpp"
 #include "serve/protocol.hpp"
 #include "serve/singleflight.hpp"
+#include "serve/workerpool.hpp"
 
 namespace hlp::serve {
 
 /// Kernel execution hook. Defaults to jobs::run_kernel; tests substitute a
 /// counting or blocking kernel to observe single-flight and shed behavior.
+/// Runs on a pool worker thread (or the connection thread when workers=0);
+/// the budget's CancelToken is the request's abandonment signal — a
+/// deadline-abandoned or drain-cancelled executor should observe it and
+/// return promptly.
 using Executor = std::function<jobs::AttemptOutcome(const jobs::KernelRequest&,
                                                     const exec::Budget&)>;
 
@@ -34,11 +42,31 @@ struct ServiceOptions {
   std::size_t ceiling_node_cap = 0;
   std::size_t ceiling_step_quota = 0;
   std::size_t ceiling_memory_cap_bytes = 0;
+  /// Kernel execution bulkhead: estimates run on this many pool workers
+  /// behind a bounded queue, so connection threads only wait (cancellably)
+  /// for results and a stuck kernel cannot wedge its connection. 0 runs
+  /// kernels inline on the connection thread (the PR 5 behavior).
+  int workers = 4;
+  /// Kernel tasks allowed to queue behind the busy workers; at the limit
+  /// requests are shed with a retry-after-ms hint. 0 = unbounded.
+  std::size_t queue_limit = 256;
+  /// Wall-clock deadline applied to estimate requests that do not carry
+  /// their own "deadline" (0 = none). The ceiling clamps both.
+  double default_deadline_seconds = 0.0;
+  /// When a wall deadline trips on a netlist-backed kind, answer with the
+  /// tier-0 static bound (degraded:true, never cached) instead of the
+  /// "deadline-exceeded" error — a bounded answer beats none.
+  bool degrade_on_deadline = false;
+  /// Crash-safe persistence: path of the append-only CRC-framed segment
+  /// file the result cache spills to (see CacheSegmentFile). Loaded on
+  /// construction so a restarted server answers previously-cached designs
+  /// warm. Empty = in-memory cache only.
+  std::string cache_path;
   Executor executor;  ///< empty = jobs::run_kernel
 };
 
 /// Point-in-time service counters (monotone except inflight/draining and
-/// the cache working-set fields).
+/// the working-set gauges).
 struct ServiceMetrics {
   std::uint64_t requests = 0;   ///< lines received (any op, incl. malformed)
   std::uint64_t estimates = 0;  ///< estimate requests admitted past shed/drain
@@ -48,8 +76,17 @@ struct ServiceMetrics {
   std::uint64_t shed = 0;       ///< refused by admission control
   std::uint64_t refused = 0;    ///< refused because the service is draining
   std::uint64_t errors = 0;     ///< malformed / invalid-input / kernel errors
+  std::uint64_t deadline_exceeded = 0;  ///< wall-deadline abandonments
+  std::uint64_t cancelled = 0;  ///< drain/abort-cancelled requests
+  std::uint64_t degraded_deadline = 0;  ///< deadline trips degraded to tier-0
   int inflight = 0;
   bool draining = false;
+  std::size_t queue_depth = 0;  ///< kernel tasks queued, not yet started
+  int busy_workers = 0;
+  std::uint64_t warm_entries = 0;  ///< cache entries loaded from the segment
+  std::uint64_t persist_appends = 0;
+  std::uint64_t persist_torn_bytes = 0;
+  std::uint64_t ewma_service_us = 0;  ///< smoothed kernel service time
   CacheStats cache;
   std::uint64_t p50_us = 0;  ///< estimate-latency percentiles (log buckets)
   std::uint64_t p90_us = 0;
@@ -77,7 +114,9 @@ class LatencyHistogram {
 };
 
 /// The estimation service: protocol handling, content-addressed result
-/// cache, single-flight deduplication, admission control, drain.
+/// cache (optionally spilled to a crash-safe segment file), single-flight
+/// deduplication, worker-pool kernel execution with per-request wall
+/// deadlines, load-aware admission control, drain.
 ///
 /// Thread-safe: handle_line may be called concurrently from any number of
 /// connection threads. Everything transport-level (framing, sockets) lives
@@ -90,6 +129,16 @@ class LatencyHistogram {
 /// and only ok && !degraded results are cached). The single-flight key
 /// appends the budget fields, so concurrent requests share one execution
 /// only when they would do byte-identical work.
+///
+/// Execution path (DESIGN.md §9): the single-flight leader registers a
+/// cancellable task, submits the kernel to the pool, and waits on the
+/// task's latch with a wall-clock deadline. On expiry it cancels the
+/// kernel through the task's CancelToken and answers "deadline-exceeded"
+/// (or the tier-0 static bound); the worker finishes in the background,
+/// still publishing a completed result to the cache so the work is not
+/// wasted. Kernel exceptions never cross the pool boundary — workers
+/// classify them into typed error responses, which single-flight hands to
+/// every coalesced waiter.
 class Service {
  public:
   explicit Service(ServiceOptions opts = {});
@@ -106,6 +155,17 @@ class Service {
   void begin_drain() { draining_.store(true, std::memory_order_relaxed); }
   bool draining() const { return draining_.load(std::memory_order_relaxed); }
 
+  /// Request cooperative cancellation of every in-flight kernel through
+  /// its CancelToken; well-behaved kernels answer "cancelled" within a
+  /// meter poll. Used by Server::shutdown under a drain deadline.
+  void cancel_inflight();
+
+  /// Hard abort: every connection thread still waiting on a kernel answers
+  /// "cancelled" immediately, without waiting for the worker (the orphaned
+  /// task finishes in the background and is discarded). One-way, like
+  /// begin_drain. The escalation when the grace period expires.
+  void abort_pending();
+
   /// Derived request identity, exposed for tests and tooling.
   struct Keys {
     std::string cache_key;
@@ -116,21 +176,54 @@ class Service {
   Keys keys(const Request& rq);
 
  private:
+  /// Per-execution latch shared by the single-flight leader (waiter side)
+  /// and the pool worker (producer side). The leader may abandon the wait
+  /// (deadline / abort); shared_ptr keeps the state alive for the worker.
+  struct Task {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::string body;
+    exec::CancelToken cancel;
+  };
+
   std::string handle_estimate(const Request& rq);
-  /// Id-less response body for the request; runs under single-flight.
-  std::string compute_response(const Request& rq, std::uint64_t seed);
+  /// Single-flight leader body: execute the kernel (pool or inline) and
+  /// return the id-less response body.
+  std::string lead_execute(const Request& rq, const Keys& k);
+  /// Id-less response for one kernel execution; runs on a pool worker (or
+  /// inline). Catches everything.
+  std::string compute_response(const Request& rq, std::uint64_t seed,
+                               const exec::CancelToken& cancel);
+  /// Response for a wall-deadline abandonment: tier-0 static bound when
+  /// degrade_on_deadline allows, else the typed error.
+  std::string deadline_response(const Request& rq, double limit_seconds);
+  /// Map the in-flight exception (call inside catch) to a typed error
+  /// response. Never throws.
+  std::string response_for_current_exception();
+  void maybe_cache(const Request& rq, const Keys& k, const std::string& body);
   std::uint64_t fingerprint(jobs::JobKind kind, const std::string& design);
   exec::Budget budget_for(const Request& rq) const;
+  std::uint64_t retry_after_ms() const;
+  void note_service_time(std::uint64_t us);
+  std::uint64_t register_task(const std::shared_ptr<Task>& task);
+  void unregister_task(std::uint64_t id);
 
   ServiceOptions opts_;
   ResultCache cache_;
   SingleFlight flights_;
   LatencyHistogram latency_;
+  std::unique_ptr<CacheSegmentFile> segment_;
 
   std::mutex fp_mu_;
   std::unordered_map<std::string, std::uint64_t> fp_memo_;
 
+  std::mutex task_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Task>> active_tasks_;
+  std::uint64_t next_task_id_ = 0;
+
   std::atomic<bool> draining_{false};
+  std::atomic<bool> abort_{false};
   std::atomic<int> inflight_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> estimates_{0};
@@ -140,6 +233,15 @@ class Service {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> refused_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> degraded_deadline_{0};
+  std::atomic<std::uint64_t> warm_entries_{0};
+  std::atomic<std::uint64_t> ewma_us_{0};
+
+  /// Declared last: destroyed first, so workers finish (running any queued
+  /// task to completion) while every member their closures touch is alive.
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace hlp::serve

@@ -1,0 +1,68 @@
+#include "serve/workerpool.hpp"
+
+#include <utility>
+
+namespace hlp::serve {
+
+WorkerPool::WorkerPool(int workers, std::size_t queue_limit)
+    : queue_limit_(queue_limit) {
+  if (workers < 1) workers = 1;
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+bool WorkerPool::try_submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    if (queue_limit_ > 0 && queue_.size() >= queue_limit_) return false;
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::size_t WorkerPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+int WorkerPool::busy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_;
+}
+
+void WorkerPool::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and the backlog is drained
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+      ++busy_;
+    }
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_;
+    }
+  }
+}
+
+}  // namespace hlp::serve

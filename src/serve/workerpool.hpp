@@ -1,0 +1,59 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hlp::serve {
+
+/// Fixed-size worker pool behind a bounded FIFO queue — the execution side
+/// of the serve tier's bulkhead (DESIGN.md §9). Connection threads submit
+/// kernel tasks and wait on a per-task latch; only `workers` kernels run at
+/// once and at most `queue_limit` wait, so a burst of slow estimates turns
+/// into explicit shed decisions at try_submit instead of an unbounded pile
+/// of busy OS threads.
+///
+/// Tasks must not throw (the service wraps every kernel in its own
+/// classification catch); a throwing task would terminate the process.
+class WorkerPool {
+ public:
+  /// Spawns the workers immediately. `workers` is clamped to at least 1;
+  /// `queue_limit` = 0 means unbounded.
+  WorkerPool(int workers, std::size_t queue_limit);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueue a task. Returns false — without blocking — when the queue is
+  /// at queue_limit or the pool is stopping; the caller sheds.
+  bool try_submit(std::function<void()> fn);
+
+  /// Tasks queued but not yet started (load signal for admission control).
+  std::size_t queue_depth() const;
+  /// Tasks currently executing.
+  int busy() const;
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Stop accepting work, *run* everything still queued (each queued task
+  /// has a waiter that must be answered — dropping it would lose a
+  /// response), then join the workers. Idempotent; called by ~WorkerPool.
+  void stop();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t queue_limit_;
+  int busy_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hlp::serve

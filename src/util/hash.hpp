@@ -7,6 +7,7 @@
 // compare the full canonical key string and use the hash only to pick a
 // shard / bucket.
 
+#include <array>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -43,5 +44,30 @@ class Fnv1a64 {
  private:
   std::uint64_t h_ = 0xcbf29ce484222325ull;
 };
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+/// This is the *framing* checksum for durable on-disk records (the serve
+/// cache segment file): unlike Fnv1a64 it detects the torn/partial writes a
+/// crash leaves behind with the standard error-detection guarantees, and
+/// its value is fixed by the public standard so files survive toolchain
+/// changes. Chain blocks by passing the previous return value as `seed`.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  static constexpr std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = ~seed;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i)
+    c = kTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  return ~c;
+}
 
 }  // namespace hlp::util

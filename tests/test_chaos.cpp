@@ -1,0 +1,289 @@
+// Chaos harness for the serve tier (DESIGN.md §9): deterministic fault
+// schedules driven through hlp::fi's process-global serve faults, asserting
+// the tier's contract under faults — every request gets exactly one typed
+// response, no waiter leaks, and the persistent cache recovers to a
+// byte-identical live set after a mid-load kill.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/fi.hpp"
+#include "jobs/kernels.hpp"
+#include "serve/cachefile.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace hlp;
+using serve::CacheSegmentFile;
+using serve::Op;
+using serve::Request;
+using serve::ResponseView;
+using serve::SegmentStats;
+using serve::Service;
+using serve::ServiceOptions;
+
+std::string temp_segment_path(const std::string& tag) {
+  return ::testing::TempDir() + "hlp_seg_" + tag + "_" +
+         std::to_string(::getpid()) + ".bin";
+}
+
+/// splitmix64: the schedule generator. Every fault choice in a schedule is
+/// a pure function of the schedule id, so a failing schedule replays
+/// exactly from its index alone.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Load a segment into an ordered map (append order is irrelevant for
+/// equality; the map makes comparison order-insensitive).
+std::map<std::string, std::string> load_live_set(const std::string& path,
+                                                 SegmentStats* stats = nullptr) {
+  std::map<std::string, std::string> out;
+  CacheSegmentFile seg(path);
+  seg.load([&](std::string&& k, std::string&& v) {
+    out.emplace(std::move(k), std::move(v));
+  });
+  if (stats) *stats = seg.stats();
+  return out;
+}
+
+Request estimate_request(const std::string& design,
+                         jobs::JobKind kind = jobs::JobKind::Symbolic) {
+  Request rq;
+  rq.op = Op::Estimate;
+  rq.kind = kind;
+  rq.design = design;
+  return rq;
+}
+
+// --- Crash-safe persistent cache --------------------------------------------
+
+TEST(ServePersist, RestartServesWarmByteIdenticalWithoutExecuting) {
+  const std::string path = temp_segment_path("warm");
+  std::remove(path.c_str());
+
+  Request rq = estimate_request("adder:8");
+  rq.id = "warm-1";
+  std::string first;
+  {
+    ServiceOptions opts;
+    opts.cache_path = path;
+    Service cold(opts);
+    first = cold.handle_line(rq.serialize());
+    ASSERT_NE(first.find("\"ok\":true"), std::string::npos) << first;
+    EXPECT_EQ(cold.metrics().persist_appends, 1u);
+  }  // "restart": the service (and its cache) is gone; only the file remains
+
+  std::atomic<int> executions{0};
+  ServiceOptions opts;
+  opts.cache_path = path;
+  opts.executor = [&](const jobs::KernelRequest& krq, const exec::Budget& b) {
+    executions.fetch_add(1);
+    return jobs::run_kernel(krq, b);
+  };
+  Service warm(opts);
+  EXPECT_GE(warm.metrics().warm_entries, 1u);
+  EXPECT_EQ(warm.handle_line(rq.serialize()), first)
+      << "a warm restart must serve the cached bytes unchanged";
+  EXPECT_EQ(executions.load(), 0)
+      << "a warm restart must not re-execute the kernel";
+  EXPECT_EQ(warm.metrics().hits, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ServePersist, TornTailIsTruncatedAndEarlierEntriesSurvive) {
+  const std::string path = temp_segment_path("torn");
+  std::remove(path.c_str());
+  {
+    CacheSegmentFile seg(path);
+    seg.load([](std::string&&, std::string&&) {});
+    seg.append("k1", "value-one");
+    seg.append("k2", "value-two");
+    fi::arm_serve_fault(fi::ServeFault::CacheTornWrite, 0, /*param=*/5);
+    seg.append("k3", "value-three");  // torn: only 5 bytes reach the file
+    fi::disarm_serve_faults();
+    EXPECT_TRUE(seg.stats().wedged);
+    EXPECT_EQ(seg.stats().appends, 2u);
+  }
+  SegmentStats stats;
+  const auto live = load_live_set(path, &stats);
+  EXPECT_EQ(stats.torn_bytes, 5u);
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live.at("k1"), "value-one");
+  EXPECT_EQ(live.at("k2"), "value-two");
+  // Recovery truncated the torn tail: a second load sees a clean file.
+  SegmentStats again;
+  EXPECT_EQ(load_live_set(path, &again), live);
+  EXPECT_EQ(again.torn_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ServePersist, CorruptCrcMidFileDropsTheTailOnly) {
+  const std::string path = temp_segment_path("crc");
+  std::remove(path.c_str());
+  {
+    CacheSegmentFile seg(path);
+    seg.load([](std::string&&, std::string&&) {});
+    seg.append("ka", "alpha");
+    seg.append("kb", "beta");
+    seg.append("kc", "gamma");
+  }
+  {
+    // Flip one payload byte inside the second record. Offsets: magic(8),
+    // rec = 8 + klen + vlen + 4; rec1 = 8+2+5+4 = 19 bytes.
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 8 + 19 + 8 + 1, SEEK_SET), 0);
+    std::fputc('X', f);
+    std::fclose(f);
+  }
+  SegmentStats stats;
+  const auto live = load_live_set(path, &stats);
+  ASSERT_EQ(live.size(), 1u) << "everything after a bad CRC is unframable";
+  EXPECT_EQ(live.at("ka"), "alpha");
+  EXPECT_GT(stats.torn_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ServePersist, LastWriteWinsAndCompactionShrinksTheFile) {
+  const std::string path = temp_segment_path("compact");
+  std::remove(path.c_str());
+  const std::string big(256, 'x');
+  {
+    CacheSegmentFile seg(path);
+    seg.load([](std::string&&, std::string&&) {});
+    for (int i = 0; i < 40; ++i) {
+      seg.append("hot-key", big + std::to_string(i));
+    }
+    seg.append("other", "small");
+  }
+  SegmentStats stats;
+  const auto live = load_live_set(path, &stats);
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live.at("hot-key"), big + "39") << "last write must win";
+  EXPECT_EQ(stats.superseded, 39u);
+  EXPECT_EQ(stats.compactions, 1u)
+      << "39 superseded copies outweigh 2 live records";
+  SegmentStats after;
+  EXPECT_EQ(load_live_set(path, &after), live)
+      << "compaction must preserve the live set exactly";
+  EXPECT_EQ(after.superseded, 0u);
+  std::remove(path.c_str());
+}
+
+// --- Deterministic chaos schedules ------------------------------------------
+
+TEST(ServeChaos, HundredFaultSchedulesLoseNoResponses) {
+  constexpr int kSchedules = 100;
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 12;
+  const char* kDesigns[] = {"adder:4", "adder:8", "mult:4", "mult:6"};
+
+  const std::string path = temp_segment_path("chaos");
+  for (int sched = 0; sched < kSchedules; ++sched) {
+    std::remove(path.c_str());
+    fi::disarm_serve_faults();
+
+    // Derive this schedule's fault plan from its id alone.
+    std::uint64_t rng = 0x5eedull * 2654435761ull + static_cast<std::uint64_t>(sched);
+    const auto fault =
+        static_cast<fi::ServeFault>(splitmix64(rng) % fi::kServeFaultCount);
+    const std::uint64_t at_hit = splitmix64(rng) % 8;
+    const std::uint64_t stall_ms = 150 + splitmix64(rng) % 150;
+    fi::arm_serve_fault(fault, at_hit,
+                        fault == fi::ServeFault::KernelStall ? stall_ms : 0);
+
+    std::vector<std::vector<std::string>> responses(kThreads);
+    {
+      ServiceOptions opts;
+      opts.workers = 3;
+      opts.queue_limit = 8;
+      opts.default_deadline_seconds = 0.1;
+      opts.degrade_on_deadline = (sched % 2) == 1;
+      opts.cache_path = path;
+      opts.executor = [](const jobs::KernelRequest& krq, const exec::Budget&) {
+        jobs::AttemptOutcome ao;  // fast deterministic fake kernel
+        ao.ok = true;
+        ao.out.value =
+            static_cast<double>(krq.design.size()) + static_cast<double>(krq.seed % 7);
+        ao.out.detail = "chaos-fake";
+        return ao;
+      };
+      Service service(opts);
+
+      std::vector<std::thread> threads;
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+          for (int i = 0; i < kRequestsPerThread; ++i) {
+            Request rq = estimate_request(kDesigns[(t + i) % 4]);
+            rq.id = "s" + std::to_string(sched) + "-t" + std::to_string(t) +
+                    "-r" + std::to_string(i);
+            rq.has_seed = true;
+            rq.seed = static_cast<std::uint64_t>(i % 3);  // forces sharing
+            responses[static_cast<std::size_t>(t)].push_back(
+                service.handle_line(rq.serialize()));
+          }
+        });
+      }
+      for (auto& th : threads) th.join();  // no leaked waiters: all return
+    }  // service destruction joins the pool — the "kill" for persistence
+
+    fi::disarm_serve_faults();
+
+    // Exactly one well-formed, correctly-addressed response per request,
+    // and failures only of the classes the fault model can produce.
+    for (int t = 0; t < kThreads; ++t) {
+      ASSERT_EQ(responses[static_cast<std::size_t>(t)].size(),
+                static_cast<std::size_t>(kRequestsPerThread))
+          << "schedule " << sched << " thread " << t;
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const std::string& body =
+            responses[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)];
+        ResponseView v;
+        ASSERT_TRUE(serve::parse_response(body, v))
+            << "schedule " << sched << ": " << body;
+        EXPECT_EQ(v.id, "s" + std::to_string(sched) + "-t" +
+                            std::to_string(t) + "-r" + std::to_string(i))
+            << "schedule " << sched << ": response delivered to the wrong "
+            << "request";
+        if (!v.ok) {
+          EXPECT_TRUE(v.error == "internal" || v.error == "shed" ||
+                      v.error == "deadline-exceeded" ||
+                      v.error == "cancelled" || v.error == "budget-exhausted")
+              << "schedule " << sched << ": unexpected class " << v.error;
+        }
+      }
+    }
+
+    // Crash discipline: whatever the fault did to the segment file, two
+    // recovery loads agree byte for byte and every surviving value is a
+    // complete, cacheable response.
+    const auto live1 = load_live_set(path);
+    const auto live2 = load_live_set(path);
+    EXPECT_EQ(live1, live2) << "schedule " << sched
+                            << ": recovery must be deterministic";
+    for (const auto& [key, value] : live1) {
+      ResponseView v;
+      ASSERT_TRUE(serve::parse_response(value, v))
+          << "schedule " << sched << ": cached garbage under " << key;
+      EXPECT_TRUE(v.ok && v.has_value && !v.degraded)
+          << "schedule " << sched << ": only complete results may persist";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/fi.hpp"
 #include "fsm/benchmarks.hpp"
 #include "fsm/stg.hpp"
 #include "jobs/kernels.hpp"
@@ -22,6 +23,7 @@
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "serve/singleflight.hpp"
+#include "serve/workerpool.hpp"
 
 namespace {
 
@@ -896,6 +898,438 @@ TEST(ServeTcp, MalformedJsonKeepsTheConnectionOpen) {
   ASSERT_TRUE(client.recv_line(resp));
   EXPECT_EQ(resp, serve::make_ping_response());
   server.shutdown();
+}
+
+// --- Worker pool ------------------------------------------------------------
+
+TEST(ServePool, PoolResultsMatchInlineExecutionBitForBit) {
+  Request rq = estimate_request("adder:8", jobs::JobKind::Symbolic);
+  ServiceOptions inline_opts;
+  inline_opts.workers = 0;
+  inline_opts.cache_bytes = 0;
+  Service inline_svc(inline_opts);
+  ServiceOptions pool_opts;
+  pool_opts.workers = 4;
+  pool_opts.cache_bytes = 0;
+  Service pool_svc(pool_opts);
+  EXPECT_EQ(pool_svc.handle_line(rq.serialize()),
+            inline_svc.handle_line(rq.serialize()));
+}
+
+TEST(ServePool, QueuedTasksRunToCompletionOnStop) {
+  std::atomic<int> ran{0};
+  serve::WorkerPool pool(1, 16);
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(pool.try_submit([&] {
+    wait_until([&] { return release.load(); });
+    ran.fetch_add(1);
+  }));
+  ASSERT_TRUE(wait_until([&] { return pool.busy() == 1; }));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pool.try_submit([&] { ran.fetch_add(1); }));
+  }
+  EXPECT_EQ(pool.queue_depth(), 5u);
+  release.store(true);
+  pool.stop();  // runs the queued tasks, then joins
+  EXPECT_EQ(ran.load(), 6);
+  EXPECT_FALSE(pool.try_submit([&] { ran.fetch_add(1); }))
+      << "a stopped pool must refuse new work";
+}
+
+TEST(ServePool, BoundedQueueRefusesExcessTasks) {
+  serve::WorkerPool pool(1, 1);
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(pool.try_submit([&] { wait_until([&] { return release.load(); }); }));
+  ASSERT_TRUE(wait_until([&] { return pool.busy() == 1; }));
+  ASSERT_TRUE(pool.try_submit([] {}));  // fills the queue slot
+  EXPECT_FALSE(pool.try_submit([] {})) << "queue_limit=1 must refuse a third";
+  release.store(true);
+  pool.stop();
+}
+
+// --- Per-request deadlines --------------------------------------------------
+
+/// Executor that ignores its meter and spins until cancelled — the "stuck
+/// symbolic estimate" a wall deadline exists for. Cooperative only through
+/// the CancelToken.
+jobs::AttemptOutcome stuck_until_cancelled(const jobs::KernelRequest&,
+                                           const exec::Budget& b) {
+  while (!b.cancel.cancel_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  jobs::AttemptOutcome ao;
+  ao.ok = false;
+  ao.stop = exec::StopReason::Cancelled;
+  ao.detail = "cancelled mid-kernel";
+  return ao;
+}
+
+TEST(ServeDeadline, StuckKernelReturnsTypedDeadlineExceeded) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.executor = stuck_until_cancelled;
+  Service service(opts);
+  Request rq = estimate_request("adder:8", jobs::JobKind::Symbolic);
+  rq.id = "dl-1";
+  rq.deadline_seconds = 0.1;
+  const auto t0 = std::chrono::steady_clock::now();
+  ResponseView v;
+  ASSERT_TRUE(serve::parse_response(service.handle_line(rq.serialize()), v));
+  const double took =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.error, "deadline-exceeded");
+  EXPECT_EQ(v.id, "dl-1");
+  EXPECT_LT(took, 5.0) << "the connection must not wedge on a stuck kernel";
+  EXPECT_GE(service.metrics().deadline_exceeded, 1u);
+  EXPECT_EQ(service.metrics().cache.entries, 0u);
+}
+
+TEST(ServeDeadline, DeadlineDegradesToStaticBoundWhenEnabled) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.degrade_on_deadline = true;
+  opts.executor = stuck_until_cancelled;
+  Service service(opts);
+  Request rq = estimate_request("adder:8", jobs::JobKind::Symbolic);
+  rq.deadline_seconds = 0.1;
+  ResponseView v;
+  ASSERT_TRUE(serve::parse_response(service.handle_line(rq.serialize()), v));
+  EXPECT_TRUE(v.ok) << "degradation turns the deadline into a bounded answer";
+  EXPECT_TRUE(v.degraded);
+  EXPECT_GT(v.value, 0.0);
+  EXPECT_NE(v.detail.find("deadline-degraded"), std::string::npos);
+  EXPECT_EQ(service.metrics().degraded_deadline, 1u);
+  EXPECT_EQ(service.metrics().cache.entries, 0u)
+      << "degraded answers must never be cached";
+}
+
+TEST(ServeDeadline, DefaultDeadlineAppliesToRequestsWithoutOne) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.default_deadline_seconds = 0.1;
+  opts.executor = stuck_until_cancelled;
+  Service service(opts);
+  ResponseView v;
+  ASSERT_TRUE(serve::parse_response(
+      service.handle_line(
+          estimate_request("adder:8", jobs::JobKind::Symbolic).serialize()),
+      v));
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.error, "deadline-exceeded");
+}
+
+TEST(ServeDeadline, CooperativeKernelDeadlineIsTypedFromItsStopReason) {
+  ServiceOptions opts;
+  opts.executor = [](const jobs::KernelRequest&, const exec::Budget&) {
+    jobs::AttemptOutcome ao;
+    ao.ok = false;
+    ao.stop = exec::StopReason::Deadline;
+    ao.detail = "deadline exceeded in kernel";
+    return ao;
+  };
+  Service service(opts);
+  Request rq = estimate_request("adder:4");
+  rq.deadline_seconds = 5.0;
+  ResponseView v;
+  ASSERT_TRUE(serve::parse_response(service.handle_line(rq.serialize()), v));
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.error, "deadline-exceeded");
+}
+
+// --- Overload shedding ------------------------------------------------------
+
+TEST(ServeShed, QueueFullShedsWithRetryAfterHint) {
+  std::atomic<bool> release{false};
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_limit = 1;
+  opts.executor = [&](const jobs::KernelRequest& krq, const exec::Budget& b) {
+    wait_until([&] { return release.load(); });
+    return jobs::run_kernel(krq, b);
+  };
+  Service service(opts);
+
+  auto line_with_seed = [](std::uint64_t seed) {
+    Request rq = estimate_request("adder:4", jobs::JobKind::Symbolic);
+    rq.has_seed = true;
+    rq.seed = seed;
+    rq.use_cache = false;  // distinct flights, no coalescing
+    return rq.serialize();
+  };
+  std::string r1, r2;
+  std::thread busy([&] { r1 = service.handle_line(line_with_seed(1)); });
+  ASSERT_TRUE(wait_until([&] { return service.metrics().busy_workers == 1; }));
+  std::thread queued([&] { r2 = service.handle_line(line_with_seed(2)); });
+  ASSERT_TRUE(wait_until([&] { return service.metrics().queue_depth == 1; }));
+
+  ResponseView v;
+  ASSERT_TRUE(
+      serve::parse_response(service.handle_line(line_with_seed(3)), v));
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.error, "shed");
+  EXPECT_GE(v.retry_after_ms, 1u) << "shed must carry a backoff hint";
+  EXPECT_LE(v.retry_after_ms, 30000u);
+  EXPECT_EQ(service.metrics().shed, 1u);
+
+  release.store(true);
+  busy.join();
+  queued.join();
+  EXPECT_NE(r1.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(r2.find("\"ok\":true"), std::string::npos)
+      << "a queued request must be served, not lost";
+}
+
+TEST(ServeShed, InflightCapShedCarriesRetryAfterHint) {
+  std::atomic<bool> release{false};
+  ServiceOptions opts;
+  opts.workers = 0;
+  opts.max_inflight = 1;
+  opts.executor = [&](const jobs::KernelRequest& krq, const exec::Budget& b) {
+    wait_until([&] { return release.load(); });
+    return jobs::run_kernel(krq, b);
+  };
+  Service service(opts);
+  Request slow = estimate_request("adder:6");
+  slow.epsilon = 0.05;
+  std::thread holder([&] { service.handle_line(slow.serialize()); });
+  ASSERT_TRUE(wait_until([&] { return service.metrics().inflight == 1; }));
+  ResponseView v;
+  ASSERT_TRUE(serve::parse_response(
+      service.handle_line(estimate_request("adder:4").serialize()), v));
+  EXPECT_EQ(v.error, "shed");
+  EXPECT_GE(v.retry_after_ms, 1u);
+  release.store(true);
+  holder.join();
+}
+
+// --- Single-flight exception propagation (regression) -----------------------
+
+TEST(ServeFlight, LeaderAllocFailureBecomesTypedInternalForEveryCaller) {
+  // Regression: an allocation failure while the leader publishes a result
+  // used to escape handle_estimate and kill the connection thread. Inline
+  // mode so the thread-local fi arming reaches the leader body.
+  ServiceOptions opts;
+  opts.workers = 0;
+  Service service(opts);
+  const std::string line =
+      estimate_request("adder:6", jobs::JobKind::Symbolic).serialize();
+
+  constexpr int kThreads = 4;
+  std::vector<std::string> responses(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      fi::arm_alloc_failure(0);  // fires on whichever thread leads
+      responses[i] = service.handle_line(line);
+      fi::disarm();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int i = 0; i < kThreads; ++i) {
+    ResponseView v;
+    ASSERT_TRUE(serve::parse_response(responses[i], v)) << responses[i];
+    EXPECT_FALSE(v.ok) << "caller " << i;
+    EXPECT_EQ(v.error, "internal") << "caller " << i;
+  }
+  // The flight retired cleanly: the service still answers.
+  ResponseView ok;
+  ASSERT_TRUE(serve::parse_response(service.handle_line(line), ok));
+  EXPECT_TRUE(ok.ok);
+}
+
+TEST(ServeFlight, WorkerCrashIsTypedAndDoesNotKillTheService) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  Service service(opts);
+  const std::string line =
+      estimate_request("adder:6", jobs::JobKind::Symbolic).serialize();
+
+  fi::arm_serve_fault(fi::ServeFault::WorkerThrow, 0);
+  ResponseView v;
+  ASSERT_TRUE(serve::parse_response(service.handle_line(line), v));
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.error, "internal");
+  EXPECT_NE(v.detail.find("worker crash"), std::string::npos);
+  fi::disarm_serve_faults();
+
+  ResponseView ok;
+  ASSERT_TRUE(serve::parse_response(service.handle_line(line), ok));
+  EXPECT_TRUE(ok.ok) << "one worker crash must not poison the pool";
+
+  fi::arm_serve_fault(fi::ServeFault::WorkerAlloc, 0);
+  Request rq = estimate_request("mult:4", jobs::JobKind::Symbolic);
+  ResponseView a;
+  ASSERT_TRUE(serve::parse_response(service.handle_line(rq.serialize()), a));
+  EXPECT_FALSE(a.ok);
+  EXPECT_EQ(a.error, "internal");
+  EXPECT_NE(a.detail.find("allocation"), std::string::npos);
+  fi::disarm_serve_faults();
+}
+
+// --- Bounded drain ----------------------------------------------------------
+
+TEST(ServeDrain, BoundedDrainCancelsCooperativeKernels) {
+  serve::ServerOptions sopts;
+  sopts.drain_deadline_seconds = 3.0;
+  sopts.service.workers = 2;
+  sopts.service.executor = stuck_until_cancelled;
+  serve::Server server(sopts);
+  server.start();
+
+  LineClient client;
+  ASSERT_TRUE(client.connect_to(server.port()));
+  ASSERT_TRUE(client.send_line(estimate_request("adder:8").serialize()));
+  ASSERT_TRUE(
+      wait_until([&] { return server.service().metrics().inflight == 1; }));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.shutdown();
+  const double took =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(took, 2.5) << "cooperative cancel must beat the grace period";
+
+  std::string resp;
+  ASSERT_TRUE(client.recv_line(resp))
+      << "the abandoned request still gets its response line";
+  ResponseView v;
+  ASSERT_TRUE(serve::parse_response(resp, v));
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.error, "cancelled");
+}
+
+TEST(ServeDrain, DrainDeadlineBoundsShutdownOnCancelIgnoringKernel) {
+  std::atomic<bool> release{false};
+  serve::ServerOptions sopts;
+  sopts.drain_deadline_seconds = 0.3;
+  sopts.service.workers = 1;
+  sopts.service.executor = [&](const jobs::KernelRequest&,
+                               const exec::Budget&) {
+    // Pathological kernel: ignores its CancelToken entirely.
+    wait_until([&] { return release.load(); }, 30.0);
+    jobs::AttemptOutcome ao;
+    ao.ok = false;
+    ao.stop = exec::StopReason::Cancelled;
+    ao.detail = "late";
+    return ao;
+  };
+  serve::Server server(sopts);
+  server.start();
+
+  LineClient client;
+  ASSERT_TRUE(client.connect_to(server.port()));
+  ASSERT_TRUE(client.send_line(estimate_request("adder:8").serialize()));
+  ASSERT_TRUE(
+      wait_until([&] { return server.service().metrics().inflight == 1; }));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.shutdown();
+  const double took =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(took, 2.0)
+      << "shutdown must be bounded even when the kernel ignores cancel";
+  release.store(true);  // let the orphaned worker finish before destruction
+}
+
+// --- Protocol edge cases over TCP -------------------------------------------
+
+TEST(ServeProtocolEdge, OversizedLineWithNewlineAnswersMalformedAndKeepsConnection) {
+  serve::ServerOptions sopts;
+  serve::Server server(sopts);
+  server.start();
+  LineClient client;
+  ASSERT_TRUE(client.connect_to(server.port()));
+  // Over the frame limit but with a newline: the boundary is known, so the
+  // request is answered and the connection survives.
+  std::string big = "{\"op\":\"estimate\",\"design\":\"";
+  big.append(serve::kMaxLineBytes, 'a');
+  big += "\"}";
+  ASSERT_TRUE(client.send_line(big));
+  std::string resp;
+  ASSERT_TRUE(client.recv_line(resp));
+  ResponseView v;
+  ASSERT_TRUE(serve::parse_response(resp, v));
+  EXPECT_EQ(v.error, "malformed");
+  ASSERT_TRUE(client.send_line("{\"op\":\"ping\"}"));
+  ASSERT_TRUE(client.recv_line(resp));
+  EXPECT_EQ(resp, serve::make_ping_response());
+  server.shutdown();
+}
+
+TEST(ServeProtocolEdge, MidLineEofIsDroppedAndTheServerSurvives) {
+  serve::ServerOptions sopts;
+  serve::Server server(sopts);
+  server.start();
+  {
+    LineClient abrupt;
+    ASSERT_TRUE(abrupt.connect_to(server.port()));
+    // Half a request, no newline, then the destructor closes the socket.
+    ASSERT_TRUE(abrupt.send_raw("{\"op\":\"estim"));
+  }
+  LineClient next;
+  ASSERT_TRUE(next.connect_to(server.port()));
+  ASSERT_TRUE(next.send_line("{\"op\":\"ping\"}"));
+  std::string resp;
+  ASSERT_TRUE(next.recv_line(resp));
+  EXPECT_EQ(resp, serve::make_ping_response());
+  EXPECT_EQ(server.service().metrics().requests, 1u)
+      << "the truncated line must not be interpreted as a request";
+  server.shutdown();
+}
+
+TEST(ServeProtocolEdge, NonUtf8BytesInDetailAndIdRoundTripExactly) {
+  // The protocol is byte-transparent above 0x1f: invalid UTF-8 sequences
+  // pass through unescaped and unmangled in both directions.
+  const std::string raw = "g\xC3\x28\xFF\xFEuge";
+  ResponseView v;
+  ASSERT_TRUE(serve::parse_response(
+      serve::make_error_response(raw, "internal", raw), v));
+  EXPECT_EQ(v.id, raw);
+  EXPECT_EQ(v.detail, raw);
+
+  // Control characters are escaped on the way out and decoded on the way
+  // back — no truncation at the first odd byte.
+  const std::string ctl = std::string("a\x01b\t") + "\xC3\x28";
+  ResponseView c;
+  ASSERT_TRUE(serve::parse_response(
+      serve::make_value_response({}, 1.0, ctl, false), c));
+  EXPECT_EQ(c.detail, ctl);
+
+  // End to end: a request id carrying raw bytes is echoed bit-exactly.
+  ServiceOptions opts;
+  opts.executor = [](const jobs::KernelRequest&, const exec::Budget&) {
+    jobs::AttemptOutcome ao;
+    ao.ok = true;
+    ao.out.value = 2.0;
+    ao.out.detail = "fake";
+    return ao;
+  };
+  Service service(opts);
+  Request rq = estimate_request("adder:4");
+  rq.id = raw;
+  ResponseView echoed;
+  ASSERT_TRUE(serve::parse_response(service.handle_line(rq.serialize()),
+                                    echoed));
+  EXPECT_TRUE(echoed.ok);
+  EXPECT_EQ(echoed.id, raw);
+}
+
+TEST(ServeProtocolEdge, FuzzCorpusRegressions) {
+  const char* bad[] = {
+      "{\"op\":\"estimate\",\"design\":\"adder:4\",\"seed\":-1}",
+      "{\"op\":\"estimate\",\"design\":\"adder:4\",\"epsilon\":1e999}",
+      "{\"op\":\"estimate\",\"design\":\"adder:4\",\"epsilon\":\"x\"}",
+      "{\"op\":\"estimate\",\"design\":\"adder:4\"} trailing",
+      "{\"op\":\"estimate\",\"design\":\"adder:4\",\"deadline\":nan}",
+  };
+  for (const char* line : bad) {
+    Request rq;
+    std::string error;
+    EXPECT_FALSE(Request::parse(line, rq, error)) << line;
+  }
 }
 
 TEST(ServeTcp, UnframableOversizedLineAnswersOnceAndCloses) {

@@ -3,22 +3,34 @@
 // Daemon:
 //   hlp_serve --listen [ADDR:]PORT [--cache-bytes N] [--shards N]
 //             [--max-inflight N] [--max-connections N]
-//             [--deadline-ceiling SECONDS]
+//             [--deadline-ceiling SECONDS] [--workers N] [--queue-limit N]
+//             [--cache-file PATH] [--default-deadline SECONDS]
+//             [--degrade-on-deadline] [--drain-deadline SECONDS]
 //
 //   Serves line-delimited JSON estimate requests (DESIGN.md §9) until
 //   SIGTERM/SIGINT, then drains gracefully: new connections are refused,
 //   requests already being processed complete, and a metrics summary is
-//   printed before a clean exit 0. With port 0 the kernel picks a port;
-//   the daemon always prints "listening on ADDR:PORT" once ready.
+//   printed before a clean exit 0. With a --drain-deadline the drain is
+//   bounded: past it, in-flight kernels are cancelled and stuck
+//   connections force-closed. --cache-file makes the result cache
+//   crash-safe: cached results are spilled to an append-only CRC-framed
+//   segment file and reloaded on the next start, so a restarted daemon
+//   answers previously-cached designs warm (microseconds, byte-identical).
+//   With port 0 the kernel picks a port; the daemon always prints
+//   "listening on ADDR:PORT" once ready.
 //
 // Client:
 //   hlp_serve --connect [ADDR:]PORT [--kind K] [--design SPEC] [--seed N]
-//             [--repeat N] [--unique] [--no-cache] [--metrics] [--ping]
+//             [--repeat N] [--unique] [--no-cache] [--deadline SECONDS]
+//             [--retries N] [--metrics] [--ping]
 //
 //   Sends --repeat copies of one estimate request (--unique gives each a
 //   distinct seed so none coalesce or hit), then optional metrics/ping
-//   probes; prints every response line to stdout. Exit 0 iff every
-//   response has ok:true.
+//   probes; prints every response line to stdout. With --retries, a "shed"
+//   response is retried after max(server retry-after-ms hint, exponential
+//   backoff with deterministic jitter — the jobs-layer RetryPolicy); only
+//   the final response of each request prints. Exit 0 iff every response
+//   has ok:true.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -26,6 +38,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -34,6 +47,7 @@
 #include <string>
 #include <thread>
 
+#include "jobs/jobs.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 
@@ -48,10 +62,12 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --listen [ADDR:]PORT [--cache-bytes N] [--shards N]\n"
       "          [--max-inflight N] [--max-connections N]\n"
-      "          [--deadline-ceiling SECONDS]\n"
+      "          [--deadline-ceiling SECONDS] [--workers N] [--queue-limit N]\n"
+      "          [--cache-file PATH] [--default-deadline SECONDS]\n"
+      "          [--degrade-on-deadline] [--drain-deadline SECONDS]\n"
       "   or: %s --connect [ADDR:]PORT [--kind K] [--design SPEC] [--seed N]\n"
       "          [--epsilon E] [--repeat N] [--unique] [--no-cache]\n"
-      "          [--metrics] [--ping]\n",
+      "          [--deadline SECONDS] [--retries N] [--metrics] [--ping]\n",
       argv0, argv0);
   return 2;
 }
@@ -113,6 +129,14 @@ int run_daemon(const Endpoint& ep, hlp::serve::ServerOptions opts) {
   std::printf("  %-12s %8llu\n", "shed", static_cast<unsigned long long>(m.shed));
   std::printf("  %-12s %8llu\n", "errors",
               static_cast<unsigned long long>(m.errors));
+  std::printf("  %-12s %8llu\n", "deadlined",
+              static_cast<unsigned long long>(m.deadline_exceeded));
+  std::printf("  %-12s %8llu\n", "cancelled",
+              static_cast<unsigned long long>(m.cancelled));
+  if (m.warm_entries > 0) {
+    std::printf("  %-12s %8llu\n", "warm-entries",
+                static_cast<unsigned long long>(m.warm_entries));
+  }
   std::printf("  %-12s %8llu us\n", "p50",
               static_cast<unsigned long long>(m.p50_us));
   std::printf("  %-12s %8llu us\n", "p99",
@@ -192,6 +216,8 @@ struct ClientConfig {
   int repeat = 1;
   bool unique = false;
   bool no_cache = false;
+  double deadline_seconds = 0.0;  ///< per-request wall deadline (0 = none)
+  int retries = 0;  ///< resend a shed request up to this many times
   bool metrics = false;
   bool ping = false;
 };
@@ -204,14 +230,28 @@ int run_client(const Endpoint& ep, const ClientConfig& cfg) {
     return 1;
   }
   bool all_ok = true;
+  // Mirrors the jobs-layer backoff discipline: deterministic jitter hashed
+  // from (request line, attempt), floored by the server's retry-after-ms
+  // hint when the response carries one.
+  const hlp::jobs::RetryPolicy backoff{};
   auto roundtrip = [&](const std::string& line) {
-    if (!client.send_line(line)) return false;
-    std::string resp;
-    if (!client.recv_line(resp)) return false;
-    std::printf("%s\n", resp.c_str());
-    hlp::serve::ResponseView v;
-    if (!hlp::serve::parse_response(resp, v) || !v.ok) all_ok = false;
-    return true;
+    for (int attempt = 0;; ++attempt) {
+      if (!client.send_line(line)) return false;
+      std::string resp;
+      if (!client.recv_line(resp)) return false;
+      hlp::serve::ResponseView v;
+      const bool parsed = hlp::serve::parse_response(resp, v);
+      if (parsed && !v.ok && v.error == "shed" && attempt < cfg.retries) {
+        double delay = backoff.delay_seconds(line, attempt + 1);
+        delay = std::max(delay,
+                         static_cast<double>(v.retry_after_ms) / 1000.0);
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+        continue;
+      }
+      std::printf("%s\n", resp.c_str());
+      if (!parsed || !v.ok) all_ok = false;
+      return true;
+    }
   };
 
   if (!cfg.design.empty()) {
@@ -226,6 +266,7 @@ int run_client(const Endpoint& ep, const ClientConfig& cfg) {
     rq.has_seed = cfg.has_seed;
     rq.seed = cfg.seed;
     rq.use_cache = !cfg.no_cache;
+    rq.deadline_seconds = cfg.deadline_seconds;
     for (int i = 0; i < cfg.repeat; ++i) {
       if (cfg.unique) {
         rq.has_seed = true;
@@ -293,6 +334,40 @@ int main(int argc, char** argv) {
       const char* v = next_value("--deadline-ceiling");
       if (!v) return 2;
       sopts.service.ceiling_deadline_seconds = std::atof(v);
+    } else if (arg == "--workers") {
+      const char* v = next_value("--workers");
+      if (!v) return 2;
+      sopts.service.workers = std::atoi(v);
+    } else if (arg == "--queue-limit") {
+      const char* v = next_value("--queue-limit");
+      if (!v) return 2;
+      sopts.service.queue_limit = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--cache-file") {
+      const char* v = next_value("--cache-file");
+      if (!v) return 2;
+      sopts.service.cache_path = v;
+    } else if (arg == "--default-deadline") {
+      const char* v = next_value("--default-deadline");
+      if (!v) return 2;
+      sopts.service.default_deadline_seconds = std::atof(v);
+    } else if (arg == "--degrade-on-deadline") {
+      sopts.service.degrade_on_deadline = true;
+    } else if (arg == "--drain-deadline") {
+      const char* v = next_value("--drain-deadline");
+      if (!v) return 2;
+      sopts.drain_deadline_seconds = std::atof(v);
+    } else if (arg == "--deadline") {
+      const char* v = next_value("--deadline");
+      if (!v) return 2;
+      cfg.deadline_seconds = std::atof(v);
+    } else if (arg == "--retries") {
+      const char* v = next_value("--retries");
+      if (!v) return 2;
+      cfg.retries = std::atoi(v);
+      if (cfg.retries < 0) {
+        std::fprintf(stderr, "hlp_serve: --retries must be >= 0\n");
+        return 2;
+      }
     } else if (arg == "--kind") {
       const char* v = next_value("--kind");
       if (!v) return 2;
