@@ -47,8 +47,10 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "exec/fi.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "serve/service.hpp"
 
 namespace {
 
@@ -395,6 +397,134 @@ void write_report(const std::string& path) {
               p99_admitted * 1e3, p99_unloaded * 1e3, p99_ratio,
               p99_ratio <= 2.0 ? "(<= 2x bar met)" : "(ABOVE 2x bar)");
 
+  // --- Isolated cold: what the fork-per-request sandbox costs ------------
+  // Same symbolic kernel, in-process vs forked into a single-request child
+  // (--isolate all). The bar: isolated cold p50 <= 1.3x in-process cold
+  // p50 (fork + pipe framing is noise next to a BDD build), and the hot
+  // path is unchanged — a cache hit never forks.
+  auto median_of = [](std::vector<double>& xs) {
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    return xs[xs.size() / 2];
+  };
+  auto cold_and_hot_p50 = [&](serve::IsolateMode mode, std::uint64_t base,
+                              double& hot_p50) {
+    serve::ServerOptions iopts;
+    iopts.service.isolate = mode;
+    serve::Server srv(iopts);
+    srv.start();
+    std::vector<double> lat, hot;
+    {
+      LineClient c;
+      std::string resp;
+      if (c.connect_to(srv.port())) {
+        for (int i = 0; i < 9; ++i) {  // unique seeds: every request cold
+          const auto t0 = clock_type::now();
+          if (!c.roundtrip(symbolic_line(base + static_cast<std::uint64_t>(i)),
+                           resp))
+            break;
+          lat.push_back(
+              std::chrono::duration<double>(clock_type::now() - t0).count());
+        }
+        c.roundtrip(symbolic_line(base + 5000), resp);  // warm one key
+        for (int i = 0; i < 400; ++i) {
+          const auto t0 = clock_type::now();
+          if (!c.roundtrip(symbolic_line(base + 5000), resp)) break;
+          hot.push_back(
+              std::chrono::duration<double>(clock_type::now() - t0).count());
+        }
+      }
+    }
+    srv.shutdown();
+    hot_p50 = median_of(hot);
+    return median_of(lat);
+  };
+  double hot_p50_inproc = 0.0, hot_p50_isolated = 0.0;
+  const double cold_p50_inproc =
+      cold_and_hot_p50(serve::IsolateMode::Off, 70000, hot_p50_inproc);
+  const double cold_p50_isolated =
+      cold_and_hot_p50(serve::IsolateMode::All, 80000, hot_p50_isolated);
+  const double isolate_overhead =
+      cold_p50_inproc > 0.0 ? cold_p50_isolated / cold_p50_inproc : 0.0;
+  std::printf("isolated cold p50: in-process %8.2f ms vs forked child "
+              "%8.2f ms (%.2fx %s); hot p50 %8.4f ms vs %8.4f ms\n",
+              cold_p50_inproc * 1e3, cold_p50_isolated * 1e3, isolate_overhead,
+              isolate_overhead > 0.0 && isolate_overhead <= 1.3
+                  ? "(<= 1.3x bar met)"
+                  : "(ABOVE 1.3x bar)",
+              hot_p50_inproc * 1e3, hot_p50_isolated * 1e3);
+
+  // --- Crash storm: throughput while children die --------------------------
+  // One injected child fault per round (segv / OOM kill / wedge in
+  // rotation), four concurrent requests per round against an isolate=all
+  // service. The row records that every request got a typed answer, every
+  // fault became a typed crash report, and the worker pool ends at full
+  // strength — the survival proof as a benchmark.
+  constexpr int kStormRounds = 50;
+  constexpr int kStormThreads = 4;
+  serve::ServiceOptions copts;
+  copts.workers = 4;
+  copts.isolate = serve::IsolateMode::All;
+  copts.quarantine_threshold = 0;  // measure the sandbox, not the breaker
+  copts.default_deadline_seconds = 0.1;
+  copts.executor = [](const jobs::KernelRequest& krq, const exec::Budget&) {
+    jobs::AttemptOutcome ao;
+    ao.ok = true;
+    ao.out.value = static_cast<double>(krq.seed % 97);
+    ao.out.detail = "storm";
+    return ao;
+  };
+  serve::Service storm_svc(copts);
+  std::atomic<std::uint64_t> storm_typed{0};
+  const auto storm_t0 = clock_type::now();
+  for (int round = 0; round < kStormRounds; ++round) {
+    fi::disarm_serve_faults();
+    const fi::ServeFault fault = round % 3 == 0   ? fi::ServeFault::ChildSegv
+                                 : round % 3 == 1 ? fi::ServeFault::ChildOom
+                                                  : fi::ServeFault::ChildWedge;
+    fi::arm_serve_fault(fault, static_cast<std::uint64_t>(round) % kStormThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kStormThreads; ++t) {
+      threads.emplace_back([&, round, t] {
+        serve::Request rq;
+        rq.op = serve::Op::Estimate;
+        rq.kind = jobs::JobKind::Symbolic;
+        rq.design = "adder:16";
+        rq.has_seed = true;
+        rq.seed = 900000ull + static_cast<std::uint64_t>(round) * 100 +
+                  static_cast<std::uint64_t>(t);
+        serve::ResponseView v;
+        if (serve::parse_response(storm_svc.handle_line(rq.serialize()), v))
+          storm_typed.fetch_add(1);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  fi::disarm_serve_faults();
+  const double storm_secs =
+      std::chrono::duration<double>(clock_type::now() - storm_t0).count();
+  // Wedge crash reports land at the wall kill, slightly after the waiter
+  // gave up at the deadline; give the reaper a moment to finish.
+  for (int i = 0; i < 500; ++i) {
+    const serve::ServiceHealth sh = storm_svc.health();
+    if (sh.child_crashes >= static_cast<std::uint64_t>(kStormRounds) &&
+        sh.busy == 0)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const serve::ServiceHealth storm_health = storm_svc.health();
+  const double storm_offered =
+      static_cast<double>(kStormRounds) * kStormThreads;
+  const double storm_rps = storm_secs > 0.0 ? storm_offered / storm_secs : 0.0;
+  std::printf("crash storm (%d faulted rounds x %d conns): %.0f req/s, "
+              "typed responses %llu/%.0f, child crashes %llu, live workers "
+              "%d/%d\n",
+              kStormRounds, kStormThreads, storm_rps,
+              static_cast<unsigned long long>(storm_typed.load()),
+              storm_offered,
+              static_cast<unsigned long long>(storm_health.child_crashes),
+              storm_health.live, copts.workers);
+
   benchjson::Object root{
       {"bench", "serve"},
       {"design", "adder:16"},
@@ -445,6 +575,30 @@ void write_report(const std::string& path) {
            {"p99_admitted_seconds", p99_admitted},
            {"p99_admitted_over_unloaded", p99_ratio},
            {"meets_2x_bar", p99_ratio > 0.0 && p99_ratio <= 2.0},
+       }},
+      {"isolated_cold",
+       benchjson::Object{
+           {"in_process_p50_seconds", cold_p50_inproc},
+           {"isolated_p50_seconds", cold_p50_isolated},
+           {"overhead_ratio", isolate_overhead},
+           {"meets_1p3x_bar",
+            isolate_overhead > 0.0 && isolate_overhead <= 1.3},
+           {"hot_p50_in_process_seconds", hot_p50_inproc},
+           {"hot_p50_isolated_seconds", hot_p50_isolated},
+       }},
+      {"crash_storm",
+       benchjson::Object{
+           {"rounds", kStormRounds},
+           {"connections", kStormThreads},
+           {"offered", storm_offered},
+           {"typed_responses", storm_typed.load()},
+           {"requests_per_sec", storm_rps},
+           {"child_crashes", storm_health.child_crashes},
+           {"respawns", storm_health.respawns},
+           {"live_workers", storm_health.live},
+           {"all_responses_typed",
+            storm_typed.load() == static_cast<std::uint64_t>(storm_offered)},
+           {"capacity_restored", storm_health.live == copts.workers},
        }},
   };
   if (benchjson::save(path, root))

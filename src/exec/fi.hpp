@@ -95,8 +95,14 @@ enum class ServeFault : std::uint8_t {
   WorkerAlloc,      ///< allocation failure under load: throw std::bad_alloc
   KernelStall,      ///< kernel stuck between meter steps (param = max ms)
   CacheTornWrite,   ///< persist only a record prefix, then wedge the file
+  /// Sandbox crash faults, claimed by the *parent* immediately before
+  /// fork() (the slots are process-global one-shots; a child claiming one
+  /// would only disarm its copy-on-write copy) and executed in the child:
+  ChildSegv,   ///< child raises SIGSEGV before running the kernel
+  ChildOom,    ///< child raises SIGKILL, modelling the kernel OOM killer
+  ChildWedge,  ///< child spins non-cooperatively until the wall SIGKILL
 };
-inline constexpr int kServeFaultCount = 4;
+inline constexpr int kServeFaultCount = 7;
 
 /// Arm `f` to fire at its `at_hit`-th checkpoint from now; `param` is
 /// fault-specific (stall duration in ms, torn-write cut in bytes).

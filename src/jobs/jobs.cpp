@@ -259,7 +259,8 @@ void execute_job(const Job& job, Slot& slot, Shared& sh,
         rq.mc_chunk_pairs = job.mc_chunk_pairs;
         rq.max_iters = job.max_iters;
         rq.resume = slot.have_ckpt ? &slot.ckpt : nullptr;
-        ao = run_kernel(rq, budget);
+        ao = opts.kernel_executor ? opts.kernel_executor(rq, budget)
+                                  : run_kernel(rq, budget);
       }
       if (!ao.ok) {
         err = ao.stop == exec::StopReason::Cancelled &&

@@ -140,6 +140,15 @@ struct RunnerOptions {
   exec::CancelToken campaign_cancel;
   /// Supervisor poll period for deadlines/cancellation.
   double supervisor_poll_seconds = 0.002;
+  /// Kernel execution hook for spec-driven (non-Custom) jobs: empty runs
+  /// run_kernel in-process; hlp_run's --isolate wires
+  /// sandbox::run_kernel_isolated here so each attempt forks a rlimit-
+  /// capped child. The hook must keep run_kernel's contract: ok=false for
+  /// budget stops, std::invalid_argument / other exceptions for the
+  /// classifier (resource-kill crashes surface as ok=false outcomes, so
+  /// retry-with-downgrade applies to them too).
+  std::function<AttemptOutcome(const KernelRequest&, const exec::Budget&)>
+      kernel_executor;
   /// Backoff sleep hook; tests inject a fake clock here. Default: real
   /// std::this_thread::sleep_for.
   std::function<void(double)> sleep_fn;

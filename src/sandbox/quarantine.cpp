@@ -1,0 +1,116 @@
+#include "sandbox/quarantine.hpp"
+
+namespace hlp::sandbox {
+
+Quarantine::Clock::duration Quarantine::expiry_for(std::uint32_t trips) const {
+  // base · 2^(trips-1), saturating at max. `trips` is the count *after*
+  // the opening transition, so the first open waits exactly base_expiry.
+  Clock::duration d = opts_.base_expiry;
+  for (std::uint32_t i = 1; i < trips; ++i) {
+    if (d >= opts_.max_expiry / 2) return opts_.max_expiry;
+    d *= 2;
+  }
+  return d < opts_.max_expiry ? d : opts_.max_expiry;
+}
+
+Quarantine::Decision Quarantine::admit(std::uint64_t fp,
+                                       Clock::time_point now) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(fp);
+  if (it == entries_.end()) return Decision::Admit;
+  Entry& e = it->second;
+  if (e.state == State::Open && now >= e.until) {
+    e.state = State::HalfOpen;
+    e.probe_inflight = false;
+  }
+  switch (e.state) {
+    case State::Closed: return Decision::Admit;
+    case State::Open:
+      ++counters_.served_open;
+      return Decision::Quarantined;
+    case State::HalfOpen:
+      if (e.probe_inflight) {
+        // One probe at a time: siblings keep getting the degraded answer
+        // until the probe resolves.
+        ++counters_.served_open;
+        return Decision::Quarantined;
+      }
+      e.probe_inflight = true;
+      ++counters_.probes;
+      return Decision::Probe;
+  }
+  return Decision::Admit;  // unreachable
+}
+
+bool Quarantine::record_failure(std::uint64_t fp, Clock::time_point now) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[fp];
+  switch (e.state) {
+    case State::Closed:
+      if (++e.failures < opts_.threshold) return false;
+      e.state = State::Open;
+      ++e.trips;
+      e.until = now + expiry_for(e.trips);
+      e.failures = 0;
+      ++counters_.trips;
+      ++counters_.open_now;
+      return true;
+    case State::HalfOpen:
+      // The probe failed (or a straggler from before the trip crashed):
+      // re-open with doubled expiry.
+      e.state = State::Open;
+      ++e.trips;
+      e.until = now + expiry_for(e.trips);
+      e.probe_inflight = false;
+      ++counters_.trips;
+      ++counters_.reopens;
+      return true;
+    case State::Open:
+      // A straggler attempt admitted before the trip crashed after it;
+      // the breaker is already open, nothing to escalate.
+      return false;
+  }
+  return false;  // unreachable
+}
+
+void Quarantine::record_success(std::uint64_t fp) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(fp);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  switch (e.state) {
+    case State::Closed:
+      e.failures = 0;
+      break;
+    case State::HalfOpen:
+      // Rehabilitated: forget the history entirely so a later relapse
+      // starts from a fresh K-count and base expiry.
+      entries_.erase(it);
+      ++counters_.rehabilitated;
+      if (counters_.open_now > 0) --counters_.open_now;
+      break;
+    case State::Open:
+      // Straggler success from before the trip; leave the breaker open —
+      // the expiry schedule decides when to re-probe.
+      break;
+  }
+}
+
+bool Quarantine::is_open(std::uint64_t fp, Clock::time_point now) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(fp);
+  if (it == entries_.end()) return false;
+  const Entry& e = it->second;
+  if (e.state == State::Closed) return false;
+  if (e.state == State::Open && now < e.until) return true;
+  // Expired-open and half-open both still quarantine siblings; report open
+  // until a probe rehabilitates the entry.
+  return true;
+}
+
+Quarantine::Counters Quarantine::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+}  // namespace hlp::sandbox

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace hlp::sandbox {
+
+/// --- Poison-request quarantine (per-fingerprint circuit breaker) -----------
+///
+/// A design whose kernel keeps crashing the sandbox child ("poison": a
+/// symbolic blow-up that segfaults, OOM-kills, or wedges every attempt)
+/// should not be re-executed on every retry — each attempt burns a fork, a
+/// worker slot, and up to a full wall deadline. The breaker tracks *hard*
+/// failures (crashes — a delivered outcome is a success even if it reports
+/// an error) per design fingerprint and, after K consecutive failures,
+/// opens: the serve tier answers from tier-0 static bounds with a typed
+/// `quarantined` detail instead of re-executing the blowup.
+///
+/// State machine (DESIGN.md §11):
+///
+///   Closed{failures}  --K-th hard failure-->  Open{until, trips}
+///   Open              --expiry reached----->  HalfOpen
+///   HalfOpen          --admit() == Probe--->  (one live attempt admitted)
+///   HalfOpen probe    --success----------->  Closed   (rehabilitated)
+///   HalfOpen probe    --hard failure------>  Open     (expiry doubled)
+///
+/// Expiry is exponential — base · 2^trips, capped — so a transiently-poison
+/// design (host memory pressure) rehabilitates quickly while a structurally
+/// exponential one settles into long quarantines. All clock inputs are
+/// passed as `now` parameters so tests drive the machine with a fake clock.
+///
+/// Thread safety: all methods take an internal lock; admit() resolving to
+/// Probe atomically claims the half-open slot, so concurrent requests for
+/// the same poisoned fingerprint admit exactly one probe.
+class Quarantine {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    int threshold = 3;  ///< K hard failures to trip Closed -> Open
+    Clock::duration base_expiry = std::chrono::seconds(30);
+    Clock::duration max_expiry = std::chrono::minutes(30);
+  };
+
+  /// What admit() tells the caller to do with a request.
+  enum class Decision : std::uint8_t {
+    Admit,        ///< closed (or unknown): execute normally
+    Probe,        ///< half-open: execute, and report the result back
+    Quarantined,  ///< open: answer degraded, do not execute
+  };
+
+  Quarantine() = default;
+  explicit Quarantine(Options opts) : opts_(opts) {}
+
+  /// Gate one request for `fp`. Open entries whose expiry has passed move
+  /// to half-open here; the first caller after expiry gets the Probe.
+  Decision admit(std::uint64_t fp, Clock::time_point now);
+
+  /// Record a hard (crash) failure for `fp`. In Closed, increments the
+  /// failure count and trips to Open at K; a half-open probe's failure
+  /// re-opens with doubled expiry. Returns true when this call tripped the
+  /// breaker (Closed/HalfOpen -> Open).
+  bool record_failure(std::uint64_t fp, Clock::time_point now);
+
+  /// Record a delivered outcome for `fp`: resets a Closed entry's failure
+  /// count and closes a half-open probe (rehabilitation).
+  void record_success(std::uint64_t fp);
+
+  /// True while `fp` is quarantining requests: Open — including past
+  /// expiry, until a probe resolves the entry — or HalfOpen. Does not
+  /// transition state (expiry is observable through admit()).
+  bool is_open(std::uint64_t fp, Clock::time_point now) const;
+
+  struct Counters {
+    std::uint64_t trips = 0;        ///< Closed/HalfOpen -> Open transitions
+    std::uint64_t served_open = 0;  ///< admit() calls answered Quarantined
+    std::uint64_t probes = 0;       ///< half-open probes admitted
+    std::uint64_t reopens = 0;      ///< probe failures (expiry doubled)
+    std::uint64_t rehabilitated = 0;///< probe successes (entry closed)
+    std::size_t open_now = 0;       ///< entries currently Open/HalfOpen
+  };
+  Counters counters() const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  enum class State : std::uint8_t { Closed, Open, HalfOpen };
+  struct Entry {
+    State state = State::Closed;
+    int failures = 0;             ///< consecutive hard failures while Closed
+    std::uint32_t trips = 0;      ///< times this entry has opened
+    Clock::time_point until{};    ///< Open expiry
+    bool probe_inflight = false;  ///< HalfOpen: the one admitted probe
+  };
+
+  Clock::duration expiry_for(std::uint32_t trips) const;
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  Counters counters_;
+};
+
+}  // namespace hlp::sandbox

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "exec/exec.hpp"
+#include "jobs/jobs.hpp"
+#include "jobs/kernels.hpp"
+
+namespace hlp::sandbox {
+
+/// --- Process-isolated kernel execution -------------------------------------
+///
+/// The symbolic estimation kernels have exponential worst cases in both
+/// memory and time, and cooperative budgets (`hlp::exec`) only bound a
+/// kernel that keeps reaching its meter: a segfault, an allocation storm in
+/// a noexcept context, or a tight loop between checkpoints escapes them and
+/// takes the whole process (or permanently burns a pool thread) with it.
+/// `sandbox` adds the hard OS-level layer (DESIGN.md §11): each kernel
+/// attempt runs in a forked single-request child under `rlimit` caps, the
+/// outcome returns over a length-framed pipe, and any way the child can die
+/// — signal, rlimit kill, non-cooperative wedge past the wall deadline —
+/// becomes a *typed* crash report in the parent instead of a lost daemon.
+///
+/// fork() discipline: the parent may be heavily multithreaded (the serve
+/// worker pool). The child inherits only the calling thread plus a copy of
+/// the address space, so the kernel closure and the KernelRequest (including
+/// its resume-checkpoint pointer) stay valid without any serialization on
+/// the request side; glibc's atfork handlers keep malloc usable. The child
+/// never touches parent state: it runs the kernel, writes one frame, and
+/// `_exit`s (no atexit handlers, no stream flushes, no leak-check).
+
+/// Hard resource caps applied inside the child, before the kernel runs.
+struct Limits {
+  /// RLIMIT_AS ceiling in bytes (0 = inherit). Allocation past it fails —
+  /// a throwing kernel degrades or reports AllocFailure; a noexcept-context
+  /// failure aborts the child and surfaces as a Signal crash.
+  std::size_t rlimit_as_bytes = 0;
+  /// RLIMIT_CPU ceiling in whole seconds (0 = none). The kernel delivers
+  /// SIGXCPU at the soft limit; the default action kills the child.
+  double rlimit_cpu_seconds = 0.0;
+  /// Parent-side wall-clock deadline (0 = none): past it the child is
+  /// SIGKILLed and the crash is reported as WallTimeout. This is the
+  /// containment for kernels wedged between meter checkpoints.
+  double wall_deadline_seconds = 0.0;
+};
+
+/// How an isolated child failed to deliver an outcome. `None` means the
+/// outcome frame arrived (the kernel may still have *reported* an error —
+/// that is a delivered outcome, not a crash).
+enum class CrashKind : std::uint8_t {
+  None = 0,
+  Signal,       ///< killed by a signal (SIGSEGV, SIGABRT, SIGBUS, ...)
+  OomKill,      ///< SIGKILL not sent by us: kernel OOM killer / external kill
+  CpuLimit,     ///< SIGXCPU: RLIMIT_CPU exceeded
+  WallTimeout,  ///< we SIGKILLed it at the wall deadline (wedged child)
+  Cancelled,    ///< we SIGKILLed it because cancellation was requested
+  ExitNonzero,  ///< child exited without writing a complete frame
+  PipeError,    ///< frame protocol violation (oversized/garbled frame)
+};
+
+const char* to_string(CrashKind k);
+
+/// Typed report for one child death, built from waitpid status plus what
+/// the parent knows (whether *it* sent the kill, and why).
+struct CrashReport {
+  CrashKind kind = CrashKind::None;
+  int signal = 0;     ///< WTERMSIG when signalled, else 0
+  int exit_code = 0;  ///< WEXITSTATUS when exited, else 0
+  std::string detail;
+};
+
+/// Map a crash into the jobs-layer failure taxonomy (DESIGN.md §11 table):
+/// resource kills (OomKill/CpuLimit/WallTimeout) are BudgetExhausted and
+/// therefore retryable-with-downgrade; Cancelled is Cancelled; everything
+/// else (Signal, ExitNonzero, PipeError) is Internal.
+jobs::ErrorClass error_class_for(const CrashReport& crash);
+
+/// Result of one isolated attempt: either the child's outcome frame was
+/// delivered (`delivered`, with `caught` naming the exception class the
+/// child absorbed, None when the kernel returned normally) or the child
+/// crashed (`crash.kind != None`).
+struct RunResult {
+  bool delivered = false;
+  jobs::AttemptOutcome outcome;
+  jobs::ErrorClass caught = jobs::ErrorClass::None;
+  std::string caught_detail;
+  CrashReport crash;
+};
+
+/// Kernel body run inside the child. Empty = jobs::run_kernel. The serve
+/// tier passes its Executor here so tests can fork deterministic fakes.
+using KernelFn = std::function<jobs::AttemptOutcome(const jobs::KernelRequest&,
+                                                    const exec::Budget&)>;
+
+/// Fork, cap, execute, and reap one kernel attempt. Never throws; every
+/// failure mode is a typed CrashReport. `cancel` (may be null) is polled
+/// while waiting: a requested cancellation SIGKILLs the child and reports
+/// CrashKind::Cancelled.
+RunResult run_isolated(const jobs::KernelRequest& rq,
+                       const exec::Budget& budget, const Limits& limits,
+                       const KernelFn& kernel = {},
+                       const exec::CancelToken* cancel = nullptr);
+
+/// Campaign-facing wrapper with jobs-layer semantics: a delivered outcome
+/// is returned as-is; resource-kill crashes become `ok == false` outcomes
+/// (WallTimeout/CpuLimit → StopReason::Deadline, OomKill →
+/// StopReason::AllocFailure) so the runner retries with downgrade; Signal /
+/// ExitNonzero / PipeError crashes and child-caught invalid-input /
+/// internal exceptions are rethrown as the exceptions the runner's
+/// classifier expects. With limits.wall_deadline_seconds == 0 a wall
+/// deadline is derived from the budget's cooperative deadline (1.25x +
+/// 50 ms of slack, matching the serve tier's waiter).
+jobs::AttemptOutcome run_kernel_isolated(const jobs::KernelRequest& rq,
+                                         const exec::Budget& budget,
+                                         Limits limits);
+
+/// --- Pipe frame codec (exposed for tests and the fuzz harness) -------------
+///
+/// One frame per child: `len:u32le payload[len]`, where the payload is one
+/// flat JSON object in the ledger/wire idiom (util/json.hpp). Frames longer
+/// than kMaxFrameBytes are rejected as PipeError — a garbled length must
+/// never make the parent allocate unboundedly.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+std::string encode_outcome(const jobs::AttemptOutcome& out,
+                           jobs::ErrorClass caught,
+                           std::string_view caught_detail);
+bool decode_outcome(std::string_view payload, jobs::AttemptOutcome& out,
+                    jobs::ErrorClass& caught, std::string& caught_detail);
+
+}  // namespace hlp::sandbox

@@ -9,14 +9,44 @@ const char* to_string(Op op) {
     case Op::Estimate: return "estimate";
     case Op::Metrics: return "metrics";
     case Op::Ping: return "ping";
+    case Op::Health: return "health";
   }
   return "unknown";
+}
+
+std::uint64_t compute_retry_after_ms(std::uint64_t ewma_us,
+                                     std::uint64_t waiting, int width) {
+  if (ewma_us == 0) ewma_us = 1000;  // no observation yet: assume ~1ms
+  if (waiting == 0) waiting = 1;     // the retry itself always waits
+  if (width < 1) width = 1;
+  // Per-request cost in ms, rounded up so sub-millisecond kernels still
+  // produce a positive hint; clamp before multiplying so `waiting *
+  // per_ms` cannot overflow u64 (waiting is at most queue_limit + workers
+  // in practice, but the function must hold its guarantees for any input).
+  const std::uint64_t per_ms = ewma_us / 1000 + 1;
+  const std::uint64_t cap_units =
+      kMaxRetryAfterMs * static_cast<std::uint64_t>(width);
+  if (waiting > cap_units / per_ms) return kMaxRetryAfterMs;
+  const std::uint64_t ms =
+      waiting * per_ms / static_cast<std::uint64_t>(width);
+  return ms < 1 ? 1 : (ms > kMaxRetryAfterMs ? kMaxRetryAfterMs : ms);
+}
+
+double bounded_retry_delay_seconds(double backoff_seconds,
+                                   std::uint64_t retry_after_ms) {
+  if (retry_after_ms > kMaxRetryAfterMs) retry_after_ms = kMaxRetryAfterMs;
+  double delay = backoff_seconds;
+  if (!(delay >= 0.0)) delay = 0.0;  // NaN / negative policy output
+  const double hint_s = static_cast<double>(retry_after_ms) / 1000.0;
+  if (hint_s > delay) delay = hint_s;  // honor the server
+  const double cap_s = static_cast<double>(kMaxRetryAfterMs) / 1000.0;
+  return delay > cap_s ? cap_s : delay;
 }
 
 namespace {
 
 bool parse_op(std::string_view s, Op& out) {
-  for (Op op : {Op::Estimate, Op::Metrics, Op::Ping}) {
+  for (Op op : {Op::Estimate, Op::Metrics, Op::Ping, Op::Health}) {
     if (s == to_string(op)) {
       out = op;
       return true;

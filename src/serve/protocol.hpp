@@ -47,22 +47,53 @@ namespace hlp::serve {
 /// "shed" (admission control refused the request), "draining" (server is
 /// shutting down), "deadline-exceeded" (the request's wall-clock deadline
 /// tripped before the kernel finished), "cancelled" (a drain cancelled the
-/// in-flight kernel). "shed" responses carry "retry-after-ms", a hint
-/// computed from queue depth and observed service time; a well-behaved
-/// client backs off at least that long before retrying (the hlp_serve
-/// client combines it with exponential backoff + jitter). Cache hits are
-/// deliberately indistinguishable from fresh computations in the response
-/// body (PR 4's determinism guarantee makes them bit-identical);
+/// in-flight kernel), "quarantined" (the design's fingerprint is circuit-
+/// broken after repeated kernel crashes and no degraded tier can stand in
+/// — netlist-backed kinds get a degraded tier-0 *value* response with a
+/// "quarantined" detail prefix instead; see DESIGN.md §11). "shed"
+/// responses carry "retry-after-ms", a hint computed from queue depth and
+/// observed service time; a well-behaved client backs off at least that
+/// long before retrying (the hlp_serve client combines it with exponential
+/// backoff + jitter, bounded by bounded_retry_delay_seconds). Cache hits
+/// are deliberately indistinguishable from fresh computations in the
+/// response body (PR 4's determinism guarantee makes them bit-identical);
 /// provenance is visible only in the metrics.
+///
+/// {"op":"health"} answers supervision state (DESIGN.md §11): pool
+/// live/busy/wedged counts, supervisor respawns, sandbox crash counters by
+/// class, quarantine trips/open entries. Like metrics, it keeps working
+/// while draining so shutdown and incident response can observe the
+/// service.
 
 /// Hard ceiling on one wire line (request or response), newline excluded.
 /// A peer that exceeds it is answered with "malformed" and disconnected —
 /// past the limit there is no way to tell where the next record starts.
 inline constexpr std::size_t kMaxLineBytes = 64 * 1024;
 
-enum class Op : std::uint8_t { Estimate, Metrics, Ping };
+enum class Op : std::uint8_t { Estimate, Metrics, Ping, Health };
 
 const char* to_string(Op op);
+
+/// Ceiling on the "retry-after-ms" hint a server may emit and the backoff a
+/// client derives from one. Shields both sides from pathological EWMA
+/// states (a burst of near-zero service times followed by a deep queue
+/// must not tell clients to sleep for minutes).
+inline constexpr std::uint64_t kMaxRetryAfterMs = 30'000;
+
+/// The EWMA-derived shed hint (free function so its properties are
+/// testable without a Service): expected queue-drain time for `waiting`
+/// requests across `width` effective workers at `ewma_us` per kernel.
+/// Guarantees: strictly positive, monotone non-decreasing in `waiting`,
+/// non-increasing in `width`, capped at kMaxRetryAfterMs.
+std::uint64_t compute_retry_after_ms(std::uint64_t ewma_us,
+                                     std::uint64_t waiting, int width);
+
+/// Client-side backoff bound: the delay actually slept before a retry,
+/// given the retry policy's exponential backoff and the server's hint.
+/// Takes the max of the two (honor the server) but never exceeds
+/// kMaxRetryAfterMs (distrust a pathological hint or policy overflow).
+double bounded_retry_delay_seconds(double backoff_seconds,
+                                   std::uint64_t retry_after_ms);
 
 struct Request {
   Op op = Op::Estimate;

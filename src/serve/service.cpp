@@ -71,6 +71,26 @@ double wall_limit_for(double cooperative_deadline) {
 
 }  // namespace
 
+const char* to_string(IsolateMode m) {
+  switch (m) {
+    case IsolateMode::Off: return "off";
+    case IsolateMode::Symbolic: return "symbolic";
+    case IsolateMode::All: return "all";
+  }
+  return "unknown";
+}
+
+bool parse_isolate_mode(std::string_view s, IsolateMode& out) {
+  for (IsolateMode m :
+       {IsolateMode::Off, IsolateMode::Symbolic, IsolateMode::All}) {
+    if (s == to_string(m)) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
 void LatencyHistogram::record(std::uint64_t us) {
   int idx = std::bit_width(us);
   if (idx >= kBuckets) idx = kBuckets - 1;
@@ -136,9 +156,59 @@ std::string serialize_metrics(const ServiceMetrics& m) {
   return s;
 }
 
+std::string serialize_health(const ServiceHealth& h) {
+  std::string s = "{\"ok\":true,\"op\":\"health\"";
+  util::append_field(s, "workers",
+                     static_cast<std::uint64_t>(h.workers < 0 ? 0 : h.workers));
+  util::append_field(s, "live",
+                     static_cast<std::uint64_t>(h.live < 0 ? 0 : h.live));
+  util::append_field(s, "busy",
+                     static_cast<std::uint64_t>(h.busy < 0 ? 0 : h.busy));
+  util::append_field(s, "wedged",
+                     static_cast<std::uint64_t>(h.wedged < 0 ? 0 : h.wedged));
+  util::append_field(s, "queue-depth",
+                     static_cast<std::uint64_t>(h.queue_depth));
+  util::append_field(s, "respawns", h.respawns);
+  util::append_field(s, "draining", h.draining);
+  util::append_field(s, "isolated", h.isolated);
+  util::append_field(s, "child-crashes", h.child_crashes);
+  // One counter per crash class, named by the sandbox taxonomy
+  // ("crash-signal", "crash-oom-kill", ...). Index 0 is CrashKind::None —
+  // never counted, never emitted.
+  for (std::size_t i = 1; i < h.crashes_by_kind.size(); ++i) {
+    std::string key = "crash-";
+    key += sandbox::to_string(static_cast<sandbox::CrashKind>(i));
+    util::append_field(s, key.c_str(), h.crashes_by_kind[i]);
+  }
+  util::append_field(s, "quarantine-trips", h.quarantine_trips);
+  util::append_field(s, "quarantine-served", h.quarantine_served);
+  util::append_field(s, "quarantine-probes", h.quarantine_probes);
+  util::append_field(s, "quarantine-reopens", h.quarantine_reopens);
+  util::append_field(s, "quarantine-rehabilitated", h.quarantine_rehabilitated);
+  util::append_field(s, "quarantine-open",
+                     static_cast<std::uint64_t>(h.quarantine_open));
+  s.push_back('}');
+  return s;
+}
+
+namespace {
+
+sandbox::Quarantine::Options quarantine_options(const ServiceOptions& o) {
+  sandbox::Quarantine::Options q;
+  q.threshold = o.quarantine_threshold;
+  q.base_expiry = std::chrono::duration_cast<sandbox::Quarantine::Clock::duration>(
+      std::chrono::duration<double>(o.quarantine_base_expiry_seconds));
+  q.max_expiry = std::chrono::duration_cast<sandbox::Quarantine::Clock::duration>(
+      std::chrono::duration<double>(o.quarantine_max_expiry_seconds));
+  return q;
+}
+
+}  // namespace
+
 Service::Service(ServiceOptions opts)
     : opts_(std::move(opts)),
-      cache_(opts_.cache_bytes, opts_.cache_shards) {
+      cache_(opts_.cache_bytes, opts_.cache_shards),
+      quarantine_(quarantine_options(opts_)) {
   if (!opts_.executor) {
     opts_.executor = [](const jobs::KernelRequest& rq,
                         const exec::Budget& budget) {
@@ -194,9 +264,10 @@ std::uint64_t Service::fingerprint(jobs::JobKind kind,
 Service::Keys Service::keys(const Request& rq) {
   Keys k;
   // Base key: kind | content fingerprint | budget-irrelevant parameters.
+  k.fp = fingerprint(rq.kind, rq.design);
   std::string base = jobs::to_string(rq.kind);
   base += '|';
-  append_hex16(base, fingerprint(rq.kind, rq.design));
+  append_hex16(base, k.fp);
   switch (rq.kind) {
     // Static estimates carry the Monte Carlo accuracy knobs too: epsilon
     // decides tier-0 vs escalation and the remaining fields shape the
@@ -270,21 +341,20 @@ void Service::note_service_time(std::uint64_t us) {
 }
 
 std::uint64_t Service::retry_after_ms() const {
-  std::uint64_t us = ewma_us_.load(std::memory_order_relaxed);
-  if (us == 0) us = 1000;  // no observation yet: assume ~1ms kernels
+  const std::uint64_t us = ewma_us_.load(std::memory_order_relaxed);
   std::uint64_t waiting = 1;  // the retry itself
   int width = 1;
   if (pool_) {
     waiting += pool_->queue_depth() +
                static_cast<std::uint64_t>(std::max(0, pool_->busy()));
-    width = std::max(1, pool_->workers());
+    // A wedged worker exists on paper but is not draining the queue:
+    // discount it so the hint reflects the capacity actually serving.
+    width = std::max(1, pool_->workers() - pool_->wedged());
   } else {
     const int inflight = inflight_.load(std::memory_order_relaxed);
     waiting += static_cast<std::uint64_t>(std::max(0, inflight));
   }
-  const std::uint64_t ms =
-      waiting * (us / 1000 + 1) / static_cast<std::uint64_t>(width);
-  return std::clamp<std::uint64_t>(ms, 1, 30000);
+  return compute_retry_after_ms(us, waiting, width);
 }
 
 std::string Service::response_for_current_exception() {
@@ -309,12 +379,128 @@ std::string Service::response_for_current_exception() {
   }
 }
 
-std::string Service::compute_response(const Request& rq, std::uint64_t seed,
+bool Service::isolated(jobs::JobKind kind) const {
+  switch (opts_.isolate) {
+    case IsolateMode::Off: return false;
+    case IsolateMode::All: return true;
+    case IsolateMode::Symbolic: return kind == jobs::JobKind::Symbolic;
+  }
+  return false;
+}
+
+std::string Service::quarantined_response(const Request& rq) {
+  if (netlist_backed(rq.kind)) {
+    try {
+      // Same tier-0 fallback as a deadline trip, but the detail names the
+      // breaker so clients can tell "slow" from "poison". Never cached
+      // (degraded), so a rehabilitated design recomputes for real.
+      netlist::Module mod = jobs::make_module(rq.design);
+      const netlist::NetlistIndex ix = netlist::build_index(mod.netlist);
+      exec::Meter meter(exec::Budget::with_deadline(0.25));
+      const analysis::StaticEstimate est =
+          analysis::static_estimate(mod.netlist, ix, {}, &meter);
+      if (est.stop == exec::StopReason::None) {
+        std::string detail =
+            "quarantined: repeated kernel crashes on this design; serving "
+            "tier-0 static bounds [";
+        util::append_json_double(detail, est.lower);
+        detail += ", ";
+        util::append_json_double(detail, est.upper);
+        detail += "]";
+        return make_value_response({}, est.point, detail, /*degraded=*/true);
+      }
+    } catch (...) {
+      // Fall through to the typed error; degradation is best-effort.
+    }
+  }
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return make_error_response(
+      {}, "quarantined",
+      "repeated kernel crashes on this design fingerprint; retry after the "
+      "quarantine expires");
+}
+
+std::string Service::isolated_response(const Request& rq, const Keys& k,
+                                       const jobs::KernelRequest& krq,
+                                       const exec::Budget& budget) {
+  sandbox::Limits lim;
+  lim.rlimit_as_bytes = opts_.isolate_rlimit_as_bytes;
+  lim.rlimit_cpu_seconds = opts_.isolate_rlimit_cpu_seconds;
+  lim.wall_deadline_seconds = wall_limit_for(budget.deadline_seconds);
+  if (lim.wall_deadline_seconds <= 0.0)
+    lim.wall_deadline_seconds = opts_.isolate_wall_ceiling_seconds;
+
+  isolated_.fetch_add(1, std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  const sandbox::RunResult r =
+      sandbox::run_isolated(krq, budget, lim, opts_.executor, &budget.cancel);
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  note_service_time(static_cast<std::uint64_t>(us < 0 ? 0 : us));
+
+  if (r.delivered) {
+    if (opts_.quarantine_threshold > 0) quarantine_.record_success(k.fp);
+    if (r.caught == jobs::ErrorClass::InvalidInput) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return make_error_response({}, "invalid-input", r.caught_detail);
+    }
+    if (r.caught != jobs::ErrorClass::None) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return make_error_response({}, "internal", r.caught_detail);
+    }
+    const jobs::AttemptOutcome& out = r.outcome;
+    if (!out.ok) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      if (out.stop == exec::StopReason::Cancelled) {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        return make_error_response({}, "cancelled", out.detail);
+      }
+      if (out.stop == exec::StopReason::Deadline)
+        return make_error_response({}, "deadline-exceeded", out.detail);
+      return make_error_response({}, "budget-exhausted", out.detail);
+    }
+    return make_value_response({}, out.out.value, out.out.detail,
+                               out.out.degraded);
+  }
+
+  // The child died without delivering a frame: a typed crash, never a lost
+  // response and never a dead daemon.
+  child_crashes_.fetch_add(1, std::memory_order_relaxed);
+  crashes_by_kind_[static_cast<std::size_t>(r.crash.kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  const bool hard = r.crash.kind != sandbox::CrashKind::Cancelled;
+  if (hard && opts_.quarantine_threshold > 0)
+    quarantine_.record_failure(k.fp, sandbox::Quarantine::Clock::now());
+
+  switch (r.crash.kind) {
+    case sandbox::CrashKind::Cancelled:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      return make_error_response({}, "cancelled", r.crash.detail);
+    case sandbox::CrashKind::WallTimeout:
+      // Same client contract as an in-process wall abandonment, including
+      // the degrade-on-deadline tier-0 fallback.
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      return deadline_response(rq, budget.deadline_seconds > 0.0
+                                       ? budget.deadline_seconds
+                                       : lim.wall_deadline_seconds);
+    case sandbox::CrashKind::OomKill:
+    case sandbox::CrashKind::CpuLimit:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return make_error_response({}, "budget-exhausted", r.crash.detail);
+    default:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return make_error_response({}, "internal", r.crash.detail);
+  }
+}
+
+std::string Service::compute_response(const Request& rq, const Keys& k,
                                       const exec::CancelToken& cancel) {
   jobs::KernelRequest krq;
   krq.kind = rq.kind;
   krq.design = rq.design;
-  krq.seed = seed;
+  krq.seed = k.seed;
   krq.epsilon = rq.epsilon;
   krq.confidence = rq.confidence;
   krq.min_pairs = rq.min_pairs;
@@ -335,6 +521,8 @@ std::string Service::compute_response(const Request& rq, std::uint64_t seed,
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
+
+  if (isolated(rq.kind)) return isolated_response(rq, k, krq, budget);
 
   const auto t0 = std::chrono::steady_clock::now();
   try {
@@ -437,20 +625,29 @@ std::string Service::lead_execute(const Request& rq, const Keys& k) {
       std::uint64_t id;
       ~Unregister() { s->unregister_task(id); }
     } guard{this, task_id};
-    std::string body = compute_response(rq, k.seed, task->cancel);
+    std::string body = compute_response(rq, k, task->cancel);
     maybe_cache(rq, k, body);
     return body;
   }
 
-  const bool submitted =
-      pool_->try_submit([this, task, task_id, rq, k]() {
+  // The task's wall deadline, shared with the pool so its supervisor can
+  // tell a wedged slot (busy past this point) from a merely busy one.
+  const double cooperative = budget_for(rq).deadline_seconds;
+  const double wall = wall_limit_for(cooperative);
+  const auto wall_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(wall));
+
+  const bool submitted = pool_->try_submit(
+      [this, task, task_id, rq, k]() {
         std::string body;
         try {
           if (fi::serve_fault_checkpoint(fi::ServeFault::WorkerThrow))
             throw std::runtime_error("fi: injected worker crash mid-kernel");
           if (fi::serve_fault_checkpoint(fi::ServeFault::WorkerAlloc))
             throw std::bad_alloc{};
-          body = compute_response(rq, k.seed, task->cancel);
+          body = compute_response(rq, k, task->cancel);
           maybe_cache(rq, k, body);
         } catch (...) {
           // compute_response catches everything itself; this guards the
@@ -466,7 +663,8 @@ std::string Service::lead_execute(const Request& rq, const Keys& k) {
         }
         task->cv.notify_all();
         unregister_task(task_id);
-      });
+      },
+      wall > 0.0 ? wall_deadline : WorkerPool::Clock::time_point{});
   if (!submitted) {
     unregister_task(task_id);
     shed_.fetch_add(1, std::memory_order_relaxed);
@@ -474,13 +672,6 @@ std::string Service::lead_execute(const Request& rq, const Keys& k) {
                                "admission control: kernel queue is full",
                                retry_after_ms());
   }
-
-  const double cooperative = budget_for(rq).deadline_seconds;
-  const double wall = wall_limit_for(cooperative);
-  const auto wall_deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double>(wall));
 
   std::unique_lock<std::mutex> lock(task->mu);
   for (;;) {
@@ -553,6 +744,13 @@ std::string Service::handle_estimate(const Request& rq) {
   std::string body;
   if (rq.use_cache && cache_.lookup(k.cache_key, body)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+  } else if (opts_.quarantine_threshold > 0 &&
+             quarantine_.admit(k.fp, sandbox::Quarantine::Clock::now()) ==
+                 sandbox::Quarantine::Decision::Quarantined) {
+    // Poison fingerprint, breaker open: answer degraded in microseconds
+    // instead of re-executing the blowup. (An admitted Probe falls through
+    // and executes; its child's fate closes or re-opens the breaker.)
+    body = quarantined_response(rq);
   } else {
     try {
       SingleFlight::Result fr =
@@ -590,6 +788,8 @@ std::string Service::handle_line(std::string_view line) {
       return attach_id(make_ping_response(), rq.id);
     case Op::Metrics:
       return attach_id(serialize_metrics(metrics()), rq.id);
+    case Op::Health:
+      return attach_id(serialize_health(health()), rq.id);
     case Op::Estimate:
       return handle_estimate(rq);
   }
@@ -628,6 +828,31 @@ ServiceMetrics Service::metrics() const {
   m.p90_us = latency_.percentile(0.90);
   m.p99_us = latency_.percentile(0.99);
   return m;
+}
+
+ServiceHealth Service::health() const {
+  ServiceHealth h;
+  h.workers = opts_.workers;
+  h.draining = draining();
+  if (pool_) {
+    h.live = pool_->live();
+    h.busy = pool_->busy();
+    h.wedged = pool_->wedged();
+    h.queue_depth = pool_->queue_depth();
+    h.respawns = pool_->respawns();
+  }
+  h.isolated = isolated_.load(std::memory_order_relaxed);
+  h.child_crashes = child_crashes_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < crashes_by_kind_.size(); ++i)
+    h.crashes_by_kind[i] = crashes_by_kind_[i].load(std::memory_order_relaxed);
+  const sandbox::Quarantine::Counters q = quarantine_.counters();
+  h.quarantine_trips = q.trips;
+  h.quarantine_served = q.served_open;
+  h.quarantine_probes = q.probes;
+  h.quarantine_reopens = q.reopens;
+  h.quarantine_rehabilitated = q.rehabilitated;
+  h.quarantine_open = q.open_now;
+  return h;
 }
 
 }  // namespace hlp::serve

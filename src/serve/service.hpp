@@ -13,6 +13,8 @@
 
 #include "exec/exec.hpp"
 #include "jobs/kernels.hpp"
+#include "sandbox/quarantine.hpp"
+#include "sandbox/sandbox.hpp"
 #include "serve/cache.hpp"
 #include "serve/cachefile.hpp"
 #include "serve/protocol.hpp"
@@ -29,6 +31,15 @@ namespace hlp::serve {
 /// return promptly.
 using Executor = std::function<jobs::AttemptOutcome(const jobs::KernelRequest&,
                                                     const exec::Budget&)>;
+
+/// Which request kinds execute inside a forked sandbox child (DESIGN.md
+/// §11). `Symbolic` — the default — isolates only the kinds with
+/// exponential worst cases (BDD-based symbolic estimation); cheap sampled
+/// and closed-form kinds stay in-process. `All` forks every kernel.
+enum class IsolateMode : std::uint8_t { Off, Symbolic, All };
+
+const char* to_string(IsolateMode m);
+bool parse_isolate_mode(std::string_view s, IsolateMode& out);
 
 struct ServiceOptions {
   std::size_t cache_bytes = 8u << 20;  ///< 0 disables the result cache
@@ -63,6 +74,27 @@ struct ServiceOptions {
   /// warm. Empty = in-memory cache only.
   std::string cache_path;
   Executor executor;  ///< empty = jobs::run_kernel
+
+  /// Process isolation (DESIGN.md §11): which kinds fork a sandbox child.
+  /// Library default is Off (embedders and tests opt in; in-process fakes
+  /// and TSan suites must not fork from a threaded process); the hlp_serve
+  /// daemon defaults to Symbolic.
+  IsolateMode isolate = IsolateMode::Off;
+  /// Hard rlimit caps applied inside isolated children (0 = inherit).
+  std::size_t isolate_rlimit_as_bytes = 0;
+  double isolate_rlimit_cpu_seconds = 0.0;
+  /// Wall ceiling for isolated children whose request carries no deadline
+  /// (a child must never be unkillable); requests with deadlines use
+  /// 1.25x + 50ms like the in-process waiter.
+  double isolate_wall_ceiling_seconds = 30.0;
+
+  /// Poison-request quarantine: after `quarantine_threshold` hard child
+  /// crashes on one design fingerprint, answer it degraded instead of
+  /// re-executing (exponential expiry, see sandbox::Quarantine).
+  /// threshold <= 0 disables the breaker.
+  int quarantine_threshold = 3;
+  double quarantine_base_expiry_seconds = 30.0;
+  double quarantine_max_expiry_seconds = 1800.0;
 };
 
 /// Point-in-time service counters (monotone except inflight/draining and
@@ -97,6 +129,32 @@ struct ServiceMetrics {
 /// (hits/misses/coalesced/shed are what parse_response surfaces), then
 /// cache and latency detail.
 std::string serialize_metrics(const ServiceMetrics& m);
+
+/// Supervision-tree state answered by {"op":"health"} (DESIGN.md §11):
+/// pool capacity and wedge/respawn counters, sandbox crash counters by
+/// class, quarantine circuit-breaker state.
+struct ServiceHealth {
+  int workers = 0;       ///< configured pool size (0 = inline execution)
+  int live = 0;          ///< threads currently serving the queue
+  int busy = 0;          ///< tasks executing (incl. wedged/superseded)
+  int wedged = 0;        ///< busy past deadline, not yet superseded
+  std::size_t queue_depth = 0;
+  std::uint64_t respawns = 0;  ///< supervisor replacements (one per wedge)
+  bool draining = false;
+  std::uint64_t isolated = 0;       ///< kernel attempts run in a child
+  std::uint64_t child_crashes = 0;  ///< children that died without a frame
+  /// Crash counts by sandbox::CrashKind (indexed by the enum).
+  std::array<std::uint64_t, 8> crashes_by_kind{};
+  std::uint64_t quarantine_trips = 0;
+  std::uint64_t quarantine_served = 0;  ///< answered without execution
+  std::uint64_t quarantine_probes = 0;
+  std::uint64_t quarantine_reopens = 0;
+  std::uint64_t quarantine_rehabilitated = 0;
+  std::size_t quarantine_open = 0;  ///< fingerprints open right now
+};
+
+/// Health wire form: {"ok":true,"op":"health",...}.
+std::string serialize_health(const ServiceHealth& h);
 
 /// Lock-free log-scale latency histogram: bucket i holds samples whose
 /// microsecond count has bit width i, so percentiles are exact to a factor
@@ -149,6 +207,7 @@ class Service {
   std::string handle_line(std::string_view line);
 
   ServiceMetrics metrics() const;
+  ServiceHealth health() const;
 
   /// After begin_drain(), estimate requests are answered "draining";
   /// metrics and ping still work so shutdown can be observed.
@@ -171,6 +230,7 @@ class Service {
     std::string cache_key;
     std::string flight_key;
     std::uint64_t seed = 0;  ///< effective seed (derived when not given)
+    std::uint64_t fp = 0;    ///< structural fingerprint (quarantine key)
   };
   /// Throws std::invalid_argument for an unbuildable design.
   Keys keys(const Request& rq);
@@ -192,9 +252,21 @@ class Service {
   /// return the id-less response body.
   std::string lead_execute(const Request& rq, const Keys& k);
   /// Id-less response for one kernel execution; runs on a pool worker (or
-  /// inline). Catches everything.
-  std::string compute_response(const Request& rq, std::uint64_t seed,
+  /// inline). Catches everything. Feeds the quarantine breaker: a
+  /// delivered outcome is a success, a child crash a hard failure.
+  std::string compute_response(const Request& rq, const Keys& k,
                                const exec::CancelToken& cancel);
+  /// True when `kind` executes inside a forked sandbox child.
+  bool isolated(jobs::JobKind kind) const;
+  /// Run one attempt in a sandbox child and map the RunResult into a
+  /// response line plus crash/quarantine bookkeeping.
+  std::string isolated_response(const Request& rq, const Keys& k,
+                                const jobs::KernelRequest& krq,
+                                const exec::Budget& budget);
+  /// Answer an open-quarantined fingerprint without executing: tier-0
+  /// static bound (degraded, "quarantined" detail) for netlist-backed
+  /// kinds, the "quarantined" error class otherwise. Never cached.
+  std::string quarantined_response(const Request& rq);
   /// Response for a wall-deadline abandonment: tier-0 static bound when
   /// degrade_on_deadline allows, else the typed error.
   std::string deadline_response(const Request& rq, double limit_seconds);
@@ -238,6 +310,11 @@ class Service {
   std::atomic<std::uint64_t> degraded_deadline_{0};
   std::atomic<std::uint64_t> warm_entries_{0};
   std::atomic<std::uint64_t> ewma_us_{0};
+  std::atomic<std::uint64_t> isolated_{0};
+  std::atomic<std::uint64_t> child_crashes_{0};
+  std::array<std::atomic<std::uint64_t>, 8> crashes_by_kind_{};
+
+  sandbox::Quarantine quarantine_;
 
   /// Declared last: destroyed first, so workers finish (running any queued
   /// task to completion) while every member their closures touch is alive.

@@ -1,25 +1,39 @@
 #include "serve/workerpool.hpp"
 
 #include <utility>
+#include <vector>
 
 namespace hlp::serve {
 
 WorkerPool::WorkerPool(int workers, std::size_t queue_limit)
-    : queue_limit_(queue_limit) {
-  if (workers < 1) workers = 1;
-  threads_.reserve(static_cast<std::size_t>(workers));
-  for (int i = 0; i < workers; ++i)
-    threads_.emplace_back([this] { worker_loop(); });
+    : queue_limit_(queue_limit), target_(workers < 1 ? 1 : workers) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < target_; ++i) spawn_slot_locked();
+  }
+  supervisor_ = std::thread([this] { supervise_loop(); });
 }
 
 WorkerPool::~WorkerPool() { stop(); }
 
-bool WorkerPool::try_submit(std::function<void()> fn) {
+void WorkerPool::spawn_slot_locked() {
+  slots_.emplace_back();
+  Slot* s = &slots_.back();
+  ++live_;
+  s->thr = std::thread([this, s] { worker_loop(s); });
+}
+
+bool WorkerPool::try_submit(std::function<void()> fn,
+                            Clock::time_point deadline) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return false;
     if (queue_limit_ > 0 && queue_.size() >= queue_limit_) return false;
-    queue_.push_back(std::move(fn));
+    Task t;
+    t.fn = std::move(fn);
+    t.has_deadline = deadline != Clock::time_point{};
+    t.deadline = deadline;
+    queue_.push_back(std::move(t));
   }
   cv_.notify_one();
   return true;
@@ -35,33 +49,115 @@ int WorkerPool::busy() const {
   return busy_;
 }
 
+int WorkerPool::wedged() const {
+  const auto now = Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const Slot& s : slots_) {
+    if (s.busy && s.has_deadline && !s.superseded && now > s.deadline) ++n;
+  }
+  return n;
+}
+
+int WorkerPool::live() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+std::uint64_t WorkerPool::respawns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return respawns_;
+}
+
 void WorkerPool::stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& t : threads_) {
-    if (t.joinable()) t.join();
+  supervise_cv_.notify_all();
+  if (supervisor_.joinable()) supervisor_.join();
+  // The supervisor has exited; no new slots can appear. Joining here waits
+  // for superseded threads too — their tasks are deadline-bounded (see
+  // header), so this terminates.
+  for (Slot& s : slots_) {
+    if (s.thr.joinable()) s.thr.join();
   }
 }
 
-void WorkerPool::worker_loop() {
+void WorkerPool::worker_loop(Slot* self) {
   for (;;) {
-    std::function<void()> fn;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping, and the backlog is drained
-      fn = std::move(queue_.front());
+      cv_.wait(lock, [&] {
+        return stopping_ || self->superseded || !queue_.empty();
+      });
+      if (self->superseded) {
+        // Replaced while idle (should not happen — only busy slots are
+        // superseded — but harmless). live_ was handed to the replacement
+        // at supersede time.
+        self->retired = true;
+        supervise_cv_.notify_all();
+        return;
+      }
+      if (queue_.empty()) {
+        // Stopping and the backlog is drained.
+        --live_;
+        return;
+      }
+      task = std::move(queue_.front());
       queue_.pop_front();
       ++busy_;
+      self->busy = true;
+      self->has_deadline = task.has_deadline;
+      self->deadline = task.deadline;
     }
-    fn();
+    task.fn();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --busy_;
+      self->busy = false;
+      self->has_deadline = false;
+      if (self->superseded) {
+        // A replacement took this slot's capacity while the task was
+        // wedged; the wedge has now resolved — exit and let the
+        // supervisor reap the thread.
+        self->retired = true;
+        supervise_cv_.notify_all();
+        return;
+      }
     }
+  }
+}
+
+void WorkerPool::supervise_loop() {
+  for (;;) {
+    std::vector<std::thread> reap;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      supervise_cv_.wait_for(lock, kSupervisePeriod,
+                             [&] { return stopping_; });
+      if (stopping_) return;
+      const auto now = Clock::now();
+      for (Slot& s : slots_) {
+        if (s.busy && s.has_deadline && !s.superseded &&
+            now > s.deadline + kSupersedeGrace) {
+          // Wedged: the task ran past its deadline plus grace without
+          // returning. Mark the slot superseded (exactly once), hand its
+          // live count to a fresh thread — capacity is restored now, not
+          // when the wedge eventually resolves.
+          s.superseded = true;
+          --live_;
+          ++respawns_;
+          spawn_slot_locked();
+        }
+        if (s.retired && s.thr.joinable()) reap.push_back(std::move(s.thr));
+      }
+    }
+    // Join outside the lock: a retiring thread's last step released mu_
+    // and returned, so these joins complete promptly.
+    for (std::thread& t : reap) t.join();
   }
 }
 

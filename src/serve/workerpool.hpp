@@ -1,26 +1,44 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
-#include <vector>
 
 namespace hlp::serve {
 
-/// Fixed-size worker pool behind a bounded FIFO queue — the execution side
-/// of the serve tier's bulkhead (DESIGN.md §9). Connection threads submit
-/// kernel tasks and wait on a per-task latch; only `workers` kernels run at
-/// once and at most `queue_limit` wait, so a burst of slow estimates turns
-/// into explicit shed decisions at try_submit instead of an unbounded pile
-/// of busy OS threads.
+/// Supervised worker pool behind a bounded FIFO queue — the execution side
+/// of the serve tier's bulkhead (DESIGN.md §9, supervision in §11).
+/// Connection threads submit kernel tasks (optionally carrying the
+/// request's wall deadline) and wait on a per-task latch; only `workers`
+/// kernels run at once and at most `queue_limit` wait, so a burst of slow
+/// estimates turns into explicit shed decisions at try_submit instead of an
+/// unbounded pile of busy OS threads.
+///
+/// Supervision: a kernel that wedges non-cooperatively (never reaches a
+/// meter checkpoint, or blocks on a sandbox child the parent is about to
+/// SIGKILL) used to burn its worker thread forever — `busy()` looked loaded
+/// with no distinguishing signal and pool capacity silently shrank to
+/// zero. The pool now runs a supervisor thread that polls the slots: a
+/// task still busy past `deadline + supersede_grace` has its slot marked
+/// *superseded* and a replacement thread spawned, restoring capacity
+/// immediately (`respawns()` counts these, exactly one per wedged task).
+/// The superseded thread is not killed — it exits on its own when its task
+/// finally returns (sandboxed tasks always do: the child is SIGKILLed at
+/// the wall deadline) and is then reaped by the supervisor. `wedged()`
+/// counts busy-past-deadline slots that have not been superseded yet — the
+/// load signal admission control folds into shed/retry-after decisions.
 ///
 /// Tasks must not throw (the service wraps every kernel in its own
 /// classification catch); a throwing task would terminate the process.
 class WorkerPool {
  public:
+  using Clock = std::chrono::steady_clock;
+
   /// Spawns the workers immediately. `workers` is clamped to at least 1;
   /// `queue_limit` = 0 means unbounded.
   WorkerPool(int workers, std::size_t queue_limit);
@@ -30,30 +48,76 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   /// Enqueue a task. Returns false — without blocking — when the queue is
-  /// at queue_limit or the pool is stopping; the caller sheds.
-  bool try_submit(std::function<void()> fn);
+  /// at queue_limit or the pool is stopping; the caller sheds. `deadline`
+  /// (default: none) is the task's wall deadline: past it the slot counts
+  /// as wedged, and past it plus the supersede grace the supervisor
+  /// replaces the slot's thread.
+  bool try_submit(std::function<void()> fn,
+                  Clock::time_point deadline = Clock::time_point{});
 
   /// Tasks queued but not yet started (load signal for admission control).
   std::size_t queue_depth() const;
-  /// Tasks currently executing.
+  /// Tasks currently executing (including wedged and superseded ones).
   int busy() const;
-  int workers() const { return static_cast<int>(threads_.size()); }
+  /// Busy slots past their task deadline and not yet superseded: capacity
+  /// that exists on paper but is not serving the queue right now.
+  int wedged() const;
+  /// Threads currently serving the queue (the supervisor holds this at
+  /// `workers()`: every superseded slot gets a replacement).
+  int live() const;
+  /// Replacement threads spawned by the supervisor — one per wedged task.
+  std::uint64_t respawns() const;
+  int workers() const { return target_; }
 
   /// Stop accepting work, *run* everything still queued (each queued task
   /// has a waiter that must be answered — dropping it would lose a
-  /// response), then join the workers. Idempotent; called by ~WorkerPool.
+  /// response), then join every thread, including superseded ones (their
+  /// tasks are deadline-bounded: a sandboxed wedge dies with its child's
+  /// wall SIGKILL, an in-process stall fault has a bounded duration).
+  /// Idempotent; called by ~WorkerPool.
   void stop();
 
+  /// How long past its deadline a busy task runs before the supervisor
+  /// supersedes its thread. Long enough that the normal deadline path (the
+  /// waiter answering `deadline-exceeded`, the sandbox reaping its child)
+  /// wins the race in the common case.
+  static constexpr std::chrono::milliseconds kSupersedeGrace{100};
+  static constexpr std::chrono::milliseconds kSupervisePeriod{20};
+
  private:
-  void worker_loop();
+  /// One worker thread's slot. Slots live in a deque (stable addresses)
+  /// and are never destroyed until stop(); a superseded slot keeps its
+  /// thread object until the supervisor reaps it.
+  struct Slot {
+    std::thread thr;
+    bool busy = false;
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+    bool superseded = false;  ///< supervisor replaced this thread
+    bool retired = false;     ///< superseded thread finished; joinable now
+  };
+  struct Task {
+    std::function<void()> fn;
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+  };
+
+  void worker_loop(Slot* self);
+  void supervise_loop();
+  void spawn_slot_locked();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::condition_variable supervise_cv_;
+  std::deque<Task> queue_;
+  std::deque<Slot> slots_;
   std::size_t queue_limit_;
+  int target_;
   int busy_ = 0;
+  int live_ = 0;
+  std::uint64_t respawns_ = 0;
   bool stopping_ = false;
-  std::vector<std::thread> threads_;
+  std::thread supervisor_;
 };
 
 }  // namespace hlp::serve

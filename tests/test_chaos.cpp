@@ -9,7 +9,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <string>
 #include <thread>
@@ -17,9 +19,11 @@
 
 #include "exec/fi.hpp"
 #include "jobs/kernels.hpp"
+#include "sandbox/sandbox.hpp"
 #include "serve/cachefile.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
+#include "serve/workerpool.hpp"
 
 namespace {
 
@@ -67,6 +71,18 @@ Request estimate_request(const std::string& design,
   rq.kind = kind;
   rq.design = design;
   return rq;
+}
+
+bool wait_for(const std::function<bool()>& pred, double seconds = 10.0) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!pred()) {
+    if (std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() > seconds) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
 }
 
 // --- Crash-safe persistent cache --------------------------------------------
@@ -197,10 +213,11 @@ TEST(ServeChaos, HundredFaultSchedulesLoseNoResponses) {
     std::remove(path.c_str());
     fi::disarm_serve_faults();
 
-    // Derive this schedule's fault plan from its id alone.
+    // Derive this schedule's fault plan from its id alone. Only the four
+    // in-process faults: the Child* crash faults fire behind fork() and
+    // have their own schedules (ServeCrash below).
     std::uint64_t rng = 0x5eedull * 2654435761ull + static_cast<std::uint64_t>(sched);
-    const auto fault =
-        static_cast<fi::ServeFault>(splitmix64(rng) % fi::kServeFaultCount);
+    const auto fault = static_cast<fi::ServeFault>(splitmix64(rng) % 4);
     const std::uint64_t at_hit = splitmix64(rng) % 8;
     const std::uint64_t stall_ms = 150 + splitmix64(rng) % 150;
     fi::arm_serve_fault(fault, at_hit,
@@ -284,6 +301,231 @@ TEST(ServeChaos, HundredFaultSchedulesLoseNoResponses) {
     }
   }
   std::remove(path.c_str());
+}
+
+// --- Crash-fault schedules (process-isolated sandbox, DESIGN.md §11) --------
+//
+// ServeCrash.* is deliberately named outside the TSan allowlist: these
+// schedules fork sandbox children from a multithreaded service, which TSan
+// cannot follow. The ASan chaos job runs them in full.
+
+/// Fast deterministic fake kernel for isolated children: the crash faults
+/// fire before it runs, so a crashing round never reaches it.
+jobs::AttemptOutcome crash_fake_kernel(const jobs::KernelRequest& krq,
+                                       const exec::Budget&) {
+  jobs::AttemptOutcome ao;
+  ao.ok = true;
+  ao.out.value = static_cast<double>(krq.design.size());
+  ao.out.detail = "crash-fake";
+  return ao;
+}
+
+TEST(ServeCrash, HundredCrashStormLosesNoResponsesAndRestoresCapacity) {
+  // The survival proof: >= 100 deterministic child faults mixing
+  // segfaults, OOM kills, and non-cooperative wedges, across 4 client
+  // threads — zero lost responses, the daemon process never dies, and
+  // pool capacity is restored after every fault.
+  constexpr int kRounds = 100;
+  constexpr int kThreads = 4;
+  const char* kDesigns[] = {"adder:4", "adder:8", "mult:4", "mult:6"};
+
+  ServiceOptions opts;
+  opts.workers = 4;
+  opts.isolate = serve::IsolateMode::All;
+  opts.default_deadline_seconds = 0.15;  // bounds every wedged child
+  opts.quarantine_threshold = 0;  // breaker measured separately below
+  opts.executor = crash_fake_kernel;
+  Service service(opts);
+
+  int armed_segv = 0, armed_oom = 0, armed_wedge = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    fi::disarm_serve_faults();
+    std::uint64_t rng =
+        0xc4a5ull * 2654435761ull + static_cast<std::uint64_t>(round);
+    fi::ServeFault fault;
+    switch (splitmix64(rng) % 3) {
+      case 0: fault = fi::ServeFault::ChildSegv; ++armed_segv; break;
+      case 1: fault = fi::ServeFault::ChildOom; ++armed_oom; break;
+      default: fault = fi::ServeFault::ChildWedge; ++armed_wedge; break;
+    }
+    const std::uint64_t at_hit = splitmix64(rng) % kThreads;
+    fi::arm_serve_fault(fault, at_hit);
+
+    std::vector<std::string> responses(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Request rq = estimate_request(kDesigns[t]);
+        rq.id = "r" + std::to_string(round) + "-t" + std::to_string(t);
+        rq.has_seed = true;
+        // Unique seed per (round, thread): every request is a fresh miss.
+        rq.seed = static_cast<std::uint64_t>(round) * kThreads +
+                  static_cast<std::uint64_t>(t);
+        responses[static_cast<std::size_t>(t)] =
+            service.handle_line(rq.serialize());
+      });
+    }
+    for (auto& th : threads) th.join();  // zero lost responses: all return
+
+    int failures = 0;
+    for (int t = 0; t < kThreads; ++t) {
+      const std::string& body = responses[static_cast<std::size_t>(t)];
+      ResponseView v;
+      ASSERT_TRUE(serve::parse_response(body, v))
+          << "round " << round << ": " << body;
+      EXPECT_EQ(v.id, "r" + std::to_string(round) + "-t" + std::to_string(t))
+          << "round " << round;
+      if (v.ok) continue;
+      ++failures;
+      // Crash class -> wire class is fixed: segv is internal, an OOM kill
+      // is budget-exhausted, a wedge dies as a wall-deadline abandonment.
+      switch (fault) {
+        case fi::ServeFault::ChildSegv:
+          EXPECT_EQ(v.error, "internal") << "round " << round;
+          break;
+        case fi::ServeFault::ChildOom:
+          EXPECT_EQ(v.error, "budget-exhausted") << "round " << round;
+          break;
+        default:
+          EXPECT_EQ(v.error, "deadline-exceeded") << "round " << round;
+          break;
+      }
+    }
+    EXPECT_EQ(failures, 1)
+        << "round " << round << ": exactly the faulted request fails";
+  }
+  fi::disarm_serve_faults();
+
+  // Every fault becomes a typed crash report (the wedge's counter may lag
+  // its response: the waiter answers at the deadline, the worker reaps the
+  // child at the wall kill shortly after).
+  ASSERT_TRUE(wait_for([&] {
+    return service.health().child_crashes ==
+           static_cast<std::uint64_t>(kRounds);
+  })) << service.health().child_crashes;
+  const serve::ServiceHealth h = service.health();
+  using CK = hlp::sandbox::CrashKind;
+  EXPECT_EQ(h.crashes_by_kind[static_cast<std::size_t>(CK::Signal)],
+            static_cast<std::uint64_t>(armed_segv));
+  EXPECT_EQ(h.crashes_by_kind[static_cast<std::size_t>(CK::OomKill)],
+            static_cast<std::uint64_t>(armed_oom));
+  EXPECT_EQ(h.crashes_by_kind[static_cast<std::size_t>(CK::WallTimeout)],
+            static_cast<std::uint64_t>(armed_wedge));
+
+  // Capacity restored: every worker thread is back (wedged children were
+  // reaped, any superseded slot was replaced), and the service still
+  // executes clean requests.
+  ASSERT_TRUE(wait_for([&] {
+    const serve::ServiceHealth now = service.health();
+    return now.busy == 0 && now.live == opts.workers && now.wedged == 0;
+  }));
+  Request clean = estimate_request("adder:8");
+  clean.id = "after-the-storm";
+  ResponseView v;
+  ASSERT_TRUE(serve::parse_response(service.handle_line(clean.serialize()), v));
+  EXPECT_TRUE(v.ok) << "the service must execute normally after 100 crashes";
+  EXPECT_EQ(service.health().isolated,
+            static_cast<std::uint64_t>(kRounds * kThreads + 1));
+}
+
+TEST(ServeCrash, RespawnCounterMatchesWedgeCountExactly) {
+  // Ten wedged tasks through a two-slot pool: the supervisor must replace
+  // each wedged thread exactly once and end with full capacity.
+  constexpr int kWedges = 10;
+  serve::WorkerPool pool(2, 64);
+  std::atomic<bool> release{false};
+  std::atomic<int> finished{0};
+  for (int i = 0; i < kWedges; ++i) {
+    ASSERT_TRUE(pool.try_submit(
+        [&] {
+          wait_for([&] { return release.load(); }, 60.0);
+          finished.fetch_add(1);
+        },
+        serve::WorkerPool::Clock::now() + std::chrono::milliseconds(30)));
+  }
+  ASSERT_TRUE(wait_for(
+      [&] {
+        return pool.respawns() == static_cast<std::uint64_t>(kWedges) &&
+               pool.live() == 2;
+      },
+      30.0))
+      << "respawns=" << pool.respawns() << " live=" << pool.live();
+  EXPECT_EQ(pool.live(), 2) << "capacity restored after every supersede";
+  EXPECT_EQ(pool.busy(), kWedges) << "every wedge still holds its thread";
+  release.store(true);
+  ASSERT_TRUE(wait_for([&] { return finished.load() == kWedges; }));
+  pool.stop();
+  EXPECT_EQ(pool.respawns(), static_cast<std::uint64_t>(kWedges))
+      << "exactly one respawn per wedged task, none after release";
+}
+
+TEST(ServeCrash, PoisonFingerprintQuarantinesAfterExactlyKThenRehabilitates) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.isolate = serve::IsolateMode::All;
+  opts.quarantine_threshold = 3;
+  opts.quarantine_base_expiry_seconds = 0.3;
+  opts.executor = crash_fake_kernel;
+  Service service(opts);
+
+  auto poison_line = [](int i) {
+    Request rq = estimate_request("adder:4");
+    rq.id = "p" + std::to_string(i);
+    rq.use_cache = false;  // force execution on every attempt
+    return rq.serialize();
+  };
+
+  // K-1 crashes: the breaker counts but stays closed (still executing).
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(service.health().quarantine_trips, 0u)
+        << "tripped before the K-th failure (i=" << i << ")";
+    fi::arm_serve_fault(fi::ServeFault::ChildSegv, 0);
+    ResponseView v;
+    ASSERT_TRUE(serve::parse_response(service.handle_line(poison_line(i)), v));
+    EXPECT_FALSE(v.ok);
+    EXPECT_EQ(v.error, "internal");
+  }
+  fi::disarm_serve_faults();
+  EXPECT_EQ(service.health().quarantine_trips, 1u)
+      << "the K-th hard failure must trip the breaker";
+
+  // Open: answered degraded from the tier-0 static bound, in microseconds
+  // not kernel-seconds, without forking another child.
+  const std::uint64_t isolated_before = service.health().isolated;
+  const auto t0 = std::chrono::steady_clock::now();
+  ResponseView q;
+  ASSERT_TRUE(serve::parse_response(service.handle_line(poison_line(100)), q));
+  const double ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  EXPECT_TRUE(q.ok) << "netlist-backed kinds degrade, not error";
+  EXPECT_TRUE(q.degraded);
+  EXPECT_NE(q.detail.find("quarantined"), std::string::npos) << q.detail;
+  EXPECT_LT(ms, 10.0) << "a quarantined answer must not cost a kernel run";
+  EXPECT_EQ(service.health().isolated, isolated_before)
+      << "an open breaker must not fork a child";
+  EXPECT_GE(service.health().quarantine_served, 1u);
+  EXPECT_EQ(service.health().quarantine_open, 1u);
+
+  // A different design is unaffected by the poison fingerprint.
+  ResponseView other;
+  ASSERT_TRUE(serve::parse_response(
+      service.handle_line(estimate_request("adder:8").serialize()), other));
+  EXPECT_TRUE(other.ok);
+  EXPECT_FALSE(other.degraded);
+
+  // Past expiry the breaker half-opens: one probe executes for real, and
+  // its delivered outcome rehabilitates the fingerprint.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  ResponseView probe;
+  ASSERT_TRUE(
+      serve::parse_response(service.handle_line(poison_line(101)), probe));
+  EXPECT_TRUE(probe.ok);
+  EXPECT_FALSE(probe.degraded) << "the probe ran the real kernel";
+  EXPECT_EQ(service.health().quarantine_rehabilitated, 1u);
+  EXPECT_EQ(service.health().quarantine_open, 0u);
+  EXPECT_GT(service.health().isolated, isolated_before);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -90,6 +91,19 @@ TEST(Protocol, MinimalEstimateGetsDefaults) {
   EXPECT_TRUE(rq.use_cache);
   EXPECT_EQ(rq.epsilon, 0.02);
   EXPECT_EQ(rq.deadline_seconds, 0.0);
+}
+
+TEST(Protocol, HealthOpRoundTrips) {
+  Request rq;
+  rq.op = Op::Health;
+  rq.id = "h";
+  const std::string line = rq.serialize();
+  Request back;
+  std::string error;
+  ASSERT_TRUE(Request::parse(line, back, error)) << error;
+  EXPECT_EQ(back.op, Op::Health);
+  EXPECT_EQ(back.id, "h");
+  EXPECT_EQ(back.serialize(), line);
 }
 
 TEST(Protocol, AcceptsKeysInAnyOrder) {
@@ -668,6 +682,58 @@ TEST(Serve, MetricsResponseCarriesTheCounters) {
   EXPECT_EQ(v.shed, 0u);
 }
 
+TEST(Serve, HealthReportsPoolStateAndKeepsWorkingWhileDraining) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  Service service(opts);
+  const std::string body = service.handle_line("{\"op\":\"health\"}");
+  ResponseView v;
+  ASSERT_TRUE(serve::parse_response(body, v)) << body;
+  EXPECT_TRUE(v.ok);
+  // The supervision-state fields ride on the wire in fixed order.
+  EXPECT_NE(body.find("\"op\":\"health\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"workers\":2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"live\":2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"wedged\":0"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"respawns\":0"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"child-crashes\":0"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"crash-signal\":0"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"quarantine-trips\":0"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"draining\":false"), std::string::npos) << body;
+
+  const serve::ServiceHealth h = service.health();
+  EXPECT_EQ(h.workers, 2);
+  EXPECT_EQ(h.live, 2);
+  EXPECT_EQ(h.wedged, 0);
+  EXPECT_EQ(h.isolated, 0u);
+
+  // Like metrics, health answers while draining — incident response needs
+  // the supervision state most when the service is going down.
+  service.begin_drain();
+  ResponseView d;
+  ASSERT_TRUE(serve::parse_response(service.handle_line("{\"op\":\"health\"}"), d));
+  EXPECT_TRUE(d.ok);
+  EXPECT_NE(service.handle_line("{\"op\":\"health\"}").find("\"draining\":true"),
+            std::string::npos);
+}
+
+TEST(Serve, HealthEchoesIdAndRejectsEstimateKeys) {
+  Service service;
+  const std::string body =
+      service.handle_line("{\"op\":\"health\",\"id\":\"h-1\"}");
+  ResponseView v;
+  ASSERT_TRUE(serve::parse_response(body, v)) << body;
+  EXPECT_TRUE(v.ok);
+  EXPECT_EQ(v.id, "h-1");
+  // Estimate-only keys on a health request are a protocol error, same as
+  // for metrics/ping.
+  ResponseView bad;
+  ASSERT_TRUE(serve::parse_response(
+      service.handle_line("{\"op\":\"health\",\"design\":\"adder:4\"}"), bad));
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, "malformed");
+}
+
 // --- TCP server -------------------------------------------------------------
 
 /// Minimal blocking line-protocol client for loopback tests.
@@ -947,6 +1013,59 @@ TEST(ServePool, BoundedQueueRefusesExcessTasks) {
   pool.stop();
 }
 
+TEST(ServePool, WedgedTaskIsSupersededAndCapacityRestored) {
+  // Supervision (DESIGN.md §11): a task stalled past its deadline first
+  // reads as wedged, then has its thread superseded — the pool's serving
+  // capacity comes back while the stalled task still holds its old thread.
+  serve::WorkerPool pool(2, 16);
+  std::atomic<bool> release{false};
+  const auto deadline = serve::WorkerPool::Clock::now() +
+                        std::chrono::milliseconds(50);
+  ASSERT_TRUE(pool.try_submit(
+      [&] { wait_until([&] { return release.load(); }); }, deadline));
+
+  // Past the deadline, before the supersede grace: visible as wedged.
+  ASSERT_TRUE(wait_until([&] { return pool.wedged() == 1; }));
+  EXPECT_EQ(pool.busy(), 1);
+  EXPECT_EQ(pool.respawns(), 0u);
+
+  // The supervisor replaces the thread: wedged clears, capacity restored.
+  ASSERT_TRUE(wait_until([&] { return pool.respawns() == 1; }));
+  ASSERT_TRUE(
+      wait_until([&] { return pool.live() == 2 && pool.wedged() == 0; }));
+  EXPECT_EQ(pool.busy(), 1) << "the stalled task is still running";
+
+  // Both restored slots serve new work while the wedge holds its thread.
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.try_submit([&] { ran.fetch_add(1); }));
+  ASSERT_TRUE(pool.try_submit([&] { ran.fetch_add(1); }));
+  ASSERT_TRUE(wait_until([&] { return ran.load() == 2; }));
+
+  release.store(true);  // the stalled task returns; its thread retires
+  ASSERT_TRUE(wait_until([&] { return pool.busy() == 0; }));
+  pool.stop();
+  EXPECT_EQ(pool.respawns(), 1u) << "exactly one respawn per wedged task";
+  EXPECT_EQ(pool.live(), 0) << "stop() joins every thread";
+}
+
+TEST(ServePool, TasksWithinDeadlineAreNeverSuperseded) {
+  serve::WorkerPool pool(1, 16);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.try_submit(
+        [&] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          ran.fetch_add(1);
+        },
+        serve::WorkerPool::Clock::now() + std::chrono::seconds(30)));
+  }
+  ASSERT_TRUE(wait_until([&] { return ran.load() == 8; }));
+  EXPECT_EQ(pool.respawns(), 0u)
+      << "healthy deadline-carrying tasks must not trigger the supervisor";
+  EXPECT_EQ(pool.wedged(), 0);
+  pool.stop();
+}
+
 // --- Per-request deadlines --------------------------------------------------
 
 /// Executor that ignores its meter and spins until cancelled — the "stuck
@@ -1102,6 +1221,58 @@ TEST(ServeShed, InflightCapShedCarriesRetryAfterHint) {
   EXPECT_GE(v.retry_after_ms, 1u);
   release.store(true);
   holder.join();
+}
+
+TEST(ServeShed, RetryAfterHintIsPositiveMonotoneAndCapped) {
+  // Property sweep over the free function behind the shed hint: strictly
+  // positive, monotone non-decreasing in backlog, non-increasing in pool
+  // width, and capped — for any input, including adversarial extremes.
+  const std::uint64_t kMax = ~0ull;
+  const std::uint64_t ewmas[] = {0, 1, 999, 1000, 25'000, 1'000'000, kMax};
+  const int widths[] = {-3, 0, 1, 2, 8, 64};
+  const std::uint64_t backlogs[] = {0, 1, 2, 7, 100, 10'000, kMax};
+  for (std::uint64_t ewma : ewmas) {
+    for (int width : widths) {
+      std::uint64_t prev = 0;
+      for (std::uint64_t waiting : backlogs) {
+        const std::uint64_t hint =
+            serve::compute_retry_after_ms(ewma, waiting, width);
+        ASSERT_GE(hint, 1u) << ewma << "/" << waiting << "/" << width;
+        ASSERT_LE(hint, serve::kMaxRetryAfterMs)
+            << ewma << "/" << waiting << "/" << width;
+        ASSERT_GE(hint, prev)
+            << "hint must not shrink as the backlog grows: ewma=" << ewma
+            << " waiting=" << waiting << " width=" << width;
+        prev = hint;
+      }
+    }
+    for (int width = 1; width < 64; ++width) {
+      ASSERT_LE(serve::compute_retry_after_ms(ewma, 100, width + 1),
+                serve::compute_retry_after_ms(ewma, 100, width))
+          << "a wider pool must never lengthen the hint: ewma=" << ewma;
+    }
+  }
+  // Sanity anchor: 100 waiting at 5ms each across 2 workers ≈ 250ms.
+  EXPECT_EQ(serve::compute_retry_after_ms(5000, 100, 2), 300u);
+}
+
+TEST(ServeShed, BoundedRetryDelayHonorsTheHintButNeverExceedsTheCap) {
+  using serve::bounded_retry_delay_seconds;
+  // No hint: the policy backoff passes through.
+  EXPECT_DOUBLE_EQ(bounded_retry_delay_seconds(0.05, 0), 0.05);
+  // The server's hint wins when it is longer than the backoff.
+  EXPECT_DOUBLE_EQ(bounded_retry_delay_seconds(0.05, 2000), 2.0);
+  // ... and loses when the backoff is already longer.
+  EXPECT_DOUBLE_EQ(bounded_retry_delay_seconds(5.0, 2000), 5.0);
+  // Both sides are capped: a pathological hint or an overflowed policy
+  // must not put the client to sleep for minutes.
+  EXPECT_DOUBLE_EQ(bounded_retry_delay_seconds(1e9, 0), 30.0);
+  EXPECT_DOUBLE_EQ(bounded_retry_delay_seconds(0.0, ~0ull), 30.0);
+  EXPECT_DOUBLE_EQ(bounded_retry_delay_seconds(0.0, serve::kMaxRetryAfterMs),
+                   30.0);
+  // Degenerate policy outputs are sanitized but still honor the hint.
+  EXPECT_DOUBLE_EQ(bounded_retry_delay_seconds(std::nan(""), 500), 0.5);
+  EXPECT_DOUBLE_EQ(bounded_retry_delay_seconds(-3.0, 0), 0.0);
 }
 
 // --- Single-flight exception propagation (regression) -----------------------

@@ -1,13 +1,21 @@
 // hlp_run — run a benchmark campaign from a job-spec file.
 //
 //   hlp_run campaign.jobs [--workers N] [--ledger PATH] [--resume]
-//                         [--max-attempts K] [--list]
+//                         [--max-attempts K] [--isolate]
+//                         [--isolate-rlimit-as BYTES]
+//                         [--isolate-rlimit-cpu SECONDS] [--list]
 //
 // Exit status: 0 when every job completed, 1 when any job failed or was
 // cancelled, 2 on usage/spec errors. With --ledger, every state transition
 // is journaled crash-consistently; re-running with --resume skips jobs the
 // previous (possibly killed) process completed and restores interrupted
 // Monte Carlo estimates from their checkpoints.
+//
+// --isolate forks each spec-driven kernel attempt into a single-request
+// sandbox child under hard rlimit caps (DESIGN.md §11): a segfaulting or
+// OOM-killed kernel fails only its own attempt — classified through the
+// normal ErrorClass taxonomy, so rlimit kills retry with downgrade like
+// any budget exhaustion — instead of killing the campaign.
 
 #include <cstdio>
 #include <cstring>
@@ -15,13 +23,16 @@
 
 #include "jobs/jobs.hpp"
 #include "jobs/spec.hpp"
+#include "sandbox/sandbox.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <campaign.jobs> [--workers N] [--ledger PATH] "
-               "[--resume] [--max-attempts K] [--list]\n",
+               "[--resume] [--max-attempts K] [--isolate] "
+               "[--isolate-rlimit-as BYTES] [--isolate-rlimit-cpu SECONDS] "
+               "[--list]\n",
                argv0);
   return 2;
 }
@@ -35,6 +46,8 @@ int main(int argc, char** argv) {
   int max_attempts_override = 0;
   bool resume = false;
   bool list_only = false;
+  bool isolate = false;
+  hlp::sandbox::Limits isolate_limits;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -67,6 +80,16 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--isolate") {
+      isolate = true;
+    } else if (arg == "--isolate-rlimit-as") {
+      const char* v = next_value("--isolate-rlimit-as");
+      if (!v) return 2;
+      isolate_limits.rlimit_as_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--isolate-rlimit-cpu") {
+      const char* v = next_value("--isolate-rlimit-cpu");
+      if (!v) return 2;
+      isolate_limits.rlimit_cpu_seconds = std::atof(v);
     } else if (arg == "--list") {
       list_only = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -103,6 +126,13 @@ int main(int argc, char** argv) {
   opts.retry = spec.retry;
   if (max_attempts_override) opts.retry.max_attempts = max_attempts_override;
   opts.ledger_path = ledger_path;
+  if (isolate) {
+    opts.kernel_executor = [isolate_limits](
+                               const hlp::jobs::KernelRequest& rq,
+                               const hlp::exec::Budget& budget) {
+      return hlp::sandbox::run_kernel_isolated(rq, budget, isolate_limits);
+    };
+  }
 
   hlp::jobs::Runner runner(opts);
   hlp::jobs::CampaignResult cr;

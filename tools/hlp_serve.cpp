@@ -6,6 +6,9 @@
 //             [--deadline-ceiling SECONDS] [--workers N] [--queue-limit N]
 //             [--cache-file PATH] [--default-deadline SECONDS]
 //             [--degrade-on-deadline] [--drain-deadline SECONDS]
+//             [--isolate off|symbolic|all] [--isolate-rlimit-as BYTES]
+//             [--isolate-rlimit-cpu SECONDS] [--isolate-wall-ceiling SECONDS]
+//             [--quarantine-threshold K] [--quarantine-expiry SECONDS]
 //
 //   Serves line-delimited JSON estimate requests (DESIGN.md §9) until
 //   SIGTERM/SIGINT, then drains gracefully: new connections are refused,
@@ -19,10 +22,18 @@
 //   With port 0 the kernel picks a port; the daemon always prints
 //   "listening on ADDR:PORT" once ready.
 //
+//   --isolate (default: symbolic) forks each kernel of the selected kinds
+//   into a single-request sandbox child under hard rlimit caps, so a
+//   segfaulting, OOM-killed, or wedged kernel is a typed error response
+//   instead of a dead daemon (DESIGN.md §11). Repeat crashers are
+//   quarantined per design fingerprint after --quarantine-threshold hard
+//   failures and answered from tier-0 static bounds until the (exponential)
+//   quarantine expires.
+//
 // Client:
 //   hlp_serve --connect [ADDR:]PORT [--kind K] [--design SPEC] [--seed N]
 //             [--repeat N] [--unique] [--no-cache] [--deadline SECONDS]
-//             [--retries N] [--metrics] [--ping]
+//             [--retries N] [--metrics] [--health] [--ping]
 //
 //   Sends --repeat copies of one estimate request (--unique gives each a
 //   distinct seed so none coalesce or hit), then optional metrics/ping
@@ -65,9 +76,13 @@ int usage(const char* argv0) {
       "          [--deadline-ceiling SECONDS] [--workers N] [--queue-limit N]\n"
       "          [--cache-file PATH] [--default-deadline SECONDS]\n"
       "          [--degrade-on-deadline] [--drain-deadline SECONDS]\n"
+      "          [--isolate off|symbolic|all] [--isolate-rlimit-as BYTES]\n"
+      "          [--isolate-rlimit-cpu SECONDS] [--isolate-wall-ceiling SECONDS]\n"
+      "          [--quarantine-threshold K] [--quarantine-expiry SECONDS]\n"
       "   or: %s --connect [ADDR:]PORT [--kind K] [--design SPEC] [--seed N]\n"
       "          [--epsilon E] [--repeat N] [--unique] [--no-cache]\n"
-      "          [--deadline SECONDS] [--retries N] [--metrics] [--ping]\n",
+      "          [--deadline SECONDS] [--retries N] [--metrics] [--health]\n"
+      "          [--ping]\n",
       argv0, argv0);
   return 2;
 }
@@ -136,6 +151,18 @@ int run_daemon(const Endpoint& ep, hlp::serve::ServerOptions opts) {
   if (m.warm_entries > 0) {
     std::printf("  %-12s %8llu\n", "warm-entries",
                 static_cast<unsigned long long>(m.warm_entries));
+  }
+  const hlp::serve::ServiceHealth h = server.service().health();
+  if (h.isolated > 0 || h.child_crashes > 0 || h.respawns > 0 ||
+      h.quarantine_trips > 0) {
+    std::printf("  %-12s %8llu\n", "isolated",
+                static_cast<unsigned long long>(h.isolated));
+    std::printf("  %-12s %8llu\n", "crashes",
+                static_cast<unsigned long long>(h.child_crashes));
+    std::printf("  %-12s %8llu\n", "respawns",
+                static_cast<unsigned long long>(h.respawns));
+    std::printf("  %-12s %8llu\n", "quarantined",
+                static_cast<unsigned long long>(h.quarantine_trips));
   }
   std::printf("  %-12s %8llu us\n", "p50",
               static_cast<unsigned long long>(m.p50_us));
@@ -219,6 +246,7 @@ struct ClientConfig {
   double deadline_seconds = 0.0;  ///< per-request wall deadline (0 = none)
   int retries = 0;  ///< resend a shed request up to this many times
   bool metrics = false;
+  bool health = false;
   bool ping = false;
 };
 
@@ -242,9 +270,11 @@ int run_client(const Endpoint& ep, const ClientConfig& cfg) {
       hlp::serve::ResponseView v;
       const bool parsed = hlp::serve::parse_response(resp, v);
       if (parsed && !v.ok && v.error == "shed" && attempt < cfg.retries) {
-        double delay = backoff.delay_seconds(line, attempt + 1);
-        delay = std::max(delay,
-                         static_cast<double>(v.retry_after_ms) / 1000.0);
+        // Honor the server's hint but never sleep past kMaxRetryAfterMs —
+        // a pathological hint (or deep exponential backoff) must not park
+        // the client for minutes.
+        const double delay = hlp::serve::bounded_retry_delay_seconds(
+            backoff.delay_seconds(line, attempt + 1), v.retry_after_ms);
         std::this_thread::sleep_for(std::chrono::duration<double>(delay));
         continue;
       }
@@ -282,6 +312,10 @@ int run_client(const Endpoint& ep, const ClientConfig& cfg) {
     std::fprintf(stderr, "hlp_serve: connection lost\n");
     return 1;
   }
+  if (cfg.health && !roundtrip("{\"op\":\"health\"}")) {
+    std::fprintf(stderr, "hlp_serve: connection lost\n");
+    return 1;
+  }
   if (cfg.ping && !roundtrip("{\"op\":\"ping\"}")) {
     std::fprintf(stderr, "hlp_serve: connection lost\n");
     return 1;
@@ -295,6 +329,9 @@ int main(int argc, char** argv) {
   std::string listen_at;
   std::string connect_to;
   hlp::serve::ServerOptions sopts;
+  // Daemon default: the kinds with exponential worst cases run in forked
+  // sandbox children (the library default is Off for embedders/tests).
+  sopts.service.isolate = hlp::serve::IsolateMode::Symbolic;
   ClientConfig cfg;
 
   for (int i = 1; i < argc; ++i) {
@@ -352,6 +389,34 @@ int main(int argc, char** argv) {
       sopts.service.default_deadline_seconds = std::atof(v);
     } else if (arg == "--degrade-on-deadline") {
       sopts.service.degrade_on_deadline = true;
+    } else if (arg == "--isolate") {
+      const char* v = next_value("--isolate");
+      if (!v) return 2;
+      if (!hlp::serve::parse_isolate_mode(v, sopts.service.isolate)) {
+        std::fprintf(stderr,
+                     "hlp_serve: --isolate must be off, symbolic, or all\n");
+        return 2;
+      }
+    } else if (arg == "--isolate-rlimit-as") {
+      const char* v = next_value("--isolate-rlimit-as");
+      if (!v) return 2;
+      sopts.service.isolate_rlimit_as_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--isolate-rlimit-cpu") {
+      const char* v = next_value("--isolate-rlimit-cpu");
+      if (!v) return 2;
+      sopts.service.isolate_rlimit_cpu_seconds = std::atof(v);
+    } else if (arg == "--isolate-wall-ceiling") {
+      const char* v = next_value("--isolate-wall-ceiling");
+      if (!v) return 2;
+      sopts.service.isolate_wall_ceiling_seconds = std::atof(v);
+    } else if (arg == "--quarantine-threshold") {
+      const char* v = next_value("--quarantine-threshold");
+      if (!v) return 2;
+      sopts.service.quarantine_threshold = std::atoi(v);
+    } else if (arg == "--quarantine-expiry") {
+      const char* v = next_value("--quarantine-expiry");
+      if (!v) return 2;
+      sopts.service.quarantine_base_expiry_seconds = std::atof(v);
     } else if (arg == "--drain-deadline") {
       const char* v = next_value("--drain-deadline");
       if (!v) return 2;
@@ -399,6 +464,8 @@ int main(int argc, char** argv) {
       cfg.no_cache = true;
     } else if (arg == "--metrics") {
       cfg.metrics = true;
+    } else if (arg == "--health") {
+      cfg.health = true;
     } else if (arg == "--ping") {
       cfg.ping = true;
     } else {
