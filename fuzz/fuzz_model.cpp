@@ -1,0 +1,74 @@
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "model/artifact.hpp"
+
+/// libFuzzer entry point for the macromodel artifact layer. Two surfaces
+/// take attacker-shaped bytes (DESIGN.md §12):
+///
+///  - decode_models: a registry file a crashed writer truncated or a disk
+///    garbled must decode without crashing, throwing, or over-reading, and
+///    its status must honor the framing contract — Ok means every decoded
+///    record re-serializes and every torn byte is accounted for; BadRecord
+///    and VersionMismatch mean the model list is empty (all-or-nothing).
+///
+///  - Macromodel::parse: any line must either parse strictly or leave the
+///    output untouched; on success, serialize o parse is a byte-identical
+///    fixed point (the property the on-disk format's stability rests on).
+namespace {
+
+void check_parse_line(std::string_view line) {
+  hlp::model::Macromodel out;
+  // Pre-fill so a buggy partial parse is visible as a field change.
+  out.family = "sentinel";
+  out.intercept = -12345.0;
+  std::string err;
+  const hlp::model::Macromodel::ParseStatus ps =
+      hlp::model::Macromodel::parse(line, out, err);
+  if (ps == hlp::model::Macromodel::ParseStatus::Ok) {
+    // Round trip: the canonical form must parse back to identical bytes.
+    const std::string canon = out.serialize();
+    hlp::model::Macromodel again;
+    std::string err2;
+    if (hlp::model::Macromodel::parse(canon, again, err2) !=
+        hlp::model::Macromodel::ParseStatus::Ok)
+      __builtin_trap();
+    if (again.serialize() != canon) __builtin_trap();
+  } else {
+    // Failed parse must not leak partial state into the output.
+    if (out.family != "sentinel" || out.intercept != -12345.0)
+      __builtin_trap();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  const hlp::model::ModelLoad load = hlp::model::decode_models(bytes);
+  switch (load.status) {
+    case hlp::model::ModelFileStatus::Ok:
+      // Every accepted model re-serializes (the registry will evaluate it).
+      for (const hlp::model::Macromodel& m : load.models)
+        if (m.serialize().empty()) __builtin_trap();
+      if (load.torn_bytes > bytes.size()) __builtin_trap();
+      break;
+    case hlp::model::ModelFileStatus::BadRecord:
+    case hlp::model::ModelFileStatus::VersionMismatch:
+      // All-or-nothing: no half registry may escape a typed rejection.
+      if (!load.models.empty()) __builtin_trap();
+      if (load.error.empty()) __builtin_trap();
+      break;
+    default:
+      if (!load.models.empty()) __builtin_trap();
+      break;
+  }
+
+  // The same bytes as a bare artifact line exercise the strict parser.
+  check_parse_line(bytes);
+  return 0;
+}

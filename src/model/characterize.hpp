@@ -1,0 +1,112 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "jobs/jobs.hpp"
+#include "model/artifact.hpp"
+
+namespace hlp::model {
+
+/// --- Offline characterization campaign -------------------------------------
+///
+/// Training data for a macromodel comes from running the *real* estimation
+/// kernels over a design-family sweep: a parameter grid (adder:4 .. adder:12)
+/// crossed with an input-statistics grid (signal probability p). Each grid
+/// point is one job in an hlp::jobs campaign, so characterization inherits
+/// the runner's supervision, retries, crash-consistent ledger, and resume —
+/// a killed characterization run continues where it stopped.
+///
+/// Reference labels: at p == 0.5 the symbolic (BDD sat-fraction) kernel is
+/// exact and cheap enough; at p != 0.5 the BDD layer has no weighted sat
+/// fraction, so labels come from biased Monte Carlo — vectors drawn with
+/// per-bit probability p — with the usual CI stopping rule. Both paths are
+/// deterministic in the job id, so re-running a campaign reproduces every
+/// label bit for bit.
+
+struct SweepSpec {
+  std::string family = "adder";  ///< design-spec prefix (one factory family)
+  jobs::JobKind kind = jobs::JobKind::Symbolic;  ///< label kernel
+  /// Parameter grid: each entry p makes design "family:p". Empty runs the
+  /// bare family name once (parameterless specs like "c17").
+  std::vector<int> params;
+  /// Input signal-probability grid (each must be in [0, 1]).
+  std::vector<double> input_p = {0.5};
+  /// Monte Carlo stopping parameters for sampled labels.
+  double epsilon = 0.02;
+  double confidence = 0.95;
+  std::size_t min_pairs = 30;
+  std::size_t max_pairs = 20000;
+  /// Per-attempt supervisor wall ceiling (0 = none).
+  double attempt_deadline_seconds = 0.0;
+};
+
+/// One training observation: canonical features -> reference power.
+struct Row {
+  std::string design;
+  double input_p = 0.5;
+  FeatureVector x;
+  double power = 0.0;
+};
+
+struct Characterization {
+  std::vector<Row> rows;  ///< one per *completed* job, grid order
+  jobs::CampaignResult campaign;
+  bool complete() const { return campaign.all_completed(); }
+};
+
+/// Design spec for one grid point ("adder" + 8 -> "adder:8").
+std::string sweep_design(const SweepSpec& spec, std::size_t param_index);
+
+/// Deterministic job id for one grid point; doubles as the RNG seed domain.
+std::string sweep_job_id(const SweepSpec& spec, const std::string& design,
+                         double input_p);
+
+/// Build the campaign's job list (exposed so hlp_fit can size ledgers and
+/// tests can inspect ids without running anything).
+std::vector<jobs::Job> sweep_jobs(const SweepSpec& spec);
+
+/// Run (or, with `resume`, continue) the characterization campaign and
+/// extract feature rows from the completed jobs. Features are recomputed
+/// from (design, input_p) after the campaign — extract_features is pure, so
+/// rows are identical whether a label was computed or read from the ledger.
+/// Throws std::invalid_argument on an invalid spec (unknown family, bad p).
+Characterization characterize(const SweepSpec& spec,
+                              const jobs::RunnerOptions& ropts,
+                              bool resume = false);
+
+/// --- Fitting ---------------------------------------------------------------
+
+struct FitOptions {
+  double f_enter = 4.0;     ///< partial-F threshold for forward selection
+  std::size_t max_vars = 8;
+  /// Held-out fraction for the accuracy report: every k-th row (k chosen
+  /// from the fraction, deterministic — no RNG) is excluded from training
+  /// and scored afterwards. 0 trains on everything and reports MAPE = 0.
+  double holdout_frac = 0.25;
+};
+
+struct FitReport {
+  Macromodel model;
+  std::size_t train_rows = 0;
+  std::size_t holdout_rows = 0;
+  double holdout_mape = 0.0;  ///< mean |rel err| on held-out rows
+  double train_r2 = 0.0;
+  double condition = 0.0;  ///< normal-equation condition estimate
+  /// Set when the condition estimate exceeds ~1e8: coefficients solved but
+  /// numerically fragile — surfaced, not silently shipped.
+  bool condition_warning = false;
+  std::vector<std::string> selected_names;  ///< feature names, fit order
+};
+
+/// Fit a macromodel for (family, kind) from characterization rows:
+/// stepwise selection on the training split, then a strict full-rank
+/// refit with inference by-products (sigma2, (X'X)^-1) for prediction
+/// intervals, and the training-domain hull over all rows. Throws
+/// std::invalid_argument on too few rows and stats::RankDeficientError
+/// when the selected design matrix cannot support inference.
+FitReport fit_macromodel(std::span<const Row> rows, const std::string& family,
+                         const std::string& kind, const FitOptions& opts = {});
+
+}  // namespace hlp::model

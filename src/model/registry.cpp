@@ -1,0 +1,55 @@
+#include "model/registry.hpp"
+
+namespace hlp::model {
+
+namespace {
+
+std::string make_key(std::string_view family, std::string_view kind) {
+  std::string k;
+  k.reserve(family.size() + 1 + kind.size());
+  k.append(family);
+  k.push_back('|');
+  k.append(kind);
+  return k;
+}
+
+}  // namespace
+
+void ModelRegistry::insert(Macromodel m) {
+  std::string key = make_key(m.family, m.kind);
+  models_.insert_or_assign(std::move(key), std::move(m));
+}
+
+const Macromodel* ModelRegistry::find(std::string_view family,
+                                      std::string_view kind) const {
+  const auto it = models_.find(make_key(family, kind));
+  return it == models_.end() ? nullptr : &it->second;
+}
+
+Prediction ModelRegistry::predict(std::string_view family,
+                                  std::string_view kind,
+                                  const FeatureVector& x,
+                                  double confidence) const {
+  Prediction p;
+  const Macromodel* m = find(family, kind);
+  if (!m) {
+    p.status = PredictStatus::NoModel;
+    return p;
+  }
+  if (!m->in_hull(x)) {
+    p.status = PredictStatus::OutOfHull;
+    return p;
+  }
+  p.status = PredictStatus::Ok;
+  p.value = m->predict(x);
+  p.halfwidth = m->halfwidth(x, confidence);
+  return p;
+}
+
+ModelRegistry build_registry(const ModelLoad& load) {
+  ModelRegistry reg;
+  for (const Macromodel& m : load.models) reg.insert(m);
+  return reg;
+}
+
+}  // namespace hlp::model

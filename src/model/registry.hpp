@@ -1,0 +1,58 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "model/artifact.hpp"
+
+namespace hlp::model {
+
+/// Outcome of asking the registry for a prediction.
+enum class PredictStatus : std::uint8_t {
+  Ok,         ///< value + interval filled in
+  NoModel,    ///< no model registered for this (family, kind)
+  OutOfHull,  ///< query outside the training hull — extrapolation refused
+};
+
+struct Prediction {
+  PredictStatus status = PredictStatus::NoModel;
+  double value = 0.0;      ///< predicted mean power
+  double halfwidth = 0.0;  ///< prediction-interval half-width at `confidence`
+  bool ok() const { return status == PredictStatus::Ok; }
+};
+
+/// Immutable lookup table of fitted macromodels keyed by (family, kind).
+///
+/// Built once from a ModelLoad, then shared read-only: the serve tier holds
+/// a `std::shared_ptr<const ModelRegistry>` and hot-reload swaps the pointer
+/// under a mutex, so in-flight requests keep the registry they started with
+/// and no lock is held while predicting.
+class ModelRegistry {
+ public:
+  /// Register a model; a later model for the same (family, kind) wins,
+  /// matching "last record in the file is the freshest fit".
+  void insert(Macromodel m);
+
+  /// nullptr when no model covers (family, kind).
+  const Macromodel* find(std::string_view family, std::string_view kind) const;
+
+  /// Full lookup-and-evaluate: family routing, hull check, point value and
+  /// interval half-width at `confidence` in one call.
+  Prediction predict(std::string_view family, std::string_view kind,
+                     const FeatureVector& x, double confidence) const;
+
+  std::size_t size() const { return models_.size(); }
+  bool empty() const { return models_.empty(); }
+
+ private:
+  /// key = family + '|' + kind (neither side may contain '|': family is a
+  /// design-spec prefix, kind is a protocol token).
+  std::map<std::string, Macromodel, std::less<>> models_;
+};
+
+/// Convenience: build a registry from a successful load (file order, so
+/// later records override earlier ones).
+ModelRegistry build_registry(const ModelLoad& load);
+
+}  // namespace hlp::model

@@ -92,6 +92,7 @@ std::string Request::serialize() const {
       util::append_field(s, "memory-cap",
                          static_cast<std::uint64_t>(memory_cap_bytes));
     if (!use_cache) util::append_field(s, "cache", false);
+    if (has_accuracy) util::append_field(s, "accuracy", accuracy);
   }
   s.push_back('}');
   return s;
@@ -206,6 +207,13 @@ bool Request::parse(std::string_view line, Request& out, std::string& error) {
       if (!mark(14) || !util::parse_json_bool(c, r.use_cache))
         return fail("bad cache value");
       estimate_keys = true;
+    } else if (key == "accuracy") {
+      if (!mark(15) || !util::number_as(util::number_token(c), r.accuracy))
+        return fail("bad accuracy value");
+      if (!(r.accuracy > 0.0 && r.accuracy <= 1.0))
+        return fail("accuracy must be in (0, 1]");
+      r.has_accuracy = true;
+      estimate_keys = true;
     } else {
       return fail("unknown key");  // refuse to half-read a damaged line
     }
@@ -241,6 +249,21 @@ std::string make_error_response(std::string_view id, std::string_view error,
   util::append_field(s, "detail", detail);
   if (retry_after_ms > 0)
     util::append_field(s, "retry-after-ms", retry_after_ms);
+  s.push_back('}');
+  return s;
+}
+
+std::string make_predicted_response(std::string_view id, double value,
+                                    double interval_lo, double interval_hi,
+                                    std::string_view detail) {
+  std::string s = "{\"ok\":true";
+  if (!id.empty()) util::append_field(s, "id", id);
+  util::append_field(s, "value", value);
+  util::append_field(s, "detail", detail);
+  util::append_field(s, "degraded", false);
+  util::append_field(s, "tier", "predicted");
+  util::append_field(s, "interval-lo", interval_lo);
+  util::append_field(s, "interval-hi", interval_hi);
   s.push_back('}');
   return s;
 }
@@ -288,6 +311,14 @@ bool parse_response(std::string_view line, ResponseView& out) {
       if (!util::number_as(util::number_token(c), r.coalesced)) return false;
     } else if (key == "shed") {
       if (!util::number_as(util::number_token(c), r.shed)) return false;
+    } else if (key == "tier") {
+      if (!util::parse_json_string(c, r.tier)) return false;
+    } else if (key == "interval-lo") {
+      if (!util::number_as(util::number_token(c), r.interval_lo)) return false;
+      r.has_interval = true;
+    } else if (key == "interval-hi") {
+      if (!util::number_as(util::number_token(c), r.interval_hi)) return false;
+      r.has_interval = true;
     } else {
       // Tolerant: skip an unknown key's value, whatever its shape.
       if (!c.at_end() && *c.p == '"') {

@@ -37,7 +37,20 @@ namespace hlp::serve {
 /// Estimate options (all optional): "id" (opaque client tag, echoed),
 /// "seed", "epsilon", "confidence", "min-pairs", "max-pairs", "max-iters",
 /// "deadline", "node-cap", "step-quota", "memory-cap", "cache" (false
-/// bypasses the result cache for this request).
+/// bypasses the result cache for this request), "accuracy" (see below).
+///
+/// "accuracy" opts the request into the *predicted* tier (DESIGN.md §12):
+/// when the service has a macromodel covering the request's design family
+/// and kind, and the request's features lie inside the model's training
+/// hull, and the model's prediction-interval half-width divided by the
+/// predicted value is within the requested accuracy, the service answers
+/// from the model in microseconds. Predicted responses carry
+/// "tier":"predicted" plus "interval-lo"/"interval-hi" (the prediction
+/// interval at the request's "confidence") and are never cached. When the
+/// model cannot support the accuracy — no model, out of hull, or interval
+/// too wide — the service *escalates* to the real kernel exactly as if no
+/// accuracy had been given, and the (cacheable) exact answer is tagged
+/// "tier":"exact". Requests without "accuracy" never consult the model.
 ///
 /// Responses:
 ///   {"ok":true,...,"value":V,"detail":"...","degraded":false}
@@ -115,6 +128,10 @@ struct Request {
   std::size_t step_quota = 0;
   std::size_t memory_cap_bytes = 0;
   bool use_cache = true;
+  /// Relative accuracy the predicted tier must support, in (0, 1]; absent
+  /// (has_accuracy == false) means "never answer from a model".
+  bool has_accuracy = false;
+  double accuracy = 0.0;
 
   /// Canonical single-line JSON (no trailing newline): fixed field order,
   /// defaulted fields omitted.
@@ -137,6 +154,12 @@ std::string make_value_response(std::string_view id, double value,
 std::string make_error_response(std::string_view id, std::string_view error,
                                 std::string_view detail,
                                 std::uint64_t retry_after_ms = 0);
+/// Predicted-tier value response: tagged "tier":"predicted" and carrying
+/// the prediction interval [lo, hi]. Never cached (the interval depends on
+/// the request's accuracy/confidence, not just the content key).
+std::string make_predicted_response(std::string_view id, double value,
+                                    double interval_lo, double interval_hi,
+                                    std::string_view detail);
 std::string make_ping_response();
 
 /// Client-side view of a response line: the union of the fields any
@@ -151,6 +174,13 @@ struct ResponseView {
   bool degraded = false;
   /// Backoff hint on shed/overload errors (0 = none given).
   std::uint64_t retry_after_ms = 0;
+  /// Serving tier for accuracy-carrying requests: "predicted" or "exact"
+  /// ("" on responses that never consulted a model).
+  std::string tier;
+  /// Prediction interval on predicted-tier responses.
+  bool has_interval = false;
+  double interval_lo = 0.0;
+  double interval_hi = 0.0;
   /// Metrics-response counters, in wire order (see Metrics::serialize).
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;

@@ -47,6 +47,18 @@ std::string attach_id(const std::string& idless, std::string_view id) {
   return out;
 }
 
+/// Tag an accuracy-carrying request's kernel/cache answer "tier":"exact".
+/// Spliced *after* caching so cache bodies stay byte-identical to the ones
+/// non-accuracy requests see; predicted responses already carry their tier
+/// and are left alone, as are error responses.
+std::string attach_tier_exact(std::string body) {
+  if (body.compare(0, 10, "{\"ok\":true") == 0 &&
+      body.find("\"tier\":") == std::string::npos) {
+    body.insert(body.size() - 1, ",\"tier\":\"exact\"");
+  }
+  return body;
+}
+
 std::size_t clamp_cap(std::size_t requested, std::size_t ceiling) {
   if (ceiling == 0) return requested;
   if (requested == 0) return ceiling;
@@ -187,6 +199,12 @@ std::string serialize_health(const ServiceHealth& h) {
   util::append_field(s, "quarantine-rehabilitated", h.quarantine_rehabilitated);
   util::append_field(s, "quarantine-open",
                      static_cast<std::uint64_t>(h.quarantine_open));
+  util::append_field(s, "models",
+                     static_cast<std::uint64_t>(h.models_loaded));
+  util::append_field(s, "model-predicted", h.model_predicted);
+  util::append_field(s, "model-escalated", h.model_escalated);
+  util::append_field(s, "model-out-of-hull", h.model_out_of_hull);
+  util::append_field(s, "model-miss", h.model_miss);
   s.push_back('}');
   return s;
 }
@@ -224,9 +242,91 @@ Service::Service(ServiceOptions opts)
     });
     warm_entries_.store(warm, std::memory_order_relaxed);
   }
+  if (!opts_.model_path.empty()) load_models(opts_.model_path);
   if (opts_.workers > 0) {
     pool_ = std::make_unique<WorkerPool>(opts_.workers, opts_.queue_limit);
   }
+}
+
+Service::ModelsStatus Service::load_models(const std::string& path) {
+  ModelsStatus st;
+  model::ModelLoad load = model::load_models_file(path);
+  st.status = load.status;
+  st.torn_bytes = load.torn_bytes;
+  st.error = load.error;
+  if (!load.ok()) return st;  // previous registry (possibly none) stays
+  auto reg = std::make_shared<const model::ModelRegistry>(
+      model::build_registry(load));
+  st.count = reg->size();
+  std::lock_guard<std::mutex> lock(model_mu_);
+  models_ = std::move(reg);
+  return st;
+}
+
+std::shared_ptr<const model::ModelRegistry> Service::models() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return models_;
+}
+
+model::FeatureVector Service::features_for(const std::string& design) {
+  {
+    std::lock_guard<std::mutex> lock(feat_mu_);
+    auto it = feat_memo_.find(design);
+    if (it != feat_memo_.end()) return it->second;
+  }
+  const model::FeatureVector x = model::extract_features(design, 0.5);
+  std::lock_guard<std::mutex> lock(feat_mu_);
+  feat_memo_.emplace(design, x);
+  return x;
+}
+
+std::string Service::predicted_response(const Request& rq) {
+  // Only kinds whose labels a characterization campaign can produce.
+  if (rq.kind != jobs::JobKind::Symbolic &&
+      rq.kind != jobs::JobKind::MonteCarlo)
+    return {};
+  const std::shared_ptr<const model::ModelRegistry> reg = models();
+  if (!reg || reg->empty()) {
+    model_miss_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  model::FeatureVector x;
+  try {
+    x = features_for(rq.design);
+  } catch (...) {
+    // Unextractable features: let the real kernel produce the typed error.
+    model_miss_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  const std::string family = model::design_family(rq.design);
+  const model::Prediction p =
+      reg->predict(family, jobs::to_string(rq.kind), x, rq.confidence);
+  if (p.status == model::PredictStatus::NoModel) {
+    model_miss_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  if (p.status == model::PredictStatus::OutOfHull) {
+    model_out_of_hull_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  // The accuracy contract: answer from the model only when the prediction
+  // interval's relative half-width is within what the client asked for.
+  const double denom = std::max(std::abs(p.value), 1e-12);
+  if (!(p.halfwidth / denom <= rq.accuracy)) {
+    model_escalated_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  model_predicted_.fetch_add(1, std::memory_order_relaxed);
+  std::string detail = "macromodel ";
+  detail += family;
+  detail += '/';
+  detail += jobs::to_string(rq.kind);
+  detail += ", interval halfwidth ";
+  util::append_json_double(detail, p.halfwidth);
+  detail += " at confidence ";
+  util::append_json_double(detail, rq.confidence);
+  return make_predicted_response({}, p.value, p.value - p.halfwidth,
+                                 p.value + p.halfwidth, detail);
 }
 
 std::uint64_t Service::fingerprint(jobs::JobKind kind,
@@ -742,8 +842,14 @@ std::string Service::handle_estimate(const Request& rq) {
   }
 
   std::string body;
+  bool predicted = false;
   if (rq.use_cache && cache_.lookup(k.cache_key, body)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+  } else if (rq.has_accuracy && !(body = predicted_response(rq)).empty()) {
+    // Predicted tier (DESIGN.md §12): answered from the macromodel in
+    // microseconds, interval attached, never cached. An empty return means
+    // escalate — fall through to the real kernel below.
+    predicted = true;
   } else if (opts_.quarantine_threshold > 0 &&
              quarantine_.admit(k.fp, sandbox::Quarantine::Clock::now()) ==
                  sandbox::Quarantine::Decision::Quarantined) {
@@ -767,6 +873,8 @@ std::string Service::handle_estimate(const Request& rq) {
       body = response_for_current_exception();
     }
   }
+
+  if (rq.has_accuracy && !predicted) body = attach_tier_exact(std::move(body));
 
   const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                       std::chrono::steady_clock::now() - t0)
@@ -852,6 +960,12 @@ ServiceHealth Service::health() const {
   h.quarantine_reopens = q.reopens;
   h.quarantine_rehabilitated = q.rehabilitated;
   h.quarantine_open = q.open_now;
+  const std::shared_ptr<const model::ModelRegistry> reg = models();
+  h.models_loaded = reg ? reg->size() : 0;
+  h.model_predicted = model_predicted_.load(std::memory_order_relaxed);
+  h.model_escalated = model_escalated_.load(std::memory_order_relaxed);
+  h.model_out_of_hull = model_out_of_hull_.load(std::memory_order_relaxed);
+  h.model_miss = model_miss_.load(std::memory_order_relaxed);
   return h;
 }
 

@@ -13,6 +13,8 @@
 
 #include "exec/exec.hpp"
 #include "jobs/kernels.hpp"
+#include "model/features.hpp"
+#include "model/registry.hpp"
 #include "sandbox/quarantine.hpp"
 #include "sandbox/sandbox.hpp"
 #include "serve/cache.hpp"
@@ -73,6 +75,11 @@ struct ServiceOptions {
   /// construction so a restarted server answers previously-cached designs
   /// warm. Empty = in-memory cache only.
   std::string cache_path;
+  /// Macromodel registry file (HLPMODL1, see model::load_models_file),
+  /// loaded on construction. Missing or damaged files never prevent
+  /// startup — the service just runs without a predicted tier and the load
+  /// status is queryable via load_models(). Empty = no models.
+  std::string model_path;
   Executor executor;  ///< empty = jobs::run_kernel
 
   /// Process isolation (DESIGN.md §11): which kinds fork a sandbox child.
@@ -151,6 +158,12 @@ struct ServiceHealth {
   std::uint64_t quarantine_reopens = 0;
   std::uint64_t quarantine_rehabilitated = 0;
   std::size_t quarantine_open = 0;  ///< fingerprints open right now
+  /// Predicted-tier state (DESIGN.md §12).
+  std::size_t models_loaded = 0;         ///< registry entries live right now
+  std::uint64_t model_predicted = 0;     ///< answered from a macromodel
+  std::uint64_t model_escalated = 0;     ///< interval too wide for accuracy
+  std::uint64_t model_out_of_hull = 0;   ///< extrapolation refused
+  std::uint64_t model_miss = 0;          ///< no model for the family/kind
 };
 
 /// Health wire form: {"ok":true,"op":"health",...}.
@@ -235,6 +248,24 @@ class Service {
   /// Throws std::invalid_argument for an unbuildable design.
   Keys keys(const Request& rq);
 
+  /// Outcome of (re)loading the model registry — typed, never a throw, so
+  /// operational tooling and tests can assert exactly what happened to a
+  /// missing / torn / corrupt / version-skewed artifact file.
+  struct ModelsStatus {
+    model::ModelFileStatus status = model::ModelFileStatus::Missing;
+    std::size_t count = 0;        ///< registry entries after the load
+    std::uint64_t torn_bytes = 0;
+    std::string error;
+    bool ok() const { return status == model::ModelFileStatus::Ok; }
+  };
+  /// Load (or hot-reload) the macromodel registry from `path`. On success
+  /// the new registry atomically replaces the old one (in-flight requests
+  /// keep the snapshot they started with); on any failure the previous
+  /// registry — possibly none — keeps serving. Thread-safe.
+  ModelsStatus load_models(const std::string& path);
+  /// Current registry snapshot (may be null). Thread-safe.
+  std::shared_ptr<const model::ModelRegistry> models() const;
+
  private:
   /// Per-execution latch shared by the single-flight leader (waiter side)
   /// and the pool worker (producer side). The leader may abandon the wait
@@ -270,6 +301,14 @@ class Service {
   /// Response for a wall-deadline abandonment: tier-0 static bound when
   /// degrade_on_deadline allows, else the typed error.
   std::string deadline_response(const Request& rq, double limit_seconds);
+  /// Predicted-tier attempt for an accuracy-carrying request: answer from
+  /// the macromodel when it covers the request and its interval supports
+  /// the accuracy; "" means escalate to the real kernel (the miss /
+  /// out-of-hull / escalated counter has already been bumped).
+  std::string predicted_response(const Request& rq);
+  /// Memoized canonical feature extraction (uniform inputs, p = 0.5 — the
+  /// statistics serve-time kernels use). Throws like extract_features.
+  model::FeatureVector features_for(const std::string& design);
   /// Map the in-flight exception (call inside catch) to a typed error
   /// response. Never throws.
   std::string response_for_current_exception();
@@ -289,6 +328,15 @@ class Service {
 
   std::mutex fp_mu_;
   std::unordered_map<std::string, std::uint64_t> fp_memo_;
+
+  /// Registry snapshot pointer, swapped whole under model_mu_ (readers
+  /// copy the shared_ptr and predict lock-free on an immutable registry).
+  mutable std::mutex model_mu_;
+  std::shared_ptr<const model::ModelRegistry> models_;
+  /// Feature-vector memo: extraction builds the netlist and runs static
+  /// analysis (~ms); the predicted tier must answer in µs on repeats.
+  std::mutex feat_mu_;
+  std::unordered_map<std::string, model::FeatureVector> feat_memo_;
 
   std::mutex task_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Task>> active_tasks_;
@@ -312,6 +360,10 @@ class Service {
   std::atomic<std::uint64_t> ewma_us_{0};
   std::atomic<std::uint64_t> isolated_{0};
   std::atomic<std::uint64_t> child_crashes_{0};
+  std::atomic<std::uint64_t> model_predicted_{0};
+  std::atomic<std::uint64_t> model_escalated_{0};
+  std::atomic<std::uint64_t> model_out_of_hull_{0};
+  std::atomic<std::uint64_t> model_miss_{0};
   std::array<std::atomic<std::uint64_t>, 8> crashes_by_kind_{};
 
   sandbox::Quarantine quarantine_;

@@ -78,20 +78,17 @@ double mean_abs_rel_error(std::span<const double> est,
   return n ? sum / static_cast<double>(n) : 0.0;
 }
 
-double ci_halfwidth(const RunningStats& s, double confidence) {
+double normal_quantile_two_sided(double confidence) {
   // Normal-approximation quantiles for the confidence levels we use.
-  double z = 1.96;
-  if (confidence >= 0.995)
-    z = 2.807;
-  else if (confidence >= 0.99)
-    z = 2.576;
-  else if (confidence >= 0.95)
-    z = 1.96;
-  else if (confidence >= 0.90)
-    z = 1.645;
-  else
-    z = 1.282;
-  return z * s.stderr_mean();
+  if (confidence >= 0.995) return 2.807;
+  if (confidence >= 0.99) return 2.576;
+  if (confidence >= 0.95) return 1.96;
+  if (confidence >= 0.90) return 1.645;
+  return 1.282;
+}
+
+double ci_halfwidth(const RunningStats& s, double confidence) {
+  return normal_quantile_two_sided(confidence) * s.stderr_mean();
 }
 
 }  // namespace hlp::stats

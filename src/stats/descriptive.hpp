@@ -63,6 +63,12 @@ double correlation(std::span<const double> xs, std::span<const double> ys);
 double mean_abs_rel_error(std::span<const double> est,
                           std::span<const double> ref, double eps = 1e-12);
 
+/// Two-sided normal quantile for the confidence levels the estimators use
+/// (0.95 -> 1.96). Shared by the Monte Carlo CI stopping rule and the
+/// macromodel prediction intervals so "confidence" means the same thing on
+/// both tiers.
+double normal_quantile_two_sided(double confidence);
+
 /// Half-width of the two-sided normal-approximation confidence interval
 /// for the mean at the given confidence level (e.g. 0.95 -> 1.96 * SE).
 double ci_halfwidth(const RunningStats& s, double confidence = 0.95);

@@ -8,59 +8,92 @@
 namespace hlp::stats {
 namespace {
 
-/// Solve A * x = b in place; returns false if singular even after ridge.
-bool solve_linear(std::vector<std::vector<double>> a, std::vector<double> b,
-                  std::vector<double>& out) {
+struct SolveReport {
+  bool ok = false;
+  bool used_ridge = false;
+  double condition = 0.0;  ///< max|pivot| / min|pivot| of the solved system
+};
+
+/// Solve A * x = b; reports whether the ridge fallback was needed and the
+/// pivot-ratio condition estimate of the system actually solved. When
+/// `inverse` is non-null it is filled with A^-1 (row-major) from the same
+/// Gauss-Jordan sweep, so solution and inverse always agree on which
+/// (plain or ridged) system they describe.
+SolveReport solve_linear(const std::vector<std::vector<double>>& a,
+                         const std::vector<double>& b,
+                         std::vector<double>& out,
+                         std::vector<double>* inverse = nullptr) {
+  SolveReport rep;
   const std::size_t n = a.size();
   for (std::size_t attempt = 0; attempt < 2; ++attempt) {
     auto aa = a;
     auto bb = b;
+    std::vector<double> inv;
+    if (inverse) {
+      inv.assign(n * n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) inv[i * n + i] = 1.0;
+    }
     if (attempt == 1) {
       // Ridge fallback for collinear predictors.
       for (std::size_t i = 0; i < n; ++i) aa[i][i] += 1e-8 * (aa[i][i] + 1.0);
     }
     bool singular = false;
+    double piv_max = 0.0, piv_min = 0.0;
     for (std::size_t col = 0; col < n && !singular; ++col) {
       std::size_t piv = col;
       for (std::size_t r = col + 1; r < n; ++r)
         if (std::abs(aa[r][col]) > std::abs(aa[piv][col])) piv = r;
-      if (std::abs(aa[piv][col]) < 1e-12) {
+      const double pv = std::abs(aa[piv][col]);
+      if (pv < 1e-12) {
         singular = true;
         break;
       }
+      if (col == 0 || pv > piv_max) piv_max = pv;
+      if (col == 0 || pv < piv_min) piv_min = pv;
       std::swap(aa[piv], aa[col]);
       std::swap(bb[piv], bb[col]);
+      if (inverse)
+        for (std::size_t c = 0; c < n; ++c)
+          std::swap(inv[piv * n + c], inv[col * n + c]);
       for (std::size_t r = 0; r < n; ++r) {
         if (r == col) continue;
         double f = aa[r][col] / aa[col][col];
         if (f == 0.0) continue;
         for (std::size_t c = col; c < n; ++c) aa[r][c] -= f * aa[col][c];
         bb[r] -= f * bb[col];
+        if (inverse)
+          for (std::size_t c = 0; c < n; ++c)
+            inv[r * n + c] -= f * inv[col * n + c];
       }
     }
     if (singular) continue;
     out.assign(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) out[i] = bb[i] / aa[i][i];
-    return true;
+    if (inverse) {
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t c = 0; c < n; ++c) inv[i * n + c] /= aa[i][i];
+      *inverse = std::move(inv);
+    }
+    rep.ok = true;
+    rep.used_ridge = attempt == 1;
+    rep.condition = piv_min > 0.0 ? piv_max / piv_min : 0.0;
+    return rep;
   }
-  return false;
+  return rep;
 }
 
-}  // namespace
-
-double OlsFit::predict(std::span<const double> x) const {
-  double y = intercept;
-  for (std::size_t i = 0; i < beta.size() && i < x.size(); ++i)
-    y += beta[i] * x[i];
-  return y;
-}
-
-OlsFit ols(const Matrix& x, std::span<const double> y, bool with_intercept) {
+/// Shared core of ols / ols_inference: build the augmented normal equations
+/// and solve them. Returns ok=false (never NaN) on non-finite inputs or a
+/// system singular even with ridge.
+OlsFit ols_impl(const Matrix& x, std::span<const double> y,
+                bool with_intercept, std::vector<double>* inverse,
+                std::size_t* p_out) {
   OlsFit fit;
   const std::size_t n = y.size();
   if (n == 0 || x.size() != n) return fit;
   const std::size_t k = x.empty() ? 0 : x[0].size();
   const std::size_t p = k + (with_intercept ? 1 : 0);
+  if (p_out) *p_out = p;
   if (p == 0 || n < p) return fit;
 
   // Build augmented design with optional leading constant column.
@@ -80,8 +113,20 @@ OlsFit ols(const Matrix& x, std::span<const double> y, bool with_intercept) {
   for (std::size_t i = 0; i < p; ++i)
     for (std::size_t j = 0; j < i; ++j) xtx[i][j] = xtx[j][i];
 
+  // A single NaN or Inf in X or y poisons the normal equations and would
+  // flow through pivoting into NaN coefficients with ok == true; catch it
+  // here where the contamination is cheap to detect.
+  for (std::size_t i = 0; i < p; ++i) {
+    if (!std::isfinite(xty[i])) return fit;
+    for (std::size_t j = 0; j < p; ++j)
+      if (!std::isfinite(xtx[i][j])) return fit;
+  }
+
   std::vector<double> coef;
-  if (!solve_linear(xtx, xty, coef)) return fit;
+  const SolveReport rep = solve_linear(xtx, xty, coef, inverse);
+  if (!rep.ok) return fit;
+  fit.rank_deficient = rep.used_ridge;
+  fit.condition = rep.condition;
 
   if (with_intercept) {
     fit.intercept = coef[0];
@@ -102,6 +147,47 @@ OlsFit ols(const Matrix& x, std::span<const double> y, bool with_intercept) {
   fit.r2 = tss > 0.0 ? 1.0 - rss / tss : (rss < 1e-12 ? 1.0 : 0.0);
   fit.ok = true;
   return fit;
+}
+
+}  // namespace
+
+double OlsFit::predict(std::span<const double> x) const {
+  double y = intercept;
+  for (std::size_t i = 0; i < beta.size() && i < x.size(); ++i)
+    y += beta[i] * x[i];
+  return y;
+}
+
+OlsFit ols(const Matrix& x, std::span<const double> y, bool with_intercept) {
+  return ols_impl(x, y, with_intercept, nullptr, nullptr);
+}
+
+OlsFit ols_strict(const Matrix& x, std::span<const double> y,
+                  bool with_intercept) {
+  OlsFit fit = ols_impl(x, y, with_intercept, nullptr, nullptr);
+  if (!fit.ok)
+    throw RankDeficientError(
+        "ols_strict: normal equations unsolvable (singular system, "
+        "non-finite inputs, or fewer rows than parameters)");
+  if (fit.rank_deficient)
+    throw RankDeficientError(
+        "ols_strict: design matrix is rank-deficient (collinear columns; "
+        "solution exists only under ridge regularization)");
+  return fit;
+}
+
+OlsInference ols_inference(const Matrix& x, std::span<const double> y) {
+  OlsInference inf;
+  inf.fit = ols_impl(x, y, /*with_intercept=*/true, &inf.xtx_inv, &inf.p);
+  if (!inf.fit.ok)
+    throw RankDeficientError(
+        "ols_inference: normal equations unsolvable (singular system, "
+        "non-finite inputs, or fewer rows than parameters)");
+  if (inf.fit.rank_deficient)
+    throw RankDeficientError(
+        "ols_inference: design matrix is rank-deficient; prediction "
+        "intervals from a ridged inverse would understate uncertainty");
+  return inf;
 }
 
 Matrix select_columns(const Matrix& x, std::span<const std::size_t> cols) {

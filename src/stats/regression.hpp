@@ -2,6 +2,8 @@
 
 #include <cstddef>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace hlp::stats {
@@ -13,6 +15,19 @@ struct OlsFit {
   double r2 = 0.0;          ///< coefficient of determination
   double rss = 0.0;         ///< residual sum of squares
   bool ok = false;          ///< false if the normal equations were singular
+                            ///< or the inputs contained non-finite values
+  /// True when the plain normal equations were singular and the solution
+  /// came from the ridge fallback: the coefficients are usable for
+  /// prediction but individually meaningless (collinear predictors), so
+  /// downstream consumers that attach inference to them should refuse —
+  /// ols_strict turns this into a typed error.
+  bool rank_deficient = false;
+  /// Condition estimate of the (possibly ridge-stabilized) normal
+  /// equations: max|pivot| / min|pivot| from the elimination that produced
+  /// the solution. Large values (> ~1e8) mean the coefficients are
+  /// numerically fragile even when full-rank; fit reports surface this as
+  /// a warning rather than silently shipping a brittle model.
+  double condition = 0.0;
 
   /// Evaluate the fitted model on one row of predictors.
   double predict(std::span<const double> x) const;
@@ -24,8 +39,35 @@ using Matrix = std::vector<std::vector<double>>;
 /// Ordinary least squares with intercept, solved via normal equations with
 /// partial-pivot Gaussian elimination and a small ridge fallback when the
 /// system is near-singular (collinear macro-model variables are common).
+/// Never throws: a singular-even-with-ridge system or any non-finite input
+/// (NaN/Inf in X or y) returns fit.ok == false instead of NaN coefficients.
 OlsFit ols(const Matrix& x, std::span<const double> y,
            bool with_intercept = true);
+
+/// Typed rejection for callers that must not receive a rank-deficient fit.
+class RankDeficientError : public std::runtime_error {
+ public:
+  explicit RankDeficientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// ols() that refuses degenerate systems instead of falling back: throws
+/// RankDeficientError when the design matrix is rank-deficient (ridge
+/// engaged or outright singular) or the inputs are non-finite. The fit it
+/// returns is always a genuine full-rank least-squares solution.
+OlsFit ols_strict(const Matrix& x, std::span<const double> y,
+                  bool with_intercept = true);
+
+/// ols_strict plus the inference by-products a prediction interval needs:
+/// the inverse of the intercept-augmented normal matrix (X'X)^-1, row-major
+/// p x p with p = k + 1, ordered [intercept, columns...]. Throws
+/// RankDeficientError under the same conditions as ols_strict.
+struct OlsInference {
+  OlsFit fit;
+  std::size_t p = 0;            ///< augmented parameter count (k + 1)
+  std::vector<double> xtx_inv;  ///< (p x p) row-major
+};
+OlsInference ols_inference(const Matrix& x, std::span<const double> y);
 
 /// Stepwise variable selection driven by the partial F statistic, as used by
 /// Wu et al. [44] to pick power-critical macro-model variables.

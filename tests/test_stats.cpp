@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "stats/descriptive.hpp"
 #include "stats/entropy.hpp"
@@ -117,6 +118,84 @@ TEST(Regression, HandlesCollinearColumns) {
   // Predictions still accurate even if coefficients are not unique.
   double row[2] = {10.0, 20.0};
   EXPECT_NEAR(fit.predict(row), 10.0, 0.1);
+}
+
+TEST(Regression, NonFiniteInputsRefuseInsteadOfNaN) {
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({double(i), double(i * i)});
+    y.push_back(2.0 * i);
+  }
+  x[7][1] = std::numeric_limits<double>::quiet_NaN();
+  auto fit = ols(x, y);
+  EXPECT_FALSE(fit.ok);  // used to return NaN coefficients with ok == true
+
+  x[7][1] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(ols(x, y).ok);
+
+  x[7][1] = 49.0;
+  y[3] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ols(x, y).ok);
+}
+
+TEST(Regression, CollinearFitIsFlaggedRankDeficientWithCondition) {
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    double a = i;
+    x.push_back({a, 2 * a});
+    y.push_back(a);
+  }
+  auto fit = ols(x, y);
+  ASSERT_TRUE(fit.ok);            // ridge fallback still predicts
+  EXPECT_TRUE(fit.rank_deficient);
+  EXPECT_GT(fit.condition, 0.0);
+
+  // Full-rank data: flag stays clear and the condition is moderate.
+  Matrix good;
+  std::vector<double> gy;
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    double a = rng.uniform_real(-1, 1), b = rng.uniform_real(-1, 1);
+    good.push_back({a, b});
+    gy.push_back(1.0 + a - b);
+  }
+  auto gfit = ols(good, gy);
+  ASSERT_TRUE(gfit.ok);
+  EXPECT_FALSE(gfit.rank_deficient);
+}
+
+TEST(Regression, StrictVariantsThrowTyped) {
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    double a = i;
+    x.push_back({a, 2 * a});  // rank-deficient by construction
+    y.push_back(a);
+  }
+  EXPECT_THROW(ols_strict(x, y), RankDeficientError);
+  EXPECT_THROW(ols_inference(x, y), RankDeficientError);
+
+  // Healthy system: strict succeeds and inference hands back a symmetric
+  // positive-diagonal (X'X)^-1 of the right shape.
+  Matrix good;
+  std::vector<double> gy;
+  Rng rng(23);
+  for (int i = 0; i < 60; ++i) {
+    double a = rng.uniform_real(-1, 1), b = rng.uniform_real(-1, 1);
+    good.push_back({a, b});
+    gy.push_back(0.5 + 2.0 * a - b + rng.normal(0, 0.01));
+  }
+  auto inf = ols_inference(good, gy);
+  EXPECT_TRUE(inf.fit.ok);
+  ASSERT_EQ(inf.p, 3u);
+  ASSERT_EQ(inf.xtx_inv.size(), 9u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(inf.xtx_inv[i * 3 + i], 0.0);
+    for (std::size_t j = 0; j < i; ++j)
+      EXPECT_NEAR(inf.xtx_inv[i * 3 + j], inf.xtx_inv[j * 3 + i], 1e-9);
+  }
 }
 
 TEST(Regression, ForwardSelectFindsTrueVariables) {

@@ -1,0 +1,292 @@
+// hlp_fit — characterize a design family and fit a power macromodel.
+//
+//   hlp_fit --family F --params LO:HI[:STEP] --out FILE
+//           [--kind symbolic|monte-carlo] [--input-p P1,P2,...]
+//           [--ledger PATH] [--resume] [--workers N]
+//           [--epsilon E] [--max-pairs N]
+//           [--f-enter F] [--max-vars K] [--holdout FRAC]
+//           [--mape-bound X] [--append]
+//
+// Runs the offline characterization campaign (real symbolic / Monte Carlo
+// kernels label every grid point; --ledger makes the sweep crash-consistent
+// and --resume continues a killed run), fits a macromodel by stepwise
+// regression, prints the fit report, and writes the CRC-framed registry
+// file hlp_serve loads with --models. --append keeps the models already in
+// FILE (last-wins per family|kind) instead of replacing the file.
+//
+// Exit status: 0 on success, 1 when the fit succeeded but the held-out
+// MAPE exceeds --mape-bound (artifact still written — the operator decides
+// whether to ship it), 2 on usage/spec/fit errors.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "model/characterize.hpp"
+#include "model/registry.hpp"
+#include "stats/regression.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --family F --params LO:HI[:STEP] --out FILE\n"
+      "          [--kind symbolic|monte-carlo] [--input-p P1,P2,...]\n"
+      "          [--ledger PATH] [--resume] [--workers N]\n"
+      "          [--epsilon E] [--max-pairs N]\n"
+      "          [--f-enter F] [--max-vars K] [--holdout FRAC]\n"
+      "          [--mape-bound X] [--append]\n",
+      argv0);
+  return 2;
+}
+
+/// "4:12" or "4:12:2" -> {4, 6, 8, 10, 12}; empty on parse failure.
+std::vector<int> parse_param_range(const std::string& s) {
+  int lo = 0, hi = 0, step = 1;
+  const int n = std::sscanf(s.c_str(), "%d:%d:%d", &lo, &hi, &step);
+  std::vector<int> out;
+  if (n < 2 || step < 1 || hi < lo) return out;
+  for (int p = lo; p <= hi; p += step) out.push_back(p);
+  return out;
+}
+
+/// "0.3,0.5,0.7" -> {0.3, 0.5, 0.7}; empty on parse failure.
+std::vector<double> parse_p_list(const std::string& s) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    char* end = nullptr;
+    const std::string tok = s.substr(pos, comma - pos);
+    const double v = std::strtod(tok.c_str(), &end);
+    if (tok.empty() || end == tok.c_str() || *end != '\0') return {};
+    out.push_back(v);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hlp::model::SweepSpec spec;
+  hlp::model::FitOptions fopts;
+  hlp::jobs::RunnerOptions ropts;
+  std::string out_path;
+  std::string ledger_path;
+  bool resume = false;
+  bool append = false;
+  double mape_bound = 0.0;  // 0 = no gate
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hlp_fit: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--family") {
+      const char* v = next_value("--family");
+      if (!v) return 2;
+      spec.family = v;
+    } else if (arg == "--kind") {
+      const char* v = next_value("--kind");
+      if (!v) return 2;
+      if (!hlp::jobs::parse_job_kind(v, spec.kind)) {
+        std::fprintf(stderr, "hlp_fit: unknown --kind %s\n", v);
+        return 2;
+      }
+    } else if (arg == "--params") {
+      const char* v = next_value("--params");
+      if (!v) return 2;
+      spec.params = parse_param_range(v);
+      if (spec.params.empty()) {
+        std::fprintf(stderr, "hlp_fit: --params wants LO:HI[:STEP]\n");
+        return 2;
+      }
+    } else if (arg == "--input-p") {
+      const char* v = next_value("--input-p");
+      if (!v) return 2;
+      spec.input_p = parse_p_list(v);
+      if (spec.input_p.empty()) {
+        std::fprintf(stderr, "hlp_fit: --input-p wants P1,P2,...\n");
+        return 2;
+      }
+    } else if (arg == "--out") {
+      const char* v = next_value("--out");
+      if (!v) return 2;
+      out_path = v;
+    } else if (arg == "--ledger") {
+      const char* v = next_value("--ledger");
+      if (!v) return 2;
+      ledger_path = v;
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--append") {
+      append = true;
+    } else if (arg == "--workers") {
+      const char* v = next_value("--workers");
+      if (!v) return 2;
+      ropts.workers = std::atoi(v);
+      if (ropts.workers < 1) {
+        std::fprintf(stderr, "hlp_fit: --workers must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--epsilon") {
+      const char* v = next_value("--epsilon");
+      if (!v) return 2;
+      spec.epsilon = std::atof(v);
+      if (spec.epsilon <= 0.0) {
+        std::fprintf(stderr, "hlp_fit: --epsilon must be > 0\n");
+        return 2;
+      }
+    } else if (arg == "--max-pairs") {
+      const char* v = next_value("--max-pairs");
+      if (!v) return 2;
+      spec.max_pairs = std::strtoull(v, nullptr, 10);
+      if (spec.max_pairs == 0) {
+        std::fprintf(stderr, "hlp_fit: --max-pairs must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--f-enter") {
+      const char* v = next_value("--f-enter");
+      if (!v) return 2;
+      fopts.f_enter = std::atof(v);
+    } else if (arg == "--max-vars") {
+      const char* v = next_value("--max-vars");
+      if (!v) return 2;
+      fopts.max_vars = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--holdout") {
+      const char* v = next_value("--holdout");
+      if (!v) return 2;
+      fopts.holdout_frac = std::atof(v);
+      if (fopts.holdout_frac < 0.0 || fopts.holdout_frac >= 1.0) {
+        std::fprintf(stderr, "hlp_fit: --holdout must be in [0, 1)\n");
+        return 2;
+      }
+    } else if (arg == "--mape-bound") {
+      const char* v = next_value("--mape-bound");
+      if (!v) return 2;
+      mape_bound = std::atof(v);
+      if (mape_bound <= 0.0) {
+        std::fprintf(stderr, "hlp_fit: --mape-bound must be > 0\n");
+        return 2;
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (out_path.empty()) {
+    std::fprintf(stderr, "hlp_fit: --out is required\n");
+    return usage(argv[0]);
+  }
+  if (resume && ledger_path.empty()) {
+    std::fprintf(stderr, "hlp_fit: --resume requires --ledger\n");
+    return 2;
+  }
+  ropts.ledger_path = ledger_path;
+
+  // Characterization: one job per (param, input-p) grid point.
+  hlp::model::Characterization ch;
+  try {
+    ch = hlp::model::characterize(spec, ropts, resume);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hlp_fit: %s\n", e.what());
+    if (!ledger_path.empty())
+      std::fprintf(stderr,
+                   "hlp_fit: partial progress journaled to %s; rerun with "
+                   "--ledger %s --resume to continue\n",
+                   ledger_path.c_str(), ledger_path.c_str());
+    return 2;
+  }
+  std::printf("characterized %zu/%zu grid points (%zu retries)\n",
+              ch.rows.size(), ch.campaign.results.size(),
+              ch.campaign.retries);
+  if (!ch.complete()) {
+    std::fprintf(stderr, "hlp_fit: characterization incomplete (%zu failed, "
+                         "%zu cancelled)\n",
+                 ch.campaign.failed, ch.campaign.cancelled);
+    if (!ledger_path.empty())
+      std::fprintf(stderr,
+                   "hlp_fit: completed jobs are journaled in %s — rerun with "
+                   "--ledger %s --resume\n",
+                   ledger_path.c_str(), ledger_path.c_str());
+    return 2;
+  }
+
+  // Fit: stepwise selection + strict inference refit.
+  hlp::model::FitReport report;
+  try {
+    report = hlp::model::fit_macromodel(ch.rows, spec.family,
+                                        hlp::jobs::to_string(spec.kind),
+                                        fopts);
+  } catch (const hlp::stats::RankDeficientError& e) {
+    std::fprintf(stderr,
+                 "hlp_fit: rank-deficient design matrix: %s\n"
+                 "hlp_fit: widen the parameter or input-p grid so the "
+                 "features vary independently\n",
+                 e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hlp_fit: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("fit %s|%s: %zu train + %zu held-out rows\n",
+              report.model.family.c_str(), report.model.kind.c_str(),
+              report.train_rows, report.holdout_rows);
+  std::printf("  selected:");
+  for (const std::string& name : report.selected_names)
+    std::printf(" %s", name.c_str());
+  if (report.selected_names.empty()) std::printf(" (intercept only)");
+  std::printf("\n");
+  std::printf("  train R^2 %.6f, sigma %.6g, condition %.3g\n",
+              report.train_r2, std::sqrt(report.model.sigma2),
+              report.condition);
+  std::printf("  held-out MAPE %.4f\n", report.holdout_mape);
+  if (report.condition_warning)
+    std::fprintf(stderr,
+                 "hlp_fit: warning: ill-conditioned normal equations "
+                 "(condition %.3g > 1e8); coefficients are numerically "
+                 "fragile\n",
+                 report.condition);
+
+  // Persist: fresh registry, or append to the existing one (last-wins per
+  // family|kind happens at registry build time, so just add the record).
+  std::vector<hlp::model::Macromodel> models;
+  if (append) {
+    hlp::model::ModelLoad prev = hlp::model::load_models_file(out_path);
+    if (prev.ok()) {
+      models = std::move(prev.models);
+    } else if (prev.status != hlp::model::ModelFileStatus::Missing) {
+      std::fprintf(stderr, "hlp_fit: cannot append to %s: %s (%s)\n",
+                   out_path.c_str(), hlp::model::to_string(prev.status),
+                   prev.error.c_str());
+      return 2;
+    }
+  }
+  models.push_back(report.model);
+  std::string err;
+  if (!hlp::model::save_models_file(out_path, models, err)) {
+    std::fprintf(stderr, "hlp_fit: write %s: %s\n", out_path.c_str(),
+                 err.c_str());
+    return 2;
+  }
+  std::printf("wrote %zu model%s to %s\n", models.size(),
+              models.size() == 1 ? "" : "s", out_path.c_str());
+
+  if (mape_bound > 0.0 && report.holdout_mape > mape_bound) {
+    std::fprintf(stderr,
+                 "hlp_fit: held-out MAPE %.4f exceeds bound %.4f\n",
+                 report.holdout_mape, mape_bound);
+    return 1;
+  }
+  return 0;
+}

@@ -140,6 +140,11 @@ int main(int argc, char** argv) {
     cr = resume ? runner.resume(spec.jobs) : runner.run(spec.jobs);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hlp_run: %s\n", e.what());
+    if (!ledger_path.empty())
+      std::fprintf(stderr,
+                   "hlp_run: partial progress journaled to %s; rerun with "
+                   "--ledger %s --resume to continue\n",
+                   ledger_path.c_str(), ledger_path.c_str());
     return 2;
   }
 
@@ -175,5 +180,14 @@ int main(int argc, char** argv) {
   std::printf("  %-22s %6zu\n", "failed", ct.failed);
   std::printf("  %-22s %6zu\n", "cancelled", ct.cancelled);
   std::printf("  %-22s %6zu\n", "served from ledger", ct.served_from_ledger);
+
+  if (!cr.all_completed() && !ledger_path.empty()) {
+    // Name the ledger that holds the completed work so resuming never
+    // means guessing which file this run wrote.
+    std::fprintf(stderr,
+                 "hlp_run: campaign incomplete; ledger %s holds the "
+                 "completed jobs — rerun with --ledger %s --resume\n",
+                 ledger_path.c_str(), ledger_path.c_str());
+  }
   return cr.all_completed() ? 0 : 1;
 }

@@ -9,6 +9,15 @@
 //             [--isolate off|symbolic|all] [--isolate-rlimit-as BYTES]
 //             [--isolate-rlimit-cpu SECONDS] [--isolate-wall-ceiling SECONDS]
 //             [--quarantine-threshold K] [--quarantine-expiry SECONDS]
+//             [--models PATH]
+//
+//   --models loads a macromodel registry (written by hlp_fit) before the
+//   listener opens, enabling the predicted tier: estimate requests that
+//   carry "accuracy" are answered from the model in microseconds — with a
+//   prediction interval — when the model covers the design and supports
+//   the accuracy, and escalate to the real kernel otherwise (DESIGN.md
+//   §12). A missing or damaged registry file is reported and the daemon
+//   starts without models rather than failing.
 //
 //   Serves line-delimited JSON estimate requests (DESIGN.md §9) until
 //   SIGTERM/SIGINT, then drains gracefully: new connections are refused,
@@ -33,7 +42,7 @@
 // Client:
 //   hlp_serve --connect [ADDR:]PORT [--kind K] [--design SPEC] [--seed N]
 //             [--repeat N] [--unique] [--no-cache] [--deadline SECONDS]
-//             [--retries N] [--metrics] [--health] [--ping]
+//             [--accuracy A] [--retries N] [--metrics] [--health] [--ping]
 //
 //   Sends --repeat copies of one estimate request (--unique gives each a
 //   distinct seed so none coalesce or hit), then optional metrics/ping
@@ -79,10 +88,11 @@ int usage(const char* argv0) {
       "          [--isolate off|symbolic|all] [--isolate-rlimit-as BYTES]\n"
       "          [--isolate-rlimit-cpu SECONDS] [--isolate-wall-ceiling SECONDS]\n"
       "          [--quarantine-threshold K] [--quarantine-expiry SECONDS]\n"
+      "          [--models PATH]\n"
       "   or: %s --connect [ADDR:]PORT [--kind K] [--design SPEC] [--seed N]\n"
       "          [--epsilon E] [--repeat N] [--unique] [--no-cache]\n"
-      "          [--deadline SECONDS] [--retries N] [--metrics] [--health]\n"
-      "          [--ping]\n",
+      "          [--deadline SECONDS] [--accuracy A] [--retries N]\n"
+      "          [--metrics] [--health] [--ping]\n",
       argv0, argv0);
   return 2;
 }
@@ -107,10 +117,29 @@ bool parse_endpoint(const std::string& s, Endpoint& out) {
   return true;
 }
 
-int run_daemon(const Endpoint& ep, hlp::serve::ServerOptions opts) {
+int run_daemon(const Endpoint& ep, hlp::serve::ServerOptions opts,
+               const std::string& models_path) {
   opts.bind_address = ep.host;
   opts.port = static_cast<std::uint16_t>(ep.port);
   hlp::serve::Server server(opts);
+  if (!models_path.empty()) {
+    // Load before the listener opens so the first request already sees the
+    // predicted tier. Failures are typed and non-fatal: the daemon serves
+    // exact answers only.
+    const hlp::serve::Service::ModelsStatus ms =
+        server.service().load_models(models_path);
+    if (ms.ok()) {
+      std::printf("models: loaded %zu from %s", ms.count, models_path.c_str());
+      if (ms.torn_bytes > 0)
+        std::printf(" (%llu torn trailing bytes dropped)",
+                    static_cast<unsigned long long>(ms.torn_bytes));
+      std::printf("\n");
+    } else {
+      std::fprintf(stderr, "hlp_serve: models: %s: %s (%s)\n",
+                   models_path.c_str(), hlp::model::to_string(ms.status),
+                   ms.error.c_str());
+    }
+  }
   try {
     server.start();
   } catch (const std::exception& e) {
@@ -244,6 +273,7 @@ struct ClientConfig {
   bool unique = false;
   bool no_cache = false;
   double deadline_seconds = 0.0;  ///< per-request wall deadline (0 = none)
+  double accuracy = 0.0;  ///< 0: no predicted tier; else the request's bound
   int retries = 0;  ///< resend a shed request up to this many times
   bool metrics = false;
   bool health = false;
@@ -297,6 +327,10 @@ int run_client(const Endpoint& ep, const ClientConfig& cfg) {
     rq.seed = cfg.seed;
     rq.use_cache = !cfg.no_cache;
     rq.deadline_seconds = cfg.deadline_seconds;
+    if (cfg.accuracy > 0.0) {
+      rq.has_accuracy = true;
+      rq.accuracy = cfg.accuracy;
+    }
     for (int i = 0; i < cfg.repeat; ++i) {
       if (cfg.unique) {
         rq.has_seed = true;
@@ -328,6 +362,7 @@ int run_client(const Endpoint& ep, const ClientConfig& cfg) {
 int main(int argc, char** argv) {
   std::string listen_at;
   std::string connect_to;
+  std::string models_path;
   hlp::serve::ServerOptions sopts;
   // Daemon default: the kinds with exponential worst cases run in forked
   // sandbox children (the library default is Off for embedders/tests).
@@ -421,10 +456,22 @@ int main(int argc, char** argv) {
       const char* v = next_value("--drain-deadline");
       if (!v) return 2;
       sopts.drain_deadline_seconds = std::atof(v);
+    } else if (arg == "--models") {
+      const char* v = next_value("--models");
+      if (!v) return 2;
+      models_path = v;
     } else if (arg == "--deadline") {
       const char* v = next_value("--deadline");
       if (!v) return 2;
       cfg.deadline_seconds = std::atof(v);
+    } else if (arg == "--accuracy") {
+      const char* v = next_value("--accuracy");
+      if (!v) return 2;
+      cfg.accuracy = std::atof(v);
+      if (!(cfg.accuracy > 0.0 && cfg.accuracy <= 1.0)) {
+        std::fprintf(stderr, "hlp_serve: --accuracy must be in (0, 1]\n");
+        return 2;
+      }
     } else if (arg == "--retries") {
       const char* v = next_value("--retries");
       if (!v) return 2;
@@ -481,6 +528,6 @@ int main(int argc, char** argv) {
                  (listen_at.empty() ? connect_to : listen_at).c_str());
     return 2;
   }
-  if (!listen_at.empty()) return run_daemon(ep, sopts);
+  if (!listen_at.empty()) return run_daemon(ep, sopts, models_path);
   return run_client(ep, cfg);
 }
